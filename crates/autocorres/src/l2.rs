@@ -1,0 +1,1126 @@
+//! Phase L2: control-flow abstraction and local-variable lifting.
+//!
+//! The L1 output is verbose: abrupt termination is encoded with exceptions
+//! and the `global_exn_var` ghost variable, and every local lives in the
+//! state. L2 produces the reader-friendly form of the paper's figures:
+//!
+//! * locals become lambda-bound variables (`do t ← gets …; …`),
+//! * loops become `whileLoop` combinators whose iterator tuple carries
+//!   exactly the locals the loop modifies (Fig 6),
+//! * the `return`/`break`/`continue` exception dance is eliminated where
+//!   control flow allows (type specialisation), and kept as tagged
+//!   exceptions where it does not,
+//! * trailing `if (c) return a; return b;` becomes
+//!   `return (if c then a else b)` (so `max` comes out exactly as in
+//!   Fig 2).
+//!
+//! Correctness: each L2 function is related to its L1 counterpart by a
+//! `refines` theorem admitted via the kernel's `ExecTested` rule — a
+//! randomized differential test over generated heaps and arguments (the
+//! documented substitute for Isabelle's rewrite-rule proofs, DESIGN.md §2).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use cparser::typecheck::{ctype_to_ty, TExprKind, TFunDef, TProgram, TStmt};
+use ir::expr::Expr;
+use ir::guard::GuardKind;
+use ir::state::State;
+use ir::ty::Ty;
+use ir::update::Update;
+use kernel::rules::refine;
+use kernel::{CheckCtx, Thm};
+use monadic::interp::MonadFault;
+use monadic::{MonadicFn, Prog, ProgramCtx};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simpl::stmt::SimplStmt;
+use simpl::translate::FnTranslator;
+
+/// Exception tag for `return`.
+pub const TAG_RET: u32 = 0;
+/// Exception tag for `break`.
+pub const TAG_BRK: u32 = 1;
+/// Exception tag for `continue`.
+pub const TAG_CONT: u32 = 2;
+
+/// An L2 phase error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct L2Error {
+    /// Explanation.
+    pub msg: String,
+}
+
+impl fmt::Display for L2Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L2: {}", self.msg)
+    }
+}
+
+impl std::error::Error for L2Error {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, L2Error> {
+    Err(L2Error { msg: msg.into() })
+}
+
+type R<T> = Result<T, L2Error>;
+
+/// Translates a typed program to L2 and proves each function refines its L1
+/// counterpart.
+///
+/// # Errors
+///
+/// Returns an error when translation fails or a differential test finds a
+/// refinement violation (which would indicate a driver bug).
+pub fn l2_program(
+    cx: &CheckCtx,
+    tp: &TProgram,
+    l1ctx: &ProgramCtx,
+    trials: u32,
+    seed: u64,
+) -> R<(ProgramCtx, Vec<(String, Thm)>)> {
+    let mut l2ctx = ProgramCtx {
+        tenv: l1ctx.tenv.clone(),
+        globals: l1ctx.globals.clone(),
+        ..ProgramCtx::default()
+    };
+    for f in &tp.functions {
+        let fun = l2_function(tp, f)?;
+        l2ctx.fns.insert(f.name.clone(), fun);
+    }
+    // Differential refinement theorems, one per function.
+    let heap_types = crate::testing::heap_types_of(&l1ctx.tenv, l1ctx);
+    let mut thms = Vec::new();
+    for f in &tp.functions {
+        let name = &f.name;
+        let l2b = &l2ctx.fns[name].body;
+        let l1b = &l1ctx.fns[name].body;
+        let thm = refine::exec_tested(cx, l2b, l1b, trials, seed, || {
+            test_fn_refines(&l2ctx, l1ctx, name, &heap_types, trials, seed)
+        })
+        .map_err(|e| L2Error {
+            msg: format!("{name}: {e}"),
+        })?;
+        thms.push((name.clone(), thm));
+    }
+    Ok((l2ctx, thms))
+}
+
+/// Differential test: the L2 function refines the L1 function (equal
+/// results and equal heap/global state whenever L2 does not fail).
+fn test_fn_refines(
+    l2ctx: &ProgramCtx,
+    l1ctx: &ProgramCtx,
+    fname: &str,
+    heap_types: &[Ty],
+    trials: u32,
+    seed: u64,
+) -> Result<(), String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let f = &l1ctx.fns[fname];
+    let void = f.ret_ty == Ty::Unit;
+    for i in 0..trials {
+        let conc = crate::testing::gen_state(&mut rng, &l1ctx.tenv, heap_types, 4);
+        let mut st = State::Conc(conc);
+        for (g, v) in &l1ctx.globals {
+            st.set_global(g, v.clone());
+        }
+        let args: Vec<_> = f
+            .params
+            .iter()
+            .map(|(_, t)| crate::testing::random_arg(&mut rng, t, heap_types, 4))
+            .collect();
+        let r2 = monadic::exec_fn(l2ctx, fname, &args, st.clone(), 100_000);
+        let r2 = match r2 {
+            Ok(pair) => pair,
+            Err(MonadFault::Failure(_) | MonadFault::OutOfFuel) => continue,
+            Err(e) => return Err(format!("trial {i}: L2 stuck: {e}")),
+        };
+        let r1 = match monadic::exec_fn(l1ctx, fname, &args, st, 100_000) {
+            Ok(pair) => pair,
+            // L1 spends more fuel per call (locals live in the state), so
+            // it can time out where L2 finished: inconclusive, not a
+            // violation.
+            Err(MonadFault::OutOfFuel) => continue,
+            Err(e) => return Err(format!("trial {i}: L1 fails ({e}) but L2 succeeds")),
+        };
+        let (v2, mut s2) = r2;
+        let (v1, mut s1) = r1;
+        if !void && v1 != v2 {
+            return Err(format!("trial {i}: values differ: L1 {v1:?} vs L2 {v2:?}"));
+        }
+        // Locals are a calling-convention artefact; compare heap + globals.
+        s1.swap_locals(std::collections::BTreeMap::new());
+        s2.swap_locals(std::collections::BTreeMap::new());
+        if s1 != s2 {
+            return Err(format!("trial {i}: states differ after {fname}"));
+        }
+    }
+    Ok(())
+}
+
+/// Translates one function to its L2 form.
+///
+/// # Errors
+///
+/// Returns an error on unsupported control-flow shapes.
+pub fn l2_function(tp: &TProgram, f: &TFunDef) -> R<MonadicFn> {
+    let ret_ty = ctype_to_ty(&f.ret);
+    let body = normalize(&f.body);
+    let direct = returns_only_in_tail(&body, true);
+    let mut tr = L2Tr {
+        fx: FnTranslator::new(tp, ret_ty.clone()),
+        scope: f.params.iter().map(|(n, _)| n.clone()).collect(),
+        locals_order: f.locals.iter().map(|(n, _)| n.clone()).collect(),
+        direct,
+        ret_void: ret_ty == Ty::Unit,
+        tmp: 0,
+    };
+    // Non-void functions must return through an explicit `return`; falling
+    // off the end is unreachable (`Fail`), whether or not control flow is
+    // direct.
+    let tail = if ret_ty == Ty::Unit {
+        Prog::skip()
+    } else {
+        Prog::Fail
+    };
+    let mut prog = tr.tr_stmts(&body, tail, None)?;
+    if !direct {
+        // Early returns arrive as tagged exceptions.
+        prog = Prog::Catch(
+            Box::new(prog),
+            "·rv".to_owned(),
+            Box::new(Prog::ret(Expr::proj(1, Expr::var("·rv")))),
+        );
+    }
+    let prog = tidy(&prog);
+    // Guard simplification (the paper's Sec 2 phase): discharge guards the
+    // decision procedures prove, and drop guards already established on
+    // every path to this point.
+    let var_tys: std::collections::HashMap<String, ir::ty::Ty> = f
+        .locals
+        .iter()
+        .map(|(n, t)| (n.clone(), ctype_to_ty(t)))
+        .collect();
+    let prog = discharge_guards(&prog, &var_tys);
+    let prog = dedup_guards(&prog, &mut std::collections::BTreeSet::new());
+    Ok(MonadicFn {
+        name: f.name.clone(),
+        params: f
+            .params
+            .iter()
+            .map(|(n, t)| (n.clone(), ctype_to_ty(t)))
+            .collect(),
+        ret_ty,
+        frame: None,
+        body: prog,
+    })
+}
+
+// ---- control-flow analyses -------------------------------------------------
+
+/// Pushes the continuation of an always-exiting `if` into its empty `else`
+/// branch, recursively — this is what turns `if (c) return b; return a;`
+/// into a two-armed conditional.
+fn normalize(stmts: &[TStmt]) -> Vec<TStmt> {
+    let mut out: Vec<TStmt> = Vec::new();
+    let mut i = 0;
+    while i < stmts.len() {
+        match &stmts[i] {
+            TStmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } if else_branch.is_empty()
+                && always_exits(then_branch)
+                && i + 1 < stmts.len() =>
+            {
+                let rest = normalize(&stmts[i + 1..]);
+                out.push(TStmt::If {
+                    cond: cond.clone(),
+                    then_branch: normalize(then_branch),
+                    else_branch: rest,
+                });
+                return out;
+            }
+            TStmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => out.push(TStmt::If {
+                cond: cond.clone(),
+                then_branch: normalize(then_branch),
+                else_branch: normalize(else_branch),
+            }),
+            TStmt::While { cond, body } => out.push(TStmt::While {
+                cond: cond.clone(),
+                body: normalize(body),
+            }),
+            TStmt::DoWhile { body, cond } => out.push(TStmt::DoWhile {
+                body: normalize(body),
+                cond: cond.clone(),
+            }),
+            TStmt::Block(b) => out.push(TStmt::Block(normalize(b))),
+            s => out.push(s.clone()),
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Does every control path through the block end in `return`/`break`/
+/// `continue`?
+fn always_exits(stmts: &[TStmt]) -> bool {
+    match stmts.last() {
+        Some(TStmt::Return(_) | TStmt::Break | TStmt::Continue) => true,
+        Some(TStmt::If {
+            then_branch,
+            else_branch,
+            ..
+        }) => always_exits(then_branch) && always_exits(else_branch),
+        Some(TStmt::Block(b)) => always_exits(b),
+        _ => false,
+    }
+}
+
+/// Do all `return`s occur in tail position (so the function can be
+/// translated without the exception encoding)?
+fn returns_only_in_tail(stmts: &[TStmt], tail: bool) -> bool {
+    for (i, s) in stmts.iter().enumerate() {
+        let is_last = i + 1 == stmts.len();
+        match s {
+            TStmt::Return(_)
+                if !(tail && is_last) => {
+                    return false;
+                }
+            TStmt::If {
+                then_branch,
+                else_branch,
+                ..
+            }
+                if (!returns_only_in_tail(then_branch, tail && is_last)
+                    || !returns_only_in_tail(else_branch, tail && is_last))
+                => {
+                    return false;
+                }
+            TStmt::While { body, .. } | TStmt::DoWhile { body, .. }
+                if contains_return(body) => {
+                    return false;
+                }
+            TStmt::Block(b)
+                if !returns_only_in_tail(b, tail && is_last) => {
+                    return false;
+                }
+            _ => {}
+        }
+    }
+    true
+}
+
+fn contains_return(stmts: &[TStmt]) -> bool {
+    stmts.iter().any(|s| match s {
+        TStmt::Return(_) => true,
+        TStmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => contains_return(then_branch) || contains_return(else_branch),
+        TStmt::While { body, .. } | TStmt::DoWhile { body, .. } => contains_return(body),
+        TStmt::Block(b) => contains_return(b),
+        _ => false,
+    })
+}
+
+fn contains_break_or_continue(stmts: &[TStmt]) -> (bool, bool) {
+    let mut brk = false;
+    let mut cont = false;
+    fn walk(stmts: &[TStmt], brk: &mut bool, cont: &mut bool) {
+        for s in stmts {
+            match s {
+                TStmt::Break => *brk = true,
+                TStmt::Continue => *cont = true,
+                TStmt::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
+                    walk(then_branch, brk, cont);
+                    walk(else_branch, brk, cont);
+                }
+                TStmt::Block(b) => walk(b, brk, cont),
+                // Nested loops capture their own break/continue.
+                TStmt::While { .. } | TStmt::DoWhile { .. } => {}
+                _ => {}
+            }
+        }
+    }
+    walk(stmts, &mut brk, &mut cont);
+    (brk, cont)
+}
+
+/// Locals (by unique name) assigned anywhere in the block, in `order`.
+fn assigned_locals(stmts: &[TStmt], order: &[String], scope: &BTreeSet<String>) -> Vec<String> {
+    let mut set = BTreeSet::new();
+    fn walk(stmts: &[TStmt], set: &mut BTreeSet<String>) {
+        for s in stmts {
+            match s {
+                TStmt::Assign { lhs, .. } => {
+                    if let TExprKind::Local(n) = &lhs.kind {
+                        set.insert(n.clone());
+                    }
+                    // Member chains rooted at a local also assign it.
+                    let mut cur = lhs;
+                    while let TExprKind::Member(inner, _) = &cur.kind {
+                        cur = inner;
+                    }
+                    if let TExprKind::Local(n) = &cur.kind {
+                        set.insert(n.clone());
+                    }
+                }
+                TStmt::Decl { name, .. } => {
+                    set.insert(name.clone());
+                }
+                TStmt::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
+                    walk(then_branch, set);
+                    walk(else_branch, set);
+                }
+                TStmt::While { body, .. } | TStmt::DoWhile { body, .. } => walk(body, set),
+                TStmt::Block(b) => walk(b, set),
+                _ => {}
+            }
+        }
+    }
+    walk(stmts, &mut set);
+    order
+        .iter()
+        .filter(|n| set.contains(*n) && scope.contains(*n))
+        .cloned()
+        .collect()
+}
+
+// ---- the translator ---------------------------------------------------------
+
+struct LoopCtx {
+    vars: Vec<String>,
+}
+
+struct L2Tr<'a> {
+    fx: FnTranslator<'a>,
+    /// Locals currently in scope (params + declarations seen so far).
+    scope: BTreeSet<String>,
+    /// Declaration order of all locals (from the typechecker).
+    locals_order: Vec<String>,
+    direct: bool,
+    ret_void: bool,
+    tmp: u64,
+}
+
+/// A converted pre-step: a guard, a bound call, or a hoisted state read.
+enum PreStep {
+    Guard(GuardKind, Expr),
+    Call { tmp: String, prog: Prog },
+    Gets { tmp: String, expr: Expr },
+}
+
+impl<'a> L2Tr<'a> {
+    fn fresh(&mut self) -> String {
+        self.tmp += 1;
+        format!("·t{}", self.tmp)
+    }
+
+    /// Converts Simpl pre-statements (hoisted calls wrapped in guards) into
+    /// L2 pre-steps.
+    fn convert_pre(&mut self, pre: Vec<SimplStmt>) -> R<Vec<PreStep>> {
+        let mut out = Vec::new();
+        for s in pre {
+            self.convert_pre_one(s, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    fn convert_pre_one(&mut self, s: SimplStmt, out: &mut Vec<PreStep>) -> R<()> {
+        match s {
+            SimplStmt::Guard(k, g, inner) => {
+                out.push(PreStep::Guard(k, delocal(&g)));
+                self.convert_pre_one(*inner, out)
+            }
+            SimplStmt::Call {
+                fname,
+                args,
+                ret_local,
+            } => {
+                let tmp = ret_local.unwrap_or_else(|| self.fresh());
+                let args = self.hoist_heap_args(args.iter().map(delocal).collect(), out);
+                out.push(PreStep::Call {
+                    tmp,
+                    prog: Prog::Call { fname, args },
+                });
+                Ok(())
+            }
+            SimplStmt::Skip => Ok(()),
+            other => err(format!("unexpected hoisted statement: {other:?}")),
+        }
+    }
+
+    /// Heap-reading call arguments are hoisted into `gets` binds so that
+    /// call nodes stay heap-free (a requirement of the heap-abstraction
+    /// call rule).
+    fn hoist_heap_args(&mut self, args: Vec<Expr>, out: &mut Vec<PreStep>) -> Vec<Expr> {
+        args.into_iter()
+            .map(|a| {
+                if a.reads_state() {
+                    let tmp = self.fresh();
+                    out.push(PreStep::Gets {
+                        tmp: tmp.clone(),
+                        expr: a,
+                    });
+                    Expr::var(tmp)
+                } else {
+                    a
+                }
+            })
+            .collect()
+    }
+
+    /// Wraps `body` in the pre-steps (binds and guards), innermost last.
+    /// Trivially-true guards (e.g. division by a non-zero literal) are
+    /// discharged by the simplifier here — the L2 guard simplification of
+    /// the paper's Sec 2 phase list.
+    fn with_pre(&self, pre: Vec<PreStep>, body: Prog) -> Prog {
+        pre.into_iter().rev().fold(body, |acc, step| match step {
+            PreStep::Guard(_, g)
+                if solver::simplify::simplify(&g).is_true_lit() =>
+            {
+                acc
+            }
+            PreStep::Guard(k, g) => Prog::then(Prog::Guard(k, g), acc),
+            PreStep::Call { tmp, prog } => Prog::bind(prog, tmp, acc),
+            PreStep::Gets { tmp, expr } => Prog::bind(Prog::Gets(expr), tmp, acc),
+        })
+    }
+
+    /// Translates an expression to a value-yielding program plus pre-steps.
+    fn value(&mut self, e: &cparser::typecheck::TExpr) -> R<(Vec<PreStep>, Expr)> {
+        let mut pre = Vec::new();
+        let tr = self
+            .fx
+            .rvalue(e, &mut pre)
+            .map_err(|e| L2Error { msg: e.to_string() })?;
+        let mut steps = self.convert_pre(pre)?;
+        for (k, g) in tr.guards {
+            steps.push(PreStep::Guard(k, delocal(&g)));
+        }
+        Ok((steps, delocal(&tr.expr)))
+    }
+
+    /// Translates a condition to a boolean expression plus pre-steps.
+    fn condition(&mut self, e: &cparser::typecheck::TExpr) -> R<(Vec<PreStep>, Expr)> {
+        let mut pre = Vec::new();
+        let tr = self
+            .fx
+            .cond(e, &mut pre)
+            .map_err(|e| L2Error { msg: e.to_string() })?;
+        let mut steps = self.convert_pre(pre)?;
+        for (k, g) in tr.guards {
+            steps.push(PreStep::Guard(k, delocal(&g)));
+        }
+        Ok((steps, delocal(&tr.expr)))
+    }
+
+    /// The program yielding a value expression (a `gets` when it reads the
+    /// state, a `return` otherwise).
+    fn yield_value(e: Expr) -> Prog {
+        if e.reads_state() {
+            Prog::Gets(e)
+        } else {
+            Prog::Return(e)
+        }
+    }
+
+    fn tr_stmts(&mut self, stmts: &[TStmt], tail: Prog, lp: Option<&LoopCtx>) -> R<Prog> {
+        let Some((first, rest)) = stmts.split_first() else {
+            return Ok(tail);
+        };
+        let is_last = rest.is_empty();
+        match first {
+            TStmt::Decl { name, ty, init } => {
+                self.scope.insert(name.clone());
+                let (steps, e) = match init {
+                    Some(e) => self.value(e)?,
+                    None => {
+                        let zero =
+                            ir::value::Value::zero_of(&ctype_to_ty(ty), &self.fx_tenv());
+                        (Vec::new(), Expr::Lit(zero))
+                    }
+                };
+                let k = self.tr_stmts(rest, tail, lp)?;
+                Ok(self.with_pre(steps, Prog::bind(Self::yield_value(e), name.clone(), k)))
+            }
+            TStmt::Assign { lhs, rhs } => {
+                let (mut steps, re) = self.value(rhs)?;
+                let mut pre_lhs = Vec::new();
+                let (lguards, upd) = self
+                    .fx
+                    .lvalue_update(lhs, re, &mut pre_lhs)
+                    .map_err(|e| L2Error { msg: e.to_string() })?;
+                steps.extend(self.convert_pre(pre_lhs)?);
+                for (k, g) in lguards {
+                    steps.push(PreStep::Guard(k, delocal(&g)));
+                }
+                let k = self.tr_stmts(rest, tail, lp)?;
+                let prog = match upd {
+                    Update::Local(n, e) => {
+                        Prog::bind(Self::yield_value(delocal(&e)), n, k)
+                    }
+                    other => Prog::then(Prog::Modify(delocal_update(&other)), k),
+                };
+                Ok(self.with_pre(steps, prog))
+            }
+            TStmt::ExprCall(e) => {
+                let TExprKind::Call(name, args) = &e.kind else {
+                    return err("expression statement is not a call");
+                };
+                let mut pre = Vec::new();
+                let (guards, arg_exprs) = self
+                    .fx
+                    .call_args(args, &mut pre)
+                    .map_err(|e| L2Error { msg: e.to_string() })?;
+                let mut steps = self.convert_pre(pre)?;
+                for (k, g) in guards {
+                    steps.push(PreStep::Guard(k, delocal(&g)));
+                }
+                let hoisted =
+                    self.hoist_heap_args(arg_exprs.iter().map(delocal).collect(), &mut steps);
+                let call = Prog::Call {
+                    fname: name.clone(),
+                    args: hoisted,
+                };
+                let k = self.tr_stmts(rest, tail, lp)?;
+                Ok(self.with_pre(steps, Prog::then(call, k)))
+            }
+            TStmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let (steps, c) = self.condition(cond)?;
+                if is_last {
+                    // Tail position: both branches continue with the tail.
+                    let t = self.tr_stmts(then_branch, tail.clone(), lp)?;
+                    let e = self.tr_stmts(else_branch, tail, lp)?;
+                    return Ok(self.with_pre(steps, Prog::cond(c, t, e)));
+                }
+                // Phi-style: branches yield the locals they may change.
+                let mut both = then_branch.clone();
+                both.extend(else_branch.iter().cloned());
+                let vars = assigned_locals(&both, &self.locals_order, &self.scope);
+                let k = self.tr_stmts(rest, tail, lp)?;
+                if vars.is_empty() {
+                    let t = self.tr_stmts(then_branch, Prog::skip(), lp)?;
+                    let e = self.tr_stmts(else_branch, Prog::skip(), lp)?;
+                    return Ok(self.with_pre(steps, Prog::then(Prog::cond(c, t, e), k)));
+                }
+                let yield_vars = Prog::ret(pack_expr(&vars));
+                let t = self.tr_stmts(then_branch, yield_vars.clone(), lp)?;
+                let e = self.tr_stmts(else_branch, yield_vars, lp)?;
+                let joined = if vars.len() == 1 {
+                    Prog::bind(Prog::cond(c, t, e), vars[0].clone(), k)
+                } else {
+                    Prog::bind_tuple(Prog::cond(c, t, e), vars.clone(), k)
+                };
+                Ok(self.with_pre(steps, joined))
+            }
+            TStmt::While { cond, body } => {
+                let (loop_prog, vars) = self.tr_loop(cond, body, None)?;
+                let k = self.tr_stmts(rest, tail, lp)?;
+                Ok(join_loop(loop_prog, &vars, k))
+            }
+            TStmt::DoWhile { body, cond } => {
+                let (loop_prog, vars) = self.tr_loop(cond, body, Some(body))?;
+                let k = self.tr_stmts(rest, tail, lp)?;
+                Ok(join_loop(loop_prog, &vars, k))
+            }
+            TStmt::Return(value) => {
+                let (steps, e) = match value {
+                    Some(e) => self.value(e)?,
+                    None => (Vec::new(), Expr::unit()),
+                };
+                let prog = if self.direct {
+                    if self.ret_void && value.is_none() {
+                        Prog::skip()
+                    } else {
+                        Prog::Return(e)
+                    }
+                } else {
+                    Prog::Throw(Expr::Tuple(vec![Expr::u32(TAG_RET), e]))
+                };
+                // Anything after a return is dead code.
+                Ok(self.with_pre(steps, prog))
+            }
+            TStmt::Break => {
+                let Some(l) = lp else {
+                    return err("break outside a loop");
+                };
+                Ok(Prog::Throw(Expr::Tuple(vec![
+                    Expr::u32(TAG_BRK),
+                    pack_expr(&l.vars),
+                ])))
+            }
+            TStmt::Continue => {
+                let Some(l) = lp else {
+                    return err("continue outside a loop");
+                };
+                Ok(Prog::Throw(Expr::Tuple(vec![
+                    Expr::u32(TAG_CONT),
+                    pack_expr(&l.vars),
+                ])))
+            }
+            TStmt::Block(b) => {
+                let mut combined: Vec<TStmt> = b.clone();
+                // Keep block-scoping by flattening — names are unique.
+                combined.extend(rest.iter().cloned());
+                self.tr_stmts(&combined, tail, lp)
+            }
+        }
+    }
+
+    fn loop_vars(&self, body: &[TStmt]) -> Vec<String> {
+        let vars = assigned_locals(body, &self.locals_order, &self.scope);
+        if vars.is_empty() {
+            vec!["_".to_owned()]
+        } else {
+            vars
+        }
+    }
+
+    /// Translates a loop; `first` is `Some(body)` for do/while.
+    /// Returns the loop program and its iterator variables.
+    fn tr_loop(
+        &mut self,
+        cond: &cparser::typecheck::TExpr,
+        body: &[TStmt],
+        first: Option<&[TStmt]>,
+    ) -> R<(Prog, Vec<String>)> {
+        let vars = self.loop_vars(body);
+        let dummy = vars == ["_".to_owned()];
+        let (cond_steps, c) = self.condition(cond)?;
+        // Condition guards must hold at every evaluation: before the loop
+        // and at the end of each iteration.
+        let cond_guards: Vec<(GuardKind, Expr)> = cond_steps
+            .iter()
+            .map(|s| match s {
+                PreStep::Guard(k, g) => Ok((k.clone(), g.clone())),
+                PreStep::Call { .. } | PreStep::Gets { .. } => {
+                    err("calls in loop conditions are unsupported")
+                }
+            })
+            .collect::<R<Vec<_>>>()?;
+
+        let (has_brk, has_cont) = contains_break_or_continue(body);
+        let lp = LoopCtx { vars: vars.clone() };
+
+        // Body: run statements, then guard the next condition evaluation,
+        // then yield the new iterator values.
+        let mut body_tail = Prog::ret(if dummy {
+            Expr::unit()
+        } else {
+            pack_expr(&vars)
+        });
+        for (k, g) in cond_guards.iter().rev() {
+            body_tail = Prog::then(Prog::Guard(k.clone(), g.clone()), body_tail);
+        }
+        let mut body_prog = self.tr_stmts(body, body_tail.clone(), Some(&lp))?;
+        if has_cont {
+            body_prog = Prog::Catch(
+                Box::new(body_prog),
+                "·e".to_owned(),
+                Box::new(Prog::cond(
+                    Expr::eq(Expr::proj(0, Expr::var("·e")), Expr::u32(TAG_CONT)),
+                    Prog::ret(Expr::proj(1, Expr::var("·e"))),
+                    Prog::Throw(Expr::var("·e")),
+                )),
+            );
+        }
+
+        let init = if dummy {
+            vec![Expr::unit()]
+        } else {
+            vars.iter().map(|v| Expr::var(v.clone())).collect()
+        };
+        let mut loop_prog = Prog::While {
+            vars: vars.clone(),
+            cond: c,
+            body: Box::new(body_prog.clone()),
+            init,
+        };
+        // do/while: run the body once before the loop (its yielded values
+        // seed the iterator).
+        if let Some(first_body) = first {
+            let mut first_prog = self.tr_stmts(first_body, body_tail, Some(&lp))?;
+            if has_cont {
+                first_prog = Prog::Catch(
+                    Box::new(first_prog),
+                    "·e".to_owned(),
+                    Box::new(Prog::cond(
+                        Expr::eq(Expr::proj(0, Expr::var("·e")), Expr::u32(TAG_CONT)),
+                        Prog::ret(Expr::proj(1, Expr::var("·e"))),
+                        Prog::Throw(Expr::var("·e")),
+                    )),
+                );
+            }
+            let mut inner = loop_prog;
+            if let Prog::While { init, .. } = &mut inner {
+                *init = if dummy {
+                    vec![Expr::unit()]
+                } else {
+                    vars.iter().map(|v| Expr::var(v.clone())).collect()
+                };
+            }
+            loop_prog = if dummy {
+                Prog::then(first_prog, inner)
+            } else if vars.len() == 1 {
+                Prog::bind(first_prog, vars[0].clone(), inner)
+            } else {
+                Prog::bind_tuple(first_prog, vars.clone(), inner)
+            };
+        } else {
+            // Pre-loop condition guards.
+            for (k, g) in cond_guards.iter().rev() {
+                loop_prog = Prog::then(Prog::Guard(k.clone(), g.clone()), loop_prog);
+            }
+        }
+        if has_brk {
+            loop_prog = Prog::Catch(
+                Box::new(loop_prog),
+                "·e".to_owned(),
+                Box::new(Prog::cond(
+                    Expr::eq(Expr::proj(0, Expr::var("·e")), Expr::u32(TAG_BRK)),
+                    Prog::ret(Expr::proj(1, Expr::var("·e"))),
+                    Prog::Throw(Expr::var("·e")),
+                )),
+            );
+        }
+        Ok((loop_prog, vars))
+    }
+
+    fn fx_tenv(&self) -> ir::ty::TypeEnv {
+        // The type environment lives in the typed program the translator
+        // borrows; locals need zero values of struct types occasionally.
+        self.fx.tenv().clone()
+    }
+}
+
+fn pack_expr(vars: &[String]) -> Expr {
+    if vars.len() == 1 {
+        Expr::var(vars[0].clone())
+    } else {
+        Expr::Tuple(vars.iter().map(|v| Expr::var(v.clone())).collect())
+    }
+}
+
+fn join_loop(loop_prog: Prog, vars: &[String], k: Prog) -> Prog {
+    if vars == ["_".to_owned()] {
+        Prog::then(loop_prog, k)
+    } else if vars.len() == 1 {
+        Prog::bind(loop_prog, vars[0].clone(), k)
+    } else {
+        Prog::bind_tuple(loop_prog, vars.to_vec(), k)
+    }
+}
+
+/// Replaces state-stored local reads by lambda-bound variable reads.
+fn delocal(e: &Expr) -> Expr {
+    e.map(&|x| match &x {
+        Expr::Local(n) => Expr::Var(n.clone()),
+        _ => x,
+    })
+}
+
+fn delocal_update(u: &Update) -> Update {
+    u.map_exprs(&delocal)
+}
+
+/// Cosmetic post-pass: the rewrites that make the output match the paper's
+/// figures (`condition (return a) (return b)` → `return (if …)`, unit-bind
+/// cleanup, `v ← p; return v` → `p`).
+fn tidy(p: &Prog) -> Prog {
+    let q = tidy_once(p);
+    if q == *p {
+        q
+    } else {
+        tidy(&q)
+    }
+}
+
+fn tidy_once(p: &Prog) -> Prog {
+    match p {
+        Prog::Bind(l, v, r) => {
+            let l = tidy_once(l);
+            let r = tidy_once(r);
+            // v ← return e; return v  →  return e
+            if let Prog::Return(e) = &r {
+                if *e == Expr::var(v.clone()) {
+                    return l;
+                }
+            }
+            // v ← return lit/var; r  →  r[v := e], substituting only the
+            // free occurrences of v (binder-aware, capture-avoiding).
+            if let Prog::Return(e) = &l {
+                if matches!(e, Expr::Lit(_) | Expr::Var(_)) && v != "_" {
+                    if let Some(substituted) = subst_free(&r, v, e) {
+                        return tidy_once(&substituted);
+                    }
+                }
+            }
+            // _ ← return (); r  →  r
+            if l == Prog::skip() {
+                return r;
+            }
+            Prog::bind(l, v.clone(), r)
+        }
+        Prog::BindTuple(l, vs, r) => Prog::bind_tuple(tidy_once(l), vs.clone(), tidy_once(r)),
+        Prog::Condition(c, t, e) => {
+            let t = tidy_once(t);
+            let e = tidy_once(e);
+            if let (Prog::Return(a), Prog::Return(b)) = (&t, &e) {
+                return Prog::Return(Expr::ite(c.clone(), a.clone(), b.clone()));
+            }
+            if let (Prog::Gets(a), Prog::Gets(b)) = (&t, &e) {
+                return Prog::Gets(Expr::ite(c.clone(), a.clone(), b.clone()));
+            }
+            Prog::cond(c.clone(), t, e)
+        }
+        Prog::Catch(l, v, r) => Prog::Catch(
+            Box::new(tidy_once(l)),
+            v.clone(),
+            Box::new(tidy_once(r)),
+        ),
+        Prog::While {
+            vars,
+            cond,
+            body,
+            init,
+        } => Prog::While {
+            vars: vars.clone(),
+            cond: cond.clone(),
+            body: Box::new(tidy_once(body)),
+            init: init.clone(),
+        },
+        Prog::ExecConcrete(q) => Prog::ExecConcrete(Box::new(tidy_once(q))),
+        Prog::ExecAbstract(q) => Prog::ExecAbstract(Box::new(tidy_once(q))),
+        other => other.clone(),
+    }
+}
+
+/// Drops guards that the solver proves outright (state-free, small goals
+/// only — the analogue of Isabelle discharging `4 < 32`-style obligations
+/// during translation).
+fn discharge_guards(p: &Prog, var_tys: &std::collections::HashMap<String, ir::ty::Ty>) -> Prog {
+    let rewrite = |q: &Prog| -> Option<Prog> {
+        if let Prog::Guard(_, g) = q {
+            if !g.reads_state() && g.term_size() <= 40
+                && solver::decide(g, var_tys) == solver::Verdict::Valid {
+                    return Some(Prog::skip());
+                }
+        }
+        None
+    };
+    map_prog(p, &rewrite)
+}
+
+/// Structural map over programs (post-order), applying `f` where it yields
+/// a replacement.
+fn map_prog(p: &Prog, f: &impl Fn(&Prog) -> Option<Prog>) -> Prog {
+    let rebuilt = match p {
+        Prog::Bind(l, v, r) => Prog::bind(map_prog(l, f), v.clone(), map_prog(r, f)),
+        Prog::BindTuple(l, vs, r) => {
+            Prog::bind_tuple(map_prog(l, f), vs.clone(), map_prog(r, f))
+        }
+        Prog::Catch(l, v, r) => Prog::Catch(
+            Box::new(map_prog(l, f)),
+            v.clone(),
+            Box::new(map_prog(r, f)),
+        ),
+        Prog::Condition(c, t, e) => Prog::cond(c.clone(), map_prog(t, f), map_prog(e, f)),
+        Prog::While {
+            vars,
+            cond,
+            body,
+            init,
+        } => Prog::While {
+            vars: vars.clone(),
+            cond: cond.clone(),
+            body: Box::new(map_prog(body, f)),
+            init: init.clone(),
+        },
+        Prog::ExecConcrete(q) => Prog::ExecConcrete(Box::new(map_prog(q, f))),
+        Prog::ExecAbstract(q) => Prog::ExecAbstract(Box::new(map_prog(q, f))),
+        other => other.clone(),
+    };
+    f(&rebuilt).unwrap_or(rebuilt)
+}
+
+/// Drops a guard when an identical, state-independent guard has already
+/// executed on every path to it (guards are idempotent; state-free guard
+/// expressions are only invalidated by rebinding one of their variables).
+fn dedup_guards(p: &Prog, established: &mut std::collections::BTreeSet<String>) -> Prog {
+    match p {
+        Prog::Bind(l, v, r) => {
+            // Is `l` a pure guard?
+            if let Prog::Guard(k, g) = &**l {
+                if v == "_" && !g.reads_state() {
+                    let key = format!("{g:?}");
+                    if established.contains(&key) {
+                        return dedup_guards(r, established);
+                    }
+                    established.insert(key);
+                    return Prog::bind(
+                        Prog::Guard(k.clone(), g.clone()),
+                        "_",
+                        dedup_guards(r, established),
+                    );
+                }
+            }
+            let l2 = dedup_guards(l, &mut established.clone());
+            // Rebinding v invalidates guards mentioning it.
+            established.retain(|key| !key.contains(&format!("Var(\"{v}\")")));
+            Prog::bind(l2, v.clone(), dedup_guards(r, established))
+        }
+        Prog::BindTuple(l, vs, r) => {
+            let l2 = dedup_guards(l, &mut established.clone());
+            for v in vs {
+                established.retain(|key| !key.contains(&format!("Var(\"{v}\")")));
+            }
+            Prog::bind_tuple(l2, vs.clone(), dedup_guards(r, established))
+        }
+        Prog::Condition(c, t, e) => Prog::cond(
+            c.clone(),
+            dedup_guards(t, &mut established.clone()),
+            dedup_guards(e, &mut established.clone()),
+        ),
+        Prog::Catch(l, v, r) => Prog::Catch(
+            Box::new(dedup_guards(l, &mut established.clone())),
+            v.clone(),
+            Box::new(dedup_guards(r, &mut std::collections::BTreeSet::new())),
+        ),
+        Prog::While {
+            vars,
+            cond,
+            body,
+            init,
+        } => Prog::While {
+            vars: vars.clone(),
+            cond: cond.clone(),
+            body: Box::new(dedup_guards(body, &mut std::collections::BTreeSet::new())),
+            init: init.clone(),
+        },
+        other => other.clone(),
+    }
+}
+
+/// Capture-avoiding substitution of the *free* occurrences of variable `v`
+/// by expression `e`. Returns `None` when a binder would capture a free
+/// variable of `e` (the rewrite is then skipped).
+fn subst_free(p: &Prog, v: &str, e: &Expr) -> Option<Prog> {
+    let efv = e.free_vars();
+    fn go(p: &Prog, v: &str, e: &Expr, efv: &std::collections::BTreeSet<String>) -> Option<Prog> {
+        let subst_expr = |x: &Expr| x.subst_var(v, e);
+        Some(match p {
+            Prog::Return(a) => Prog::Return(subst_expr(a)),
+            Prog::Gets(a) => Prog::Gets(subst_expr(a)),
+            Prog::Throw(a) => Prog::Throw(subst_expr(a)),
+            Prog::Guard(k, a) => Prog::Guard(k.clone(), subst_expr(a)),
+            Prog::Modify(u) => Prog::Modify(u.map_exprs(&subst_expr)),
+            Prog::Fail => Prog::Fail,
+            Prog::Bind(l, u, r) => {
+                let l2 = go(l, v, e, efv)?;
+                let r2 = if u == v {
+                    (**r).clone() // v shadowed: stop
+                } else if efv.contains(u) {
+                    return None; // capture
+                } else {
+                    go(r, v, e, efv)?
+                };
+                Prog::bind(l2, u.clone(), r2)
+            }
+            Prog::BindTuple(l, us, r) => {
+                let l2 = go(l, v, e, efv)?;
+                let r2 = if us.iter().any(|u| u == v) {
+                    (**r).clone()
+                } else if us.iter().any(|u| efv.contains(u)) {
+                    return None;
+                } else {
+                    go(r, v, e, efv)?
+                };
+                Prog::bind_tuple(l2, us.clone(), r2)
+            }
+            Prog::Catch(l, u, r) => {
+                let l2 = go(l, v, e, efv)?;
+                let r2 = if u == v {
+                    (**r).clone()
+                } else if efv.contains(u) {
+                    return None;
+                } else {
+                    go(r, v, e, efv)?
+                };
+                Prog::Catch(Box::new(l2), u.clone(), Box::new(r2))
+            }
+            Prog::Condition(c, t, f2) => Prog::cond(
+                subst_expr(c),
+                go(t, v, e, efv)?,
+                go(f2, v, e, efv)?,
+            ),
+            Prog::While {
+                vars,
+                cond,
+                body,
+                init,
+            } => {
+                let init2: Vec<Expr> = init.iter().map(subst_expr).collect();
+                let (cond2, body2) = if vars.iter().any(|u| u == v) {
+                    (cond.clone(), (**body).clone()) // shadowed inside
+                } else if vars.iter().any(|u| efv.contains(u)) {
+                    return None;
+                } else {
+                    (subst_expr(cond), go(body, v, e, efv)?)
+                };
+                Prog::While {
+                    vars: vars.clone(),
+                    cond: cond2,
+                    body: Box::new(body2),
+                    init: init2,
+                }
+            }
+            Prog::Call { fname, args } => Prog::Call {
+                fname: fname.clone(),
+                args: args.iter().map(subst_expr).collect(),
+            },
+            Prog::ExecConcrete(q) => Prog::ExecConcrete(Box::new(go(q, v, e, efv)?)),
+            Prog::ExecAbstract(q) => Prog::ExecAbstract(Box::new(go(q, v, e, efv)?)),
+        })
+    }
+    go(p, v, e, &efv)
+}
+
+/// Does the program rebind `name` anywhere (so substitution would capture)?
+#[allow(dead_code)]
+fn binds_name(p: &Prog, name: &str) -> bool {
+    match p {
+        Prog::Bind(l, v, r) | Prog::Catch(l, v, r) => {
+            v == name || binds_name(l, name) || binds_name(r, name)
+        }
+        Prog::BindTuple(l, vs, r) => {
+            vs.iter().any(|v| v == name) || binds_name(l, name) || binds_name(r, name)
+        }
+        Prog::Condition(_, t, e) => binds_name(t, name) || binds_name(e, name),
+        Prog::While { vars, body, .. } => {
+            vars.iter().any(|v| v == name) || binds_name(body, name)
+        }
+        Prog::ExecConcrete(q) | Prog::ExecAbstract(q) => binds_name(q, name),
+        _ => false,
+    }
+}

@@ -1,0 +1,416 @@
+//! The pipeline driver: C source → abstracted specification + theorems.
+//!
+//! Runs the phases of the paper's Fig 1 in order and collects the
+//! per-function theorem of each verified arrow. The output exposes every
+//! intermediate level (Simpl, L1, L2, HL, WA) so users can reason at
+//! whichever level suits them — and so the Table 5 metrics can compare the
+//! parser output against the final output.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use ir::metrics::SpecMetrics;
+use kernel::{CheckCtx, Thm};
+use monadic::ProgramCtx;
+use simpl::SimplProgram;
+
+/// Driver options (per-function selections, Sec 3.2 / 4.6).
+#[derive(Clone, Default)]
+pub struct Options {
+    /// Functions to keep at the byte-heap level (callable via
+    /// `exec_concrete`).
+    pub concrete_fns: BTreeSet<String>,
+    /// Functions to word-abstract (`None` = all heap-abstracted functions).
+    pub word_abstract_fns: Option<BTreeSet<String>>,
+    /// Additional word-abstraction idiom rules (Sec 3.3).
+    pub custom_word_rules: Vec<wordabs::CustomRule>,
+    /// Differential-test budget for the L2 theorems.
+    pub l2_trials: u32,
+    /// RNG seed for the testing-validated rules.
+    pub seed: u64,
+}
+
+impl fmt::Debug for Options {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Options")
+            .field("concrete_fns", &self.concrete_fns)
+            .field("word_abstract_fns", &self.word_abstract_fns)
+            .field("custom_word_rules", &self.custom_word_rules.len())
+            .field("l2_trials", &self.l2_trials)
+            .field("seed", &self.seed)
+            .finish()
+    }
+}
+
+/// Per-function theorems for every verified phase.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseTheorems {
+    /// `l1corres` theorems (monadic ↦ Simpl).
+    pub l1: Vec<(String, Thm)>,
+    /// L2 `refines` theorems.
+    pub l2: Vec<(String, Thm)>,
+    /// `abs_h_stmt` theorems (absent for concrete-kept functions).
+    pub hl: Vec<(String, Thm)>,
+    /// `abs_w_stmt` theorems (absent for non-selected functions).
+    pub wa: Vec<(String, Thm)>,
+}
+
+/// The full pipeline output.
+#[derive(Clone, Debug)]
+pub struct Output {
+    /// The typed C program.
+    pub typed: cparser::TProgram,
+    /// The parser output (Simpl).
+    pub simpl: SimplProgram,
+    /// L1: monadic with state-stored locals.
+    pub l1: ProgramCtx,
+    /// L2: lambda-bound locals, structured control flow.
+    pub l2: ProgramCtx,
+    /// HL: typed split heaps.
+    pub hl: ProgramCtx,
+    /// WA: ideal arithmetic — the final AutoCorres output.
+    pub wa: ProgramCtx,
+    /// Theorems per phase.
+    pub thms: PhaseTheorems,
+    /// The kernel context (with the abstracted-function signature table),
+    /// for replaying the theorems through the checker.
+    pub check_ctx: CheckCtx,
+}
+
+impl Output {
+    /// Table 5 metrics of the parser output (sum over functions).
+    #[must_use]
+    pub fn parser_metrics(&self) -> SpecMetrics {
+        SpecMetrics::combine(self.simpl.fns.values().map(simpl::SimplFn::metrics))
+    }
+
+    /// Table 5 metrics of the final AutoCorres output.
+    #[must_use]
+    pub fn output_metrics(&self) -> SpecMetrics {
+        SpecMetrics::combine(self.wa.fns.values().map(monadic::MonadicFn::metrics))
+    }
+
+    /// Replays every produced theorem through the independent checker.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing rule application.
+    pub fn check_all(&self) -> Result<(), kernel::KernelError> {
+        for (_, t) in self
+            .thms
+            .l1
+            .iter()
+            .chain(&self.thms.l2)
+            .chain(&self.thms.hl)
+            .chain(&self.thms.wa)
+        {
+            kernel::check(t, &self.check_ctx)?;
+        }
+        Ok(())
+    }
+
+    /// Total number of kernel rule applications across all theorems.
+    #[must_use]
+    pub fn total_proof_size(&self) -> usize {
+        self.thms
+            .l1
+            .iter()
+            .chain(&self.thms.l2)
+            .chain(&self.thms.hl)
+            .chain(&self.thms.wa)
+            .map(|(_, t)| t.proof_size())
+            .sum()
+    }
+}
+
+/// A pipeline error, tagged with the failing phase.
+#[derive(Clone, Debug)]
+pub enum PipelineError {
+    /// C frontend (lex/parse/typecheck).
+    Frontend(String),
+    /// C-to-Simpl translation.
+    Simpl(String),
+    /// L1 phase.
+    L1(String),
+    /// L2 phase.
+    L2(String),
+    /// Heap abstraction.
+    Hl(String),
+    /// Word abstraction.
+    Wa(String),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Frontend(m) => write!(f, "frontend: {m}"),
+            PipelineError::Simpl(m) => write!(f, "simpl: {m}"),
+            PipelineError::L1(m) => write!(f, "L1: {m}"),
+            PipelineError::L2(m) => write!(f, "L2: {m}"),
+            PipelineError::Hl(m) => write!(f, "HL: {m}"),
+            PipelineError::Wa(m) => write!(f, "WA: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Translates C source text through the full pipeline.
+///
+/// # Errors
+///
+/// Returns a [`PipelineError`] tagged with the failing phase.
+pub fn translate(src: &str, opts: &Options) -> Result<Output, PipelineError> {
+    let typed = cparser::parse_and_check(src)
+        .map_err(|e| PipelineError::Frontend(e.to_string()))?;
+    translate_program(&typed, opts)
+}
+
+/// Translates an already-typechecked program through the full pipeline.
+///
+/// # Errors
+///
+/// As for [`translate`].
+pub fn translate_program(
+    typed: &cparser::TProgram,
+    opts: &Options,
+) -> Result<Output, PipelineError> {
+    let sp = simpl::translate_program(typed).map_err(|e| PipelineError::Simpl(e.to_string()))?;
+    let cx = CheckCtx {
+        tenv: sp.tenv.clone(),
+        ..CheckCtx::default()
+    };
+    let (l1ctx, l1_thms) =
+        crate::l1::l1_program(&cx, &sp).map_err(|e| PipelineError::L1(e.to_string()))?;
+    let trials = if opts.l2_trials == 0 { 80 } else { opts.l2_trials };
+    let (l2ctx, l2_thms) = crate::l2::l2_program(&cx, typed, &l1ctx, trials, opts.seed)
+        .map_err(|e| PipelineError::L2(e.to_string()))?;
+    let hl_opts = heapabs::HlOptions {
+        concrete_fns: opts.concrete_fns.clone(),
+    };
+    let (hlctx, hl_thms) = heapabs::hl_program(&cx, &l2ctx, &hl_opts)
+        .map_err(|e| PipelineError::Hl(e.to_string()))?;
+    let wa_opts = wordabs::WaOptions {
+        abstract_fns: match &opts.word_abstract_fns {
+            Some(s) => Some(s.clone()),
+            // Never word-abstract concrete-kept functions by default.
+            None if opts.concrete_fns.is_empty() => None,
+            None => Some(
+                hlctx
+                    .fns
+                    .keys()
+                    .filter(|n| !opts.concrete_fns.contains(*n))
+                    .cloned()
+                    .collect(),
+            ),
+        },
+        custom_rules: opts.custom_word_rules.clone(),
+        custom_trials: 1000,
+    };
+    let (mut wactx, mut wa_thms, check_ctx) = wordabs::wa_program(&cx, &hlctx, &wa_opts)
+        .map_err(|e| PipelineError::Wa(e.to_string()))?;
+    // Concrete-kept functions calling word-abstracted callees need their
+    // call sites adapted to the abstract calling convention (the value
+    // side of Sec 4.6's `exec_abstract`); each adaptation carries an
+    // exec-tested refines theorem against the pre-adaptation body.
+    adapt_concrete_callers(
+        &check_ctx,
+        &hlctx,
+        &mut wactx,
+        &mut wa_thms,
+        opts.seed,
+    )
+    .map_err(PipelineError::Wa)?;
+    Ok(Output {
+        typed: typed.clone(),
+        simpl: sp,
+        l1: l1ctx,
+        l2: l2ctx,
+        hl: hlctx,
+        wa: wactx,
+        thms: PhaseTheorems {
+            l1: l1_thms,
+            l2: l2_thms,
+            hl: hl_thms,
+            wa: wa_thms,
+        },
+        check_ctx,
+    })
+}
+
+/// Rewrites calls from non-abstracted functions to word-abstracted callees:
+/// arguments are lifted with `unat`/`sint`, results re-concretised with
+/// `of_nat`/`of_int`. Each rewritten function gets an `ExecTested` refines
+/// theorem (rewritten body vs. pre-WA body, differentially).
+fn adapt_concrete_callers(
+    cx: &CheckCtx,
+    hlctx: &ProgramCtx,
+    wactx: &mut ProgramCtx,
+    wa_thms: &mut Vec<(String, Thm)>,
+    seed: u64,
+) -> Result<(), String> {
+    use ir::expr::{CastKind, Expr};
+    use ir::ty::{Signedness, Ty};
+    use monadic::Prog;
+
+    let abstracted: std::collections::BTreeSet<String> =
+        cx.fn_abs.keys().cloned().collect();
+    if abstracted.is_empty() {
+        return Ok(());
+    }
+    let lift_arg = |a: &Expr, conc_ty: &Ty| -> Expr {
+        match conc_ty {
+            Ty::Word(_, Signedness::Unsigned) => Expr::cast(CastKind::Unat, a.clone()),
+            Ty::Word(_, Signedness::Signed) => Expr::cast(CastKind::Sint, a.clone()),
+            _ => a.clone(),
+        }
+    };
+    let rewrite_calls = |p: &Prog, hl_f: &dyn Fn(&str) -> Option<monadic::MonadicFn>| -> Prog {
+        fn go(
+            p: &Prog,
+            abstracted: &std::collections::BTreeSet<String>,
+            hl_f: &dyn Fn(&str) -> Option<monadic::MonadicFn>,
+            lift_arg: &dyn Fn(&Expr, &Ty) -> Expr,
+        ) -> Prog {
+            match p {
+                Prog::Call { fname, args } if abstracted.contains(fname) => {
+                    let Some(callee) = hl_f(fname) else {
+                        return p.clone();
+                    };
+                    let new_args: Vec<Expr> = args
+                        .iter()
+                        .zip(&callee.params)
+                        .map(|(a, (_, t))| lift_arg(a, t))
+                        .collect();
+                    let call = Prog::Call {
+                        fname: fname.clone(),
+                        args: new_args,
+                    };
+                    match &callee.ret_ty {
+                        Ty::Word(w, s @ Signedness::Unsigned) => Prog::bind(
+                            call,
+                            "·r",
+                            Prog::ret(Expr::cast(CastKind::OfNat(*w, *s), Expr::var("·r"))),
+                        ),
+                        Ty::Word(w, s @ Signedness::Signed) => Prog::bind(
+                            call,
+                            "·r",
+                            Prog::ret(Expr::cast(CastKind::OfInt(*w, *s), Expr::var("·r"))),
+                        ),
+                        _ => call,
+                    }
+                }
+                Prog::Bind(l, v, r) => Prog::bind(
+                    go(l, abstracted, hl_f, lift_arg),
+                    v.clone(),
+                    go(r, abstracted, hl_f, lift_arg),
+                ),
+                Prog::BindTuple(l, vs, r) => Prog::bind_tuple(
+                    go(l, abstracted, hl_f, lift_arg),
+                    vs.clone(),
+                    go(r, abstracted, hl_f, lift_arg),
+                ),
+                Prog::Catch(l, v, r) => Prog::Catch(
+                    Box::new(go(l, abstracted, hl_f, lift_arg)),
+                    v.clone(),
+                    Box::new(go(r, abstracted, hl_f, lift_arg)),
+                ),
+                Prog::Condition(c, t, e) => Prog::cond(
+                    c.clone(),
+                    go(t, abstracted, hl_f, lift_arg),
+                    go(e, abstracted, hl_f, lift_arg),
+                ),
+                Prog::While {
+                    vars,
+                    cond,
+                    body,
+                    init,
+                } => Prog::While {
+                    vars: vars.clone(),
+                    cond: cond.clone(),
+                    body: Box::new(go(body, abstracted, hl_f, lift_arg)),
+                    init: init.clone(),
+                },
+                Prog::ExecConcrete(q) => {
+                    Prog::ExecConcrete(Box::new(go(q, abstracted, hl_f, lift_arg)))
+                }
+                Prog::ExecAbstract(q) => {
+                    Prog::ExecAbstract(Box::new(go(q, abstracted, hl_f, lift_arg)))
+                }
+                other => other.clone(),
+            }
+        }
+        go(p, &abstracted, hl_f, &lift_arg)
+    };
+
+    let names: Vec<String> = wactx
+        .fns
+        .keys()
+        .filter(|n| !abstracted.contains(*n))
+        .cloned()
+        .collect();
+    for name in names {
+        let old = wactx.fns[&name].clone();
+        let new_body = rewrite_calls(&old.body, &|f| hlctx.fns.get(f).cloned());
+        if new_body == old.body {
+            continue;
+        }
+        let mut updated = old.clone();
+        updated.body = new_body.clone();
+        wactx.fns.insert(name.clone(), updated);
+        // Differential evidence: the adapted function (in the final ctx)
+        // behaves like the pre-WA function (in the HL ctx).
+        let wactx_snapshot = wactx.clone();
+        let heap_types = crate::testing::heap_types_of(&hlctx.tenv, hlctx);
+        let thm = kernel::rules::refine::exec_tested(
+            cx,
+            &new_body,
+            &old.body,
+            60,
+            seed,
+            || {
+                test_adapted_fn(&wactx_snapshot, hlctx, &name, &heap_types, 60, seed)
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        wa_thms.push((name, thm));
+    }
+    Ok(())
+}
+
+/// Differential test for an adapted concrete caller: final-level run vs
+/// HL-level run on identical concrete states and arguments.
+fn test_adapted_fn(
+    wactx: &ProgramCtx,
+    hlctx: &ProgramCtx,
+    fname: &str,
+    heap_types: &[ir::ty::Ty],
+    trials: u32,
+    seed: u64,
+) -> Result<(), String> {
+    use ir::state::State;
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+    let f = &hlctx.fns[fname];
+    for i in 0..trials {
+        let conc = crate::testing::gen_state(&mut rng, &hlctx.tenv, heap_types, 4);
+        let args: Vec<ir::value::Value> = f
+            .params
+            .iter()
+            .map(|(_, t)| crate::testing::random_arg(&mut rng, t, heap_types, 4))
+            .collect();
+        let st = State::Conc(conc);
+        let new_run = monadic::exec_fn(wactx, fname, &args, st.clone(), 200_000);
+        let old_run = monadic::exec_fn(hlctx, fname, &args, st, 200_000);
+        match (new_run, old_run) {
+            (Ok((v1, s1)), Ok((v2, s2))) => {
+                if v1 != v2 || s1 != s2 {
+                    return Err(format!("trial {i}: adapted caller diverges"));
+                }
+            }
+            (Err(monadic::MonadFault::Failure(_)), _) => continue,
+            (_, Err(monadic::MonadFault::Failure(_))) => continue,
+            (a, b) => return Err(format!("trial {i}: outcomes diverge: {a:?} vs {b:?}")),
+        }
+    }
+    Ok(())
+}

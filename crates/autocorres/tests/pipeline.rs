@@ -1,0 +1,150 @@
+//! End-to-end pipeline tests: every phase output, every theorem replayed,
+//! and the Table 5 metric directions (output smaller than parser output).
+
+use autocorres::{translate, Options};
+
+#[test]
+fn fig2_pipeline_end_to_end() {
+    let out = translate(
+        "int max(int a, int b) { if (a < b) return b; return a; }",
+        &Options::default(),
+    )
+    .unwrap();
+
+    // Parser output is the verbose Fig 2 Simpl.
+    let simpl_text = out.simpl.function("max").unwrap().to_string();
+    assert!(simpl_text.contains("TRY"));
+    assert!(simpl_text.contains("global_exn_var"));
+    assert!(simpl_text.contains("GUARD DontReach"));
+
+    // Final output is the paper's max' (on ideal integers).
+    let max = out.wa.function("max").unwrap();
+    assert_eq!(max.body.to_string(), "return (if a < b then b else a)");
+    assert_eq!(max.ret_ty, ir::ty::Ty::Int);
+
+    // One theorem per function per phase.
+    assert_eq!(out.thms.l1.len(), 1);
+    assert_eq!(out.thms.l2.len(), 1);
+    assert_eq!(out.thms.hl.len(), 1);
+    assert_eq!(out.thms.wa.len(), 1);
+    out.check_all().unwrap();
+    assert!(out.total_proof_size() > 20);
+
+    // Table 5 direction: the abstraction shrinks the specification.
+    let pm = out.parser_metrics();
+    let om = out.output_metrics();
+    assert!(om.lines < pm.lines, "{om:?} vs {pm:?}");
+    assert!(om.term_size < pm.term_size, "{om:?} vs {pm:?}");
+}
+
+#[test]
+fn multi_function_program() {
+    let out = translate(
+        "struct node { struct node *next; unsigned data; };\n\
+         unsigned len(struct node *p) {\n\
+           unsigned n = 0;\n\
+           while (p != NULL) { n = n + 1u; p = p->next; }\n\
+           return n;\n\
+         }\n\
+         unsigned total(struct node *p) {\n\
+           unsigned s = 0;\n\
+           while (p != NULL) { s = s + p->data; p = p->next; }\n\
+           return s;\n\
+         }\n\
+         unsigned avg(struct node *p) {\n\
+           unsigned n = len(p);\n\
+           if (n == 0u) return 0u;\n\
+           return total(p) / n;\n\
+         }",
+        &Options::default(),
+    )
+    .unwrap();
+    out.check_all().unwrap();
+    let avg = out.wa.function("avg").unwrap().to_string();
+    assert!(avg.contains("len'"), "{avg}");
+    assert!(avg.contains("total'"), "{avg}");
+    assert!(avg.contains("div"), "{avg}");
+}
+
+#[test]
+fn run_final_output_semantically() {
+    // The WA-level `len` really counts list nodes over the abstract heap.
+    let out = translate(
+        "struct node { struct node *next; unsigned data; };\n\
+         unsigned len(struct node *p) {\n\
+           unsigned n = 0;\n\
+           while (p != NULL) { n = n + 1u; p = p->next; }\n\
+           return n;\n\
+         }",
+        &Options::default(),
+    )
+    .unwrap();
+    let node_ty = ir::ty::Ty::Struct("node".into());
+    let mut conc = ir::state::ConcState::default();
+    let mk = |next: u64| {
+        ir::value::Value::Struct(
+            "node".into(),
+            vec![
+                (
+                    "next".into(),
+                    ir::value::Value::Ptr(ir::value::Ptr::new(next, node_ty.clone())),
+                ),
+                ("data".into(), ir::value::Value::u32(0)),
+            ],
+        )
+    };
+    conc.mem.alloc(0x100, &mk(0x200), &out.wa.tenv).unwrap();
+    conc.mem.alloc(0x200, &mk(0x300), &out.wa.tenv).unwrap();
+    conc.mem.alloc(0x300, &mk(0), &out.wa.tenv).unwrap();
+    let abs = heapmodel::lift_state(&conc, &out.wa.tenv, std::slice::from_ref(&node_ty));
+    let head = ir::value::Value::Ptr(ir::value::Ptr::new(0x100, node_ty));
+    let (r, _) = monadic::exec_fn(
+        &out.wa,
+        "len",
+        &[head],
+        ir::state::State::Abs(abs),
+        100_000,
+    )
+    .unwrap();
+    assert_eq!(
+        r,
+        monadic::MonadResult::Normal(ir::value::Value::nat(3u64)),
+        "ideal natural count"
+    );
+}
+
+#[test]
+fn phase_outputs_all_available() {
+    let out = translate(
+        "unsigned mid(unsigned l, unsigned r) { return (l + r) / 2u; }",
+        &Options::default(),
+    )
+    .unwrap();
+    // All five levels have the function.
+    assert!(out.simpl.function("mid").is_some());
+    assert!(out.l1.function("mid").is_some());
+    assert!(out.l2.function("mid").is_some());
+    assert!(out.hl.function("mid").is_some());
+    assert!(out.wa.function("mid").is_some());
+    // L1 keeps locals in state, L2+ do not.
+    assert!(out.l1.function("mid").unwrap().frame.is_some());
+    assert!(out.l2.function("mid").unwrap().frame.is_none());
+}
+
+#[test]
+fn concrete_fn_selection_flows_through() {
+    let out = translate(
+        "void poke(unsigned *p) { *p = 7u; }\n\
+         void caller(unsigned *p) { poke(p); }",
+        &Options {
+            concrete_fns: ["poke".to_owned()].into(),
+            ..Options::default()
+        },
+    )
+    .unwrap();
+    let caller = out.wa.function("caller").unwrap().to_string();
+    assert!(caller.contains("exec_concrete"), "{caller}");
+    // poke stays at the word/byte level.
+    assert_eq!(out.wa.function("poke").unwrap().body, out.l2.function("poke").unwrap().body);
+    out.check_all().unwrap();
+}

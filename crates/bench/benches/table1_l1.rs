@@ -1,0 +1,75 @@
+//! Table 1: the Simpl-construct ↔ monadic-function correspondence, printed
+//! from the kernel's actual L1 rules, plus the cost of the L1 phase on the
+//! case-study sources.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kernel::rules::refine;
+use kernel::{CheckCtx, Judgment};
+use simpl::stmt::SimplStmt;
+
+fn print_table() {
+    println!("Table 1 — Simpl commands and their monadic counterparts (from the L1 rules)");
+    println!("{:-<70}", "");
+    let cx = CheckCtx::default();
+    let rows: Vec<(&str, SimplStmt)> = vec![
+        ("Skip", SimplStmt::Skip),
+        (
+            "Basic m",
+            SimplStmt::Basic(ir::update::Update::Local("x".into(), ir::Expr::u32(1))),
+        ),
+        ("Throw", SimplStmt::Throw),
+        (
+            "Cond c L R",
+            SimplStmt::Cond(
+                ir::Expr::var("c"),
+                Box::new(SimplStmt::Skip),
+                Box::new(SimplStmt::Throw),
+            ),
+        ),
+        (
+            "Guard t g B",
+            SimplStmt::Guard(
+                ir::GuardKind::DivByZero,
+                ir::Expr::var("g"),
+                Box::new(SimplStmt::Skip),
+            ),
+        ),
+    ];
+    for (name, stmt) in rows {
+        let subs: Vec<kernel::Thm> = match &stmt {
+            SimplStmt::Cond(..) => vec![
+                refine::l1(&cx, &SimplStmt::Skip, vec![]).unwrap(),
+                refine::l1(&cx, &SimplStmt::Throw, vec![]).unwrap(),
+            ],
+            SimplStmt::Guard(..) => vec![refine::l1(&cx, &SimplStmt::Skip, vec![]).unwrap()],
+            _ => vec![],
+        };
+        let thm = refine::l1(&cx, &stmt, subs).unwrap();
+        let Judgment::L1 { prog, .. } = thm.judgment() else {
+            unreachable!()
+        };
+        let rendered = prog.to_string().replace('\n', " ");
+        println!("{name:<14} ↦  {rendered}");
+    }
+    println!("{:-<70}", "");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let typed = cparser::parse_and_check(casestudies::sources::SCHORR_WAITE).unwrap();
+    let sp = simpl::translate_program(&typed).unwrap();
+    let cx = CheckCtx {
+        tenv: sp.tenv.clone(),
+        ..CheckCtx::default()
+    };
+    c.bench_function("table1/l1_phase_schorr_waite", |b| {
+        b.iter(|| std::hint::black_box(autocorres::l1::l1_program(&cx, &sp).unwrap()));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

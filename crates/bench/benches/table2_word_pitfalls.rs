@@ -1,0 +1,177 @@
+//! Table 2: incorrect mathematical reasoning in C.
+//!
+//! For each of the paper's five "obvious" identities, the bit-blaster finds
+//! the counterexample mechanically at the word level, while the
+//! corresponding ideal (`nat`/`int` + guards) statement is proved valid by
+//! linear arithmetic. Criterion then measures the *cost* of the two worlds:
+//! deciding at the word level (SAT) versus at the ideal level (linarith).
+
+use std::collections::HashMap;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ir::expr::{BinOp, Expr, UnOp};
+use ir::ty::Ty;
+use solver::{decide, Verdict};
+
+struct Row {
+    name: &'static str,
+    /// The invalid word-level claim.
+    word_claim: Expr,
+    word_vars: HashMap<String, Ty>,
+    /// The valid ideal-level counterpart (with guards where needed).
+    ideal_claim: Expr,
+    ideal_vars: HashMap<String, Ty>,
+}
+
+fn vars(pairs: &[(&str, Ty)]) -> HashMap<String, Ty> {
+    pairs
+        .iter()
+        .map(|(n, t)| ((*n).to_owned(), t.clone()))
+        .collect()
+}
+
+fn rows() -> Vec<Row> {
+    let s = || Expr::var("s");
+    let u = || Expr::var("u");
+    vec![
+        // s = s + 1 - 1 is undefined at s = INT_MAX. The observable
+        // hardware consequence of that UB (Sec 3.1's gcc example): the
+        // "obvious" s + 1 > s is false at the word level.
+        Row {
+            name: "s = s + 1 - 1",
+            word_claim: Expr::binop(
+                BinOp::Lt,
+                s(),
+                Expr::binop(BinOp::Add, s(), Expr::i32(1)),
+            ),
+            word_vars: vars(&[("s", Ty::I32)]),
+            ideal_claim: Expr::eq(
+                Expr::binop(
+                    BinOp::Sub,
+                    Expr::binop(BinOp::Add, s(), Expr::int(1)),
+                    Expr::int(1),
+                ),
+                s(),
+            ),
+            ideal_vars: vars(&[("s", Ty::Int)]),
+        },
+        // u + 1 > u (fails at u = 2^32 - 1; valid on nat)
+        Row {
+            name: "u + 1 > u",
+            word_claim: Expr::binop(
+                BinOp::Lt,
+                u(),
+                Expr::binop(BinOp::Add, u(), Expr::u32(1)),
+            ),
+            word_vars: vars(&[("u", Ty::U32)]),
+            ideal_claim: Expr::binop(
+                BinOp::Lt,
+                u(),
+                Expr::binop(BinOp::Add, u(), Expr::nat(1u64)),
+            ),
+            ideal_vars: vars(&[("u", Ty::Nat)]),
+        },
+        // u * 2 = 4 → u = 2 (fails at u = 2^31 + 2; valid on nat)
+        Row {
+            name: "u * 2 = 4 → u = 2",
+            word_claim: Expr::implies(
+                Expr::eq(Expr::binop(BinOp::Mul, u(), Expr::u32(2)), Expr::u32(4)),
+                Expr::eq(u(), Expr::u32(2)),
+            ),
+            word_vars: vars(&[("u", Ty::U32)]),
+            ideal_claim: Expr::implies(
+                Expr::eq(
+                    Expr::binop(BinOp::Mul, u(), Expr::nat(2u64)),
+                    Expr::nat(4u64),
+                ),
+                Expr::eq(u(), Expr::nat(2u64)),
+            ),
+            ideal_vars: vars(&[("u", Ty::Nat)]),
+        },
+        // -u = u → u = 0 (fails at u = 2^31; valid on nat/int)
+        Row {
+            name: "-u = u → u = 0",
+            word_claim: Expr::implies(
+                Expr::eq(Expr::unop(UnOp::Neg, u()), u()),
+                Expr::eq(u(), Expr::u32(0)),
+            ),
+            word_vars: vars(&[("u", Ty::U32)]),
+            ideal_claim: Expr::implies(
+                Expr::eq(Expr::unop(UnOp::Neg, Expr::var("i")), Expr::var("i")),
+                Expr::eq(Expr::var("i"), Expr::int(0)),
+            ),
+            ideal_vars: vars(&[("i", Ty::Int)]),
+        },
+        // -(-s) = s is undefined at s = INT_MIN. Observable consequence:
+        // "negating a negative yields a positive" fails at INT_MIN.
+        Row {
+            name: "-(-s) = s",
+            word_claim: Expr::implies(
+                Expr::binop(BinOp::Lt, s(), Expr::i32(0)),
+                Expr::binop(BinOp::Lt, Expr::i32(0), Expr::unop(UnOp::Neg, s())),
+            ),
+            word_vars: vars(&[("s", Ty::I32)]),
+            ideal_claim: Expr::eq(
+                Expr::unop(UnOp::Neg, Expr::unop(UnOp::Neg, s())),
+                s(),
+            ),
+            ideal_vars: vars(&[("s", Ty::Int)]),
+        },
+    ]
+}
+
+fn print_table() {
+    println!("Table 2 — incorrect mathematical reasoning in C (32-bit words)");
+    println!("{:-<78}", "");
+    println!(
+        "{:<22} {:<32} {:<18}",
+        "Equation", "word-level verdict", "ideal-level verdict"
+    );
+    for row in rows() {
+        let wv = decide(&row.word_claim, &row.word_vars);
+        let iv = decide(&row.ideal_claim, &row.ideal_vars);
+        let wtext = match &wv {
+            Verdict::Counterexample(m) => {
+                let mut parts: Vec<String> =
+                    m.iter().map(|(k, v)| format!("{k} = {v}")).collect();
+                parts.sort();
+                format!("counterexample: {}", parts.join(", "))
+            }
+            other => format!("{other:?}"),
+        };
+        println!("{:<22} {:<32} {:<18?}", row.name, wtext, iv);
+        assert!(
+            matches!(wv, Verdict::Counterexample(_)),
+            "{}: word level must be refutable",
+            row.name
+        );
+        assert_eq!(iv, Verdict::Valid, "{}: ideal level must hold", row.name);
+    }
+    println!("{:-<78}", "");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let rs = rows();
+    c.bench_function("table2/word_level_refutation", |b| {
+        b.iter(|| {
+            for r in &rs {
+                std::hint::black_box(decide(&r.word_claim, &r.word_vars));
+            }
+        });
+    });
+    c.bench_function("table2/ideal_level_proof", |b| {
+        b.iter(|| {
+            for r in &rs {
+                std::hint::black_box(decide(&r.ideal_claim, &r.ideal_vars));
+            }
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Benchmark harnesses regenerating every table and figure of the paper.
+//!
+//! Each bench target prints its table/figure data once at startup (the
+//! reproduction artefact) and then lets Criterion measure the operation the
+//! table's CPU-time columns report. See `EXPERIMENTS.md` at the workspace
+//! root for the paper-vs-measured record.
+
+use std::time::Instant;
+
+/// Times a closure once, returning (result, seconds).
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64())
+}

@@ -1,0 +1,430 @@
+//! Arbitrary-precision signed integers.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, Div, Mul, Neg, Rem, Sub};
+use std::str::FromStr;
+
+use crate::{Nat, ParseBigNumError, Sign};
+
+/// An arbitrary-precision signed integer (the stand-in for HOL's `int`).
+///
+/// Represented as a sign and a magnitude; zero is always `Plus` so
+/// representations are unique and `Eq`/`Hash` are structural.
+///
+/// Division truncates toward zero with `rem` matching (C semantics, which is
+/// what guarded C division abstracts to: the guards rule out the cases where
+/// C and HOL `div` differ in sign handling never arise for in-range values).
+/// Division by zero yields zero, keeping the evaluators total.
+///
+/// # Examples
+///
+/// ```
+/// use bignum::Int;
+///
+/// let a = Int::from(-17i64);
+/// let b = Int::from(5i64);
+/// assert_eq!(&a / &b, Int::from(-3i64));
+/// assert_eq!(&a % &b, Int::from(-2i64));
+/// assert_eq!(&(&(&a / &b) * &b) + &(&a % &b), a);
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct Int {
+    sign: Sign,
+    mag: Nat,
+}
+
+impl Int {
+    /// The integer 0.
+    #[must_use]
+    pub fn zero() -> Int {
+        Int {
+            sign: Sign::Plus,
+            mag: Nat::zero(),
+        }
+    }
+
+    /// The integer 1.
+    #[must_use]
+    pub fn one() -> Int {
+        Int {
+            sign: Sign::Plus,
+            mag: Nat::one(),
+        }
+    }
+
+    /// Builds an integer from a sign and magnitude (zero is normalised to `Plus`).
+    #[must_use]
+    pub fn from_sign_mag(sign: Sign, mag: Nat) -> Int {
+        if mag.is_zero() {
+            Int::zero()
+        } else {
+            Int { sign, mag }
+        }
+    }
+
+    /// Builds a non-negative integer from a natural number.
+    #[must_use]
+    pub fn from_nat(n: Nat) -> Int {
+        Int::from_sign_mag(Sign::Plus, n)
+    }
+
+    /// Returns `true` if this is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.mag.is_zero()
+    }
+
+    /// Returns `true` if strictly negative.
+    #[must_use]
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Minus
+    }
+
+    /// The sign (`Plus` for zero).
+    #[must_use]
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// The magnitude `|self|` as a natural number.
+    #[must_use]
+    pub fn magnitude(&self) -> &Nat {
+        &self.mag
+    }
+
+    /// Absolute value.
+    #[must_use]
+    pub fn abs(&self) -> Int {
+        Int::from_sign_mag(Sign::Plus, self.mag.clone())
+    }
+
+    /// HOL's `nat` coercion: negative integers map to 0.
+    #[must_use]
+    pub fn to_nat(&self) -> Nat {
+        if self.is_negative() {
+            Nat::zero()
+        } else {
+            self.mag.clone()
+        }
+    }
+
+    /// Converts to `i64` if the value fits.
+    #[must_use]
+    pub fn to_i64(&self) -> Option<i64> {
+        let m = self.mag.to_u128()?;
+        match self.sign {
+            Sign::Plus => i64::try_from(m).ok(),
+            Sign::Minus => {
+                if m <= (1u128 << 63) {
+                    Some((m as i128).wrapping_neg() as i64)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Converts to `i128` if the value fits.
+    #[must_use]
+    pub fn to_i128(&self) -> Option<i128> {
+        let m = self.mag.to_u128()?;
+        match self.sign {
+            Sign::Plus => i128::try_from(m).ok(),
+            Sign::Minus => {
+                if m <= (1u128 << 127) {
+                    Some((m as i128).wrapping_neg())
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Truncating division and remainder (C semantics, total: `x / 0 = 0`,
+    /// `x % 0 = x`).
+    #[must_use]
+    pub fn div_rem_trunc(&self, rhs: &Int) -> (Int, Int) {
+        let (q_mag, r_mag) = self.mag.div_rem(&rhs.mag);
+        let q_sign = if self.sign == rhs.sign { Sign::Plus } else { Sign::Minus };
+        (
+            Int::from_sign_mag(q_sign, q_mag),
+            Int::from_sign_mag(self.sign, r_mag),
+        )
+    }
+
+    /// Flooring division and modulo (HOL `div`/`mod` semantics).
+    ///
+    /// `div_rem_floor` satisfies `self = q * rhs + r` with `0 <= r < |rhs|`
+    /// when `rhs > 0` (and the mirrored property for `rhs < 0`).
+    #[must_use]
+    pub fn div_rem_floor(&self, rhs: &Int) -> (Int, Int) {
+        let (q, r) = self.div_rem_trunc(rhs);
+        if r.is_zero() || self.sign == rhs.sign || rhs.is_zero() {
+            (q, r)
+        } else {
+            (&q - &Int::one(), &r + rhs)
+        }
+    }
+
+    /// Raises `self` to the power `exp`.
+    #[must_use]
+    pub fn pow(&self, exp: u32) -> Int {
+        let mag = self.mag.pow(exp);
+        let sign = if self.sign == Sign::Minus && exp % 2 == 1 {
+            Sign::Minus
+        } else {
+            Sign::Plus
+        };
+        Int::from_sign_mag(sign, mag)
+    }
+}
+
+impl PartialOrd for Int {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Int {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.sign, other.sign) {
+            (Sign::Plus, Sign::Minus) => Ordering::Greater,
+            (Sign::Minus, Sign::Plus) => Ordering::Less,
+            (Sign::Plus, Sign::Plus) => self.mag.cmp(&other.mag),
+            (Sign::Minus, Sign::Minus) => other.mag.cmp(&self.mag),
+        }
+    }
+}
+
+fn add_signed(a: &Int, b: &Int) -> Int {
+    if a.sign == b.sign {
+        Int::from_sign_mag(a.sign, &a.mag + &b.mag)
+    } else if a.mag >= b.mag {
+        Int::from_sign_mag(a.sign, a.mag.saturating_sub(&b.mag))
+    } else {
+        Int::from_sign_mag(b.sign, b.mag.saturating_sub(&a.mag))
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $impl_fn:expr) => {
+        impl $trait<&Int> for &Int {
+            type Output = Int;
+            fn $method(self, rhs: &Int) -> Int {
+                let f: fn(&Int, &Int) -> Int = $impl_fn;
+                f(self, rhs)
+            }
+        }
+        impl $trait<Int> for Int {
+            type Output = Int;
+            fn $method(self, rhs: Int) -> Int {
+                $trait::$method(&self, &rhs)
+            }
+        }
+        impl $trait<&Int> for Int {
+            type Output = Int;
+            fn $method(self, rhs: &Int) -> Int {
+                $trait::$method(&self, rhs)
+            }
+        }
+        impl $trait<Int> for &Int {
+            type Output = Int;
+            fn $method(self, rhs: Int) -> Int {
+                $trait::$method(self, &rhs)
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, add_signed);
+impl_binop!(Sub, sub, |a, b| add_signed(a, &-b.clone()));
+impl_binop!(Mul, mul, |a: &Int, b: &Int| {
+    let sign = if a.sign == b.sign { Sign::Plus } else { Sign::Minus };
+    Int::from_sign_mag(sign, &a.mag * &b.mag)
+});
+impl_binop!(Div, div, |a: &Int, b: &Int| a.div_rem_trunc(b).0);
+impl_binop!(Rem, rem, |a: &Int, b: &Int| a.div_rem_trunc(b).1);
+
+impl Neg for Int {
+    type Output = Int;
+    fn neg(self) -> Int {
+        Int::from_sign_mag(self.sign.negate(), self.mag)
+    }
+}
+
+impl Neg for &Int {
+    type Output = Int;
+    fn neg(self) -> Int {
+        -self.clone()
+    }
+}
+
+impl From<i8> for Int {
+    fn from(v: i8) -> Int {
+        Int::from(i64::from(v))
+    }
+}
+impl From<i16> for Int {
+    fn from(v: i16) -> Int {
+        Int::from(i64::from(v))
+    }
+}
+impl From<i32> for Int {
+    fn from(v: i32) -> Int {
+        Int::from(i64::from(v))
+    }
+}
+impl From<i64> for Int {
+    fn from(v: i64) -> Int {
+        Int::from(i128::from(v))
+    }
+}
+impl From<i128> for Int {
+    fn from(v: i128) -> Int {
+        if v < 0 {
+            Int::from_sign_mag(Sign::Minus, Nat::from(v.unsigned_abs()))
+        } else {
+            Int::from_sign_mag(Sign::Plus, Nat::from(v as u128))
+        }
+    }
+}
+impl From<u32> for Int {
+    fn from(v: u32) -> Int {
+        Int::from_nat(Nat::from(v))
+    }
+}
+impl From<u64> for Int {
+    fn from(v: u64) -> Int {
+        Int::from_nat(Nat::from(v))
+    }
+}
+impl From<u128> for Int {
+    fn from(v: u128) -> Int {
+        Int::from_nat(Nat::from(v))
+    }
+}
+impl From<Nat> for Int {
+    fn from(n: Nat) -> Int {
+        Int::from_nat(n)
+    }
+}
+
+impl FromStr for Int {
+    type Err = ParseBigNumError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(rest) = s.strip_prefix('-') {
+            Ok(Int::from_sign_mag(Sign::Minus, rest.parse()?))
+        } else {
+            Ok(Int::from_nat(s.parse()?))
+        }
+    }
+}
+
+impl fmt::Display for Int {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.mag.to_string();
+        f.pad_integral(self.sign == Sign::Plus, "", &s)
+    }
+}
+
+impl fmt::Debug for Int {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Int({self})")
+    }
+}
+
+impl Sum for Int {
+    fn sum<I: Iterator<Item = Int>>(iter: I) -> Int {
+        iter.fold(Int::zero(), |a, b| &a + &b)
+    }
+}
+
+impl Product for Int {
+    fn product<I: Iterator<Item = Int>>(iter: I) -> Int {
+        iter.fold(Int::one(), |a, b| &a * &b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn i(v: i64) -> Int {
+        Int::from(v)
+    }
+
+    #[test]
+    fn signed_arith() {
+        assert_eq!(&i(2) + &i(-5), i(-3));
+        assert_eq!(&i(-2) + &i(5), i(3));
+        assert_eq!(&i(-2) + &i(-5), i(-7));
+        assert_eq!(&i(2) - &i(5), i(-3));
+        assert_eq!(&i(-4) * &i(-6), i(24));
+        assert_eq!(&i(-4) * &i(6), i(-24));
+        assert_eq!(-i(7), i(-7));
+        assert_eq!(-i(0), i(0));
+    }
+
+    #[test]
+    fn zero_normalised() {
+        let z = &i(5) - &i(5);
+        assert_eq!(z.sign(), Sign::Plus);
+        assert_eq!(z, Int::zero());
+    }
+
+    #[test]
+    fn truncating_division() {
+        assert_eq!(&i(17) / &i(5), i(3));
+        assert_eq!(&i(-17) / &i(5), i(-3));
+        assert_eq!(&i(17) / &i(-5), i(-3));
+        assert_eq!(&i(-17) % &i(5), i(-2));
+        assert_eq!(&i(17) % &i(-5), i(2));
+    }
+
+    #[test]
+    fn flooring_division() {
+        assert_eq!(i(-17).div_rem_floor(&i(5)), (i(-4), i(3)));
+        assert_eq!(i(17).div_rem_floor(&i(-5)), (i(-4), i(-3)));
+        assert_eq!(i(17).div_rem_floor(&i(5)), (i(3), i(2)));
+        assert_eq!(i(-15).div_rem_floor(&i(5)), (i(-3), i(0)));
+    }
+
+    #[test]
+    fn division_total() {
+        assert_eq!(&i(5) / &i(0), i(0));
+        assert_eq!(&i(5) % &i(0), i(5));
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(i(-5) < i(-3));
+        assert!(i(-1) < i(0));
+        assert!(i(0) < i(1));
+        assert!(i(3) < i(5));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(i(-7).to_i64(), Some(-7));
+        assert_eq!(i(i64::MIN).to_i64(), Some(i64::MIN));
+        assert_eq!(Int::from(i128::MIN).to_i64(), None);
+        assert_eq!(i(-3).to_nat(), Nat::zero());
+        assert_eq!(i(3).to_nat(), Nat::from(3u64));
+    }
+
+    #[test]
+    fn parse_and_display() {
+        let v: Int = "-123456789012345678901234567890".parse().unwrap();
+        assert_eq!(v.to_string(), "-123456789012345678901234567890");
+        assert_eq!(v.abs().to_string(), "123456789012345678901234567890");
+    }
+
+    #[test]
+    fn pow() {
+        assert_eq!(i(-2).pow(3), i(-8));
+        assert_eq!(i(-2).pow(4), i(16));
+        assert_eq!(i(10).pow(0), i(1));
+    }
+}

@@ -1,0 +1,91 @@
+//! Arbitrary-precision natural numbers and integers.
+//!
+//! AutoCorres abstracts C machine words into Isabelle/HOL's unbounded `nat`
+//! and `int` types. This crate provides the Rust stand-ins: [`Nat`] and
+//! [`Int`], implemented from scratch (base-2³² limbs) so the workspace has no
+//! external bignum dependency.
+//!
+//! The types deliberately mirror HOL's semantics:
+//!
+//! * [`Nat`] subtraction is *truncated* (`a - b = 0` when `b > a`), exactly
+//!   like HOL's `nat` subtraction. Use [`Nat::checked_sub`] when you need to
+//!   detect underflow.
+//! * Division by zero yields zero (HOL's `x div 0 = 0` convention), so the
+//!   evaluators never panic on the C guard-protected paths.
+//!
+//! # Examples
+//!
+//! ```
+//! use bignum::{Int, Nat};
+//!
+//! let a = Nat::from(2u64).pow(100);
+//! let b = &a + &Nat::from(1u64);
+//! assert!(b > a);
+//! assert_eq!((&b - &a).to_string(), "1");
+//!
+//! let neg = Int::from(-7i64);
+//! assert_eq!((&neg * &Int::from(-3i64)).to_string(), "21");
+//! ```
+
+mod int;
+mod nat;
+
+pub use int::Int;
+pub use nat::Nat;
+
+/// Sign of an [`Int`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Sign {
+    /// Strictly negative.
+    Minus,
+    /// Zero or positive.
+    #[default]
+    Plus,
+}
+
+impl Sign {
+    /// Returns the opposite sign.
+    #[must_use]
+    pub fn negate(self) -> Sign {
+        match self {
+            Sign::Minus => Sign::Plus,
+            Sign::Plus => Sign::Minus,
+        }
+    }
+}
+
+/// Error returned when parsing a [`Nat`] or [`Int`] from a string fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseBigNumError {
+    kind: ParseErrorKind,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum ParseErrorKind {
+    Empty,
+    InvalidDigit(char),
+}
+
+impl std::fmt::Display for ParseBigNumError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.kind {
+            ParseErrorKind::Empty => write!(f, "cannot parse number from empty string"),
+            ParseErrorKind::InvalidDigit(c) => write!(f, "invalid digit `{c}` in number"),
+        }
+    }
+}
+
+impl std::error::Error for ParseBigNumError {}
+
+impl ParseBigNumError {
+    pub(crate) fn empty() -> Self {
+        ParseBigNumError {
+            kind: ParseErrorKind::Empty,
+        }
+    }
+    pub(crate) fn invalid(c: char) -> Self {
+        ParseBigNumError {
+            kind: ParseErrorKind::InvalidDigit(c),
+        }
+    }
+}

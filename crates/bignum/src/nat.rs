@@ -1,0 +1,607 @@
+//! Arbitrary-precision natural numbers.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, BitAnd, BitOr, BitXor, Div, Mul, Rem, Shl, Shr, Sub};
+use std::str::FromStr;
+
+use crate::ParseBigNumError;
+
+const BASE_BITS: u32 = 32;
+
+/// An arbitrary-precision natural number (the stand-in for HOL's `nat`).
+///
+/// Internally a little-endian vector of base-2³² limbs with no trailing zero
+/// limbs (so the representation of every value is unique and `Eq`/`Hash` are
+/// structural).
+///
+/// # Examples
+///
+/// ```
+/// use bignum::Nat;
+///
+/// let n: Nat = "340282366920938463463374607431768211456".parse().unwrap();
+/// assert_eq!(n, Nat::from(2u64).pow(128));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Nat {
+    /// Little-endian limbs; invariant: no trailing zeros.
+    limbs: Vec<u32>,
+}
+
+impl Nat {
+    /// The natural number 0.
+    #[must_use]
+    pub fn zero() -> Nat {
+        Nat { limbs: Vec::new() }
+    }
+
+    /// The natural number 1.
+    #[must_use]
+    pub fn one() -> Nat {
+        Nat { limbs: vec![1] }
+    }
+
+    /// Returns `true` if this is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Constructs a `Nat` from little-endian limbs, normalising trailing zeros.
+    #[must_use]
+    pub fn from_limbs(mut limbs: Vec<u32>) -> Nat {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        Nat { limbs }
+    }
+
+    /// Little-endian limb view.
+    #[must_use]
+    pub fn limbs(&self) -> &[u32] {
+        &self.limbs
+    }
+
+    /// Number of significant bits (0 for zero).
+    #[must_use]
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => (self.limbs.len() - 1) * BASE_BITS as usize + (32 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Returns bit `i` (little-endian position).
+    #[must_use]
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / BASE_BITS as usize;
+        let off = i % BASE_BITS as usize;
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
+    }
+
+    /// Converts to `u64` if the value fits.
+    #[must_use]
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(u64::from(self.limbs[0])),
+            2 => Some(u64::from(self.limbs[0]) | (u64::from(self.limbs[1]) << 32)),
+            _ => None,
+        }
+    }
+
+    /// Converts to `u128` if the value fits.
+    #[must_use]
+    pub fn to_u128(&self) -> Option<u128> {
+        if self.limbs.len() > 4 {
+            return None;
+        }
+        let mut out: u128 = 0;
+        for (i, l) in self.limbs.iter().enumerate() {
+            out |= u128::from(*l) << (32 * i);
+        }
+        Some(out)
+    }
+
+    /// Subtraction that reports underflow instead of truncating.
+    #[must_use]
+    pub fn checked_sub(&self, rhs: &Nat) -> Option<Nat> {
+        if self < rhs {
+            None
+        } else {
+            Some(sub_magnitudes(&self.limbs, &rhs.limbs))
+        }
+    }
+
+    /// HOL-style truncated subtraction: returns zero when `rhs > self`.
+    #[must_use]
+    pub fn saturating_sub(&self, rhs: &Nat) -> Nat {
+        self.checked_sub(rhs).unwrap_or_else(Nat::zero)
+    }
+
+    /// Division and remainder in one pass.
+    ///
+    /// Follows HOL's total-function convention: division by zero yields
+    /// `(0, self)`.
+    #[must_use]
+    pub fn div_rem(&self, rhs: &Nat) -> (Nat, Nat) {
+        if rhs.is_zero() {
+            return (Nat::zero(), self.clone());
+        }
+        if self < rhs {
+            return (Nat::zero(), self.clone());
+        }
+        if rhs.limbs.len() == 1 {
+            let (q, r) = div_rem_small(&self.limbs, rhs.limbs[0]);
+            return (q, Nat::from(u64::from(r)));
+        }
+        div_rem_long(self, rhs)
+    }
+
+    /// Raises `self` to the power `exp` by binary exponentiation.
+    #[must_use]
+    pub fn pow(&self, exp: u32) -> Nat {
+        let mut base = self.clone();
+        let mut acc = Nat::one();
+        let mut e = exp;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = &acc * &base;
+            }
+            e >>= 1;
+            if e > 0 {
+                base = &base * &base;
+            }
+        }
+        acc
+    }
+
+    /// Greatest common divisor (Euclid's algorithm); `gcd(0, n) = n`.
+    #[must_use]
+    pub fn gcd(&self, other: &Nat) -> Nat {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let r = &a % &b;
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Returns `2^n`.
+    #[must_use]
+    pub fn pow2(n: u32) -> Nat {
+        Nat::one() << n as usize
+    }
+}
+
+fn add_magnitudes(a: &[u32], b: &[u32]) -> Nat {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(long.len() + 1);
+    let mut carry: u64 = 0;
+    for (i, &limb) in long.iter().enumerate() {
+        let s = u64::from(limb) + u64::from(*short.get(i).unwrap_or(&0)) + carry;
+        out.push(s as u32);
+        carry = s >> 32;
+    }
+    if carry > 0 {
+        out.push(carry as u32);
+    }
+    Nat::from_limbs(out)
+}
+
+/// Requires `a >= b` as magnitudes.
+fn sub_magnitudes(a: &[u32], b: &[u32]) -> Nat {
+    let mut out = Vec::with_capacity(a.len());
+    let mut borrow: i64 = 0;
+    for (i, &limb) in a.iter().enumerate() {
+        let d = i64::from(limb) - i64::from(*b.get(i).unwrap_or(&0)) - borrow;
+        if d < 0 {
+            out.push((d + (1i64 << 32)) as u32);
+            borrow = 1;
+        } else {
+            out.push(d as u32);
+            borrow = 0;
+        }
+    }
+    debug_assert_eq!(borrow, 0, "sub_magnitudes requires a >= b");
+    Nat::from_limbs(out)
+}
+
+fn mul_magnitudes(a: &[u32], b: &[u32]) -> Nat {
+    if a.is_empty() || b.is_empty() {
+        return Nat::zero();
+    }
+    let mut out = vec![0u32; a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry: u64 = 0;
+        for (j, &bj) in b.iter().enumerate() {
+            let cur = u64::from(out[i + j]) + u64::from(ai) * u64::from(bj) + carry;
+            out[i + j] = cur as u32;
+            carry = cur >> 32;
+        }
+        let mut k = i + b.len();
+        while carry > 0 {
+            let cur = u64::from(out[k]) + carry;
+            out[k] = cur as u32;
+            carry = cur >> 32;
+            k += 1;
+        }
+    }
+    Nat::from_limbs(out)
+}
+
+fn div_rem_small(a: &[u32], d: u32) -> (Nat, u32) {
+    let mut out = vec![0u32; a.len()];
+    let mut rem: u64 = 0;
+    for i in (0..a.len()).rev() {
+        let cur = (rem << 32) | u64::from(a[i]);
+        out[i] = (cur / u64::from(d)) as u32;
+        rem = cur % u64::from(d);
+    }
+    (Nat::from_limbs(out), rem as u32)
+}
+
+/// Long division: shift-and-subtract, bit at a time. Simple and adequate for
+/// the term sizes this workspace manipulates.
+fn div_rem_long(a: &Nat, d: &Nat) -> (Nat, Nat) {
+    let bits = a.bit_len();
+    let mut quot = vec![0u32; a.limbs.len()];
+    let mut rem = Nat::zero();
+    for i in (0..bits).rev() {
+        rem = &rem << 1;
+        if a.bit(i) {
+            rem = &rem + &Nat::one();
+        }
+        if rem >= *d {
+            rem = sub_magnitudes(&rem.limbs, &d.limbs);
+            quot[i / 32] |= 1 << (i % 32);
+        }
+    }
+    (Nat::from_limbs(quot), rem)
+}
+
+impl PartialOrd for Nat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Nat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for i in (0..self.limbs.len()).rev() {
+                    match self.limbs[i].cmp(&other.limbs[i]) {
+                        Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                Ordering::Equal
+            }
+            ord => ord,
+        }
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $impl_fn:expr) => {
+        impl $trait<&Nat> for &Nat {
+            type Output = Nat;
+            fn $method(self, rhs: &Nat) -> Nat {
+                let f: fn(&Nat, &Nat) -> Nat = $impl_fn;
+                f(self, rhs)
+            }
+        }
+        impl $trait<Nat> for Nat {
+            type Output = Nat;
+            fn $method(self, rhs: Nat) -> Nat {
+                $trait::$method(&self, &rhs)
+            }
+        }
+        impl $trait<&Nat> for Nat {
+            type Output = Nat;
+            fn $method(self, rhs: &Nat) -> Nat {
+                $trait::$method(&self, rhs)
+            }
+        }
+        impl $trait<Nat> for &Nat {
+            type Output = Nat;
+            fn $method(self, rhs: Nat) -> Nat {
+                $trait::$method(self, &rhs)
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, |a, b| add_magnitudes(&a.limbs, &b.limbs));
+impl_binop!(Sub, sub, |a, b| a.saturating_sub(b));
+impl_binop!(Mul, mul, |a, b| mul_magnitudes(&a.limbs, &b.limbs));
+impl_binop!(Div, div, |a, b| a.div_rem(b).0);
+impl_binop!(Rem, rem, |a, b| a.div_rem(b).1);
+impl_binop!(BitAnd, bitand, |a: &Nat, b: &Nat| {
+    let n = a.limbs.len().min(b.limbs.len());
+    Nat::from_limbs((0..n).map(|i| a.limbs[i] & b.limbs[i]).collect())
+});
+impl_binop!(BitOr, bitor, |a: &Nat, b: &Nat| {
+    let n = a.limbs.len().max(b.limbs.len());
+    Nat::from_limbs(
+        (0..n)
+            .map(|i| a.limbs.get(i).unwrap_or(&0) | b.limbs.get(i).unwrap_or(&0))
+            .collect(),
+    )
+});
+impl_binop!(BitXor, bitxor, |a: &Nat, b: &Nat| {
+    let n = a.limbs.len().max(b.limbs.len());
+    Nat::from_limbs(
+        (0..n)
+            .map(|i| a.limbs.get(i).unwrap_or(&0) ^ b.limbs.get(i).unwrap_or(&0))
+            .collect(),
+    )
+});
+
+impl Shl<usize> for &Nat {
+    type Output = Nat;
+    fn shl(self, n: usize) -> Nat {
+        if self.is_zero() {
+            return Nat::zero();
+        }
+        let limb_shift = n / 32;
+        let bit_shift = (n % 32) as u32;
+        let mut out = vec![0u32; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry: u32 = 0;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (32 - bit_shift);
+            }
+            if carry > 0 {
+                out.push(carry);
+            }
+        }
+        Nat::from_limbs(out)
+    }
+}
+
+impl Shl<usize> for Nat {
+    type Output = Nat;
+    fn shl(self, n: usize) -> Nat {
+        &self << n
+    }
+}
+
+impl Shr<usize> for &Nat {
+    type Output = Nat;
+    fn shr(self, n: usize) -> Nat {
+        let limb_shift = n / 32;
+        if limb_shift >= self.limbs.len() {
+            return Nat::zero();
+        }
+        let bit_shift = (n % 32) as u32;
+        let src = &self.limbs[limb_shift..];
+        if bit_shift == 0 {
+            return Nat::from_limbs(src.to_vec());
+        }
+        let mut out = Vec::with_capacity(src.len());
+        for i in 0..src.len() {
+            let hi = if i + 1 < src.len() {
+                src[i + 1] << (32 - bit_shift)
+            } else {
+                0
+            };
+            out.push((src[i] >> bit_shift) | hi);
+        }
+        Nat::from_limbs(out)
+    }
+}
+
+impl Shr<usize> for Nat {
+    type Output = Nat;
+    fn shr(self, n: usize) -> Nat {
+        &self >> n
+    }
+}
+
+impl From<u8> for Nat {
+    fn from(v: u8) -> Nat {
+        Nat::from(u64::from(v))
+    }
+}
+impl From<u16> for Nat {
+    fn from(v: u16) -> Nat {
+        Nat::from(u64::from(v))
+    }
+}
+impl From<u32> for Nat {
+    fn from(v: u32) -> Nat {
+        Nat::from(u64::from(v))
+    }
+}
+impl From<usize> for Nat {
+    fn from(v: usize) -> Nat {
+        Nat::from(v as u64)
+    }
+}
+impl From<u64> for Nat {
+    fn from(v: u64) -> Nat {
+        Nat::from_limbs(vec![v as u32, (v >> 32) as u32])
+    }
+}
+impl From<u128> for Nat {
+    fn from(v: u128) -> Nat {
+        Nat::from_limbs(vec![
+            v as u32,
+            (v >> 32) as u32,
+            (v >> 64) as u32,
+            (v >> 96) as u32,
+        ])
+    }
+}
+
+impl FromStr for Nat {
+    type Err = ParseBigNumError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Err(ParseBigNumError::empty());
+        }
+        let mut out = Nat::zero();
+        let ten = Nat::from(10u64);
+        for c in s.chars() {
+            let d = c.to_digit(10).ok_or_else(|| ParseBigNumError::invalid(c))?;
+            out = &(&out * &ten) + &Nat::from(u64::from(d));
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for Nat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut digits = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = div_rem_small(&cur.limbs, 10);
+            digits.push(char::from(b'0' + r as u8));
+            cur = q;
+        }
+        digits.reverse();
+        let s: String = digits.into_iter().collect();
+        f.pad_integral(true, "", &s)
+    }
+}
+
+impl fmt::Debug for Nat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Nat({self})")
+    }
+}
+
+impl fmt::LowerHex for Nat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut s = format!("{:x}", self.limbs.last().unwrap());
+        for l in self.limbs.iter().rev().skip(1) {
+            s.push_str(&format!("{l:08x}"));
+        }
+        f.pad_integral(true, "0x", &s)
+    }
+}
+
+impl Sum for Nat {
+    fn sum<I: Iterator<Item = Nat>>(iter: I) -> Nat {
+        iter.fold(Nat::zero(), |a, b| &a + &b)
+    }
+}
+
+impl Product for Nat {
+    fn product<I: Iterator<Item = Nat>>(iter: I) -> Nat {
+        iter.fold(Nat::one(), |a, b| &a * &b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u64) -> Nat {
+        Nat::from(v)
+    }
+
+    #[test]
+    fn basic_arith() {
+        assert_eq!(&n(2) + &n(3), n(5));
+        assert_eq!(&n(10) - &n(3), n(7));
+        assert_eq!(&n(3) - &n(10), n(0), "nat subtraction truncates");
+        assert_eq!(&n(6) * &n(7), n(42));
+        assert_eq!(&n(42) / &n(5), n(8));
+        assert_eq!(&n(42) % &n(5), n(2));
+    }
+
+    #[test]
+    fn div_by_zero_is_total() {
+        assert_eq!(&n(42) / &n(0), n(0));
+        assert_eq!(&n(42) % &n(0), n(42));
+    }
+
+    #[test]
+    fn carries_across_limbs() {
+        let big = n(u64::MAX);
+        let sum = &big + &n(1);
+        assert_eq!(sum.to_u128(), Some(1u128 << 64));
+        assert_eq!(sum.limbs().len(), 3);
+    }
+
+    #[test]
+    fn pow_and_display() {
+        let p = n(2).pow(128);
+        assert_eq!(p.to_string(), "340282366920938463463374607431768211456");
+        assert_eq!(p.bit_len(), 129);
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let s = "123456789012345678901234567890";
+        let v: Nat = s.parse().unwrap();
+        assert_eq!(v.to_string(), s);
+        assert!("12a".parse::<Nat>().is_err());
+        assert!("".parse::<Nat>().is_err());
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(&n(1) << 100, n(2).pow(100));
+        assert_eq!(&n(2).pow(100) >> 100, n(1));
+        assert_eq!(&n(0b1011) >> 1, n(0b101));
+        assert_eq!(&n(5) >> 10, n(0));
+    }
+
+    #[test]
+    fn bitwise() {
+        assert_eq!(&n(0b1100) & &n(0b1010), n(0b1000));
+        assert_eq!(&n(0b1100) | &n(0b1010), n(0b1110));
+        assert_eq!(&n(0b1100) ^ &n(0b1010), n(0b0110));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(n(3) < n(5));
+        assert!(n(2).pow(64) > n(u64::MAX));
+        assert_eq!(n(7).cmp(&n(7)), Ordering::Equal);
+    }
+
+    #[test]
+    fn gcd_matches_euclid() {
+        assert_eq!(n(12).gcd(&n(18)), n(6));
+        assert_eq!(n(0).gcd(&n(5)), n(5));
+        assert_eq!(n(5).gcd(&n(0)), n(5));
+        assert_eq!(n(17).gcd(&n(13)), n(1));
+    }
+
+    #[test]
+    fn long_division() {
+        let a = n(2).pow(200);
+        let d = &n(2).pow(100) + &n(3);
+        let (q, r) = a.div_rem(&d);
+        assert_eq!(&(&q * &d) + &r, a);
+        assert!(r < d);
+    }
+
+    #[test]
+    fn hex_formatting() {
+        assert_eq!(format!("{:x}", n(0xdead_beef)), "deadbeef");
+        assert_eq!(format!("{:x}", n(2).pow(64)), "10000000000000000");
+        assert_eq!(format!("{:#x}", n(255)), "0xff");
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests: bignum arithmetic agrees with `u128`/`i128` on the
+//! embeddable range, and the ring/division laws hold on large values.
+
+use bignum::{Int, Nat};
+use proptest::prelude::*;
+
+fn nat_of(v: u128) -> Nat {
+    Nat::from(v)
+}
+
+fn arb_big_nat() -> impl Strategy<Value = Nat> {
+    proptest::collection::vec(any::<u32>(), 0..8).prop_map(Nat::from_limbs)
+}
+
+fn arb_big_int() -> impl Strategy<Value = Int> {
+    (arb_big_nat(), any::<bool>()).prop_map(|(m, neg)| {
+        if neg {
+            -Int::from_nat(m)
+        } else {
+            Int::from_nat(m)
+        }
+    })
+}
+
+proptest! {
+    #[test]
+    fn nat_add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let s = &nat_of(a.into()) + &nat_of(b.into());
+        prop_assert_eq!(s.to_u128(), Some(u128::from(a) + u128::from(b)));
+    }
+
+    #[test]
+    fn nat_mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let p = &nat_of(a.into()) * &nat_of(b.into());
+        prop_assert_eq!(p.to_u128(), Some(u128::from(a) * u128::from(b)));
+    }
+
+    #[test]
+    fn nat_sub_truncates(a in any::<u64>(), b in any::<u64>()) {
+        let d = &nat_of(a.into()) - &nat_of(b.into());
+        prop_assert_eq!(d.to_u128(), Some(u128::from(a.saturating_sub(b))));
+    }
+
+    #[test]
+    fn nat_divmod_matches(a in any::<u64>(), b in 1u64..) {
+        let (q, r) = nat_of(a.into()).div_rem(&nat_of(b.into()));
+        prop_assert_eq!(q.to_u64(), Some(a / b));
+        prop_assert_eq!(r.to_u64(), Some(a % b));
+    }
+
+    #[test]
+    fn nat_divmod_law_big(a in arb_big_nat(), b in arb_big_nat()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert_eq!(&(&q * &b) + &r, a);
+        prop_assert!(r < b);
+    }
+
+    #[test]
+    fn nat_add_commutes_assoc(a in arb_big_nat(), b in arb_big_nat(), c in arb_big_nat()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn nat_mul_distributes(a in arb_big_nat(), b in arb_big_nat(), c in arb_big_nat()) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn nat_shl_is_mul_pow2(a in arb_big_nat(), k in 0usize..100) {
+        prop_assert_eq!(&a << k, &a * &Nat::pow2(k as u32));
+    }
+
+    #[test]
+    fn nat_shr_is_div_pow2(a in arb_big_nat(), k in 0usize..100) {
+        prop_assert_eq!(&a >> k, &a / &Nat::pow2(k as u32));
+    }
+
+    #[test]
+    fn nat_display_parse_roundtrip(a in arb_big_nat()) {
+        let s = a.to_string();
+        prop_assert_eq!(s.parse::<Nat>().unwrap(), a);
+    }
+
+    #[test]
+    fn int_arith_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        let ia = Int::from(a);
+        let ib = Int::from(b);
+        prop_assert_eq!((&ia + &ib).to_i128(), Some(i128::from(a) + i128::from(b)));
+        prop_assert_eq!((&ia - &ib).to_i128(), Some(i128::from(a) - i128::from(b)));
+        prop_assert_eq!((&ia * &ib).to_i128(), Some(i128::from(a) * i128::from(b)));
+    }
+
+    #[test]
+    fn int_div_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        prop_assume!(b != 0);
+        let ia = Int::from(a);
+        let ib = Int::from(b);
+        prop_assert_eq!((&ia / &ib).to_i128(), Some(i128::from(a) / i128::from(b)));
+        prop_assert_eq!((&ia % &ib).to_i128(), Some(i128::from(a) % i128::from(b)));
+    }
+
+    #[test]
+    fn int_floor_div_matches_euclid_law(a in arb_big_int(), b in arb_big_int()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem_floor(&b);
+        prop_assert_eq!(&(&q * &b) + &r, a);
+        // 0 <= r < |b| for positive b, and -|b| < r <= 0 for negative b.
+        if b > Int::zero() {
+            prop_assert!(r >= Int::zero() && r < b);
+        } else {
+            prop_assert!(r <= Int::zero() && r > b);
+        }
+    }
+
+    #[test]
+    fn int_display_parse_roundtrip(a in arb_big_int()) {
+        let s = a.to_string();
+        prop_assert_eq!(s.parse::<Int>().unwrap(), a);
+    }
+
+    #[test]
+    fn int_neg_involution(a in arb_big_int()) {
+        prop_assert_eq!(-(-a.clone()), a);
+    }
+
+    #[test]
+    fn nat_gcd_divides(a in any::<u64>(), b in any::<u64>()) {
+        let g = Nat::from(a).gcd(&Nat::from(b));
+        if !g.is_zero() {
+            prop_assert!((&Nat::from(a) % &g).is_zero());
+            prop_assert!((&Nat::from(b) % &g).is_zero());
+        } else {
+            prop_assert_eq!((a, b), (0, 0));
+        }
+    }
+}

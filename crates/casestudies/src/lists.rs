@@ -1,0 +1,164 @@
+//! Linked-list heap builders and the `List` predicate of Mehta & Nipkow,
+//! ported to C-level states (Sec 5.2).
+//!
+//! The original predicate (on an idealised heap) is
+//!
+//! ```text
+//! List h p []     = (p = Null)
+//! List h p (x·xs) = (p = Ref x ∧ List h (h x) xs)
+//! ```
+//!
+//! The port (difference (ii) of Sec 5.2) additionally asserts that every
+//! node in the list is a *valid* pointer — that single strengthening is
+//! what discharges the output's guards.
+
+use ir::state::{AbsState, ConcState};
+use ir::ty::{Ty, TypeEnv};
+use ir::value::{Ptr, Value};
+
+/// The node type of the list case studies.
+#[must_use]
+pub fn node_ty() -> Ty {
+    Ty::Struct("node".into())
+}
+
+/// The list type environment (matches [`crate::sources::REVERSE`]).
+#[must_use]
+pub fn node_tenv() -> TypeEnv {
+    let mut tenv = TypeEnv::new();
+    tenv.define_struct(
+        "node",
+        vec![
+            ("next".into(), node_ty().ptr_to()),
+            ("data".into(), Ty::U32),
+        ],
+    )
+    .unwrap();
+    tenv
+}
+
+/// Builds a NULL-terminated list with the given data values in a concrete
+/// state; returns the head pointer and the node addresses in list order.
+pub fn build_list(st: &mut ConcState, tenv: &TypeEnv, base: u64, data: &[u32]) -> (Ptr, Vec<u64>) {
+    let addrs: Vec<u64> = (0..data.len()).map(|i| base + (i as u64) * 0x10).collect();
+    for (i, (&d, &addr)) in data.iter().zip(&addrs).enumerate() {
+        let next = if i + 1 < addrs.len() { addrs[i + 1] } else { 0 };
+        let node = Value::Struct(
+            "node".into(),
+            vec![
+                ("next".into(), Value::Ptr(Ptr::new(next, node_ty()))),
+                ("data".into(), Value::u32(d)),
+            ],
+        );
+        st.mem.alloc(addr, &node, tenv).unwrap();
+    }
+    let head = Ptr::new(addrs.first().copied().unwrap_or(0), node_ty());
+    (head, addrs)
+}
+
+/// The ported `List` predicate on an abstract (lifted) state: does the heap
+/// contain the exact NULL-terminated list `ps` starting at `p`, with every
+/// node valid?
+#[must_use]
+pub fn list_pred(st: &AbsState, p: &Ptr, ps: &[u64]) -> bool {
+    let heap = st.heaps.get(&node_ty());
+    let mut cur = p.addr;
+    for &expect in ps {
+        if cur == 0 || cur != expect {
+            return false;
+        }
+        let Some(h) = heap else { return false };
+        // Difference (ii): validity of every node.
+        if !h.is_valid(cur) {
+            return false;
+        }
+        let Some(Value::Ptr(next)) = h.get(cur).and_then(|n| n.field("next")).cloned() else {
+            return false;
+        };
+        cur = next.addr;
+    }
+    cur == 0
+}
+
+/// Walks a list on the abstract heap (bounded), returning the node
+/// addresses, or `None` when the walk does not reach NULL within `max`
+/// steps (cyclic or invalid lists).
+#[must_use]
+pub fn walk_list(st: &AbsState, p: &Ptr, max: usize) -> Option<Vec<u64>> {
+    let heap = st.heaps.get(&node_ty())?;
+    let mut out = Vec::new();
+    let mut cur = p.addr;
+    for _ in 0..=max {
+        if cur == 0 {
+            return Some(out);
+        }
+        if !heap.is_valid(cur) {
+            return None;
+        }
+        out.push(cur);
+        let Value::Ptr(next) = heap.get(cur)?.field("next")? else {
+            return None;
+        };
+        cur = next.addr;
+    }
+    None
+}
+
+/// The data values of the nodes at `addrs`.
+#[must_use]
+pub fn list_data(st: &AbsState, addrs: &[u64]) -> Vec<u32> {
+    let heap = &st.heaps[&node_ty()];
+    addrs
+        .iter()
+        .map(|a| match heap.get(*a).and_then(|n| n.field("data")) {
+            Some(Value::Word(w)) => w.bits() as u32,
+            _ => 0,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_walk() {
+        let tenv = node_tenv();
+        let mut st = ConcState::default();
+        let (head, addrs) = build_list(&mut st, &tenv, 0x1000, &[1, 2, 3]);
+        let abs = heapmodel::lift_state(&st, &tenv, &[node_ty()]);
+        assert!(list_pred(&abs, &head, &addrs));
+        assert_eq!(walk_list(&abs, &head, 10), Some(addrs.clone()));
+        assert_eq!(list_data(&abs, &addrs), vec![1, 2, 3]);
+        // Wrong spine is rejected.
+        let mut wrong = addrs.clone();
+        wrong.reverse();
+        assert!(!list_pred(&abs, &head, &wrong));
+    }
+
+    #[test]
+    fn empty_list() {
+        let tenv = node_tenv();
+        let st = ConcState::default();
+        let abs = heapmodel::lift_state(&st, &tenv, &[node_ty()]);
+        let null = Ptr::null(node_ty());
+        assert!(list_pred(&abs, &null, &[]));
+        assert_eq!(walk_list(&abs, &null, 10), Some(vec![]));
+    }
+
+    #[test]
+    fn cyclic_list_detected() {
+        let tenv = node_tenv();
+        let mut st = ConcState::default();
+        let (head, addrs) = build_list(&mut st, &tenv, 0x1000, &[1, 2]);
+        // Point the tail back at the head.
+        let node = st.mem.decode(addrs[1], &node_ty(), &tenv).unwrap();
+        let cyclic = node
+            .with_field("next", Value::Ptr(Ptr::new(addrs[0], node_ty())))
+            .unwrap();
+        st.mem.encode(addrs[1], &cyclic, &tenv).unwrap();
+        let abs = heapmodel::lift_state(&st, &tenv, &[node_ty()]);
+        assert_eq!(walk_list(&abs, &head, 10), None);
+        assert!(!list_pred(&abs, &head, &addrs));
+    }
+}

@@ -1,0 +1,147 @@
+//! In-place list reversal (Sec 5.2).
+//!
+//! Mehta & Nipkow's specification:
+//!
+//! ```text
+//! {List next p Ps}  reverse  {List next q (rev Ps)}
+//! ```
+//!
+//! The port applies their proof structure to the AutoCorres output with the
+//! three documented adjustments: NULL sentinels instead of `'a ref`
+//! (difference i), validity assertions folded into `List` (difference ii),
+//! and a termination measure — the length of the unreversed suffix — for
+//! total correctness (difference iii).
+
+use autocorres::{translate, Options, Output};
+use ir::state::State;
+use ir::value::{Ptr, Value};
+use monadic::MonadResult;
+
+use crate::lists::{build_list, list_data, list_pred, node_tenv, node_ty, walk_list};
+use crate::sources::REVERSE;
+
+/// Runs the full pipeline on the reversal source.
+///
+/// # Panics
+///
+/// Panics if the pipeline fails (the source is fixed and supported).
+#[must_use]
+pub fn pipeline() -> Output {
+    translate(REVERSE, &Options::default()).expect("reverse translates")
+}
+
+/// The result of running `reverse'` (the final AutoCorres output) on a
+/// fresh heap containing the list `data`.
+#[derive(Clone, Debug)]
+pub struct ReverseRun {
+    /// The returned head pointer.
+    pub head: Ptr,
+    /// The final abstract state.
+    pub state: ir::state::AbsState,
+    /// The node addresses of the input list, in input order.
+    pub input_addrs: Vec<u64>,
+}
+
+/// Executes the translated `reverse` on a list with the given data.
+///
+/// # Panics
+///
+/// Panics on execution failure (cannot happen for valid inputs — that is
+/// the fault-freedom part of the ported proof).
+#[must_use]
+pub fn run_reverse(out: &Output, data: &[u32]) -> ReverseRun {
+    let tenv = node_tenv();
+    let mut conc = ir::state::ConcState::default();
+    let (head, input_addrs) = build_list(&mut conc, &tenv, 0x1000, data);
+    let abs = heapmodel::lift_state(&conc, &tenv, &[node_ty()]);
+    let (r, st) = monadic::exec_fn(
+        &out.wa,
+        "reverse",
+        &[Value::Ptr(head)],
+        State::Abs(abs),
+        1_000_000,
+    )
+    .expect("reverse' runs without failure on valid lists");
+    let MonadResult::Normal(Value::Ptr(new_head)) = r else {
+        panic!("reverse' returns a pointer, got {r:?}");
+    };
+    let State::Abs(state) = st else { unreachable!() };
+    ReverseRun {
+        head: new_head,
+        state,
+        input_addrs,
+    }
+}
+
+/// Mehta & Nipkow's correctness statement, checked on a run:
+/// `List next q (rev Ps)` — the output heap contains exactly the reversed
+/// spine, with the data values preserved.
+#[must_use]
+pub fn mehta_nipkow_post(run: &ReverseRun, input_data: &[u32]) -> bool {
+    let mut rev_addrs = run.input_addrs.clone();
+    rev_addrs.reverse();
+    if !list_pred(&run.state, &run.head, &rev_addrs) {
+        return false;
+    }
+    let mut rev_data: Vec<u32> = input_data.to_vec();
+    rev_data.reverse();
+    list_data(&run.state, &rev_addrs) == rev_data
+}
+
+/// The loop invariant of the ported proof, checked at a loop boundary
+/// state: the two partial lists partition the original nodes,
+/// `rev Ps = rev current · done`.
+///
+/// (Used by the property tests to validate the invariant the VCG-level
+/// script relies on — the same invariant as Mehta & Nipkow's, Sec 5.2:
+/// "we could complete the same main proof of correctness using the same
+/// loop invariant".)
+#[must_use]
+pub fn loop_invariant(
+    st: &ir::state::AbsState,
+    list: &Ptr,
+    rev: &Ptr,
+    original: &[u64],
+    max: usize,
+) -> bool {
+    let (Some(todo), Some(done)) = (walk_list(st, list, max), walk_list(st, rev, max)) else {
+        return false;
+    };
+    // original = rev(done) ++ todo
+    let mut recon: Vec<u64> = done.iter().rev().copied().collect();
+    recon.extend(&todo);
+    recon == original
+}
+
+/// The termination measure (difference iii): the length of the unreversed
+/// suffix, strictly decreasing at each iteration.
+#[must_use]
+pub fn measure(st: &ir::state::AbsState, list: &Ptr, max: usize) -> Option<usize> {
+    walk_list(st, list, max).map(|v| v.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reverses_small_lists() {
+        let out = pipeline();
+        for n in 0..6 {
+            let data: Vec<u32> = (0..n).map(|i| i * 10).collect();
+            let run = run_reverse(&out, &data);
+            assert!(mehta_nipkow_post(&run, &data), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn output_shape_matches_fig6() {
+        let out = pipeline();
+        let f = out.wa.function("reverse").unwrap();
+        let s = f.to_string();
+        assert!(s.contains("whileLoop (λ(list, rev) s. list ≠ NULL)"), "{s}");
+        assert!(s.contains("(list, NULL)"), "{s}");
+        assert!(s.contains("return rev"), "{s}");
+        out.check_all().unwrap();
+    }
+}

@@ -1,0 +1,77 @@
+//! Instrumented list reversal: step the Fig 6 loop over the abstract heap,
+//! checking Mehta & Nipkow's invariant and the termination measure
+//! (differences (ii) and (iii) of Sec 5.2) at every iteration.
+
+use casestudies::lists::{build_list, node_tenv, node_ty, walk_list};
+use casestudies::reverse::{loop_invariant, measure, mehta_nipkow_post, pipeline, run_reverse};
+use ir::state::AbsState;
+use ir::value::{Ptr, Value};
+
+/// One loop iteration of Fig 6 over the abstract heap.
+fn step(st: &mut AbsState, list: &mut Ptr, rev: &mut Ptr) {
+    let ty = node_ty();
+    let node = st.heaps[&ty].get(list.addr).unwrap().clone();
+    let Value::Ptr(next) = node.field("next").unwrap().clone() else {
+        panic!()
+    };
+    let updated = node.with_field("next", Value::Ptr(rev.clone())).unwrap();
+    st.heap_mut(&ty).set(list.addr, updated);
+    *rev = list.clone();
+    *list = next;
+}
+
+#[test]
+fn invariant_and_measure_hold_throughout() {
+    let tenv = node_tenv();
+    for n in [0usize, 1, 2, 5, 9] {
+        let data: Vec<u32> = (0..n as u32).map(|i| i * 3 + 1).collect();
+        let mut conc = ir::state::ConcState::default();
+        let (head, original) = build_list(&mut conc, &tenv, 0x1000, &data);
+        let mut st = heapmodel::lift_state(&conc, &tenv, &[node_ty()]);
+        let mut list = head;
+        let mut rev = Ptr::null(node_ty());
+        let max = n + 2;
+
+        let mut prev = measure(&st, &list, max).expect("acyclic input");
+        let mut iters = 0;
+        while !list.is_null() {
+            assert!(
+                loop_invariant(&st, &list, &rev, &original, max),
+                "invariant fails at iteration {iters} (n = {n})"
+            );
+            step(&mut st, &mut list, &mut rev);
+            let m = measure(&st, &list, max).expect("still acyclic");
+            assert!(m < prev, "measure must strictly decrease");
+            prev = m;
+            iters += 1;
+        }
+        assert!(loop_invariant(&st, &list, &rev, &original, max));
+        // Exit: rev is the full reversal.
+        let mut expect = original.clone();
+        expect.reverse();
+        assert_eq!(walk_list(&st, &rev, max), Some(expect));
+    }
+}
+
+#[test]
+fn stepper_agrees_with_the_translated_program() {
+    let out = pipeline();
+    let tenv = node_tenv();
+    for n in [0usize, 1, 4, 8] {
+        let data: Vec<u32> = (0..n as u32).collect();
+        // Stepper:
+        let mut conc = ir::state::ConcState::default();
+        let (head, _) = build_list(&mut conc, &tenv, 0x1000, &data);
+        let mut st = heapmodel::lift_state(&conc, &tenv, &[node_ty()]);
+        let mut list = head;
+        let mut rev = Ptr::null(node_ty());
+        while !list.is_null() {
+            step(&mut st, &mut list, &mut rev);
+        }
+        // Pipeline:
+        let run = run_reverse(&out, &data);
+        assert_eq!(run.head.addr, rev.addr, "n = {n}");
+        assert_eq!(run.state.heaps, st.heaps, "n = {n}");
+        assert!(mehta_nipkow_post(&run, &data));
+    }
+}

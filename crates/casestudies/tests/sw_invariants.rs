@@ -1,0 +1,169 @@
+//! Instrumented Schorr-Waite: step the Fig 8 loop directly over the
+//! abstract heap, checking the ported loop invariant and Bornat's
+//! termination measure at every iteration, and confirming the stepper's
+//! final state equals the translated program's.
+
+use casestudies::graphs::{random_graph, sw_node_ty, sw_tenv, Graph};
+use casestudies::schorr_waite::{
+    bornat_measure, loop_invariant, mehta_nipkow_post, pipeline, reachable_valid, run,
+};
+use ir::state::AbsState;
+use ir::value::{Ptr, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One Fig 8 loop iteration over the abstract heap (the Rust transcription
+/// of the C body; used only as an instrumented reference).
+fn step(st: &mut AbsState, t: &mut Ptr, p: &mut Ptr) {
+    let ty = sw_node_ty();
+    let get = |st: &AbsState, a: u64, f: &str| -> Value {
+        st.heaps[&ty].get(a).unwrap().field(f).unwrap().clone()
+    };
+    let put = |st: &mut AbsState, a: u64, f: &str, v: Value| {
+        let node = st.heaps[&ty].get(a).unwrap().clone();
+        let node = node.with_field(f, v).unwrap();
+        st.heap_mut(&ty).set(a, node);
+    };
+    let as_ptr = |v: Value| -> Ptr {
+        match v {
+            Value::Ptr(p) => p,
+            _ => panic!("pointer field"),
+        }
+    };
+    let marked = |st: &AbsState, a: u64| get(st, a, "m") == Value::u32(1);
+
+    if t.is_null() || marked(st, t.addr) {
+        if get(st, p.addr, "c") == Value::u32(1) {
+            // q = t; t = p; p = p->r; t->r = q;
+            let q = t.clone();
+            *t = p.clone();
+            *p = as_ptr(get(st, t.addr, "r"));
+            put(st, t.addr, "r", Value::Ptr(q));
+        } else {
+            // q = t; t = p->r; p->r = p->l; p->l = q; p->c = 1;
+            let q = t.clone();
+            *t = as_ptr(get(st, p.addr, "r"));
+            let pl = get(st, p.addr, "l");
+            put(st, p.addr, "r", pl);
+            put(st, p.addr, "l", Value::Ptr(q));
+            put(st, p.addr, "c", Value::u32(1));
+        }
+    } else {
+        // q = p; p = t; t = t->l; p->l = q; p->m = 1; p->c = 0;
+        let q = p.clone();
+        *p = t.clone();
+        *t = as_ptr(get(st, p.addr, "l"));
+        put(st, p.addr, "l", Value::Ptr(q));
+        put(st, p.addr, "m", Value::u32(1));
+        put(st, p.addr, "c", Value::u32(0));
+    }
+}
+
+fn cond(st: &AbsState, t: &Ptr, p: &Ptr) -> bool {
+    let ty = sw_node_ty();
+    !p.is_null()
+        || (!t.is_null()
+            && st.heaps[&ty].get(t.addr).unwrap().field("m") != Some(&Value::u32(1)))
+}
+
+fn instrumented(g: &Graph, root: u64) -> AbsState {
+    let tenv = sw_tenv();
+    let mut conc = ir::state::ConcState::default();
+    g.materialise(&mut conc, &tenv);
+    let mut st = heapmodel::lift_state(&conc, &tenv, &[sw_node_ty()]);
+    let mut t = Ptr::new(root, sw_node_ty());
+    let mut p = Ptr::null(sw_node_ty());
+    let max = g.addrs.len() + 2;
+
+    assert!(reachable_valid(g, root, &st), "precondition (adjustment ii)");
+    let mut prev_measure = bornat_measure(g, root, &st, &p, max).expect("measure defined");
+    let mut iters = 0;
+    while cond(&st, &t, &p) {
+        assert!(
+            loop_invariant(g, &st, &t, &p, max),
+            "invariant fails at iteration {iters}"
+        );
+        step(&mut st, &mut t, &mut p);
+        let m = bornat_measure(g, root, &st, &p, max).expect("measure stays defined");
+        assert!(
+            m < prev_measure,
+            "Bornat's measure must strictly decrease: {prev_measure:?} → {m:?}"
+        );
+        prev_measure = m;
+        iters += 1;
+        assert!(iters < 10_000, "termination bound exceeded");
+    }
+    assert!(loop_invariant(g, &st, &t, &p, max), "invariant at exit");
+    st
+}
+
+#[test]
+fn invariant_and_measure_hold_throughout() {
+    let mut rng = StdRng::seed_from_u64(314);
+    for n in [1usize, 2, 4, 7, 11] {
+        for _ in 0..6 {
+            let g = random_graph(&mut rng, n);
+            let root = g.addrs[0];
+            let st = instrumented(&g, root);
+            assert!(mehta_nipkow_post(&g, root, &st), "n = {n}");
+        }
+    }
+}
+
+#[test]
+fn stepper_agrees_with_the_translated_program() {
+    let out = pipeline();
+    let mut rng = StdRng::seed_from_u64(2718);
+    for n in [1usize, 3, 6, 9] {
+        let g = random_graph(&mut rng, n);
+        let root = g.addrs[0];
+        let from_stepper = instrumented(&g, root);
+        let from_pipeline = run(&out, &g, root);
+        assert_eq!(
+            from_stepper.heaps, from_pipeline.heaps,
+            "the instrumented stepper and the translated program agree (n = {n})"
+        );
+    }
+}
+
+#[test]
+fn worst_case_shapes() {
+    let out = pipeline();
+    // A long left-spine (deep stack), a full cycle, and a self-loop.
+    let spine = {
+        let addrs: Vec<u64> = (0..12).map(|i| 0x1000 + i * 0x10).collect();
+        let l: Vec<u64> = addrs.iter().skip(1).copied().chain([0]).collect();
+        Graph {
+            addrs: addrs.clone(),
+            l,
+            r: vec![0; 12],
+        }
+    };
+    let cycle = {
+        let addrs: Vec<u64> = (0..6).map(|i| 0x1000 + i * 0x10).collect();
+        let l: Vec<u64> = addrs
+            .iter()
+            .cycle()
+            .skip(1)
+            .take(6)
+            .copied()
+            .collect();
+        Graph {
+            addrs: addrs.clone(),
+            l,
+            r: addrs.clone(),
+        }
+    };
+    let selfloop = Graph {
+        addrs: vec![0x1000],
+        l: vec![0x1000],
+        r: vec![0x1000],
+    };
+    for g in [spine, cycle, selfloop] {
+        let root = g.addrs[0];
+        let st = run(&out, &g, root);
+        assert!(mehta_nipkow_post(&g, root, &st), "{g:?}");
+        let st2 = instrumented(&g, root);
+        assert_eq!(st.heaps, st2.heaps);
+    }
+}

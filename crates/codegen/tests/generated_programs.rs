@@ -1,0 +1,75 @@
+//! The synthetic Table 5 code bases must be well-formed inputs: every
+//! generated program parses, typechecks, translates to Simpl, and hits its
+//! calibration targets (LoC and function count) within tolerance.
+
+use codegen::{generate, TABLE5};
+
+#[test]
+fn all_profiles_parse_and_typecheck() {
+    for p in TABLE5 {
+        let src = generate(p, 0xAC);
+        let typed = cparser::parse_and_check(&src)
+            .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        // The generator adds one shared `helper` beyond the published count.
+        assert!(
+            typed.functions.len() == p.functions || typed.functions.len() == p.functions + 1,
+            "{}: {} functions vs published {}",
+            p.name,
+            typed.functions.len(),
+            p.functions
+        );
+    }
+}
+
+#[test]
+fn loc_calibration_within_tolerance() {
+    for p in TABLE5 {
+        let src = generate(p, 0xAC);
+        let loc = src.lines().filter(|l| !l.trim().is_empty()).count();
+        let err = (loc as f64 - p.loc as f64).abs() / p.loc as f64;
+        assert!(
+            err < 0.20,
+            "{}: generated {loc} LoC vs published {} ({:.0} % off)",
+            p.name,
+            p.loc,
+            err * 100.0
+        );
+    }
+}
+
+#[test]
+fn generation_is_deterministic_per_seed() {
+    let p = &TABLE5[3];
+    assert_eq!(generate(p, 7), generate(p, 7));
+    assert_ne!(generate(p, 7), generate(p, 8), "different seeds differ");
+}
+
+#[test]
+fn generated_code_translates_to_simpl() {
+    // The two smallest profiles go through the Simpl phase (the full
+    // pipeline sweep lives in the Table 5 bench).
+    for p in &TABLE5[2..4] {
+        let src = generate(p, 0xAC);
+        let typed = cparser::parse_and_check(&src).unwrap();
+        let sp = simpl::translate_program(&typed)
+            .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        assert!(
+            sp.fns.len() == p.functions || sp.fns.len() == p.functions + 1,
+            "{}: {} Simpl functions vs published {}",
+            p.name,
+            sp.fns.len(),
+            p.functions
+        );
+    }
+}
+
+#[test]
+fn varied_seeds_stay_well_formed() {
+    let p = &TABLE5[4]; // Schorr-Waite profile is the real source; use eChronos.
+    let p = if p.functions == 1 { &TABLE5[3] } else { p };
+    for seed in 0..20 {
+        let src = generate(p, seed);
+        cparser::parse_and_check(&src)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}

@@ -1,0 +1,258 @@
+//! The untyped C abstract syntax tree produced by the parser.
+
+use std::fmt;
+
+use ir::ty::{Signedness, Width};
+
+/// A C type, as written in the source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CType {
+    /// `void` (only as a return type or pointer target).
+    Void,
+    /// An integer type of some width and signedness.
+    Int(Width, Signedness),
+    /// A pointer type.
+    Ptr(Box<CType>),
+    /// `struct name`.
+    Struct(String),
+}
+
+impl CType {
+    /// `int`.
+    pub const INT: CType = CType::Int(Width::W32, Signedness::Signed);
+    /// `unsigned int`.
+    pub const UINT: CType = CType::Int(Width::W32, Signedness::Unsigned);
+
+    /// Is this any integer type?
+    #[must_use]
+    pub fn is_integer(&self) -> bool {
+        matches!(self, CType::Int(..))
+    }
+
+    /// Is this a pointer type?
+    #[must_use]
+    pub fn is_ptr(&self) -> bool {
+        matches!(self, CType::Ptr(_))
+    }
+
+    /// Builds a pointer to this type.
+    #[must_use]
+    pub fn ptr_to(self) -> CType {
+        CType::Ptr(Box::new(self))
+    }
+}
+
+impl fmt::Display for CType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CType::Void => write!(f, "void"),
+            CType::Int(w, s) => {
+                let name = match (w, s) {
+                    (Width::W8, Signedness::Signed) => "signed char",
+                    (Width::W8, Signedness::Unsigned) => "unsigned char",
+                    (Width::W16, Signedness::Signed) => "short",
+                    (Width::W16, Signedness::Unsigned) => "unsigned short",
+                    (Width::W32, Signedness::Signed) => "int",
+                    (Width::W32, Signedness::Unsigned) => "unsigned int",
+                    (Width::W64, Signedness::Signed) => "long long",
+                    (Width::W64, Signedness::Unsigned) => "unsigned long long",
+                };
+                write!(f, "{name}")
+            }
+            CType::Ptr(t) => write!(f, "{t} *"),
+            CType::Struct(n) => write!(f, "struct {n}"),
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CUnOp {
+    /// `-e`.
+    Neg,
+    /// `!e`.
+    Not,
+    /// `~e`.
+    BitNot,
+    /// `*e`.
+    Deref,
+}
+
+/// Binary operators (assignment is statement-level, not an operator).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CBinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    LAnd,
+    /// `||`
+    LOr,
+}
+
+/// A C expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CExpr {
+    /// Integer literal; the `bool` records a `u` suffix.
+    IntLit(u64, bool),
+    /// `NULL` (recognised by name).
+    Null,
+    /// A variable reference (local, parameter or global).
+    Ident(String),
+    /// Unary operation.
+    Unary(CUnOp, Box<CExpr>),
+    /// Binary operation.
+    Binary(CBinOp, Box<CExpr>, Box<CExpr>),
+    /// Function call.
+    Call(String, Vec<CExpr>),
+    /// `e.f` (struct value field).
+    Member(Box<CExpr>, String),
+    /// `e->f` (field through pointer).
+    Arrow(Box<CExpr>, String),
+    /// `e[i]` (sugar for `*(e + i)`).
+    Index(Box<CExpr>, Box<CExpr>),
+    /// `(ty)e`.
+    Cast(CType, Box<CExpr>),
+    /// `sizeof(ty)`.
+    SizeOf(CType),
+    /// `c ? t : e`.
+    Cond(Box<CExpr>, Box<CExpr>, Box<CExpr>),
+}
+
+/// A C statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// Local declaration with optional initialiser.
+    Decl {
+        /// Variable name.
+        name: String,
+        /// Declared type.
+        ty: CType,
+        /// Optional initialiser.
+        init: Option<CExpr>,
+    },
+    /// Assignment `lhs = rhs;` (lhs must be an lvalue).
+    Assign {
+        /// Assigned-to lvalue.
+        lhs: CExpr,
+        /// Value.
+        rhs: CExpr,
+    },
+    /// Expression statement (must be a call — other expressions have no
+    /// effect and are rejected by the typechecker).
+    Expr(CExpr),
+    /// `if`/`else`.
+    If {
+        /// Condition.
+        cond: CExpr,
+        /// Then branch.
+        then_branch: Vec<Stmt>,
+        /// Else branch (empty when absent).
+        else_branch: Vec<Stmt>,
+    },
+    /// `while` loop.
+    While {
+        /// Condition.
+        cond: CExpr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `do { body } while (cond);`.
+    DoWhile {
+        /// Body.
+        body: Vec<Stmt>,
+        /// Condition.
+        cond: CExpr,
+    },
+    /// `return e;` / `return;`.
+    Return(Option<CExpr>),
+    /// `break;`.
+    Break,
+    /// `continue;`.
+    Continue,
+    /// A braced block.
+    Block(Vec<Stmt>),
+}
+
+/// A function definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FunDef {
+    /// Function name.
+    pub name: String,
+    /// Return type.
+    pub ret: CType,
+    /// Parameters in order.
+    pub params: Vec<(String, CType)>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// `false` for prototypes (declarations without a body).
+    pub is_definition: bool,
+}
+
+/// A global variable declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GlobalDecl {
+    /// Variable name.
+    pub name: String,
+    /// Declared type.
+    pub ty: CType,
+    /// Optional constant initialiser.
+    pub init: Option<CExpr>,
+}
+
+/// A struct declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StructDecl {
+    /// Struct tag.
+    pub name: String,
+    /// Fields in order.
+    pub fields: Vec<(String, CType)>,
+}
+
+/// A complete translation unit.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Program {
+    /// Struct declarations.
+    pub structs: Vec<StructDecl>,
+    /// Global variables.
+    pub globals: Vec<GlobalDecl>,
+    /// Function definitions.
+    pub functions: Vec<FunDef>,
+}
+
+impl Program {
+    /// Looks up a function by name.
+    #[must_use]
+    pub fn function(&self, name: &str) -> Option<&FunDef> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}

@@ -1,0 +1,324 @@
+//! The lexer.
+
+use std::fmt;
+
+/// A token kind.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are distinguished by the parser).
+    Ident(String),
+    /// Integer literal with optional unsignedness from a `u`/`U` suffix.
+    IntLit(u64, bool),
+    /// Character literal (value of the character).
+    CharLit(u8),
+    /// Punctuation or operator, e.g. `->`, `<<=`, `{`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source line (1-based) for error messages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A lexical error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// Explanation.
+    pub msg: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Multi-character operators, longest first so maximal munch works.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "...", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=",
+    "-=", "*=", "/=", "%=", "&=", "|=", "^=", "+", "-", "*", "/", "%", "<", ">", "=", "!", "&",
+    "|", "^", "~", "?", ":", ";", ",", ".", "(", ")", "{", "}", "[", "]",
+];
+
+/// Lexes a complete source text.
+///
+/// Handles `//` and `/* */` comments and preprocessor-style lines starting
+/// with `#` (skipped — the case-study sources use `#include` headers only
+/// for documentation purposes).
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on malformed literals or unexpected characters.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut out = Vec::new();
+    'outer: while i < bytes.len() {
+        let c = bytes[i];
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments
+        if c == b'/' && i + 1 < bytes.len() {
+            if bytes[i + 1] == b'/' {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            if bytes[i + 1] == b'*' {
+                i += 2;
+                while i + 1 < bytes.len() {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        continue 'outer;
+                    }
+                    i += 1;
+                }
+                return Err(LexError {
+                    msg: "unterminated block comment".into(),
+                    line,
+                });
+            }
+        }
+        // Preprocessor lines: skip to end of line.
+        if c == b'#' {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Identifiers / keywords
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            out.push(Token {
+                kind: TokenKind::Ident(src[start..i].to_owned()),
+                line,
+            });
+            continue;
+        }
+        // Numbers
+        if c.is_ascii_digit() {
+            let start = i;
+            let radix = if c == b'0' && i + 1 < bytes.len() && (bytes[i + 1] | 0x20) == b'x' {
+                i += 2;
+                16
+            } else {
+                10
+            };
+            let digits_start = i;
+            while i < bytes.len()
+                && (bytes[i].is_ascii_hexdigit() && (radix == 16 || bytes[i].is_ascii_digit()))
+            {
+                i += 1;
+            }
+            let text = if radix == 16 {
+                &src[digits_start..i]
+            } else {
+                &src[start..i]
+            };
+            let value = u64::from_str_radix(text, radix).map_err(|_| LexError {
+                msg: format!("malformed integer literal `{}`", &src[start..i]),
+                line,
+            })?;
+            // Suffixes: u/U marks unsigned; l/L accepted and ignored.
+            let mut unsigned = false;
+            while i < bytes.len() {
+                match bytes[i] | 0x20 {
+                    b'u' => {
+                        unsigned = true;
+                        i += 1;
+                    }
+                    b'l' => {
+                        i += 1;
+                    }
+                    _ => break,
+                }
+            }
+            out.push(Token {
+                kind: TokenKind::IntLit(value, unsigned),
+                line,
+            });
+            continue;
+        }
+        // Character literals
+        if c == b'\'' {
+            let (value, consumed) = if i + 2 < bytes.len() && bytes[i + 1] == b'\\' {
+                let esc = match bytes[i + 2] {
+                    b'n' => b'\n',
+                    b't' => b'\t',
+                    b'0' => 0,
+                    b'\\' => b'\\',
+                    b'\'' => b'\'',
+                    other => {
+                        return Err(LexError {
+                            msg: format!("unknown escape `\\{}`", other as char),
+                            line,
+                        })
+                    }
+                };
+                (esc, 4)
+            } else if i + 2 < bytes.len() {
+                (bytes[i + 1], 3)
+            } else {
+                return Err(LexError {
+                    msg: "unterminated character literal".into(),
+                    line,
+                });
+            };
+            if bytes.get(i + consumed - 1) != Some(&b'\'') {
+                return Err(LexError {
+                    msg: "unterminated character literal".into(),
+                    line,
+                });
+            }
+            out.push(Token {
+                kind: TokenKind::CharLit(value),
+                line,
+            });
+            i += consumed;
+            continue;
+        }
+        // Operators / punctuation
+        for p in PUNCTS {
+            if src[i..].starts_with(p) {
+                out.push(Token {
+                    kind: TokenKind::Punct(p),
+                    line,
+                });
+                i += p.len();
+                continue 'outer;
+            }
+        }
+        return Err(LexError {
+            msg: format!("unexpected character `{}`", c as char),
+            line,
+        });
+    }
+    out.push(Token {
+        kind: TokenKind::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_and_keywords() {
+        assert_eq!(
+            kinds("int x_1"),
+            vec![
+                TokenKind::Ident("int".into()),
+                TokenKind::Ident("x_1".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("42 0x2A 7u 1UL"),
+            vec![
+                TokenKind::IntLit(42, false),
+                TokenKind::IntLit(42, false),
+                TokenKind::IntLit(7, true),
+                TokenKind::IntLit(1, true),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_maximal_munch() {
+        assert_eq!(
+            kinds("a->b <<= c << d <= e"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Punct("->"),
+                TokenKind::Ident("b".into()),
+                TokenKind::Punct("<<="),
+                TokenKind::Ident("c".into()),
+                TokenKind::Punct("<<"),
+                TokenKind::Ident("d".into()),
+                TokenKind::Punct("<="),
+                TokenKind::Ident("e".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_preprocessor() {
+        let src = "#include <stdio.h>\nint /* block\ncomment */ x; // line\ny";
+        let ks = kinds(src);
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("int".into()),
+                TokenKind::Ident("x".into()),
+                TokenKind::Punct(";"),
+                TokenKind::Ident("y".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers() {
+        let toks = lex("a\nb\n\nc").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn char_literals() {
+        assert_eq!(
+            kinds(r"'a' '\n' '\0'"),
+            vec![
+                TokenKind::CharLit(b'a'),
+                TokenKind::CharLit(b'\n'),
+                TokenKind::CharLit(0),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("@").is_err());
+        assert!(lex("/* unterminated").is_err());
+        assert!(lex("'x").is_err());
+    }
+}

@@ -1,0 +1,89 @@
+//! Parser and typechecker for the C99 subset supported by AutoCorres-rs.
+//!
+//! This crate plays the role of Norrish's C-to-Isabelle parser front half:
+//! it turns C source text into a typed AST which the `simpl` crate then
+//! translates, conservatively and literally, into the Simpl intermediate
+//! language.
+//!
+//! # Supported subset (paper Sec 2)
+//!
+//! Loops (`while`, `do`/`while`, `for`), `if`/`else`, function calls and
+//! recursion, integer types of all widths and signednesses, type casts,
+//! pointers and pointer arithmetic, structures (including pointers to
+//! struct and `->`/`.` access), `break`/`continue`/`return`.
+//!
+//! # Unsupported (rejected with an error)
+//!
+//! References to local variables (`&x`), `goto`, `switch`, unions, floating
+//! point, function pointers, expressions with side effects other than
+//! hoistable function calls, variadic functions, arrays (use pointers).
+//!
+//! # Example
+//!
+//! ```
+//! let src = "int max(int a, int b) { if (a < b) return b; return a; }";
+//! let program = cparser::parse_and_check(src).unwrap();
+//! assert_eq!(program.functions.len(), 1);
+//! assert_eq!(program.functions[0].name, "max");
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod typecheck;
+
+pub use ast::{CBinOp, CExpr, CType, CUnOp, FunDef, Program, Stmt};
+pub use lexer::{lex, LexError, Token, TokenKind};
+pub use parser::{parse, ParseError};
+pub use typecheck::{typecheck, TExpr, TExprKind, TFunDef, TProgram, TStmt, TypeError};
+
+/// Parses and typechecks a complete C translation unit.
+///
+/// # Errors
+///
+/// Returns a [`FrontendError`] describing the first lexical, syntactic, or
+/// type error encountered.
+pub fn parse_and_check(src: &str) -> Result<TProgram, FrontendError> {
+    let tokens = lex(src)?;
+    let prog = parse(&tokens)?;
+    Ok(typecheck(&prog)?)
+}
+
+/// Any error produced by the C frontend.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrontendError {
+    /// Lexical error.
+    Lex(LexError),
+    /// Syntax error.
+    Parse(ParseError),
+    /// Type error (including uses of unsupported features).
+    Type(TypeError),
+}
+
+impl std::fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrontendError::Lex(e) => write!(f, "{e}"),
+            FrontendError::Parse(e) => write!(f, "{e}"),
+            FrontendError::Type(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+impl From<LexError> for FrontendError {
+    fn from(e: LexError) -> Self {
+        FrontendError::Lex(e)
+    }
+}
+impl From<ParseError> for FrontendError {
+    fn from(e: ParseError) -> Self {
+        FrontendError::Parse(e)
+    }
+}
+impl From<TypeError> for FrontendError {
+    fn from(e: TypeError) -> Self {
+        FrontendError::Type(e)
+    }
+}

@@ -1,0 +1,893 @@
+//! Recursive-descent parser for the supported C subset.
+
+use std::fmt;
+
+use ir::ty::{Signedness, Width};
+
+use crate::ast::{
+    CBinOp, CExpr, CType, CUnOp, FunDef, GlobalDecl, Program, Stmt, StructDecl,
+};
+use crate::lexer::{Token, TokenKind};
+
+/// A syntax error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Explanation.
+    pub msg: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+type Result<T> = std::result::Result<T, ParseError>;
+
+/// Parses a token stream (as produced by [`crate::lexer::lex`]) into a
+/// [`Program`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input or uses of unsupported
+/// syntax (`goto`, `switch`, `union`, floating point, arrays, `&`).
+pub fn parse(tokens: &[Token]) -> Result<Program> {
+    let mut p = Parser { tokens, pos: 0, depth: 0 };
+    p.program()
+}
+
+const TYPE_KEYWORDS: &[&str] = &[
+    "void", "int", "unsigned", "signed", "char", "short", "long", "struct",
+];
+
+const UNSUPPORTED_KEYWORDS: &[&str] = &[
+    "goto", "switch", "union", "float", "double", "case", "default", "typedef", "enum",
+];
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+    depth: u32,
+}
+
+/// Maximum expression/statement nesting depth. The parser is recursive-
+/// descent; unbounded nesting would overflow the stack, so beyond this we
+/// report a clean error instead.
+const MAX_NESTING: u32 = 200;
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &'a Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek2(&self) -> &'a Token {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)]
+    }
+
+    fn line(&self) -> u32 {
+        self.peek().line
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T> {
+        Err(ParseError {
+            msg: msg.into(),
+            line: self.line(),
+        })
+    }
+
+    fn bump(&mut self) -> &'a Token {
+        let t = &self.tokens[self.pos.min(self.tokens.len() - 1)];
+        self.pos += 1;
+        t
+    }
+
+    fn at_punct(&self, p: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Punct(q) if *q == p)
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if self.at_punct(p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<()> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{p}`, found {}", describe(&self.peek().kind)))
+        }
+    }
+
+    fn at_ident(&self, name: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(n) if n == name)
+    }
+
+    fn eat_ident(&mut self, name: &str) -> bool {
+        if self.at_ident(name) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_any_ident(&mut self) -> Result<String> {
+        match &self.peek().kind {
+            TokenKind::Ident(n) => {
+                let n = n.clone();
+                self.pos += 1;
+                Ok(n)
+            }
+            k => self.err(format!("expected identifier, found {}", describe(k))),
+        }
+    }
+
+    fn at_type_start(&self) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(n) if TYPE_KEYWORDS.contains(&n.as_str()))
+    }
+
+    fn check_unsupported(&self) -> Result<()> {
+        if let TokenKind::Ident(n) = &self.peek().kind {
+            if UNSUPPORTED_KEYWORDS.contains(&n.as_str()) {
+                return self.err(format!("`{n}` is not in the supported C subset"));
+            }
+        }
+        Ok(())
+    }
+
+    // ---- types -----------------------------------------------------------
+
+    /// Parses a base type (no pointer stars).
+    fn base_type(&mut self) -> Result<CType> {
+        if self.eat_ident("void") {
+            return Ok(CType::Void);
+        }
+        if self.eat_ident("struct") {
+            let name = self.expect_any_ident()?;
+            return Ok(CType::Struct(name));
+        }
+        let mut sign: Option<Signedness> = None;
+        if self.eat_ident("unsigned") {
+            sign = Some(Signedness::Unsigned);
+        } else if self.eat_ident("signed") {
+            sign = Some(Signedness::Signed);
+        }
+        // Width keywords.
+        let width = if self.eat_ident("char") {
+            Some(Width::W8)
+        } else if self.eat_ident("short") {
+            self.eat_ident("int");
+            Some(Width::W16)
+        } else if self.eat_ident("long") {
+            if self.eat_ident("long") {
+                self.eat_ident("int");
+                Some(Width::W64)
+            } else {
+                // `long` is 32-bit on the modelled architecture.
+                self.eat_ident("int");
+                Some(Width::W32)
+            }
+        } else if self.eat_ident("int") {
+            Some(Width::W32)
+        } else {
+            None
+        };
+        match (sign, width) {
+            (None, None) => self.err("expected a type"),
+            (s, w) => {
+                let w = w.unwrap_or(Width::W32);
+                // Plain `char` is unsigned on the modelled architecture
+                // (matching ARM, the seL4 verification target).
+                let s = s.unwrap_or(if w == Width::W8 {
+                    Signedness::Unsigned
+                } else {
+                    Signedness::Signed
+                });
+                Ok(CType::Int(w, s))
+            }
+        }
+    }
+
+    /// Parses a full type: base type plus pointer stars.
+    fn full_type(&mut self) -> Result<CType> {
+        let mut t = self.base_type()?;
+        while self.eat_punct("*") {
+            t = t.ptr_to();
+        }
+        Ok(t)
+    }
+
+    // ---- top level -------------------------------------------------------
+
+    fn program(&mut self) -> Result<Program> {
+        let mut prog = Program::default();
+        while !matches!(self.peek().kind, TokenKind::Eof) {
+            self.check_unsupported()?;
+            if self.at_ident("struct") && matches!(self.peek2().kind, TokenKind::Ident(_)) {
+                // Could be `struct S { ... };` (declaration) or the start of
+                // a global/function using a struct type. Look ahead for `{`.
+                let save = self.pos;
+                self.bump();
+                let name = self.expect_any_ident()?;
+                if self.at_punct("{") {
+                    prog.structs.push(self.struct_body(name)?);
+                    continue;
+                }
+                self.pos = save;
+            }
+            let ty = self.full_type()?;
+            let name = self.expect_any_ident()?;
+            if self.at_punct("(") {
+                prog.functions.push(self.function(ty, name)?);
+            } else {
+                let init = if self.eat_punct("=") {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                self.expect_punct(";")?;
+                prog.globals.push(GlobalDecl { name, ty, init });
+            }
+        }
+        Ok(prog)
+    }
+
+    fn struct_body(&mut self, name: String) -> Result<StructDecl> {
+        self.expect_punct("{")?;
+        let mut fields = Vec::new();
+        while !self.eat_punct("}") {
+            let base = self.base_type()?;
+            loop {
+                let mut ty = base.clone();
+                while self.eat_punct("*") {
+                    ty = ty.ptr_to();
+                }
+                let fname = self.expect_any_ident()?;
+                if self.at_punct("[") {
+                    return self.err("array fields are not in the supported subset");
+                }
+                if self.at_punct(":") {
+                    return self.err("bitfields are not in the supported subset");
+                }
+                fields.push((fname, ty));
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+            self.expect_punct(";")?;
+        }
+        self.expect_punct(";")?;
+        Ok(StructDecl { name, fields })
+    }
+
+    fn function(&mut self, ret: CType, name: String) -> Result<FunDef> {
+        self.expect_punct("(")?;
+        let mut params = Vec::new();
+        if !self.eat_punct(")") {
+            if self.at_ident("void") && matches!(self.peek2().kind, TokenKind::Punct(")")) {
+                self.bump();
+                self.expect_punct(")")?;
+            } else {
+                loop {
+                    let pty = self.full_type()?;
+                    let pname = self.expect_any_ident()?;
+                    params.push((pname, pty));
+                    if !self.eat_punct(",") {
+                        break;
+                    }
+                }
+                self.expect_punct(")")?;
+            }
+        }
+        if self.eat_punct(";") {
+            // Prototype: represent as a definition with an empty body so the
+            // typechecker can register the signature; callers must provide a
+            // real definition for translated functions.
+            return Ok(FunDef {
+                name,
+                ret,
+                params,
+                body: Vec::new(),
+                is_definition: false,
+            });
+        }
+        let body = self.block()?;
+        Ok(FunDef {
+            name,
+            ret,
+            params,
+            body,
+            is_definition: true,
+        })
+    }
+
+    // ---- statements ------------------------------------------------------
+
+    fn block(&mut self) -> Result<Vec<Stmt>> {
+        self.expect_punct("{")?;
+        let mut out = Vec::new();
+        while !self.eat_punct("}") {
+            if matches!(self.peek().kind, TokenKind::Eof) {
+                return self.err("unexpected end of input in block");
+            }
+            out.push(self.stmt()?);
+        }
+        Ok(out)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt> {
+        self.depth += 1;
+        let r = if self.depth > MAX_NESTING {
+            self.err("statement nesting too deep")
+        } else {
+            self.stmt_inner()
+        };
+        self.depth -= 1;
+        r
+    }
+
+    fn stmt_inner(&mut self) -> Result<Stmt> {
+        self.check_unsupported()?;
+        if self.at_punct("{") {
+            return Ok(Stmt::Block(self.block()?));
+        }
+        if self.eat_ident("if") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let then_branch = self.branch_body()?;
+            let else_branch = if self.eat_ident("else") {
+                self.branch_body()?
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            });
+        }
+        if self.eat_ident("while") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let body = self.branch_body()?;
+            return Ok(Stmt::While { cond, body });
+        }
+        if self.eat_ident("do") {
+            let body = self.branch_body()?;
+            if !self.eat_ident("while") {
+                return self.err("expected `while` after `do` body");
+            }
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::DoWhile { body, cond });
+        }
+        if self.eat_ident("for") {
+            return self.for_stmt();
+        }
+        if self.eat_ident("return") {
+            let value = if self.at_punct(";") {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            self.expect_punct(";")?;
+            return Ok(Stmt::Return(value));
+        }
+        if self.eat_ident("break") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Break);
+        }
+        if self.eat_ident("continue") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Continue);
+        }
+        if self.at_type_start() {
+            let s = self.decl_stmt()?;
+            self.expect_punct(";")?;
+            return Ok(s);
+        }
+        let s = self.simple_stmt()?;
+        self.expect_punct(";")?;
+        Ok(s)
+    }
+
+    /// A loop/branch body: a block or a single statement.
+    fn branch_body(&mut self) -> Result<Vec<Stmt>> {
+        if self.at_punct("{") {
+            self.block()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    fn decl_stmt(&mut self) -> Result<Stmt> {
+        let ty = self.full_type()?;
+        let name = self.expect_any_ident()?;
+        if self.at_punct("[") {
+            return self.err("arrays are not in the supported subset; use pointers");
+        }
+        let init = if self.eat_punct("=") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        if self.at_punct(",") {
+            return self.err("multiple declarators per statement are unsupported; split them");
+        }
+        Ok(Stmt::Decl { name, ty, init })
+    }
+
+    /// Assignment, compound assignment, increment/decrement, or a call.
+    fn simple_stmt(&mut self) -> Result<Stmt> {
+        // Prefix increment/decrement as statements.
+        for (op, bin) in [("++", CBinOp::Add), ("--", CBinOp::Sub)] {
+            if self.at_punct(op) {
+                self.bump();
+                let lhs = self.unary()?;
+                return Ok(Stmt::Assign {
+                    lhs: lhs.clone(),
+                    rhs: CExpr::Binary(bin, Box::new(lhs), Box::new(CExpr::IntLit(1, false))),
+                });
+            }
+        }
+        let lhs = self.expr()?;
+        if self.eat_punct("=") {
+            let rhs = self.expr()?;
+            return Ok(Stmt::Assign { lhs, rhs });
+        }
+        for (op, bin) in [
+            ("+=", CBinOp::Add),
+            ("-=", CBinOp::Sub),
+            ("*=", CBinOp::Mul),
+            ("/=", CBinOp::Div),
+            ("%=", CBinOp::Mod),
+            ("&=", CBinOp::BitAnd),
+            ("|=", CBinOp::BitOr),
+            ("^=", CBinOp::BitXor),
+            ("<<=", CBinOp::Shl),
+            (">>=", CBinOp::Shr),
+        ] {
+            if self.at_punct(op) {
+                self.bump();
+                let rhs = self.expr()?;
+                return Ok(Stmt::Assign {
+                    lhs: lhs.clone(),
+                    rhs: CExpr::Binary(bin, Box::new(lhs), Box::new(rhs)),
+                });
+            }
+        }
+        for (op, bin) in [("++", CBinOp::Add), ("--", CBinOp::Sub)] {
+            if self.at_punct(op) {
+                self.bump();
+                return Ok(Stmt::Assign {
+                    lhs: lhs.clone(),
+                    rhs: CExpr::Binary(bin, Box::new(lhs), Box::new(CExpr::IntLit(1, false))),
+                });
+            }
+        }
+        Ok(Stmt::Expr(lhs))
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt> {
+        self.expect_punct("(")?;
+        let init = if self.at_punct(";") {
+            None
+        } else if self.at_type_start() {
+            Some(self.decl_stmt()?)
+        } else {
+            Some(self.simple_stmt()?)
+        };
+        self.expect_punct(";")?;
+        let cond = if self.at_punct(";") {
+            CExpr::IntLit(1, false)
+        } else {
+            self.expr()?
+        };
+        self.expect_punct(";")?;
+        let step = if self.at_punct(")") {
+            None
+        } else {
+            Some(self.simple_stmt()?)
+        };
+        self.expect_punct(")")?;
+        let body = self.branch_body()?;
+        // `for` desugars to a while loop with the step appended. `continue`
+        // directly inside the body would skip the step, so it is rejected.
+        if contains_direct_continue(&body) {
+            return self.err("`continue` inside `for` is not supported (use `while`)");
+        }
+        let mut while_body = body;
+        if let Some(s) = step {
+            while_body.push(s);
+        }
+        let w = Stmt::While {
+            cond,
+            body: while_body,
+        };
+        Ok(match init {
+            Some(i) => Stmt::Block(vec![i, w]),
+            None => w,
+        })
+    }
+
+    // ---- expressions (precedence climbing) --------------------------------
+
+    fn expr(&mut self) -> Result<CExpr> {
+        self.ternary()
+    }
+
+    fn ternary(&mut self) -> Result<CExpr> {
+        let c = self.binary(0)?;
+        if self.eat_punct("?") {
+            let t = self.expr()?;
+            self.expect_punct(":")?;
+            let e = self.ternary()?;
+            Ok(CExpr::Cond(Box::new(c), Box::new(t), Box::new(e)))
+        } else {
+            Ok(c)
+        }
+    }
+
+    fn binary(&mut self, min_prec: u8) -> Result<CExpr> {
+        let mut lhs = self.unary()?;
+        while let Some((op, prec)) = self.peek_binop() {
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.binary(prec + 1)?;
+            lhs = CExpr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn peek_binop(&self) -> Option<(CBinOp, u8)> {
+        let TokenKind::Punct(p) = &self.peek().kind else {
+            return None;
+        };
+        Some(match *p {
+            "||" => (CBinOp::LOr, 1),
+            "&&" => (CBinOp::LAnd, 2),
+            "|" => (CBinOp::BitOr, 3),
+            "^" => (CBinOp::BitXor, 4),
+            "&" => (CBinOp::BitAnd, 5),
+            "==" => (CBinOp::Eq, 6),
+            "!=" => (CBinOp::Ne, 6),
+            "<" => (CBinOp::Lt, 7),
+            "<=" => (CBinOp::Le, 7),
+            ">" => (CBinOp::Gt, 7),
+            ">=" => (CBinOp::Ge, 7),
+            "<<" => (CBinOp::Shl, 8),
+            ">>" => (CBinOp::Shr, 8),
+            "+" => (CBinOp::Add, 9),
+            "-" => (CBinOp::Sub, 9),
+            "*" => (CBinOp::Mul, 10),
+            "/" => (CBinOp::Div, 10),
+            "%" => (CBinOp::Mod, 10),
+            _ => return None,
+        })
+    }
+
+    fn unary(&mut self) -> Result<CExpr> {
+        self.depth += 1;
+        let r = if self.depth > MAX_NESTING {
+            self.err("expression nesting too deep")
+        } else {
+            self.unary_inner()
+        };
+        self.depth -= 1;
+        r
+    }
+
+    fn unary_inner(&mut self) -> Result<CExpr> {
+        if self.eat_punct("-") {
+            return Ok(CExpr::Unary(CUnOp::Neg, Box::new(self.unary()?)));
+        }
+        if self.eat_punct("!") {
+            return Ok(CExpr::Unary(CUnOp::Not, Box::new(self.unary()?)));
+        }
+        if self.eat_punct("~") {
+            return Ok(CExpr::Unary(CUnOp::BitNot, Box::new(self.unary()?)));
+        }
+        if self.eat_punct("*") {
+            return Ok(CExpr::Unary(CUnOp::Deref, Box::new(self.unary()?)));
+        }
+        if self.at_punct("&") {
+            return self.err(
+                "`&` (address-of) is not in the supported subset \
+                 (no references to local variables)",
+            );
+        }
+        if self.at_ident("sizeof") {
+            self.bump();
+            self.expect_punct("(")?;
+            let t = self.full_type()?;
+            self.expect_punct(")")?;
+            return Ok(CExpr::SizeOf(t));
+        }
+        // Cast: `(` followed by a type keyword.
+        if self.at_punct("(")
+            && matches!(&self.peek2().kind,
+                TokenKind::Ident(n) if TYPE_KEYWORDS.contains(&n.as_str()))
+        {
+            self.bump();
+            let t = self.full_type()?;
+            self.expect_punct(")")?;
+            return Ok(CExpr::Cast(t, Box::new(self.unary()?)));
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<CExpr> {
+        let mut e = self.primary()?;
+        loop {
+            if self.eat_punct("->") {
+                let f = self.expect_any_ident()?;
+                e = CExpr::Arrow(Box::new(e), f);
+            } else if self.eat_punct(".") {
+                let f = self.expect_any_ident()?;
+                e = CExpr::Member(Box::new(e), f);
+            } else if self.eat_punct("[") {
+                let i = self.expr()?;
+                self.expect_punct("]")?;
+                e = CExpr::Index(Box::new(e), Box::new(i));
+            } else if self.at_punct("(") {
+                let CExpr::Ident(name) = e else {
+                    return self.err("calls through function pointers are unsupported");
+                };
+                self.bump();
+                let mut args = Vec::new();
+                if !self.eat_punct(")") {
+                    loop {
+                        args.push(self.expr()?);
+                        if !self.eat_punct(",") {
+                            break;
+                        }
+                    }
+                    self.expect_punct(")")?;
+                }
+                e = CExpr::Call(name, args);
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<CExpr> {
+        self.check_unsupported()?;
+        match &self.peek().kind {
+            TokenKind::IntLit(v, u) => {
+                let e = CExpr::IntLit(*v, *u);
+                self.pos += 1;
+                Ok(e)
+            }
+            TokenKind::CharLit(c) => {
+                let e = CExpr::IntLit(u64::from(*c), false);
+                self.pos += 1;
+                Ok(e)
+            }
+            TokenKind::Ident(n) if n == "NULL" => {
+                self.pos += 1;
+                Ok(CExpr::Null)
+            }
+            TokenKind::Ident(n) => {
+                let e = CExpr::Ident(n.clone());
+                self.pos += 1;
+                Ok(e)
+            }
+            TokenKind::Punct("(") => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            k => self.err(format!("expected expression, found {}", describe(k))),
+        }
+    }
+}
+
+/// Does this statement list contain a `continue` that would bind to the
+/// enclosing loop (i.e. not nested inside another loop)?
+fn contains_direct_continue(stmts: &[Stmt]) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::Continue => true,
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => contains_direct_continue(then_branch) || contains_direct_continue(else_branch),
+        Stmt::Block(b) => contains_direct_continue(b),
+        _ => false,
+    })
+}
+
+fn describe(k: &TokenKind) -> String {
+    match k {
+        TokenKind::Ident(n) => format!("`{n}`"),
+        TokenKind::IntLit(v, _) => format!("`{v}`"),
+        TokenKind::CharLit(c) => format!("character literal `{}`", *c as char),
+        TokenKind::Punct(p) => format!("`{p}`"),
+        TokenKind::Eof => "end of input".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn p(src: &str) -> Program {
+        parse(&lex(src).unwrap()).unwrap()
+    }
+
+    fn perr(src: &str) -> ParseError {
+        parse(&lex(src).unwrap()).unwrap_err()
+    }
+
+    #[test]
+    fn max_function() {
+        let prog = p("int max(int a, int b) { if (a < b) return b; return a; }");
+        let f = &prog.functions[0];
+        assert_eq!(f.name, "max");
+        assert_eq!(f.ret, CType::INT);
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.body.len(), 2);
+        assert!(matches!(&f.body[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn struct_and_pointers() {
+        let prog = p("struct node { struct node *next; unsigned data; };\n\
+                      struct node *head;");
+        assert_eq!(prog.structs[0].name, "node");
+        assert_eq!(prog.structs[0].fields.len(), 2);
+        assert_eq!(
+            prog.structs[0].fields[0].1,
+            CType::Struct("node".into()).ptr_to()
+        );
+        assert_eq!(prog.globals[0].ty, CType::Struct("node".into()).ptr_to());
+    }
+
+    #[test]
+    fn types() {
+        let prog = p("unsigned char a; short b; unsigned long long c; long d; char e;");
+        let tys: Vec<&CType> = prog.globals.iter().map(|g| &g.ty).collect();
+        assert_eq!(*tys[0], CType::Int(Width::W8, Signedness::Unsigned));
+        assert_eq!(*tys[1], CType::Int(Width::W16, Signedness::Signed));
+        assert_eq!(*tys[2], CType::Int(Width::W64, Signedness::Unsigned));
+        assert_eq!(*tys[3], CType::Int(Width::W32, Signedness::Signed));
+        assert_eq!(*tys[4], CType::Int(Width::W8, Signedness::Unsigned));
+    }
+
+    #[test]
+    fn loops_and_control() {
+        let prog = p("void f(void) { while (1) { break; } do { continue; } while (0); }");
+        assert!(matches!(&prog.functions[0].body[0], Stmt::While { .. }));
+        assert!(matches!(&prog.functions[0].body[1], Stmt::DoWhile { .. }));
+    }
+
+    #[test]
+    fn for_desugars() {
+        let prog = p("void f(void) { for (int i = 0; i < 10; i++) { } }");
+        let Stmt::Block(b) = &prog.functions[0].body[0] else {
+            panic!("expected block");
+        };
+        assert!(matches!(&b[0], Stmt::Decl { name, .. } if name == "i"));
+        let Stmt::While { body, .. } = &b[1] else {
+            panic!("expected while");
+        };
+        assert!(matches!(&body[0], Stmt::Assign { .. }), "step appended");
+    }
+
+    #[test]
+    fn for_with_continue_rejected() {
+        let e = perr("void f(void) { for (;;) { continue; } }");
+        assert!(e.msg.contains("continue"));
+        // ... but a nested while's continue is fine.
+        p("void f(void) { for (;;) { while (1) { continue; } } }");
+    }
+
+    #[test]
+    fn expressions() {
+        let prog = p("unsigned f(unsigned l, unsigned r) { unsigned m = (l + r) / 2; return m; }");
+        let Stmt::Decl { init: Some(e), .. } = &prog.functions[0].body[0] else {
+            panic!("expected decl");
+        };
+        assert_eq!(
+            *e,
+            CExpr::Binary(
+                CBinOp::Div,
+                Box::new(CExpr::Binary(
+                    CBinOp::Add,
+                    Box::new(CExpr::Ident("l".into())),
+                    Box::new(CExpr::Ident("r".into()))
+                )),
+                Box::new(CExpr::IntLit(2, false))
+            )
+        );
+    }
+
+    #[test]
+    fn precedence() {
+        let prog = p("int g; void f(void) { g = 1 + 2 * 3 == 7 && 1 < 2; }");
+        let Stmt::Assign { rhs, .. } = &prog.functions[0].body[0] else {
+            panic!()
+        };
+        // (((1 + (2*3)) == 7) && (1 < 2))
+        let CExpr::Binary(CBinOp::LAnd, l, _) = rhs else {
+            panic!("top is &&: {rhs:?}")
+        };
+        assert!(matches!(**l, CExpr::Binary(CBinOp::Eq, _, _)));
+    }
+
+    #[test]
+    fn pointer_ops_and_arrow() {
+        let prog = p("struct node { struct node *next; };\n\
+                      void f(struct node *p) { p->next = NULL; *p = *p; }");
+        assert!(matches!(
+            &prog.functions[0].body[0],
+            Stmt::Assign {
+                lhs: CExpr::Arrow(..),
+                rhs: CExpr::Null
+            }
+        ));
+    }
+
+    #[test]
+    fn casts_and_sizeof() {
+        let prog = p("void f(void) { unsigned x = (unsigned)(-1); unsigned s = sizeof(int); }");
+        let Stmt::Decl { init: Some(e), .. } = &prog.functions[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(e, CExpr::Cast(CType::UINT, _)));
+    }
+
+    #[test]
+    fn compound_assignment_desugars() {
+        let prog = p("void f(int x) { x += 2; x++; --x; }");
+        for s in &prog.functions[0].body {
+            let Stmt::Assign { rhs, .. } = s else {
+                panic!("expected assign")
+            };
+            assert!(matches!(rhs, CExpr::Binary(..)));
+        }
+    }
+
+    #[test]
+    fn unsupported_features_rejected() {
+        assert!(perr("void f(void) { goto end; }").msg.contains("goto"));
+        assert!(perr("void f(int x) { switch (x) { } }").msg.contains("switch"));
+        assert!(perr("union u { int a; };").msg.contains("union"));
+        assert!(perr("float x;").msg.contains("float"));
+        assert!(perr("void f(void) { int a[10]; }").msg.contains("arrays"));
+        assert!(perr("void f(int x) { int *p = &x; }").msg.contains("address-of"));
+    }
+
+    #[test]
+    fn prototypes() {
+        let prog = p("int g(int x); int f(int x) { return g(x); }");
+        assert_eq!(prog.functions.len(), 2);
+        assert!(prog.functions[0].body.is_empty());
+    }
+
+    #[test]
+    fn ternary_and_index() {
+        let prog = p("int f(int *a, int i) { return a[i] > 0 ? a[i] : 0; }");
+        let Stmt::Return(Some(CExpr::Cond(..))) = &prog.functions[0].body[0] else {
+            panic!()
+        };
+    }
+}

@@ -1,0 +1,110 @@
+//! Robustness fuzzing: the frontend must never panic — every input, however
+//! mangled, yields `Ok` or a clean `Err`.
+
+use cparser::parse_and_check;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SEEDS: [&str; 6] = [
+    "unsigned f(unsigned a, unsigned b) { return a < b ? b : a; }",
+    "struct node { struct node *next; unsigned data; };\n\
+     unsigned len(struct node *p) { unsigned n = 0u; while (p) { n = n + 1u; p = p->next; } return n; }",
+    "int gcd(int a, int b) { while (b != 0) { int t = b; b = a % b; a = t; } return a; }",
+    "unsigned long long mix(unsigned x) { return (unsigned long long)x * 2654435761u; }",
+    "void store(unsigned *p, unsigned v) { *p = v; if (v) { *p = *p + 1u; } }",
+    "short narrow(int x) { return (short)(x >> 3); }",
+];
+
+/// Characters the lexer can meet, weighted toward C-looking text.
+fn random_char(rng: &mut StdRng) -> char {
+    const POOL: &[u8] = b"abcxyz_ 0123456789+-*/%<>=!&|^~(){};,.\"'\\\n\t?:#[]";
+    POOL[rng.gen_range(0..POOL.len())] as char
+}
+
+#[test]
+fn random_garbage_never_panics() {
+    let mut rng = StdRng::seed_from_u64(0xBAD_C0DE);
+    for _ in 0..2_000 {
+        let len = rng.gen_range(0..200);
+        let src: String = (0..len).map(|_| random_char(&mut rng)).collect();
+        let _ = parse_and_check(&src);
+    }
+}
+
+#[test]
+fn mutated_valid_sources_never_panic() {
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    for _ in 0..2_000 {
+        let base = SEEDS[rng.gen_range(0..SEEDS.len())];
+        let mut bytes: Vec<u8> = base.bytes().collect();
+        for _ in 0..rng.gen_range(1..=4) {
+            if bytes.is_empty() {
+                break;
+            }
+            let i = rng.gen_range(0..bytes.len());
+            match rng.gen_range(0..3) {
+                0 => bytes[i] = random_char(&mut rng) as u8,
+                1 => {
+                    bytes.remove(i);
+                }
+                _ => bytes.insert(i, random_char(&mut rng) as u8),
+            }
+        }
+        if let Ok(src) = String::from_utf8(bytes) {
+            let _ = parse_and_check(&src);
+        }
+    }
+}
+
+#[test]
+fn truncations_never_panic() {
+    // Every prefix of every seed program: unterminated everything.
+    for base in SEEDS {
+        for cut in 0..=base.len() {
+            if base.is_char_boundary(cut) {
+                let _ = parse_and_check(&base[..cut]);
+            }
+        }
+    }
+}
+
+#[test]
+fn deep_nesting_is_handled() {
+    // Deeply nested expressions and blocks: either accepted or a clean
+    // error, no stack overflow at reasonable depths.
+    for depth in [10usize, 100, 400] {
+        let expr = format!(
+            "unsigned f(unsigned x) {{ return {}x{}; }}",
+            "(".repeat(depth),
+            ")".repeat(depth)
+        );
+        let _ = parse_and_check(&expr);
+        let blocks = format!(
+            "void g(void) {{ {} {} }}",
+            "{ ".repeat(depth),
+            "} ".repeat(depth)
+        );
+        let _ = parse_and_check(&blocks);
+    }
+}
+
+#[test]
+fn pathological_tokens() {
+    for src in [
+        "int f(void) { return 999999999999999999999999999999; }",
+        "int f(void) { return 0x; }",
+        "int f(void) { return 1e; }",
+        "unsigned f(void) { return 4294967295u; }",
+        "int \u{FFFD} (void) {}",
+        "/* unterminated",
+        "// only a comment",
+        "int f(void) { return 'a'; }",
+        "int f(void) { return \"str\"; }",
+        ";;;;;;",
+        "int;",
+        "int f(int, int);",
+        "int f(f f(f f)) f;",
+    ] {
+        let _ = parse_and_check(src);
+    }
+}

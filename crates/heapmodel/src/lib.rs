@@ -1,0 +1,232 @@
+//! Heap lifting: from the byte-level memory model to typed split heaps.
+//!
+//! Implements the paper's Sec 4.2 (`heap_lift`, Fig 4) and the state
+//! abstraction function `st : globals ⇒ abs_globals` of Sec 4.5 that the
+//! heap-abstraction refinement statement `abs_h_stmt` is phrased over.
+//!
+//! `heap_lift s p` projects the byte heap to a partial object heap:
+//!
+//! ```text
+//! heap_lift s p ≡
+//!   if type_tag_valid s p ∧ ptr_aligned p ∧ 0 ∉ {p ..+ obj_size p}
+//!   then Some (read s p) else None
+//! ```
+//!
+//! # Example (the Fig 4 scenario)
+//!
+//! ```
+//! use heapmodel::heap_lift;
+//! use ir::mem::Memory;
+//! use ir::ty::{Ty, TypeEnv};
+//! use ir::value::Value;
+//!
+//! let tenv = TypeEnv::new();
+//! let mut mem = Memory::new();
+//! mem.alloc(0xf300, &Value::u32(0x2159_48a4), &tenv).unwrap();
+//!
+//! // Lifting at the tagged, aligned address succeeds …
+//! assert_eq!(heap_lift(&mem, &tenv, &Ty::U32, 0xf300), Some(Value::u32(0x2159_48a4)));
+//! // … but a misaligned or differently-typed view resolves to None.
+//! assert_eq!(heap_lift(&mem, &tenv, &Ty::U32, 0xf301), None);
+//! assert_eq!(heap_lift(&mem, &tenv, &Ty::U16, 0xf300), None);
+//! ```
+
+use ir::mem::Memory;
+use ir::state::{AbsState, ConcState, TypedHeap};
+use ir::ty::{Ty, TypeEnv};
+use ir::value::Value;
+
+/// `heap_lift s p` for pointee type `ty` at address `addr`.
+///
+/// Returns `Some(value)` iff the address is correctly tagged for `ty` over
+/// the object's whole footprint, aligned, non-null, and the object does not
+/// wrap around the end of the address space.
+#[must_use]
+pub fn heap_lift(mem: &Memory, tenv: &TypeEnv, ty: &Ty, addr: u64) -> Option<Value> {
+    if mem.type_tag_valid(addr, ty, tenv)
+        && Memory::ptr_aligned(addr, ty, tenv)
+        && Memory::null_free(addr, ty, tenv)
+    {
+        mem.decode(addr, ty, tenv).ok()
+    } else {
+        None
+    }
+}
+
+/// Is `heap_lift` defined at this address? (The abstract `is_valid_τ`.)
+#[must_use]
+pub fn lift_defined(mem: &Memory, tenv: &TypeEnv, ty: &Ty, addr: u64) -> bool {
+    heap_lift(mem, tenv, ty, addr).is_some()
+}
+
+/// The state abstraction function `st : globals ⇒ abs_globals` (Sec 4.5).
+///
+/// For each type in `heap_types`, the abstract validity function holds where
+/// `heap_lift` is defined, and the abstract data function carries the lifted
+/// values. Locals and globals are carried over unchanged.
+///
+/// (Our typed heaps are finite maps rather than total functions: addresses
+/// absent from `vals` read as the type's zero value, which matches reading
+/// from all-zero untagged memory.)
+#[must_use]
+pub fn lift_state(conc: &ConcState, tenv: &TypeEnv, heap_types: &[Ty]) -> AbsState {
+    let mut out = AbsState {
+        locals: conc.locals.clone(),
+        globals: conc.globals.clone(),
+        ..AbsState::default()
+    };
+    for ty in heap_types {
+        let mut heap = TypedHeap::default();
+        for (addr, tag_ty) in conc.mem.tagged_objects() {
+            if tag_ty == ty {
+                if let Some(v) = heap_lift(&conc.mem, tenv, ty, addr) {
+                    heap.valid.insert(addr);
+                    heap.vals.insert(addr, v);
+                }
+            }
+        }
+        out.heaps.insert(ty.clone(), heap);
+    }
+    out
+}
+
+/// Lifts a full [`ir::state::State`], passing abstract states through
+/// unchanged (useful in generic validators).
+#[must_use]
+pub fn lift(st: &ir::state::State, tenv: &TypeEnv, heap_types: &[Ty]) -> AbsState {
+    match st {
+        ir::state::State::Conc(c) => lift_state(c, tenv, heap_types),
+        ir::state::State::Abs(a) => a.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir::value::Ptr;
+
+    fn node_tenv() -> TypeEnv {
+        let mut tenv = TypeEnv::new();
+        tenv.define_struct(
+            "node",
+            vec![
+                ("next".into(), Ty::Struct("node".into()).ptr_to()),
+                ("data".into(), Ty::U32),
+            ],
+        )
+        .unwrap();
+        tenv
+    }
+
+    #[test]
+    fn lift_requires_all_three_conditions() {
+        let tenv = TypeEnv::new();
+        let mut mem = Memory::new();
+        mem.alloc(0x100, &Value::u32(7), &tenv).unwrap();
+
+        // tagged + aligned + null-free
+        assert!(lift_defined(&mem, &tenv, &Ty::U32, 0x100));
+        // untagged
+        assert!(!lift_defined(&mem, &tenv, &Ty::U32, 0x200));
+        // misaligned (also has wrong tags, but alignment alone kills it)
+        let mut m2 = Memory::new();
+        m2.tag_region(0x101, &Ty::U32, &tenv).unwrap();
+        assert!(!lift_defined(&m2, &tenv, &Ty::U32, 0x101));
+        // NULL
+        let mut m3 = Memory::new();
+        m3.tag_region(0, &Ty::U32, &tenv).unwrap();
+        assert!(!lift_defined(&m3, &tenv, &Ty::U32, 0));
+        // wraps around the address space
+        let mut m4 = Memory::new();
+        m4.tag_region(0xFFFF_FFFE, &Ty::U16, &tenv).unwrap();
+        assert!(lift_defined(&m4, &tenv, &Ty::U16, 0xFFFF_FFFE));
+        let mut m5 = Memory::new();
+        m5.tag_region(0xFFFF_FFFC, &Ty::U32, &tenv).unwrap();
+        assert!(lift_defined(&m5, &tenv, &Ty::U32, 0xFFFF_FFFC));
+    }
+
+    #[test]
+    fn objects_cannot_alias_at_different_types() {
+        // Fig 4: once the w16 object is tagged, the overlapping w8 view at
+        // the same address is not liftable.
+        let tenv = TypeEnv::new();
+        let mut mem = Memory::new();
+        mem.alloc(0xf300, &Value::Word(ir::word::Word::new(0x48a4, ir::ty::Width::W16, ir::ty::Signedness::Unsigned)), &tenv)
+            .unwrap();
+        assert!(lift_defined(&mem, &tenv, &Ty::U16, 0xf300));
+        assert!(!lift_defined(&mem, &tenv, &Ty::U8, 0xf300));
+        assert!(!lift_defined(&mem, &tenv, &Ty::U8, 0xf301));
+    }
+
+    #[test]
+    fn lift_state_builds_split_heaps() {
+        let tenv = node_tenv();
+        let node_ty = Ty::Struct("node".into());
+        let mut conc = ConcState::default();
+        let node = Value::Struct(
+            "node".into(),
+            vec![
+                ("next".into(), Value::Ptr(Ptr::null(node_ty.clone()))),
+                ("data".into(), Value::u32(42)),
+            ],
+        );
+        conc.mem.alloc(0x1000, &node, &tenv).unwrap();
+        conc.mem.alloc(0x2000, &Value::u32(7), &tenv).unwrap();
+        conc.globals.insert("g".into(), Value::u32(1));
+
+        let abs = lift_state(&conc, &tenv, &[node_ty.clone(), Ty::U32]);
+        let nh = abs.heap(&node_ty).unwrap();
+        assert!(nh.is_valid(0x1000));
+        assert_eq!(nh.get(0x1000), Some(&node));
+        let wh = abs.heap(&Ty::U32).unwrap();
+        assert!(wh.is_valid(0x2000));
+        assert!(!wh.is_valid(0x1000), "node object is not a u32 object");
+        assert_eq!(abs.globals.get("g"), Some(&Value::u32(1)));
+    }
+
+    #[test]
+    fn writes_to_valid_addresses_commute_with_lifting() {
+        // heap_lift (write s p v) = (heap_lift s)(p := Some v)  — Sec 4.2.
+        let tenv = TypeEnv::new();
+        let mut conc = ConcState::default();
+        conc.mem.alloc(0x100, &Value::u32(1), &tenv).unwrap();
+        conc.mem.alloc(0x200, &Value::u32(2), &tenv).unwrap();
+
+        let before = lift_state(&conc, &tenv, &[Ty::U32]);
+        conc.mem.encode(0x100, &Value::u32(99), &tenv).unwrap();
+        let after = lift_state(&conc, &tenv, &[Ty::U32]);
+
+        let hb = before.heap(&Ty::U32).unwrap();
+        let ha = after.heap(&Ty::U32).unwrap();
+        assert_eq!(ha.get(0x100), Some(&Value::u32(99)));
+        assert_eq!(ha.get(0x200), hb.get(0x200), "disjoint object untouched");
+        assert_eq!(ha.valid, hb.valid, "validity unchanged by data writes");
+    }
+
+    #[test]
+    fn retyping_moves_objects_between_heaps() {
+        let tenv = TypeEnv::new();
+        let mut conc = ConcState::default();
+        conc.mem.alloc(0x100, &Value::u32(0xAABBCCDD), &tenv).unwrap();
+        let abs = lift_state(&conc, &tenv, &[Ty::U32, Ty::U16]);
+        assert!(abs.heap(&Ty::U32).unwrap().is_valid(0x100));
+        assert!(!abs.heap(&Ty::U16).unwrap().is_valid(0x100));
+
+        // Retype as two u16s (malloc/free-style reuse).
+        conc.mem.tag_region(0x100, &Ty::U16, &tenv).unwrap();
+        conc.mem.tag_region(0x102, &Ty::U16, &tenv).unwrap();
+        let abs = lift_state(&conc, &tenv, &[Ty::U32, Ty::U16]);
+        assert!(!abs.heap(&Ty::U32).unwrap().is_valid(0x100));
+        assert!(abs.heap(&Ty::U16).unwrap().is_valid(0x100));
+        assert!(abs.heap(&Ty::U16).unwrap().is_valid(0x102));
+        // The bytes are preserved: the u16 views read the old halves.
+        assert_eq!(
+            abs.heap(&Ty::U16).unwrap().get(0x100),
+            Some(&Value::Word(ir::word::Word::new(
+                0xCCDD,
+                ir::ty::Width::W16,
+                ir::ty::Signedness::Unsigned
+            )))
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests for heap lifting: totality, the Sec 4.2 laws, and
+//! retyping behaviour on random memories.
+
+use heapmodel::{heap_lift, lift_defined, lift_state};
+use ir::mem::Memory;
+use ir::state::ConcState;
+use ir::ty::{Ty, TypeEnv};
+use ir::value::Value;
+use proptest::prelude::*;
+
+fn arb_addr() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        (0u64..64).prop_map(|k| 0x100 + k * 4),
+        (0u64..0x300u64),
+        Just(0u64),
+    ]
+}
+
+proptest! {
+    /// Lifting is defined exactly on tagged, aligned, null-free objects.
+    #[test]
+    fn lift_definedness(objs in proptest::collection::vec((arb_addr(), any::<u32>()), 0..8),
+                        probe in arb_addr()) {
+        let tenv = TypeEnv::new();
+        let mut mem = Memory::new();
+        let mut expect_valid = std::collections::BTreeSet::new();
+        for (addr, v) in &objs {
+            if *addr != 0 && addr % 4 == 0 {
+                mem.alloc(*addr, &Value::u32(*v), &tenv).unwrap();
+                // Later allocations may overwrite earlier tags; track last.
+                expect_valid.retain(|a: &u64| {
+                    *a + 4 <= *addr || *a >= addr + 4
+                });
+                expect_valid.insert(*addr);
+            }
+        }
+        let defined = lift_defined(&mem, &tenv, &Ty::U32, probe);
+        prop_assert_eq!(defined, expect_valid.contains(&probe));
+    }
+
+    /// Lifted values decode the current bytes.
+    #[test]
+    fn lift_reads_current_bytes(v1 in any::<u32>(), v2 in any::<u32>()) {
+        let tenv = TypeEnv::new();
+        let mut mem = Memory::new();
+        mem.alloc(0x100, &Value::u32(v1), &tenv).unwrap();
+        prop_assert_eq!(heap_lift(&mem, &tenv, &Ty::U32, 0x100), Some(Value::u32(v1)));
+        mem.encode(0x100, &Value::u32(v2), &tenv).unwrap();
+        prop_assert_eq!(heap_lift(&mem, &tenv, &Ty::U32, 0x100), Some(Value::u32(v2)));
+    }
+
+    /// lift_state is stable under re-lifting (idempotence through the
+    /// abstract side: lifting the same concrete state twice gives the same
+    /// abstract state).
+    #[test]
+    fn lift_state_deterministic(objs in proptest::collection::vec((arb_addr(), any::<u32>()), 0..6)) {
+        let tenv = TypeEnv::new();
+        let mut st = ConcState::default();
+        for (addr, v) in &objs {
+            if *addr != 0 && addr % 4 == 0 {
+                st.mem.alloc(*addr, &Value::u32(*v), &tenv).unwrap();
+            }
+        }
+        let a = lift_state(&st, &tenv, &[Ty::U32]);
+        let b = lift_state(&st, &tenv, &[Ty::U32]);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Retyping a u32 region as u16s removes it from the u32 heap and adds
+    /// two u16 objects whose concatenation is the original bytes.
+    #[test]
+    fn retyping_preserves_bytes(v in any::<u32>()) {
+        let tenv = TypeEnv::new();
+        let mut st = ConcState::default();
+        st.mem.alloc(0x100, &Value::u32(v), &tenv).unwrap();
+        st.mem.tag_region(0x100, &Ty::U16, &tenv).unwrap();
+        st.mem.tag_region(0x102, &Ty::U16, &tenv).unwrap();
+        let abs = lift_state(&st, &tenv, &[Ty::U32, Ty::U16]);
+        prop_assert!(!abs.heaps[&Ty::U32].is_valid(0x100));
+        let lo = abs.heaps[&Ty::U16].get(0x100).cloned();
+        let hi = abs.heaps[&Ty::U16].get(0x102).cloned();
+        let (Some(Value::Word(lo)), Some(Value::Word(hi))) = (lo, hi) else {
+            return Err(TestCaseError::fail("u16 views missing"));
+        };
+        prop_assert_eq!(lo.bits() as u32 | ((hi.bits() as u32) << 16), v);
+    }
+}

@@ -1,0 +1,547 @@
+//! The expression evaluator.
+//!
+//! [`eval`] gives [`Expr`] its meaning as a function of an environment (the
+//! lambda-bound variables) and a [`State`]. Evaluation is *total* on
+//! well-typed, guard-protected programs: C's undefined behaviours are ruled
+//! out by guard statements before the corresponding operation is evaluated,
+//! and the partial operations themselves follow HOL's total-function
+//! conventions (`x div 0 = 0`, reads of invalid abstract addresses return
+//! the type's zero value).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use bignum::Int;
+#[cfg(test)]
+use bignum::Nat;
+
+use crate::expr::{BinOp, CastKind, Expr, UnOp};
+use crate::mem::Memory;
+use crate::state::State;
+use crate::ty::TypeEnv;
+use crate::value::{Ptr, Value};
+use crate::word::Word;
+
+/// The evaluation environment: lambda-bound variables plus the type
+/// environment (needed for layout-dependent operations).
+#[derive(Clone, Debug, Default)]
+pub struct Env {
+    /// Bound variables.
+    pub vars: HashMap<String, Value>,
+    /// Structure layouts.
+    pub tenv: TypeEnv,
+}
+
+impl Env {
+    /// An empty environment with no structure types.
+    #[must_use]
+    pub fn new() -> Env {
+        Env::default()
+    }
+
+    /// An empty environment over the given type environment.
+    #[must_use]
+    pub fn with_tenv(tenv: TypeEnv) -> Env {
+        Env {
+            vars: HashMap::new(),
+            tenv,
+        }
+    }
+
+    /// Returns a copy with `name` bound to `v`.
+    #[must_use]
+    pub fn bind(&self, name: &str, v: Value) -> Env {
+        let mut e = self.clone();
+        e.vars.insert(name.to_owned(), v);
+        e
+    }
+
+    /// Binds `name` to `v` in place.
+    pub fn bind_mut(&mut self, name: &str, v: Value) {
+        self.vars.insert(name.to_owned(), v);
+    }
+}
+
+/// An error during evaluation. On guard-protected programs these indicate
+/// ill-typed terms (a bug in a translation), not runtime faults — runtime
+/// faults are modelled by failing guards, which the *interpreters* handle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvalError {
+    /// Reference to an unbound variable.
+    Unbound(String),
+    /// Operand types do not fit the operator.
+    TypeMismatch(String),
+    /// Byte-level operation applied to an abstract state (or vice versa).
+    WrongStateShape(String),
+    /// Encode/decode failure (unknown struct, unrepresentable value).
+    Codec(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Unbound(n) => write!(f, "unbound variable `{n}`"),
+            EvalError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            EvalError::WrongStateShape(m) => write!(f, "wrong state shape: {m}"),
+            EvalError::Codec(m) => write!(f, "codec: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+type Result<T> = std::result::Result<T, EvalError>;
+
+fn mismatch(op: impl fmt::Display, vs: &[&Value]) -> EvalError {
+    let tys: Vec<String> = vs.iter().map(|v| v.ty().to_string()).collect();
+    EvalError::TypeMismatch(format!("`{op}` applied to ({})", tys.join(", ")))
+}
+
+/// Evaluates `e` in environment `env` and state `st`.
+///
+/// # Errors
+///
+/// Returns an [`EvalError`] on unbound variables, ill-typed operator
+/// applications, or byte-level access to abstract states.
+pub fn eval(e: &Expr, env: &Env, st: &State) -> Result<Value> {
+    match e {
+        Expr::Lit(v) => Ok(v.clone()),
+        Expr::Var(n) => env
+            .vars
+            .get(n)
+            .cloned()
+            .ok_or_else(|| EvalError::Unbound(n.clone())),
+        Expr::Local(n) => st
+            .local(n)
+            .cloned()
+            .ok_or_else(|| EvalError::Unbound(format!("local `{n}`"))),
+        Expr::Global(n) => st
+            .global(n)
+            .cloned()
+            .ok_or_else(|| EvalError::Unbound(format!("global `{n}`"))),
+        Expr::ReadHeap(ty, p) => {
+            let pv = eval_ptr(p, env, st)?;
+            match st {
+                State::Conc(cs) => cs
+                    .mem
+                    .decode(pv.addr, ty, &env.tenv)
+                    .map_err(|e| EvalError::Codec(e.to_string())),
+                State::Abs(asx) => Ok(asx
+                    .heap(ty)
+                    .and_then(|h| h.get(pv.addr))
+                    .cloned()
+                    .unwrap_or_else(|| Value::zero_of(ty, &env.tenv))),
+            }
+        }
+        Expr::ReadByte(p) => {
+            let pv = eval_ptr(p, env, st)?;
+            match st {
+                State::Conc(cs) => Ok(Value::Word(Word::u8(cs.mem.read_byte(pv.addr)))),
+                State::Abs(_) => Err(EvalError::WrongStateShape(
+                    "byte read on abstract state".into(),
+                )),
+            }
+        }
+        Expr::IsValid(ty, p) => {
+            let pv = eval_ptr(p, env, st)?;
+            match st {
+                // On the concrete state, validity is definedness of
+                // heap_lift: tags + alignment + null-freedom (Sec 4.2).
+                State::Conc(cs) => Ok(Value::Bool(
+                    cs.mem.type_tag_valid(pv.addr, ty, &env.tenv)
+                        && Memory::ptr_aligned(pv.addr, ty, &env.tenv)
+                        && Memory::null_free(pv.addr, ty, &env.tenv),
+                )),
+                State::Abs(asx) => Ok(Value::Bool(
+                    asx.heap(ty).is_some_and(|h| h.is_valid(pv.addr)),
+                )),
+            }
+        }
+        Expr::PtrAligned(ty, p) => {
+            let pv = eval_ptr(p, env, st)?;
+            Ok(Value::Bool(Memory::ptr_aligned(pv.addr, ty, &env.tenv)))
+        }
+        Expr::NullFree(ty, p) => {
+            let pv = eval_ptr(p, env, st)?;
+            Ok(Value::Bool(Memory::null_free(pv.addr, ty, &env.tenv)))
+        }
+        Expr::Field(s, f) => {
+            let sv = eval(s, env, st)?;
+            sv.field(f)
+                .cloned()
+                .ok_or_else(|| mismatch(format!("field `{f}`"), &[&sv]))
+        }
+        Expr::UpdateField(s, f, v) => {
+            let sv = eval(s, env, st)?;
+            let vv = eval(v, env, st)?;
+            sv.with_field(f, vv)
+                .ok_or_else(|| mismatch(format!("field update `{f}`"), &[&sv]))
+        }
+        Expr::UnOp(op, a) => {
+            let av = eval(a, env, st)?;
+            eval_unop(*op, &av)
+        }
+        Expr::BinOp(op, a, b) => eval_binop(*op, a, b, env, st),
+        Expr::Cast(k, a) => {
+            let av = eval(a, env, st)?;
+            eval_cast(k, &av)
+        }
+        Expr::Ite(c, t, f) => {
+            let cv = eval(c, env, st)?;
+            match cv.as_bool() {
+                Some(true) => eval(t, env, st),
+                Some(false) => eval(f, env, st),
+                None => Err(mismatch("if", &[&cv])),
+            }
+        }
+        Expr::Tuple(es) => {
+            let mut vs = Vec::with_capacity(es.len());
+            for e in es {
+                vs.push(eval(e, env, st)?);
+            }
+            Ok(Value::Tuple(vs))
+        }
+        Expr::Proj(i, e) => {
+            let v = eval(e, env, st)?;
+            match v {
+                Value::Tuple(mut vs) if *i < vs.len() => Ok(vs.swap_remove(*i)),
+                v => Err(mismatch(format!("proj {i}"), &[&v])),
+            }
+        }
+    }
+}
+
+/// Evaluates an expression that must be a pointer.
+fn eval_ptr(e: &Expr, env: &Env, st: &State) -> Result<Ptr> {
+    let v = eval(e, env, st)?;
+    match v {
+        Value::Ptr(p) => Ok(p),
+        v => Err(mismatch("pointer operation", &[&v])),
+    }
+}
+
+/// Evaluates an expression that must be a boolean.
+///
+/// # Errors
+///
+/// Propagates evaluation errors; errors if the result is not a boolean.
+pub fn eval_bool(e: &Expr, env: &Env, st: &State) -> Result<bool> {
+    let v = eval(e, env, st)?;
+    v.as_bool().ok_or_else(|| mismatch("condition", &[&v]))
+}
+
+fn eval_unop(op: UnOp, a: &Value) -> Result<Value> {
+    match (op, a) {
+        (UnOp::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
+        (UnOp::BitNot, Value::Word(w)) => Ok(Value::Word(w.not())),
+        (UnOp::Neg, Value::Word(w)) => Ok(Value::Word(w.wrapping_neg())),
+        (UnOp::Neg, Value::Int(i)) => Ok(Value::Int(-i)),
+        _ => Err(mismatch(format!("{op:?}"), &[a])),
+    }
+}
+
+fn eval_binop(op: BinOp, a: &Expr, b: &Expr, env: &Env, st: &State) -> Result<Value> {
+    // Short-circuit boolean connectives so guards like
+    // `p ≠ NULL ∧ valid p` never evaluate the protected operand.
+    match op {
+        BinOp::And => {
+            return Ok(Value::Bool(
+                eval_bool(a, env, st)? && eval_bool(b, env, st)?,
+            ));
+        }
+        BinOp::Or => {
+            return Ok(Value::Bool(
+                eval_bool(a, env, st)? || eval_bool(b, env, st)?,
+            ));
+        }
+        BinOp::Implies => {
+            return Ok(Value::Bool(
+                !eval_bool(a, env, st)? || eval_bool(b, env, st)?,
+            ));
+        }
+        _ => {}
+    }
+    let av = eval(a, env, st)?;
+    let bv = eval(b, env, st)?;
+    eval_binop_vals(op, &av, &bv)
+}
+
+/// Applies a (non-boolean-connective) binary operator to two values.
+///
+/// # Errors
+///
+/// Errors on operand-type mismatches.
+pub fn eval_binop_vals(op: BinOp, av: &Value, bv: &Value) -> Result<Value> {
+    use BinOp::*;
+    Ok(match (op, av, bv) {
+        (Add, Value::Word(x), Value::Word(y)) => Value::Word(x.wrapping_add(y)),
+        (Sub, Value::Word(x), Value::Word(y)) => Value::Word(x.wrapping_sub(y)),
+        (Mul, Value::Word(x), Value::Word(y)) => Value::Word(x.wrapping_mul(y)),
+        (Div, Value::Word(x), Value::Word(y)) => Value::Word(x.c_div(y)),
+        (Mod, Value::Word(x), Value::Word(y)) => Value::Word(x.c_rem(y)),
+        (Add, Value::Nat(x), Value::Nat(y)) => Value::Nat(x + y),
+        (Sub, Value::Nat(x), Value::Nat(y)) => Value::Nat(x - y),
+        (Mul, Value::Nat(x), Value::Nat(y)) => Value::Nat(x * y),
+        (Div, Value::Nat(x), Value::Nat(y)) => Value::Nat(x / y),
+        (Mod, Value::Nat(x), Value::Nat(y)) => Value::Nat(x % y),
+        (Add, Value::Int(x), Value::Int(y)) => Value::Int(x + y),
+        (Sub, Value::Int(x), Value::Int(y)) => Value::Int(x - y),
+        (Mul, Value::Int(x), Value::Int(y)) => Value::Int(x * y),
+        // `sdiv`/`smod`: C-style truncating division on ideal integers —
+        // the image of guarded signed C division under word abstraction.
+        (Div, Value::Int(x), Value::Int(y)) => Value::Int(x.div_rem_trunc(y).0),
+        (Mod, Value::Int(x), Value::Int(y)) => Value::Int(x.div_rem_trunc(y).1),
+        (BitAnd, Value::Word(x), Value::Word(y)) => Value::Word(x.and(y)),
+        (BitOr, Value::Word(x), Value::Word(y)) => Value::Word(x.or(y)),
+        (BitXor, Value::Word(x), Value::Word(y)) => Value::Word(x.xor(y)),
+        (Shl, Value::Word(x), y) => Value::Word(x.shl(shift_amount(y)?)),
+        (Shr, Value::Word(x), y) => Value::Word(x.shr(shift_amount(y)?)),
+        // Pointer equality is address equality: a cast through `void *`
+        // changes the pointee type but not the pointer's identity.
+        (Eq, Value::Ptr(x), Value::Ptr(y)) => Value::Bool(x.addr == y.addr),
+        (Ne, Value::Ptr(x), Value::Ptr(y)) => Value::Bool(x.addr != y.addr),
+        (Eq, x, y) => Value::Bool(x == y),
+        (Ne, x, y) => Value::Bool(x != y),
+        (Lt, Value::Word(x), Value::Word(y)) => Value::Bool(x.word_cmp(y).is_lt()),
+        (Le, Value::Word(x), Value::Word(y)) => Value::Bool(x.word_cmp(y).is_le()),
+        (Lt, Value::Nat(x), Value::Nat(y)) => Value::Bool(x < y),
+        (Le, Value::Nat(x), Value::Nat(y)) => Value::Bool(x <= y),
+        (Lt, Value::Int(x), Value::Int(y)) => Value::Bool(x < y),
+        (Le, Value::Int(x), Value::Int(y)) => Value::Bool(x <= y),
+        (Lt, Value::Ptr(x), Value::Ptr(y)) => Value::Bool(x.addr < y.addr),
+        (Le, Value::Ptr(x), Value::Ptr(y)) => Value::Bool(x.addr <= y.addr),
+        (PtrAdd, Value::Ptr(p), off) => Value::Ptr(p.offset(byte_offset(off)?)),
+        _ => return Err(mismatch(format!("{op:?}"), &[av, bv])),
+    })
+}
+
+fn shift_amount(v: &Value) -> Result<u32> {
+    match v {
+        Value::Word(w) => Ok((w.bits() & 0xFFFF_FFFF) as u32),
+        Value::Nat(n) => Ok(n.to_u64().unwrap_or(u64::from(u32::MAX)) as u32),
+        v => Err(mismatch("shift amount", &[v])),
+    }
+}
+
+fn byte_offset(v: &Value) -> Result<u64> {
+    match v {
+        Value::Word(w) => match w.sign() {
+            crate::ty::Signedness::Unsigned => Ok(w.bits()),
+            crate::ty::Signedness::Signed => Ok(w.signed_value() as u64),
+        },
+        Value::Nat(n) => Ok(n.to_u64().unwrap_or(0) & 0xFFFF_FFFF),
+        Value::Int(i) => Ok(i.to_i64().unwrap_or(0) as u64),
+        v => Err(mismatch("pointer offset", &[v])),
+    }
+}
+
+fn eval_cast(k: &CastKind, v: &Value) -> Result<Value> {
+    Ok(match (k, v) {
+        (CastKind::WordToWord(w, s), Value::Word(x)) => Value::Word(x.convert(*w, *s)),
+        (CastKind::Unat, Value::Word(x)) => Value::Nat(x.unat()),
+        (CastKind::Sint, Value::Word(x)) => Value::Int(x.sint()),
+        (CastKind::OfNat(w, s), Value::Nat(n)) => Value::Word(Word::of_nat(n, *w, *s)),
+        (CastKind::OfInt(w, s), Value::Int(i)) => Value::Word(Word::of_int(i, *w, *s)),
+        (CastKind::NatToInt, Value::Nat(n)) => Value::Int(Int::from_nat(n.clone())),
+        (CastKind::IntToNat, Value::Int(i)) => Value::Nat(i.to_nat()),
+        (CastKind::PtrToWord, Value::Ptr(p)) => Value::u32(p.addr as u32),
+        (CastKind::WordToPtr(t), Value::Word(w)) => Value::Ptr(Ptr::new(w.bits(), t.clone())),
+        (CastKind::PtrRetype(t), Value::Ptr(p)) => Value::Ptr(p.retype(t.clone())),
+        // Word abstraction of casts between word types introduces casts on
+        // ideal values: reduce through the word shape.
+        (CastKind::OfNat(w, s), Value::Int(i)) => Value::Word(Word::of_int(i, *w, *s)),
+        (CastKind::OfInt(w, s), Value::Nat(n)) => Value::Word(Word::of_nat(n, *w, *s)),
+        _ => return Err(mismatch(format!("{k:?}"), &[v])),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::ty::Ty;
+    use crate::state::State;
+    use crate::ty::{Signedness, Width};
+
+    fn ev(e: &Expr) -> Value {
+        eval(e, &Env::new(), &State::conc_empty()).unwrap()
+    }
+
+    #[test]
+    fn literals_and_vars() {
+        assert_eq!(ev(&Expr::u32(5)), Value::u32(5));
+        let env = Env::new().bind("x", Value::u32(7));
+        assert_eq!(
+            eval(&Expr::var("x"), &env, &State::conc_empty()).unwrap(),
+            Value::u32(7)
+        );
+        assert_eq!(
+            eval(&Expr::var("y"), &env, &State::conc_empty()),
+            Err(EvalError::Unbound("y".into()))
+        );
+    }
+
+    #[test]
+    fn word_arith_wraps() {
+        let e = Expr::binop(BinOp::Add, Expr::u32(u32::MAX), Expr::u32(1));
+        assert_eq!(ev(&e), Value::u32(0));
+        let e = Expr::binop(BinOp::Mul, Expr::u32(1 << 31), Expr::u32(2));
+        assert_eq!(ev(&e), Value::u32(0));
+    }
+
+    #[test]
+    fn nat_arith_ideal() {
+        let e = Expr::binop(BinOp::Add, Expr::nat(u64::MAX), Expr::nat(1u64));
+        assert_eq!(ev(&e), Value::Nat(Nat::from(u64::MAX) + Nat::one()));
+    }
+
+    #[test]
+    fn signedness_in_comparisons() {
+        // -1 < 1 signed, but 0xFFFFFFFF > 1 unsigned
+        let e = Expr::binop(BinOp::Lt, Expr::i32(-1), Expr::i32(1));
+        assert_eq!(ev(&e), Value::Bool(true));
+        let e = Expr::binop(BinOp::Lt, Expr::u32(u32::MAX), Expr::u32(1));
+        assert_eq!(ev(&e), Value::Bool(false));
+    }
+
+    #[test]
+    fn short_circuit_connectives() {
+        // Unbound variable in the unevaluated branch must not error.
+        let e = Expr::binop(BinOp::And, Expr::ff(), Expr::var("nope"));
+        assert_eq!(ev(&e), Value::Bool(false));
+        let e = Expr::binop(BinOp::Or, Expr::tt(), Expr::var("nope"));
+        assert_eq!(ev(&e), Value::Bool(true));
+        let e = Expr::binop(BinOp::Implies, Expr::ff(), Expr::var("nope"));
+        assert_eq!(ev(&e), Value::Bool(true));
+    }
+
+    #[test]
+    fn casts() {
+        let e = Expr::cast(CastKind::Unat, Expr::u32(42));
+        assert_eq!(ev(&e), Value::nat(42u64));
+        let e = Expr::cast(CastKind::Sint, Expr::i32(-42));
+        assert_eq!(ev(&e), Value::int(-42i64));
+        let e = Expr::cast(
+            CastKind::OfNat(Width::W32, Signedness::Unsigned),
+            Expr::nat(Nat::pow2(32) + Nat::from(3u64)),
+        );
+        assert_eq!(ev(&e), Value::u32(3));
+        let e = Expr::cast(
+            CastKind::WordToWord(Width::W8, Signedness::Unsigned),
+            Expr::i32(-1),
+        );
+        assert_eq!(ev(&e), Value::Word(Word::u8(255)));
+    }
+
+    #[test]
+    fn heap_reads_concrete() {
+        let tenv = TypeEnv::new();
+        let mut st = State::conc_empty();
+        st.as_conc_mut()
+            .unwrap()
+            .mem
+            .alloc(0x100, &Value::u32(99), &tenv)
+            .unwrap();
+        let env = Env::with_tenv(tenv);
+        let p = Expr::Lit(Value::Ptr(Ptr::new(0x100, Ty::U32)));
+        assert_eq!(
+            eval(&Expr::read_heap(Ty::U32, p.clone()), &env, &st).unwrap(),
+            Value::u32(99)
+        );
+        assert_eq!(
+            eval(&Expr::is_valid(Ty::U32, p), &env, &st).unwrap(),
+            Value::Bool(true)
+        );
+        // Unallocated address: decode still total (zeros) but not valid.
+        let q = Expr::Lit(Value::Ptr(Ptr::new(0x200, Ty::U32)));
+        assert_eq!(
+            eval(&Expr::read_heap(Ty::U32, q.clone()), &env, &st).unwrap(),
+            Value::u32(0)
+        );
+        assert_eq!(
+            eval(&Expr::is_valid(Ty::U32, q), &env, &st).unwrap(),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn heap_reads_abstract() {
+        let mut st = State::abs_empty();
+        {
+            let a = st.as_abs_mut().unwrap();
+            let h = a.heap_mut(&Ty::U32);
+            h.valid.insert(0x100);
+            h.set(0x100, Value::u32(7));
+        }
+        let env = Env::new();
+        let p = Expr::Lit(Value::Ptr(Ptr::new(0x100, Ty::U32)));
+        assert_eq!(
+            eval(&Expr::read_heap(Ty::U32, p.clone()), &env, &st).unwrap(),
+            Value::u32(7)
+        );
+        assert_eq!(
+            eval(&Expr::is_valid(Ty::U32, p), &env, &st).unwrap(),
+            Value::Bool(true)
+        );
+        // Byte reads are a concrete-level operation.
+        let q = Expr::ReadByte(Box::new(Expr::Lit(Value::Ptr(Ptr::new(0x100, Ty::U8)))));
+        assert!(matches!(
+            eval(&q, &env, &st),
+            Err(EvalError::WrongStateShape(_))
+        ));
+    }
+
+    #[test]
+    fn misaligned_pointer_invalid() {
+        let tenv = TypeEnv::new();
+        let mut st = State::conc_empty();
+        // Tag a u32 at a misaligned address: decode works, validity fails.
+        st.as_conc_mut()
+            .unwrap()
+            .mem
+            .tag_region(0x101, &Ty::U32, &tenv)
+            .unwrap();
+        let env = Env::with_tenv(tenv);
+        let p = Expr::Lit(Value::Ptr(Ptr::new(0x101, Ty::U32)));
+        assert_eq!(
+            eval(&Expr::is_valid(Ty::U32, p.clone()), &env, &st).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            eval(&Expr::PtrAligned(Ty::U32, Box::new(p)), &env, &st).unwrap(),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn tuples_and_fields() {
+        let t = Expr::Tuple(vec![Expr::u32(1), Expr::u32(2)]);
+        assert_eq!(ev(&Expr::proj(1, t)), Value::u32(2));
+        let s = Expr::Lit(Value::Struct(
+            "pair".into(),
+            vec![("a".into(), Value::u32(3)), ("b".into(), Value::u32(4))],
+        ));
+        assert_eq!(ev(&Expr::field(s.clone(), "b")), Value::u32(4));
+        let upd = Expr::UpdateField(Box::new(s), "a".into(), Box::new(Expr::u32(9)));
+        assert_eq!(ev(&Expr::field(upd, "a")), Value::u32(9));
+    }
+
+    #[test]
+    fn ptr_arith() {
+        let p = Expr::Lit(Value::Ptr(Ptr::new(0x100, Ty::U32)));
+        let e = Expr::binop(BinOp::PtrAdd, p, Expr::u32(8));
+        assert_eq!(ev(&e), Value::Ptr(Ptr::new(0x108, Ty::U32)));
+        // negative offsets via signed words
+        let p = Expr::Lit(Value::Ptr(Ptr::new(0x100, Ty::U32)));
+        let e = Expr::binop(BinOp::PtrAdd, p, Expr::i32(-4));
+        assert_eq!(ev(&e), Value::Ptr(Ptr::new(0xFC, Ty::U32)));
+    }
+
+    #[test]
+    fn division_totality() {
+        let e = Expr::binop(BinOp::Div, Expr::u32(5), Expr::u32(0));
+        assert_eq!(ev(&e), Value::u32(0));
+        let e = Expr::binop(BinOp::Div, Expr::int(-17), Expr::int(5));
+        assert_eq!(ev(&e), Value::int(-3), "sdiv truncates toward zero");
+    }
+}

@@ -1,0 +1,528 @@
+//! The state-dependent expression language.
+//!
+//! An [`Expr`] denotes a function of an environment (the lambda-bound
+//! variables of the monadic embedding) and a program state — the deep
+//! analogue of the paper's `λs. …` terms. The same expression language is
+//! used at every level of the pipeline; which constructors may appear is
+//! constrained by the phase (e.g. `ReadHeap` over the byte heap before heap
+//! abstraction, over the typed split heaps afterwards; `Nat`/`Int` literals
+//! and `unat`/`sint` casts only during/after word abstraction).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use bignum::{Int, Nat};
+
+use crate::ty::{Signedness, Ty, Width};
+use crate::value::{Ptr, Value};
+use crate::word::Word;
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Boolean negation.
+    Not,
+    /// Bitwise complement on words.
+    BitNot,
+    /// Arithmetic negation (words wrap; `Int` is exact; `Nat` is invalid).
+    Neg,
+}
+
+/// Binary operators. Arithmetic and comparisons are polymorphic over
+/// `Word`/`Nat`/`Int` (dispatching on the operand values); the word versions
+/// carry C semantics (wrapping, signedness-aware comparison and division).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction (truncated on `Nat`, wrapping on words).
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (C semantics on words, flooring on `Nat`/`Int` — matching
+    /// HOL's `div`, which the guards make coincide with C on defined cases).
+    Div,
+    /// Remainder, paired with `Div`.
+    Mod,
+    /// Bitwise and.
+    BitAnd,
+    /// Bitwise or.
+    BitOr,
+    /// Bitwise xor.
+    BitXor,
+    /// Left shift (shift amount is a word or nat).
+    Shl,
+    /// Right shift (logical/arithmetic per signedness).
+    Shr,
+    /// Equality (any type).
+    Eq,
+    /// Disequality.
+    Ne,
+    /// Less-than (signedness-aware on words).
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Boolean conjunction.
+    And,
+    /// Boolean disjunction.
+    Or,
+    /// Boolean implication.
+    Implies,
+    /// Pointer plus byte offset (offset operand is a word/nat; scaling by
+    /// element size is applied by the C translation).
+    PtrAdd,
+}
+
+/// Conversions between semantic types.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum CastKind {
+    /// C integer conversion between word shapes.
+    WordToWord(Width, Signedness),
+    /// `unat`: unsigned word → ideal natural.
+    Unat,
+    /// `sint`: signed word → ideal integer.
+    Sint,
+    /// `of_nat`: natural → word (mod 2ⁿ).
+    OfNat(Width, Signedness),
+    /// `of_int`: integer → word (mod 2ⁿ).
+    OfInt(Width, Signedness),
+    /// `int`: natural → integer (exact).
+    NatToInt,
+    /// `nat`: integer → natural (negative ↦ 0, HOL convention).
+    IntToNat,
+    /// Pointer → unsigned 32-bit word (address).
+    PtrToWord,
+    /// Word → pointer of the given pointee type.
+    WordToPtr(Ty),
+    /// Pointer retyping (C pointer cast).
+    PtrRetype(Ty),
+}
+
+/// A state-dependent expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// A literal value.
+    Lit(Value),
+    /// A lambda-bound variable (resolved in the environment).
+    Var(String),
+    /// A state-stored local variable (L1 level, before local-variable
+    /// lifting; resolved in the state's local frame).
+    Local(String),
+    /// A global variable (resolved in the state).
+    Global(String),
+    /// Typed heap read `read (heap s) p` / `s[p]`: on a concrete state this
+    /// decodes bytes at the pointer; on an abstract state it consults the
+    /// typed heap for the pointee type.
+    ReadHeap(Ty, Box<Expr>),
+    /// Byte-level heap read (concrete states only).
+    ReadByte(Box<Expr>),
+    /// `is_valid_τ s p` — on an abstract state the validity function; on a
+    /// concrete state, definedness of `heap_lift` at `p` (correct type
+    /// tagging + alignment + non-null, Sec 4.2).
+    IsValid(Ty, Box<Expr>),
+    /// `ptr_aligned p` for the given pointee type.
+    PtrAligned(Ty, Box<Expr>),
+    /// `0 ∉ {p ..+ size τ}`: the object neither contains NULL nor wraps
+    /// around the end of the address space.
+    NullFree(Ty, Box<Expr>),
+    /// Struct field selection on a struct *value*.
+    Field(Box<Expr>, String),
+    /// Functional struct update: `UpdateField(s, f, v)` is `s⦇f := v⦈`.
+    UpdateField(Box<Expr>, String, Box<Expr>),
+    /// Unary operation.
+    UnOp(UnOp, Box<Expr>),
+    /// Binary operation.
+    BinOp(BinOp, Box<Expr>, Box<Expr>),
+    /// Conversion.
+    Cast(CastKind, Box<Expr>),
+    /// Conditional expression.
+    Ite(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Tuple construction.
+    Tuple(Vec<Expr>),
+    /// Tuple projection (0-based).
+    Proj(usize, Box<Expr>),
+}
+
+impl Expr {
+    /// Boolean literal `true`.
+    #[must_use]
+    pub fn tt() -> Expr {
+        Expr::Lit(Value::Bool(true))
+    }
+
+    /// Boolean literal `false`.
+    #[must_use]
+    pub fn ff() -> Expr {
+        Expr::Lit(Value::Bool(false))
+    }
+
+    /// Unit literal.
+    #[must_use]
+    pub fn unit() -> Expr {
+        Expr::Lit(Value::Unit)
+    }
+
+    /// Unsigned 32-bit word literal.
+    #[must_use]
+    pub fn u32(v: u32) -> Expr {
+        Expr::Lit(Value::u32(v))
+    }
+
+    /// Signed 32-bit word literal.
+    #[must_use]
+    pub fn i32(v: i32) -> Expr {
+        Expr::Lit(Value::i32(v))
+    }
+
+    /// Natural-number literal.
+    #[must_use]
+    pub fn nat(v: impl Into<Nat>) -> Expr {
+        Expr::Lit(Value::Nat(v.into()))
+    }
+
+    /// Integer literal.
+    #[must_use]
+    pub fn int(v: impl Into<Int>) -> Expr {
+        Expr::Lit(Value::Int(v.into()))
+    }
+
+    /// Word literal of arbitrary shape.
+    #[must_use]
+    pub fn word(w: Word) -> Expr {
+        Expr::Lit(Value::Word(w))
+    }
+
+    /// NULL pointer literal.
+    #[must_use]
+    pub fn null(pointee: Ty) -> Expr {
+        Expr::Lit(Value::Ptr(Ptr::null(pointee)))
+    }
+
+    /// Variable reference.
+    #[must_use]
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// Binary operation.
+    #[must_use]
+    pub fn binop(op: BinOp, l: Expr, r: Expr) -> Expr {
+        Expr::BinOp(op, Box::new(l), Box::new(r))
+    }
+
+    /// Unary operation.
+    #[must_use]
+    pub fn unop(op: UnOp, e: Expr) -> Expr {
+        Expr::UnOp(op, Box::new(e))
+    }
+
+    /// Cast.
+    #[must_use]
+    pub fn cast(kind: CastKind, e: Expr) -> Expr {
+        Expr::Cast(kind, Box::new(e))
+    }
+
+    /// Conditional expression.
+    #[must_use]
+    pub fn ite(c: Expr, t: Expr, e: Expr) -> Expr {
+        Expr::Ite(Box::new(c), Box::new(t), Box::new(e))
+    }
+
+    /// Conjunction, simplifying the `true` unit.
+    #[must_use]
+    pub fn and(l: Expr, r: Expr) -> Expr {
+        if l == Expr::tt() {
+            r
+        } else if r == Expr::tt() {
+            l
+        } else {
+            Expr::binop(BinOp::And, l, r)
+        }
+    }
+
+    /// Implication.
+    #[must_use]
+    pub fn implies(l: Expr, r: Expr) -> Expr {
+        Expr::binop(BinOp::Implies, l, r)
+    }
+
+    /// Equality.
+    #[must_use]
+    pub fn eq(l: Expr, r: Expr) -> Expr {
+        Expr::binop(BinOp::Eq, l, r)
+    }
+
+    /// Boolean negation.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)] // constructor, not `!` on a receiver
+    pub fn not(e: Expr) -> Expr {
+        Expr::unop(UnOp::Not, e)
+    }
+
+    /// Typed heap read.
+    #[must_use]
+    pub fn read_heap(ty: Ty, p: Expr) -> Expr {
+        Expr::ReadHeap(ty, Box::new(p))
+    }
+
+    /// Validity of a pointer for a type.
+    #[must_use]
+    pub fn is_valid(ty: Ty, p: Expr) -> Expr {
+        Expr::IsValid(ty, Box::new(p))
+    }
+
+    /// Struct field selection.
+    #[must_use]
+    pub fn field(e: Expr, f: impl Into<String>) -> Expr {
+        Expr::Field(Box::new(e), f.into())
+    }
+
+    /// Tuple projection.
+    #[must_use]
+    pub fn proj(i: usize, e: Expr) -> Expr {
+        Expr::Proj(i, Box::new(e))
+    }
+
+    /// The "concrete-level pointer guard" of the paper's Fig 3:
+    /// `ptr_aligned p ∧ 0 ∉ {p ..+ obj_size τ}`.
+    #[must_use]
+    pub fn c_guard(ty: Ty, p: Expr) -> Expr {
+        Expr::and(
+            Expr::PtrAligned(ty.clone(), Box::new(p.clone())),
+            Expr::NullFree(ty, Box::new(p)),
+        )
+    }
+
+    /// Is this the literal `true`?
+    #[must_use]
+    pub fn is_true_lit(&self) -> bool {
+        *self == Expr::tt()
+    }
+
+    /// The free [`Expr::Var`] names of this expression.
+    #[must_use]
+    pub fn free_vars(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.visit(&mut |e| {
+            if let Expr::Var(n) = e {
+                out.insert(n.clone());
+            }
+        });
+        out
+    }
+
+    /// The [`Expr::Local`] names read by this expression.
+    #[must_use]
+    pub fn locals_read(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.visit(&mut |e| {
+            if let Expr::Local(n) = e {
+                out.insert(n.clone());
+            }
+        });
+        out
+    }
+
+    /// Does this expression read the state (heap, locals, globals)?
+    #[must_use]
+    pub fn reads_state(&self) -> bool {
+        let mut found = false;
+        self.visit(&mut |e| {
+            if matches!(
+                e,
+                Expr::Local(_)
+                    | Expr::Global(_)
+                    | Expr::ReadHeap(..)
+                    | Expr::ReadByte(_)
+                    | Expr::IsValid(..)
+            ) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Does this expression read the heap (typed or byte-level)?
+    #[must_use]
+    pub fn reads_heap(&self) -> bool {
+        let mut found = false;
+        self.visit(&mut |e| {
+            if matches!(e, Expr::ReadHeap(..) | Expr::ReadByte(_) | Expr::IsValid(..)) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Applies `f` to every subexpression (preorder).
+    pub fn visit(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Lit(_) | Expr::Var(_) | Expr::Local(_) | Expr::Global(_) => {}
+            Expr::ReadHeap(_, e)
+            | Expr::ReadByte(e)
+            | Expr::IsValid(_, e)
+            | Expr::PtrAligned(_, e)
+            | Expr::NullFree(_, e)
+            | Expr::Field(e, _)
+            | Expr::UnOp(_, e)
+            | Expr::Cast(_, e)
+            | Expr::Proj(_, e) => e.visit(f),
+            Expr::UpdateField(a, _, b) | Expr::BinOp(_, a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            Expr::Ite(a, b, c) => {
+                a.visit(f);
+                b.visit(f);
+                c.visit(f);
+            }
+            Expr::Tuple(es) => {
+                for e in es {
+                    e.visit(f);
+                }
+            }
+        }
+    }
+
+    /// Rebuilds the expression, transforming each node bottom-up with `f`.
+    #[must_use]
+    pub fn map(&self, f: &impl Fn(Expr) -> Expr) -> Expr {
+        let rebuilt = match self {
+            Expr::Lit(_) | Expr::Var(_) | Expr::Local(_) | Expr::Global(_) => self.clone(),
+            Expr::ReadHeap(t, e) => Expr::ReadHeap(t.clone(), Box::new(e.map(f))),
+            Expr::ReadByte(e) => Expr::ReadByte(Box::new(e.map(f))),
+            Expr::IsValid(t, e) => Expr::IsValid(t.clone(), Box::new(e.map(f))),
+            Expr::PtrAligned(t, e) => Expr::PtrAligned(t.clone(), Box::new(e.map(f))),
+            Expr::NullFree(t, e) => Expr::NullFree(t.clone(), Box::new(e.map(f))),
+            Expr::Field(e, n) => Expr::Field(Box::new(e.map(f)), n.clone()),
+            Expr::UpdateField(a, n, b) => {
+                Expr::UpdateField(Box::new(a.map(f)), n.clone(), Box::new(b.map(f)))
+            }
+            Expr::UnOp(op, e) => Expr::UnOp(*op, Box::new(e.map(f))),
+            Expr::BinOp(op, a, b) => Expr::BinOp(*op, Box::new(a.map(f)), Box::new(b.map(f))),
+            Expr::Cast(k, e) => Expr::Cast(k.clone(), Box::new(e.map(f))),
+            Expr::Ite(a, b, c) => {
+                Expr::Ite(Box::new(a.map(f)), Box::new(b.map(f)), Box::new(c.map(f)))
+            }
+            Expr::Tuple(es) => Expr::Tuple(es.iter().map(|e| e.map(f)).collect()),
+            Expr::Proj(i, e) => Expr::Proj(*i, Box::new(e.map(f))),
+        };
+        f(rebuilt)
+    }
+
+    /// Capture-free substitution of variable `name` by `repl`.
+    ///
+    /// The expression language has no binders, so substitution is plain
+    /// replacement.
+    #[must_use]
+    pub fn subst_var(&self, name: &str, repl: &Expr) -> Expr {
+        self.map(&|e| match &e {
+            Expr::Var(n) if n == name => repl.clone(),
+            _ => e,
+        })
+    }
+
+    /// Simultaneous substitution of several variables.
+    #[must_use]
+    pub fn subst_vars(&self, map: &std::collections::HashMap<String, Expr>) -> Expr {
+        self.map(&|e| match &e {
+            Expr::Var(n) => map.get(n).cloned().unwrap_or(e),
+            _ => e,
+        })
+    }
+
+    /// Substitution of a state-stored local by an expression (used by
+    /// local-variable lifting).
+    #[must_use]
+    pub fn subst_local(&self, name: &str, repl: &Expr) -> Expr {
+        self.map(&|e| match &e {
+            Expr::Local(n) if n == name => repl.clone(),
+            _ => e,
+        })
+    }
+
+    /// Number of AST nodes (the paper's *term size* metric, Table 5).
+    ///
+    /// State-stored local reads count as the record-selector application
+    /// they denote in Simpl (`a_' s` — selector, state, application), so
+    /// the metric is comparable across levels: after local-variable
+    /// lifting the same access is a single bound variable.
+    #[must_use]
+    pub fn term_size(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |e| {
+            n += match e {
+                Expr::Local(_) => 3,
+                _ => 1,
+            }
+        });
+        n
+    }
+}
+
+impl fmt::Display for Expr {
+    /// Rendering lives in [`crate::pretty`], which mirrors the paper's
+    /// notation (`s[p]`, `unat`, `+w`, …).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::pretty::fmt_expr(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_helpers() {
+        let e = Expr::binop(BinOp::Add, Expr::var("a"), Expr::u32(1));
+        assert_eq!(e.term_size(), 3);
+        assert!(e.free_vars().contains("a"));
+        assert!(!e.reads_state());
+    }
+
+    #[test]
+    fn and_simplifies_true() {
+        assert_eq!(Expr::and(Expr::tt(), Expr::var("p")), Expr::var("p"));
+        assert_eq!(Expr::and(Expr::var("p"), Expr::tt()), Expr::var("p"));
+    }
+
+    #[test]
+    fn substitution() {
+        let e = Expr::binop(BinOp::Add, Expr::var("x"), Expr::var("y"));
+        let e2 = e.subst_var("x", &Expr::u32(5));
+        assert_eq!(
+            e2,
+            Expr::binop(BinOp::Add, Expr::u32(5), Expr::var("y"))
+        );
+        // original untouched
+        assert!(e.free_vars().contains("x"));
+    }
+
+    #[test]
+    fn local_substitution() {
+        let e = Expr::binop(BinOp::Add, Expr::Local("t".into()), Expr::var("y"));
+        let e2 = e.subst_local("t", &Expr::var("t_lifted"));
+        assert!(e2.free_vars().contains("t_lifted"));
+        assert!(e2.locals_read().is_empty());
+    }
+
+    #[test]
+    fn state_dependence() {
+        assert!(Expr::read_heap(Ty::U32, Expr::var("p")).reads_state());
+        assert!(Expr::Global("g".into()).reads_state());
+        assert!(!Expr::var("x").reads_state());
+        assert!(Expr::is_valid(Ty::U32, Expr::var("p")).reads_heap());
+        assert!(!Expr::Local("l".into()).reads_heap());
+    }
+
+    #[test]
+    fn term_size_counts_nodes() {
+        // (x + 1) == y  → Eq(Add(x,1),y): 5 nodes
+        let e = Expr::eq(
+            Expr::binop(BinOp::Add, Expr::var("x"), Expr::u32(1)),
+            Expr::var("y"),
+        );
+        assert_eq!(e.term_size(), 5);
+    }
+}

@@ -1,0 +1,46 @@
+//! Guard classification.
+//!
+//! Guards protect potentially undefined operations. The kind records *why*
+//! the guard was emitted; it is used in failure reports, by L2 guard
+//! simplification, and to label the obligations word/heap abstraction add.
+
+use std::fmt;
+
+/// Why a guard was emitted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GuardKind {
+    /// Signed arithmetic must not overflow.
+    SignedOverflow,
+    /// Division/modulo by zero (and `INT_MIN / -1`).
+    DivByZero,
+    /// Shift amount out of range / shift overflow.
+    ShiftBound,
+    /// Pointer access validity (`c_guard`: aligned and null-free).
+    PtrValid,
+    /// Execution must not reach this point (end of non-void function).
+    DontReach,
+    /// Unsigned arithmetic must not wrap (inserted by *word abstraction*,
+    /// never by the C parser — Sec 3.2 of the paper).
+    UnsignedOverflow,
+    /// A guard introduced by heap abstraction (`is_valid` checks).
+    HeapValid,
+    /// A proof obligation introduced by word abstraction (the precondition
+    /// of an `abs_w_val` rule, e.g. `a + b ≤ UINT_MAX`).
+    WordAbs,
+}
+
+impl fmt::Display for GuardKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            GuardKind::SignedOverflow => "SignedOverflow",
+            GuardKind::DivByZero => "DivByZero",
+            GuardKind::ShiftBound => "ShiftBound",
+            GuardKind::PtrValid => "PtrValid",
+            GuardKind::DontReach => "DontReach",
+            GuardKind::UnsignedOverflow => "UnsignedOverflow",
+            GuardKind::HeapValid => "HeapValid",
+            GuardKind::WordAbs => "WordAbs",
+        };
+        write!(f, "{s}")
+    }
+}

@@ -1,0 +1,55 @@
+//! Shared semantic core of AutoCorres-rs.
+//!
+//! Every phase of the pipeline — Simpl, the monadic embeddings, heap
+//! abstraction and word abstraction — manipulates the same small set of
+//! semantic objects, defined here:
+//!
+//! * [`ty::Ty`] — the semantic type language (machine words, ideal `nat` and
+//!   `int`, typed pointers, structures),
+//! * [`word::Word`] — fixed-width machine words with C's wrap-around and
+//!   two's-complement semantics,
+//! * [`value::Value`] — runtime values,
+//! * [`expr::Expr`] — the state-dependent expression language (the deep
+//!   analogue of the paper's `λs. …` terms),
+//! * [`state::State`] — program states: a concrete byte-level memory
+//!   ([`mem::Memory`], Tuch's model) or abstract typed split heaps
+//!   ([`state::AbsState`], Sec 4.4 of the paper),
+//! * [`eval`] — the evaluator giving expressions their meaning,
+//! * [`metrics`] — the *term size* and *lines of spec* metrics of Table 5.
+//!
+//! # Example
+//!
+//! ```
+//! use ir::expr::{Expr, BinOp};
+//! use ir::value::Value;
+//! use ir::state::State;
+//! use ir::eval::{eval, Env};
+//! use bignum::Nat;
+//!
+//! // (2 + 3) evaluated over ideal naturals
+//! let e = Expr::binop(BinOp::Add, Expr::nat(2u64), Expr::nat(3u64));
+//! let v = eval(&e, &Env::new(), &State::abs_empty()).unwrap();
+//! assert_eq!(v, Value::Nat(Nat::from(5u64)));
+//! ```
+
+pub mod eval;
+pub mod guard;
+pub mod expr;
+pub mod mem;
+pub mod metrics;
+pub mod names;
+pub mod pretty;
+pub mod state;
+pub mod ty;
+pub mod typing;
+pub mod update;
+pub mod value;
+pub mod word;
+
+pub use expr::{BinOp, CastKind, Expr, UnOp};
+pub use guard::GuardKind;
+pub use state::{AbsState, ConcState, State};
+pub use ty::{Signedness, StructDef, StructField, Ty, TypeEnv, Width};
+pub use update::Update;
+pub use value::{Ptr, Value};
+pub use word::Word;

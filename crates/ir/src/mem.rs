@@ -1,0 +1,358 @@
+//! The byte-level memory model (Tuch et al.).
+//!
+//! Memory is a function `word32 ⇒ word8` (here: a sparse map over the 32-bit
+//! address space) together with *type tags* (Sec 4.2): each address is either
+//! the first byte of an object of some type, the footprint of an earlier
+//! object, or untyped. Tags are ghost state — they do not influence what the
+//! bytes are, only whether `heap_lift` considers an address to hold a valid
+//! typed object.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::ty::{Signedness, Ty, TypeEnv, Width};
+use crate::value::{Ptr, Value};
+use crate::word::Word;
+
+/// Mask confining addresses to the modelled 32-bit address space.
+pub const ADDR_MASK: u64 = 0xFFFF_FFFF;
+
+/// The type tag of an address (ghost state for heap lifting).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tag {
+    /// First byte of an object of the given type.
+    First(Ty),
+    /// Footprint byte of an object starting earlier.
+    Footprint,
+}
+
+/// Byte-addressed memory with type tags.
+///
+/// Reads of unwritten addresses return 0 (memory is total, as in the paper's
+/// `word32 ⇒ word8` function model). Untagged addresses are simply absent
+/// from the tag map.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Memory {
+    bytes: BTreeMap<u64, u8>,
+    tags: BTreeMap<u64, Tag>,
+}
+
+/// Error raised when encoding/decoding typed values fails (unknown struct,
+/// non-representable value).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "memory codec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl Memory {
+    /// Creates an empty (all-zero, untagged) memory.
+    #[must_use]
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Reads the byte at `addr` (0 if never written).
+    #[must_use]
+    pub fn read_byte(&self, addr: u64) -> u8 {
+        *self.bytes.get(&(addr & ADDR_MASK)).unwrap_or(&0)
+    }
+
+    /// Writes the byte at `addr`.
+    pub fn write_byte(&mut self, addr: u64, v: u8) {
+        self.bytes.insert(addr & ADDR_MASK, v);
+    }
+
+    /// Reads `len` bytes starting at `addr` (wrapping addresses).
+    #[must_use]
+    pub fn read_bytes(&self, addr: u64, len: u64) -> Vec<u8> {
+        (0..len).map(|i| self.read_byte(addr.wrapping_add(i))).collect()
+    }
+
+    /// Writes a byte slice starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_byte(addr.wrapping_add(i as u64), *b);
+        }
+    }
+
+    /// The tag at `addr`, if any.
+    #[must_use]
+    pub fn tag(&self, addr: u64) -> Option<&Tag> {
+        self.tags.get(&(addr & ADDR_MASK))
+    }
+
+    /// Tags the region `[addr, addr+size)` as holding an object of type
+    /// `ty` (first byte + footprint). This is the paper's *retyping*
+    /// operation used around `malloc`/`free`-style code.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the type's size cannot be computed.
+    pub fn tag_region(&mut self, addr: u64, ty: &Ty, tenv: &TypeEnv) -> Result<(), CodecError> {
+        let size = tenv
+            .size_of(ty)
+            .map_err(|e| CodecError(e.to_string()))?;
+        self.tags.insert(addr & ADDR_MASK, Tag::First(ty.clone()));
+        for i in 1..size {
+            self.tags
+                .insert(addr.wrapping_add(i) & ADDR_MASK, Tag::Footprint);
+        }
+        Ok(())
+    }
+
+    /// Removes tags from the region `[addr, addr+len)` (retype to untyped).
+    pub fn untag_region(&mut self, addr: u64, len: u64) {
+        for i in 0..len {
+            self.tags.remove(&(addr.wrapping_add(i) & ADDR_MASK));
+        }
+    }
+
+    /// Is the whole footprint of a `ty` object at `addr` correctly tagged
+    /// (`type_tag_valid` in the paper's `heap_lift`)?
+    #[must_use]
+    pub fn type_tag_valid(&self, addr: u64, ty: &Ty, tenv: &TypeEnv) -> bool {
+        let Ok(size) = tenv.size_of(ty) else {
+            return false;
+        };
+        match self.tag(addr) {
+            Some(Tag::First(t)) if t == ty => {}
+            _ => return false,
+        }
+        (1..size).all(|i| matches!(self.tag(addr.wrapping_add(i)), Some(Tag::Footprint)))
+    }
+
+    /// Iterates over addresses tagged as first bytes, with their types.
+    pub fn tagged_objects(&self) -> impl Iterator<Item = (u64, &Ty)> {
+        self.tags.iter().filter_map(|(a, t)| match t {
+            Tag::First(ty) => Some((*a, ty)),
+            Tag::Footprint => None,
+        })
+    }
+
+    /// Decodes a typed value from the bytes at `addr` (`h_val`).
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown struct types or non-representable target types
+    /// (`Nat`, `Int`, tuples).
+    pub fn decode(&self, addr: u64, ty: &Ty, tenv: &TypeEnv) -> Result<Value, CodecError> {
+        match ty {
+            Ty::Word(w, s) => {
+                let bs = self.read_bytes(addr, w.bytes());
+                Ok(Value::Word(Word::from_le_bytes(&bs, *w, *s)))
+            }
+            Ty::Ptr(p) => {
+                let bs = self.read_bytes(addr, 4);
+                let w = Word::from_le_bytes(&bs, Width::W32, Signedness::Unsigned);
+                Ok(Value::Ptr(Ptr::new(w.bits(), (**p).clone())))
+            }
+            Ty::Bool => Ok(Value::Bool(self.read_byte(addr) != 0)),
+            Ty::Unit => Ok(Value::Unit),
+            Ty::Struct(name) => {
+                let def = tenv
+                    .struct_def(name)
+                    .ok_or_else(|| CodecError(format!("unknown struct `{name}`")))?
+                    .clone();
+                let mut fields = Vec::with_capacity(def.fields.len());
+                for f in &def.fields {
+                    fields.push((
+                        f.name.clone(),
+                        self.decode(addr.wrapping_add(f.offset), &f.ty, tenv)?,
+                    ));
+                }
+                Ok(Value::Struct(name.clone(), fields))
+            }
+            Ty::Nat | Ty::Int | Ty::Tuple(_) => Err(CodecError(format!(
+                "type `{ty}` has no machine representation"
+            ))),
+        }
+    }
+
+    /// Encodes a typed value into the bytes at `addr` (`heap_update`).
+    ///
+    /// # Errors
+    ///
+    /// Fails on values with no machine representation.
+    pub fn encode(&mut self, addr: u64, v: &Value, tenv: &TypeEnv) -> Result<(), CodecError> {
+        match v {
+            Value::Word(w) => {
+                self.write_bytes(addr, &w.to_le_bytes());
+                Ok(())
+            }
+            Value::Ptr(p) => {
+                self.write_bytes(addr, &Word::u32(p.addr as u32).to_le_bytes());
+                Ok(())
+            }
+            Value::Bool(b) => {
+                self.write_byte(addr, u8::from(*b));
+                Ok(())
+            }
+            Value::Unit => Ok(()),
+            Value::Struct(name, fields) => {
+                let def = tenv
+                    .struct_def(name)
+                    .ok_or_else(|| CodecError(format!("unknown struct `{name}`")))?
+                    .clone();
+                for f in &def.fields {
+                    let fv = fields
+                        .iter()
+                        .find(|(n, _)| n == &f.name)
+                        .map(|(_, v)| v)
+                        .ok_or_else(|| {
+                            CodecError(format!("missing field `{}` in `{name}` value", f.name))
+                        })?;
+                    self.encode(addr.wrapping_add(f.offset), fv, tenv)?;
+                }
+                Ok(())
+            }
+            Value::Nat(_) | Value::Int(_) | Value::Tuple(_) => Err(CodecError(format!(
+                "value `{v}` has no machine representation"
+            ))),
+        }
+    }
+
+    /// Allocates, tags and initialises an object, returning its pointer.
+    /// This is a test/setup convenience, not part of the modelled semantics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec failures.
+    pub fn alloc(&mut self, addr: u64, v: &Value, tenv: &TypeEnv) -> Result<Ptr, CodecError> {
+        let ty = v.ty();
+        self.tag_region(addr, &ty, tenv)?;
+        self.encode(addr, v, tenv)?;
+        Ok(Ptr::new(addr, ty))
+    }
+
+    /// `ptr_aligned`: is `addr` aligned for objects of type `ty`?
+    #[must_use]
+    pub fn ptr_aligned(addr: u64, ty: &Ty, tenv: &TypeEnv) -> bool {
+        tenv.align_of(ty).is_ok_and(|a| addr.is_multiple_of(a))
+    }
+
+    /// `0 ∉ {addr ..+ size ty}`: the object is non-null and does not wrap
+    /// around the end of the 32-bit address space.
+    #[must_use]
+    pub fn null_free(addr: u64, ty: &Ty, tenv: &TypeEnv) -> bool {
+        let Ok(size) = tenv.size_of(ty) else {
+            return false;
+        };
+        // The range {addr ..+ size} contains 0 iff addr == 0, or the range
+        // wraps past 2^32 back to 0.
+        addr != 0 && addr + size <= (ADDR_MASK + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tenv_with_node() -> TypeEnv {
+        let mut tenv = TypeEnv::new();
+        tenv.define_struct(
+            "node",
+            vec![
+                ("next".into(), Ty::Struct("node".into()).ptr_to()),
+                ("data".into(), Ty::U32),
+            ],
+        )
+        .unwrap();
+        tenv
+    }
+
+    #[test]
+    fn bytes_default_zero() {
+        let m = Memory::new();
+        assert_eq!(m.read_byte(0x1234), 0);
+        assert_eq!(m.read_bytes(0, 4), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn word_round_trip() {
+        let tenv = TypeEnv::new();
+        let mut m = Memory::new();
+        m.encode(0x100, &Value::u32(0xDEAD_BEEF), &tenv).unwrap();
+        assert_eq!(
+            m.decode(0x100, &Ty::U32, &tenv).unwrap(),
+            Value::u32(0xDEAD_BEEF)
+        );
+        // little-endian layout, byte-level view
+        assert_eq!(m.read_byte(0x100), 0xEF);
+        assert_eq!(m.read_byte(0x103), 0xDE);
+    }
+
+    #[test]
+    fn struct_round_trip() {
+        let tenv = tenv_with_node();
+        let mut m = Memory::new();
+        let v = Value::Struct(
+            "node".into(),
+            vec![
+                (
+                    "next".into(),
+                    Value::Ptr(Ptr::new(0x2000, Ty::Struct("node".into()))),
+                ),
+                ("data".into(), Value::u32(42)),
+            ],
+        );
+        m.encode(0x1000, &v, &tenv).unwrap();
+        assert_eq!(m.decode(0x1000, &Ty::Struct("node".into()), &tenv).unwrap(), v);
+        // field `data` is at offset 4
+        assert_eq!(m.decode(0x1004, &Ty::U32, &tenv).unwrap(), Value::u32(42));
+    }
+
+    #[test]
+    fn tagging() {
+        let tenv = TypeEnv::new();
+        let mut m = Memory::new();
+        m.tag_region(0x100, &Ty::U32, &tenv).unwrap();
+        assert!(m.type_tag_valid(0x100, &Ty::U32, &tenv));
+        assert!(!m.type_tag_valid(0x101, &Ty::U32, &tenv), "footprint byte");
+        assert!(!m.type_tag_valid(0x100, &Ty::U16, &tenv), "wrong type");
+        assert!(!m.type_tag_valid(0x200, &Ty::U32, &tenv), "untagged");
+        m.untag_region(0x100, 4);
+        assert!(!m.type_tag_valid(0x100, &Ty::U32, &tenv));
+    }
+
+    #[test]
+    fn retyping_overwrites() {
+        let tenv = TypeEnv::new();
+        let mut m = Memory::new();
+        m.tag_region(0x100, &Ty::U32, &tenv).unwrap();
+        // Retype the same region as two u16s.
+        m.tag_region(0x100, &Ty::U16, &tenv).unwrap();
+        m.tag_region(0x102, &Ty::U16, &tenv).unwrap();
+        assert!(m.type_tag_valid(0x100, &Ty::U16, &tenv));
+        assert!(m.type_tag_valid(0x102, &Ty::U16, &tenv));
+        assert!(!m.type_tag_valid(0x100, &Ty::U32, &tenv));
+    }
+
+    #[test]
+    fn alignment_and_null_free() {
+        let tenv = TypeEnv::new();
+        assert!(Memory::ptr_aligned(0x100, &Ty::U32, &tenv));
+        assert!(!Memory::ptr_aligned(0x101, &Ty::U32, &tenv));
+        assert!(Memory::ptr_aligned(0x101, &Ty::U8, &tenv));
+        assert!(Memory::null_free(0x100, &Ty::U32, &tenv));
+        assert!(!Memory::null_free(0, &Ty::U32, &tenv), "NULL");
+        assert!(
+            !Memory::null_free(0xFFFF_FFFE, &Ty::U32, &tenv),
+            "wraps past end of address space"
+        );
+        assert!(Memory::null_free(0xFFFF_FFFC, &Ty::U32, &tenv));
+    }
+
+    #[test]
+    fn ideal_types_not_representable() {
+        let tenv = TypeEnv::new();
+        let mut m = Memory::new();
+        assert!(m.encode(0, &Value::nat(3u64), &tenv).is_err());
+        assert!(m.decode(0, &Ty::Nat, &tenv).is_err());
+    }
+}

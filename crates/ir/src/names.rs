@@ -1,0 +1,62 @@
+//! Fresh-name generation for the abstraction engines.
+
+/// Generates fresh variable names `prefix0`, `prefix1`, … distinct from a
+/// set of reserved names.
+#[derive(Clone, Debug, Default)]
+pub struct VarGen {
+    counter: u64,
+    reserved: std::collections::BTreeSet<String>,
+}
+
+impl VarGen {
+    /// Creates a generator with no reserved names.
+    #[must_use]
+    pub fn new() -> VarGen {
+        VarGen::default()
+    }
+
+    /// Marks a name as taken so it is never generated.
+    pub fn reserve(&mut self, name: &str) {
+        self.reserved.insert(name.to_owned());
+    }
+
+    /// Marks many names as taken.
+    pub fn reserve_all<'a>(&mut self, names: impl IntoIterator<Item = &'a str>) {
+        for n in names {
+            self.reserve(n);
+        }
+    }
+
+    /// Produces a fresh name starting with `prefix`.
+    pub fn fresh(&mut self, prefix: &str) -> String {
+        loop {
+            let name = format!("{prefix}{}", self.counter);
+            self.counter += 1;
+            if !self.reserved.contains(&name) {
+                self.reserved.insert(name.clone());
+                return name;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_names_distinct() {
+        let mut g = VarGen::new();
+        let a = g.fresh("v");
+        let b = g.fresh("v");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn respects_reservations() {
+        let mut g = VarGen::new();
+        g.reserve("v0");
+        g.reserve("v1");
+        assert_eq!(g.fresh("v"), "v2");
+    }
+}

@@ -1,0 +1,232 @@
+//! Pretty-printing of expressions in the paper's notation.
+//!
+//! Renders `s[p]` for typed heap reads, `is_valid_w32 s p` for validity,
+//! `unat`/`sint` for abstraction casts, and infix operators. Used both for
+//! the human-readable output specifications and for the *lines of spec*
+//! metric of Table 5 (via [`crate::metrics`]).
+
+use std::fmt;
+
+use crate::expr::{BinOp, CastKind, Expr, UnOp};
+
+/// Precedence levels for parenthesisation.
+fn prec(op: BinOp) -> u8 {
+    match op {
+        BinOp::Implies => 1,
+        BinOp::Or => 2,
+        BinOp::And => 3,
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le => 4,
+        BinOp::BitOr => 5,
+        BinOp::BitXor => 6,
+        BinOp::BitAnd => 7,
+        BinOp::Shl | BinOp::Shr => 8,
+        BinOp::Add | BinOp::Sub | BinOp::PtrAdd => 9,
+        BinOp::Mul | BinOp::Div | BinOp::Mod => 10,
+    }
+}
+
+fn op_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "div",
+        BinOp::Mod => "mod",
+        BinOp::BitAnd => "&&&",
+        BinOp::BitOr => "|||",
+        BinOp::BitXor => "xor",
+        BinOp::Shl => "<<",
+        BinOp::Shr => ">>",
+        BinOp::Eq => "=",
+        BinOp::Ne => "≠",
+        BinOp::Lt => "<",
+        BinOp::Le => "≤",
+        BinOp::And => "∧",
+        BinOp::Or => "∨",
+        BinOp::Implies => "⟶",
+        BinOp::PtrAdd => "+p",
+    }
+}
+
+/// Formats `e` into `f` (entry point used by `Expr`'s `Display`).
+///
+/// # Errors
+///
+/// Propagates formatter errors.
+pub fn fmt_expr(e: &Expr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    write_expr(e, 0, f)
+}
+
+fn write_expr(e: &Expr, parent_prec: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match e {
+        Expr::Lit(v) => write!(f, "{v}"),
+        Expr::Var(n) => write!(f, "{n}"),
+        Expr::Local(n) => write!(f, "´{n}"),
+        Expr::Global(n) => write!(f, "g·{n}"),
+        Expr::ReadHeap(ty, p) => {
+            write!(f, "s[")?;
+            write_expr(p, 0, f)?;
+            write!(f, "]·{}", ty.tag_name())
+        }
+        Expr::ReadByte(p) => {
+            write!(f, "byte s[")?;
+            write_expr(p, 0, f)?;
+            write!(f, "]")
+        }
+        Expr::IsValid(ty, p) => {
+            write!(f, "is_valid_{} s ", ty.tag_name())?;
+            write_expr(p, 11, f)
+        }
+        Expr::PtrAligned(_, p) => {
+            write!(f, "ptr_aligned ")?;
+            write_expr(p, 11, f)
+        }
+        Expr::NullFree(ty, p) => {
+            write!(f, "0 ∉ {{")?;
+            write_expr(p, 0, f)?;
+            write!(f, " ..+ size {}}}", ty.tag_name())
+        }
+        Expr::Field(s, n) => {
+            write_expr(s, 11, f)?;
+            write!(f, "→{n}")
+        }
+        Expr::UpdateField(s, n, v) => {
+            write_expr(s, 11, f)?;
+            write!(f, "⦇{n} := ")?;
+            write_expr(v, 0, f)?;
+            write!(f, "⦈")
+        }
+        Expr::UnOp(op, a) => {
+            let sym = match op {
+                UnOp::Not => "¬",
+                UnOp::BitNot => "~",
+                UnOp::Neg => "-",
+            };
+            write!(f, "{sym}")?;
+            write_expr(a, 11, f)
+        }
+        Expr::BinOp(op, a, b) => {
+            let p = prec(*op);
+            if p <= parent_prec {
+                write!(f, "(")?;
+            }
+            write_expr(a, p, f)?;
+            write!(f, " {} ", op_str(*op))?;
+            write_expr(b, p, f)?;
+            if p <= parent_prec {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Expr::Cast(k, a) => {
+            let name = match k {
+                CastKind::WordToWord(w, s) => {
+                    let base = match s {
+                        crate::ty::Signedness::Unsigned => "ucast",
+                        crate::ty::Signedness::Signed => "scast",
+                    };
+                    format!("{base}{}", w.bits())
+                }
+                CastKind::Unat => "unat".to_owned(),
+                CastKind::Sint => "sint".to_owned(),
+                CastKind::OfNat(w, _) => format!("of_nat{}", w.bits()),
+                CastKind::OfInt(w, _) => format!("of_int{}", w.bits()),
+                CastKind::NatToInt => "int".to_owned(),
+                CastKind::IntToNat => "nat".to_owned(),
+                CastKind::PtrToWord => "ptr_val".to_owned(),
+                CastKind::WordToPtr(t) => format!("Ptr[{}]", t.tag_name()),
+                CastKind::PtrRetype(t) => format!("ptr_coerce[{}]", t.tag_name()),
+            };
+            write!(f, "{name} ")?;
+            write_expr(a, 11, f)
+        }
+        Expr::Ite(c, t, e2) => {
+            if parent_prec > 0 {
+                write!(f, "(")?;
+            }
+            write!(f, "if ")?;
+            write_expr(c, 0, f)?;
+            write!(f, " then ")?;
+            write_expr(t, 0, f)?;
+            write!(f, " else ")?;
+            write_expr(e2, 0, f)?;
+            if parent_prec > 0 {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Expr::Tuple(es) => {
+            write!(f, "(")?;
+            for (i, e) in es.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write_expr(e, 0, f)?;
+            }
+            write!(f, ")")
+        }
+        Expr::Proj(i, e) => {
+            write!(f, "π{i} ")?;
+            write_expr(e, 11, f)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ty::Ty;
+    use crate::value::Value;
+
+    #[test]
+    fn infix_with_precedence() {
+        let e = Expr::binop(
+            BinOp::Mul,
+            Expr::binop(BinOp::Add, Expr::var("a"), Expr::var("b")),
+            Expr::var("c"),
+        );
+        assert_eq!(e.to_string(), "(a + b) * c");
+        let e = Expr::binop(
+            BinOp::Add,
+            Expr::var("a"),
+            Expr::binop(BinOp::Mul, Expr::var("b"), Expr::var("c")),
+        );
+        assert_eq!(e.to_string(), "a + b * c");
+    }
+
+    #[test]
+    fn paper_notation() {
+        let p = Expr::var("p");
+        assert_eq!(
+            Expr::read_heap(Ty::U32, p.clone()).to_string(),
+            "s[p]·w32"
+        );
+        assert_eq!(
+            Expr::is_valid(Ty::U32, p.clone()).to_string(),
+            "is_valid_w32 s p"
+        );
+        assert_eq!(
+            Expr::cast(CastKind::Unat, Expr::var("l")).to_string(),
+            "unat l"
+        );
+        assert_eq!(Expr::field(p, "next").to_string(), "p→next");
+    }
+
+    #[test]
+    fn conditionals_and_eq() {
+        let e = Expr::ite(
+            Expr::binop(BinOp::Lt, Expr::var("a"), Expr::var("b")),
+            Expr::var("b"),
+            Expr::var("a"),
+        );
+        assert_eq!(e.to_string(), "if a < b then b else a");
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(Expr::u32(5).to_string(), "5");
+        assert_eq!(Expr::i32(-5).to_string(), "-5");
+        assert_eq!(Expr::null(Ty::U32).to_string(), "NULL");
+        assert_eq!(Expr::Lit(Value::Unit).to_string(), "()");
+    }
+}

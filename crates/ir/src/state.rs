@@ -1,0 +1,250 @@
+//! Program states.
+//!
+//! The pipeline works over two state shapes:
+//!
+//! * [`ConcState`] — the state of the C parser's output and of the L1/L2
+//!   monadic embeddings: a byte-level [`Memory`] plus local and global
+//!   variable frames (the paper's `globals` record).
+//! * [`AbsState`] — the state after heap abstraction: one `is_valid`/`heap`
+//!   pair of functions per heap type (the paper's `abs_globals` record,
+//!   Sec 4.4), plus the same variable frames.
+//!
+//! [`State`] is the sum of the two, so one evaluator and one interpreter
+//! serve every pipeline level.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::mem::Memory;
+use crate::ty::Ty;
+use crate::value::Value;
+
+/// A typed split heap for one heap type: the validity set and the value map.
+///
+/// Splitting validity from data is the paper's Sec 4.4 design point: data at
+/// an address changes frequently, validity rarely, and keeping them separate
+/// makes that independence syntactically obvious.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TypedHeap {
+    /// Addresses holding a valid object of this type (`is_valid_τ`).
+    pub valid: BTreeSet<u64>,
+    /// The object values (`heap_τ`). Total in the model; absent keys read as
+    /// the type's zero value.
+    pub vals: BTreeMap<u64, Value>,
+}
+
+impl TypedHeap {
+    /// Is `addr` valid in this heap?
+    #[must_use]
+    pub fn is_valid(&self, addr: u64) -> bool {
+        self.valid.contains(&addr)
+    }
+
+    /// The value at `addr`, if explicitly set.
+    #[must_use]
+    pub fn get(&self, addr: u64) -> Option<&Value> {
+        self.vals.get(&addr)
+    }
+
+    /// Functional update of the value at `addr`.
+    pub fn set(&mut self, addr: u64, v: Value) {
+        self.vals.insert(addr, v);
+    }
+}
+
+/// Concrete program state: byte memory + variable frames.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ConcState {
+    /// The byte-level heap with type tags.
+    pub mem: Memory,
+    /// State-stored local variables (present until local-variable lifting).
+    pub locals: BTreeMap<String, Value>,
+    /// Global variables.
+    pub globals: BTreeMap<String, Value>,
+}
+
+/// Abstract program state: typed split heaps + variable frames.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AbsState {
+    /// One typed heap per heap type used by the program.
+    pub heaps: BTreeMap<Ty, TypedHeap>,
+    /// State-stored local variables (normally empty at this level).
+    pub locals: BTreeMap<String, Value>,
+    /// Global variables.
+    pub globals: BTreeMap<String, Value>,
+}
+
+impl AbsState {
+    /// The typed heap for `ty`, if present.
+    #[must_use]
+    pub fn heap(&self, ty: &Ty) -> Option<&TypedHeap> {
+        self.heaps.get(ty)
+    }
+
+    /// The typed heap for `ty`, created on demand.
+    pub fn heap_mut(&mut self, ty: &Ty) -> &mut TypedHeap {
+        self.heaps.entry(ty.clone()).or_default()
+    }
+}
+
+/// A program state at any pipeline level.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum State {
+    /// Byte-level state (parser output, L1, L2).
+    Conc(ConcState),
+    /// Typed-split-heap state (after heap abstraction).
+    Abs(AbsState),
+}
+
+impl State {
+    /// An empty concrete state.
+    #[must_use]
+    pub fn conc_empty() -> State {
+        State::Conc(ConcState::default())
+    }
+
+    /// An empty abstract state.
+    #[must_use]
+    pub fn abs_empty() -> State {
+        State::Abs(AbsState::default())
+    }
+
+    /// Reads a local variable.
+    #[must_use]
+    pub fn local(&self, name: &str) -> Option<&Value> {
+        match self {
+            State::Conc(s) => s.locals.get(name),
+            State::Abs(s) => s.locals.get(name),
+        }
+    }
+
+    /// Writes a local variable.
+    pub fn set_local(&mut self, name: &str, v: Value) {
+        match self {
+            State::Conc(s) => {
+                s.locals.insert(name.to_owned(), v);
+            }
+            State::Abs(s) => {
+                s.locals.insert(name.to_owned(), v);
+            }
+        }
+    }
+
+    /// Reads a global variable.
+    #[must_use]
+    pub fn global(&self, name: &str) -> Option<&Value> {
+        match self {
+            State::Conc(s) => s.globals.get(name),
+            State::Abs(s) => s.globals.get(name),
+        }
+    }
+
+    /// Writes a global variable.
+    pub fn set_global(&mut self, name: &str, v: Value) {
+        match self {
+            State::Conc(s) => {
+                s.globals.insert(name.to_owned(), v);
+            }
+            State::Abs(s) => {
+                s.globals.insert(name.to_owned(), v);
+            }
+        }
+    }
+
+    /// The local frame (either state shape).
+    #[must_use]
+    pub fn locals(&self) -> &BTreeMap<String, Value> {
+        match self {
+            State::Conc(s) => &s.locals,
+            State::Abs(s) => &s.locals,
+        }
+    }
+
+    /// Replaces the local frame, returning the old one (used for call
+    /// save/restore in the Simpl and L1 interpreters).
+    pub fn swap_locals(&mut self, new: BTreeMap<String, Value>) -> BTreeMap<String, Value> {
+        match self {
+            State::Conc(s) => std::mem::replace(&mut s.locals, new),
+            State::Abs(s) => std::mem::replace(&mut s.locals, new),
+        }
+    }
+
+    /// The concrete state, if this is one.
+    #[must_use]
+    pub fn as_conc(&self) -> Option<&ConcState> {
+        match self {
+            State::Conc(s) => Some(s),
+            State::Abs(_) => None,
+        }
+    }
+
+    /// The abstract state, if this is one.
+    #[must_use]
+    pub fn as_abs(&self) -> Option<&AbsState> {
+        match self {
+            State::Abs(s) => Some(s),
+            State::Conc(_) => None,
+        }
+    }
+
+    /// Mutable concrete state, if this is one.
+    pub fn as_conc_mut(&mut self) -> Option<&mut ConcState> {
+        match self {
+            State::Conc(s) => Some(s),
+            State::Abs(_) => None,
+        }
+    }
+
+    /// Mutable abstract state, if this is one.
+    pub fn as_abs_mut(&mut self) -> Option<&mut AbsState> {
+        match self {
+            State::Abs(s) => Some(s),
+            State::Conc(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locals_and_globals() {
+        let mut s = State::conc_empty();
+        assert!(s.local("x").is_none());
+        s.set_local("x", Value::u32(5));
+        s.set_global("g", Value::u32(9));
+        assert_eq!(s.local("x"), Some(&Value::u32(5)));
+        assert_eq!(s.global("g"), Some(&Value::u32(9)));
+    }
+
+    #[test]
+    fn swap_locals_for_calls() {
+        let mut s = State::conc_empty();
+        s.set_local("x", Value::u32(5));
+        let saved = s.swap_locals(BTreeMap::new());
+        assert!(s.local("x").is_none());
+        s.swap_locals(saved);
+        assert_eq!(s.local("x"), Some(&Value::u32(5)));
+    }
+
+    #[test]
+    fn typed_heaps() {
+        let mut s = AbsState::default();
+        let h = s.heap_mut(&Ty::U32);
+        h.valid.insert(0x100);
+        h.set(0x100, Value::u32(7));
+        assert!(s.heap(&Ty::U32).unwrap().is_valid(0x100));
+        assert!(!s.heap(&Ty::U32).unwrap().is_valid(0x104));
+        assert_eq!(s.heap(&Ty::U32).unwrap().get(0x100), Some(&Value::u32(7)));
+        assert!(s.heap(&Ty::U8).is_none());
+    }
+
+    #[test]
+    fn state_shape_accessors() {
+        let c = State::conc_empty();
+        assert!(c.as_conc().is_some());
+        assert!(c.as_abs().is_none());
+        let a = State::abs_empty();
+        assert!(a.as_abs().is_some());
+    }
+}

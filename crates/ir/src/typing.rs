@@ -1,0 +1,148 @@
+//! Best-effort static type inference for expressions.
+//!
+//! The abstraction engines need to know the static type of subexpressions —
+//! e.g. which struct a pointer points to (heap abstraction's field-offset
+//! resolution, Sec 4.5) or whether a word is signed (word abstraction's
+//! choice of `unat` vs `sint`). Inference runs over a variable-type
+//! environment and the structure layouts.
+
+use std::collections::HashMap;
+
+use crate::expr::{BinOp, CastKind, Expr, UnOp};
+use crate::ty::{Signedness, Ty, TypeEnv, Width};
+
+/// Infers the type of `e` given variable types. Returns `None` for
+/// ill-typed or underdetermined expressions.
+#[must_use]
+pub fn infer_ty(e: &Expr, vars: &HashMap<String, Ty>, tenv: &TypeEnv) -> Option<Ty> {
+    match e {
+        Expr::Lit(v) => Some(v.ty()),
+        Expr::Var(n) | Expr::Local(n) | Expr::Global(n) => vars.get(n).cloned(),
+        Expr::ReadHeap(t, _) => Some(t.clone()),
+        Expr::ReadByte(_) => Some(Ty::U8),
+        Expr::IsValid(..) | Expr::PtrAligned(..) | Expr::NullFree(..) => Some(Ty::Bool),
+        Expr::Field(s, f) => {
+            let Ty::Struct(name) = infer_ty(s, vars, tenv)? else {
+                return None;
+            };
+            tenv.struct_def(&name)?.field(f).map(|fd| fd.ty.clone())
+        }
+        Expr::UpdateField(s, _, _) => infer_ty(s, vars, tenv),
+        Expr::UnOp(UnOp::Not, _) => Some(Ty::Bool),
+        Expr::UnOp(_, a) => infer_ty(a, vars, tenv),
+        Expr::BinOp(op, a, b) => match op {
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::And | BinOp::Or
+            | BinOp::Implies => Some(Ty::Bool),
+            BinOp::PtrAdd => infer_ty(a, vars, tenv),
+            _ => infer_ty(a, vars, tenv).or_else(|| infer_ty(b, vars, tenv)),
+        },
+        Expr::Cast(k, _a) => Some(match k {
+            CastKind::WordToWord(w, s) | CastKind::OfNat(w, s) | CastKind::OfInt(w, s) => {
+                Ty::Word(*w, *s)
+            }
+            CastKind::Unat => Ty::Nat,
+            CastKind::Sint => Ty::Int,
+            CastKind::NatToInt => Ty::Int,
+            CastKind::IntToNat => Ty::Nat,
+            CastKind::PtrToWord => Ty::Word(Width::W32, Signedness::Unsigned),
+            CastKind::WordToPtr(t) | CastKind::PtrRetype(t) => Ty::Ptr(Box::new(t.clone())),
+        }),
+        Expr::Ite(_, t, f) => {
+            infer_ty(t, vars, tenv).or_else(|| infer_ty(f, vars, tenv))
+        }
+        Expr::Tuple(es) => {
+            let mut out = Vec::with_capacity(es.len());
+            for x in es {
+                out.push(infer_ty(x, vars, tenv)?);
+            }
+            Some(Ty::Tuple(out))
+        }
+        Expr::Proj(i, t) => match infer_ty(t, vars, tenv)? {
+            Ty::Tuple(ts) => ts.get(*i).cloned(),
+            _ => None,
+        },
+    }
+}
+
+/// The pointee type of a pointer-typed expression.
+#[must_use]
+pub fn ptr_pointee(e: &Expr, vars: &HashMap<String, Ty>, tenv: &TypeEnv) -> Option<Ty> {
+    match infer_ty(e, vars, tenv)? {
+        Ty::Ptr(p) => Some(*p),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(pairs: &[(&str, Ty)]) -> HashMap<String, Ty> {
+        pairs
+            .iter()
+            .map(|(n, t)| ((*n).to_owned(), t.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn infers_through_structures() {
+        let mut tenv = TypeEnv::new();
+        tenv.define_struct(
+            "node",
+            vec![
+                ("next".into(), Ty::Struct("node".into()).ptr_to()),
+                ("data".into(), Ty::U32),
+            ],
+        )
+        .unwrap();
+        let vars = env(&[("p", Ty::Struct("node".into()).ptr_to())]);
+        let read = Expr::read_heap(Ty::Struct("node".into()), Expr::var("p"));
+        assert_eq!(
+            infer_ty(&Expr::field(read.clone(), "data"), &vars, &tenv),
+            Some(Ty::U32)
+        );
+        assert_eq!(
+            infer_ty(&Expr::field(read, "next"), &vars, &tenv),
+            Some(Ty::Struct("node".into()).ptr_to())
+        );
+        assert_eq!(
+            ptr_pointee(&Expr::var("p"), &vars, &tenv),
+            Some(Ty::Struct("node".into()))
+        );
+    }
+
+    #[test]
+    fn operators_and_casts() {
+        let tenv = TypeEnv::new();
+        let vars = env(&[("x", Ty::U32), ("i", Ty::Nat)]);
+        assert_eq!(
+            infer_ty(
+                &Expr::binop(BinOp::Add, Expr::var("x"), Expr::u32(1)),
+                &vars,
+                &tenv
+            ),
+            Some(Ty::U32)
+        );
+        assert_eq!(
+            infer_ty(
+                &Expr::binop(BinOp::Lt, Expr::var("i"), Expr::nat(4u64)),
+                &vars,
+                &tenv
+            ),
+            Some(Ty::Bool)
+        );
+        assert_eq!(
+            infer_ty(&Expr::cast(CastKind::Unat, Expr::var("x")), &vars, &tenv),
+            Some(Ty::Nat)
+        );
+        assert_eq!(infer_ty(&Expr::var("missing"), &vars, &tenv), None);
+    }
+
+    #[test]
+    fn ptr_add_keeps_pointee() {
+        let tenv = TypeEnv::new();
+        let vars = env(&[("p", Ty::U32.ptr_to())]);
+        let e = Expr::binop(BinOp::PtrAdd, Expr::var("p"), Expr::u32(8));
+        assert_eq!(ptr_pointee(&e, &vars, &tenv), Some(Ty::U32));
+    }
+}

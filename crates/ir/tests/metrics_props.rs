@@ -1,0 +1,91 @@
+//! Property tests for the Table 5 size metrics (line wrapping and line
+//! counting must be stable, conservative, and content-preserving).
+
+use ir::metrics::{spec_lines, wrap_text};
+use proptest::prelude::*;
+
+fn arb_token() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-z]{1,12}",
+        Just("≡".to_owned()),
+        Just("(λs.".to_owned()),
+        Just("od);".to_owned()),
+        "[0-9]{1,10}",
+    ]
+}
+
+fn arb_text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        proptest::collection::vec(arb_token(), 0..30),
+        0..12,
+    )
+    .prop_map(|lines| {
+        lines
+            .into_iter()
+            .map(|ws| ws.join(" "))
+            .collect::<Vec<_>>()
+            .join("\n")
+    })
+}
+
+proptest! {
+    /// No output line exceeds the width unless it is a single unbreakable
+    /// token longer than the width.
+    #[test]
+    fn wrapped_lines_fit(text in arb_text(), width in 8usize..120) {
+        for line in wrap_text(&text, width).lines() {
+            let n = line.chars().count();
+            if n > width {
+                prop_assert!(
+                    !line.trim().contains(' '),
+                    "over-long line is breakable: {line:?}"
+                );
+            }
+        }
+    }
+
+    /// Wrapping preserves the token stream (joining on whitespace).
+    #[test]
+    fn wrapping_preserves_tokens(text in arb_text(), width in 8usize..120) {
+        let before: Vec<&str> = text.split_whitespace().collect();
+        let wrapped = wrap_text(&text, width);
+        let after: Vec<&str> = wrapped.split_whitespace().collect();
+        prop_assert_eq!(before, after);
+    }
+
+    /// Wrapping at a width no line exceeds is the identity (modulo the
+    /// normalised trailing newline).
+    #[test]
+    fn wide_enough_is_identity(text in arb_text()) {
+        let max = text.lines().map(|l| l.chars().count()).max().unwrap_or(0);
+        let wrapped = wrap_text(&text, max.max(1));
+        prop_assert_eq!(wrapped.trim_end_matches('\n'), text.trim_end_matches('\n'));
+    }
+
+    /// Line counts are monotone: narrower widths never produce fewer lines.
+    #[test]
+    fn narrower_never_fewer_lines(text in arb_text(), w1 in 8usize..60, extra in 1usize..60) {
+        let w2 = w1 + extra;
+        let narrow = spec_lines(&wrap_text(&text, w1));
+        let wide = spec_lines(&wrap_text(&text, w2));
+        prop_assert!(narrow >= wide, "narrow {w1}→{narrow} < wide {w2}→{wide}");
+    }
+
+    /// spec_lines counts non-empty lines.
+    #[test]
+    fn spec_lines_counts_nonempty(lines in proptest::collection::vec(arb_token(), 0..20)) {
+        let with_blanks: String = lines
+            .iter()
+            .flat_map(|l| [l.as_str(), ""])
+            .collect::<Vec<_>>()
+            .join("\n");
+        prop_assert_eq!(spec_lines(&with_blanks), lines.len());
+    }
+
+    /// Idempotence: wrapping an already-wrapped text changes nothing.
+    #[test]
+    fn wrapping_is_idempotent(text in arb_text(), width in 8usize..120) {
+        let once = wrap_text(&text, width);
+        prop_assert_eq!(wrap_text(&once, width), once.clone());
+    }
+}

@@ -1,0 +1,158 @@
+//! Property tests for the semantic core: machine words against the bignum
+//! model, memory codec round trips, and simplifier-relevant evaluator laws.
+
+use ir::mem::Memory;
+use ir::ty::{Signedness, Ty, TypeEnv, Width};
+use ir::value::{Ptr, Value};
+use ir::word::Word;
+use proptest::prelude::*;
+
+fn arb_width() -> impl Strategy<Value = Width> {
+    prop_oneof![
+        Just(Width::W8),
+        Just(Width::W16),
+        Just(Width::W32),
+        Just(Width::W64)
+    ]
+}
+
+proptest! {
+    /// Word arithmetic is the bignum model reduced mod 2ⁿ.
+    #[test]
+    fn add_matches_bignum_model(a in any::<u64>(), b in any::<u64>(), w in arb_width()) {
+        let x = Word::new(a, w, Signedness::Unsigned);
+        let y = Word::new(b, w, Signedness::Unsigned);
+        let sum = x.wrapping_add(&y);
+        let model = (x.unat() + y.unat()) % bignum::Nat::pow2(w.bits());
+        prop_assert_eq!(sum.unat(), model);
+    }
+
+    #[test]
+    fn mul_matches_bignum_model(a in any::<u64>(), b in any::<u64>(), w in arb_width()) {
+        let x = Word::new(a, w, Signedness::Unsigned);
+        let y = Word::new(b, w, Signedness::Unsigned);
+        let prod = x.wrapping_mul(&y);
+        let model = (x.unat() * y.unat()) % bignum::Nat::pow2(w.bits());
+        prop_assert_eq!(prod.unat(), model);
+    }
+
+    /// `sint` is the two's-complement interpretation: sint x ≡ unat x − 2ⁿ·msb.
+    #[test]
+    fn sint_unat_relation(a in any::<u64>(), w in arb_width()) {
+        let x = Word::new(a, w, Signedness::Signed);
+        let unat = bignum::Int::from_nat(x.unat());
+        let modulus = bignum::Int::from_nat(bignum::Nat::pow2(w.bits()));
+        let expect = if x.sint() < bignum::Int::zero() {
+            &unat - &modulus
+        } else {
+            unat
+        };
+        prop_assert_eq!(x.sint(), expect);
+    }
+
+    /// `of_nat (unat x) = x` and `of_int (sint x) = x`.
+    #[test]
+    fn abstraction_round_trips(a in any::<u64>(), w in arb_width()) {
+        let u = Word::new(a, w, Signedness::Unsigned);
+        prop_assert_eq!(Word::of_nat(&u.unat(), w, Signedness::Unsigned), u);
+        let s = Word::new(a, w, Signedness::Signed);
+        prop_assert_eq!(Word::of_int(&s.sint(), w, Signedness::Signed), s);
+    }
+
+    /// Signed comparison agrees with comparison of `sint` images —
+    /// the soundness of the WCmp kernel rule.
+    #[test]
+    fn signed_cmp_matches_int_cmp(a in any::<u32>(), b in any::<u32>()) {
+        let x = Word::new(u64::from(a), Width::W32, Signedness::Signed);
+        let y = Word::new(u64::from(b), Width::W32, Signedness::Signed);
+        prop_assert_eq!(x.word_cmp(&y), x.sint().cmp(&y.sint()));
+    }
+
+    /// Unsigned division agrees with nat division unconditionally (WDIV has
+    /// no precondition).
+    #[test]
+    fn udiv_matches_nat_div(a in any::<u32>(), b in any::<u32>()) {
+        let x = Word::u32(a);
+        let y = Word::u32(b);
+        prop_assert_eq!(x.c_div(&y).unat(), x.unat() / y.unat());
+        prop_assert_eq!(x.c_rem(&y).unat(), x.unat() % y.unat());
+    }
+
+    /// Word encode/decode round trips through memory at any aligned address.
+    #[test]
+    fn word_codec_round_trip(a in any::<u64>(), w in arb_width(), slot in 0u64..64) {
+        let tenv = TypeEnv::new();
+        let mut mem = Memory::new();
+        let addr = 0x100 + slot * 8;
+        let v = Value::Word(Word::new(a, w, Signedness::Unsigned));
+        mem.encode(addr, &v, &tenv).unwrap();
+        prop_assert_eq!(
+            mem.decode(addr, &Ty::Word(w, Signedness::Unsigned), &tenv).unwrap(),
+            v
+        );
+    }
+
+    /// Struct encode/decode round trips (field order and offsets).
+    #[test]
+    fn struct_codec_round_trip(next in any::<u32>(), data in any::<u32>()) {
+        let mut tenv = TypeEnv::new();
+        tenv.define_struct(
+            "node",
+            vec![
+                ("next".into(), Ty::Struct("node".into()).ptr_to()),
+                ("data".into(), Ty::U32),
+            ],
+        )
+        .unwrap();
+        let v = Value::Struct(
+            "node".into(),
+            vec![
+                ("next".into(), Value::Ptr(Ptr::new(u64::from(next), Ty::Struct("node".into())))),
+                ("data".into(), Value::u32(data)),
+            ],
+        );
+        let mut mem = Memory::new();
+        mem.encode(0x1000, &v, &tenv).unwrap();
+        prop_assert_eq!(mem.decode(0x1000, &Ty::Struct("node".into()), &tenv).unwrap(), v);
+    }
+
+    /// Disjoint writes do not disturb each other (the byte-level framing
+    /// fact that split heaps make syntactic).
+    #[test]
+    fn disjoint_writes_commute(a in any::<u32>(), b in any::<u32>()) {
+        let tenv = TypeEnv::new();
+        let mut m1 = Memory::new();
+        m1.encode(0x100, &Value::u32(a), &tenv).unwrap();
+        m1.encode(0x200, &Value::u32(b), &tenv).unwrap();
+        let mut m2 = Memory::new();
+        m2.encode(0x200, &Value::u32(b), &tenv).unwrap();
+        m2.encode(0x100, &Value::u32(a), &tenv).unwrap();
+        prop_assert_eq!(
+            m1.decode(0x100, &Ty::U32, &tenv).unwrap(),
+            m2.decode(0x100, &Ty::U32, &tenv).unwrap()
+        );
+        prop_assert_eq!(
+            m1.decode(0x200, &Ty::U32, &tenv).unwrap(),
+            m2.decode(0x200, &Ty::U32, &tenv).unwrap()
+        );
+    }
+
+    /// heap_lift after a typed write at a lifted address is the functional
+    /// update (the Sec 4.2 law, randomised).
+    #[test]
+    fn lift_write_law(a in any::<u32>(), v in any::<u32>()) {
+        let tenv = TypeEnv::new();
+        let mut conc = ir::state::ConcState::default();
+        conc.mem.alloc(0x100, &Value::u32(a), &tenv).unwrap();
+        conc.mem.alloc(0x104, &Value::u32(a ^ 1), &tenv).unwrap();
+        let before = heapmodel::lift_state(&conc, &tenv, &[Ty::U32]);
+        conc.mem.encode(0x100, &Value::u32(v), &tenv).unwrap();
+        let after = heapmodel::lift_state(&conc, &tenv, &[Ty::U32]);
+        // after = before[0x100 := v]
+        let hb = &before.heaps[&Ty::U32];
+        let ha = &after.heaps[&Ty::U32];
+        prop_assert_eq!(ha.get(0x100), Some(&Value::u32(v)));
+        prop_assert_eq!(ha.get(0x104), hb.get(0x104));
+        prop_assert_eq!(&ha.valid, &hb.valid);
+    }
+}

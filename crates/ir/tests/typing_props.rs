@@ -1,0 +1,97 @@
+//! Type-inference soundness: whenever a random expression both infers a
+//! type and evaluates to a value, the value has exactly the inferred type.
+
+use std::collections::HashMap;
+
+use ir::eval::{eval, Env};
+use ir::expr::{BinOp, CastKind, Expr, UnOp};
+use ir::state::State;
+use ir::ty::{Signedness, Ty, TypeEnv, Width};
+use ir::typing::infer_ty;
+use ir::value::Value;
+use proptest::prelude::*;
+use proptest::strategy::ValueTree;
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        any::<u32>().prop_map(Expr::u32),
+        any::<i32>().prop_map(Expr::i32),
+        (0u64..1000).prop_map(Expr::nat),
+        (-500i64..500).prop_map(Expr::int),
+        Just(Expr::var("w")),
+        Just(Expr::var("n")),
+        Just(Expr::var("b")),
+        Just(Expr::tt()),
+        Just(Expr::ff()),
+    ];
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), proptest::sample::select(vec![
+                BinOp::Add, BinOp::Sub, BinOp::Mul,
+            ]))
+            .prop_map(|(a, b, op)| Expr::binop(op, a, b)),
+            (inner.clone(), inner.clone(), proptest::sample::select(vec![
+                BinOp::Eq, BinOp::Ne, BinOp::Lt, BinOp::Le,
+            ]))
+            .prop_map(|(a, b, op)| Expr::binop(op, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::and(a, b)),
+            inner.clone().prop_map(|a| Expr::unop(UnOp::Not, a)),
+            inner.clone().prop_map(|a| Expr::cast(CastKind::Unat, a)),
+            inner
+                .clone()
+                .prop_map(|a| Expr::cast(CastKind::OfNat(Width::W32, Signedness::Unsigned), a)),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, t, e)| Expr::ite(c, t, e)),
+        ]
+    })
+}
+
+#[test]
+fn inferred_types_match_evaluated_values() {
+    let vars: HashMap<String, Ty> = [
+        ("w".to_owned(), Ty::U32),
+        ("n".to_owned(), Ty::Nat),
+        ("b".to_owned(), Ty::Bool),
+    ]
+    .into();
+    let tenv = TypeEnv::new();
+    let mut env = Env::with_tenv(tenv.clone());
+    env.vars.insert("w".into(), Value::u32(7));
+    env.vars.insert("n".into(), Value::nat(9u64));
+    env.vars.insert("b".into(), Value::Bool(true));
+    let st = State::conc_empty();
+
+    // `infer_ty` is a lightweight helper: on an `Ite` it trusts the then
+    // branch, so the soundness statement only applies to expressions whose
+    // conditionals are branch-consistent.
+    let ite_consistent = |e: &Expr| {
+        let mut ok = true;
+        e.visit(&mut |sub| {
+            if let Expr::Ite(_, t, els) = sub {
+                let tt = infer_ty(t, &vars, &tenv);
+                let te = infer_ty(els, &vars, &tenv);
+                if tt.is_none() || tt != te {
+                    ok = false;
+                }
+            }
+        });
+        ok
+    };
+    let mut runner = proptest::test_runner::TestRunner::deterministic();
+    let strat = arb_expr();
+    let mut agreements = 0u32;
+    for _ in 0..4_000 {
+        let e = strat.new_tree(&mut runner).unwrap().current();
+        if !ite_consistent(&e) {
+            continue;
+        }
+        let inferred = infer_ty(&e, &vars, &tenv);
+        let evaluated = eval(&e, &env, &st);
+        if let (Some(t), Ok(v)) = (inferred, evaluated) {
+            assert_eq!(v.ty(), t, "expr {e}");
+            agreements += 1;
+        }
+    }
+    // The generator must produce plenty of well-typed expressions.
+    assert!(agreements > 200, "only {agreements} typed+evaluated samples");
+}

@@ -1,0 +1,158 @@
+//! Exhaustive 8-bit oracle: every `Word` operation checked against Rust's
+//! native `u8`/`i8` arithmetic on *all* operand pairs. Word widths share
+//! one code path, so this validates the masking/sign-extension logic that
+//! the other widths rely on.
+
+use ir::ty::{Signedness, Ty, Width};
+use ir::word::Word;
+
+fn w(v: u8) -> Word {
+    Word::new(u64::from(v), Width::W8, Signedness::Unsigned)
+}
+
+fn s(v: i8) -> Word {
+    Word::new(v as u8 as u64, Width::W8, Signedness::Signed)
+}
+
+#[test]
+fn unsigned_ring_ops_all_pairs() {
+    for a in 0..=255u8 {
+        for b in 0..=255u8 {
+            assert_eq!(w(a).wrapping_add(&w(b)).bits(), u64::from(a.wrapping_add(b)));
+            assert_eq!(w(a).wrapping_sub(&w(b)).bits(), u64::from(a.wrapping_sub(b)));
+            assert_eq!(w(a).wrapping_mul(&w(b)).bits(), u64::from(a.wrapping_mul(b)));
+            assert_eq!(w(a).and(&w(b)).bits(), u64::from(a & b));
+            assert_eq!(w(a).or(&w(b)).bits(), u64::from(a | b));
+            assert_eq!(w(a).xor(&w(b)).bits(), u64::from(a ^ b));
+        }
+    }
+}
+
+#[test]
+fn unsigned_div_rem_all_pairs() {
+    for a in 0..=255u8 {
+        for b in 1..=255u8 {
+            assert_eq!(w(a).c_div(&w(b)).bits(), u64::from(a / b), "{a}/{b}");
+            assert_eq!(w(a).c_rem(&w(b)).bits(), u64::from(a % b), "{a}%{b}");
+        }
+    }
+}
+
+#[test]
+fn signed_ring_ops_all_pairs() {
+    for a in i8::MIN..=i8::MAX {
+        for b in i8::MIN..=i8::MAX {
+            assert_eq!(
+                s(a).wrapping_add(&s(b)).signed_value(),
+                i64::from(a.wrapping_add(b)),
+                "{a}+{b}"
+            );
+            assert_eq!(
+                s(a).wrapping_sub(&s(b)).signed_value(),
+                i64::from(a.wrapping_sub(b)),
+                "{a}-{b}"
+            );
+            assert_eq!(
+                s(a).wrapping_mul(&s(b)).signed_value(),
+                i64::from(a.wrapping_mul(b)),
+                "{a}*{b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn signed_div_rem_truncates_toward_zero() {
+    for a in i8::MIN..=i8::MAX {
+        for b in i8::MIN..=i8::MAX {
+            if b == 0 {
+                continue;
+            }
+            // C division truncates toward zero; i8::MIN / -1 wraps in the
+            // two's-complement machine result (the C program would have
+            // failed a guard first).
+            let expect_div = i64::from(a).wrapping_div(i64::from(b)) as i8;
+            let expect_rem = i64::from(a).wrapping_rem(i64::from(b)) as i8;
+            assert_eq!(s(a).c_div(&s(b)).signed_value(), i64::from(expect_div), "{a}/{b}");
+            assert_eq!(s(a).c_rem(&s(b)).signed_value(), i64::from(expect_rem), "{a}%{b}");
+        }
+    }
+}
+
+#[test]
+fn comparisons_match_native() {
+    for a in 0..=255u8 {
+        for b in 0..=255u8 {
+            assert_eq!(Word::word_cmp(&w(a), &w(b)), u8::cmp(&a, &b), "u {a} vs {b}");
+        }
+    }
+    for a in i8::MIN..=i8::MAX {
+        for b in i8::MIN..=i8::MAX {
+            assert_eq!(Word::word_cmp(&s(a), &s(b)), i8::cmp(&a, &b), "s {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn shifts_match_native() {
+    for a in 0..=255u8 {
+        for amt in 0..8u32 {
+            assert_eq!(w(a).shl(amt).bits(), u64::from(a << amt), "{a}<<{amt}");
+            assert_eq!(w(a).shr(amt).bits(), u64::from(a >> amt), "{a}>>{amt}");
+        }
+    }
+    for a in i8::MIN..=i8::MAX {
+        for amt in 0..8u32 {
+            // Arithmetic right shift on signed operands.
+            assert_eq!(
+                s(a).shr(amt).signed_value(),
+                i64::from(a >> amt),
+                "{a}>>{amt}"
+            );
+        }
+    }
+}
+
+#[test]
+fn negation_and_not_all_values() {
+    for a in 0..=255u8 {
+        assert_eq!(w(a).wrapping_neg().bits(), u64::from(a.wrapping_neg()));
+        assert_eq!(w(a).not().bits(), u64::from(!a));
+    }
+    for a in i8::MIN..=i8::MAX {
+        assert_eq!(s(a).wrapping_neg().signed_value(), i64::from(a.wrapping_neg()));
+    }
+}
+
+#[test]
+fn unat_sint_of_nat_of_int_roundtrip() {
+    for a in 0..=255u8 {
+        let back = Word::of_nat(&w(a).unat(), Width::W8, Signedness::Unsigned);
+        assert_eq!(back, w(a), "unat roundtrip {a}");
+    }
+    for a in i8::MIN..=i8::MAX {
+        let back = Word::of_int(&s(a).sint(), Width::W8, Signedness::Signed);
+        assert_eq!(back, s(a), "sint roundtrip {a}");
+    }
+}
+
+#[test]
+fn conversions_to_wider_and_back() {
+    for a in 0..=255u8 {
+        let wide = w(a).convert(Width::W32, Signedness::Unsigned);
+        assert_eq!(wide.bits(), u64::from(a), "zero-extend {a}");
+        assert_eq!(wide.convert(Width::W8, Signedness::Unsigned), w(a));
+    }
+    for a in i8::MIN..=i8::MAX {
+        let wide = s(a).convert(Width::W32, Signedness::Signed);
+        assert_eq!(wide.signed_value(), i64::from(a), "sign-extend {a}");
+        assert_eq!(wide.convert(Width::W8, Signedness::Signed), s(a));
+    }
+}
+
+#[test]
+fn word_types_report_w8() {
+    assert_eq!(w(0).ty(), Ty::U8);
+    assert_eq!(w(255).width(), Width::W8);
+    assert_eq!(s(-1).sign(), Signedness::Signed);
+}

@@ -1,0 +1,113 @@
+//! The inference rules.
+//!
+//! Each rule has (i) a *validation* — a pure function checking that a
+//! conclusion follows from premises, used both at construction time and by
+//! the proof checker — and (ii) a public *constructor* that builds the
+//! conclusion from premises and admits the theorem. Constructors are the
+//! only way to obtain a [`Thm`](crate::Thm).
+
+pub mod heap;
+pub mod refine;
+pub mod word;
+
+use crate::judgment::Judgment;
+use crate::thm::{CheckCtx, Rule, Side};
+
+use ir::expr::Expr;
+
+pub(crate) type V = Result<(), String>;
+
+/// Validates one rule application (used by construction and replay).
+///
+/// # Errors
+///
+/// Returns a human-readable reason when the conclusion does not follow.
+pub(crate) fn validate(
+    rule: Rule,
+    premises: &[&Judgment],
+    concl: &Judgment,
+    side: &Side,
+    cx: &CheckCtx,
+) -> V {
+    use Rule::*;
+    match rule {
+        WVar | WLit | WSum | WSub | WMul | WDiv | WMod | SSum | SSub | SMul | SDiv | SMod
+        | SNeg | WCmp | WOfNat | WOfInt | WUnatWrap | WSintWrap | WIdCong | WIte | WTuple
+        | WProj | WTupleId | WTupleWrap | WCustomSampled => word::validate_val(rule, premises, concl, side),
+        WsRet | WsGets | WsModify | WsGuard | WsThrow | WsFail | WsBind | WsBindTuple | WsCond | WsWhile
+        | WsCall | WsCatch | WsExecConcrete => word::validate_stmt(rule, premises, concl, cx),
+        HLit | HVar | HCong | HValWeaken | HRead | HReadField | HGuardPtr | HUpd | HUpdField | HUpdVar => {
+            heap::validate_val(rule, premises, concl, cx)
+        }
+        HsGets | HsModify | HsGuard | HsRet | HsThrow | HsFail | HsBind | HsBindTuple | HsCond | HsWhile
+        | HsCatch | HsCall | HsExecConcrete => heap::validate_stmt(rule, premises, concl, cx),
+        L1Skip | L1Basic | L1Seq | L1Cond | L1While | L1Guard | L1Throw | L1Catch | L1Call => {
+            refine::validate_l1(rule, premises, concl)
+        }
+        ReflRefines | TransRefines | BindCong | CondCong | CatchCong | WhileCong
+        | DischargeGuard | ExecTested => refine::validate_refines(rule, premises, concl, side),
+    }
+}
+
+/// Conjunction of preconditions in canonical (left-fold) order, dropping
+/// trivial `true` conjuncts. Engines and validations must use the same
+/// helper so recomputed conclusions compare equal.
+#[must_use]
+pub fn pre_all(pres: impl IntoIterator<Item = Expr>) -> Expr {
+    pres.into_iter().fold(Expr::tt(), Expr::and)
+}
+
+// ---- expression skeleton helpers (shared by the congruence rules) --------
+
+/// The immediate subexpressions of `e`.
+pub(crate) fn children(e: &Expr) -> Vec<&Expr> {
+    match e {
+        Expr::Lit(_) | Expr::Var(_) | Expr::Local(_) | Expr::Global(_) => vec![],
+        Expr::ReadHeap(_, a)
+        | Expr::ReadByte(a)
+        | Expr::IsValid(_, a)
+        | Expr::PtrAligned(_, a)
+        | Expr::NullFree(_, a)
+        | Expr::Field(a, _)
+        | Expr::UnOp(_, a)
+        | Expr::Cast(_, a)
+        | Expr::Proj(_, a) => vec![a],
+        Expr::UpdateField(a, _, b) | Expr::BinOp(_, a, b) => vec![a, b],
+        Expr::Ite(a, b, c) => vec![a, b, c],
+        Expr::Tuple(es) => es.iter().collect(),
+    }
+}
+
+/// Rebuilds `e` with new children (same shape).
+pub(crate) fn with_children(e: &Expr, kids: &[Expr]) -> Result<Expr, String> {
+    let expect = children(e).len();
+    if kids.len() != expect {
+        return Err(format!("expected {expect} children, got {}", kids.len()));
+    }
+    Ok(match e {
+        Expr::Lit(_) | Expr::Var(_) | Expr::Local(_) | Expr::Global(_) => e.clone(),
+        Expr::ReadHeap(t, _) => Expr::ReadHeap(t.clone(), Box::new(kids[0].clone())),
+        Expr::ReadByte(_) => Expr::ReadByte(Box::new(kids[0].clone())),
+        Expr::IsValid(t, _) => Expr::IsValid(t.clone(), Box::new(kids[0].clone())),
+        Expr::PtrAligned(t, _) => Expr::PtrAligned(t.clone(), Box::new(kids[0].clone())),
+        Expr::NullFree(t, _) => Expr::NullFree(t.clone(), Box::new(kids[0].clone())),
+        Expr::Field(_, n) => Expr::Field(Box::new(kids[0].clone()), n.clone()),
+        Expr::UnOp(op, _) => Expr::UnOp(*op, Box::new(kids[0].clone())),
+        Expr::Cast(k, _) => Expr::Cast(k.clone(), Box::new(kids[0].clone())),
+        Expr::Proj(i, _) => Expr::Proj(*i, Box::new(kids[0].clone())),
+        Expr::UpdateField(_, n, _) => Expr::UpdateField(
+            Box::new(kids[0].clone()),
+            n.clone(),
+            Box::new(kids[1].clone()),
+        ),
+        Expr::BinOp(op, _, _) => {
+            Expr::BinOp(*op, Box::new(kids[0].clone()), Box::new(kids[1].clone()))
+        }
+        Expr::Ite(..) => Expr::Ite(
+            Box::new(kids[0].clone()),
+            Box::new(kids[1].clone()),
+            Box::new(kids[2].clone()),
+        ),
+        Expr::Tuple(_) => Expr::Tuple(kids.to_vec()),
+    })
+}

@@ -1,0 +1,445 @@
+//! L1 correspondence rules (Table 1) and the monadic refinement rules used
+//! by the L2 rewrites.
+
+use ir::expr::Expr;
+use monadic::Prog;
+use simpl::stmt::SimplStmt;
+
+use crate::judgment::Judgment;
+use crate::rules::V;
+use crate::thm::{CheckCtx, KernelError, Rule, Side, Thm};
+
+fn as_l1(j: &Judgment) -> Result<(&Prog, &SimplStmt), String> {
+    match j {
+        Judgment::L1 { prog, simpl } => Ok((prog, simpl)),
+        other => Err(format!("expected l1corres, got {}", other.describe())),
+    }
+}
+
+fn as_refines(j: &Judgment) -> Result<(&Prog, &Prog), String> {
+    match j {
+        Judgment::Refines { abs, conc } => Ok((abs, conc)),
+        other => Err(format!("expected refines, got {}", other.describe())),
+    }
+}
+
+/// The canonical L1 image of a Simpl statement given the images of its
+/// sub-statements (the content of Table 1).
+fn l1_image(simpl: &SimplStmt, sub: &[&Prog]) -> Result<Prog, String> {
+    let arity = sub_stmts(simpl).len();
+    if sub.len() != arity {
+        return Err(format!(
+            "statement has {arity} sub-statements, got {} premises",
+            sub.len()
+        ));
+    }
+    Ok(match simpl {
+        SimplStmt::Skip => Prog::skip(),
+        SimplStmt::Basic(u) => Prog::Modify(u.clone()),
+        SimplStmt::Seq(..) => Prog::bind(sub[0].clone(), "_", sub[1].clone()),
+        SimplStmt::Cond(c, ..) => Prog::cond(c.clone(), sub[0].clone(), sub[1].clone()),
+        SimplStmt::While(c, _) => Prog::While {
+            vars: vec!["_".to_owned()],
+            cond: c.clone(),
+            body: Box::new(Prog::then(sub[0].clone(), Prog::skip())),
+            init: vec![Expr::unit()],
+        },
+        SimplStmt::Guard(k, g, _) => Prog::then(Prog::Guard(k.clone(), g.clone()), sub[0].clone()),
+        SimplStmt::Throw => Prog::Throw(Expr::unit()),
+        SimplStmt::TryCatch(..) => Prog::Catch(
+            Box::new(sub[0].clone()),
+            "_".to_owned(),
+            Box::new(sub[1].clone()),
+        ),
+        SimplStmt::Call {
+            fname,
+            args,
+            ret_local,
+        } => {
+            let call = Prog::Call {
+                fname: fname.clone(),
+                args: args.clone(),
+            };
+            match ret_local {
+                Some(r) => Prog::bind(
+                    call,
+                    "·ret",
+                    Prog::Modify(ir::update::Update::Local(r.clone(), Expr::var("·ret"))),
+                ),
+                None => Prog::then(call, Prog::skip()),
+            }
+        }
+    })
+}
+
+fn sub_stmts(simpl: &SimplStmt) -> Vec<&SimplStmt> {
+    match simpl {
+        SimplStmt::Seq(a, b) | SimplStmt::TryCatch(a, b) => vec![a, b],
+        SimplStmt::Cond(_, a, b) => vec![a, b],
+        SimplStmt::While(_, b) | SimplStmt::Guard(_, _, b) => vec![b],
+        _ => vec![],
+    }
+}
+
+/// Validates an L1 rule.
+pub(crate) fn validate_l1(rule: Rule, prems: &[&Judgment], concl: &Judgment) -> V {
+    let (prog, simpl) = as_l1(concl)?;
+    // Check the rule applies to this statement shape.
+    let shape_ok = matches!(
+        (rule, simpl),
+        (Rule::L1Skip, SimplStmt::Skip)
+            | (Rule::L1Basic, SimplStmt::Basic(_))
+            | (Rule::L1Seq, SimplStmt::Seq(..))
+            | (Rule::L1Cond, SimplStmt::Cond(..))
+            | (Rule::L1While, SimplStmt::While(..))
+            | (Rule::L1Guard, SimplStmt::Guard(..))
+            | (Rule::L1Throw, SimplStmt::Throw)
+            | (Rule::L1Catch, SimplStmt::TryCatch(..))
+            | (Rule::L1Call, SimplStmt::Call { .. })
+    );
+    if !shape_ok {
+        return Err(format!("rule {rule:?} does not apply to this statement"));
+    }
+    let subs = sub_stmts(simpl);
+    if prems.len() != subs.len() {
+        return Err("premise count must match sub-statement count".into());
+    }
+    let mut sub_progs = Vec::new();
+    for (p, s) in prems.iter().zip(&subs) {
+        let (pp, ps) = as_l1(p)?;
+        if ps != *s {
+            return Err("premise Simpl side must be the sub-statement".into());
+        }
+        sub_progs.push(pp);
+    }
+    let expect = l1_image(simpl, &sub_progs)?;
+    if *prog == expect {
+        Ok(())
+    } else {
+        Err("monadic side is not the canonical L1 image".into())
+    }
+}
+
+/// Validates a monadic refinement rule.
+pub(crate) fn validate_refines(
+    rule: Rule,
+    prems: &[&Judgment],
+    concl: &Judgment,
+    side: &Side,
+) -> V {
+    let (abs, conc) = as_refines(concl)?;
+    match rule {
+        Rule::ReflRefines => {
+            if prems.is_empty() && abs == conc {
+                Ok(())
+            } else {
+                Err("reflexivity requires identical sides".into())
+            }
+        }
+        Rule::TransRefines => {
+            let [a, b] = prems else {
+                return Err("transitivity takes two premises".into());
+            };
+            let (a1, a2) = as_refines(a)?;
+            let (b1, b2) = as_refines(b)?;
+            if a2 == b1 && abs == a1 && conc == b2 {
+                Ok(())
+            } else {
+                Err("transitivity sides do not chain".into())
+            }
+        }
+        Rule::BindCong => {
+            let [l, r] = prems else {
+                return Err("bind congruence takes two premises".into());
+            };
+            let (la, lc) = as_refines(l)?;
+            let (ra, rc) = as_refines(r)?;
+            let (Prog::Bind(aa, v, ab), Prog::Bind(ca, v2, cb)) = (abs, conc) else {
+                return Err("bind congruence relates binds".into());
+            };
+            if v == v2 && **aa == *la && **ca == *lc && **ab == *ra && **cb == *rc {
+                Ok(())
+            } else {
+                Err("bind congruence components mismatch".into())
+            }
+        }
+        Rule::CondCong => {
+            let [t, e] = prems else {
+                return Err("condition congruence takes two premises".into());
+            };
+            let (ta, tc) = as_refines(t)?;
+            let (ea, ec) = as_refines(e)?;
+            let (Prog::Condition(ac, at, ae), Prog::Condition(cc, ct, ce)) = (abs, conc) else {
+                return Err("condition congruence relates conditions".into());
+            };
+            if ac == cc && **at == *ta && **ct == *tc && **ae == *ea && **ce == *ec {
+                Ok(())
+            } else {
+                Err("condition congruence components mismatch".into())
+            }
+        }
+        Rule::CatchCong => {
+            let [l, r] = prems else {
+                return Err("catch congruence takes two premises".into());
+            };
+            let (la, lc) = as_refines(l)?;
+            let (ra, rc) = as_refines(r)?;
+            let (Prog::Catch(aa, v, ab), Prog::Catch(ca, v2, cb)) = (abs, conc) else {
+                return Err("catch congruence relates catches".into());
+            };
+            if v == v2 && **aa == *la && **ca == *lc && **ab == *ra && **cb == *rc {
+                Ok(())
+            } else {
+                Err("catch congruence components mismatch".into())
+            }
+        }
+        Rule::WhileCong => {
+            let [b] = prems else {
+                return Err("while congruence takes a body premise".into());
+            };
+            let (ba, bc) = as_refines(b)?;
+            let (
+                Prog::While {
+                    vars: av,
+                    cond: ac,
+                    body: ab,
+                    init: ai,
+                },
+                Prog::While {
+                    vars: cv,
+                    cond: cc,
+                    body: cb,
+                    init: ci,
+                },
+            ) = (abs, conc)
+            else {
+                return Err("while congruence relates loops".into());
+            };
+            if av == cv && ac == cc && ai == ci && **ab == *ba && **cb == *bc {
+                Ok(())
+            } else {
+                Err("while congruence components mismatch".into())
+            }
+        }
+        Rule::DischargeGuard => {
+            // conc = guard g with g provably true; abs = skip.
+            let Prog::Guard(_, g) = conc else {
+                return Err("guard discharge applies to guards".into());
+            };
+            if *abs != Prog::skip() {
+                return Err("guard discharge concludes skip".into());
+            }
+            if solver::simplify::simplify(g).is_true_lit() {
+                Ok(())
+            } else {
+                Err(format!("simplifier cannot prove guard `{g}`"))
+            }
+        }
+        Rule::ExecTested => match side {
+            Side::Tested { trials, .. } if *trials > 0 => Ok(()),
+            _ => Err("ExecTested requires recorded testing evidence".into()),
+        },
+        other => Err(format!("not a refinement rule: {other:?}")),
+    }
+}
+
+// ---- public constructors ---------------------------------------------------
+
+type R = Result<Thm, KernelError>;
+
+fn err(rule: Rule, msg: impl Into<String>) -> KernelError {
+    KernelError {
+        rule,
+        msg: msg.into(),
+    }
+}
+
+/// L1 translation of one Simpl statement given premises for its
+/// sub-statements; picks the matching Table 1 rule.
+///
+/// # Errors
+///
+/// Fails when the premises do not match the statement's children.
+pub fn l1(cx: &CheckCtx, simpl: &SimplStmt, subs: Vec<Thm>) -> R {
+    let rule = match simpl {
+        SimplStmt::Skip => Rule::L1Skip,
+        SimplStmt::Basic(_) => Rule::L1Basic,
+        SimplStmt::Seq(..) => Rule::L1Seq,
+        SimplStmt::Cond(..) => Rule::L1Cond,
+        SimplStmt::While(..) => Rule::L1While,
+        SimplStmt::Guard(..) => Rule::L1Guard,
+        SimplStmt::Throw => Rule::L1Throw,
+        SimplStmt::TryCatch(..) => Rule::L1Catch,
+        SimplStmt::Call { .. } => Rule::L1Call,
+    };
+    let sub_progs: Vec<&Prog> = subs
+        .iter()
+        .map(|t| as_l1(t.judgment()).map(|(p, _)| p))
+        .collect::<Result<_, _>>()
+        .map_err(|m| err(rule, m))?;
+    let prog = l1_image(simpl, &sub_progs).map_err(|m| err(rule, m))?;
+    Thm::admit(
+        rule,
+        subs,
+        Judgment::L1 {
+            prog,
+            simpl: simpl.clone(),
+        },
+        Side::None,
+        cx,
+    )
+}
+
+/// Reflexivity.
+///
+/// # Errors
+///
+/// Infallible in practice.
+pub fn refines_refl(cx: &CheckCtx, p: &Prog) -> R {
+    Thm::admit(
+        Rule::ReflRefines,
+        vec![],
+        Judgment::Refines {
+            abs: p.clone(),
+            conc: p.clone(),
+        },
+        Side::None,
+        cx,
+    )
+}
+
+/// Transitivity.
+///
+/// # Errors
+///
+/// Fails when the middle programs differ.
+pub fn refines_trans(cx: &CheckCtx, a: Thm, b: Thm) -> R {
+    let (a1, _) = as_refines(a.judgment()).map_err(|m| err(Rule::TransRefines, m))?;
+    let (_, b2) = as_refines(b.judgment()).map_err(|m| err(Rule::TransRefines, m))?;
+    let concl = Judgment::Refines {
+        abs: a1.clone(),
+        conc: b2.clone(),
+    };
+    Thm::admit(Rule::TransRefines, vec![a, b], concl, Side::None, cx)
+}
+
+/// Congruence under `bind`.
+///
+/// # Errors
+///
+/// Fails on malformed premises.
+pub fn bind_cong(cx: &CheckCtx, v: &str, l: Thm, r: Thm) -> R {
+    let (la, lc) = as_refines(l.judgment()).map_err(|m| err(Rule::BindCong, m))?;
+    let (ra, rc) = as_refines(r.judgment()).map_err(|m| err(Rule::BindCong, m))?;
+    let concl = Judgment::Refines {
+        abs: Prog::bind(la.clone(), v, ra.clone()),
+        conc: Prog::bind(lc.clone(), v, rc.clone()),
+    };
+    Thm::admit(Rule::BindCong, vec![l, r], concl, Side::None, cx)
+}
+
+/// Congruence under `condition` (same condition).
+///
+/// # Errors
+///
+/// Fails on malformed premises.
+pub fn cond_cong(cx: &CheckCtx, c: &Expr, t: Thm, e: Thm) -> R {
+    let (ta, tc) = as_refines(t.judgment()).map_err(|m| err(Rule::CondCong, m))?;
+    let (ea, ec) = as_refines(e.judgment()).map_err(|m| err(Rule::CondCong, m))?;
+    let concl = Judgment::Refines {
+        abs: Prog::cond(c.clone(), ta.clone(), ea.clone()),
+        conc: Prog::cond(c.clone(), tc.clone(), ec.clone()),
+    };
+    Thm::admit(Rule::CondCong, vec![t, e], concl, Side::None, cx)
+}
+
+/// Congruence under `catch`.
+///
+/// # Errors
+///
+/// Fails on malformed premises.
+pub fn catch_cong(cx: &CheckCtx, v: &str, l: Thm, r: Thm) -> R {
+    let (la, lc) = as_refines(l.judgment()).map_err(|m| err(Rule::CatchCong, m))?;
+    let (ra, rc) = as_refines(r.judgment()).map_err(|m| err(Rule::CatchCong, m))?;
+    let concl = Judgment::Refines {
+        abs: Prog::Catch(Box::new(la.clone()), v.to_owned(), Box::new(ra.clone())),
+        conc: Prog::Catch(Box::new(lc.clone()), v.to_owned(), Box::new(rc.clone())),
+    };
+    Thm::admit(Rule::CatchCong, vec![l, r], concl, Side::None, cx)
+}
+
+/// Congruence under `whileLoop` (same condition/initialisers).
+///
+/// # Errors
+///
+/// Fails on malformed premises.
+pub fn while_cong(
+    cx: &CheckCtx,
+    vars: &[String],
+    cond: &Expr,
+    init: &[Expr],
+    body: Thm,
+) -> R {
+    let (ba, bc) = as_refines(body.judgment()).map_err(|m| err(Rule::WhileCong, m))?;
+    let concl = Judgment::Refines {
+        abs: Prog::While {
+            vars: vars.to_vec(),
+            cond: cond.clone(),
+            body: Box::new(ba.clone()),
+            init: init.to_vec(),
+        },
+        conc: Prog::While {
+            vars: vars.to_vec(),
+            cond: cond.clone(),
+            body: Box::new(bc.clone()),
+            init: init.to_vec(),
+        },
+    };
+    Thm::admit(Rule::WhileCong, vec![body], concl, Side::None, cx)
+}
+
+/// Guard discharge: the simplifier proves the guard condition.
+///
+/// # Errors
+///
+/// Fails when the simplifier cannot reduce the guard to `true`.
+pub fn discharge_guard(cx: &CheckCtx, conc: &Prog) -> R {
+    Thm::admit(
+        Rule::DischargeGuard,
+        vec![],
+        Judgment::Refines {
+            abs: Prog::skip(),
+            conc: conc.clone(),
+        },
+        Side::None,
+        cx,
+    )
+}
+
+/// Refinement admitted after randomized differential testing: runs
+/// `validate` (the caller's differential tester, typically built from
+/// [`crate::semantics::test_refines`]) and records the evidence.
+///
+/// # Errors
+///
+/// Fails when a trial finds a violation.
+pub fn exec_tested(
+    cx: &CheckCtx,
+    abs: &Prog,
+    conc: &Prog,
+    trials: u32,
+    seed: u64,
+    validate: impl FnOnce() -> Result<(), String>,
+) -> R {
+    validate().map_err(|m| err(Rule::ExecTested, m))?;
+    Thm::admit(
+        Rule::ExecTested,
+        vec![],
+        Judgment::Refines {
+            abs: abs.clone(),
+            conc: conc.clone(),
+        },
+        Side::Tested { trials, seed },
+        cx,
+    )
+}

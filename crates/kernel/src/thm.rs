@@ -1,0 +1,333 @@
+//! Theorems, rules, and the proof checker.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::judgment::{AbsFun, Judgment};
+
+/// The inference rules of the kernel. Every theorem records which rule
+/// admitted it; the checker replays the rule's validation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Rule {
+    // --- word abstraction: values (Table 3 and Sec 3.3) ---
+    /// Variable lookup consistent with the variable context.
+    WVar,
+    /// Literal abstraction (`unat`/`sint`/`id` of a constant).
+    WLit,
+    /// Unsigned addition (`WSUM`).
+    WSum,
+    /// Unsigned subtraction (precondition `b ≤ a`).
+    WSub,
+    /// Unsigned multiplication (precondition `a·b ≤ UINT_MAX`).
+    WMul,
+    /// Unsigned division (`WDIV`, no precondition).
+    WDiv,
+    /// Unsigned modulo.
+    WMod,
+    /// Signed addition (range precondition).
+    SSum,
+    /// Signed subtraction.
+    SSub,
+    /// Signed multiplication.
+    SMul,
+    /// Signed division (precondition `¬(a = INT_MIN ∧ b = -1)`).
+    SDiv,
+    /// Signed modulo.
+    SMod,
+    /// Signed negation (precondition `a ≠ INT_MIN`).
+    SNeg,
+    /// Comparison under `unat`/`sint` (monotone, `f = id` on the result).
+    WCmp,
+    /// `of_nat` re-concretisation: `of_nat (unat c) = c`.
+    WOfNat,
+    /// `of_int` re-concretisation.
+    WOfInt,
+    /// Wrap an identity-abstracted word term in `unat`.
+    WUnatWrap,
+    /// Wrap an identity-abstracted word term in `sint`.
+    WSintWrap,
+    /// Congruence for identity-abstracted operators.
+    WIdCong,
+    /// Conditional expression with branch-weakened preconditions.
+    WIte,
+    /// Componentwise tuple abstraction (loop iterator values).
+    WTuple,
+    /// Tuple projection under a componentwise abstraction.
+    WProj,
+    /// A tuple of identity abstractions is the identity abstraction.
+    WTupleId,
+    /// Wraps an identity-abstracted tuple into a componentwise abstraction
+    /// by projecting and casting each component.
+    WTupleWrap,
+    /// A user-supplied idiom rule validated by randomized sampling
+    /// (Sec 3.3's extensible rule sets).
+    WCustomSampled,
+
+    // --- word abstraction: statements ---
+    /// `WRET`.
+    WsRet,
+    /// `gets` abstraction.
+    WsGets,
+    /// `modify` abstraction (state untouched by WA; expressions rebuilt).
+    WsModify,
+    /// Guard abstraction.
+    WsGuard,
+    /// `throw` abstraction.
+    WsThrow,
+    /// `fail` maps to `fail`.
+    WsFail,
+    /// `WBIND`.
+    WsBind,
+    /// `WBIND` with a tuple pattern (loop-iterator destructuring).
+    WsBindTuple,
+    /// `condition` abstraction.
+    WsCond,
+    /// `whileLoop` abstraction with iterator-variable contexts.
+    WsWhile,
+    /// Call to a word-abstracted function.
+    WsCall,
+    /// `catch` abstraction.
+    WsCatch,
+    /// `exec_concrete`/`exec_abstract` pass through word abstraction
+    /// untouched (their contents stay at the concrete word level).
+    WsExecConcrete,
+
+    // --- heap abstraction (Table 4 and Sec 4.5) ---
+    /// Literals are state-independent.
+    HLit,
+    /// Variables are unchanged.
+    HVar,
+    /// Congruence for heap-free operators.
+    HCong,
+    /// Boolean connectives with short-circuit-weakened preconditions
+    /// (sound because the unevaluated side cannot influence the value).
+    HValWeaken,
+    /// Typed heap read becomes split-heap lookup under `is_valid`.
+    HRead,
+    /// Pointer-offset field read becomes a field select (Sec 4.5).
+    HReadField,
+    /// `HPTR`: the concrete pointer guard becomes `is_valid`.
+    HGuardPtr,
+    /// Heap write becomes a split-heap functional update.
+    HUpd,
+    /// Pointer-offset field write becomes a functional field update.
+    HUpdField,
+    /// Local/global variable update with a heap-reading right-hand side.
+    HUpdVar,
+    /// `HGETS`.
+    HsGets,
+    /// `HMODIFY`.
+    HsModify,
+    /// Guard statement abstraction.
+    HsGuard,
+    /// `return` abstraction.
+    HsRet,
+    /// `throw` abstraction.
+    HsThrow,
+    /// `fail` abstraction.
+    HsFail,
+    /// `HBIND`.
+    HsBind,
+    /// `HBIND` with a tuple pattern.
+    HsBindTuple,
+    /// `condition` abstraction.
+    HsCond,
+    /// `whileLoop` abstraction.
+    HsWhile,
+    /// `catch` abstraction.
+    HsCatch,
+    /// Call congruence.
+    HsCall,
+    /// `exec_concrete` introduction (Sec 4.6).
+    HsExecConcrete,
+
+    // --- L1: Simpl to monadic (Table 1) ---
+    /// `SKIP ↦ skip`.
+    L1Skip,
+    /// `Basic m ↦ modify m`.
+    L1Basic,
+    /// Sequencing.
+    L1Seq,
+    /// Conditional.
+    L1Cond,
+    /// While loop.
+    L1While,
+    /// Guard.
+    L1Guard,
+    /// Throw.
+    L1Throw,
+    /// Try/catch.
+    L1Catch,
+    /// Procedure call (with result stored to a local).
+    L1Call,
+
+    // --- L2 rewrites: monadic refinement ---
+    /// Reflexivity.
+    ReflRefines,
+    /// Transitivity.
+    TransRefines,
+    /// Congruence under `bind`.
+    BindCong,
+    /// Congruence under `condition`.
+    CondCong,
+    /// Congruence under `catch`.
+    CatchCong,
+    /// Congruence under `whileLoop`.
+    WhileCong,
+    /// Guard discharge: the simplifier proves the guard true.
+    DischargeGuard,
+    /// Refinement admitted after randomized differential testing
+    /// (seed and trial count recorded; the substitute for Isabelle's
+    /// rewrite-step proofs, see DESIGN.md §2).
+    ExecTested,
+}
+
+/// Extra data recorded for oracle rules.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Side {
+    /// No side data.
+    None,
+    /// Randomized testing evidence for a refinement.
+    Tested {
+        /// Number of trials run.
+        trials: u32,
+        /// RNG seed used.
+        seed: u64,
+    },
+    /// Randomized sampling evidence for a custom `abs_w_val` rule
+    /// (self-contained: the variable shapes are recorded so the checker can
+    /// re-run the sampling).
+    SampledWVal {
+        /// Concrete types of the judgment's variables.
+        vars: std::collections::BTreeMap<String, ir::ty::Ty>,
+        /// Number of samples.
+        trials: u32,
+        /// RNG seed used.
+        seed: u64,
+    },
+}
+
+/// A theorem: a judgment together with its full derivation.
+///
+/// `Thm` has no public constructor; instances can only be produced by the
+/// rule functions in [`crate::rules`], each of which validates its side
+/// conditions first (the LCF discipline).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Thm {
+    judgment: Judgment,
+    rule: Rule,
+    premises: Vec<Thm>,
+    side: Side,
+}
+
+impl Thm {
+    /// The statement this theorem proves.
+    #[must_use]
+    pub fn judgment(&self) -> &Judgment {
+        &self.judgment
+    }
+
+    /// The rule that admitted the conclusion.
+    #[must_use]
+    pub fn rule(&self) -> Rule {
+        self.rule
+    }
+
+    /// The premise derivations.
+    #[must_use]
+    pub fn premises(&self) -> &[Thm] {
+        &self.premises
+    }
+
+    /// Side data for oracle rules.
+    #[must_use]
+    pub fn side(&self) -> &Side {
+        &self.side
+    }
+
+    /// Number of rule applications in the derivation (proof size).
+    #[must_use]
+    pub fn proof_size(&self) -> usize {
+        1 + self.premises.iter().map(Thm::proof_size).sum::<usize>()
+    }
+
+    /// Kernel-internal constructor (`pub(crate)`) — validates before
+    /// admitting.
+    pub(crate) fn admit(
+        rule: Rule,
+        premises: Vec<Thm>,
+        judgment: Judgment,
+        side: Side,
+        cx: &CheckCtx,
+    ) -> Result<Thm, KernelError> {
+        let prem_judgments: Vec<&Judgment> = premises.iter().map(Thm::judgment).collect();
+        crate::rules::validate(rule, &prem_judgments, &judgment, &side, cx)
+            .map_err(|msg| KernelError { rule, msg })?;
+        Ok(Thm {
+            judgment,
+            rule,
+            premises,
+            side,
+        })
+    }
+}
+
+impl fmt::Display for Thm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "⊢ {} [by {:?}, {} steps]",
+            self.judgment.describe(),
+            self.rule,
+            self.proof_size()
+        )
+    }
+}
+
+/// A kernel error: a rule application whose side conditions failed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelError {
+    /// The rule that was attempted.
+    pub rule: Rule,
+    /// Why it was rejected.
+    pub msg: String,
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "kernel: rule {:?} rejected: {}", self.rule, self.msg)
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+/// The checking context: structure layouts and the signatures of abstracted
+/// functions, needed by layout-dependent and call rules.
+#[derive(Clone, Debug, Default)]
+pub struct CheckCtx {
+    /// Structure layouts (for field-offset rules).
+    pub tenv: ir::ty::TypeEnv,
+    /// For each word-abstracted function: parameter abstractions, return
+    /// abstraction, exception abstraction.
+    pub fn_abs: BTreeMap<String, (Vec<AbsFun>, AbsFun, AbsFun)>,
+}
+
+/// Replays a theorem's entire derivation through the rule validations.
+///
+/// This is the independent proof checker: it does not trust the engine that
+/// constructed the theorem, only the kernel rules.
+///
+/// # Errors
+///
+/// Returns the first failing rule application.
+pub fn check(thm: &Thm, cx: &CheckCtx) -> Result<(), KernelError> {
+    for p in &thm.premises {
+        check(p, cx)?;
+    }
+    let prem_judgments: Vec<&Judgment> = thm.premises.iter().map(Thm::judgment).collect();
+    crate::rules::validate(thm.rule, &prem_judgments, &thm.judgment, &thm.side, cx)
+        .map_err(|msg| KernelError {
+            rule: thm.rule,
+            msg,
+        })
+}

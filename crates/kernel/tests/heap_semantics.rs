@@ -1,0 +1,220 @@
+//! Semantic sampling of the heap-abstraction rules: each `abs_h_val` /
+//! `abs_h_modifies` conclusion produced by the rules is validated against
+//! its executable meaning on random concrete states and their liftings —
+//! the defence-in-depth counterpart of the word-rule sampling.
+
+use ir::eval::{eval, Env};
+use ir::expr::{BinOp, Expr};
+use ir::state::State;
+use ir::ty::{Ty, TypeEnv};
+use ir::value::{Ptr, Value};
+use kernel::rules::heap as hr;
+use kernel::{CheckCtx, Judgment};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn node_tenv() -> TypeEnv {
+    let mut tenv = TypeEnv::new();
+    tenv.define_struct(
+        "node",
+        vec![
+            ("next".into(), Ty::Struct("node".into()).ptr_to()),
+            ("data".into(), Ty::U32),
+        ],
+    )
+    .unwrap();
+    tenv
+}
+
+/// A random concrete state with some u32 cells and some nodes.
+fn random_state(rng: &mut StdRng, tenv: &TypeEnv) -> ir::state::ConcState {
+    let mut st = ir::state::ConcState::default();
+    for k in 0..4u64 {
+        st.mem
+            .alloc(0x100 + k * 0x10, &Value::u32(rng.gen_range(0..100)), tenv)
+            .unwrap();
+    }
+    for k in 0..3u64 {
+        let node = Value::Struct(
+            "node".into(),
+            vec![
+                (
+                    "next".into(),
+                    Value::Ptr(Ptr::new(
+                        if rng.gen_bool(0.3) { 0 } else { 0x1000 + rng.gen_range(0..3u64) * 0x10 },
+                        Ty::Struct("node".into()),
+                    )),
+                ),
+                ("data".into(), Value::u32(rng.gen_range(0..100))),
+            ],
+        );
+        st.mem.alloc(0x1000 + k * 0x10, &node, tenv).unwrap();
+    }
+    st
+}
+
+/// Samples the executable meaning of an `abs_h_val` judgment:
+/// whenever the precondition holds on the lifted state,
+/// `conc(s) = abs(st(s))`.
+fn sample_hval(j: &Judgment, tenv: &TypeEnv, heap_types: &[Ty], trials: u32, seed: u64) {
+    let Judgment::HVal { pre, abs, conc } = j else {
+        panic!("expected abs_h_val");
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut checked = 0;
+    for _ in 0..trials {
+        let cs = random_state(&mut rng, tenv);
+        let lifted = heapmodel::lift_state(&cs, tenv, heap_types);
+        let mut env = Env::with_tenv(tenv.clone());
+        // Random pointer variable bindings.
+        for v in ["p", "q"] {
+            let addr = match rng.gen_range(0..4) {
+                0 => 0,
+                1 => 0x100 + rng.gen_range(0..4u64) * 0x10,
+                2 => 0x1000 + rng.gen_range(0..3u64) * 0x10,
+                _ => rng.gen_range(0..0x2000u64),
+            };
+            let ty = if rng.gen_bool(0.5) {
+                Ty::U32
+            } else {
+                Ty::Struct("node".into())
+            };
+            env.bind_mut(v, Value::Ptr(Ptr::new(addr, ty)));
+        }
+        let abs_state = State::Abs(lifted);
+        let Ok(Value::Bool(pre_holds)) = eval(pre, &env, &abs_state) else {
+            continue;
+        };
+        if !pre_holds {
+            continue;
+        }
+        let cv = eval(conc, &env, &State::Conc(cs)).expect("concrete evaluates");
+        let av = eval(abs, &env, &abs_state).expect("abstract evaluates");
+        assert_eq!(cv, av, "abs_h_val violated for {j:?}");
+        checked += 1;
+    }
+    assert!(checked > 0, "no decidable sample for {j:?}");
+}
+
+#[test]
+fn h_read_semantics() {
+    let tenv = node_tenv();
+    let cx = CheckCtx {
+        tenv: tenv.clone(),
+        ..CheckCtx::default()
+    };
+    let p = hr::h_leaf(&cx, &Expr::var("p")).unwrap();
+    let read = hr::h_read(&cx, &Ty::U32, p).unwrap();
+    sample_hval(read.judgment(), &tenv, &[Ty::U32, Ty::Struct("node".into())], 400, 1);
+}
+
+#[test]
+fn h_read_field_semantics() {
+    let tenv = node_tenv();
+    let cx = CheckCtx {
+        tenv: tenv.clone(),
+        ..CheckCtx::default()
+    };
+    for (field, fty, off) in [("next", Ty::Struct("node".into()).ptr_to(), 0), ("data", Ty::U32, 4)]
+    {
+        let p = hr::h_leaf(&cx, &Expr::var("p")).unwrap();
+        let read = hr::h_read_field(&cx, "node", &fty, off, p).unwrap();
+        sample_hval(
+            read.judgment(),
+            &tenv,
+            &[Ty::U32, Ty::Struct("node".into())],
+            400,
+            2,
+        );
+        let _ = field;
+    }
+}
+
+#[test]
+fn h_guard_ptr_semantics() {
+    let tenv = node_tenv();
+    let cx = CheckCtx {
+        tenv: tenv.clone(),
+        ..CheckCtx::default()
+    };
+    let p = hr::h_leaf(&cx, &Expr::var("p")).unwrap();
+    let g = hr::h_guard_ptr(&cx, &Ty::U32, p).unwrap();
+    // conc = c_guard, abs = True, pre = is_valid: whenever is_valid holds
+    // on the lifted heap, the concrete pointer conditions hold.
+    sample_hval(g.judgment(), &tenv, &[Ty::U32, Ty::Struct("node".into())], 400, 3);
+}
+
+#[test]
+fn h_val_weaken_semantics() {
+    let tenv = node_tenv();
+    let cx = CheckCtx {
+        tenv: tenv.clone(),
+        ..CheckCtx::default()
+    };
+    // (p ≠ NULL) ∧ c_guard(p) with the weakened combination.
+    let null_test = hr::h_cong(
+        &cx,
+        &Expr::binop(BinOp::Ne, Expr::var("p"), Expr::null(Ty::U32)),
+        vec![
+            hr::h_leaf(&cx, &Expr::var("p")).unwrap(),
+            hr::h_leaf(&cx, &Expr::null(Ty::U32)).unwrap(),
+        ],
+    )
+    .unwrap();
+    let pv = hr::h_leaf(&cx, &Expr::var("p")).unwrap();
+    let guard = hr::h_guard_ptr(&cx, &Ty::U32, pv).unwrap();
+    let combined = hr::h_val_weaken(&cx, BinOp::And, null_test, guard).unwrap();
+    sample_hval(
+        combined.judgment(),
+        &tenv,
+        &[Ty::U32, Ty::Struct("node".into())],
+        400,
+        4,
+    );
+}
+
+#[test]
+fn h_upd_semantics() {
+    // abs_h_modifies: st (conc-update s) = abs-update (st s), under pre.
+    let tenv = node_tenv();
+    let cx = CheckCtx {
+        tenv: tenv.clone(),
+        ..CheckCtx::default()
+    };
+    let p = hr::h_leaf(&cx, &Expr::var("p")).unwrap();
+    let v = hr::h_leaf(&cx, &Expr::var("v")).unwrap();
+    let upd = hr::h_upd(&cx, &Ty::U32, p, v).unwrap();
+    let Judgment::HUpd { pre, abs, conc } = upd.judgment() else {
+        panic!()
+    };
+    let heap_types = [Ty::U32, Ty::Struct("node".into())];
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut checked = 0;
+    for _ in 0..400 {
+        let cs = random_state(&mut rng, &tenv);
+        let lifted = heapmodel::lift_state(&cs, &tenv, &heap_types);
+        let mut env = Env::with_tenv(tenv.clone());
+        let addr = if rng.gen_bool(0.7) {
+            0x100 + rng.gen_range(0..4u64) * 0x10
+        } else {
+            rng.gen_range(0..0x200u64)
+        };
+        env.bind_mut("p", Value::Ptr(Ptr::new(addr, Ty::U32)));
+        env.bind_mut("v", Value::u32(rng.gen_range(0..1000)));
+        let abs_state = State::Abs(lifted);
+        let Ok(Value::Bool(true)) = eval(pre, &env, &abs_state) else {
+            continue;
+        };
+        // Apply both updates and compare through lifting.
+        let mut conc_side = State::Conc(cs);
+        conc.apply(&env, &mut conc_side).unwrap();
+        let State::Conc(cf) = conc_side else { unreachable!() };
+        let lifted_after = heapmodel::lift_state(&cf, &tenv, &heap_types);
+        let mut abs_side = abs_state.clone();
+        abs.apply(&env, &mut abs_side).unwrap();
+        let State::Abs(af) = abs_side else { unreachable!() };
+        assert_eq!(lifted_after.heaps, af.heaps);
+        checked += 1;
+    }
+    assert!(checked > 0);
+}

@@ -1,0 +1,242 @@
+//! Differential stress testing of the CDCL solver against a brute-force
+//! truth-table oracle on random 3-SAT instances, plus structured families
+//! (pigeonhole, parity chains, implication ladders) whose status is known.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sat::{Lit, Solver, Var};
+
+/// Brute-force satisfiability check over all 2^n assignments.
+fn brute_force(n: usize, clauses: &[Vec<(usize, bool)>]) -> bool {
+    assert!(n <= 20, "brute force is exponential");
+    'outer: for bits in 0u32..(1u32 << n) {
+        for c in clauses {
+            let sat = c
+                .iter()
+                .any(|&(v, pos)| ((bits >> v) & 1 == 1) == pos);
+            if !sat {
+                continue 'outer;
+            }
+        }
+        return true;
+    }
+    false
+}
+
+fn solve(n: usize, clauses: &[Vec<(usize, bool)>]) -> Option<Vec<bool>> {
+    let mut s = Solver::new();
+    let vars: Vec<Var> = (0..n).map(|_| s.new_var()).collect();
+    for c in clauses {
+        s.add_clause(c.iter().map(|&(v, pos)| Lit::with_polarity(vars[v], pos)));
+    }
+    s.solve()
+}
+
+fn check_model(clauses: &[Vec<(usize, bool)>], model: &[bool]) {
+    for c in clauses {
+        assert!(
+            c.iter().any(|&(v, pos)| model[v] == pos),
+            "model does not satisfy {c:?}"
+        );
+    }
+}
+
+#[test]
+fn random_3sat_agrees_with_brute_force() {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for round in 0..300 {
+        let n = rng.gen_range(1..=12);
+        // Sweep across the phase transition (ratio ~4.26 is hardest).
+        let m = rng.gen_range(1..=(n * 6).max(2));
+        let clauses: Vec<Vec<(usize, bool)>> = (0..m)
+            .map(|_| {
+                (0..3)
+                    .map(|_| (rng.gen_range(0..n), rng.gen_bool(0.5)))
+                    .collect()
+            })
+            .collect();
+        let expect = brute_force(n, &clauses);
+        match solve(n, &clauses) {
+            Some(model) => {
+                assert!(expect, "round {round}: SAT claimed on UNSAT instance");
+                check_model(&clauses, &model);
+            }
+            None => assert!(!expect, "round {round}: UNSAT claimed on SAT instance"),
+        }
+    }
+}
+
+#[test]
+fn random_mixed_width_clauses() {
+    // Unit, binary, and wide clauses mixed — exercises watched-literal
+    // bookkeeping on degenerate shapes.
+    let mut rng = StdRng::seed_from_u64(7);
+    for round in 0..200 {
+        let n = rng.gen_range(1..=10);
+        let m = rng.gen_range(1..=30);
+        let clauses: Vec<Vec<(usize, bool)>> = (0..m)
+            .map(|_| {
+                let k = rng.gen_range(1..=4);
+                (0..k)
+                    .map(|_| (rng.gen_range(0..n), rng.gen_bool(0.5)))
+                    .collect()
+            })
+            .collect();
+        let expect = brute_force(n, &clauses);
+        match solve(n, &clauses) {
+            Some(model) => {
+                assert!(expect, "round {round}");
+                check_model(&clauses, &model);
+            }
+            None => assert!(!expect, "round {round}"),
+        }
+    }
+}
+
+#[test]
+fn duplicate_and_tautological_literals() {
+    // (x ∨ x ∨ ¬x) is a tautology; (x ∨ x) is just x.
+    let mut s = Solver::new();
+    let x = s.new_var();
+    s.add_clause([Lit::pos(x), Lit::pos(x), Lit::neg(x)]);
+    s.add_clause([Lit::pos(x), Lit::pos(x)]);
+    let model = s.solve().expect("satisfiable");
+    assert!(model[x.index()]);
+}
+
+#[test]
+fn empty_clause_is_unsat() {
+    let mut s = Solver::new();
+    let _ = s.new_var();
+    s.add_clause(std::iter::empty());
+    assert!(s.solve().is_none());
+}
+
+#[test]
+fn pigeonhole_is_unsat() {
+    // PHP(n+1, n): n+1 pigeons in n holes. Classic hard UNSAT family for
+    // resolution; n = 5 keeps it CDCL-friendly but nontrivial.
+    let pigeons = 6;
+    let holes = 5;
+    let mut s = Solver::new();
+    let v: Vec<Vec<Var>> = (0..pigeons)
+        .map(|_| (0..holes).map(|_| s.new_var()).collect())
+        .collect();
+    for row in &v {
+        s.add_clause(row.iter().map(|&x| Lit::pos(x)));
+    }
+    for h in 0..holes {
+        for (p1, row1) in v.iter().enumerate() {
+            for row2 in &v[p1 + 1..] {
+                s.add_clause([Lit::neg(row1[h]), Lit::neg(row2[h])]);
+            }
+        }
+    }
+    assert!(s.solve().is_none(), "pigeonhole must be UNSAT");
+}
+
+#[test]
+fn xor_chain_parity() {
+    // x0 ⊕ x1 ⊕ … ⊕ x_{k-1} = 1 encoded clause-wise per adjacent pair with
+    // fresh partial-parity variables; satisfiable, and every model must
+    // have odd parity.
+    let k = 16;
+    let mut s = Solver::new();
+    let xs: Vec<Var> = (0..k).map(|_| s.new_var()).collect();
+    // p_i = x_0 ⊕ … ⊕ x_i
+    let ps: Vec<Var> = (0..k).map(|_| s.new_var()).collect();
+    // p_0 = x_0
+    s.add_clause([Lit::neg(ps[0]), Lit::pos(xs[0])]);
+    s.add_clause([Lit::pos(ps[0]), Lit::neg(xs[0])]);
+    for i in 1..k {
+        // p_i ↔ p_{i-1} ⊕ x_i  (4 clauses)
+        let (p, q, x) = (ps[i], ps[i - 1], xs[i]);
+        s.add_clause([Lit::neg(p), Lit::pos(q), Lit::pos(x)]);
+        s.add_clause([Lit::neg(p), Lit::neg(q), Lit::neg(x)]);
+        s.add_clause([Lit::pos(p), Lit::neg(q), Lit::pos(x)]);
+        s.add_clause([Lit::pos(p), Lit::pos(q), Lit::neg(x)]);
+    }
+    s.add_clause([Lit::pos(ps[k - 1])]);
+    let model = s.solve().expect("odd parity is achievable");
+    let parity = xs.iter().filter(|x| model[x.index()]).count() % 2;
+    assert_eq!(parity, 1, "model must have odd parity");
+}
+
+#[test]
+fn implication_ladder_propagates() {
+    // x0 ∧ (x0→x1) ∧ … ∧ (x_{n-1}→x_n): solvable purely by unit
+    // propagation; the final model is all-true and zero conflicts occur.
+    let n = 200;
+    let mut s = Solver::new();
+    let xs: Vec<Var> = (0..=n).map(|_| s.new_var()).collect();
+    s.add_clause([Lit::pos(xs[0])]);
+    for i in 0..n {
+        s.add_clause([Lit::neg(xs[i]), Lit::pos(xs[i + 1])]);
+    }
+    let model = s.solve().expect("ladder is satisfiable");
+    assert!(xs.iter().all(|x| model[x.index()]));
+    assert_eq!(s.stats.conflicts, 0, "pure propagation needs no search");
+}
+
+#[test]
+fn solve_limited_gives_up_cleanly() {
+    // A hard instance with a conflict budget of 1 must report Unknown
+    // (Err), not a wrong answer.
+    let pigeons = 8;
+    let holes = 7;
+    let mut s = Solver::new();
+    let v: Vec<Vec<Var>> = (0..pigeons)
+        .map(|_| (0..holes).map(|_| s.new_var()).collect())
+        .collect();
+    for row in &v {
+        s.add_clause(row.iter().map(|&x| Lit::pos(x)));
+    }
+    for h in 0..holes {
+        for (p1, row1) in v.iter().enumerate() {
+            for row2 in &v[p1 + 1..] {
+                s.add_clause([Lit::neg(row1[h]), Lit::neg(row2[h])]);
+            }
+        }
+    }
+    assert!(s.solve_limited(1).is_err(), "budget of 1 conflict must time out");
+}
+
+#[test]
+fn incremental_solving_after_sat() {
+    // Solve, then add a clause contradicting the found model; the solver
+    // must recover and either find another model or prove UNSAT.
+    let mut rng = StdRng::seed_from_u64(99);
+    for _ in 0..50 {
+        let n = rng.gen_range(2..=8);
+        let m = rng.gen_range(1..=n * 3);
+        let clauses: Vec<Vec<(usize, bool)>> = (0..m)
+            .map(|_| {
+                (0..3)
+                    .map(|_| (rng.gen_range(0..n), rng.gen_bool(0.5)))
+                    .collect()
+            })
+            .collect();
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..n).map(|_| s.new_var()).collect();
+        let mut all = clauses.clone();
+        for c in &clauses {
+            s.add_clause(c.iter().map(|&(v, pos)| Lit::with_polarity(vars[v], pos)));
+        }
+        // Block up to 3 models in a row.
+        for _ in 0..3 {
+            let Some(model) = s.solve() else {
+                assert!(!brute_force(n, &all));
+                break;
+            };
+            check_model(&all, &model);
+            let blocking: Vec<(usize, bool)> =
+                (0..n).map(|v| (v, !model[vars[v].index()])).collect();
+            s.add_clause(
+                blocking
+                    .iter()
+                    .map(|&(v, pos)| Lit::with_polarity(vars[v], pos)),
+            );
+            all.push(blocking);
+        }
+    }
+}

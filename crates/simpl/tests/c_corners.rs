@@ -1,0 +1,204 @@
+//! Corner-case coverage of the supported C subset, end to end through the
+//! Simpl interpreter (64-bit arithmetic, narrow types, casts, nested
+//! structs, pointer casting, shadowing, operator precedence).
+
+use ir::ty::{Signedness, Ty, Width};
+use ir::value::{Ptr, Value};
+use ir::word::Word;
+use simpl::{exec_fn, translate_program, Fault, SimplProgram};
+
+fn compile(src: &str) -> SimplProgram {
+    translate_program(&cparser::parse_and_check(src).unwrap()).unwrap()
+}
+
+fn run(p: &SimplProgram, f: &str, args: &[Value]) -> Result<Value, Fault> {
+    exec_fn(p, f, args, p.initial_state(), 1_000_000).map(|(v, _)| v)
+}
+
+#[test]
+fn u64_arithmetic() {
+    let p = compile(
+        "unsigned long long mul(unsigned long long a, unsigned long long b) {\n\
+           return a * b;\n\
+         }",
+    );
+    let big = Word::new(u64::MAX, Width::W64, Signedness::Unsigned);
+    let two = Word::new(2, Width::W64, Signedness::Unsigned);
+    let r = run(&p, "mul", &[Value::Word(big), Value::Word(two)]).unwrap();
+    assert_eq!(
+        r,
+        Value::Word(Word::new(u64::MAX.wrapping_mul(2), Width::W64, Signedness::Unsigned))
+    );
+}
+
+#[test]
+fn char_arithmetic_promotes() {
+    // c + 1 promotes to int; the cast back narrows mod 256.
+    let p = compile(
+        "unsigned char inc(unsigned char c) { return (unsigned char)(c + 1); }",
+    );
+    let r = run(&p, "inc", &[Value::Word(Word::u8(255))]).unwrap();
+    assert_eq!(r, Value::Word(Word::u8(0)));
+}
+
+#[test]
+fn short_overflow_is_defined_via_promotion() {
+    // Promoted to int, 32767 + 1 does not overflow int.
+    let p = compile("int f(short a) { return a + 1; }");
+    let max_short = Word::new(32767, Width::W16, Signedness::Signed);
+    assert_eq!(run(&p, "f", &[Value::Word(max_short)]).unwrap(), Value::i32(32768));
+}
+
+#[test]
+fn sign_extension_in_casts() {
+    let p = compile("long long widen(int x) { return (long long)x; }");
+    let r = run(&p, "widen", &[Value::i32(-5)]).unwrap();
+    let Value::Word(w) = r else { panic!() };
+    assert_eq!(w.sint(), bignum::Int::from(-5i64));
+    assert_eq!(w.width(), Width::W64);
+}
+
+#[test]
+fn nested_struct_access() {
+    let p = compile(
+        "struct inner { unsigned a; unsigned b; };\n\
+         struct outer { struct inner i; unsigned c; };\n\
+         unsigned get(struct outer *p) { return p->i.b + p->c; }\n\
+         void set(struct outer *p, unsigned v) { p->i.b = v; }",
+    );
+    let mut st = p.initial_state();
+    let outer = Value::Struct(
+        "outer".into(),
+        vec![
+            (
+                "i".into(),
+                Value::Struct(
+                    "inner".into(),
+                    vec![("a".into(), Value::u32(1)), ("b".into(), Value::u32(2))],
+                ),
+            ),
+            ("c".into(), Value::u32(10)),
+        ],
+    );
+    st.as_conc_mut().unwrap().mem.alloc(0x100, &outer, &p.tenv).unwrap();
+    let ptr = Value::Ptr(Ptr::new(0x100, Ty::Struct("outer".into())));
+    let (v, st) = exec_fn(&p, "get", std::slice::from_ref(&ptr), st, 10_000).unwrap();
+    assert_eq!(v, Value::u32(12));
+    let (_, st) = exec_fn(&p, "set", &[ptr.clone(), Value::u32(7)], st, 10_000).unwrap();
+    let (v, _) = exec_fn(&p, "get", &[ptr], st, 10_000).unwrap();
+    assert_eq!(v, Value::u32(17));
+}
+
+#[test]
+fn pointer_casting_between_types() {
+    // Read the low byte of a little-endian u32 through a char pointer.
+    let p = compile(
+        "unsigned low_byte(unsigned *w) {\n\
+           unsigned char *b = (unsigned char *)w;\n\
+           return *b;\n\
+         }",
+    );
+    let mut st = p.initial_state();
+    st.as_conc_mut()
+        .unwrap()
+        .mem
+        .alloc(0x100, &Value::u32(0xAABBCCDD), &p.tenv)
+        .unwrap();
+    let w = Value::Ptr(Ptr::new(0x100, Ty::U32));
+    let (v, _) = exec_fn(&p, "low_byte", &[w], st, 10_000).unwrap();
+    assert_eq!(v, Value::u32(0xDD));
+}
+
+#[test]
+fn shadowing_keeps_scopes_apart() {
+    let p = compile(
+        "unsigned f(unsigned x) {\n\
+           unsigned r = x;\n\
+           { unsigned x = 100; r = r + x; }\n\
+           return r + x;\n\
+         }",
+    );
+    // r = x; r += 100; return r + x  →  2x + 100.
+    assert_eq!(run(&p, "f", &[Value::u32(5)]).unwrap(), Value::u32(110));
+}
+
+#[test]
+fn precedence_and_bitops() {
+    let p = compile(
+        "unsigned f(unsigned a, unsigned b) {\n\
+           return a | b & 0xF0u ^ (a << 2) >> 1;\n\
+         }",
+    );
+    let f = |a: u32, b: u32| a | ((b & 0xF0) ^ ((a << 2) >> 1));
+    for (a, b) in [(0x12u32, 0xFFu32), (0, 0), (0xDEAD, 0xBEEF)] {
+        assert_eq!(
+            run(&p, "f", &[Value::u32(a), Value::u32(b)]).unwrap(),
+            Value::u32(f(a, b)),
+            "({a:#x},{b:#x})"
+        );
+    }
+}
+
+#[test]
+fn signed_division_rounds_toward_zero() {
+    let p = compile("int d(int a, int b) { return a / b + a % b; }");
+    for (a, b) in [(-7i32, 2i32), (7, -2), (-7, -2), (7, 2)] {
+        assert_eq!(
+            run(&p, "d", &[Value::i32(a), Value::i32(b)]).unwrap(),
+            Value::i32(a / b + a % b),
+            "({a},{b})"
+        );
+    }
+}
+
+#[test]
+fn ternary_chains() {
+    let p = compile(
+        "int sign(int x) { return x < 0 ? -1 : x > 0 ? 1 : 0; }",
+    );
+    assert_eq!(run(&p, "sign", &[Value::i32(-9)]).unwrap(), Value::i32(-1));
+    assert_eq!(run(&p, "sign", &[Value::i32(9)]).unwrap(), Value::i32(1));
+    assert_eq!(run(&p, "sign", &[Value::i32(0)]).unwrap(), Value::i32(0));
+}
+
+#[test]
+fn struct_globals() {
+    let p = compile(
+        "struct pair { unsigned a; unsigned b; };\n\
+         struct pair g;\n\
+         void set(unsigned v) { g.a = v; g.b = v + 1u; }\n\
+         unsigned total(void) { return g.a + g.b; }",
+    );
+    let st = p.initial_state();
+    let (_, st) = exec_fn(&p, "set", &[Value::u32(5)], st, 10_000).unwrap();
+    let (v, _) = exec_fn(&p, "total", &[], st, 10_000).unwrap();
+    assert_eq!(v, Value::u32(11));
+}
+
+#[test]
+fn mutual_recursion() {
+    let p = compile(
+        "unsigned is_odd(unsigned n);\n\
+         unsigned is_even(unsigned n) { if (n == 0u) return 1u; return is_odd(n - 1u); }\n\
+         unsigned is_odd(unsigned n) { if (n == 0u) return 0u; return is_even(n - 1u); }",
+    );
+    assert_eq!(run(&p, "is_even", &[Value::u32(10)]).unwrap(), Value::u32(1));
+    assert_eq!(run(&p, "is_odd", &[Value::u32(7)]).unwrap(), Value::u32(1));
+}
+
+#[test]
+fn full_pipeline_on_corner_programs() {
+    // The same corner programs go through the complete pipeline with
+    // checkable theorems.
+    for src in [
+        "unsigned char inc(unsigned char c) { return (unsigned char)(c + 1); }",
+        "int sign(int x) { return x < 0 ? -1 : x > 0 ? 1 : 0; }",
+        "unsigned long long mul(unsigned long long a, unsigned long long b) { return a * b; }",
+        "struct pair { unsigned a; unsigned b; };\n\
+         unsigned sum(struct pair *p) { return p->a + p->b; }",
+    ] {
+        let out = autocorres::translate(src, &autocorres::Options::default())
+            .unwrap_or_else(|e| panic!("{e}\n{src}"));
+        out.check_all().unwrap();
+    }
+}

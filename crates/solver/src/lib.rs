@@ -1,0 +1,152 @@
+//! The automated-reasoning stack: simplifier, linear integer arithmetic,
+//! and word-level bit-blasting.
+//!
+//! This crate plays the role Isabelle/HOL's `simp` and `auto` (plus the
+//! word libraries) play in the paper:
+//!
+//! * [`simplify::simplify`] — a rewriting simplifier used to normalise
+//!   guards and verification conditions (L2's guard discharge),
+//! * [`linarith`] — a decision procedure for quantifier-free linear
+//!   arithmetic over ideal `nat`/`int`, which is what discharges the
+//!   *word-abstracted* VCs automatically (the paper's Sec 3.2 claim: the
+//!   midpoint VC on `nat` is solved by `auto`),
+//! * [`bitblast`] — bit-vector decision by translation to CNF and the
+//!   `sat` CDCL solver, which is what *word-level* VCs require — orders of
+//!   magnitude more work, reproducing why unabstracted word reasoning is
+//!   painful (Table 2, Sec 3.1–3.2).
+//!
+//! [`decide`] routes a formula to the appropriate procedure.
+//!
+//! # Example
+//!
+//! ```
+//! use solver::{decide, Verdict};
+//! use ir::{Expr, BinOp, Ty};
+//! use std::collections::HashMap;
+//!
+//! // u + 1 > u is NOT valid on 32-bit words (Table 2) …
+//! let u = || Expr::var("u");
+//! let word_claim = Expr::binop(BinOp::Lt, u(), Expr::binop(BinOp::Add, u(), Expr::u32(1)));
+//! let mut vars = HashMap::new();
+//! vars.insert("u".to_string(), Ty::U32);
+//! let v = decide(&word_claim, &vars);
+//! assert!(matches!(v, Verdict::Counterexample(_)));
+//!
+//! // … but it is valid on ideal naturals.
+//! let nat_claim = Expr::binop(
+//!     BinOp::Lt,
+//!     u(),
+//!     Expr::binop(BinOp::Add, u(), Expr::nat(1u64)),
+//! );
+//! vars.insert("u".to_string(), Ty::Nat);
+//! assert_eq!(decide(&nat_claim, &vars), Verdict::Valid);
+//! ```
+
+pub mod bitblast;
+pub mod linarith;
+pub mod simplify;
+
+use std::collections::HashMap;
+
+use ir::expr::Expr;
+use ir::ty::Ty;
+use ir::value::Value;
+
+/// The outcome of a validity check.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum Verdict {
+    /// The formula holds for all assignments of its free variables.
+    Valid,
+    /// A falsifying assignment.
+    Counterexample(HashMap<String, Value>),
+    /// The procedure could not decide the formula.
+    #[default]
+    Unknown,
+}
+
+/// Effort accounting for benchmark comparisons (Sec 3.2, Table 6).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DecideInfo {
+    /// The verdict.
+    pub verdict: Verdict,
+    /// SAT statistics when bit-blasting was used.
+    pub sat_stats: Option<sat::Stats>,
+    /// Number of arithmetic case splits explored by linear arithmetic.
+    pub splits: usize,
+    /// Which procedure ran ("simp", "linarith", "bitblast").
+    pub procedure: &'static str,
+}
+
+/// Decides validity of `goal`, whose free variables have the given types.
+///
+/// Routes word/boolean goals to the bit-blaster and ideal-arithmetic goals
+/// to linear arithmetic; goals mixing both levels go to linear arithmetic
+/// with sound word-term atomisation.
+#[must_use]
+pub fn decide(goal: &Expr, vars: &HashMap<String, Ty>) -> Verdict {
+    decide_with_info(goal, vars).verdict
+}
+
+/// [`decide`] with effort accounting.
+#[must_use]
+pub fn decide_with_info(goal: &Expr, vars: &HashMap<String, Ty>) -> DecideInfo {
+    let simplified = simplify::simplify(goal);
+    if simplified == Expr::tt() {
+        return DecideInfo {
+            verdict: Verdict::Valid,
+            procedure: "simp",
+            ..DecideInfo::default()
+        };
+    }
+    if simplified == Expr::ff() {
+        return DecideInfo {
+            verdict: Verdict::Counterexample(HashMap::new()),
+            procedure: "simp",
+            ..DecideInfo::default()
+        };
+    }
+    if is_word_level(&simplified, vars) {
+        let (verdict, stats) = bitblast::decide_word_with_stats(&simplified, vars);
+        if verdict != Verdict::Unknown {
+            return DecideInfo {
+                verdict,
+                sat_stats: Some(stats),
+                splits: 0,
+                procedure: "bitblast",
+            };
+        }
+        // Outside the bit-blastable fragment (heap atoms, …): fall through
+        // to linear arithmetic with atomisation.
+        let (verdict, splits) = linarith::decide_linear_with_info(&simplified, vars);
+        DecideInfo {
+            verdict,
+            sat_stats: Some(stats),
+            splits,
+            procedure: "bitblast+linarith",
+        }
+    } else {
+        let (verdict, splits) = linarith::decide_linear_with_info(&simplified, vars);
+        DecideInfo {
+            verdict,
+            sat_stats: None,
+            splits,
+            procedure: "linarith",
+        }
+    }
+}
+
+/// Does the goal live purely at the machine-word/boolean level?
+fn is_word_level(e: &Expr, vars: &HashMap<String, Ty>) -> bool {
+    let mut word_only = true;
+    e.visit(&mut |sub| match sub {
+        Expr::Lit(Value::Nat(_) | Value::Int(_)) => word_only = false,
+        Expr::Cast(ir::expr::CastKind::Unat | ir::expr::CastKind::Sint, _) => word_only = false,
+        Expr::Var(n) => {
+            if matches!(vars.get(n), Some(Ty::Nat | Ty::Int)) {
+                word_only = false;
+            }
+        }
+        _ => {}
+    });
+    word_only
+}

@@ -1,0 +1,976 @@
+//! Linear arithmetic over ideal integers and naturals.
+//!
+//! Decides validity of quantifier-free formulas over `nat`/`int` terms with
+//! `+`, `-`, multiplication by constants, and `div`/`mod` by positive
+//! constants (eliminated by fresh-variable encoding). The core is
+//! Fourier–Motzkin elimination with integer tightening:
+//!
+//! * UNSAT verdicts use the *real shadow* (plus gcd tightening) — sound,
+//!   since the rational relaxation over-approximates the integer solutions;
+//! * concrete counterexamples come from a bounded model search over small
+//!   values, so `Invalid` answers always carry a checkable witness;
+//! * anything outside the fragment (e.g. `unat` of a heap read) is
+//!   *atomised* into a fresh range-bounded variable — still sound for
+//!   validity, and the verdict degrades to `Unknown` rather than a wrong
+//!   `Counterexample` if such an atom was needed.
+//!
+//! This is the stand-in for Isabelle's `arith`/`auto` on word-abstracted
+//! verification conditions (paper Sec 3.2).
+
+use std::collections::{BTreeMap, HashMap};
+
+use bignum::Int;
+use ir::eval::{eval_bool, Env};
+use ir::expr::{BinOp, CastKind, Expr, UnOp};
+use ir::state::State;
+use ir::ty::Ty;
+use ir::value::Value;
+
+use crate::Verdict;
+
+/// A linear expression `Σ cᵢ·xᵢ + k`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct Lin {
+    coeffs: BTreeMap<String, Int>,
+    konst: Int,
+}
+
+impl Lin {
+    fn constant(k: Int) -> Lin {
+        Lin {
+            coeffs: BTreeMap::new(),
+            konst: k,
+        }
+    }
+
+    fn var(name: &str) -> Lin {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(name.to_owned(), Int::one());
+        Lin {
+            coeffs,
+            konst: Int::zero(),
+        }
+    }
+
+    fn add(&self, other: &Lin) -> Lin {
+        let mut out = self.clone();
+        for (v, c) in &other.coeffs {
+            let e = out.coeffs.entry(v.clone()).or_insert_with(Int::zero);
+            *e = &*e + c;
+        }
+        out.coeffs.retain(|_, c| !c.is_zero());
+        out.konst = &out.konst + &other.konst;
+        out
+    }
+
+    fn scale(&self, k: &Int) -> Lin {
+        if k.is_zero() {
+            return Lin::default();
+        }
+        Lin {
+            coeffs: self.coeffs.iter().map(|(v, c)| (v.clone(), c * k)).collect(),
+            konst: &self.konst * k,
+        }
+    }
+
+    fn sub(&self, other: &Lin) -> Lin {
+        self.add(&other.scale(&Int::from(-1i64)))
+    }
+
+    fn is_constant(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+}
+
+/// A constraint `lin ≥ 0`.
+type Constraint = Lin;
+
+/// A conjunction of constraints (one DNF branch of the negated goal).
+#[derive(Clone, Debug, Default)]
+struct Branch {
+    constraints: Vec<Constraint>,
+}
+
+struct Cx<'a> {
+    vars: &'a HashMap<String, Ty>,
+    fresh: u64,
+    splits: usize,
+    atomized: bool,
+    /// Fresh variables that are nat-valued (get `v ≥ 0`).
+    nat_vars: Vec<String>,
+    /// Cache: each distinct opaque subterm maps to ONE fresh variable, so
+    /// equal opaque terms stay equal after atomisation (congruence at the
+    /// syntactic level).
+    atoms: std::collections::BTreeMap<String, String>,
+}
+
+impl<'a> Cx<'a> {
+    fn fresh(&mut self, nat: bool) -> String {
+        let name = format!("·lin{}", self.fresh);
+        self.fresh += 1;
+        if nat {
+            self.nat_vars.push(name.clone());
+        }
+        name
+    }
+}
+
+const BRANCH_CAP: usize = 1024;
+const CONSTRAINT_CAP: usize = 4000;
+
+/// Decides validity of `goal`; also returns the number of case splits
+/// explored (an effort metric for the benchmarks).
+#[must_use]
+pub fn decide_linear_with_info(goal: &Expr, vars: &HashMap<String, Ty>) -> (Verdict, usize) {
+    // 1. Bounded search for a concrete counterexample.
+    if let Some(model) = search_countermodel(goal, vars) {
+        return (Verdict::Counterexample(model), 0);
+    }
+
+    // 2. Prove validity: every DNF branch of ¬goal must be UNSAT.
+    let mut cx = Cx {
+        vars,
+        fresh: 0,
+        splits: 0,
+        atomized: false,
+        nat_vars: Vec::new(),
+        atoms: std::collections::BTreeMap::new(),
+    };
+    let Some(branches) = formula(goal, false, &mut cx) else {
+        return (Verdict::Unknown, cx.splits);
+    };
+    for mut branch in branches {
+        // nat-ness of source variables and introduced atoms.
+        for (v, t) in vars {
+            if *t == Ty::Nat && branch_mentions(&branch, v) {
+                branch.constraints.push(Lin::var(v));
+            }
+        }
+        for v in &cx.nat_vars {
+            if branch_mentions(&branch, v) {
+                branch.constraints.push(Lin::var(v));
+            }
+        }
+        match fm_unsat(branch.constraints) {
+            Some(true) => {}
+            _ => return (Verdict::Unknown, cx.splits),
+        }
+    }
+    (Verdict::Valid, cx.splits)
+}
+
+fn branch_mentions(b: &Branch, v: &str) -> bool {
+    b.constraints.iter().any(|c| c.coeffs.contains_key(v))
+}
+
+/// Bounded countermodel search: tries small values for every free variable
+/// and evaluates the goal. A returned model genuinely falsifies the goal.
+fn search_countermodel(
+    goal: &Expr,
+    vars: &HashMap<String, Ty>,
+) -> Option<HashMap<String, Value>> {
+    let free: Vec<&String> = {
+        let fv = goal.free_vars();
+        vars.keys().filter(|k| fv.contains(*k)).collect()
+    };
+    if free.len() > 4 || goal.reads_state() {
+        return None;
+    }
+    // Candidate values per type.
+    let candidates: Vec<Vec<Value>> = free
+        .iter()
+        .map(|v| match vars.get(*v) {
+            Some(Ty::Nat) => [0u64, 1, 2, 3, 5, 100]
+                .iter()
+                .map(|&n| Value::nat(n))
+                .collect(),
+            Some(Ty::Int) => [-100i64, -3, -2, -1, 0, 1, 2, 3, 100]
+                .iter()
+                .map(|&n| Value::int(n))
+                .collect(),
+            Some(Ty::Bool) => vec![Value::Bool(false), Value::Bool(true)],
+            _ => vec![],
+        })
+        .collect();
+    if candidates.iter().any(Vec::is_empty) && !free.is_empty() {
+        return None;
+    }
+    let st = State::conc_empty();
+    let mut idx = vec![0usize; free.len()];
+    loop {
+        let mut env = Env::new();
+        for (i, v) in free.iter().enumerate() {
+            env.bind_mut(v, candidates[i][idx[i]].clone());
+        }
+        if let Ok(false) = eval_bool(goal, &env, &st) {
+            let model = free
+                .iter()
+                .enumerate()
+                .map(|(i, v)| ((*v).clone(), candidates[i][idx[i]].clone()))
+                .collect();
+            return Some(model);
+        }
+        // advance odometer
+        let mut i = 0;
+        loop {
+            if i == free.len() {
+                return None;
+            }
+            idx[i] += 1;
+            if idx[i] < candidates[i].len() {
+                break;
+            }
+            idx[i] = 0;
+            i += 1;
+        }
+        if free.is_empty() {
+            return None;
+        }
+    }
+}
+
+/// Translates a formula (with polarity) into DNF branches of constraints.
+/// `positive = false` means translate the *negation*.
+fn formula(e: &Expr, positive: bool, cx: &mut Cx) -> Option<Vec<Branch>> {
+    match e {
+        Expr::Lit(Value::Bool(b)) => {
+            if *b == positive {
+                Some(vec![Branch::default()])
+            } else {
+                Some(vec![])
+            }
+        }
+        Expr::UnOp(UnOp::Not, a) => formula(a, !positive, cx),
+        Expr::BinOp(BinOp::And, a, b) => {
+            if positive {
+                conj(a, b, true, cx)
+            } else {
+                disj(a, b, false, cx)
+            }
+        }
+        Expr::BinOp(BinOp::Or, a, b) => {
+            if positive {
+                disj(a, b, true, cx)
+            } else {
+                conj(a, b, false, cx)
+            }
+        }
+        Expr::BinOp(BinOp::Implies, a, b) => {
+            // a → b ≡ ¬a ∨ b
+            if positive {
+                let mut out = formula(a, false, cx)?;
+                out.extend(formula(b, true, cx)?);
+                cx.splits += 1;
+                cap(out)
+            } else {
+                // ¬(a → b) ≡ a ∧ ¬b
+                cross(formula(a, true, cx)?, formula(b, false, cx)?)
+            }
+        }
+        Expr::BinOp(op @ (BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le), a, b) => {
+            atom(*op, a, b, positive, cx)
+        }
+        Expr::Var(v) if cx.vars.get(v) == Some(&Ty::Bool) => {
+            // Encode boolean variables as 0/1 integers.
+            let bv = Lin::var(&format!("·bool_{v}"));
+            let one = Lin::constant(Int::one());
+            let mut branch = Branch::default();
+            // 0 ≤ bv ≤ 1
+            branch.constraints.push(bv.clone());
+            branch.constraints.push(one.sub(&bv));
+            if positive {
+                // bv ≥ 1
+                branch.constraints.push(bv.sub(&one));
+            } else {
+                // bv ≤ 0
+                branch.constraints.push(bv.scale(&Int::from(-1i64)));
+            }
+            Some(vec![branch])
+        }
+        Expr::Ite(c, t, f) => {
+            // (c ∧ t±) ∨ (¬c ∧ f±)
+            cx.splits += 1;
+            let mut out = cross(formula(c, true, cx)?, formula(t, positive, cx)?)?;
+            out.extend(cross(formula(c, false, cx)?, formula(f, positive, cx)?)?);
+            cap(out)
+        }
+        // Anything else: a boolean atom outside the fragment (heap
+        // validity, opaque predicates). Encode it as a cached 0/1 variable
+        // so the same atom stays consistent across hypotheses and
+        // conclusion (propositional congruence); still marked as
+        // atomisation so SAT answers degrade to Unknown.
+        _ => {
+            cx.atomized = true;
+            let key = format!("bool:{e:?}");
+            let name = if let Some(v) = cx.atoms.get(&key) {
+                v.clone()
+            } else {
+                let v = cx.fresh(true);
+                cx.atoms.insert(key, v.clone());
+                v
+            };
+            let bv = Lin::var(&name);
+            let one = Lin::constant(Int::one());
+            let mut branch = Branch::default();
+            branch.constraints.push(one.sub(&bv)); // bv ≤ 1
+            if positive {
+                branch.constraints.push(bv.sub(&one)); // bv ≥ 1
+            } else {
+                branch.constraints.push(bv.scale(&Int::from(-1i64))); // bv ≤ 0
+            }
+            Some(vec![branch])
+        }
+    }
+}
+
+fn conj(a: &Expr, b: &Expr, positive: bool, cx: &mut Cx) -> Option<Vec<Branch>> {
+    cross(formula(a, positive, cx)?, formula(b, positive, cx)?)
+}
+
+fn disj(a: &Expr, b: &Expr, positive: bool, cx: &mut Cx) -> Option<Vec<Branch>> {
+    let mut out = formula(a, positive, cx)?;
+    out.extend(formula(b, positive, cx)?);
+    cx.splits += 1;
+    cap(out)
+}
+
+fn cross(xs: Vec<Branch>, ys: Vec<Branch>) -> Option<Vec<Branch>> {
+    let mut out = Vec::with_capacity(xs.len() * ys.len());
+    for x in &xs {
+        for y in &ys {
+            let mut b = x.clone();
+            b.constraints.extend(y.constraints.iter().cloned());
+            out.push(b);
+        }
+    }
+    cap(out)
+}
+
+fn cap(v: Vec<Branch>) -> Option<Vec<Branch>> {
+    if v.len() > BRANCH_CAP {
+        None
+    } else {
+        Some(v)
+    }
+}
+
+/// Is the expression in the numeric (nat/int) fragment?
+fn is_numeric(e: &Expr, cx: &Cx) -> bool {
+    match e {
+        Expr::Lit(Value::Nat(_) | Value::Int(_)) => true,
+        Expr::Var(v) => matches!(cx.vars.get(v), Some(Ty::Nat | Ty::Int)),
+        Expr::BinOp(
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod,
+            a,
+            b,
+        ) => is_numeric(a, cx) || is_numeric(b, cx),
+        Expr::Cast(CastKind::Unat | CastKind::Sint | CastKind::NatToInt | CastKind::IntToNat, _) => {
+            true
+        }
+        Expr::UnOp(UnOp::Neg, a) => is_numeric(a, cx),
+        Expr::Ite(_, t, f) => is_numeric(t, cx) || is_numeric(f, cx),
+        _ => false,
+    }
+}
+
+/// Translates a comparison atom into branches.
+fn atom(op: BinOp, a: &Expr, b: &Expr, positive: bool, cx: &mut Cx) -> Option<Vec<Branch>> {
+    // Normalise to the positive operator.
+    let (op, positive) = match (op, positive) {
+        (BinOp::Ne, p) => (BinOp::Eq, !p),
+        (o, p) => (o, p),
+    };
+    // Equalities between opaque (non-numeric) terms — pointer aliasing
+    // atoms, chiefly — become cached boolean atoms: this keeps pairwise
+    // distinctness hypotheses from exploding the DNF into 2ⁿ order splits
+    // while preserving propositional consistency across occurrences.
+    if op == BinOp::Eq && !is_numeric(a, cx) && !is_numeric(b, cx) {
+        cx.atomized = true;
+        let (ka, kb) = (format!("{a:?}"), format!("{b:?}"));
+        let key = if ka <= kb {
+            format!("eq:{ka}={kb}")
+        } else {
+            format!("eq:{kb}={ka}")
+        };
+        let name = if let Some(v) = cx.atoms.get(&key) {
+            v.clone()
+        } else {
+            let v = cx.fresh(true);
+            cx.atoms.insert(key, v.clone());
+            v
+        };
+        let bv = Lin::var(&name);
+        let one = Lin::constant(Int::one());
+        let mut branch = Branch::default();
+        branch.constraints.push(one.sub(&bv)); // bv ≤ 1
+        if positive {
+            branch.constraints.push(bv.sub(&one)); // bv ≥ 1
+        } else {
+            branch.constraints.push(bv.scale(&Int::from(-1i64))); // bv ≤ 0
+        }
+        return Some(vec![branch]);
+    }
+    let la = term(a, cx)?;
+    let lb = term(b, cx)?;
+    let mut out = Vec::new();
+    for (ca, ta) in &la {
+        for (cb, tb) in &lb {
+            let base: Vec<Constraint> = ca.iter().chain(cb.iter()).cloned().collect();
+            match (op, positive) {
+                (BinOp::Le, true) => {
+                    // b - a ≥ 0
+                    let mut br = Branch { constraints: base };
+                    br.constraints.push(tb.sub(ta));
+                    out.push(br);
+                }
+                (BinOp::Le, false) => {
+                    // a - b - 1 ≥ 0   (a > b)
+                    let mut br = Branch { constraints: base };
+                    br.constraints
+                        .push(ta.sub(tb).add(&Lin::constant(Int::from(-1i64))));
+                    out.push(br);
+                }
+                (BinOp::Lt, true) => {
+                    let mut br = Branch { constraints: base };
+                    br.constraints
+                        .push(tb.sub(ta).add(&Lin::constant(Int::from(-1i64))));
+                    out.push(br);
+                }
+                (BinOp::Lt, false) => {
+                    let mut br = Branch { constraints: base };
+                    br.constraints.push(ta.sub(tb));
+                    out.push(br);
+                }
+                (BinOp::Eq, true) => {
+                    let mut br = Branch { constraints: base };
+                    br.constraints.push(ta.sub(tb));
+                    br.constraints.push(tb.sub(ta));
+                    out.push(br);
+                }
+                (BinOp::Eq, false) => {
+                    // a < b  ∨  b < a
+                    cx.splits += 1;
+                    let mut br1 = Branch {
+                        constraints: base.clone(),
+                    };
+                    br1.constraints
+                        .push(tb.sub(ta).add(&Lin::constant(Int::from(-1i64))));
+                    out.push(br1);
+                    let mut br2 = Branch { constraints: base };
+                    br2.constraints
+                        .push(ta.sub(tb).add(&Lin::constant(Int::from(-1i64))));
+                    out.push(br2);
+                }
+                _ => return None,
+            }
+        }
+    }
+    cap(out)
+}
+
+/// Is this expression nat-typed (best effort)?
+fn is_nat(e: &Expr, cx: &Cx) -> bool {
+    match e {
+        Expr::Lit(Value::Nat(_)) => true,
+        Expr::Var(v) => cx.vars.get(v) == Some(&Ty::Nat),
+        Expr::Cast(CastKind::Unat | CastKind::IntToNat, _) => true,
+        Expr::BinOp(_, a, b) => is_nat(a, cx) || is_nat(b, cx),
+        Expr::Ite(_, t, f) => is_nat(t, cx) || is_nat(f, cx),
+        _ => false,
+    }
+}
+
+/// Translates an arithmetic term into alternatives of
+/// `(side constraints, linear expression)`.
+#[allow(clippy::type_complexity)]
+fn term(e: &Expr, cx: &mut Cx) -> Option<Vec<(Vec<Constraint>, Lin)>> {
+    match e {
+        Expr::Lit(Value::Nat(n)) => Some(vec![(vec![], Lin::constant(Int::from_nat(n.clone())))]),
+        Expr::Lit(Value::Int(i)) => Some(vec![(vec![], Lin::constant(i.clone()))]),
+        Expr::Var(v) if matches!(cx.vars.get(v), Some(Ty::Nat | Ty::Int)) => {
+            Some(vec![(vec![], Lin::var(v))])
+        }
+        Expr::Cast(CastKind::NatToInt, inner) => term(inner, cx),
+        Expr::Cast(CastKind::IntToNat, inner) => {
+            // n = max(i, 0): split.
+            cx.splits += 1;
+            let alts = term(inner, cx)?;
+            let mut out = Vec::new();
+            for (cs, ti) in alts {
+                // i ≥ 0, result i
+                let mut c1 = cs.clone();
+                c1.push(ti.clone());
+                out.push((c1, ti.clone()));
+                // i ≤ -1, result 0
+                let mut c2 = cs;
+                c2.push(ti.scale(&Int::from(-1i64)).add(&Lin::constant(Int::from(-1i64))));
+                out.push((c2, Lin::constant(Int::zero())));
+            }
+            Some(out)
+        }
+        Expr::BinOp(BinOp::Add, a, b) => combine(a, b, cx, |ta, tb| ta.add(tb)),
+        Expr::BinOp(BinOp::Sub, a, b) => {
+            if is_nat(e, cx) || (is_nat(a, cx) && is_nat(b, cx)) {
+                // Truncated nat subtraction: split on b ≤ a.
+                cx.splits += 1;
+                let la = term(a, cx)?;
+                let lb = term(b, cx)?;
+                let mut out = Vec::new();
+                for (ca, ta) in &la {
+                    for (cb, tb) in &lb {
+                        let base: Vec<Constraint> =
+                            ca.iter().chain(cb.iter()).cloned().collect();
+                        // b ≤ a: result a - b
+                        let mut c1 = base.clone();
+                        c1.push(ta.sub(tb));
+                        out.push((c1, ta.sub(tb)));
+                        // a < b: result 0
+                        let mut c2 = base;
+                        c2.push(tb.sub(ta).add(&Lin::constant(Int::from(-1i64))));
+                        out.push((c2, Lin::constant(Int::zero())));
+                    }
+                }
+                Some(out)
+            } else {
+                combine(a, b, cx, |ta, tb| ta.sub(tb))
+            }
+        }
+        Expr::BinOp(BinOp::Mul, a, b) => {
+            // Multiplication by a constant only.
+            let (k, other) = match (constant_of(a), constant_of(b)) {
+                (Some(k), _) => (k, b),
+                (_, Some(k)) => (k, a),
+                _ => return atomize(e, cx),
+            };
+            let alts = term(other, cx)?;
+            Some(alts.into_iter().map(|(cs, t)| (cs, t.scale(&k))).collect())
+        }
+        Expr::BinOp(BinOp::Div, a, b) => {
+            let Some(c) = constant_of(b) else {
+                return atomize(e, cx);
+            };
+            if c <= Int::zero() || !(is_nat(a, cx)) {
+                // Truncating division of possibly-negative values: atomise.
+                return atomize(e, cx);
+            }
+            let alts = term(a, cx)?;
+            let q = cx.fresh(true);
+            let mut out = Vec::new();
+            for (mut cs, ta) in alts {
+                let lq = Lin::var(&q);
+                // c·q ≤ a  ∧  a ≤ c·q + c - 1
+                cs.push(ta.sub(&lq.scale(&c)));
+                cs.push(
+                    lq.scale(&c)
+                        .add(&Lin::constant(&c - &Int::one()))
+                        .sub(&ta),
+                );
+                out.push((cs, lq));
+            }
+            Some(out)
+        }
+        Expr::BinOp(BinOp::Mod, a, b) => {
+            let Some(c) = constant_of(b) else {
+                return atomize(e, cx);
+            };
+            if c <= Int::zero() || !(is_nat(a, cx)) {
+                return atomize(e, cx);
+            }
+            let alts = term(a, cx)?;
+            let q = cx.fresh(true);
+            let r = cx.fresh(true);
+            let mut out = Vec::new();
+            for (mut cs, ta) in alts {
+                let lq = Lin::var(&q);
+                let lr = Lin::var(&r);
+                // a = c·q + r  ∧  r ≤ c-1
+                let rhs = lq.scale(&c).add(&lr);
+                cs.push(ta.sub(&rhs));
+                cs.push(rhs.sub(&ta));
+                cs.push(Lin::constant(&c - &Int::one()).sub(&lr));
+                out.push((cs, lr));
+            }
+            Some(out)
+        }
+        Expr::UnOp(UnOp::Neg, a) if !is_nat(a, cx) => {
+            let alts = term(a, cx)?;
+            Some(
+                alts.into_iter()
+                    .map(|(cs, t)| (cs, t.scale(&Int::from(-1i64))))
+                    .collect(),
+            )
+        }
+        Expr::Ite(c, t, f) => {
+            cx.splits += 1;
+            let ct = formula(c, true, cx)?;
+            let cf = formula(c, false, cx)?;
+            let lt = term(t, cx)?;
+            let lf = term(f, cx)?;
+            let mut out = Vec::new();
+            for br in &ct {
+                for (cs, tt) in &lt {
+                    let mut all = br.constraints.clone();
+                    all.extend(cs.iter().cloned());
+                    out.push((all, tt.clone()));
+                }
+            }
+            for br in &cf {
+                for (cs, tf) in &lf {
+                    let mut all = br.constraints.clone();
+                    all.extend(cs.iter().cloned());
+                    out.push((all, tf.clone()));
+                }
+            }
+            Some(out)
+        }
+        _ => atomize(e, cx),
+    }
+}
+
+#[allow(clippy::type_complexity)]
+fn combine(
+    a: &Expr,
+    b: &Expr,
+    cx: &mut Cx,
+    f: impl Fn(&Lin, &Lin) -> Lin,
+) -> Option<Vec<(Vec<Constraint>, Lin)>> {
+    let la = term(a, cx)?;
+    let lb = term(b, cx)?;
+    let mut out = Vec::new();
+    for (ca, ta) in &la {
+        for (cb, tb) in &lb {
+            let cs = ca.iter().chain(cb.iter()).cloned().collect();
+            out.push((cs, f(ta, tb)));
+        }
+    }
+    Some(out)
+}
+
+/// Replaces an opaque subterm by a fresh, range-bounded variable — sound
+/// weakening for validity checking.
+#[allow(clippy::type_complexity)]
+fn atomize(e: &Expr, cx: &mut Cx) -> Option<Vec<(Vec<Constraint>, Lin)>> {
+    cx.atomized = true;
+    let nat = is_nat(e, cx) || matches!(e, Expr::Cast(CastKind::Unat, _));
+    let key = format!("{e:?}");
+    let v = if let Some(v) = cx.atoms.get(&key) {
+        v.clone()
+    } else {
+        let v = cx.fresh(nat);
+        cx.atoms.insert(key, v.clone());
+        v
+    };
+    let lv = Lin::var(&v);
+    let mut cs = Vec::new();
+    // unat of a w-bit word is < 2^w.
+    if let Expr::Cast(CastKind::Unat, inner) = e {
+        if let Some(w) = word_width(inner, cx) {
+            let max = Int::from_nat(bignum::Nat::pow2(w)) - Int::one();
+            cs.push(Lin::constant(max).sub(&lv));
+        }
+    }
+    if let Expr::Cast(CastKind::Sint, inner) = e {
+        if let Some(w) = word_width(inner, cx) {
+            let max = Int::from_nat(bignum::Nat::pow2(w - 1)) - Int::one();
+            let min = -Int::from_nat(bignum::Nat::pow2(w - 1));
+            cs.push(Lin::constant(max).sub(&lv));
+            cs.push(lv.sub(&Lin::constant(min)));
+        }
+    }
+    Some(vec![(cs, lv)])
+}
+
+fn word_width(e: &Expr, cx: &Cx) -> Option<u32> {
+    match e {
+        Expr::Lit(Value::Word(w)) => Some(w.width().bits()),
+        Expr::Var(v) => match cx.vars.get(v) {
+            Some(Ty::Word(w, _)) => Some(w.bits()),
+            _ => None,
+        },
+        Expr::BinOp(_, a, b) => word_width(a, cx).or_else(|| word_width(b, cx)),
+        Expr::Cast(CastKind::WordToWord(w, _) | CastKind::OfNat(w, _) | CastKind::OfInt(w, _), _) => {
+            Some(w.bits())
+        }
+        _ => None,
+    }
+}
+
+fn constant_of(e: &Expr) -> Option<Int> {
+    match e {
+        Expr::Lit(Value::Nat(n)) => Some(Int::from_nat(n.clone())),
+        Expr::Lit(Value::Int(i)) => Some(i.clone()),
+        _ => None,
+    }
+}
+
+/// Fourier–Motzkin with gcd tightening: `Some(true)` = UNSAT proven,
+/// `Some(false)` = the rational relaxation is satisfiable (no integer
+/// verdict), `None` = size cap exceeded.
+fn fm_unsat(mut constraints: Vec<Constraint>) -> Option<bool> {
+    loop {
+        // Normalise: gcd-tighten, drop trivial, detect contradictions.
+        let mut seen = std::collections::BTreeSet::new();
+        let mut next = Vec::new();
+        for c in constraints {
+            let c = tighten(c);
+            if c.is_constant() {
+                if c.konst < Int::zero() {
+                    return Some(true);
+                }
+                continue;
+            }
+            let key = format!("{c:?}");
+            if seen.insert(key) {
+                next.push(c);
+            }
+        }
+        constraints = next;
+        if constraints.len() > CONSTRAINT_CAP {
+            return None;
+        }
+        // Pick the variable with the fewest lower×upper combinations.
+        let mut vars: BTreeMap<&String, (usize, usize)> = BTreeMap::new();
+        for c in &constraints {
+            for (v, coef) in &c.coeffs {
+                let e = vars.entry(v).or_insert((0, 0));
+                if *coef > Int::zero() {
+                    e.0 += 1;
+                } else {
+                    e.1 += 1;
+                }
+            }
+        }
+        let Some((var, _)) = vars
+            .iter()
+            .min_by_key(|(_, (lo, up))| lo * up + lo + up)
+        else {
+            // No variables left: all constraints were constants (handled),
+            // so the system is satisfiable over the rationals.
+            return Some(false);
+        };
+        let var: String = (*var).clone();
+
+        let mut lowers = Vec::new(); // c·x + rest ≥ 0, c > 0
+        let mut uppers = Vec::new(); // -d·x + rest ≥ 0, d > 0
+        let mut rest = Vec::new();
+        for c in constraints {
+            match c.coeffs.get(&var) {
+                None => rest.push(c),
+                Some(k) if *k > Int::zero() => lowers.push(c),
+                Some(_) => uppers.push(c),
+            }
+        }
+        for lo in &lowers {
+            let a = lo.coeffs[&var].clone();
+            let lo_rest = drop_var(lo, &var);
+            for up in &uppers {
+                let d = -up.coeffs[&var].clone();
+                let up_rest = drop_var(up, &var);
+                // real shadow: d·lo_rest + a·up_rest ≥ 0
+                rest.push(lo_rest.scale(&d).add(&up_rest.scale(&a)));
+            }
+        }
+        constraints = rest;
+        if constraints.is_empty() {
+            return Some(false);
+        }
+    }
+}
+
+fn drop_var(c: &Lin, var: &str) -> Lin {
+    let mut out = c.clone();
+    out.coeffs.remove(var);
+    out
+}
+
+/// Divides through by the gcd of the coefficients, rounding the constant
+/// down (valid integer tightening for `≥ 0` constraints).
+fn tighten(c: Lin) -> Lin {
+    let mut g = bignum::Nat::zero();
+    for coef in c.coeffs.values() {
+        g = g.gcd(coef.magnitude());
+    }
+    if g.is_zero() || g == bignum::Nat::one() {
+        return c;
+    }
+    let gi = Int::from_nat(g);
+    let (q, _) = c.konst.div_rem_floor(&gi);
+    Lin {
+        coeffs: c
+            .coeffs
+            .iter()
+            .map(|(v, coef)| (v.clone(), coef / &gi))
+            .collect(),
+        konst: q,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars(pairs: &[(&str, Ty)]) -> HashMap<String, Ty> {
+        pairs.iter().map(|(n, t)| ((*n).to_owned(), t.clone())).collect()
+    }
+
+    fn valid(goal: &Expr, vs: &HashMap<String, Ty>) -> bool {
+        matches!(decide_linear_with_info(goal, vs).0, Verdict::Valid)
+    }
+
+    #[test]
+    fn simple_validities() {
+        let vs = vars(&[("x", Ty::Nat), ("y", Ty::Nat)]);
+        // x ≤ x + y (nat)
+        let goal = Expr::binop(
+            BinOp::Le,
+            Expr::var("x"),
+            Expr::binop(BinOp::Add, Expr::var("x"), Expr::var("y")),
+        );
+        assert!(valid(&goal, &vs));
+        // x < x + 1
+        let goal = Expr::binop(
+            BinOp::Lt,
+            Expr::var("x"),
+            Expr::binop(BinOp::Add, Expr::var("x"), Expr::nat(1u64)),
+        );
+        assert!(valid(&goal, &vs));
+    }
+
+    #[test]
+    fn invalid_with_counterexample() {
+        let vs = vars(&[("x", Ty::Nat)]);
+        // x < 5 is falsifiable.
+        let goal = Expr::binop(BinOp::Lt, Expr::var("x"), Expr::nat(5u64));
+        let (v, _) = decide_linear_with_info(&goal, &vs);
+        let Verdict::Counterexample(m) = v else {
+            panic!("expected counterexample, got {v:?}")
+        };
+        let Some(Value::Nat(n)) = m.get("x") else { panic!() };
+        assert!(*n >= bignum::Nat::from(5u64));
+    }
+
+    #[test]
+    fn int_reasoning_with_negatives() {
+        let vs = vars(&[("a", Ty::Int)]);
+        // a - 1 < a
+        let goal = Expr::binop(
+            BinOp::Lt,
+            Expr::binop(BinOp::Sub, Expr::var("a"), Expr::int(1)),
+            Expr::var("a"),
+        );
+        assert!(valid(&goal, &vs));
+        // -(-a) = a
+        let goal = Expr::eq(
+            Expr::unop(UnOp::Neg, Expr::unop(UnOp::Neg, Expr::var("a"))),
+            Expr::var("a"),
+        );
+        assert!(valid(&goal, &vs));
+        // a + 1 - 1 = a
+        let goal = Expr::eq(
+            Expr::binop(
+                BinOp::Sub,
+                Expr::binop(BinOp::Add, Expr::var("a"), Expr::int(1)),
+                Expr::int(1),
+            ),
+            Expr::var("a"),
+        );
+        assert!(valid(&goal, &vs));
+    }
+
+    #[test]
+    fn nat_subtraction_truncates() {
+        let vs = vars(&[("a", Ty::Nat), ("b", Ty::Nat)]);
+        // (a - b) + b = a is NOT valid for nat (a=0, b=1).
+        let goal = Expr::eq(
+            Expr::binop(
+                BinOp::Add,
+                Expr::binop(BinOp::Sub, Expr::var("a"), Expr::var("b")),
+                Expr::var("b"),
+            ),
+            Expr::var("a"),
+        );
+        let (v, _) = decide_linear_with_info(&goal, &vs);
+        assert!(matches!(v, Verdict::Counterexample(_)), "{v:?}");
+        // b ≤ a → (a - b) + b = a IS valid.
+        let fixed = Expr::implies(
+            Expr::binop(BinOp::Le, Expr::var("b"), Expr::var("a")),
+            goal,
+        );
+        assert!(valid(&fixed, &vs));
+    }
+
+    #[test]
+    fn midpoint_vc_on_nat() {
+        // The paper's Sec 3.2 example:
+        // l < r → l ≤ (l + r) div 2 ∧ (l + r) div 2 < r
+        let vs = vars(&[("l", Ty::Nat), ("r", Ty::Nat)]);
+        let mid = Expr::binop(
+            BinOp::Div,
+            Expr::binop(BinOp::Add, Expr::var("l"), Expr::var("r")),
+            Expr::nat(2u64),
+        );
+        let goal = Expr::implies(
+            Expr::binop(BinOp::Lt, Expr::var("l"), Expr::var("r")),
+            Expr::and(
+                Expr::binop(BinOp::Le, Expr::var("l"), mid.clone()),
+                Expr::binop(BinOp::Lt, mid, Expr::var("r")),
+            ),
+        );
+        let (v, splits) = decide_linear_with_info(&goal, &vs);
+        assert_eq!(v, Verdict::Valid, "the headline claim of Sec 3.2");
+        assert!(splits > 0);
+    }
+
+    #[test]
+    fn mod_bounds() {
+        let vs = vars(&[("x", Ty::Nat)]);
+        // x mod 4 < 4
+        let goal = Expr::binop(
+            BinOp::Lt,
+            Expr::binop(BinOp::Mod, Expr::var("x"), Expr::nat(4u64)),
+            Expr::nat(4u64),
+        );
+        assert!(valid(&goal, &vs));
+    }
+
+    #[test]
+    fn unat_atomization_bounds() {
+        // unat w ≤ 2^32 - 1 for a 32-bit word w: provable via atomisation.
+        let vs = vars(&[("w", Ty::U32)]);
+        let goal = Expr::binop(
+            BinOp::Le,
+            Expr::cast(CastKind::Unat, Expr::var("w")),
+            Expr::nat(u64::from(u32::MAX)),
+        );
+        assert!(valid(&goal, &vs));
+    }
+
+    #[test]
+    fn implication_chains() {
+        let vs = vars(&[("x", Ty::Int), ("y", Ty::Int), ("z", Ty::Int)]);
+        // x < y → y < z → x < z
+        let goal = Expr::implies(
+            Expr::binop(BinOp::Lt, Expr::var("x"), Expr::var("y")),
+            Expr::implies(
+                Expr::binop(BinOp::Lt, Expr::var("y"), Expr::var("z")),
+                Expr::binop(BinOp::Lt, Expr::var("x"), Expr::var("z")),
+            ),
+        );
+        assert!(valid(&goal, &vs));
+    }
+
+    #[test]
+    fn scaled_constraints() {
+        let vs = vars(&[("x", Ty::Int)]);
+        // 2x ≥ 6 → x ≥ 3 (needs gcd tightening)
+        let goal = Expr::implies(
+            Expr::binop(
+                BinOp::Le,
+                Expr::int(6),
+                Expr::binop(BinOp::Mul, Expr::int(2), Expr::var("x")),
+            ),
+            Expr::binop(BinOp::Le, Expr::int(3), Expr::var("x")),
+        );
+        assert!(valid(&goal, &vs));
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests for the automated-reasoning stack: the simplifier
+//! preserves semantics, `Valid` verdicts hold on random samples,
+//! counterexamples really falsify, and the two decision procedures agree
+//! where both apply.
+
+use std::collections::HashMap;
+
+use ir::eval::{eval, Env};
+use ir::expr::{BinOp, Expr, UnOp};
+use ir::state::State;
+use ir::ty::Ty;
+use ir::value::Value;
+use proptest::prelude::*;
+use solver::{decide, simplify::simplify, Verdict};
+
+/// Random nat-level arithmetic expressions over x, y.
+fn arb_nat_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0u64..50).prop_map(Expr::nat),
+        Just(Expr::var("x")),
+        Just(Expr::var("y")),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        (inner.clone(), inner, prop_oneof![
+            Just(BinOp::Add),
+            Just(BinOp::Mul),
+            Just(BinOp::Sub),
+            Just(BinOp::Div),
+            Just(BinOp::Mod),
+        ])
+            .prop_map(|(a, b, op)| Expr::binop(op, a, b))
+    })
+}
+
+/// Random boolean formulas over nat atoms.
+fn arb_formula() -> impl Strategy<Value = Expr> {
+    let atom = (arb_nat_expr(), arb_nat_expr(), prop_oneof![
+        Just(BinOp::Lt),
+        Just(BinOp::Le),
+        Just(BinOp::Eq),
+        Just(BinOp::Ne),
+    ])
+        .prop_map(|(a, b, op)| Expr::binop(op, a, b));
+    atom.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::binop(BinOp::And, a, b)),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::binop(BinOp::Or, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::implies(a, b)),
+            inner.prop_map(|a| Expr::unop(UnOp::Not, a)),
+        ]
+    })
+}
+
+fn nat_vars() -> HashMap<String, Ty> {
+    [("x".to_owned(), Ty::Nat), ("y".to_owned(), Ty::Nat)].into()
+}
+
+fn eval_with(e: &Expr, x: u64, y: u64) -> Result<Value, ir::eval::EvalError> {
+    let mut env = Env::new();
+    env.bind_mut("x", Value::nat(x));
+    env.bind_mut("y", Value::nat(y));
+    eval(e, &env, &State::conc_empty())
+}
+
+proptest! {
+    /// The simplifier preserves the evaluator's semantics.
+    #[test]
+    fn simplify_preserves_semantics(e in arb_formula(), x in 0u64..40, y in 0u64..40) {
+        let s = simplify(&e);
+        prop_assert_eq!(eval_with(&e, x, y), eval_with(&s, x, y));
+    }
+
+    /// `Valid` verdicts are sound: the formula holds on sampled points.
+    #[test]
+    fn valid_verdicts_hold(e in arb_formula(), x in 0u64..40, y in 0u64..40) {
+        if decide(&e, &nat_vars()) == Verdict::Valid {
+            prop_assert_eq!(eval_with(&e, x, y), Ok(Value::Bool(true)));
+        }
+    }
+
+    /// Counterexamples really falsify the formula.
+    #[test]
+    fn counterexamples_falsify(e in arb_formula()) {
+        if let Verdict::Counterexample(m) = decide(&e, &nat_vars()) {
+            let mut env = Env::new();
+            for (k, v) in &m {
+                env.bind_mut(k, v.clone());
+            }
+            // Variables absent from the model are free: instantiate to 0.
+            for v in ["x", "y"] {
+                if !m.contains_key(v) {
+                    env.bind_mut(v, Value::nat(0u64));
+                }
+            }
+            let r = eval(&e, &env, &State::conc_empty());
+            prop_assert_eq!(r, Ok(Value::Bool(false)));
+        }
+    }
+
+    /// Word-level decisions agree with brute evaluation on u8 (where the
+    /// whole space is enumerable): bitblast soundness and completeness.
+    #[test]
+    fn bitblast_agrees_with_enumeration_u8(
+        ka in 0u8..16, kb in 0u8..16,
+        op in prop_oneof![Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul),
+                          Just(BinOp::BitAnd), Just(BinOp::BitXor)],
+        cmp in prop_oneof![Just(BinOp::Eq), Just(BinOp::Le), Just(BinOp::Lt)],
+    ) {
+        use ir::word::Word;
+        let lit = |v: u8| Expr::word(Word::u8(v));
+        let x = || Expr::var("x");
+        // goal: (x op ka) cmp kb
+        let goal = Expr::binop(cmp, Expr::binop(op, x(), lit(ka)), lit(kb));
+        let vars: HashMap<String, Ty> =
+            [("x".to_owned(), Ty::Word(ir::Width::W8, ir::Signedness::Unsigned))].into();
+        let verdict = solver::bitblast::decide_word(&goal, &vars);
+        // Brute force over all 256 values.
+        let mut all = true;
+        let mut witness = None;
+        for v in 0u16..256 {
+            let mut env = Env::new();
+            env.bind_mut("x", Value::Word(Word::u8(v as u8)));
+            let r = eval(&goal, &env, &State::conc_empty()).unwrap();
+            if r != Value::Bool(true) {
+                all = false;
+                witness = Some(v as u8);
+                break;
+            }
+        }
+        match verdict {
+            Verdict::Valid => prop_assert!(all, "claimed valid, fails at {witness:?}"),
+            Verdict::Counterexample(m) => {
+                prop_assert!(!all);
+                let Some(Value::Word(w)) = m.get("x") else {
+                    return Err(TestCaseError::fail("no witness"));
+                };
+                let mut env = Env::new();
+                env.bind_mut("x", Value::Word(*w));
+                prop_assert_eq!(
+                    eval(&goal, &env, &State::conc_empty()).unwrap(),
+                    Value::Bool(false)
+                );
+            }
+            Verdict::Unknown => {}
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Hoare logic and weakest-precondition verification condition generation
+//! for monadic programs.
+//!
+//! This crate is the "program proof" layer the paper's case studies run on:
+//! given a [`Spec`] (precondition, postcondition) and loop annotations
+//! (invariant + optional termination measure for total correctness), [`vcg`]
+//! computes verification conditions, and [`auto`] discharges them with a
+//! case-split/simplify/decide waterfall — the stand-in for Isabelle's VCG +
+//! `auto` (paper Sec 4.2: the lifted swap triple "can be proved by simply
+//! unfolding the definition of swap′, executing a VCG and running
+//! Isabelle/HOL's auto tactic").
+//!
+//! The key asymmetry the paper measures is reproduced here structurally:
+//!
+//! * On **split heaps** (post-HL programs), a heap write rewrites reads by
+//!   the exact rule `read (write s p v) q = (if q = p then v else read s q)`
+//!   and *validity is untouched by data writes* (Sec 4.4) — so VCs stay
+//!   small.
+//! * On the **byte-level heap**, the same rewrite is only sound when the
+//!   objects do not partially overlap, so the generator emits an extra
+//!   *disjointness obligation* per read-over-write pair — exactly the
+//!   strengthened preconditions of the paper's Fig 3 discussion (conditions
+//!   (i)–(iv) for `swap`).
+
+pub mod wp;
+
+use std::collections::HashMap;
+use std::fmt;
+
+use ir::expr::Expr;
+use ir::ty::Ty;
+use solver::Verdict;
+
+pub use wp::{vcg, HeapModel, LoopAnn, Spec, Vc, VcgError, RV};
+
+/// The result of running the automation on a VC set.
+#[derive(Clone, Debug, Default)]
+pub struct ProofEffort {
+    /// VCs discharged automatically.
+    pub auto_discharged: usize,
+    /// VCs the automation could not decide (requiring "manual proof").
+    pub manual: usize,
+    /// Case splits performed.
+    pub splits: usize,
+    /// Total solver invocations.
+    pub solver_calls: usize,
+}
+
+impl ProofEffort {
+    /// All obligations were discharged automatically.
+    #[must_use]
+    pub fn fully_automatic(&self) -> bool {
+        self.manual == 0
+    }
+}
+
+impl fmt::Display for ProofEffort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} auto, {} manual ({} splits, {} solver calls)",
+            self.auto_discharged, self.manual, self.splits, self.solver_calls
+        )
+    }
+}
+
+/// Discharges a VC with a case-split / simplify / decide waterfall (the
+/// `auto` stand-in): repeatedly picks an equality atom between variables,
+/// splits on it (substituting under the positive assumption), simplifies,
+/// and hands residual goals to the arithmetic decision procedures.
+#[must_use]
+pub fn auto(goal: &Expr, vars: &HashMap<String, Ty>, effort: &mut ProofEffort) -> bool {
+    auto_depth(goal, vars, effort, 8)
+}
+
+fn auto_depth(
+    goal: &Expr,
+    vars: &HashMap<String, Ty>,
+    effort: &mut ProofEffort,
+    depth: u32,
+) -> bool {
+    let g = saturate(&solver::simplify::simplify(goal));
+    if g.is_true_lit() {
+        return true;
+    }
+    effort.solver_calls += 1;
+    match solver::decide(&g, vars) {
+        Verdict::Valid => return true,
+        Verdict::Counterexample(_) => return false,
+        Verdict::Unknown => {}
+    }
+    if depth == 0 || g.term_size() > 20_000 {
+        return false;
+    }
+    // Case split on a variable equality (pointer aliasing decisions).
+    if let Some((a, b)) = find_var_eq(&g) {
+        effort.splits += 1;
+        // Positive: substitute b := a and re-simplify.
+        let pos = g.subst_var(&b, &Expr::var(a.clone()));
+        // Negative: assume a ≠ b — equalities become false, and the
+        // disequality atoms themselves become true (so the split is not
+        // re-discovered).
+        let neg = g.map(&|e| {
+            if is_eq_of(&e, &a, &b) {
+                Expr::ff()
+            } else if is_ne_of(&e, &a, &b) {
+                Expr::tt()
+            } else {
+                e
+            }
+        });
+        return auto_depth(&pos, vars, effort, depth - 1)
+            && auto_depth(&neg, vars, effort, depth - 1);
+    }
+    false
+}
+
+/// Ground equational rewriting with hypotheses: in `H → C`, every equation
+/// `t = u` in `H` whose left side reads the state and whose right side does
+/// not is used to rewrite `t` to `u` inside `C` (all reads in a fully
+/// wp-substituted VC refer to the same initial state, so this is sound).
+#[doc(hidden)]
+pub fn saturate(goal: &Expr) -> Expr {
+    fn collect_eqs(h: &Expr, eqs: &mut Vec<(Expr, Expr)>, nes: &mut Vec<(String, String)>) {
+        match h {
+            Expr::BinOp(ir::expr::BinOp::And, a, b) => {
+                collect_eqs(a, eqs, nes);
+                collect_eqs(b, eqs, nes);
+            }
+            Expr::BinOp(ir::expr::BinOp::Eq, l, r) => {
+                if l.reads_state() && !r.reads_state() {
+                    eqs.push(((**l).clone(), (**r).clone()));
+                } else if r.reads_state() && !l.reads_state() {
+                    eqs.push(((**r).clone(), (**l).clone()));
+                }
+            }
+            Expr::BinOp(ir::expr::BinOp::Ne, l, r) => {
+                if let (Expr::Var(a), Expr::Var(b)) = (&**l, &**r) {
+                    nes.push((a.clone(), b.clone()));
+                }
+            }
+            _ => {}
+        }
+    }
+    /// Known-distinct variables collapse equality atoms to `false`
+    /// (pointer distinctness hypotheses kill read-over-write conditionals
+    /// without case splitting — essential for Suzuki's challenge).
+    fn apply_nes(c: &Expr, nes: &[(String, String)]) -> Expr {
+        if nes.is_empty() {
+            return c.clone();
+        }
+        c.map(&|x| {
+            if let Expr::BinOp(ir::expr::BinOp::Eq, l, r) = &x {
+                if let (Expr::Var(a), Expr::Var(b)) = (&**l, &**r) {
+                    if nes
+                        .iter()
+                        .any(|(p, q)| (p == a && q == b) || (p == b && q == a))
+                    {
+                        return Expr::ff();
+                    }
+                }
+            }
+            x
+        })
+    }
+    fn rewrite(c: &Expr, eqs: &[(Expr, Expr)]) -> Expr {
+        let mut out = c.clone();
+        for _ in 0..3 {
+            let next = out.map(&|x| {
+                for (t, u) in eqs {
+                    if x == *t {
+                        return u.clone();
+                    }
+                }
+                x
+            });
+            if next == out {
+                break;
+            }
+            out = next;
+        }
+        out
+    }
+    match goal {
+        Expr::BinOp(ir::expr::BinOp::Implies, h, c) => {
+            let mut eqs = Vec::new();
+            let mut nes = Vec::new();
+            collect_eqs(h, &mut eqs, &mut nes);
+            let c = &solver::simplify::simplify(&apply_nes(c, &nes));
+            // Keep the original hypotheses AND conjoin their rewritten
+            // forms: rewriting alone would erase equations that become
+            // relevant after a later case split identifies two reads,
+            // while the rewritten copies expose derived variable
+            // equalities (e.g. `s[a] = x ∧ s[a] = y` yields `x = y`).
+            let h_rw = solver::simplify::simplify(&rewrite(h, &eqs));
+            let h2 = if h_rw == **h {
+                (**h).clone()
+            } else {
+                Expr::and((**h).clone(), h_rw)
+            };
+            let c2 = saturate(&rewrite(c, &eqs));
+            Expr::implies(h2, c2)
+        }
+        other => other.clone(),
+    }
+}
+
+/// Finds an equality atom `Var a = Var b` (`a ≠ b`) to split on.
+fn find_var_eq(e: &Expr) -> Option<(String, String)> {
+    let mut found = None;
+    e.visit(&mut |sub| {
+        if found.is_some() {
+            return;
+        }
+        if let Expr::BinOp(ir::expr::BinOp::Eq | ir::expr::BinOp::Ne, l, r) = sub {
+            if let (Expr::Var(a), Expr::Var(b)) = (&**l, &**r) {
+                if a != b {
+                    found = Some((a.clone(), b.clone()));
+                }
+            }
+        }
+    });
+    found
+}
+
+fn is_ne_of(e: &Expr, a: &str, b: &str) -> bool {
+    if let Expr::BinOp(ir::expr::BinOp::Ne, l, r) = e {
+        if let (Expr::Var(x), Expr::Var(y)) = (&**l, &**r) {
+            return (x == a && y == b) || (x == b && y == a);
+        }
+    }
+    false
+}
+
+fn is_eq_of(e: &Expr, a: &str, b: &str) -> bool {
+    if let Expr::BinOp(ir::expr::BinOp::Eq, l, r) = e {
+        if let (Expr::Var(x), Expr::Var(y)) = (&**l, &**r) {
+            return (x == a && y == b) || (x == b && y == a);
+        }
+    }
+    false
+}
+
+/// Runs [`vcg`] then [`auto`] on every VC; returns the conditions and the
+/// effort bookkeeping (used for the Table 6 / Suzuki benchmarks).
+///
+/// # Errors
+///
+/// Propagates [`VcgError`] from generation.
+pub fn verify(
+    prog: &monadic::Prog,
+    spec: &Spec,
+    anns: &[LoopAnn],
+    model: HeapModel,
+    vars: &HashMap<String, Ty>,
+    tenv: &ir::ty::TypeEnv,
+) -> Result<(Vec<Vc>, ProofEffort), VcgError> {
+    let vcs = vcg(prog, spec, anns, model, tenv)?;
+    let mut effort = ProofEffort::default();
+    for vc in &vcs {
+        let mut all_vars = vars.clone();
+        for (v, t) in &vc.vars {
+            all_vars.insert(v.clone(), t.clone());
+        }
+        if auto(&vc.goal, &all_vars, &mut effort) {
+            effort.auto_discharged += 1;
+        } else {
+            effort.manual += 1;
+        }
+    }
+    Ok((vcs, effort))
+}

@@ -1,0 +1,102 @@
+//! VCG error paths: the generator must reject out-of-fragment inputs with
+//! clear messages rather than produce wrong conditions.
+
+use std::collections::HashMap;
+
+use ir::expr::Expr;
+use ir::ty::TypeEnv;
+use monadic::Prog;
+use vcg::{vcg, verify, HeapModel, LoopAnn, Spec};
+
+fn tt_spec() -> Spec {
+    Spec {
+        pre: Expr::tt(),
+        post: Expr::tt(),
+    }
+}
+
+fn a_loop() -> Prog {
+    Prog::While {
+        vars: vec!["i".into()],
+        cond: Expr::binop(ir::expr::BinOp::Lt, Expr::var("i"), Expr::nat(3u64)),
+        body: Box::new(Prog::ret(Expr::binop(
+            ir::expr::BinOp::Add,
+            Expr::var("i"),
+            Expr::nat(1u64),
+        ))),
+        init: vec![Expr::nat(0u64)],
+    }
+}
+
+#[test]
+fn missing_annotation_is_an_error() {
+    let err = vcg(&a_loop(), &tt_spec(), &[], HeapModel::SplitHeaps, &TypeEnv::new())
+        .unwrap_err();
+    assert!(err.to_string().contains("annotation"), "{err}");
+}
+
+#[test]
+fn calls_without_contracts_are_rejected() {
+    let p = Prog::Call {
+        fname: "f".into(),
+        args: vec![],
+    };
+    let err = vcg(&p, &tt_spec(), &[], HeapModel::SplitHeaps, &TypeEnv::new())
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("call") || msg.contains("contract"), "{msg}");
+}
+
+#[test]
+fn exec_concrete_blocks_are_rejected() {
+    let p = Prog::ExecConcrete(Box::new(Prog::ret(Expr::u32(1))));
+    let err = vcg(&p, &tt_spec(), &[], HeapModel::SplitHeaps, &TypeEnv::new())
+        .unwrap_err();
+    assert!(err.to_string().contains("exec_concrete"), "{err}");
+}
+
+#[test]
+fn surplus_annotations_are_harmless() {
+    // One loop, two annotations: the second is simply unused.
+    let ann = LoopAnn {
+        inv: Expr::tt(),
+        measure: None,
+        var_tys: vec![("i".into(), ir::ty::Ty::Nat)],
+    };
+    let spare = ann.clone();
+    let vcs = vcg(
+        &a_loop(),
+        &tt_spec(),
+        &[ann, spare],
+        HeapModel::SplitHeaps,
+        &TypeEnv::new(),
+    )
+    .unwrap();
+    assert!(!vcs.is_empty());
+}
+
+#[test]
+fn trivial_invariant_fails_a_nontrivial_post() {
+    // With invariant `tt` the exit VC `tt → rv = 3` is not provable;
+    // `verify` must report manual effort, not panic.
+    let spec = Spec {
+        pre: Expr::tt(),
+        post: Expr::eq(Expr::var(vcg::RV), Expr::nat(3u64)),
+    };
+    let ann = LoopAnn {
+        inv: Expr::tt(),
+        measure: None,
+        var_tys: vec![("i".into(), ir::ty::Ty::Nat)],
+    };
+    let vars: HashMap<String, ir::ty::Ty> = HashMap::new();
+    let (_, effort) = verify(
+        &a_loop(),
+        &spec,
+        &[ann],
+        HeapModel::SplitHeaps,
+        &vars,
+        &TypeEnv::new(),
+    )
+    .unwrap();
+    assert!(effort.manual > 0, "{effort}");
+}

@@ -1,0 +1,245 @@
+//! Semantic soundness of the WP calculus, by sampling.
+//!
+//! For loop-free, heap-free programs the generated verification condition
+//! is *exactly* the weakest precondition, so on every concrete environment
+//!
+//! ```text
+//! eval(wp(p, Q))  ⟺  p terminates normally with value v  ∧  Q[·rv := v]
+//! ```
+//!
+//! (exceptions escaping the program and failed guards both make the WP
+//! false — the default spec forbids them). The test generates random
+//! programs over three `word32` inputs with binds, conditionals, guards,
+//! throw/catch, and tuple values, computes the VC once, and checks the
+//! equivalence on many random environments.
+
+use ir::eval::{eval, eval_bool, Env};
+use ir::expr::{BinOp, Expr};
+use ir::guard::GuardKind;
+use ir::state::State;
+use ir::ty::TypeEnv;
+use ir::value::Value;
+use monadic::{exec, MonadFault, MonadResult, Prog, ProgramCtx};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vcg::{vcg, HeapModel, Spec};
+
+const VARS: [&str; 3] = ["a", "b", "c"];
+
+/// A random `word32`-valued expression over the inputs and `depth` extra
+/// bound names.
+fn arb_word(rng: &mut StdRng, bound: &[String], fuel: u32) -> Expr {
+    if fuel == 0 || rng.gen_bool(0.3) {
+        return match rng.gen_range(0..3) {
+            0 => Expr::u32(rng.gen_range(0..10)),
+            1 => Expr::var(VARS[rng.gen_range(0..VARS.len())]),
+            _ => bound
+                .last()
+                .map_or_else(|| Expr::var(VARS[0]), |b| Expr::var(b.clone())),
+        };
+    }
+    let op = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::BitAnd, BinOp::BitOr]
+        [rng.gen_range(0..5)];
+    Expr::binop(
+        op,
+        arb_word(rng, bound, fuel - 1),
+        arb_word(rng, bound, fuel - 1),
+    )
+}
+
+/// A random boolean expression over word32 terms.
+fn arb_bool(rng: &mut StdRng, bound: &[String], fuel: u32) -> Expr {
+    if fuel == 0 || rng.gen_bool(0.2) {
+        let op = [BinOp::Lt, BinOp::Le, BinOp::Eq, BinOp::Ne][rng.gen_range(0..4)];
+        return Expr::binop(op, arb_word(rng, bound, 1), arb_word(rng, bound, 1));
+    }
+    match rng.gen_range(0..3) {
+        0 => Expr::and(
+            arb_bool(rng, bound, fuel - 1),
+            arb_bool(rng, bound, fuel - 1),
+        ),
+        1 => Expr::binop(
+            BinOp::Or,
+            arb_bool(rng, bound, fuel - 1),
+            arb_bool(rng, bound, fuel - 1),
+        ),
+        _ => Expr::not(arb_bool(rng, bound, fuel - 1)),
+    }
+}
+
+/// A random loop-free program yielding a `word32`.
+fn arb_prog(rng: &mut StdRng, bound: &mut Vec<String>, fuel: u32) -> Prog {
+    if fuel == 0 || rng.gen_bool(0.25) {
+        return Prog::ret(arb_word(rng, bound, 2));
+    }
+    match rng.gen_range(0..5) {
+        0 => {
+            let v = format!("x{}", bound.len());
+            let lhs = arb_prog(rng, bound, fuel - 1);
+            bound.push(v.clone());
+            let rhs = arb_prog(rng, bound, fuel - 1);
+            bound.pop();
+            Prog::bind(lhs, v, rhs)
+        }
+        1 => Prog::cond(
+            arb_bool(rng, bound, 2),
+            arb_prog(rng, bound, fuel - 1),
+            arb_prog(rng, bound, fuel - 1),
+        ),
+        2 => Prog::bind(
+            Prog::Guard(GuardKind::UnsignedOverflow, arb_bool(rng, bound, 2)),
+            "·g",
+            arb_prog(rng, bound, fuel - 1),
+        ),
+        3 => {
+            // Maybe-throwing computation with a handler.
+            let body = if rng.gen_bool(0.5) {
+                Prog::cond(
+                    arb_bool(rng, bound, 2),
+                    Prog::Throw(arb_word(rng, bound, 2)),
+                    arb_prog(rng, bound, fuel - 1),
+                )
+            } else {
+                Prog::Throw(arb_word(rng, bound, 2))
+            };
+            let v = format!("e{}", bound.len());
+            bound.push(v.clone());
+            let handler = arb_prog(rng, bound, fuel - 1);
+            bound.pop();
+            Prog::Catch(Box::new(body), v, Box::new(handler))
+        }
+        _ => Prog::ret(Expr::ite(
+            arb_bool(rng, bound, 2),
+            arb_word(rng, bound, 2),
+            arb_word(rng, bound, 2),
+        )),
+    }
+}
+
+fn sample_env(rng: &mut StdRng, tenv: &TypeEnv) -> Env {
+    let mut env = Env {
+        vars: std::collections::HashMap::new(),
+        tenv: tenv.clone(),
+    };
+    for v in VARS {
+        // Small values often, full range sometimes: exercise both the
+        // comparison branches and wrapping arithmetic.
+        let x: u32 = if rng.gen_bool(0.7) {
+            rng.gen_range(0..12)
+        } else {
+            rng.gen()
+        };
+        env.vars.insert(v.to_owned(), Value::u32(x));
+    }
+    env
+}
+
+#[test]
+fn wp_matches_execution_on_loop_free_programs() {
+    let tenv = TypeEnv::new();
+    let ctx = ProgramCtx {
+        tenv: tenv.clone(),
+        fns: std::collections::BTreeMap::new(),
+        globals: Vec::new(),
+    };
+    let mut rng = StdRng::seed_from_u64(0xAC_2014);
+    let mut nonvacuous = 0u32;
+    for round in 0..120 {
+        let prog = arb_prog(&mut rng, &mut Vec::new(), 4);
+        let post = arb_bool(
+            &mut rng,
+            &[vcg::RV.to_owned()],
+            2,
+        );
+        let spec = Spec {
+            pre: Expr::tt(),
+            post: post.clone(),
+        };
+        let vcs = vcg(&prog, &spec, &[], HeapModel::SplitHeaps, &tenv)
+            .expect("loop-free programs need no annotations");
+        // Loop-free: a single "main" VC, which is tt → wp.
+        assert_eq!(vcs.len(), 1, "round {round}");
+        let wp = &vcs[0].goal;
+        for trial in 0..40 {
+            let env = sample_env(&mut rng, &tenv);
+            let st = State::conc_empty();
+            let wp_holds =
+                eval_bool(wp, &env, &st).expect("VC evaluates on any env");
+            let run = exec(&ctx, &prog, &env, st.clone(), 10_000);
+            let exec_ok = match run {
+                Ok((MonadResult::Normal(v), _)) => {
+                    let mut env2 = env.clone();
+                    env2.vars.insert(vcg::RV.to_owned(), v);
+                    eval_bool(&post, &env2, &st).expect("post evaluates")
+                }
+                Ok((MonadResult::Except(_), _))
+                | Err(MonadFault::Failure(_)) => false,
+                other => panic!("round {round}.{trial}: unexpected {other:?}"),
+            };
+            assert_eq!(
+                wp_holds, exec_ok,
+                "round {round} trial {trial}:\n  prog: {prog}\n  post: {post}\n  env: {:?}",
+                env.vars
+            );
+            if wp_holds {
+                nonvacuous += 1;
+            }
+        }
+    }
+    // The generator must not be degenerate: a healthy share of trials
+    // exercise the "wp holds → execution satisfies post" direction.
+    assert!(nonvacuous > 400, "only {nonvacuous} non-vacuous trials");
+}
+
+#[test]
+fn wp_threads_exceptional_post_through_catch() {
+    // catch (throw a) (λe. return e): never escapes, so with post
+    // `·rv = a` the WP is tt → a = a … i.e. valid everywhere.
+    let prog = Prog::Catch(
+        Box::new(Prog::Throw(Expr::var("a"))),
+        "e".into(),
+        Box::new(Prog::ret(Expr::var("e"))),
+    );
+    let spec = Spec {
+        pre: Expr::tt(),
+        post: Expr::eq(Expr::var(vcg::RV), Expr::var("a")),
+    };
+    let tenv = TypeEnv::new();
+    let vcs = vcg(&prog, &spec, &[], HeapModel::SplitHeaps, &tenv).unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..50 {
+        let env = sample_env(&mut rng, &tenv);
+        let st = State::conc_empty();
+        assert!(eval_bool(&vcs[0].goal, &env, &st).unwrap());
+    }
+}
+
+#[test]
+fn escaping_throw_falsifies_the_wp() {
+    // `if a < b then throw 0 else return a` with the default spec: the WP
+    // must be false exactly when a < b.
+    let prog = Prog::cond(
+        Expr::binop(BinOp::Lt, Expr::var("a"), Expr::var("b")),
+        Prog::Throw(Expr::u32(0)),
+        Prog::ret(Expr::var("a")),
+    );
+    let spec = Spec {
+        pre: Expr::tt(),
+        post: Expr::tt(),
+    };
+    let tenv = TypeEnv::new();
+    let vcs = vcg(&prog, &spec, &[], HeapModel::SplitHeaps, &tenv).unwrap();
+    let env_of = |a: u32, b: u32| {
+        let mut env = Env {
+            vars: std::collections::HashMap::new(),
+            tenv: tenv.clone(),
+        };
+        env.vars.insert("a".into(), Value::u32(a));
+        env.vars.insert("b".into(), Value::u32(b));
+        env
+    };
+    let st = State::conc_empty();
+    assert!(!eval_bool(&vcs[0].goal, &env_of(1, 2), &st).unwrap());
+    assert!(eval_bool(&vcs[0].goal, &env_of(2, 1), &st).unwrap());
+    let _ = eval(&vcs[0].goal, &env_of(0, 0), &st);
+}

@@ -1,0 +1,50 @@
+//! The Sec 5.3 case study: the Schorr-Waite graph marking algorithm.
+//!
+//! Translates the Fig 8 C implementation, runs it on random graphs (cycles,
+//! sharing, disconnected parts — "every graph shape is supported"), and
+//! checks the ported Mehta & Nipkow postcondition: exactly the reachable
+//! nodes are marked and all pointers are restored.
+//!
+//! Run with: `cargo run --example schorr_waite`
+
+use casestudies::graphs::random_graph;
+use casestudies::schorr_waite::{mehta_nipkow_post, pipeline, run};
+use casestudies::sources::SCHORR_WAITE;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!("C source (Fig 8):\n{SCHORR_WAITE}");
+    let out = pipeline();
+
+    println!("── AutoCorres output ──");
+    println!("{}", out.wa.function("schorr_waite").unwrap());
+    out.check_all().expect("theorems replay");
+    println!("theorems checked ✓\n");
+
+    let mut rng = StdRng::seed_from_u64(0xDEAD);
+    for n in [0usize, 1, 3, 6, 10] {
+        let g = random_graph(&mut rng, n);
+        let root = g.addrs.first().copied().unwrap_or(0);
+        let st = run(&out, &g, root);
+        let reach = g.reachable(root).len();
+        let ok = mehta_nipkow_post(&g, root, &st);
+        println!(
+            "graph with {n:>2} nodes, {reach:>2} reachable: postcondition {}",
+            if ok { "holds ✓" } else { "FAILS ✗" }
+        );
+        assert!(ok);
+    }
+
+    println!("\nTable 6 proof accounting (measured from the proof artefacts):");
+    let script = casestudies::schorr_waite::proof_script();
+    for c in &script.components {
+        println!("  {:<24} {:>4} lines", c.name, c.lines);
+    }
+    println!(
+        "  total: {} (Mehta/Nipkow: {}, Hubert/Marché: {})",
+        script.total(),
+        casestudies::proofs::published::MN_TOTAL,
+        casestudies::proofs::published::HM_TOTAL
+    );
+}

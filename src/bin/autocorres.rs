@@ -1,0 +1,181 @@
+//! Command-line front end: translate a C file and print the abstracted
+//! specifications.
+//!
+//! ```text
+//! autocorres [OPTIONS] FILE.c
+//!
+//!   --level l1|l2|hl|wa      pipeline level to print (default: wa)
+//!   --fn NAME                print only this function (repeatable)
+//!   --concrete NAME          keep NAME at the byte level (repeatable)
+//!   --no-word-abs            stop after heap abstraction
+//!   --word-abs NAME          word-abstract only NAME (repeatable)
+//!   --trials N               differential-test budget per theorem (default 60)
+//!   --seed N                 RNG seed for testing-validated rules
+//!   --metrics                print Table 5-style size metrics and exit
+//!   --check                  replay all theorems through the proof checker
+//!   --quiet                  suppress the banner
+//! ```
+
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+
+use autocorres::{translate, Options};
+use monadic::ProgramCtx;
+
+struct Cli {
+    file: String,
+    level: String,
+    only: Vec<String>,
+    concrete: BTreeSet<String>,
+    word_abs: Option<BTreeSet<String>>,
+    trials: u32,
+    seed: u64,
+    metrics: bool,
+    check: bool,
+    quiet: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: autocorres [--level l1|l2|hl|wa] [--fn NAME]... [--concrete NAME]...\n\
+     \x20                 [--no-word-abs] [--word-abs NAME]... [--trials N] [--seed N]\n\
+     \x20                 [--metrics] [--check] [--quiet] FILE.c"
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        file: String::new(),
+        level: "wa".into(),
+        only: Vec::new(),
+        concrete: BTreeSet::new(),
+        word_abs: None,
+        trials: 60,
+        seed: 2014,
+        metrics: false,
+        check: false,
+        quiet: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--level" => {
+                let v = value("--level")?;
+                if !matches!(v.as_str(), "l1" | "l2" | "hl" | "wa") {
+                    return Err(format!("unknown level `{v}`"));
+                }
+                cli.level = v;
+            }
+            "--fn" => cli.only.push(value("--fn")?),
+            "--concrete" => {
+                cli.concrete.insert(value("--concrete")?);
+            }
+            "--no-word-abs" => cli.word_abs = Some(BTreeSet::new()),
+            "--word-abs" => {
+                cli.word_abs
+                    .get_or_insert_with(BTreeSet::new)
+                    .insert(value("--word-abs")?);
+            }
+            "--trials" => {
+                cli.trials = value("--trials")?
+                    .parse()
+                    .map_err(|e| format!("--trials: {e}"))?;
+            }
+            "--seed" => {
+                cli.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--metrics" => cli.metrics = true,
+            "--check" => cli.check = true,
+            "--quiet" => cli.quiet = true,
+            "--help" | "-h" => return Err(usage().to_owned()),
+            f if f.starts_with('-') => return Err(format!("unknown flag `{f}`")),
+            f => {
+                if !cli.file.is_empty() {
+                    return Err("more than one input file".into());
+                }
+                cli.file = f.to_owned();
+            }
+        }
+    }
+    if cli.file.is_empty() {
+        return Err(usage().to_owned());
+    }
+    Ok(cli)
+}
+
+fn print_ctx(ctx: &ProgramCtx, only: &[String]) -> Result<(), String> {
+    for name in only {
+        if ctx.function(name).is_none() {
+            return Err(format!("no function named `{name}`"));
+        }
+    }
+    for (name, f) in &ctx.fns {
+        if only.is_empty() || only.iter().any(|o| o == name) {
+            println!("{f}");
+        }
+    }
+    Ok(())
+}
+
+fn run(cli: &Cli) -> Result<(), String> {
+    let src = std::fs::read_to_string(&cli.file)
+        .map_err(|e| format!("{}: {e}", cli.file))?;
+    let opts = Options {
+        concrete_fns: cli.concrete.clone(),
+        word_abstract_fns: cli.word_abs.clone(),
+        l2_trials: cli.trials,
+        seed: cli.seed,
+        ..Options::default()
+    };
+    let out = translate(&src, &opts).map_err(|e| e.to_string())?;
+    if cli.metrics {
+        let pm = out.parser_metrics();
+        let am = out.output_metrics();
+        println!("{:<18} {:>8} {:>12}", "", "lines", "term size");
+        println!("{:<18} {:>8} {:>12}", "parser output", pm.lines, pm.term_size);
+        println!("{:<18} {:>8} {:>12}", "autocorres output", am.lines, am.term_size);
+        return Ok(());
+    }
+    if !cli.quiet {
+        let n = out.wa.fns.len();
+        let thms = out.thms.l1.len() + out.thms.l2.len() + out.thms.hl.len() + out.thms.wa.len();
+        eprintln!("translated {n} function(s); {thms} theorem(s) produced");
+    }
+    let ctx = match cli.level.as_str() {
+        "l1" => &out.l1,
+        "l2" => &out.l2,
+        "hl" => &out.hl,
+        _ => &out.wa,
+    };
+    print_ctx(ctx, &cli.only)?;
+    if cli.check {
+        out.check_all().map_err(|e| format!("proof check failed: {e}"))?;
+        if !cli.quiet {
+            eprintln!("all theorems replayed through the checker: OK");
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&cli) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("autocorres: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! Meta-crate for the AutoCorres-rs workspace.
+//!
+//! Re-exports the main entry points so examples and integration tests can use
+//! a single dependency. See the individual crates for documentation.
+pub use autocorres;
+pub use casestudies;

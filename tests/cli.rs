@@ -1,0 +1,105 @@
+//! End-to-end tests of the `autocorres` command-line front end.
+
+use std::io::Write;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_autocorres"))
+}
+
+fn write_temp(name: &str, src: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(src.as_bytes()).unwrap();
+    path
+}
+
+#[test]
+fn translates_and_checks_a_file() {
+    let path = write_temp(
+        "cli_max.c",
+        "unsigned maximum(unsigned a, unsigned b) { if (a <= b) return b; return a; }",
+    );
+    let out = bin().arg(&path).arg("--check").output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("return (if a ≤ b then b else a)"),
+        "{stdout}"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("checker: OK"), "{stderr}");
+}
+
+#[test]
+fn level_and_fn_filters() {
+    let path = write_temp(
+        "cli_two.c",
+        "unsigned one(void) { return 1u; }\nunsigned two(void) { return 2u; }",
+    );
+    let out = bin()
+        .arg(&path)
+        .args(["--level", "l2", "--fn", "two", "--quiet"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("two'"), "{stdout}");
+    assert!(!stdout.contains("one'"), "{stdout}");
+}
+
+#[test]
+fn metrics_mode_prints_both_rows() {
+    let path = write_temp(
+        "cli_m.c",
+        "unsigned f(unsigned x) { return x + 1u; }",
+    );
+    let out = bin().arg(&path).args(["--metrics", "--quiet"]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("parser output"), "{stdout}");
+    assert!(stdout.contains("autocorres output"), "{stdout}");
+}
+
+#[test]
+fn frontend_errors_are_reported_cleanly() {
+    let path = write_temp("cli_bad.c", "void f(void) { goto x; }");
+    let out = bin().arg(&path).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("goto"), "{stderr}");
+}
+
+#[test]
+fn bad_flags_fail_with_usage() {
+    for args in [vec!["--level", "bogus", "x.c"], vec!["--frobnicate"], vec![]] {
+        let out = bin().args(&args).output().unwrap();
+        assert!(!out.status.success(), "{args:?} should fail");
+    }
+}
+
+#[test]
+fn missing_function_filter_is_an_error() {
+    let path = write_temp("cli_nf.c", "unsigned f(void) { return 0u; }");
+    let out = bin().arg(&path).args(["--fn", "nope"]).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("nope"), "{stderr}");
+}
+
+#[test]
+fn concrete_flag_keeps_function_at_byte_level() {
+    let path = write_temp(
+        "cli_conc.c",
+        "void set(unsigned char *p, unsigned char v) { *p = v; }\n\
+         void zero(unsigned char *p) { set(p, 0u); }",
+    );
+    let out = bin()
+        .arg(&path)
+        .args(["--concrete", "set", "--quiet"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("exec_concrete"), "{stdout}");
+}

@@ -1,0 +1,53 @@
+//! Sec 3.3's rule-set extensibility: the `x > x + y` unsigned-overflow test
+//! idiom. Without the custom rule the test abstracts to something the user
+//! must prove never fires; with the rule it becomes `UINT_MAX < x + y`,
+//! "allowing the original intent of the concrete code to be captured".
+
+use autocorres::{translate, Options};
+use casestudies::sources::OVERFLOW_IDIOM;
+use ir::state::State;
+use ir::value::Value;
+use monadic::MonadResult;
+
+#[test]
+fn without_the_custom_rule_the_test_is_vacuous_looking() {
+    let out = translate(OVERFLOW_IDIOM, &Options::default()).unwrap();
+    let s = out.wa.function("checked_add").unwrap().body.to_string();
+    // The built-in abstraction inserts the overflow obligation as a guard,
+    // making the branch condition unprovable-in-general.
+    assert!(s.contains("4294967295"), "{s}");
+    assert!(s.contains("guard"), "{s}");
+}
+
+#[test]
+fn with_the_custom_rule_the_intent_is_captured() {
+    let opts = Options {
+        custom_word_rules: vec![wordabs::overflow_idiom_rule()],
+        ..Options::default()
+    };
+    let out = translate(OVERFLOW_IDIOM, &opts).unwrap();
+    out.check_all().unwrap();
+    let s = out.wa.function("checked_add").unwrap().body.to_string();
+    assert!(
+        s.contains("4294967295 < x + y"),
+        "the overflow test becomes explicit: {s}"
+    );
+
+    // Semantics: checked_add returns 0 on overflow, x + y otherwise.
+    for (x, y) in [(1u32, 2u32), (u32::MAX, 1), (u32::MAX - 1, 1), (0, 0)] {
+        let (r, _) = monadic::exec_fn(
+            &out.wa,
+            "checked_add",
+            &[Value::nat(u64::from(x)), Value::nat(u64::from(y))],
+            State::conc_empty(),
+            10_000,
+        )
+        .unwrap();
+        let expect = if u64::from(x) + u64::from(y) > u64::from(u32::MAX) {
+            0u64
+        } else {
+            u64::from(x) + u64::from(y)
+        };
+        assert_eq!(r, MonadResult::Normal(Value::nat(expect)), "({x},{y})");
+    }
+}

@@ -1,0 +1,81 @@
+//! Unsupported constructs produce clean, phase-tagged errors — the user
+//! experience the paper's "supported subset" list implies.
+
+use autocorres::{translate, Options, PipelineError};
+
+fn expect_frontend_error(src: &str, needle: &str) {
+    match translate(src, &Options::default()) {
+        Err(PipelineError::Frontend(msg)) => {
+            assert!(msg.contains(needle), "expected `{needle}` in: {msg}");
+        }
+        other => panic!("expected a frontend error for {src:?}, got {other:?}"),
+    }
+}
+
+#[test]
+fn unsupported_c_features_are_reported() {
+    expect_frontend_error("void f(void) { goto x; }", "goto");
+    expect_frontend_error("void f(int x) { switch (x) {} }", "switch");
+    expect_frontend_error("union u { int a; float b; };", "union");
+    expect_frontend_error("float area(float r) { return r; }", "float");
+    expect_frontend_error("void f(void) { int a[4]; }", "arrays");
+    expect_frontend_error("void f(int x) { int *p = &x; }", "address-of");
+    expect_frontend_error("int f(void) { return g(); }", "undeclared");
+    expect_frontend_error("void f(int (*fp)(int)) { }", "");
+}
+
+#[test]
+fn translation_limits_are_reported() {
+    // Calls in loop conditions cannot be encoded by the literal translation.
+    match translate(
+        "unsigned id(unsigned x) { return x; }\n\
+         void f(unsigned n) { while (id(n) > 0u) { n = n - 1u; } }",
+        &Options::default(),
+    ) {
+        Err(PipelineError::Simpl(msg)) => {
+            assert!(msg.contains("loop conditions"), "{msg}");
+        }
+        other => panic!("expected a Simpl-phase error, got {other:?}"),
+    }
+}
+
+#[test]
+fn byte_level_code_must_be_declared_concrete() {
+    // Default options heap-abstract everything, which is fine for typed u8
+    // access, so the memset source itself translates; but explicitly
+    // forcing an unabstractable construct (a retype-style cast write mix)
+    // through HL is caught. Here: the supported path — the error surfaces
+    // only through behaviour (see casestudies::memset) — so we assert the
+    // positive: concrete_fns flows through.
+    let out = translate(
+        casestudies::sources::MEMSET,
+        &Options {
+            concrete_fns: ["memset_b".to_owned()].into(),
+            ..Options::default()
+        },
+    )
+    .unwrap();
+    assert!(out
+        .wa
+        .function("zero_word")
+        .unwrap()
+        .to_string()
+        .contains("exec_concrete"));
+}
+
+#[test]
+fn missing_loop_annotation_is_a_clean_vcg_error() {
+    let out = translate(
+        "unsigned f(unsigned n) { while (n > 0u) { n = n - 1u; } return n; }",
+        &Options::default(),
+    )
+    .unwrap();
+    let body = out.wa.function("f").unwrap().body.clone();
+    let spec = vcg::Spec {
+        pre: ir::Expr::tt(),
+        post: ir::Expr::tt(),
+    };
+    let err = vcg::vcg(&body, &spec, &[], vcg::HeapModel::SplitHeaps, &out.wa.tenv)
+        .unwrap_err();
+    assert!(err.to_string().contains("annotation"), "{err}");
+}

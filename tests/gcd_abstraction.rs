@@ -1,0 +1,64 @@
+//! Sec 3.3: "AutoCorres's abstraction of the standard C implementation of
+//! Euclid's greatest-common-denominator algorithm is equal to
+//! `return (gcd a b)`" — we check semantic equality with the ideal gcd on
+//! naturals, plus the recursive call structure.
+
+use autocorres::{translate, Options};
+use casestudies::sources::GCD;
+use ir::state::State;
+use ir::value::Value;
+use monadic::MonadResult;
+
+#[test]
+fn gcd_abstracts_to_ideal_gcd() {
+    let out = translate(GCD, &Options::default()).unwrap();
+    out.check_all().unwrap();
+    let f = out.wa.function("gcd").unwrap();
+    assert_eq!(f.ret_ty, ir::ty::Ty::Nat);
+    // The recursive structure survives, over ideal naturals.
+    let s = f.body.to_string();
+    assert!(s.contains("gcd'"), "{s}");
+    assert!(s.contains("a mod b"), "{s}");
+
+    for (a, b) in [(0u64, 0u64), (12, 18), (17, 5), (100, 75), (1, 999)] {
+        let (r, _) = monadic::exec_fn(
+            &out.wa,
+            "gcd",
+            &[Value::nat(a), Value::nat(b)],
+            State::conc_empty(),
+            1_000_000,
+        )
+        .unwrap();
+        let ideal = bignum::Nat::from(a).gcd(&bignum::Nat::from(b));
+        assert_eq!(r, MonadResult::Normal(Value::Nat(ideal)), "gcd({a},{b})");
+    }
+}
+
+#[test]
+fn gcd_agrees_with_the_simpl_level_on_words() {
+    use rand::{Rng, SeedableRng};
+    let out = translate(GCD, &Options::default()).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+    for _ in 0..100 {
+        let a: u32 = rng.gen_range(0..10_000);
+        let b: u32 = rng.gen_range(0..10_000);
+        let (sv, _) = simpl::exec_fn(
+            &out.simpl,
+            "gcd",
+            &[Value::u32(a), Value::u32(b)],
+            out.simpl.initial_state(),
+            1_000_000,
+        )
+        .unwrap();
+        let (wv, _) = monadic::exec_fn(
+            &out.wa,
+            "gcd",
+            &[Value::nat(u64::from(a)), Value::nat(u64::from(b))],
+            State::conc_empty(),
+            1_000_000,
+        )
+        .unwrap();
+        let Value::Word(w) = sv else { panic!() };
+        assert_eq!(wv, MonadResult::Normal(Value::Nat(w.unat())));
+    }
+}

@@ -1,0 +1,146 @@
+//! Two further list case studies, exercised end to end on random heaps:
+//! in-place append (destructive tail splice) and find (returning a pointer
+//! at the abstract level — pointers survive word abstraction untouched).
+
+use autocorres::{translate, Options};
+use casestudies::lists::{build_list, list_data, node_ty, walk_list};
+use ir::state::State;
+use ir::value::{Ptr, Value};
+use monadic::MonadResult;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SRC: &str = "struct node { struct node *next; unsigned data; };\n\
+struct node *append(struct node *a, struct node *b) {\n\
+    struct node *cur = a;\n\
+    if (!a) return b;\n\
+    while (cur->next) { cur = cur->next; }\n\
+    cur->next = b;\n\
+    return a;\n\
+}\n\
+struct node *find(struct node *p, unsigned needle) {\n\
+    while (p) {\n\
+        if (p->data == needle) return p;\n\
+        p = p->next;\n\
+    }\n\
+    return p;\n\
+}\n";
+
+fn pipeline() -> &'static autocorres::Output {
+    static OUT: std::sync::OnceLock<autocorres::Output> = std::sync::OnceLock::new();
+    OUT.get_or_init(|| translate(SRC, &Options::default()).expect("append/find translate"))
+}
+
+#[test]
+fn append_and_find_translate_and_check() {
+    let out = pipeline();
+    out.check_all().unwrap();
+    // `find` returns a pointer: word abstraction leaves both the parameter
+    // `p` and the result type alone, abstracting only `needle`.
+    let find = out.wa.function("find").unwrap();
+    assert_eq!(find.ret_ty, node_ty().ptr_to());
+    assert_eq!(find.params[0].1, node_ty().ptr_to());
+    assert_eq!(find.params[1].1, ir::ty::Ty::Nat);
+}
+
+#[test]
+fn append_splices_in_place_on_random_lists() {
+    let out = pipeline();
+    let tenv = out.wa.tenv.clone();
+    let mut rng = StdRng::seed_from_u64(41);
+    for round in 0..60 {
+        let n_a = rng.gen_range(0..6);
+        let n_b = rng.gen_range(0..6);
+        let data_a: Vec<u32> = (0..n_a).map(|_| rng.gen_range(0..100)).collect();
+        let data_b: Vec<u32> = (0..n_b).map(|_| rng.gen_range(0..100)).collect();
+        let mut conc = ir::state::ConcState::default();
+        let (pa, addrs_a) = build_list(&mut conc, &tenv, 0x1000, &data_a);
+        let (pb, addrs_b) = build_list(&mut conc, &tenv, 0x8000, &data_b);
+        let abs = heapmodel::lift_state(&conc, &tenv, &[node_ty()]);
+        let (r, st) = monadic::exec_fn(
+            &out.wa,
+            "append",
+            &[Value::Ptr(pa), Value::Ptr(pb)],
+            State::Abs(abs),
+            1_000_000,
+        )
+        .unwrap();
+        let MonadResult::Normal(Value::Ptr(head)) = r else {
+            panic!("append returned {r:?}");
+        };
+        let State::Abs(final_abs) = st else { unreachable!() };
+        // The result is the concatenation, sharing both lists' nodes.
+        let walked = walk_list(&final_abs, &head, 64).expect("acyclic");
+        let expect_addrs: Vec<u64> =
+            addrs_a.iter().chain(&addrs_b).copied().collect();
+        assert_eq!(walked, expect_addrs, "round {round}");
+        let expect_data: Vec<u32> =
+            data_a.iter().chain(&data_b).copied().collect();
+        assert_eq!(list_data(&final_abs, &walked), expect_data, "round {round}");
+    }
+}
+
+#[test]
+fn find_returns_first_match_or_null() {
+    let out = pipeline();
+    let tenv = out.wa.tenv.clone();
+    let mut rng = StdRng::seed_from_u64(43);
+    for _ in 0..60 {
+        let n = rng.gen_range(0..8);
+        let data: Vec<u32> = (0..n).map(|_| rng.gen_range(0..6)).collect();
+        let needle: u32 = rng.gen_range(0..6);
+        let mut conc = ir::state::ConcState::default();
+        let (p, addrs) = build_list(&mut conc, &tenv, 0x1000, &data);
+        let abs = heapmodel::lift_state(&conc, &tenv, &[node_ty()]);
+        let (r, _) = monadic::exec_fn(
+            &out.wa,
+            "find",
+            &[Value::Ptr(p), Value::nat(u64::from(needle))],
+            State::Abs(abs),
+            1_000_000,
+        )
+        .unwrap();
+        let MonadResult::Normal(Value::Ptr(got)) = r else {
+            panic!("find returned {r:?}");
+        };
+        let expect = data
+            .iter()
+            .position(|&d| d == needle)
+            .map_or(0, |i| addrs[i]);
+        assert_eq!(got.addr, expect, "find {needle} in {data:?}");
+    }
+}
+
+#[test]
+fn append_guards_reject_invalid_lists() {
+    // Appending to a list whose tail points into untagged memory must fail
+    // a validity guard rather than corrupt anything.
+    let out = pipeline();
+    let tenv = out.wa.tenv.clone();
+    let mut conc = ir::state::ConcState::default();
+    let (pa, addrs) = build_list(&mut conc, &tenv, 0x1000, &[1, 2]);
+    let (pb, _) = build_list(&mut conc, &tenv, 0x8000, &[3]);
+    // Corrupt: tail now points at an untagged address.
+    let abs = {
+        let mut abs = heapmodel::lift_state(&conc, &tenv, &[node_ty()]);
+        let h = abs.heaps.get_mut(&node_ty()).unwrap();
+        let tail = h
+            .get(addrs[1])
+            .unwrap()
+            .with_field("next", Value::Ptr(Ptr::new(0xDEAD0, node_ty())))
+            .unwrap();
+        h.set(addrs[1], tail);
+        abs
+    };
+    let r = monadic::exec_fn(
+        &out.wa,
+        "append",
+        &[Value::Ptr(pa), Value::Ptr(pb)],
+        State::Abs(abs),
+        1_000_000,
+    );
+    assert!(
+        matches!(r, Err(monadic::MonadFault::Failure(_))),
+        "dangling tail must fail a guard: {r:?}"
+    );
+}

@@ -1,0 +1,62 @@
+//! Whole-system fuzzing: random synthetic C programs through the complete
+//! pipeline, with every theorem replayed and every function checked for
+//! end-to-end refinement between the parser level and the final output.
+
+use autocorres::{translate, Options};
+use ir::ty::Ty;
+
+fn fuzz_profile(seed: u64, functions: usize) {
+    let profile = codegen::Profile {
+        name: "fuzz",
+        loc: functions * 10,
+        functions,
+    };
+    let src = codegen::generate(&profile, seed);
+    let opts = Options {
+        l2_trials: 10,
+        seed,
+        ..Options::default()
+    };
+    let out = translate(&src, &opts)
+        .unwrap_or_else(|e| panic!("seed {seed}: pipeline failed: {e}\n{src}"));
+    out.check_all()
+        .unwrap_or_else(|e| panic!("seed {seed}: checker rejected: {e}"));
+
+    let heap_types = vec![Ty::Struct("obj".into())];
+    let names: Vec<String> = out.wa.fns.keys().cloned().collect();
+    let mut total_decided = 0;
+    for name in &names {
+        total_decided +=
+            autocorres::testing::check_e2e_refinement(&out, name, &heap_types, 12, seed ^ 0x55);
+    }
+    assert!(
+        total_decided > 0,
+        "seed {seed}: no trial decidable across {} functions",
+        names.len()
+    );
+}
+
+#[test]
+fn fuzz_seed_1() {
+    fuzz_profile(1, 12);
+}
+
+#[test]
+fn fuzz_seed_2() {
+    fuzz_profile(2, 12);
+}
+
+#[test]
+fn fuzz_seed_3() {
+    fuzz_profile(3, 12);
+}
+
+#[test]
+fn fuzz_seed_4() {
+    fuzz_profile(4, 12);
+}
+
+#[test]
+fn fuzz_seed_5() {
+    fuzz_profile(5, 16);
+}

@@ -1,0 +1,94 @@
+//! Recursive and mutually recursive functions through the complete
+//! pipeline — the paper's translation is per-function and handles
+//! (mutual) recursion via the call rules, so ours must too.
+
+use autocorres::{translate, Options};
+use ir::state::State;
+use ir::value::Value;
+use monadic::MonadResult;
+
+const SRC: &str = "unsigned fact(unsigned n) {\n\
+     if (n == 0u) return 1u;\n\
+     return n * fact(n - 1u);\n\
+   }\n\
+   unsigned fib(unsigned n) {\n\
+     if (n < 2u) return n;\n\
+     return fib(n - 1u) + fib(n - 2u);\n\
+   }\n\
+   unsigned is_odd(unsigned n);\n\
+   unsigned is_even(unsigned n) { if (n == 0u) return 1u; return is_odd(n - 1u); }\n\
+   unsigned is_odd(unsigned n) { if (n == 0u) return 0u; return is_even(n - 1u); }";
+
+fn run_nat(out: &autocorres::Output, f: &str, n: u64) -> bignum::Nat {
+    let (r, _) = monadic::exec_fn(
+        &out.wa,
+        f,
+        &[Value::nat(n)],
+        State::conc_empty(),
+        10_000_000,
+    )
+    .unwrap();
+    let MonadResult::Normal(Value::Nat(v)) = r else {
+        panic!("{f}({n}) did not return a Nat: {r:?}");
+    };
+    v
+}
+
+fn nat(v: u64) -> bignum::Nat {
+    bignum::Nat::from(v)
+}
+
+#[test]
+fn recursive_functions_translate_and_check() {
+    let out = translate(SRC, &Options::default()).unwrap();
+    out.check_all().unwrap();
+    // The final output recurses on the *abstract* function with ideal
+    // arithmetic and an overflow guard at the multiply.
+    let fact = out.wa.function("fact").unwrap().to_string();
+    assert!(fact.contains("fact' (n - 1)"), "{fact}");
+    assert!(fact.contains("n * tmp"), "{fact}");
+    assert!(fact.contains("≤ 4294967295"), "{fact}");
+}
+
+#[test]
+fn recursive_results_match_ideal_arithmetic() {
+    let out = translate(SRC, &Options::default()).unwrap();
+    assert_eq!(run_nat(&out, "fact", 0), nat(1));
+    assert_eq!(run_nat(&out, "fact", 5), nat(120));
+    assert_eq!(run_nat(&out, "fact", 12), nat(479_001_600));
+    let fib = [0u64, 1, 1, 2, 3, 5, 8, 13, 21, 34, 55];
+    for (n, expect) in fib.iter().enumerate() {
+        assert_eq!(run_nat(&out, "fib", n as u64), nat(*expect), "fib({n})");
+    }
+}
+
+#[test]
+fn mutual_recursion_translates_and_runs() {
+    let out = translate(SRC, &Options::default()).unwrap();
+    for n in 0..12u64 {
+        assert_eq!(run_nat(&out, "is_even", n), nat(u64::from(n % 2 == 0)), "is_even({n})");
+        assert_eq!(run_nat(&out, "is_odd", n), nat(u64::from(n % 2 == 1)), "is_odd({n})");
+    }
+    // Tail-position mutual calls stay direct calls (no tuple plumbing).
+    let even = out.wa.function("is_even").unwrap().to_string();
+    assert!(even.contains("is_odd' (n - 1)"), "{even}");
+}
+
+#[test]
+fn overflowing_recursion_fails_its_guard() {
+    // fact(13) overflows u32: the abstract program's multiply guard fails,
+    // exactly matching the concrete function's wrapped (wrong) result
+    // being unprovable.
+    let out = translate(SRC, &Options::default()).unwrap();
+    let r = monadic::exec_fn(
+        &out.wa,
+        "fact",
+        &[Value::nat(13u64)],
+        State::conc_empty(),
+        10_000_000,
+    );
+    assert!(
+        matches!(r, Err(monadic::MonadFault::Failure(_))),
+        "fact(13) must fail its overflow guard: {r:?}"
+    );
+}
