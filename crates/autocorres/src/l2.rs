@@ -92,18 +92,40 @@ pub fn l2_program(
     let heap_types = crate::testing::heap_types_of(&l1ctx.tenv, l1ctx);
     let mut thms = Vec::new();
     for f in &tp.functions {
-        let name = &f.name;
-        let l2b = &l2ctx.fns[name].body;
-        let l1b = &l1ctx.fns[name].body;
-        let thm = refine::exec_tested(cx, l2b, l1b, trials, seed, || {
-            test_fn_refines(&l2ctx, l1ctx, name, &heap_types, trials, seed)
-        })
-        .map_err(|e| L2Error {
-            msg: format!("{name}: {e}"),
-        })?;
-        thms.push((name.clone(), thm));
+        let thm = l2_fn_theorem(cx, &l2ctx, l1ctx, &heap_types, &f.name, trials, seed)?;
+        thms.push((f.name.clone(), thm));
     }
     Ok((l2ctx, thms))
+}
+
+/// The L2 `refines` theorem of one function: an `ExecTested` certificate
+/// that the L2 body refines the L1 body, validated differentially. The RNG
+/// stream is derived from `(seed, name)` so the theorem statement (which
+/// records the seed) is independent of the order functions are processed
+/// in — sequential and parallel pipelines produce identical theorems.
+///
+/// # Errors
+///
+/// Returns an error when a differential trial finds a refinement violation
+/// (which would indicate a driver bug).
+pub fn l2_fn_theorem(
+    cx: &CheckCtx,
+    l2ctx: &ProgramCtx,
+    l1ctx: &ProgramCtx,
+    heap_types: &[Ty],
+    name: &str,
+    trials: u32,
+    seed: u64,
+) -> R<Thm> {
+    let fn_seed = crate::pipeline::derive_seed(seed, name);
+    let l2b = &l2ctx.fns[name].body;
+    let l1b = &l1ctx.fns[name].body;
+    refine::exec_tested(cx, l2b, l1b, trials, fn_seed, || {
+        test_fn_refines(l2ctx, l1ctx, name, heap_types, trials, fn_seed)
+    })
+    .map_err(|e| L2Error {
+        msg: format!("{name}: {e}"),
+    })
 }
 
 /// Differential test: the L2 function refines the L1 function (equal

@@ -38,6 +38,11 @@
 pub mod l1;
 pub mod l2;
 pub mod pipeline;
+pub mod schedule;
+pub mod stats;
 pub mod testing;
 
-pub use pipeline::{translate, translate_program, Options, Output, PhaseTheorems, PipelineError};
+pub use pipeline::{
+    derive_seed, translate, translate_program, Options, Output, PhaseTheorems, PipelineError,
+};
+pub use stats::{PhaseStat, PipelineStats};

@@ -5,14 +5,31 @@
 //! intermediate level (Simpl, L1, L2, HL, WA) so users can reason at
 //! whichever level suits them — and so the Table 5 metrics can compare the
 //! parser output against the final output.
+//!
+//! # Parallelism and determinism
+//!
+//! Within a phase, functions are independent (L1/L2/HL) or ordered by the
+//! call graph (WA and caller adaptation, scheduled by
+//! [`crate::schedule::run_dag`] so a caller's job never starts before its
+//! callees'). [`Options::workers`] picks the pool width; `0`/`1` runs
+//! everything inline on the calling thread. Both paths execute the *same*
+//! per-function closures with per-function RNG streams derived by
+//! [`derive_seed`] from `(seed, fn_name)`, and results are collected in
+//! fixed name/source order — so for a fixed seed the output (specs,
+//! theorem statements, guards, metrics) is byte-identical at any worker
+//! count. The determinism test suite asserts this.
 
 use std::collections::BTreeSet;
 use std::fmt;
+use std::time::Instant;
 
 use ir::metrics::SpecMetrics;
-use kernel::{CheckCtx, Thm};
+use kernel::{CheckCtx, ReplayReport, Thm};
 use monadic::ProgramCtx;
 use simpl::SimplProgram;
+
+use crate::schedule::{par_map, run_dag, PoolStats};
+use crate::stats::{PhaseStat, PipelineStats};
 
 /// Driver options (per-function selections, Sec 3.2 / 4.6).
 #[derive(Clone, Default)]
@@ -28,6 +45,10 @@ pub struct Options {
     pub l2_trials: u32,
     /// RNG seed for the testing-validated rules.
     pub seed: u64,
+    /// Worker threads for the per-function phases and theorem replay
+    /// (`0` or `1` = run inline on the calling thread). Output is
+    /// byte-identical at every worker count.
+    pub workers: usize,
 }
 
 impl fmt::Debug for Options {
@@ -38,8 +59,28 @@ impl fmt::Debug for Options {
             .field("custom_word_rules", &self.custom_word_rules.len())
             .field("l2_trials", &self.l2_trials)
             .field("seed", &self.seed)
+            .field("workers", &self.workers)
             .finish()
     }
+}
+
+/// Derives the RNG seed of one function's testing-validated rules from the
+/// pipeline seed and the function name (FNV-1a over the name, mixed with a
+/// SplitMix64 finalizer). Every phase uses this — sequential and parallel
+/// runs therefore draw identical per-function streams regardless of the
+/// order functions are processed in, which keeps `ExecTested` theorem
+/// statements (which record their seed) byte-identical across schedules.
+#[must_use]
+pub fn derive_seed(seed: u64, fn_name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in fn_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut z = seed ^ h.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// Per-function theorems for every verified phase.
@@ -53,6 +94,34 @@ pub struct PhaseTheorems {
     pub hl: Vec<(String, Thm)>,
     /// `abs_w_stmt` theorems (absent for non-selected functions).
     pub wa: Vec<(String, Thm)>,
+}
+
+impl PhaseTheorems {
+    /// All theorems with their phase tag and function name, in phase order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &str, &Thm)> {
+        fn tag<'a>(
+            phase: &'static str,
+            v: &'a [(String, Thm)],
+        ) -> impl Iterator<Item = (&'static str, &'a str, &'a Thm)> {
+            v.iter().map(move |(n, t)| (phase, n.as_str(), t))
+        }
+        tag("l1", &self.l1)
+            .chain(tag("l2", &self.l2))
+            .chain(tag("hl", &self.hl))
+            .chain(tag("wa", &self.wa))
+    }
+
+    /// Total theorem count across all phases.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.l1.len() + self.l2.len() + self.hl.len() + self.wa.len()
+    }
+
+    /// Is there no theorem at all?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 /// The full pipeline output.
@@ -75,6 +144,8 @@ pub struct Output {
     /// The kernel context (with the abstracted-function signature table),
     /// for replaying the theorems through the checker.
     pub check_ctx: CheckCtx,
+    /// Per-phase timings, theorem/proof-tree counts, worker utilization.
+    pub stats: PipelineStats,
 }
 
 impl Output {
@@ -90,36 +161,40 @@ impl Output {
         SpecMetrics::combine(self.wa.fns.values().map(monadic::MonadicFn::metrics))
     }
 
-    /// Replays every produced theorem through the independent checker.
+    /// Replays every produced theorem through the independent checker,
+    /// using the worker count the pipeline was configured with.
     ///
     /// # Errors
     ///
-    /// Returns the first failing rule application.
+    /// Returns the first failing rule application (in theorem order).
     pub fn check_all(&self) -> Result<(), kernel::KernelError> {
-        for (_, t) in self
-            .thms
-            .l1
-            .iter()
-            .chain(&self.thms.l2)
-            .chain(&self.thms.hl)
-            .chain(&self.thms.wa)
-        {
-            kernel::check(t, &self.check_ctx)?;
-        }
-        Ok(())
+        self.check_all_report(self.stats.workers)
+            .map(|_| ())
+            .map_err(|(_, e)| e)
+    }
+
+    /// Replays every produced theorem across `workers` threads, reporting
+    /// replay occupancy ([`kernel::check_all`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the failing function name and kernel error, first in
+    /// theorem order regardless of scheduling.
+    pub fn check_all_report(
+        &self,
+        workers: usize,
+    ) -> Result<ReplayReport, (String, kernel::KernelError)> {
+        kernel::check_all(
+            self.thms.iter().map(|(_, n, t)| (n, t)),
+            &self.check_ctx,
+            workers,
+        )
     }
 
     /// Total number of kernel rule applications across all theorems.
     #[must_use]
     pub fn total_proof_size(&self) -> usize {
-        self.thms
-            .l1
-            .iter()
-            .chain(&self.thms.l2)
-            .chain(&self.thms.hl)
-            .chain(&self.thms.wa)
-            .map(|(_, t)| t.proof_size())
-            .sum()
+        self.thms.iter().map(|(_, _, t)| t.proof_size()).sum()
     }
 }
 
@@ -166,30 +241,121 @@ pub fn translate(src: &str, opts: &Options) -> Result<Output, PipelineError> {
     translate_program(&typed, opts)
 }
 
-/// Translates an already-typechecked program through the full pipeline.
+/// Translates an already-typechecked program through the full pipeline,
+/// scheduling the per-function phase work across [`Options::workers`]
+/// threads (see the module docs for the determinism guarantee).
 ///
 /// # Errors
 ///
-/// As for [`translate`].
+/// As for [`translate`]. With multiple workers, errors of a phase are
+/// reported for the first failing function in that phase's fixed order,
+/// independent of thread interleaving.
 pub fn translate_program(
     typed: &cparser::TProgram,
     opts: &Options,
 ) -> Result<Output, PipelineError> {
+    let total_start = Instant::now();
+    let workers = opts.workers.max(1);
+    let mut phases: Vec<PhaseStat> = Vec::new();
+
+    // Parse (trusted, sequential — one Simpl translation unit).
+    let parse_start = Instant::now();
     let sp = simpl::translate_program(typed).map_err(|e| PipelineError::Simpl(e.to_string()))?;
+    let parse_pool = PoolStats {
+        workers: 1,
+        busy: parse_start.elapsed(),
+        wall: parse_start.elapsed(),
+    };
+    phases.push(PhaseStat::from_pool("parse", parse_pool, sp.fns.len(), 0, 0));
     let cx = CheckCtx {
         tenv: sp.tenv.clone(),
         ..CheckCtx::default()
     };
-    let (l1ctx, l1_thms) =
-        crate::l1::l1_program(&cx, &sp).map_err(|e| PipelineError::L1(e.to_string()))?;
+
+    // L1: one independent job per function, results in BTreeMap order.
+    let l1_items: Vec<(&String, &simpl::SimplFn)> = sp.fns.iter().collect();
+    let (l1_results, l1_pool) = par_map(&l1_items, workers, |_, (name, f)| {
+        crate::l1::l1_function(&cx, f).map(|out| ((*name).clone(), out))
+    });
+    let mut l1ctx = ProgramCtx {
+        tenv: sp.tenv.clone(),
+        globals: sp.globals.clone(),
+        ..ProgramCtx::default()
+    };
+    let mut l1_thms: Vec<(String, Thm)> = Vec::new();
+    for r in l1_results {
+        let (name, out) = r.map_err(|e| PipelineError::L1(e.to_string()))?;
+        l1ctx.fns.insert(name.clone(), out.fun);
+        l1_thms.push((name, out.thm));
+    }
+    phases.push(phase_stat("l1", l1_pool, l1_items.len(), &l1_thms));
+
+    // L2: translate every function, then derive the per-function refines
+    // theorems (which execute calls, so they need the complete contexts).
     let trials = if opts.l2_trials == 0 { 80 } else { opts.l2_trials };
-    let (l2ctx, l2_thms) = crate::l2::l2_program(&cx, typed, &l1ctx, trials, opts.seed)
-        .map_err(|e| PipelineError::L2(e.to_string()))?;
+    let l2_start = Instant::now();
+    let (l2_translated, l2_pool_a) = par_map(&typed.functions, workers, |_, f| {
+        crate::l2::l2_function(typed, f).map(|fun| (f.name.clone(), fun))
+    });
+    let mut l2ctx = ProgramCtx {
+        tenv: l1ctx.tenv.clone(),
+        globals: l1ctx.globals.clone(),
+        ..ProgramCtx::default()
+    };
+    for r in l2_translated {
+        let (name, fun) = r.map_err(|e| PipelineError::L2(e.to_string()))?;
+        l2ctx.fns.insert(name, fun);
+    }
+    let heap_types = crate::testing::heap_types_of(&l1ctx.tenv, &l1ctx);
+    let (l2_tested, l2_pool_b) = par_map(&typed.functions, workers, |_, f| {
+        crate::l2::l2_fn_theorem(&cx, &l2ctx, &l1ctx, &heap_types, &f.name, trials, opts.seed)
+            .map(|thm| (f.name.clone(), thm))
+    });
+    let mut l2_thms: Vec<(String, Thm)> = Vec::new();
+    for r in l2_tested {
+        l2_thms.push(r.map_err(|e| PipelineError::L2(e.to_string()))?);
+    }
+    let l2_pool = PoolStats {
+        workers: l2_pool_a.workers.max(l2_pool_b.workers),
+        busy: l2_pool_a.busy + l2_pool_b.busy,
+        wall: l2_start.elapsed(),
+    };
+    phases.push(phase_stat("l2", l2_pool, typed.functions.len(), &l2_thms));
+
+    // HL: independent per-function jobs; concrete-kept functions only get
+    // their abstract call sites wrapped (no theorem).
     let hl_opts = heapabs::HlOptions {
         concrete_fns: opts.concrete_fns.clone(),
     };
-    let (hlctx, hl_thms) = heapabs::hl_program(&cx, &l2ctx, &hl_opts)
-        .map_err(|e| PipelineError::Hl(e.to_string()))?;
+    let hl_items: Vec<(&String, &monadic::MonadicFn)> = l2ctx.fns.iter().collect();
+    let (hl_results, hl_pool) = par_map(&hl_items, workers, |_, (name, f)| {
+        if hl_opts.concrete_fns.contains(*name) {
+            Ok(((*name).clone(), heapabs::hl_keep_concrete(f, &hl_opts), None))
+        } else {
+            heapabs::hl_function(&cx, f, &hl_opts)
+                .map(|(fun, thm)| ((*name).clone(), fun, Some(thm)))
+        }
+    });
+    let mut hlctx = ProgramCtx {
+        tenv: l2ctx.tenv.clone(),
+        globals: l2ctx.globals.clone(),
+        ..ProgramCtx::default()
+    };
+    let mut hl_thms: Vec<(String, Thm)> = Vec::new();
+    for r in hl_results {
+        let (name, fun, thm) = r.map_err(|e| PipelineError::Hl(e.to_string()))?;
+        hlctx.fns.insert(name.clone(), fun);
+        if let Some(thm) = thm {
+            hl_thms.push((name, thm));
+        }
+    }
+    phases.push(phase_stat("hl", hl_pool, hl_items.len(), &hl_thms));
+
+    // WA: scheduled over the call graph (a caller's job never starts
+    // before its callees'), so downstream per-function work that follows a
+    // function's abstraction — the caller adaptations below, and any
+    // future exec-testing WA rules — can rely on callee results being
+    // final. Non-selected functions pass through unchanged.
     let wa_opts = wordabs::WaOptions {
         abstract_fns: match &opts.word_abstract_fns {
             Some(s) => Some(s.clone()),
@@ -207,20 +373,96 @@ pub fn translate_program(
         custom_rules: opts.custom_word_rules.clone(),
         custom_trials: 1000,
     };
-    let (mut wactx, mut wa_thms, check_ctx) = wordabs::wa_program(&cx, &hlctx, &wa_opts)
-        .map_err(|e| PipelineError::Wa(e.to_string()))?;
-    // Concrete-kept functions calling word-abstracted callees need their
-    // call sites adapted to the abstract calling convention (the value
-    // side of Sec 4.6's `exec_abstract`); each adaptation carries an
-    // exec-tested refines theorem against the pre-adaptation body.
-    adapt_concrete_callers(
-        &check_ctx,
-        &hlctx,
-        &mut wactx,
-        &mut wa_thms,
-        opts.seed,
-    )
-    .map_err(PipelineError::Wa)?;
+    let check_ctx = wordabs::wa_signatures(&cx, &hlctx, &wa_opts);
+    let wa_items: Vec<(&String, &monadic::MonadicFn)> = hlctx.fns.iter().collect();
+    let index: std::collections::BTreeMap<&str, usize> = wa_items
+        .iter()
+        .enumerate()
+        .map(|(i, (n, _))| (n.as_str(), i))
+        .collect();
+    let call_graph = hlctx.call_graph();
+    let deps: Vec<Vec<usize>> = wa_items
+        .iter()
+        .map(|(n, _)| {
+            call_graph[n.as_str()]
+                .iter()
+                .filter_map(|c| index.get(c.as_str()).copied())
+                .collect()
+        })
+        .collect();
+    let (wa_results, wa_pool) = run_dag(wa_items.len(), &deps, workers, |i| {
+        let (name, f) = wa_items[i];
+        if wa_opts.selects(name) {
+            wordabs::wa_function_in(&check_ctx, &hlctx, f, &wa_opts)
+                .map(|(fun, thm)| (name.clone(), fun, Some(thm)))
+        } else {
+            Ok((name.clone(), (*f).clone(), None))
+        }
+    });
+    let mut wactx = ProgramCtx {
+        tenv: hlctx.tenv.clone(),
+        globals: hlctx.globals.clone(),
+        ..ProgramCtx::default()
+    };
+    let mut wa_thms: Vec<(String, Thm)> = Vec::new();
+    for r in wa_results {
+        let (name, fun, thm) = r.map_err(|e: wordabs::WaError| PipelineError::Wa(e.to_string()))?;
+        wactx.fns.insert(name.clone(), fun);
+        if let Some(thm) = thm {
+            wa_thms.push((name, thm));
+        }
+    }
+    phases.push(phase_stat("wa", wa_pool, wa_items.len(), &wa_thms));
+
+    // Caller adaptation: rewrite non-abstracted callers of abstracted
+    // callees, then exec-test every rewritten function against the *final*
+    // context. All WA theorems exist before any adaptation theorem is
+    // derived (the call-graph ordering the scheduler enforces phase-wide).
+    let adapt_start = Instant::now();
+    let plans = plan_caller_adaptations(&check_ctx, &hlctx, &wactx);
+    for (name, new_body, _) in &plans {
+        let f = wactx
+            .fns
+            .get_mut(name)
+            .expect("planned adaptation of a known function");
+        f.body = new_body.clone();
+    }
+    let adapt_heap_types = crate::testing::heap_types_of(&hlctx.tenv, &hlctx);
+    let (adapt_results, adapt_pool) = par_map(&plans, workers, |_, (name, new_body, old_body)| {
+        let fn_seed = derive_seed(opts.seed, name);
+        kernel::rules::refine::exec_tested(&check_ctx, new_body, old_body, 60, fn_seed, || {
+            test_adapted_fn(&wactx, &hlctx, name, &adapt_heap_types, 60, fn_seed)
+        })
+        .map(|thm| (name.clone(), thm))
+        .map_err(|e| e.to_string())
+    });
+    let mut adapt_thms: Vec<(String, Thm)> = Vec::new();
+    for r in adapt_results {
+        adapt_thms.push(r.map_err(PipelineError::Wa)?);
+    }
+    let adapt_pool = PoolStats {
+        wall: adapt_start.elapsed(),
+        ..adapt_pool
+    };
+    phases.push(phase_stat("adapt", adapt_pool, plans.len(), &adapt_thms));
+    wa_thms.extend(adapt_thms);
+
+    let thms = PhaseTheorems {
+        l1: l1_thms,
+        l2: l2_thms,
+        hl: hl_thms,
+        wa: wa_thms,
+    };
+    let mut stats = PipelineStats {
+        workers,
+        phases,
+        total_wall: total_start.elapsed(),
+        ..PipelineStats::default()
+    };
+    for (_, name, thm) in thms.iter() {
+        *stats.fn_theorems.entry(name.to_owned()).or_insert(0) += 1;
+        *stats.fn_proof_nodes.entry(name.to_owned()).or_insert(0) += thm.proof_size();
+    }
     Ok(Output {
         typed: typed.clone(),
         simpl: sp,
@@ -228,35 +470,41 @@ pub fn translate_program(
         l2: l2ctx,
         hl: hlctx,
         wa: wactx,
-        thms: PhaseTheorems {
-            l1: l1_thms,
-            l2: l2_thms,
-            hl: hl_thms,
-            wa: wa_thms,
-        },
+        thms,
         check_ctx,
+        stats,
     })
 }
 
-/// Rewrites calls from non-abstracted functions to word-abstracted callees:
-/// arguments are lifted with `unat`/`sint`, results re-concretised with
-/// `of_nat`/`of_int`. Each rewritten function gets an `ExecTested` refines
-/// theorem (rewritten body vs. pre-WA body, differentially).
-fn adapt_concrete_callers(
+/// Builds the phase entry from its pool occupancy and theorem list.
+fn phase_stat(
+    name: &'static str,
+    pool: PoolStats,
+    fns: usize,
+    thms: &[(String, Thm)],
+) -> PhaseStat {
+    let proof_nodes = thms.iter().map(|(_, t)| t.proof_size()).sum();
+    PhaseStat::from_pool(name, pool, fns, thms.len(), proof_nodes)
+}
+
+/// Plans the call-site adaptations of non-abstracted callers (Sec 4.6's
+/// value direction): for every function outside the `fn_abs` table whose
+/// body calls an abstracted callee, computes the rewritten body — arguments
+/// lifted with `unat`/`sint`, results re-concretised with
+/// `of_nat`/`of_int`. Pure: no context mutation, no testing. Returns
+/// `(name, new_body, old_body)` in name order, changed functions only.
+fn plan_caller_adaptations(
     cx: &CheckCtx,
     hlctx: &ProgramCtx,
-    wactx: &mut ProgramCtx,
-    wa_thms: &mut Vec<(String, Thm)>,
-    seed: u64,
-) -> Result<(), String> {
+    wactx: &ProgramCtx,
+) -> Vec<(String, monadic::Prog, monadic::Prog)> {
     use ir::expr::{CastKind, Expr};
     use ir::ty::{Signedness, Ty};
     use monadic::Prog;
 
-    let abstracted: std::collections::BTreeSet<String> =
-        cx.fn_abs.keys().cloned().collect();
+    let abstracted: BTreeSet<String> = cx.fn_abs.keys().cloned().collect();
     if abstracted.is_empty() {
-        return Ok(());
+        return Vec::new();
     }
     let lift_arg = |a: &Expr, conc_ty: &Ty| -> Expr {
         match conc_ty {
@@ -268,7 +516,7 @@ fn adapt_concrete_callers(
     let rewrite_calls = |p: &Prog, hl_f: &dyn Fn(&str) -> Option<monadic::MonadicFn>| -> Prog {
         fn go(
             p: &Prog,
-            abstracted: &std::collections::BTreeSet<String>,
+            abstracted: &BTreeSet<String>,
             hl_f: &dyn Fn(&str) -> Option<monadic::MonadicFn>,
             lift_arg: &dyn Fn(&Expr, &Ty) -> Expr,
         ) -> Prog {
@@ -343,39 +591,19 @@ fn adapt_concrete_callers(
         go(p, &abstracted, hl_f, &lift_arg)
     };
 
-    let names: Vec<String> = wactx
+    wactx
         .fns
-        .keys()
-        .filter(|n| !abstracted.contains(*n))
-        .cloned()
-        .collect();
-    for name in names {
-        let old = wactx.fns[&name].clone();
-        let new_body = rewrite_calls(&old.body, &|f| hlctx.fns.get(f).cloned());
-        if new_body == old.body {
-            continue;
-        }
-        let mut updated = old.clone();
-        updated.body = new_body.clone();
-        wactx.fns.insert(name.clone(), updated);
-        // Differential evidence: the adapted function (in the final ctx)
-        // behaves like the pre-WA function (in the HL ctx).
-        let wactx_snapshot = wactx.clone();
-        let heap_types = crate::testing::heap_types_of(&hlctx.tenv, hlctx);
-        let thm = kernel::rules::refine::exec_tested(
-            cx,
-            &new_body,
-            &old.body,
-            60,
-            seed,
-            || {
-                test_adapted_fn(&wactx_snapshot, hlctx, &name, &heap_types, 60, seed)
-            },
-        )
-        .map_err(|e| e.to_string())?;
-        wa_thms.push((name, thm));
-    }
-    Ok(())
+        .iter()
+        .filter(|(name, _)| !abstracted.contains(*name))
+        .filter_map(|(name, old)| {
+            let new_body = rewrite_calls(&old.body, &|f| hlctx.fns.get(f).cloned());
+            if new_body == old.body {
+                None
+            } else {
+                Some((name.clone(), new_body, old.body.clone()))
+            }
+        })
+        .collect()
 }
 
 /// Differential test for an adapted concrete caller: final-level run vs

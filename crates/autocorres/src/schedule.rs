@@ -1,0 +1,357 @@
+//! The work-scheduling layer: std-only scoped-thread pools for the
+//! per-function pipeline phases.
+//!
+//! Two primitives:
+//!
+//! * [`par_map`] — an order-preserving parallel map for phases whose
+//!   per-function jobs are independent (L1, L2, HL, the adaptation tests).
+//! * [`run_dag`] — a dependency-respecting scheduler for phases where a
+//!   function's job must not start before its callees' jobs finish (the WA
+//!   phase, whose call-graph ordering `adapt_concrete_callers` and mixed
+//!   level calls induce).
+//!
+//! Both run jobs inline on the caller's thread when `workers <= 1`, so the
+//! sequential pipeline and the parallel pipeline execute the *same*
+//! closures — byte-identical output is then a property of the closures
+//! (per-function seeds, name-keyed result collection), not of scheduling
+//! luck. Both report [`PoolStats`] for the utilization numbers in
+//! [`crate::stats::PipelineStats`].
+
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Worker-pool occupancy of one phase.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PoolStats {
+    /// Workers the phase ran with.
+    pub workers: usize,
+    /// Sum of per-worker busy time.
+    pub busy: Duration,
+    /// Wall-clock time of the phase.
+    pub wall: Duration,
+}
+
+impl PoolStats {
+    /// Fraction of worker capacity spent busy, in `[0, 1]`.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        let capacity = self.wall.as_secs_f64() * self.workers.max(1) as f64;
+        if capacity <= 0.0 {
+            0.0
+        } else {
+            (self.busy.as_secs_f64() / capacity).min(1.0)
+        }
+    }
+}
+
+/// Applies `job` to every item index, returning results in item order.
+///
+/// With `workers <= 1` the jobs run inline, in order, on the calling
+/// thread. Otherwise `workers` scoped threads claim indices from a shared
+/// counter; results land in their input slot, so the output order (and any
+/// fold over it, e.g. first-error selection) is independent of thread
+/// interleaving.
+pub fn par_map<T, R, F>(items: &[T], workers: usize, job: F) -> (Vec<R>, PoolStats)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let start = Instant::now();
+    let workers = workers.clamp(1, items.len().max(1));
+    if workers <= 1 {
+        let out: Vec<R> = items.iter().enumerate().map(|(i, t)| job(i, t)).collect();
+        let wall = start.elapsed();
+        return (
+            out,
+            PoolStats {
+                workers: 1,
+                busy: wall,
+                wall,
+            },
+        );
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    let mut busy = Duration::ZERO;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let t0 = Instant::now();
+                    let mut mine: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        mine.push((i, job(i, item)));
+                    }
+                    (mine, t0.elapsed())
+                })
+            })
+            .collect();
+        for h in handles {
+            let (mine, worker_busy) = h.join().expect("pool worker panicked");
+            busy += worker_busy;
+            for (i, r) in mine {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    let out: Vec<R> = slots
+        .into_iter()
+        .map(|s| s.expect("every index claimed exactly once"))
+        .collect();
+    (
+        out,
+        PoolStats {
+            workers,
+            busy,
+            wall: start.elapsed(),
+        },
+    )
+}
+
+/// Shared scheduling state of [`run_dag`].
+struct DagState {
+    /// Unresolved dependency count per node; `usize::MAX` marks scheduled.
+    indegree: Vec<usize>,
+    /// Min-heap of ready node indices (lowest index first, so the
+    /// sequential path and tie-breaks are deterministic).
+    ready: BinaryHeap<std::cmp::Reverse<usize>>,
+    running: usize,
+    finished: usize,
+}
+
+impl DagState {
+    /// When no node is ready but work remains and nothing is running, the
+    /// dependency graph has a cycle (e.g. mutually recursive functions).
+    /// Break it deterministically: force-ready the lowest-index blocked
+    /// node. Jobs must therefore tolerate running before such a callee —
+    /// the pipeline guarantees this by testing against complete contexts.
+    fn break_cycle_if_stuck(&mut self, n: usize) {
+        if !self.ready.is_empty() || self.running > 0 || self.finished >= n {
+            return;
+        }
+        if let Some(i) = (0..n).find(|&i| self.indegree[i] != usize::MAX) {
+            self.indegree[i] = usize::MAX;
+            self.ready.push(std::cmp::Reverse(i));
+        }
+    }
+}
+
+/// Runs one job per node of a dependency graph, never starting a node
+/// before all of `deps[node]` have finished. Results are returned in node
+/// order. Ready nodes are dispatched lowest-index-first; with
+/// `workers <= 1` this degenerates to a deterministic topological order on
+/// the calling thread.
+///
+/// Cycles (legal in C call graphs: recursion) are broken deterministically
+/// at the lowest-index stuck node rather than deadlocking.
+///
+/// # Panics
+///
+/// Panics if `deps.len() != n` or an edge index is out of range.
+pub fn run_dag<R, F>(n: usize, deps: &[Vec<usize>], workers: usize, job: F) -> (Vec<R>, PoolStats)
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    assert_eq!(deps.len(), n, "run_dag: deps length mismatch");
+    let start = Instant::now();
+    // Reverse adjacency: which nodes each node unblocks.
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut indegree = vec![0usize; n];
+    for (i, ds) in deps.iter().enumerate() {
+        for &d in ds {
+            assert!(d < n, "run_dag: dependency index out of range");
+            if d == i {
+                continue; // self-recursion imposes no ordering
+            }
+            dependents[d].push(i);
+            indegree[i] += 1;
+        }
+    }
+    let mut state = DagState {
+        indegree,
+        ready: (0..n)
+            .filter(|&i| deps[i].iter().all(|&d| d == i))
+            .map(std::cmp::Reverse)
+            .collect(),
+        running: 0,
+        finished: 0,
+    };
+    for std::cmp::Reverse(i) in state.ready.iter().copied().collect::<Vec<_>>() {
+        state.indegree[i] = usize::MAX;
+    }
+    let workers = workers.clamp(1, n.max(1));
+    if workers <= 1 {
+        let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+        out.resize_with(n, || None);
+        while state.finished < n {
+            state.break_cycle_if_stuck(n);
+            let std::cmp::Reverse(i) = state
+                .ready
+                .pop()
+                .expect("a node is always ready after cycle breaking");
+            out[i] = Some(job(i));
+            state.finished += 1;
+            for &dep in &dependents[i] {
+                if state.indegree[dep] != usize::MAX {
+                    state.indegree[dep] -= 1;
+                    if state.indegree[dep] == 0 {
+                        state.indegree[dep] = usize::MAX;
+                        state.ready.push(std::cmp::Reverse(dep));
+                    }
+                }
+            }
+        }
+        let wall = start.elapsed();
+        let out: Vec<R> = out
+            .into_iter()
+            .map(|s| s.expect("every node scheduled"))
+            .collect();
+        return (
+            out,
+            PoolStats {
+                workers: 1,
+                busy: wall,
+                wall,
+            },
+        );
+    }
+    let shared = Mutex::new(state);
+    let cond = Condvar::new();
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let mut busy = Duration::ZERO;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let t0 = Instant::now();
+                    let mut mine: Vec<(usize, R)> = Vec::new();
+                    let mut guard = shared.lock().expect("dag lock poisoned");
+                    loop {
+                        if guard.finished >= n {
+                            break;
+                        }
+                        guard.break_cycle_if_stuck(n);
+                        let Some(std::cmp::Reverse(i)) = guard.ready.pop() else {
+                            guard = cond.wait(guard).expect("dag lock poisoned");
+                            continue;
+                        };
+                        guard.running += 1;
+                        drop(guard);
+                        let r = job(i);
+                        mine.push((i, r));
+                        guard = shared.lock().expect("dag lock poisoned");
+                        guard.running -= 1;
+                        guard.finished += 1;
+                        for &dep in &dependents[i] {
+                            if guard.indegree[dep] != usize::MAX {
+                                guard.indegree[dep] -= 1;
+                                if guard.indegree[dep] == 0 {
+                                    guard.indegree[dep] = usize::MAX;
+                                    guard.ready.push(std::cmp::Reverse(dep));
+                                }
+                            }
+                        }
+                        cond.notify_all();
+                    }
+                    drop(guard);
+                    cond.notify_all();
+                    (mine, t0.elapsed())
+                })
+            })
+            .collect();
+        for h in handles {
+            let (mine, worker_busy) = h.join().expect("dag worker panicked");
+            busy += worker_busy;
+            for (i, r) in mine {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    let out: Vec<R> = slots
+        .into_iter()
+        .map(|s| s.expect("every node scheduled exactly once"))
+        .collect();
+    (
+        out,
+        PoolStats {
+            workers,
+            busy,
+            wall: start.elapsed(),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for workers in [1, 2, 8] {
+            let (out, stats) = par_map(&items, workers, |i, &x| {
+                assert_eq!(i, x);
+                x * 3
+            });
+            assert_eq!(out, (0..100).map(|x| x * 3).collect::<Vec<_>>());
+            assert!(stats.workers >= 1 && stats.utilization() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        let (out, _) = par_map(&[] as &[u8], 8, |_, &x| x);
+        assert!(out.is_empty());
+        let (out, stats) = par_map(&[7u8], 8, |_, &x| x + 1);
+        assert_eq!(out, vec![8]);
+        assert_eq!(stats.workers, 1, "one item never needs more than one worker");
+    }
+
+    #[test]
+    fn run_dag_respects_dependencies() {
+        // Chain with a diamond: 0 ← 1 ← {2, 3} ← 4.
+        let deps = vec![vec![], vec![0], vec![1], vec![1], vec![2, 3]];
+        let clock = AtomicU64::new(0);
+        for workers in [1, 2, 8] {
+            let (stamps, _) = run_dag(5, &deps, workers, |_| {
+                clock.fetch_add(1, Ordering::SeqCst)
+            });
+            for (i, ds) in deps.iter().enumerate() {
+                for &d in ds {
+                    assert!(
+                        stamps[d] < stamps[i],
+                        "workers={workers}: node {i} ran before its dependency {d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_dag_sequential_is_lowest_index_topological() {
+        let deps = vec![vec![2], vec![], vec![], vec![0, 1]];
+        let order = Mutex::new(Vec::new());
+        run_dag(4, &deps, 1, |i| order.lock().unwrap().push(i));
+        // Ready sets evolve as {1,2} → pop 1 → {2} → pop 2 → {0} → {3}.
+        assert_eq!(*order.lock().unwrap(), vec![1, 2, 0, 3]);
+    }
+
+    #[test]
+    fn run_dag_breaks_cycles_instead_of_deadlocking() {
+        // 0 ⇄ 1 cycle plus 2 depending on both; self-loop on 3.
+        let deps = vec![vec![1], vec![0], vec![0, 1], vec![3]];
+        for workers in [1, 4] {
+            let (out, _) = run_dag(4, &deps, workers, |i| i);
+            assert_eq!(out, vec![0, 1, 2, 3]);
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Pipeline observability: per-phase wall times, theorem and proof-tree
+//! counts, and worker-pool utilization.
+//!
+//! [`PipelineStats`] is threaded through [`crate::Output`] so callers (the
+//! quickstart example, the Table 5 bench) can report where translation time
+//! goes without instrumenting the pipeline themselves. Timings vary run to
+//! run; everything else (function/theorem/proof-node counts) is
+//! deterministic and is compared by the determinism test suite.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+use crate::schedule::PoolStats;
+
+/// One pipeline phase's measurements.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseStat {
+    /// Phase name (`parse`, `l1`, `l2`, `hl`, `wa`, `adapt`).
+    pub name: &'static str,
+    /// Wall-clock time of the phase.
+    pub wall: Duration,
+    /// Sum of per-worker busy time.
+    pub busy: Duration,
+    /// Workers the phase ran with.
+    pub workers: usize,
+    /// Functions processed.
+    pub fns: usize,
+    /// Theorems produced.
+    pub thms: usize,
+    /// Kernel rule applications across the phase's proof trees.
+    pub proof_nodes: usize,
+}
+
+impl PhaseStat {
+    /// Builds the phase entry from pool occupancy plus counts.
+    #[must_use]
+    pub fn from_pool(
+        name: &'static str,
+        pool: PoolStats,
+        fns: usize,
+        thms: usize,
+        proof_nodes: usize,
+    ) -> PhaseStat {
+        PhaseStat {
+            name,
+            wall: pool.wall,
+            busy: pool.busy,
+            workers: pool.workers,
+            fns,
+            thms,
+            proof_nodes,
+        }
+    }
+
+    /// Fraction of worker capacity spent busy, in `[0, 1]`.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        let capacity = self.wall.as_secs_f64() * self.workers.max(1) as f64;
+        if capacity <= 0.0 {
+            0.0
+        } else {
+            (self.busy.as_secs_f64() / capacity).min(1.0)
+        }
+    }
+}
+
+/// Observability of one pipeline run.
+#[derive(Clone, Debug, Default)]
+pub struct PipelineStats {
+    /// Worker count the pipeline was configured with (≥ 1).
+    pub workers: usize,
+    /// Per-phase measurements, in execution order.
+    pub phases: Vec<PhaseStat>,
+    /// Wall-clock time of the whole translation.
+    pub total_wall: Duration,
+    /// Theorems per function, across all phases.
+    pub fn_theorems: BTreeMap<String, usize>,
+    /// Proof-tree nodes (kernel rule applications) per function.
+    pub fn_proof_nodes: BTreeMap<String, usize>,
+}
+
+impl PipelineStats {
+    /// Total theorem count.
+    #[must_use]
+    pub fn total_theorems(&self) -> usize {
+        self.phases.iter().map(|p| p.thms).sum()
+    }
+
+    /// Total proof-tree node count.
+    #[must_use]
+    pub fn total_proof_nodes(&self) -> usize {
+        self.phases.iter().map(|p| p.proof_nodes).sum()
+    }
+
+    /// Overall worker utilization across the timed phases.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        let wall: f64 = self.phases.iter().map(|p| p.wall.as_secs_f64()).sum();
+        let busy: f64 = self.phases.iter().map(|p| p.busy.as_secs_f64()).sum();
+        let capacity = wall * self.workers.max(1) as f64;
+        if capacity <= 0.0 {
+            0.0
+        } else {
+            (busy / capacity).min(1.0)
+        }
+    }
+
+    /// The deterministic subset of the stats (counts, no timings), for
+    /// byte-comparison between sequential and parallel runs.
+    #[must_use]
+    pub fn deterministic_summary(&self) -> String {
+        use fmt::Write as _;
+        let mut s = String::new();
+        for p in &self.phases {
+            let _ = writeln!(
+                s,
+                "{}: fns={} thms={} proof_nodes={}",
+                p.name, p.fns, p.thms, p.proof_nodes
+            );
+        }
+        for (name, n) in &self.fn_theorems {
+            let nodes = self.fn_proof_nodes.get(name).copied().unwrap_or(0);
+            let _ = writeln!(s, "fn {name}: thms={n} proof_nodes={nodes}");
+        }
+        s
+    }
+}
+
+impl fmt::Display for PipelineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "pipeline: {} workers, {:.1?} wall, {} theorems, {} proof nodes, {:.0}% utilization",
+            self.workers,
+            self.total_wall,
+            self.total_theorems(),
+            self.total_proof_nodes(),
+            self.utilization() * 100.0
+        )?;
+        writeln!(
+            f,
+            "  {:<8} {:>10} {:>6} {:>6} {:>12} {:>6}",
+            "phase", "wall", "fns", "thms", "proof nodes", "util"
+        )?;
+        for p in &self.phases {
+            writeln!(
+                f,
+                "  {:<8} {:>10.1?} {:>6} {:>6} {:>12} {:>5.0}%",
+                p.name,
+                p.wall,
+                p.fns,
+                p.thms,
+                p.proof_nodes,
+                p.utilization() * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_is_bounded() {
+        let p = PhaseStat {
+            name: "l1",
+            wall: Duration::from_millis(10),
+            busy: Duration::from_millis(35),
+            workers: 4,
+            fns: 3,
+            thms: 3,
+            proof_nodes: 30,
+        };
+        assert!(p.utilization() <= 1.0 && p.utilization() > 0.8);
+        let empty = PhaseStat::default();
+        assert_eq!(empty.utilization(), 0.0);
+    }
+
+    #[test]
+    fn summary_is_deterministic_text() {
+        let mut s = PipelineStats {
+            workers: 2,
+            ..PipelineStats::default()
+        };
+        s.phases.push(PhaseStat {
+            name: "l1",
+            fns: 2,
+            thms: 2,
+            proof_nodes: 17,
+            ..PhaseStat::default()
+        });
+        s.fn_theorems.insert("f".into(), 4);
+        s.fn_proof_nodes.insert("f".into(), 21);
+        let a = s.deterministic_summary();
+        assert!(a.contains("l1: fns=2 thms=2 proof_nodes=17"));
+        assert!(a.contains("fn f: thms=4 proof_nodes=21"));
+        assert_eq!(a, s.deterministic_summary());
+    }
+}

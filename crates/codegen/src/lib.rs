@@ -73,16 +73,25 @@ pub fn generate(profile: &Profile, seed: u64) -> String {
     // Lines each function template produces (roughly); used to hit the
     // LoC target with the requested number of functions.
     let per_fn = (profile.loc / profile.functions.max(1)).max(4);
+    // Earlier `unsigned → unsigned` functions that caller functions may
+    // call — gives the generated code a real (acyclic) call graph, as in
+    // the systems code the profiles model.
+    let mut callable: Vec<usize> = Vec::new();
     for i in 0..profile.functions {
         let body_budget = per_fn.saturating_sub(3).max(1);
-        let f = gen_function(&mut rng, i, body_budget);
+        let f = gen_function(&mut rng, i, body_budget, &mut callable);
         out.push_str(&f);
         out.push('\n');
     }
     out
 }
 
-fn gen_function(rng: &mut StdRng, idx: usize, body_lines: usize) -> String {
+fn gen_function(
+    rng: &mut StdRng,
+    idx: usize,
+    body_lines: usize,
+    callable: &mut Vec<usize>,
+) -> String {
     let mut s = String::new();
     // Weighted towards the control-flow- and pointer-heavy shapes of
     // systems code (the workloads where the paper's wins are largest);
@@ -90,11 +99,47 @@ fn gen_function(rng: &mut StdRng, idx: usize, body_lines: usize) -> String {
     match rng.gen_range(0..8) {
         0 => gen_arith_fn(rng, idx, body_lines, &mut s),
         1 | 2 => gen_struct_fn(rng, idx, body_lines, &mut s),
-        3 | 4 => gen_loop_fn(rng, idx, body_lines, &mut s),
+        3 | 4 => {
+            gen_loop_fn(rng, idx, body_lines, &mut s);
+            callable.push(idx);
+        }
         5 | 6 => gen_dispatch_fn(rng, idx, body_lines, &mut s),
-        _ => gen_caller_fn(rng, idx, body_lines, &mut s),
+        _ => {
+            gen_caller_fn(rng, idx, body_lines, callable, &mut s);
+            callable.push(idx);
+        }
     }
     s
+}
+
+/// A random acyclic call graph with the same shape the generator produces:
+/// `deps[i]` lists the (lower-index) functions `i` calls. `density` in
+/// `[0, 1]` scales how many callees each function gets. Deterministic in
+/// `(seed, n, density)`; used by the scheduler property tests.
+#[must_use]
+pub fn gen_call_graph(seed: u64, n: usize, density: f64) -> Vec<Vec<usize>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let density = density.clamp(0.0, 1.0);
+    (0..n)
+        .map(|i| {
+            if i == 0 {
+                return Vec::new();
+            }
+            let max_deps = i.min(4);
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let want = (density * (max_deps as f64 + 1.0)) as usize;
+            let mut deps: Vec<usize> = Vec::new();
+            for _ in 0..want.min(max_deps) {
+                // Callees have lower indices, as in `generate` — acyclic.
+                let d = rng.gen_range(0..i);
+                if !deps.contains(&d) {
+                    deps.push(d);
+                }
+            }
+            deps.sort_unstable();
+            deps
+        })
+        .collect()
 }
 
 /// Error-code dispatch: `if`/`return` chains — the shape where the Simpl
@@ -216,14 +261,26 @@ fn gen_loop_fn(rng: &mut StdRng, idx: usize, lines: usize, s: &mut String) {
     let _ = writeln!(s, "}}");
 }
 
-/// Calls into previously generated functions.
-fn gen_caller_fn(rng: &mut StdRng, idx: usize, lines: usize, s: &mut String) {
+/// Calls into previously generated functions: the shared helper plus any
+/// earlier `unsigned → unsigned` function, so the translation unit has a
+/// non-trivial (acyclic) call graph for the scheduler to order.
+fn gen_caller_fn(
+    rng: &mut StdRng,
+    idx: usize,
+    lines: usize,
+    callable: &[usize],
+    s: &mut String,
+) {
     let _ = writeln!(s, "unsigned fn_{idx}(unsigned x) {{");
     let _ = writeln!(s, "    unsigned r = x;");
     for _ in 0..lines.saturating_sub(2).min(6) {
-        // All callers go through the shared helper (stable signature).
         let k = rng.gen_range(1..50);
-        let _ = writeln!(s, "    r = r + helper(r + {k}u);");
+        if !callable.is_empty() && rng.gen_range(0..3) == 0 {
+            let callee = callable[rng.gen_range(0..callable.len())];
+            let _ = writeln!(s, "    r = r ^ fn_{callee}(r % {k}u + 1u);");
+        } else {
+            let _ = writeln!(s, "    r = r + helper(r + {k}u);");
+        }
     }
     let _ = writeln!(s, "    return r;");
     let _ = writeln!(s, "}}");
@@ -255,6 +312,19 @@ mod tests {
                 p.loc
             );
         }
+    }
+
+    #[test]
+    fn call_graph_is_acyclic_and_deterministic() {
+        let g = gen_call_graph(9, 50, 0.6);
+        assert_eq!(g, gen_call_graph(9, 50, 0.6));
+        for (i, deps) in g.iter().enumerate() {
+            for &d in deps {
+                assert!(d < i, "edge {i} → {d} is not toward a lower index");
+            }
+        }
+        assert!(g.iter().any(|d| !d.is_empty()), "graph has no edges at all");
+        assert!(gen_call_graph(9, 50, 0.0).iter().all(Vec::is_empty));
     }
 
     #[test]

@@ -85,11 +85,7 @@ pub fn hl_program(
     let mut thms = Vec::new();
     for (name, f) in &l2ctx.fns {
         if opts.concrete_fns.contains(name) {
-            // Kept at the byte level; calls into *abstracted* functions go
-            // through `exec_abstract` (the analogous direction of Sec 4.6).
-            let mut kept = f.clone();
-            kept.body = wrap_abstract_calls(&kept.body, opts);
-            out.fns.insert(name.clone(), kept);
+            out.fns.insert(name.clone(), hl_keep_concrete(f, opts));
             continue;
         }
         let (fun, thm) = hl_function(cx, f, opts)?;
@@ -97,6 +93,17 @@ pub fn hl_program(
         thms.push((name.clone(), thm));
     }
     Ok((out, thms))
+}
+
+/// The HL treatment of a concrete-kept function: the body stays at the
+/// byte level, with calls into *abstracted* callees routed through
+/// `exec_abstract` markers (the analogous direction of Sec 4.6). No theorem
+/// is produced — the function is not abstracted.
+#[must_use]
+pub fn hl_keep_concrete(f: &MonadicFn, opts: &HlOptions) -> MonadicFn {
+    let mut kept = f.clone();
+    kept.body = wrap_abstract_calls(&kept.body, opts);
+    kept
 }
 
 /// Wraps calls from byte-level code to heap-abstracted callees in

@@ -53,3 +53,19 @@ pub use ty::{Signedness, StructDef, StructField, Ty, TypeEnv, Width};
 pub use update::Update;
 pub use value::{Ptr, Value};
 pub use word::Word;
+
+// The parallel pipeline shares programs, states, and values across scoped
+// worker threads by reference. These types must stay `Send + Sync` (no
+// interior mutability, no `Rc`); the assertion turns an accidental
+// regression into a compile error at the source instead of a distant
+// trait-bound failure in the scheduler.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Expr>();
+    assert_send_sync::<Update>();
+    assert_send_sync::<Value>();
+    assert_send_sync::<State>();
+    assert_send_sync::<Ty>();
+    assert_send_sync::<TypeEnv>();
+    assert_send_sync::<GuardKind>();
+};

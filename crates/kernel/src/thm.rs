@@ -331,3 +331,109 @@ pub fn check(thm: &Thm, cx: &CheckCtx) -> Result<(), KernelError> {
             msg,
         })
 }
+
+/// Statistics of a [`check_all`] replay run.
+#[derive(Clone, Debug, Default)]
+pub struct ReplayReport {
+    /// Theorems replayed.
+    pub checked: usize,
+    /// Total rule applications replayed.
+    pub proof_nodes: usize,
+    /// Workers used.
+    pub workers: usize,
+    /// Sum of per-worker busy time (≤ `workers` × wall time).
+    pub busy: std::time::Duration,
+    /// Wall-clock time of the whole replay.
+    pub wall: std::time::Duration,
+}
+
+/// Replays a batch of theorems through [`check`], fanning the work across
+/// `workers` scoped threads (`workers <= 1` replays on the caller's
+/// thread). Theorems are independent per-function certificates, so replay
+/// order is irrelevant to soundness; on failure the error reported is the
+/// *first* failing theorem in input order, independent of scheduling.
+///
+/// # Errors
+///
+/// Returns the failing theorem's label together with the kernel error.
+pub fn check_all<'a, I>(
+    items: I,
+    cx: &CheckCtx,
+    workers: usize,
+) -> Result<ReplayReport, (String, KernelError)>
+where
+    I: IntoIterator<Item = (&'a str, &'a Thm)>,
+{
+    let items: Vec<(&str, &Thm)> = items.into_iter().collect();
+    let start = std::time::Instant::now();
+    let proof_nodes: usize = items.iter().map(|(_, t)| t.proof_size()).sum();
+    let workers = workers.clamp(1, items.len().max(1));
+    let mut first_failure: Option<(usize, String, KernelError)> = None;
+    if workers <= 1 {
+        for (name, thm) in &items {
+            if let Err(e) = check(thm, cx) {
+                return Err(((*name).to_owned(), e));
+            }
+        }
+        let wall = start.elapsed();
+        return Ok(ReplayReport {
+            checked: items.len(),
+            proof_nodes,
+            workers: 1,
+            busy: wall,
+            wall,
+        });
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut busy = std::time::Duration::ZERO;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let t0 = std::time::Instant::now();
+                    let mut failures: Vec<(usize, String, KernelError)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some((name, thm)) = items.get(i) else {
+                            break;
+                        };
+                        if let Err(e) = check(thm, cx) {
+                            failures.push((i, (*name).to_owned(), e));
+                        }
+                    }
+                    (failures, t0.elapsed())
+                })
+            })
+            .collect();
+        for h in handles {
+            let (failures, worker_busy) = h.join().expect("replay worker panicked");
+            busy += worker_busy;
+            for f in failures {
+                if first_failure.as_ref().is_none_or(|(j, _, _)| f.0 < *j) {
+                    first_failure = Some(f);
+                }
+            }
+        }
+    });
+    match first_failure {
+        Some((_, name, e)) => Err((name, e)),
+        None => Ok(ReplayReport {
+            checked: items.len(),
+            proof_nodes,
+            workers,
+            busy,
+            wall: start.elapsed(),
+        }),
+    }
+}
+
+// The parallel pipeline shares theorems, contexts, and programs across
+// scoped threads; keep the core types `Send + Sync` (no interior
+// mutability, no `Rc`) so that property is load-bearing, not incidental.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Thm>();
+    assert_send_sync::<CheckCtx>();
+    assert_send_sync::<Judgment>();
+    assert_send_sync::<KernelError>();
+};

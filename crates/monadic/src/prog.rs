@@ -293,6 +293,41 @@ impl Prog {
         self.map_exprs(&|e| e.subst_local(name, repl))
     }
 
+    /// The names of all functions this program calls (directly, at any
+    /// nesting depth, including inside `exec_concrete`/`exec_abstract`
+    /// level-mixing markers).
+    pub fn calls_into(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Prog::Return(_)
+            | Prog::Gets(_)
+            | Prog::Modify(_)
+            | Prog::Guard(..)
+            | Prog::Throw(_)
+            | Prog::Fail => {}
+            Prog::Bind(l, _, r) | Prog::BindTuple(l, _, r) | Prog::Catch(l, _, r) => {
+                l.calls_into(out);
+                r.calls_into(out);
+            }
+            Prog::Condition(_, t, e) => {
+                t.calls_into(out);
+                e.calls_into(out);
+            }
+            Prog::While { body, .. } => body.calls_into(out),
+            Prog::Call { fname, .. } => {
+                out.insert(fname.clone());
+            }
+            Prog::ExecConcrete(p) | Prog::ExecAbstract(p) => p.calls_into(out),
+        }
+    }
+
+    /// The set of directly called function names.
+    #[must_use]
+    pub fn calls(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.calls_into(&mut out);
+        out
+    }
+
     /// Does the program contain a `Throw` (outside of `catch` left sides is
     /// not distinguished — used as a conservative check by type
     /// specialisation)?
@@ -599,6 +634,25 @@ impl ProgramCtx {
             st.set_global(n, v.clone());
         }
         st
+    }
+
+    /// The call graph: for every function, the set of functions its body
+    /// calls that are defined in this context (external names are dropped).
+    /// Deterministic by construction (`BTreeMap`/`BTreeSet` ordering).
+    #[must_use]
+    pub fn call_graph(&self) -> BTreeMap<String, BTreeSet<String>> {
+        self.fns
+            .iter()
+            .map(|(name, f)| {
+                let callees: BTreeSet<String> = f
+                    .body
+                    .calls()
+                    .into_iter()
+                    .filter(|c| self.fns.contains_key(c))
+                    .collect();
+                (name.clone(), callees)
+            })
+            .collect()
     }
 }
 

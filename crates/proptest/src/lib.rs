@@ -1,0 +1,132 @@
+//! Vendored offline stand-in for the `proptest` crate.
+//!
+//! The build container has no registry access, so the workspace vendors the
+//! subset of proptest its property tests use (DESIGN.md §6): the
+//! `proptest!`/`prop_assert*`/`prop_assume!`/`prop_oneof!` macros, `Just`,
+//! `any`, range and tuple strategies, `prop_map`, `prop_recursive`,
+//! `collection::vec`, `sample::select`, and the
+//! `TestRunner`/`ValueTree::current` sampling entry point.
+//!
+//! Semantics: each `proptest!` test runs a fixed number of deterministic
+//! cases ([`NUM_CASES`]) from a seed derived from the test name. There is
+//! no shrinking — a failing case panics with the values formatted by the
+//! assertion itself, which is what this workspace's tests rely on.
+
+/// Cases run per `proptest!` test.
+pub const NUM_CASES: u32 = 64;
+
+pub mod strategy;
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::{BoxedStrategy, Strategy};
+    use std::ops::Range;
+
+    /// Vectors of `element` with a length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> BoxedStrategy<Vec<S::Value>> {
+        let lo = len.start;
+        let hi = len.end.max(lo + 1);
+        crate::strategy::from_fn(move |rng| {
+            let n = lo + (rng.next_u64() as usize) % (hi - lo);
+            (0..n).map(|_| element.generate(rng)).collect()
+        })
+    }
+}
+
+/// Sampling strategies.
+pub mod sample {
+    use crate::strategy::BoxedStrategy;
+
+    /// Uniform choice from a fixed list.
+    pub fn select<T: Clone + 'static>(options: Vec<T>) -> BoxedStrategy<T> {
+        assert!(!options.is_empty(), "select: empty options");
+        crate::strategy::from_fn(move |rng| {
+            options[(rng.next_u64() as usize) % options.len()].clone()
+        })
+    }
+}
+
+/// The test-case driver.
+pub mod test_runner {
+    use crate::strategy::TestRng;
+
+    /// Drives strategy sampling (no shrinking, no persistence).
+    pub struct TestRunner {
+        /// The case generator.
+        pub rng: TestRng,
+    }
+
+    impl TestRunner {
+        /// A runner with a fixed seed — every call sees the same stream.
+        #[must_use]
+        pub fn deterministic() -> Self {
+            TestRunner {
+                rng: TestRng::new(0x5EED_CA5E),
+            }
+        }
+    }
+}
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy, ValueTree};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skips the current case when the assumption fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Uniform choice between strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::one_of(vec![
+            $( $crate::strategy::Strategy::boxed($s) ),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(binders in strategies) { body }`
+/// expands to a `#[test]` running [`NUM_CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    ($(#[$attr:meta])* fn $name:ident($($bind:pat in $strat:expr),* $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$attr])*
+        fn $name() {
+            let mut __runner = $crate::test_runner::TestRunner::deterministic();
+            for __case in 0..$crate::NUM_CASES {
+                let _ = __case;
+                $(let $bind = $crate::strategy::Strategy::generate(&($strat), &mut __runner.rng);)*
+                let __case_fn = move || $body;
+                __case_fn();
+            }
+        }
+        $crate::proptest! { $($rest)* }
+    };
+}

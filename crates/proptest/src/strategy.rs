@@ -1,0 +1,278 @@
+//! Strategies: deterministic value generators (no shrinking).
+
+use std::ops::Range;
+use std::sync::Arc;
+
+/// The generator strategies draw from (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator with the given seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A value generator. Unlike upstream proptest there is no shrinking: a
+/// strategy is just a cloneable sampler.
+pub trait Strategy: Clone + 'static {
+    /// The generated type.
+    type Value: Clone + 'static;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<W, F>(self, f: F) -> BoxedStrategy<W>
+    where
+        W: Clone + 'static,
+        F: Fn(Self::Value) -> W + 'static,
+    {
+        from_fn(move |rng| f(self.generate(rng)))
+    }
+
+    /// Recursive strategies: `extend` receives a strategy for the smaller
+    /// structure. `_size`/`_branch` are accepted for API compatibility;
+    /// only `depth` bounds recursion here.
+    fn prop_recursive<F, S2>(self, depth: u32, _size: u32, _branch: u32, extend: F) -> Recursive<Self::Value>
+    where
+        F: Fn(BoxedStrategy<Self::Value>) -> S2 + 'static,
+        S2: Strategy<Value = Self::Value>,
+    {
+        let base = self.boxed();
+        let f = Arc::new(move |inner: BoxedStrategy<Self::Value>| extend(inner).boxed());
+        Recursive { base, extend: f, depth }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value> {
+        BoxedStrategy {
+            sampler: Arc::new(move |rng: &mut TestRng| self.generate(rng)),
+        }
+    }
+
+    /// Samples a value tree (compatibility with the upstream
+    /// `TestRunner`/`ValueTree` entry point; the tree is just the value).
+    ///
+    /// # Errors
+    ///
+    /// Never fails in this implementation.
+    fn new_tree(&self, runner: &mut crate::test_runner::TestRunner) -> Result<Sample<Self::Value>, String> {
+        Ok(Sample(self.generate(&mut runner.rng)))
+    }
+}
+
+/// A sampled value (upstream's `ValueTree`, minus shrinking).
+pub struct Sample<T>(T);
+
+/// Access to a sampled value.
+pub trait ValueTree {
+    /// The sampled type.
+    type Value;
+    /// The sampled value.
+    fn current(&self) -> Self::Value;
+}
+
+impl<T: Clone> ValueTree for Sample<T> {
+    type Value = T;
+    fn current(&self) -> T {
+        self.0.clone()
+    }
+}
+
+/// A type-erased, cloneable strategy.
+pub struct BoxedStrategy<T> {
+    sampler: Arc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            sampler: Arc::clone(&self.sampler),
+        }
+    }
+}
+
+impl<T: Clone + 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.sampler)(rng)
+    }
+}
+
+/// Builds a strategy from a sampling closure.
+pub fn from_fn<T: Clone + 'static>(f: impl Fn(&mut TestRng) -> T + 'static) -> BoxedStrategy<T> {
+    BoxedStrategy { sampler: Arc::new(f) }
+}
+
+/// Uniform choice among strategies (the `prop_oneof!` backend).
+pub fn one_of<T: Clone + 'static>(options: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+    assert!(!options.is_empty(), "one_of: empty options");
+    from_fn(move |rng| {
+        let i = (rng.next_u64() as usize) % options.len();
+        options[i].generate(rng)
+    })
+}
+
+/// A recursive strategy (see [`Strategy::prop_recursive`]).
+pub struct Recursive<T> {
+    base: BoxedStrategy<T>,
+    extend: Arc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+    depth: u32,
+}
+
+impl<T> Clone for Recursive<T> {
+    fn clone(&self) -> Self {
+        Recursive {
+            base: self.base.clone(),
+            extend: Arc::clone(&self.extend),
+            depth: self.depth,
+        }
+    }
+}
+
+impl<T: Clone + 'static> Strategy for Recursive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        // Shape mixing: deeper levels sometimes stop early so leaves and
+        // shallow structures appear at every size (upstream's size budget).
+        if self.depth == 0 || rng.next_u64().is_multiple_of(4) {
+            return self.base.generate(rng);
+        }
+        let inner = Recursive {
+            base: self.base.clone(),
+            extend: Arc::clone(&self.extend),
+            depth: self.depth - 1,
+        }
+        .boxed();
+        (self.extend)(inner).generate(rng)
+    }
+}
+
+/// A constant strategy.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Clone + 'static {
+    /// Draws a uniform value of the type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*}
+}
+impl_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The full-range strategy of a primitive type.
+#[must_use]
+pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+    from_fn(T::arbitrary)
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            #[allow(
+                clippy::cast_possible_truncation,
+                clippy::cast_possible_wrap,
+                clippy::cast_sign_loss,
+                clippy::cast_lossless
+            )]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "range strategy: empty range");
+                let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                let k = u128::from(rng.next_u64()) % span;
+                ((self.start as i128) + (k as i128)) as $t
+            }
+        }
+    )*}
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_and_maps_compose() {
+        let mut rng = TestRng::new(1);
+        let s = (0u32..10).prop_map(|v| v * 2);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!(v < 20 && v % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn recursion_terminates() {
+        #[derive(Clone, Debug)]
+        enum T {
+            Leaf(u32),
+            Node(Box<T>, Box<T>),
+        }
+        fn depth(t: &T) -> u32 {
+            match t {
+                T::Leaf(_) => 0,
+                T::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let leaf = (0u32..5).prop_map(T::Leaf);
+        let s = leaf.prop_recursive(3, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| T::Node(Box::new(a), Box::new(b)))
+        });
+        let mut rng = TestRng::new(2);
+        for _ in 0..50 {
+            assert!(depth(&s.generate(&mut rng)) <= 3);
+        }
+    }
+}

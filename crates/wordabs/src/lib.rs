@@ -109,17 +109,7 @@ pub fn wa_program(
     hlctx: &ProgramCtx,
     opts: &WaOptions,
 ) -> R<WaProgram> {
-    // First pass: signatures of all abstracted functions.
-    let mut cx = cx.clone();
-    for (name, f) in &hlctx.fns {
-        if !selected(opts, name) {
-            continue;
-        }
-        let param_fs = f.params.iter().map(|(_, t)| AbsFun::for_ty(t)).collect();
-        let rx = AbsFun::for_ty(&f.ret_ty);
-        cx.fn_abs
-            .insert(name.clone(), (param_fs, rx, AbsFun::Id));
-    }
+    let cx = wa_signatures(cx, hlctx, opts);
     let mut out = ProgramCtx {
         tenv: hlctx.tenv.clone(),
         globals: hlctx.globals.clone(),
@@ -139,9 +129,36 @@ pub fn wa_program(
 }
 
 fn selected(opts: &WaOptions, name: &str) -> bool {
-    opts.abstract_fns
-        .as_ref()
-        .is_none_or(|s| s.contains(name))
+    opts.selects(name)
+}
+
+impl WaOptions {
+    /// Is `name` selected for word abstraction under these options?
+    #[must_use]
+    pub fn selects(&self, name: &str) -> bool {
+        self.abstract_fns
+            .as_ref()
+            .is_none_or(|s| s.contains(name))
+    }
+}
+
+/// The signature pass of [`wa_program`]: extends the checking context's
+/// `fn_abs` table with the parameter/return abstraction functions of every
+/// selected function, so per-function abstraction (and cross-function call
+/// rules) can run in any order afterwards.
+#[must_use]
+pub fn wa_signatures(cx: &CheckCtx, hlctx: &ProgramCtx, opts: &WaOptions) -> CheckCtx {
+    let mut cx = cx.clone();
+    for (name, f) in &hlctx.fns {
+        if !opts.selects(name) {
+            continue;
+        }
+        let param_fs = f.params.iter().map(|(_, t)| AbsFun::for_ty(t)).collect();
+        let rx = AbsFun::for_ty(&f.ret_ty);
+        cx.fn_abs
+            .insert(name.clone(), (param_fs, rx, AbsFun::Id));
+    }
+    cx
 }
 
 /// Abstracts one function (no surrounding program — calls cannot be

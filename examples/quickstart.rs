@@ -9,7 +9,11 @@ fn main() {
     let src = "int max(int a, int b) {\n    if (a < b)\n        return b;\n    return a;\n}\n";
     println!("C source (Fig 2):\n{src}");
 
-    let out = translate(src, &Options::default()).expect("pipeline runs");
+    let opts = Options {
+        workers: 4,
+        ..Options::default()
+    };
+    let out = translate(src, &opts).expect("pipeline runs");
 
     println!("── parser output (Simpl, the trusted literal translation) ──");
     println!("{}", out.simpl.function("max").unwrap());
@@ -38,8 +42,13 @@ fn main() {
         }
     }
 
-    out.check_all().expect("every theorem replays through the checker");
-    println!("\nAll {} rule applications replayed by the proof checker ✓", out.total_proof_size());
+    let report = out
+        .check_all_report(opts.workers)
+        .expect("every theorem replays through the checker");
+    println!(
+        "\n{} theorems ({} rule applications) replayed by the proof checker on {} worker(s) ✓",
+        report.checked, report.proof_nodes, report.workers
+    );
 
     let pm = out.parser_metrics();
     let om = out.output_metrics();
@@ -47,4 +56,7 @@ fn main() {
         "spec size: parser {} lines / {} nodes → AutoCorres {} lines / {} nodes",
         pm.lines, pm.term_size, om.lines, om.term_size
     );
+
+    println!("\n── pipeline stats ──");
+    println!("{}", out.stats);
 }

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 gate: what every PR must keep green (see ROADMAP.md).
+#
+#   scripts/tier1.sh          # build + full test suite
+#   scripts/tier1.sh --lint   # additionally clippy (-D warnings) the
+#                             # crates this PR series touches
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+
+if [[ "${1:-}" == "--lint" ]]; then
+    # Clippy on the crates touched by the parallel-pipeline work; extend
+    # the list as later PRs touch more crates.
+    cargo clippy -q --release \
+        -p autocorres -p kernel -p monadic -p wordabs -p heapabs \
+        -p codegen -p bench \
+        --all-targets -- -D warnings
+fi
+
+echo "tier1: OK"

@@ -2,27 +2,111 @@
 //! study replays; derivations carry real content (sizes); and the kernel
 //! rejects malformed rule applications.
 
-use autocorres::{translate, Options};
+use autocorres::{translate, Options, Output};
 use kernel::{check, CheckCtx};
+
+const CASE_STUDIES: &[(&str, &str)] = &[
+    ("max", casestudies::sources::MAX),
+    ("gcd", casestudies::sources::GCD),
+    ("midpoint", casestudies::sources::MIDPOINT),
+    ("swap", casestudies::sources::SWAP),
+    ("suzuki", casestudies::sources::SUZUKI),
+    ("reverse", casestudies::sources::REVERSE),
+    ("schorr_waite", casestudies::sources::SCHORR_WAITE),
+    ("overflow_idiom", casestudies::sources::OVERFLOW_IDIOM),
+];
+
+/// Replays every theorem in all four `PhaseTheorems` maps individually —
+/// not via `Output::check_all` — so a theorem skipped by an aggregation bug
+/// would still be caught here.
+fn replay_every_map(name: &str, out: &Output) -> usize {
+    let maps = [
+        ("l1", &out.thms.l1),
+        ("l2", &out.thms.l2),
+        ("hl", &out.thms.hl),
+        ("wa", &out.thms.wa),
+    ];
+    let mut replayed = 0;
+    for (phase, thms) in maps {
+        for (fn_name, thm) in thms.iter() {
+            check(thm, &out.check_ctx)
+                .unwrap_or_else(|e| panic!("{name}: {phase} theorem of {fn_name}: {e}"));
+            replayed += 1;
+        }
+    }
+    assert_eq!(
+        replayed,
+        out.thms.len(),
+        "{name}: PhaseTheorems::len disagrees with the four maps"
+    );
+    assert_eq!(
+        replayed,
+        out.thms.iter().count(),
+        "{name}: PhaseTheorems::iter misses theorems"
+    );
+    replayed
+}
 
 #[test]
 fn all_case_study_theorems_replay() {
-    for (name, src) in [
-        ("max", casestudies::sources::MAX),
-        ("gcd", casestudies::sources::GCD),
-        ("midpoint", casestudies::sources::MIDPOINT),
-        ("swap", casestudies::sources::SWAP),
-        ("suzuki", casestudies::sources::SUZUKI),
-        ("reverse", casestudies::sources::REVERSE),
-        ("schorr_waite", casestudies::sources::SCHORR_WAITE),
-        ("overflow_idiom", casestudies::sources::OVERFLOW_IDIOM),
-    ] {
+    for (name, src) in CASE_STUDIES {
         let out = translate(src, &Options::default())
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         out.check_all().unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(
             out.total_proof_size() >= 10,
             "{name}: derivations must be non-trivial"
+        );
+    }
+}
+
+#[test]
+fn every_theorem_in_every_map_replays_individually() {
+    for (name, src) in CASE_STUDIES {
+        let out = translate(src, &Options::default())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let replayed = replay_every_map(name, &out);
+        assert!(replayed > 0, "{name}: no theorems at all");
+    }
+}
+
+#[test]
+fn parallel_replay_covers_every_theorem() {
+    let opts = Options {
+        workers: 4,
+        ..Options::default()
+    };
+    let out = translate(casestudies::sources::REVERSE, &opts).unwrap();
+    let report = out.check_all_report(4).unwrap();
+    assert_eq!(report.checked, out.thms.len());
+    assert_eq!(report.proof_nodes, out.total_proof_size());
+    assert!(report.workers >= 1 && report.workers <= 4);
+    // And the sequential replay agrees.
+    let seq = out.check_all_report(1).unwrap();
+    assert_eq!(seq.checked, report.checked);
+    assert_eq!(seq.proof_nodes, report.proof_nodes);
+}
+
+#[test]
+fn parallel_replay_reports_first_error_in_theorem_order() {
+    // Theorems can't be forged from outside the kernel (LCF), so induce
+    // failures by replaying layout-dependent derivations against a context
+    // without the struct layouts. Whatever fails first sequentially must be
+    // the reported error at every worker count.
+    let out = translate(casestudies::sources::REVERSE, &Options::default()).unwrap();
+    let empty_cx = CheckCtx::default();
+    let items: Vec<(&str, &kernel::Thm)> = out.thms.iter().map(|(_, n, t)| (n, t)).collect();
+    let first_failing = items
+        .iter()
+        .find(|(_, t)| check(t, &empty_cx).is_err())
+        .map(|(n, _)| (*n).to_owned())
+        .expect("some derivation must depend on the layouts");
+    for workers in [1usize, 2, 8] {
+        let err = kernel::check_all(items.iter().copied(), &empty_cx, workers)
+            .expect_err("replay without layouts must fail");
+        assert_eq!(
+            err.0, first_failing,
+            "workers={workers}: error is not the first in theorem order"
         );
     }
 }
