@@ -39,7 +39,7 @@ pub fn l1_function(cx: &CheckCtx, f: &SimplFn) -> Result<L1Fn, KernelError> {
     let body = if f.ret_ty == Ty::Unit {
         prog.clone()
     } else {
-        Prog::then(prog.clone(), Prog::Gets(Expr::Local(RET_VAR.to_owned())))
+        Prog::then(prog.clone(), Prog::Gets(Expr::local(RET_VAR)))
     };
     Ok(L1Fn {
         fun: MonadicFn {

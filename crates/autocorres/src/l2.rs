@@ -210,9 +210,9 @@ pub fn l2_function(tp: &TProgram, f: &TFunDef) -> R<MonadicFn> {
     if !direct {
         // Early returns arrive as tagged exceptions.
         prog = Prog::Catch(
-            Box::new(prog),
+            ir::intern::Interned::new(prog),
             "·rv".to_owned(),
-            Box::new(Prog::ret(Expr::proj(1, Expr::var("·rv")))),
+            ir::intern::Interned::new(Prog::ret(Expr::proj(1, Expr::var("·rv")))),
         );
     }
     let prog = tidy(&prog);
@@ -758,9 +758,9 @@ impl<'a> L2Tr<'a> {
         let mut body_prog = self.tr_stmts(body, body_tail.clone(), Some(&lp))?;
         if has_cont {
             body_prog = Prog::Catch(
-                Box::new(body_prog),
+                ir::intern::Interned::new(body_prog),
                 "·e".to_owned(),
-                Box::new(Prog::cond(
+                ir::intern::Interned::new(Prog::cond(
                     Expr::eq(Expr::proj(0, Expr::var("·e")), Expr::u32(TAG_CONT)),
                     Prog::ret(Expr::proj(1, Expr::var("·e"))),
                     Prog::Throw(Expr::var("·e")),
@@ -776,7 +776,7 @@ impl<'a> L2Tr<'a> {
         let mut loop_prog = Prog::While {
             vars: vars.clone(),
             cond: c,
-            body: Box::new(body_prog.clone()),
+            body: ir::intern::Interned::new(body_prog.clone()),
             init,
         };
         // do/while: run the body once before the loop (its yielded values
@@ -785,9 +785,9 @@ impl<'a> L2Tr<'a> {
             let mut first_prog = self.tr_stmts(first_body, body_tail, Some(&lp))?;
             if has_cont {
                 first_prog = Prog::Catch(
-                    Box::new(first_prog),
+                    ir::intern::Interned::new(first_prog),
                     "·e".to_owned(),
-                    Box::new(Prog::cond(
+                    ir::intern::Interned::new(Prog::cond(
                         Expr::eq(Expr::proj(0, Expr::var("·e")), Expr::u32(TAG_CONT)),
                         Prog::ret(Expr::proj(1, Expr::var("·e"))),
                         Prog::Throw(Expr::var("·e")),
@@ -817,9 +817,9 @@ impl<'a> L2Tr<'a> {
         }
         if has_brk {
             loop_prog = Prog::Catch(
-                Box::new(loop_prog),
+                ir::intern::Interned::new(loop_prog),
                 "·e".to_owned(),
-                Box::new(Prog::cond(
+                ir::intern::Interned::new(Prog::cond(
                     Expr::eq(Expr::proj(0, Expr::var("·e")), Expr::u32(TAG_BRK)),
                     Prog::ret(Expr::proj(1, Expr::var("·e"))),
                     Prog::Throw(Expr::var("·e")),
@@ -857,7 +857,7 @@ fn join_loop(loop_prog: Prog, vars: &[String], k: Prog) -> Prog {
 /// Replaces state-stored local reads by lambda-bound variable reads.
 fn delocal(e: &Expr) -> Expr {
     e.map(&|x| match &x {
-        Expr::Local(n) => Expr::Var(n.clone()),
+        Expr::Local(n) => Expr::Var(*n),
         _ => x,
     })
 }
@@ -917,9 +917,9 @@ fn tidy_once(p: &Prog) -> Prog {
             Prog::cond(c.clone(), t, e)
         }
         Prog::Catch(l, v, r) => Prog::Catch(
-            Box::new(tidy_once(l)),
+            ir::intern::Interned::new(tidy_once(l)),
             v.clone(),
-            Box::new(tidy_once(r)),
+            ir::intern::Interned::new(tidy_once(r)),
         ),
         Prog::While {
             vars,
@@ -929,11 +929,11 @@ fn tidy_once(p: &Prog) -> Prog {
         } => Prog::While {
             vars: vars.clone(),
             cond: cond.clone(),
-            body: Box::new(tidy_once(body)),
+            body: ir::intern::Interned::new(tidy_once(body)),
             init: init.clone(),
         },
-        Prog::ExecConcrete(q) => Prog::ExecConcrete(Box::new(tidy_once(q))),
-        Prog::ExecAbstract(q) => Prog::ExecAbstract(Box::new(tidy_once(q))),
+        Prog::ExecConcrete(q) => Prog::ExecConcrete(ir::intern::Interned::new(tidy_once(q))),
+        Prog::ExecAbstract(q) => Prog::ExecAbstract(ir::intern::Interned::new(tidy_once(q))),
         other => other.clone(),
     }
 }
@@ -963,9 +963,9 @@ fn map_prog(p: &Prog, f: &impl Fn(&Prog) -> Option<Prog>) -> Prog {
             Prog::bind_tuple(map_prog(l, f), vs.clone(), map_prog(r, f))
         }
         Prog::Catch(l, v, r) => Prog::Catch(
-            Box::new(map_prog(l, f)),
+            ir::intern::Interned::new(map_prog(l, f)),
             v.clone(),
-            Box::new(map_prog(r, f)),
+            ir::intern::Interned::new(map_prog(r, f)),
         ),
         Prog::Condition(c, t, e) => Prog::cond(c.clone(), map_prog(t, f), map_prog(e, f)),
         Prog::While {
@@ -976,11 +976,11 @@ fn map_prog(p: &Prog, f: &impl Fn(&Prog) -> Option<Prog>) -> Prog {
         } => Prog::While {
             vars: vars.clone(),
             cond: cond.clone(),
-            body: Box::new(map_prog(body, f)),
+            body: ir::intern::Interned::new(map_prog(body, f)),
             init: init.clone(),
         },
-        Prog::ExecConcrete(q) => Prog::ExecConcrete(Box::new(map_prog(q, f))),
-        Prog::ExecAbstract(q) => Prog::ExecAbstract(Box::new(map_prog(q, f))),
+        Prog::ExecConcrete(q) => Prog::ExecConcrete(ir::intern::Interned::new(map_prog(q, f))),
+        Prog::ExecAbstract(q) => Prog::ExecAbstract(ir::intern::Interned::new(map_prog(q, f))),
         other => other.clone(),
     };
     f(&rebuilt).unwrap_or(rebuilt)
@@ -1025,9 +1025,9 @@ fn dedup_guards(p: &Prog, established: &mut std::collections::BTreeSet<String>) 
             dedup_guards(e, &mut established.clone()),
         ),
         Prog::Catch(l, v, r) => Prog::Catch(
-            Box::new(dedup_guards(l, &mut established.clone())),
+            ir::intern::Interned::new(dedup_guards(l, &mut established.clone())),
             v.clone(),
-            Box::new(dedup_guards(r, &mut std::collections::BTreeSet::new())),
+            ir::intern::Interned::new(dedup_guards(r, &mut std::collections::BTreeSet::new())),
         ),
         Prog::While {
             vars,
@@ -1037,7 +1037,7 @@ fn dedup_guards(p: &Prog, established: &mut std::collections::BTreeSet<String>) 
         } => Prog::While {
             vars: vars.clone(),
             cond: cond.clone(),
-            body: Box::new(dedup_guards(body, &mut std::collections::BTreeSet::new())),
+            body: ir::intern::Interned::new(dedup_guards(body, &mut std::collections::BTreeSet::new())),
             init: init.clone(),
         },
         other => other.clone(),
@@ -1089,7 +1089,7 @@ fn subst_free(p: &Prog, v: &str, e: &Expr) -> Option<Prog> {
                 } else {
                     go(r, v, e, efv)?
                 };
-                Prog::Catch(Box::new(l2), u.clone(), Box::new(r2))
+                Prog::Catch(ir::intern::Interned::new(l2), u.clone(), ir::intern::Interned::new(r2))
             }
             Prog::Condition(c, t, f2) => Prog::cond(
                 subst_expr(c),
@@ -1113,7 +1113,7 @@ fn subst_free(p: &Prog, v: &str, e: &Expr) -> Option<Prog> {
                 Prog::While {
                     vars: vars.clone(),
                     cond: cond2,
-                    body: Box::new(body2),
+                    body: ir::intern::Interned::new(body2),
                     init: init2,
                 }
             }
@@ -1121,8 +1121,8 @@ fn subst_free(p: &Prog, v: &str, e: &Expr) -> Option<Prog> {
                 fname: fname.clone(),
                 args: args.iter().map(subst_expr).collect(),
             },
-            Prog::ExecConcrete(q) => Prog::ExecConcrete(Box::new(go(q, v, e, efv)?)),
-            Prog::ExecAbstract(q) => Prog::ExecAbstract(Box::new(go(q, v, e, efv)?)),
+            Prog::ExecConcrete(q) => Prog::ExecConcrete(ir::intern::Interned::new(go(q, v, e, efv)?)),
+            Prog::ExecAbstract(q) => Prog::ExecAbstract(ir::intern::Interned::new(go(q, v, e, efv)?)),
         })
     }
     go(p, v, e, &efv)

@@ -559,9 +559,9 @@ fn plan_caller_adaptations(
                     go(r, abstracted, hl_f, lift_arg),
                 ),
                 Prog::Catch(l, v, r) => Prog::Catch(
-                    Box::new(go(l, abstracted, hl_f, lift_arg)),
+                    ir::intern::Interned::new(go(l, abstracted, hl_f, lift_arg)),
                     v.clone(),
-                    Box::new(go(r, abstracted, hl_f, lift_arg)),
+                    ir::intern::Interned::new(go(r, abstracted, hl_f, lift_arg)),
                 ),
                 Prog::Condition(c, t, e) => Prog::cond(
                     c.clone(),
@@ -576,14 +576,14 @@ fn plan_caller_adaptations(
                 } => Prog::While {
                     vars: vars.clone(),
                     cond: cond.clone(),
-                    body: Box::new(go(body, abstracted, hl_f, lift_arg)),
+                    body: ir::intern::Interned::new(go(body, abstracted, hl_f, lift_arg)),
                     init: init.clone(),
                 },
                 Prog::ExecConcrete(q) => {
-                    Prog::ExecConcrete(Box::new(go(q, abstracted, hl_f, lift_arg)))
+                    Prog::ExecConcrete(ir::intern::Interned::new(go(q, abstracted, hl_f, lift_arg)))
                 }
                 Prog::ExecAbstract(q) => {
-                    Prog::ExecAbstract(Box::new(go(q, abstracted, hl_f, lift_arg)))
+                    Prog::ExecAbstract(ir::intern::Interned::new(go(q, abstracted, hl_f, lift_arg)))
                 }
                 other => other.clone(),
             }

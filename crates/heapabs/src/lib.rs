@@ -111,7 +111,7 @@ pub fn hl_keep_concrete(f: &MonadicFn, opts: &HlOptions) -> MonadicFn {
 fn wrap_abstract_calls(p: &Prog, opts: &HlOptions) -> Prog {
     match p {
         Prog::Call { fname, .. } if !opts.concrete_fns.contains(fname) => {
-            Prog::ExecAbstract(Box::new(p.clone()))
+            Prog::ExecAbstract(ir::intern::Interned::new(p.clone()))
         }
         Prog::Bind(l, v, r) => Prog::bind(
             wrap_abstract_calls(l, opts),
@@ -124,9 +124,9 @@ fn wrap_abstract_calls(p: &Prog, opts: &HlOptions) -> Prog {
             wrap_abstract_calls(r, opts),
         ),
         Prog::Catch(l, v, r) => Prog::Catch(
-            Box::new(wrap_abstract_calls(l, opts)),
+            ir::intern::Interned::new(wrap_abstract_calls(l, opts)),
             v.clone(),
-            Box::new(wrap_abstract_calls(r, opts)),
+            ir::intern::Interned::new(wrap_abstract_calls(r, opts)),
         ),
         Prog::Condition(c, t, e) => Prog::cond(
             c.clone(),
@@ -141,7 +141,7 @@ fn wrap_abstract_calls(p: &Prog, opts: &HlOptions) -> Prog {
         } => Prog::While {
             vars: vars.clone(),
             cond: cond.clone(),
-            body: Box::new(wrap_abstract_calls(body, opts)),
+            body: ir::intern::Interned::new(wrap_abstract_calls(body, opts)),
             init: init.clone(),
         },
         other => other.clone(),

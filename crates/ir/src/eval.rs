@@ -17,6 +17,7 @@ use bignum::Nat;
 
 use crate::expr::{BinOp, CastKind, Expr, UnOp};
 use crate::mem::Memory;
+use crate::names::Symbol;
 use crate::state::State;
 use crate::ty::TypeEnv;
 use crate::value::{Ptr, Value};
@@ -26,8 +27,8 @@ use crate::word::Word;
 /// environment (needed for layout-dependent operations).
 #[derive(Clone, Debug, Default)]
 pub struct Env {
-    /// Bound variables.
-    pub vars: HashMap<String, Value>,
+    /// Bound variables, keyed by interned name (lookups hash a `u32` id).
+    pub vars: HashMap<Symbol, Value>,
     /// Structure layouts.
     pub tenv: TypeEnv,
 }
@@ -52,13 +53,13 @@ impl Env {
     #[must_use]
     pub fn bind(&self, name: &str, v: Value) -> Env {
         let mut e = self.clone();
-        e.vars.insert(name.to_owned(), v);
+        e.vars.insert(Symbol::intern(name), v);
         e
     }
 
     /// Binds `name` to `v` in place.
     pub fn bind_mut(&mut self, name: &str, v: Value) {
-        self.vars.insert(name.to_owned(), v);
+        self.vars.insert(Symbol::intern(name), v);
     }
 }
 
@@ -110,7 +111,7 @@ pub fn eval(e: &Expr, env: &Env, st: &State) -> Result<Value> {
             .vars
             .get(n)
             .cloned()
-            .ok_or_else(|| EvalError::Unbound(n.clone())),
+            .ok_or_else(|| EvalError::Unbound(n.to_string())),
         Expr::Local(n) => st
             .local(n)
             .cloned()
@@ -484,7 +485,7 @@ mod tests {
             Value::Bool(true)
         );
         // Byte reads are a concrete-level operation.
-        let q = Expr::ReadByte(Box::new(Expr::Lit(Value::Ptr(Ptr::new(0x100, Ty::U8)))));
+        let q = Expr::ReadByte(crate::intern::Interned::new(Expr::Lit(Value::Ptr(Ptr::new(0x100, Ty::U8)))));
         assert!(matches!(
             eval(&q, &env, &st),
             Err(EvalError::WrongStateShape(_))
@@ -508,7 +509,7 @@ mod tests {
             Value::Bool(false)
         );
         assert_eq!(
-            eval(&Expr::PtrAligned(Ty::U32, Box::new(p)), &env, &st).unwrap(),
+            eval(&Expr::PtrAligned(Ty::U32, crate::intern::Interned::new(p)), &env, &st).unwrap(),
             Value::Bool(false)
         );
     }
@@ -522,7 +523,7 @@ mod tests {
             vec![("a".into(), Value::u32(3)), ("b".into(), Value::u32(4))],
         ));
         assert_eq!(ev(&Expr::field(s.clone(), "b")), Value::u32(4));
-        let upd = Expr::UpdateField(Box::new(s), "a".into(), Box::new(Expr::u32(9)));
+        let upd = Expr::UpdateField(crate::intern::Interned::new(s), "a".into(), crate::intern::Interned::new(Expr::u32(9)));
         assert_eq!(ev(&Expr::field(upd, "a")), Value::u32(9));
     }
 

@@ -7,15 +7,27 @@
 //! constrained by the phase (e.g. `ReadHeap` over the byte heap before heap
 //! abstraction, over the typed split heaps afterwards; `Nat`/`Int` literals
 //! and `unat`/`sint` casts only during/after word abstraction).
+//!
+//! Children are hash-consed [`IExpr`] handles (see [`crate::intern`]):
+//! structurally equal subterms share one allocation, `clone()` is a
+//! refcount bump, equality is pointer-first, and the term-size metric reads
+//! cached sizes. Names are interned [`Symbol`]s, so environment lookups
+//! hash a `u32` id instead of a `String`.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
 use bignum::{Int, Nat};
 
+use crate::intern::{Internable, Interned, Interner};
+use crate::names::Symbol;
 use crate::ty::{Signedness, Ty, Width};
 use crate::value::{Ptr, Value};
 use crate::word::Word;
+
+/// An interned (hash-consed) expression handle — the replacement for
+/// `Box<Expr>` in the term representation.
+pub type IExpr = Interned<Expr>;
 
 /// Unary operators.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -99,48 +111,59 @@ pub enum CastKind {
 }
 
 /// A state-dependent expression.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Expr {
     /// A literal value.
     Lit(Value),
     /// A lambda-bound variable (resolved in the environment).
-    Var(String),
+    Var(Symbol),
     /// A state-stored local variable (L1 level, before local-variable
     /// lifting; resolved in the state's local frame).
-    Local(String),
+    Local(Symbol),
     /// A global variable (resolved in the state).
-    Global(String),
+    Global(Symbol),
     /// Typed heap read `read (heap s) p` / `s[p]`: on a concrete state this
     /// decodes bytes at the pointer; on an abstract state it consults the
     /// typed heap for the pointee type.
-    ReadHeap(Ty, Box<Expr>),
+    ReadHeap(Ty, IExpr),
     /// Byte-level heap read (concrete states only).
-    ReadByte(Box<Expr>),
+    ReadByte(IExpr),
     /// `is_valid_τ s p` — on an abstract state the validity function; on a
     /// concrete state, definedness of `heap_lift` at `p` (correct type
     /// tagging + alignment + non-null, Sec 4.2).
-    IsValid(Ty, Box<Expr>),
+    IsValid(Ty, IExpr),
     /// `ptr_aligned p` for the given pointee type.
-    PtrAligned(Ty, Box<Expr>),
+    PtrAligned(Ty, IExpr),
     /// `0 ∉ {p ..+ size τ}`: the object neither contains NULL nor wraps
     /// around the end of the address space.
-    NullFree(Ty, Box<Expr>),
+    NullFree(Ty, IExpr),
     /// Struct field selection on a struct *value*.
-    Field(Box<Expr>, String),
+    Field(IExpr, String),
     /// Functional struct update: `UpdateField(s, f, v)` is `s⦇f := v⦈`.
-    UpdateField(Box<Expr>, String, Box<Expr>),
+    UpdateField(IExpr, String, IExpr),
     /// Unary operation.
-    UnOp(UnOp, Box<Expr>),
+    UnOp(UnOp, IExpr),
     /// Binary operation.
-    BinOp(BinOp, Box<Expr>, Box<Expr>),
+    BinOp(BinOp, IExpr, IExpr),
     /// Conversion.
-    Cast(CastKind, Box<Expr>),
+    Cast(CastKind, IExpr),
     /// Conditional expression.
-    Ite(Box<Expr>, Box<Expr>, Box<Expr>),
+    Ite(IExpr, IExpr, IExpr),
     /// Tuple construction.
     Tuple(Vec<Expr>),
     /// Tuple projection (0-based).
-    Proj(usize, Box<Expr>),
+    Proj(usize, IExpr),
+}
+
+impl Internable for Expr {
+    fn shallow_size(&self) -> usize {
+        self.term_size()
+    }
+
+    fn interner() -> &'static Interner<Expr> {
+        static INTERNER: std::sync::OnceLock<Interner<Expr>> = std::sync::OnceLock::new();
+        INTERNER.get_or_init(Interner::new)
+    }
 }
 
 impl Expr {
@@ -200,32 +223,44 @@ impl Expr {
 
     /// Variable reference.
     #[must_use]
-    pub fn var(name: impl Into<String>) -> Expr {
+    pub fn var(name: impl Into<Symbol>) -> Expr {
         Expr::Var(name.into())
+    }
+
+    /// State-stored local reference.
+    #[must_use]
+    pub fn local(name: impl Into<Symbol>) -> Expr {
+        Expr::Local(name.into())
+    }
+
+    /// Global variable reference.
+    #[must_use]
+    pub fn global(name: impl Into<Symbol>) -> Expr {
+        Expr::Global(name.into())
     }
 
     /// Binary operation.
     #[must_use]
     pub fn binop(op: BinOp, l: Expr, r: Expr) -> Expr {
-        Expr::BinOp(op, Box::new(l), Box::new(r))
+        Expr::BinOp(op, IExpr::new(l), IExpr::new(r))
     }
 
     /// Unary operation.
     #[must_use]
     pub fn unop(op: UnOp, e: Expr) -> Expr {
-        Expr::UnOp(op, Box::new(e))
+        Expr::UnOp(op, IExpr::new(e))
     }
 
     /// Cast.
     #[must_use]
     pub fn cast(kind: CastKind, e: Expr) -> Expr {
-        Expr::Cast(kind, Box::new(e))
+        Expr::Cast(kind, IExpr::new(e))
     }
 
     /// Conditional expression.
     #[must_use]
     pub fn ite(c: Expr, t: Expr, e: Expr) -> Expr {
-        Expr::Ite(Box::new(c), Box::new(t), Box::new(e))
+        Expr::Ite(IExpr::new(c), IExpr::new(t), IExpr::new(e))
     }
 
     /// Conjunction, simplifying the `true` unit.
@@ -262,34 +297,35 @@ impl Expr {
     /// Typed heap read.
     #[must_use]
     pub fn read_heap(ty: Ty, p: Expr) -> Expr {
-        Expr::ReadHeap(ty, Box::new(p))
+        Expr::ReadHeap(ty, IExpr::new(p))
     }
 
     /// Validity of a pointer for a type.
     #[must_use]
     pub fn is_valid(ty: Ty, p: Expr) -> Expr {
-        Expr::IsValid(ty, Box::new(p))
+        Expr::IsValid(ty, IExpr::new(p))
     }
 
     /// Struct field selection.
     #[must_use]
     pub fn field(e: Expr, f: impl Into<String>) -> Expr {
-        Expr::Field(Box::new(e), f.into())
+        Expr::Field(IExpr::new(e), f.into())
     }
 
     /// Tuple projection.
     #[must_use]
     pub fn proj(i: usize, e: Expr) -> Expr {
-        Expr::Proj(i, Box::new(e))
+        Expr::Proj(i, IExpr::new(e))
     }
 
     /// The "concrete-level pointer guard" of the paper's Fig 3:
     /// `ptr_aligned p ∧ 0 ∉ {p ..+ obj_size τ}`.
     #[must_use]
     pub fn c_guard(ty: Ty, p: Expr) -> Expr {
+        let p = IExpr::new(p);
         Expr::and(
-            Expr::PtrAligned(ty.clone(), Box::new(p.clone())),
-            Expr::NullFree(ty, Box::new(p)),
+            Expr::PtrAligned(ty.clone(), p.clone()),
+            Expr::NullFree(ty, p),
         )
     }
 
@@ -305,7 +341,7 @@ impl Expr {
         let mut out = BTreeSet::new();
         self.visit(&mut |e| {
             if let Expr::Var(n) = e {
-                out.insert(n.clone());
+                out.insert(n.to_string());
             }
         });
         out
@@ -317,7 +353,7 @@ impl Expr {
         let mut out = BTreeSet::new();
         self.visit(&mut |e| {
             if let Expr::Local(n) = e {
-                out.insert(n.clone());
+                out.insert(n.to_string());
             }
         });
         out
@@ -354,7 +390,8 @@ impl Expr {
         found
     }
 
-    /// Applies `f` to every subexpression (preorder).
+    /// Applies `f` to every subexpression (preorder). Shared subterms are
+    /// visited once per occurrence (tree semantics, as before interning).
     pub fn visit(&self, f: &mut impl FnMut(&Expr)) {
         f(self);
         match self {
@@ -386,29 +423,63 @@ impl Expr {
     }
 
     /// Rebuilds the expression, transforming each node bottom-up with `f`.
+    ///
+    /// The rewrite is sharing-aware: hash-consed children are memoised on
+    /// node identity, so a subterm occurring many times is transformed once
+    /// (sound because `f` is a pure function of the subterm), and children
+    /// `f` leaves unchanged keep their existing allocation.
     #[must_use]
     pub fn map(&self, f: &impl Fn(Expr) -> Expr) -> Expr {
+        let mut memo: HashMap<usize, IExpr> = HashMap::new();
+        self.map_memo(f, &mut memo)
+    }
+
+    fn map_memo(&self, f: &impl Fn(Expr) -> Expr, memo: &mut HashMap<usize, IExpr>) -> Expr {
         let rebuilt = match self {
             Expr::Lit(_) | Expr::Var(_) | Expr::Local(_) | Expr::Global(_) => self.clone(),
-            Expr::ReadHeap(t, e) => Expr::ReadHeap(t.clone(), Box::new(e.map(f))),
-            Expr::ReadByte(e) => Expr::ReadByte(Box::new(e.map(f))),
-            Expr::IsValid(t, e) => Expr::IsValid(t.clone(), Box::new(e.map(f))),
-            Expr::PtrAligned(t, e) => Expr::PtrAligned(t.clone(), Box::new(e.map(f))),
-            Expr::NullFree(t, e) => Expr::NullFree(t.clone(), Box::new(e.map(f))),
-            Expr::Field(e, n) => Expr::Field(Box::new(e.map(f)), n.clone()),
-            Expr::UpdateField(a, n, b) => {
-                Expr::UpdateField(Box::new(a.map(f)), n.clone(), Box::new(b.map(f)))
-            }
-            Expr::UnOp(op, e) => Expr::UnOp(*op, Box::new(e.map(f))),
-            Expr::BinOp(op, a, b) => Expr::BinOp(*op, Box::new(a.map(f)), Box::new(b.map(f))),
-            Expr::Cast(k, e) => Expr::Cast(k.clone(), Box::new(e.map(f))),
-            Expr::Ite(a, b, c) => {
-                Expr::Ite(Box::new(a.map(f)), Box::new(b.map(f)), Box::new(c.map(f)))
-            }
-            Expr::Tuple(es) => Expr::Tuple(es.iter().map(|e| e.map(f)).collect()),
-            Expr::Proj(i, e) => Expr::Proj(*i, Box::new(e.map(f))),
+            Expr::ReadHeap(t, e) => Expr::ReadHeap(t.clone(), Self::map_child(e, f, memo)),
+            Expr::ReadByte(e) => Expr::ReadByte(Self::map_child(e, f, memo)),
+            Expr::IsValid(t, e) => Expr::IsValid(t.clone(), Self::map_child(e, f, memo)),
+            Expr::PtrAligned(t, e) => Expr::PtrAligned(t.clone(), Self::map_child(e, f, memo)),
+            Expr::NullFree(t, e) => Expr::NullFree(t.clone(), Self::map_child(e, f, memo)),
+            Expr::Field(e, n) => Expr::Field(Self::map_child(e, f, memo), n.clone()),
+            Expr::UpdateField(a, n, b) => Expr::UpdateField(
+                Self::map_child(a, f, memo),
+                n.clone(),
+                Self::map_child(b, f, memo),
+            ),
+            Expr::UnOp(op, e) => Expr::UnOp(*op, Self::map_child(e, f, memo)),
+            Expr::BinOp(op, a, b) => Expr::BinOp(
+                *op,
+                Self::map_child(a, f, memo),
+                Self::map_child(b, f, memo),
+            ),
+            Expr::Cast(k, e) => Expr::Cast(k.clone(), Self::map_child(e, f, memo)),
+            Expr::Ite(a, b, c) => Expr::Ite(
+                Self::map_child(a, f, memo),
+                Self::map_child(b, f, memo),
+                Self::map_child(c, f, memo),
+            ),
+            Expr::Tuple(es) => Expr::Tuple(es.iter().map(|e| e.map_memo(f, memo)).collect()),
+            Expr::Proj(i, e) => Expr::Proj(*i, Self::map_child(e, f, memo)),
         };
         f(rebuilt)
+    }
+
+    /// Rewrites one interned child, memoised on node identity and reusing
+    /// the existing handle when the rewrite is the identity on it.
+    fn map_child(
+        h: &IExpr,
+        f: &impl Fn(Expr) -> Expr,
+        memo: &mut HashMap<usize, IExpr>,
+    ) -> IExpr {
+        if let Some(done) = memo.get(&h.key()) {
+            return done.clone();
+        }
+        let out = h.as_ref().map_memo(f, memo);
+        let out_h = if out == **h { h.clone() } else { IExpr::new(out) };
+        memo.insert(h.key(), out_h.clone());
+        out_h
     }
 
     /// Capture-free substitution of variable `name` by `repl`.
@@ -427,7 +498,7 @@ impl Expr {
     #[must_use]
     pub fn subst_vars(&self, map: &std::collections::HashMap<String, Expr>) -> Expr {
         self.map(&|e| match &e {
-            Expr::Var(n) => map.get(n).cloned().unwrap_or(e),
+            Expr::Var(n) => map.get(n.as_str()).cloned().unwrap_or(e),
             _ => e,
         })
     }
@@ -448,16 +519,27 @@ impl Expr {
     /// they denote in Simpl (`a_' s` — selector, state, application), so
     /// the metric is comparable across levels: after local-variable
     /// lifting the same access is a single bound variable.
+    ///
+    /// O(immediate children): interned children carry their size, so the
+    /// tree is never walked.
     #[must_use]
     pub fn term_size(&self) -> usize {
-        let mut n = 0;
-        self.visit(&mut |e| {
-            n += match e {
-                Expr::Local(_) => 3,
-                _ => 1,
-            }
-        });
-        n
+        match self {
+            Expr::Local(_) => 3,
+            Expr::Lit(_) | Expr::Var(_) | Expr::Global(_) => 1,
+            Expr::ReadHeap(_, e)
+            | Expr::ReadByte(e)
+            | Expr::IsValid(_, e)
+            | Expr::PtrAligned(_, e)
+            | Expr::NullFree(_, e)
+            | Expr::Field(e, _)
+            | Expr::UnOp(_, e)
+            | Expr::Cast(_, e)
+            | Expr::Proj(_, e) => 1 + e.size(),
+            Expr::UpdateField(a, _, b) | Expr::BinOp(_, a, b) => 1 + a.size() + b.size(),
+            Expr::Ite(a, b, c) => 1 + a.size() + b.size() + c.size(),
+            Expr::Tuple(es) => 1 + es.iter().map(Expr::term_size).sum::<usize>(),
+        }
     }
 }
 
@@ -501,7 +583,7 @@ mod tests {
 
     #[test]
     fn local_substitution() {
-        let e = Expr::binop(BinOp::Add, Expr::Local("t".into()), Expr::var("y"));
+        let e = Expr::binop(BinOp::Add, Expr::local("t"), Expr::var("y"));
         let e2 = e.subst_local("t", &Expr::var("t_lifted"));
         assert!(e2.free_vars().contains("t_lifted"));
         assert!(e2.locals_read().is_empty());
@@ -510,10 +592,10 @@ mod tests {
     #[test]
     fn state_dependence() {
         assert!(Expr::read_heap(Ty::U32, Expr::var("p")).reads_state());
-        assert!(Expr::Global("g".into()).reads_state());
+        assert!(Expr::global("g").reads_state());
         assert!(!Expr::var("x").reads_state());
         assert!(Expr::is_valid(Ty::U32, Expr::var("p")).reads_heap());
-        assert!(!Expr::Local("l".into()).reads_heap());
+        assert!(!Expr::local("l").reads_heap());
     }
 
     #[test]
@@ -524,5 +606,26 @@ mod tests {
             Expr::var("y"),
         );
         assert_eq!(e.term_size(), 5);
+    }
+
+    #[test]
+    fn shared_children_are_one_allocation() {
+        let shared = Expr::binop(BinOp::Add, Expr::var("x"), Expr::u32(1));
+        let e = Expr::eq(shared.clone(), shared);
+        let Expr::BinOp(_, a, b) = &e else {
+            panic!("not a binop")
+        };
+        assert!(IExpr::ptr_eq(a, b), "hash-consing must share equal children");
+    }
+
+    #[test]
+    fn map_preserves_untouched_sharing() {
+        let e = Expr::binop(BinOp::Add, Expr::var("x"), Expr::var("y"));
+        let mapped = e.map(&|x| x);
+        let (Expr::BinOp(_, a0, _), Expr::BinOp(_, a1, _)) = (&e, &mapped) else {
+            panic!("not binops")
+        };
+        assert!(IExpr::ptr_eq(a0, a1), "identity map must reuse handles");
+        assert_eq!(e, mapped);
     }
 }

@@ -7,7 +7,7 @@
 use std::fmt;
 
 /// Why a guard was emitted.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum GuardKind {
     /// Signed arithmetic must not overflow.
     SignedOverflow,

@@ -1,0 +1,361 @@
+//! Hash-consed term representation.
+//!
+//! Isabelle's kernel survives AutoCorres-scale workloads (hundreds of
+//! thousands of proof nodes, Table 5) only because it shares terms
+//! aggressively: structurally equal subterms are stored once, so equality
+//! is (mostly) pointer comparison and sizes need no traversal. This module
+//! is the deep-embedding analogue: a concurrent hash-consing table that
+//! stores each distinct node once behind an [`std::sync::Arc`], with its
+//! structural hash and subterm size precomputed at construction.
+//!
+//! [`Interned<T>`] replaces `Box<T>` for the children of [`crate::Expr`]
+//! (and `monadic::Prog`, which implements [`Internable`] in its own crate):
+//!
+//! * `clone()` is a reference-count bump,
+//! * `PartialEq` takes a pointer-equality fast path — two handles produced
+//!   by the same interner are equal iff they are the same allocation — and
+//!   falls back to hash-then-structure comparison only for values that
+//!   bypassed the table (e.g. nodes deserialised or built across interner
+//!   generations in tests),
+//! * the *term size* metric of Table 5 reads the cached size instead of
+//!   walking the tree.
+//!
+//! # Determinism
+//!
+//! The interner never affects observable output: handles carry no identity
+//! visible to `Display`/`Debug`/`Ord`, the table is never iterated, and the
+//! structural hash is computed with a fixed-key hasher
+//! ([`std::collections::hash_map::DefaultHasher`]), so equality decisions
+//! are identical at any worker count. Interning a node that already exists
+//! returns the existing allocation regardless of which thread got there
+//! first — the *content* of a handle is a pure function of the term.
+//!
+//! # Soundness
+//!
+//! Interning is constructor-level sharing only: it changes how terms are
+//! represented, not which terms exist. The LCF kernel's soundness argument
+//! is untouched — `kernel::Thm` remains private and every rule still
+//! validates its side conditions on the (shared) terms it is given.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of independently locked table shards. A small power of two:
+/// enough to keep the per-function worker pool (PR 1) off each other's
+/// locks, small enough that the empty table is negligible.
+const SHARDS: usize = 16;
+
+/// A type whose values can be hash-consed.
+///
+/// `shallow_size` must return the term-size contribution of one node given
+/// that its children are already-interned handles (whose cached sizes it
+/// reads in O(children)); the interner stores the result so `size()` on a
+/// handle never walks the tree.
+pub trait Internable: Hash + Eq + Clone + Send + Sync + 'static {
+    /// Term-size of this node including (cached) child sizes.
+    fn shallow_size(&self) -> usize;
+
+    /// The global interner for this type.
+    fn interner() -> &'static Interner<Self>;
+}
+
+/// An interned node: the value plus its precomputed structural hash and
+/// subterm size.
+#[derive(Debug)]
+pub struct Node<T> {
+    hash: u64,
+    size: usize,
+    val: T,
+}
+
+/// Running counters of one interner (monotonic; never reset).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InternStats {
+    /// Intern calls that found an existing node (sharing wins).
+    pub hits: u64,
+    /// Intern calls that allocated a new node (distinct nodes created).
+    pub misses: u64,
+}
+
+impl InternStats {
+    /// Total intern calls.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Nodes requested per node allocated (`1.0` = no sharing). The
+    /// Table 5 bench reports this as `term_dedup_ratio`.
+    #[must_use]
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.misses == 0 {
+            1.0
+        } else {
+            self.total() as f64 / self.misses as f64
+        }
+    }
+
+    /// Counter-wise difference (for before/after snapshots around a
+    /// pipeline run).
+    #[must_use]
+    pub fn since(&self, earlier: &InternStats) -> InternStats {
+        InternStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+        }
+    }
+}
+
+/// One lock-protected slice of the table: structural hash → bucket of
+/// nodes with that hash, scanned structurally on insert (64-bit collisions
+/// are rare enough that buckets are almost always singletons).
+type Shard<T> = Mutex<HashMap<u64, Vec<Arc<Node<T>>>>>;
+
+/// A concurrent hash-consing table for values of one type.
+///
+/// Sharded `Mutex<HashMap<hash, bucket>>` — no external dependencies.
+pub struct Interner<T> {
+    shards: [Shard<T>; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<T> Default for Interner<T> {
+    fn default() -> Self {
+        Interner::new()
+    }
+}
+
+impl<T> Interner<T> {
+    /// An empty interner.
+    #[must_use]
+    pub fn new() -> Interner<T> {
+        Interner {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Current hit/miss counters.
+    #[must_use]
+    pub fn stats(&self) -> InternStats {
+        InternStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl<T: Internable> Interner<T> {
+    fn intern(&self, val: T) -> Interned<T> {
+        let hash = structural_hash(&val);
+        let shard = &self.shards[(hash as usize) % SHARDS];
+        let mut table = shard.lock().expect("interner shard poisoned");
+        let bucket = table.entry(hash).or_default();
+        if let Some(existing) = bucket.iter().find(|n| n.val == val) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Interned(Arc::clone(existing));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let node = Arc::new(Node {
+            hash,
+            size: val.shallow_size(),
+            val,
+        });
+        bucket.push(Arc::clone(&node));
+        Interned(node)
+    }
+}
+
+/// Structural hash with a fixed-key hasher, so hashes (and therefore the
+/// equality fast path) do not vary run to run. Children that are already
+/// handles contribute their cached hash — hashing any one node is O(its
+/// immediate structure), not O(subtree).
+fn structural_hash<T: Hash>(val: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    val.hash(&mut h);
+    h.finish()
+}
+
+/// A handle to a hash-consed value — the replacement for `Box<T>` in term
+/// representations. Dereferences to `T`; `clone` is a refcount bump;
+/// equality is pointer-first.
+pub struct Interned<T: Internable>(Arc<Node<T>>);
+
+impl<T: Internable> Interned<T> {
+    /// Interns `val`, returning the canonical shared handle.
+    #[must_use]
+    pub fn new(val: T) -> Interned<T> {
+        T::interner().intern(val)
+    }
+
+    /// The cached term size (number of AST nodes, Table 5 metric).
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.0.size
+    }
+
+    /// The cached structural hash.
+    #[must_use]
+    pub fn structural_hash(&self) -> u64 {
+        self.0.hash
+    }
+
+    /// Do two handles point at the same allocation? (Complete for handles
+    /// from the same interner: the table guarantees structurally equal
+    /// values share one node.)
+    #[must_use]
+    pub fn ptr_eq(a: &Interned<T>, b: &Interned<T>) -> bool {
+        Arc::ptr_eq(&a.0, &b.0)
+    }
+
+    /// A stable per-allocation key, usable for memoisation tables keyed on
+    /// node identity (e.g. sharing-aware tree rewrites). Valid only while
+    /// the handle (or any clone) is alive; never serialise it.
+    #[must_use]
+    pub fn key(&self) -> usize {
+        Arc::as_ptr(&self.0) as *const () as usize
+    }
+}
+
+impl<T: Internable> Deref for Interned<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0.val
+    }
+}
+
+impl<T: Internable> AsRef<T> for Interned<T> {
+    fn as_ref(&self) -> &T {
+        &self.0.val
+    }
+}
+
+impl<T: Internable> std::borrow::Borrow<T> for Interned<T> {
+    fn borrow(&self) -> &T {
+        &self.0.val
+    }
+}
+
+impl<T: Internable> Clone for Interned<T> {
+    fn clone(&self) -> Self {
+        Interned(Arc::clone(&self.0))
+    }
+}
+
+impl<T: Internable> PartialEq for Interned<T> {
+    fn eq(&self, other: &Self) -> bool {
+        // Fast path: one allocation per distinct term.
+        if Arc::ptr_eq(&self.0, &other.0) {
+            return true;
+        }
+        // Distinct allocations can only be equal across interner
+        // generations (not produced in normal operation): reject on hash,
+        // confirm structurally.
+        self.0.hash == other.0.hash && self.0.val == other.0.val
+    }
+}
+
+impl<T: Internable> Eq for Interned<T> {}
+
+impl<T: Internable> Hash for Interned<T> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Cached structural hash: hashing a parent node never re-walks
+        // children.
+        state.write_u64(self.0.hash);
+    }
+}
+
+impl<T: Internable + fmt::Debug> fmt::Debug for Interned<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Transparent, like `Box`: the handle is a representation detail.
+        self.0.val.fmt(f)
+    }
+}
+
+impl<T: Internable + fmt::Display> fmt::Display for Interned<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.val.fmt(f)
+    }
+}
+
+impl<T: Internable> From<T> for Interned<T> {
+    fn from(val: T) -> Self {
+        Interned::new(val)
+    }
+}
+
+/// Counters of the [`crate::Expr`] interner (the `Prog` interner lives in
+/// the `monadic` crate and is reported by `monadic::prog::intern_stats`).
+#[must_use]
+pub fn expr_stats() -> InternStats {
+    <crate::Expr as Internable>::interner().stats()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{BinOp, Expr};
+
+    #[test]
+    fn interning_shares_allocations() {
+        let a = Interned::new(Expr::binop(BinOp::Add, Expr::var("x"), Expr::u32(1)));
+        let b = Interned::new(Expr::binop(BinOp::Add, Expr::var("x"), Expr::u32(1)));
+        assert!(Interned::ptr_eq(&a, &b));
+        assert_eq!(a, b);
+        let c = Interned::new(Expr::binop(BinOp::Add, Expr::var("x"), Expr::u32(2)));
+        assert!(!Interned::ptr_eq(&a, &c));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn cached_size_matches_walk() {
+        let e = Expr::eq(
+            Expr::binop(BinOp::Add, Expr::var("x"), Expr::u32(1)),
+            Expr::var("y"),
+        );
+        let walked = {
+            let mut n = 0;
+            e.visit(&mut |sub| {
+                n += match sub {
+                    Expr::Local(_) => 3,
+                    _ => 1,
+                }
+            });
+            n
+        };
+        assert_eq!(Interned::new(e.clone()).size(), walked);
+        assert_eq!(e.term_size(), walked);
+    }
+
+    #[test]
+    fn hash_is_structural_and_cached() {
+        let a = Interned::new(Expr::var("p"));
+        let b = Interned::new(Expr::var("p"));
+        assert_eq!(a.structural_hash(), b.structural_hash());
+        assert_eq!(structural_hash(&*a), a.structural_hash());
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let before = expr_stats();
+        // A fresh shape (unlikely to be interned by other tests).
+        let fresh = Expr::binop(
+            BinOp::BitXor,
+            Expr::var("intern_stats_probe"),
+            Expr::u32(0xDEAD_BEEF),
+        );
+        let _a = Interned::new(fresh.clone());
+        let _b = Interned::new(fresh);
+        let after = expr_stats().since(&before);
+        assert!(after.hits >= 1, "second intern must hit: {after:?}");
+        assert!(after.misses >= 1, "first intern must miss: {after:?}");
+        assert!(after.dedup_ratio() > 1.0);
+    }
+}

@@ -35,6 +35,7 @@
 pub mod eval;
 pub mod guard;
 pub mod expr;
+pub mod intern;
 pub mod mem;
 pub mod metrics;
 pub mod names;
@@ -46,8 +47,10 @@ pub mod update;
 pub mod value;
 pub mod word;
 
-pub use expr::{BinOp, CastKind, Expr, UnOp};
+pub use expr::{BinOp, CastKind, Expr, IExpr, UnOp};
 pub use guard::GuardKind;
+pub use intern::{Internable, InternStats, Interned, Interner};
+pub use names::Symbol;
 pub use state::{AbsState, ConcState, State};
 pub use ty::{Signedness, StructDef, StructField, Ty, TypeEnv, Width};
 pub use update::Update;

@@ -1,4 +1,154 @@
-//! Fresh-name generation for the abstraction engines.
+//! Interned names and fresh-name generation.
+//!
+//! [`Symbol`] is the interned representation of variable and global names:
+//! a `u32` id plus a pointer to the canonical (leaked, process-lifetime)
+//! string. [`crate::Expr`] stores `Symbol`s for `Var`/`Local`/`Global`, so
+//! environment lookups hash a `u32` instead of re-hashing a `String`, and
+//! name equality is an integer compare.
+//!
+//! Determinism: ids are assigned in first-intern order, which can differ
+//! across runs and worker counts — so nothing observable depends on them.
+//! `Ord` and `Display` go through the string; only `Hash`/`Eq` (pure
+//! in-process identity) use the id.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Mutex;
+
+/// Global symbol table: canonical string → id. Strings are leaked once so
+/// every symbol can hand out a `&'static str` without further locking.
+static SYMBOLS: Mutex<Option<HashMap<&'static str, Symbol>>> = Mutex::new(None);
+
+/// An interned name. `Copy`, integer `Eq`/`Hash`, string `Ord`/`Display`
+/// (so ordering and printing round-trip exactly like the `String` it
+/// replaced).
+#[derive(Clone, Copy)]
+pub struct Symbol {
+    id: u32,
+    text: &'static str,
+}
+
+impl Symbol {
+    /// Interns `name`, returning its canonical symbol.
+    #[must_use]
+    pub fn intern(name: &str) -> Symbol {
+        let mut guard = SYMBOLS.lock().expect("symbol table poisoned");
+        let table = guard.get_or_insert_with(HashMap::new);
+        if let Some(sym) = table.get(name) {
+            return *sym;
+        }
+        let text: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let id = u32::try_from(table.len()).expect("symbol table overflow");
+        let sym = Symbol { id, text };
+        table.insert(text, sym);
+        sym
+    }
+
+    /// The canonical string (O(1), no locking).
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        self.text
+    }
+
+    /// The table id (stable within a process only — never serialise it).
+    #[must_use]
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+}
+
+impl PartialEq for Symbol {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+impl Eq for Symbol {}
+
+impl PartialEq<str> for Symbol {
+    fn eq(&self, other: &str) -> bool {
+        self.text == other
+    }
+}
+impl PartialEq<&str> for Symbol {
+    fn eq(&self, other: &&str) -> bool {
+        self.text == *other
+    }
+}
+impl PartialEq<String> for Symbol {
+    fn eq(&self, other: &String) -> bool {
+        self.text == other.as_str()
+    }
+}
+
+impl std::hash::Hash for Symbol {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u32(self.id);
+    }
+}
+
+// String order, so `BTreeMap<Symbol, _>`/sorting is deterministic across
+// runs even though ids are first-come.
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Symbol {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.id == other.id {
+            std::cmp::Ordering::Equal
+        } else {
+            self.text.cmp(other.text)
+        }
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.text)
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Transparent, like the `String` it replaced.
+        fmt::Debug::fmt(self.text, f)
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+impl From<&String> for Symbol {
+    fn from(s: &String) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+impl From<String> for Symbol {
+    fn from(s: String) -> Symbol {
+        Symbol::intern(&s)
+    }
+}
+impl From<Symbol> for String {
+    fn from(s: Symbol) -> String {
+        s.as_str().to_owned()
+    }
+}
+
+impl std::borrow::Borrow<str> for Symbol {
+    fn borrow(&self) -> &str {
+        self.text
+    }
+}
+
+impl std::ops::Deref for Symbol {
+    type Target = str;
+    fn deref(&self) -> &str {
+        self.text
+    }
+}
 
 /// Generates fresh variable names `prefix0`, `prefix1`, … distinct from a
 /// set of reserved names.
@@ -58,5 +208,47 @@ mod tests {
         g.reserve("v0");
         g.reserve("v1");
         assert_eq!(g.fresh("v"), "v2");
+    }
+}
+
+#[cfg(test)]
+mod symbol_tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::intern("x");
+        let b = Symbol::intern("x");
+        assert_eq!(a, b);
+        assert_eq!(a.id(), b.id());
+        assert_eq!(a.as_str(), "x");
+        assert_ne!(a, Symbol::intern("y"));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let s = Symbol::intern("node_ptr0");
+        assert_eq!(s.to_string(), "node_ptr0");
+        assert_eq!(format!("{s:?}"), "\"node_ptr0\"");
+        assert_eq!(String::from(s), "node_ptr0");
+    }
+
+    #[test]
+    fn ordering_is_by_string() {
+        // Intern in reverse-lexicographic order: ids disagree with strings.
+        let b = Symbol::intern("zzz_sym_b");
+        let a = Symbol::intern("aaa_sym_a");
+        assert!(a < b, "Ord must follow strings, not first-intern ids");
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn str_comparisons() {
+        let s = Symbol::intern("p");
+        assert!(s == "p");
+        assert!(s == *"p");
+        let owned = String::from("p");
+        assert!(s == owned);
+        assert_eq!(&*s, "p");
     }
 }

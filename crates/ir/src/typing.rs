@@ -17,7 +17,7 @@ use crate::ty::{Signedness, Ty, TypeEnv, Width};
 pub fn infer_ty(e: &Expr, vars: &HashMap<String, Ty>, tenv: &TypeEnv) -> Option<Ty> {
     match e {
         Expr::Lit(v) => Some(v.ty()),
-        Expr::Var(n) | Expr::Local(n) | Expr::Global(n) => vars.get(n).cloned(),
+        Expr::Var(n) | Expr::Local(n) | Expr::Global(n) => vars.get(n.as_str()).cloned(),
         Expr::ReadHeap(t, _) => Some(t.clone()),
         Expr::ReadByte(_) => Some(Ty::U8),
         Expr::IsValid(..) | Expr::PtrAligned(..) | Expr::NullFree(..) => Some(Ty::Bool),

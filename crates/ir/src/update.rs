@@ -10,7 +10,7 @@ use crate::ty::Ty;
 use crate::value::Value;
 
 /// A single state update.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Update {
     /// Assign a state-stored local variable.
     Local(String, Expr),

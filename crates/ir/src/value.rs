@@ -63,7 +63,7 @@ impl fmt::Display for Ptr {
 }
 
 /// A runtime value of the semantic language.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Value {
     /// The unit value.
     Unit,

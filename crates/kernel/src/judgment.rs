@@ -13,7 +13,7 @@ use simpl::SimplStmt;
 
 /// A value-abstraction function: how an abstract value relates to a concrete
 /// one (the `rx`/`ex` of `abs_w_stmt` and the `f` of `abs_w_val`).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum AbsFun {
     /// Identity (pointers, booleans, unit, non-abstracted words).
     Id,
@@ -108,7 +108,7 @@ impl fmt::Display for AbsFun {
 pub type VarCtx = BTreeMap<String, AbsFun>;
 
 /// A kernel judgment.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Judgment {
     /// `abs_w_val P f a c` under variable context `ctx` (Sec 3.3):
     /// whenever the abstract variables equal the abstraction of the

@@ -31,4 +31,4 @@ pub mod semantics;
 pub mod thm;
 
 pub use judgment::{AbsFun, Judgment};
-pub use thm::{check, check_all, CheckCtx, KernelError, ReplayReport, Rule, Thm};
+pub use thm::{check, check_all, CheckCtx, KernelError, ReplayCache, ReplayReport, Rule, Thm};

@@ -77,13 +77,13 @@ fn field_update_chain(base: Expr, path: &[String], value: Expr) -> Expr {
     }
     let inner_base = field_chain(base.clone(), &path[..path.len() - 1]);
     let mut acc = Expr::UpdateField(
-        Box::new(inner_base),
+        ir::intern::Interned::new(inner_base),
         path[path.len() - 1].clone(),
-        Box::new(value),
+        ir::intern::Interned::new(value),
     );
     for i in (0..path.len() - 1).rev() {
         let b = field_chain(base.clone(), &path[..i]);
-        acc = Expr::UpdateField(Box::new(b), path[i].clone(), Box::new(acc));
+        acc = Expr::UpdateField(ir::intern::Interned::new(b), path[i].clone(), ir::intern::Interned::new(acc));
     }
     acc
 }
@@ -898,7 +898,7 @@ fn hs_while_abs(vars: &[String], ca: &Expr, pc: &Expr, ba: &Prog, init: &[Expr])
         return Prog::While {
             vars: vars.to_vec(),
             cond: ca.clone(),
-            body: Box::new(ba.clone()),
+            body: ir::intern::Interned::new(ba.clone()),
             init: init.to_vec(),
         };
     }
@@ -928,7 +928,7 @@ fn hs_while_abs(vars: &[String], ca: &Expr, pc: &Expr, ba: &Prog, init: &[Expr])
         Prog::While {
             vars: vars.to_vec(),
             cond: ca.clone(),
-            body: Box::new(wrapped_body),
+            body: ir::intern::Interned::new(wrapped_body),
             init: init.to_vec(),
         },
     )
@@ -954,7 +954,7 @@ pub fn hs_while(
         conc: Prog::While {
             vars: vars.to_vec(),
             cond: cc.clone(),
-            body: Box::new(bc.clone()),
+            body: ir::intern::Interned::new(bc.clone()),
             init: init.to_vec(),
         },
     };
@@ -990,8 +990,8 @@ pub fn hs_catch(cx: &CheckCtx, v: &str, l: Thm, r: Thm) -> R {
     let (la, lc) = as_hstmt(l.judgment()).map_err(|m| err(Rule::HsCatch, m))?;
     let (ra, rc) = as_hstmt(r.judgment()).map_err(|m| err(Rule::HsCatch, m))?;
     let concl = Judgment::HStmt {
-        abs: Prog::Catch(Box::new(la.clone()), v.to_owned(), Box::new(ra.clone())),
-        conc: Prog::Catch(Box::new(lc.clone()), v.to_owned(), Box::new(rc.clone())),
+        abs: Prog::Catch(ir::intern::Interned::new(la.clone()), v.to_owned(), ir::intern::Interned::new(ra.clone())),
+        conc: Prog::Catch(ir::intern::Interned::new(lc.clone()), v.to_owned(), ir::intern::Interned::new(rc.clone())),
     };
     Thm::admit(Rule::HsCatch, vec![l, r], concl, Side::None, cx)
 }
@@ -1029,7 +1029,7 @@ pub fn hs_exec_concrete(cx: &CheckCtx, m: &Prog) -> R {
         Rule::HsExecConcrete,
         vec![],
         Judgment::HStmt {
-            abs: Prog::ExecConcrete(Box::new(m.clone())),
+            abs: Prog::ExecConcrete(ir::intern::Interned::new(m.clone())),
             conc: m.clone(),
         },
         Side::None,

@@ -86,27 +86,27 @@ pub(crate) fn with_children(e: &Expr, kids: &[Expr]) -> Result<Expr, String> {
     }
     Ok(match e {
         Expr::Lit(_) | Expr::Var(_) | Expr::Local(_) | Expr::Global(_) => e.clone(),
-        Expr::ReadHeap(t, _) => Expr::ReadHeap(t.clone(), Box::new(kids[0].clone())),
-        Expr::ReadByte(_) => Expr::ReadByte(Box::new(kids[0].clone())),
-        Expr::IsValid(t, _) => Expr::IsValid(t.clone(), Box::new(kids[0].clone())),
-        Expr::PtrAligned(t, _) => Expr::PtrAligned(t.clone(), Box::new(kids[0].clone())),
-        Expr::NullFree(t, _) => Expr::NullFree(t.clone(), Box::new(kids[0].clone())),
-        Expr::Field(_, n) => Expr::Field(Box::new(kids[0].clone()), n.clone()),
-        Expr::UnOp(op, _) => Expr::UnOp(*op, Box::new(kids[0].clone())),
-        Expr::Cast(k, _) => Expr::Cast(k.clone(), Box::new(kids[0].clone())),
-        Expr::Proj(i, _) => Expr::Proj(*i, Box::new(kids[0].clone())),
+        Expr::ReadHeap(t, _) => Expr::ReadHeap(t.clone(), ir::intern::Interned::new(kids[0].clone())),
+        Expr::ReadByte(_) => Expr::ReadByte(ir::intern::Interned::new(kids[0].clone())),
+        Expr::IsValid(t, _) => Expr::IsValid(t.clone(), ir::intern::Interned::new(kids[0].clone())),
+        Expr::PtrAligned(t, _) => Expr::PtrAligned(t.clone(), ir::intern::Interned::new(kids[0].clone())),
+        Expr::NullFree(t, _) => Expr::NullFree(t.clone(), ir::intern::Interned::new(kids[0].clone())),
+        Expr::Field(_, n) => Expr::Field(ir::intern::Interned::new(kids[0].clone()), n.clone()),
+        Expr::UnOp(op, _) => Expr::UnOp(*op, ir::intern::Interned::new(kids[0].clone())),
+        Expr::Cast(k, _) => Expr::Cast(k.clone(), ir::intern::Interned::new(kids[0].clone())),
+        Expr::Proj(i, _) => Expr::Proj(*i, ir::intern::Interned::new(kids[0].clone())),
         Expr::UpdateField(_, n, _) => Expr::UpdateField(
-            Box::new(kids[0].clone()),
+            ir::intern::Interned::new(kids[0].clone()),
             n.clone(),
-            Box::new(kids[1].clone()),
+            ir::intern::Interned::new(kids[1].clone()),
         ),
         Expr::BinOp(op, _, _) => {
-            Expr::BinOp(*op, Box::new(kids[0].clone()), Box::new(kids[1].clone()))
+            Expr::BinOp(*op, ir::intern::Interned::new(kids[0].clone()), ir::intern::Interned::new(kids[1].clone()))
         }
         Expr::Ite(..) => Expr::Ite(
-            Box::new(kids[0].clone()),
-            Box::new(kids[1].clone()),
-            Box::new(kids[2].clone()),
+            ir::intern::Interned::new(kids[0].clone()),
+            ir::intern::Interned::new(kids[1].clone()),
+            ir::intern::Interned::new(kids[2].clone()),
         ),
         Expr::Tuple(_) => Expr::Tuple(kids.to_vec()),
     })

@@ -41,15 +41,15 @@ fn l1_image(simpl: &SimplStmt, sub: &[&Prog]) -> Result<Prog, String> {
         SimplStmt::While(c, _) => Prog::While {
             vars: vec!["_".to_owned()],
             cond: c.clone(),
-            body: Box::new(Prog::then(sub[0].clone(), Prog::skip())),
+            body: ir::intern::Interned::new(Prog::then(sub[0].clone(), Prog::skip())),
             init: vec![Expr::unit()],
         },
         SimplStmt::Guard(k, g, _) => Prog::then(Prog::Guard(k.clone(), g.clone()), sub[0].clone()),
         SimplStmt::Throw => Prog::Throw(Expr::unit()),
         SimplStmt::TryCatch(..) => Prog::Catch(
-            Box::new(sub[0].clone()),
+            ir::intern::Interned::new(sub[0].clone()),
             "_".to_owned(),
-            Box::new(sub[1].clone()),
+            ir::intern::Interned::new(sub[1].clone()),
         ),
         SimplStmt::Call {
             fname,
@@ -362,8 +362,8 @@ pub fn catch_cong(cx: &CheckCtx, v: &str, l: Thm, r: Thm) -> R {
     let (la, lc) = as_refines(l.judgment()).map_err(|m| err(Rule::CatchCong, m))?;
     let (ra, rc) = as_refines(r.judgment()).map_err(|m| err(Rule::CatchCong, m))?;
     let concl = Judgment::Refines {
-        abs: Prog::Catch(Box::new(la.clone()), v.to_owned(), Box::new(ra.clone())),
-        conc: Prog::Catch(Box::new(lc.clone()), v.to_owned(), Box::new(rc.clone())),
+        abs: Prog::Catch(ir::intern::Interned::new(la.clone()), v.to_owned(), ir::intern::Interned::new(ra.clone())),
+        conc: Prog::Catch(ir::intern::Interned::new(lc.clone()), v.to_owned(), ir::intern::Interned::new(rc.clone())),
     };
     Thm::admit(Rule::CatchCong, vec![l, r], concl, Side::None, cx)
 }
@@ -385,13 +385,13 @@ pub fn while_cong(
         abs: Prog::While {
             vars: vars.to_vec(),
             cond: cond.clone(),
-            body: Box::new(ba.clone()),
+            body: ir::intern::Interned::new(ba.clone()),
             init: init.to_vec(),
         },
         conc: Prog::While {
             vars: vars.to_vec(),
             cond: cond.clone(),
-            body: Box::new(bc.clone()),
+            body: ir::intern::Interned::new(bc.clone()),
             init: init.to_vec(),
         },
     };

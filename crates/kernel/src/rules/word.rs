@@ -193,7 +193,7 @@ pub(crate) fn validate_val(
             if !pre.is_true_lit() {
                 return Err("WVar precondition must be trivial".into());
             }
-            match ctx.get(n) {
+            match ctx.get(n.as_str()) {
                 Some(g) if g == f => Ok(()),
                 Some(g) => Err(format!("variable `{n}` has context abstraction {g}, not {f}")),
                 // Variables absent from the context are not abstracted.
@@ -270,7 +270,7 @@ pub(crate) fn validate_val(
                 return Err("WCmp operator must be a comparison".into());
             }
             // Equality is injective for unat/sint; order is monotone.
-            let expected_conc = Expr::BinOp(*op, Box::new(ac.clone()), Box::new(bc.clone()));
+            let expected_conc = Expr::BinOp(*op, ir::intern::Interned::new(ac.clone()), ir::intern::Interned::new(bc.clone()));
             if **la != *aa || **ra != *ba || *conc != expected_conc {
                 return Err("WCmp sides do not match the premises".into());
             }
@@ -322,7 +322,7 @@ pub(crate) fn validate_val(
             if *f != expect_f {
                 return Err(format!("wrap concludes {expect_f:?}"));
             }
-            if *abs == Expr::Cast(kind, Box::new(aa.clone())) {
+            if *abs == Expr::Cast(kind, ir::intern::Interned::new(aa.clone())) {
                 Ok(())
             } else {
                 Err("abstract side must be unat/sint of the premise".into())
@@ -1442,13 +1442,13 @@ pub fn ws_while(
     let abs_loop = Prog::While {
         vars: vars.to_vec(),
         cond: cva.clone(),
-        body: Box::new(ba),
+        body: ir::intern::Interned::new(ba),
         init: ainit,
     };
     let conc_loop = Prog::While {
         vars: vars.to_vec(),
         cond: cvc.clone(),
-        body: Box::new(bc),
+        body: ir::intern::Interned::new(bc),
         init: cinit,
     };
     let concl = Judgment::WStmt {
@@ -1530,8 +1530,8 @@ pub fn ws_catch(cx: &CheckCtx, v: &str, l: Thm, r: Thm) -> R {
         ctx,
         rx,
         ex: rex,
-        abs: Prog::Catch(Box::new(la), v.to_owned(), Box::new(ra)),
-        conc: Prog::Catch(Box::new(lc), v.to_owned(), Box::new(rc)),
+        abs: Prog::Catch(ir::intern::Interned::new(la), v.to_owned(), ir::intern::Interned::new(ra)),
+        conc: Prog::Catch(ir::intern::Interned::new(lc), v.to_owned(), ir::intern::Interned::new(rc)),
     };
     Thm::admit(Rule::WsCatch, vec![l, r], concl, Side::None, cx)
 }

@@ -183,7 +183,7 @@ pub enum Rule {
 }
 
 /// Extra data recorded for oracle rules.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Side {
     /// No side data.
     None,
@@ -218,6 +218,9 @@ pub struct Thm {
     rule: Rule,
     premises: Vec<Thm>,
     side: Side,
+    /// Rule applications in the derivation, computed once at `admit` time
+    /// (derived from the other fields, so excluded from comparisons).
+    proof_size: usize,
 }
 
 impl Thm {
@@ -245,10 +248,11 @@ impl Thm {
         &self.side
     }
 
-    /// Number of rule applications in the derivation (proof size).
+    /// Number of rule applications in the derivation (proof size). O(1):
+    /// cached at `admit` time.
     #[must_use]
     pub fn proof_size(&self) -> usize {
-        1 + self.premises.iter().map(Thm::proof_size).sum::<usize>()
+        self.proof_size
     }
 
     /// Kernel-internal constructor (`pub(crate)`) — validates before
@@ -263,11 +267,13 @@ impl Thm {
         let prem_judgments: Vec<&Judgment> = premises.iter().map(Thm::judgment).collect();
         crate::rules::validate(rule, &prem_judgments, &judgment, &side, cx)
             .map_err(|msg| KernelError { rule, msg })?;
+        let proof_size = 1 + premises.iter().map(Thm::proof_size).sum::<usize>();
         Ok(Thm {
             judgment,
             rule,
             premises,
             side,
+            proof_size,
         })
     }
 }
@@ -321,15 +327,99 @@ pub struct CheckCtx {
 ///
 /// Returns the first failing rule application.
 pub fn check(thm: &Thm, cx: &CheckCtx) -> Result<(), KernelError> {
+    check_cached(thm, cx, None)
+}
+
+fn check_cached(thm: &Thm, cx: &CheckCtx, cache: Option<&ReplayCache>) -> Result<(), KernelError> {
+    if let Some(c) = cache {
+        if c.contains(thm) {
+            return Ok(());
+        }
+    }
     for p in &thm.premises {
-        check(p, cx)?;
+        check_cached(p, cx, cache)?;
     }
     let prem_judgments: Vec<&Judgment> = thm.premises.iter().map(Thm::judgment).collect();
-    crate::rules::validate(thm.rule, &prem_judgments, &thm.judgment, &thm.side, cx)
-        .map_err(|msg| KernelError {
+    crate::rules::validate(thm.rule, &prem_judgments, &thm.judgment, &thm.side, cx).map_err(
+        |msg| KernelError {
             rule: thm.rule,
             msg,
-        })
+        },
+    )?;
+    if let Some(c) = cache {
+        c.insert(thm);
+    }
+    Ok(())
+}
+
+/// A replay-side cache of validated proof nodes, shared across theorems and
+/// workers. A node is identified by a 128-bit structural digest of
+/// everything `rules::validate` consumes — the rule, the conclusion
+/// judgment, the premise judgments, and the side data — so an identical
+/// `(rule, premises)` application appearing in several derivations (common
+/// once terms are hash-consed: shared subprograms produce shared
+/// sub-derivations) is validated once and skipped thereafter.
+///
+/// Soundness: `validate` is a deterministic pure function of exactly the
+/// digested data, so skipping a re-run cannot change any verdict; only
+/// *successful* validations are inserted. The digest is two independent
+/// fixed-key hash passes (collision probability ~2⁻¹²⁸ per pair — far below
+/// any hardware error rate). Determinism: cache state never affects output,
+/// only whether a validation is re-executed.
+#[derive(Default)]
+pub struct ReplayCache {
+    shards: [std::sync::Mutex<std::collections::HashSet<u128>>; 16],
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+}
+
+impl ReplayCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> ReplayCache {
+        ReplayCache::default()
+    }
+
+    fn digest(thm: &Thm) -> u128 {
+        fn pass(seed: u64, thm: &Thm) -> u64 {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            seed.hash(&mut h);
+            thm.rule.hash(&mut h);
+            thm.judgment.hash(&mut h);
+            for p in &thm.premises {
+                p.judgment.hash(&mut h);
+            }
+            thm.side.hash(&mut h);
+            h.finish()
+        }
+        (u128::from(pass(0x9E37_79B9_7F4A_7C15, thm)) << 64)
+            | u128::from(pass(0xC2B2_AE3D_27D4_EB4F, thm))
+    }
+
+    fn contains(&self, thm: &Thm) -> bool {
+        let d = Self::digest(thm);
+        let shard = &self.shards[(d as usize) % self.shards.len()];
+        let hit = shard.lock().expect("replay cache poisoned").contains(&d);
+        let ctr = if hit { &self.hits } else { &self.misses };
+        ctr.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        hit
+    }
+
+    fn insert(&self, thm: &Thm) {
+        let d = Self::digest(thm);
+        let shard = &self.shards[(d as usize) % self.shards.len()];
+        shard.lock().expect("replay cache poisoned").insert(d);
+    }
+
+    /// (hits, misses) lookup counters.
+    #[must_use]
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.hits.load(std::sync::atomic::Ordering::Relaxed),
+            self.misses.load(std::sync::atomic::Ordering::Relaxed),
+        )
+    }
 }
 
 /// Statistics of a [`check_all`] replay run.
@@ -337,14 +427,32 @@ pub fn check(thm: &Thm, cx: &CheckCtx) -> Result<(), KernelError> {
 pub struct ReplayReport {
     /// Theorems replayed.
     pub checked: usize,
-    /// Total rule applications replayed.
+    /// Total rule applications in the replayed derivations.
     pub proof_nodes: usize,
+    /// Proof nodes skipped because an identical (rule, premises) node was
+    /// already validated (shared-node replay cache).
+    pub cache_hits: u64,
+    /// Proof nodes that had to be validated.
+    pub cache_misses: u64,
     /// Workers used.
     pub workers: usize,
     /// Sum of per-worker busy time (≤ `workers` × wall time).
     pub busy: std::time::Duration,
     /// Wall-clock time of the whole replay.
     pub wall: std::time::Duration,
+}
+
+impl ReplayReport {
+    /// Fraction of cache lookups that hit (0.0 when the cache was unused).
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
 }
 
 /// Replays a batch of theorems through [`check`], fanning the work across
@@ -368,17 +476,21 @@ where
     let start = std::time::Instant::now();
     let proof_nodes: usize = items.iter().map(|(_, t)| t.proof_size()).sum();
     let workers = workers.clamp(1, items.len().max(1));
+    let cache = ReplayCache::new();
     let mut first_failure: Option<(usize, String, KernelError)> = None;
     if workers <= 1 {
         for (name, thm) in &items {
-            if let Err(e) = check(thm, cx) {
+            if let Err(e) = check_cached(thm, cx, Some(&cache)) {
                 return Err(((*name).to_owned(), e));
             }
         }
         let wall = start.elapsed();
+        let (cache_hits, cache_misses) = cache.counters();
         return Ok(ReplayReport {
             checked: items.len(),
             proof_nodes,
+            cache_hits,
+            cache_misses,
             workers: 1,
             busy: wall,
             wall,
@@ -397,7 +509,7 @@ where
                         let Some((name, thm)) = items.get(i) else {
                             break;
                         };
-                        if let Err(e) = check(thm, cx) {
+                        if let Err(e) = check_cached(thm, cx, Some(&cache)) {
                             failures.push((i, (*name).to_owned(), e));
                         }
                     }
@@ -415,11 +527,14 @@ where
             }
         }
     });
+    let (cache_hits, cache_misses) = cache.counters();
     match first_failure {
         Some((_, name, e)) => Err((name, e)),
         None => Ok(ReplayReport {
             checked: items.len(),
             proof_nodes,
+            cache_hits,
+            cache_misses,
             workers,
             busy,
             wall: start.elapsed(),

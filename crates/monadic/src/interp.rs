@@ -347,6 +347,7 @@ fn unpack_iters(n: usize, v: Value) -> Result<Vec<Value>, MonadFault> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::prog::IProg;
     use ir::expr::{BinOp, Expr};
     use ir::ty::Ty;
     use ir::update::Update;
@@ -379,9 +380,9 @@ mod tests {
     #[test]
     fn catch_handles() {
         let p = Prog::Catch(
-            Box::new(Prog::Throw(Expr::u32(7))),
+            IProg::new(Prog::Throw(Expr::u32(7))),
             "e".into(),
-            Box::new(Prog::ret(Expr::var("e"))),
+            IProg::new(Prog::ret(Expr::var("e"))),
         );
         assert_eq!(run(&p), Ok(MonadResult::Normal(Value::u32(7))));
     }
@@ -400,7 +401,7 @@ mod tests {
         let p = Prog::While {
             vars: vec!["i".into()],
             cond: Expr::binop(BinOp::Lt, Expr::var("i"), Expr::nat(10u64)),
-            body: Box::new(Prog::ret(Expr::binop(
+            body: IProg::new(Prog::ret(Expr::binop(
                 BinOp::Add,
                 Expr::var("i"),
                 Expr::nat(1u64),
@@ -416,7 +417,7 @@ mod tests {
         let p = Prog::While {
             vars: vec!["a".into(), "b".into(), "n".into()],
             cond: Expr::binop(BinOp::Lt, Expr::var("n"), Expr::nat(5u64)),
-            body: Box::new(Prog::ret(Expr::Tuple(vec![
+            body: IProg::new(Prog::ret(Expr::Tuple(vec![
                 Expr::var("b"),
                 Expr::var("a"),
                 Expr::binop(BinOp::Add, Expr::var("n"), Expr::nat(1u64)),
@@ -435,7 +436,7 @@ mod tests {
         let p = Prog::While {
             vars: vec!["i".into()],
             cond: Expr::tt(),
-            body: Box::new(Prog::Throw(Expr::u32(42))),
+            body: IProg::new(Prog::Throw(Expr::u32(42))),
             init: vec![Expr::nat(0u64)],
         };
         assert_eq!(run(&p), Ok(MonadResult::Except(Value::u32(42))));
@@ -459,7 +460,7 @@ mod tests {
         let p = Prog::While {
             vars: vec!["i".into()],
             cond: Expr::tt(),
-            body: Box::new(Prog::ret(Expr::var("i"))),
+            body: IProg::new(Prog::ret(Expr::var("i"))),
             init: vec![Expr::nat(0u64)],
         };
         assert_eq!(run(&p), Err(MonadFault::OutOfFuel));

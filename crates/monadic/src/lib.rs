@@ -35,4 +35,4 @@ pub mod interp;
 pub mod prog;
 
 pub use interp::{exec, exec_fn, MonadFault, MonadResult};
-pub use prog::{MonadicFn, Prog, ProgramCtx};
+pub use prog::{IProg, MonadicFn, Prog, ProgramCtx};

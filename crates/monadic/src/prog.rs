@@ -5,12 +5,17 @@ use std::fmt;
 
 use ir::expr::Expr;
 use ir::guard::GuardKind;
+use ir::intern::{InternStats, Internable, Interned, Interner};
 use ir::metrics::SpecMetrics;
 use ir::ty::{Ty, TypeEnv};
 use ir::update::Update;
 
+/// An interned (hash-consed) program handle — the replacement for
+/// `Box<Prog>` in the term representation (see `ir::intern`).
+pub type IProg = Interned<Prog>;
+
 /// A monadic program (Table 1 combinators plus structured control flow).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Prog {
     /// `return e` — yield a value without touching the state.
     Return(Expr),
@@ -27,12 +32,12 @@ pub enum Prog {
     /// `fail` — irrecoverable failure (`λs. (∅, True)`).
     Fail,
     /// `do v ← L; R od`.
-    Bind(Box<Prog>, String, Box<Prog>),
+    Bind(IProg, String, IProg),
     /// `do (v₁, …, vₙ) ← L; R od` — tuple-pattern bind (used to destructure
     /// `whileLoop` iterator values, as in the paper's Fig 6).
-    BindTuple(Box<Prog>, Vec<String>, Box<Prog>),
+    BindTuple(IProg, Vec<String>, IProg),
     /// `condition c L R`.
-    Condition(Expr, Box<Prog>, Box<Prog>),
+    Condition(Expr, IProg, IProg),
     /// `whileLoop c B i` — `vars` are the loop-iterator names bound in both
     /// the condition and body; the body yields the next iterator value
     /// (a tuple when there are several variables). The loop's value is the
@@ -43,12 +48,12 @@ pub enum Prog {
         /// Loop condition over the iterator variables and the state.
         cond: Expr,
         /// Loop body, yielding the next iterator value.
-        body: Box<Prog>,
+        body: IProg,
         /// Initial iterator values.
         init: Vec<Expr>,
     },
     /// `L <catch> (λe. H)` — run `L`; on an exception bind it and run `H`.
-    Catch(Box<Prog>, String, Box<Prog>),
+    Catch(IProg, String, IProg),
     /// Call a named function with argument expressions; yields its result.
     Call {
         /// Callee name.
@@ -58,9 +63,27 @@ pub enum Prog {
     },
     /// `exec_concrete M` — run a low-level (byte-heap) program from
     /// heap-abstracted code (Sec 4.6).
-    ExecConcrete(Box<Prog>),
+    ExecConcrete(IProg),
     /// `exec_abstract M` — run a heap-abstracted program from low-level code.
-    ExecAbstract(Box<Prog>),
+    ExecAbstract(IProg),
+}
+
+impl Internable for Prog {
+    fn shallow_size(&self) -> usize {
+        self.term_size()
+    }
+
+    fn interner() -> &'static Interner<Prog> {
+        static INTERNER: std::sync::OnceLock<Interner<Prog>> = std::sync::OnceLock::new();
+        INTERNER.get_or_init(Interner::new)
+    }
+}
+
+/// Counters of the `Prog` interner (the `Expr` counters live in
+/// `ir::intern::expr_stats`).
+#[must_use]
+pub fn intern_stats() -> InternStats {
+    <Prog as Internable>::interner().stats()
 }
 
 impl Prog {
@@ -79,13 +102,13 @@ impl Prog {
     /// `do v ← l; r od`.
     #[must_use]
     pub fn bind(l: Prog, v: impl Into<String>, r: Prog) -> Prog {
-        Prog::Bind(Box::new(l), v.into(), Box::new(r))
+        Prog::Bind(IProg::new(l), v.into(), IProg::new(r))
     }
 
     /// `do (v₁, …, vₙ) ← l; r od`.
     #[must_use]
     pub fn bind_tuple(l: Prog, vs: Vec<String>, r: Prog) -> Prog {
-        Prog::BindTuple(Box::new(l), vs, Box::new(r))
+        Prog::BindTuple(IProg::new(l), vs, IProg::new(r))
     }
 
     /// Sequencing discarding the first value: `do _ ← l; r od`.
@@ -103,7 +126,7 @@ impl Prog {
     /// `condition c t e`.
     #[must_use]
     pub fn cond(c: Expr, t: Prog, e: Prog) -> Prog {
-        Prog::Condition(c, Box::new(t), Box::new(e))
+        Prog::Condition(c, IProg::new(t), IProg::new(e))
     }
 
     /// `guard g`.
@@ -123,6 +146,7 @@ impl Prog {
     }
 
     /// Number of AST nodes including contained expressions (term size).
+    /// O(immediate children): interned sub-programs carry their size.
     #[must_use]
     pub fn term_size(&self) -> usize {
         match self {
@@ -131,18 +155,19 @@ impl Prog {
             }
             Prog::Modify(u) => 1 + u.term_size(),
             Prog::Fail => 1,
-            Prog::Bind(l, _, r) | Prog::Catch(l, _, r) => 1 + l.term_size() + r.term_size(),
-            Prog::BindTuple(l, _, r) => 1 + l.term_size() + r.term_size(),
-            Prog::Condition(c, t, e) => 1 + c.term_size() + t.term_size() + e.term_size(),
+            Prog::Bind(l, _, r) | Prog::BindTuple(l, _, r) | Prog::Catch(l, _, r) => {
+                1 + l.size() + r.size()
+            }
+            Prog::Condition(c, t, e) => 1 + c.term_size() + t.size() + e.size(),
             Prog::While {
                 cond, body, init, ..
             } => {
                 1 + cond.term_size()
-                    + body.term_size()
+                    + body.size()
                     + init.iter().map(Expr::term_size).sum::<usize>()
             }
             Prog::Call { args, .. } => 1 + args.iter().map(Expr::term_size).sum::<usize>(),
-            Prog::ExecConcrete(p) | Prog::ExecAbstract(p) => 1 + p.term_size(),
+            Prog::ExecConcrete(p) | Prog::ExecAbstract(p) => 1 + p.size(),
         }
     }
 
@@ -247,24 +272,24 @@ impl Prog {
             Prog::Modify(u) => Prog::Modify(u.map_exprs(f)),
             Prog::Fail => Prog::Fail,
             Prog::Bind(l, v, r) => Prog::Bind(
-                Box::new(l.map_exprs(f)),
+                IProg::new(l.map_exprs(f)),
                 v.clone(),
-                Box::new(r.map_exprs(f)),
+                IProg::new(r.map_exprs(f)),
             ),
             Prog::BindTuple(l, vs, r) => Prog::BindTuple(
-                Box::new(l.map_exprs(f)),
+                IProg::new(l.map_exprs(f)),
                 vs.clone(),
-                Box::new(r.map_exprs(f)),
+                IProg::new(r.map_exprs(f)),
             ),
             Prog::Catch(l, v, r) => Prog::Catch(
-                Box::new(l.map_exprs(f)),
+                IProg::new(l.map_exprs(f)),
                 v.clone(),
-                Box::new(r.map_exprs(f)),
+                IProg::new(r.map_exprs(f)),
             ),
             Prog::Condition(c, t, e) => Prog::Condition(
                 f(c),
-                Box::new(t.map_exprs(f)),
-                Box::new(e.map_exprs(f)),
+                IProg::new(t.map_exprs(f)),
+                IProg::new(e.map_exprs(f)),
             ),
             Prog::While {
                 vars,
@@ -274,15 +299,15 @@ impl Prog {
             } => Prog::While {
                 vars: vars.clone(),
                 cond: f(cond),
-                body: Box::new(body.map_exprs(f)),
+                body: IProg::new(body.map_exprs(f)),
                 init: init.iter().map(f).collect(),
             },
             Prog::Call { fname, args } => Prog::Call {
                 fname: fname.clone(),
                 args: args.iter().map(f).collect(),
             },
-            Prog::ExecConcrete(p) => Prog::ExecConcrete(Box::new(p.map_exprs(f))),
-            Prog::ExecAbstract(p) => Prog::ExecAbstract(Box::new(p.map_exprs(f))),
+            Prog::ExecConcrete(p) => Prog::ExecConcrete(IProg::new(p.map_exprs(f))),
+            Prog::ExecAbstract(p) => Prog::ExecAbstract(IProg::new(p.map_exprs(f))),
         }
     }
 
@@ -693,7 +718,7 @@ mod tests {
         let p = Prog::While {
             vars: vec!["list".into(), "rev".into()],
             cond: Expr::binop(BinOp::Ne, Expr::var("list"), Expr::null(ir::ty::Ty::Unit)),
-            body: Box::new(Prog::ret(Expr::Tuple(vec![
+            body: IProg::new(Prog::ret(Expr::Tuple(vec![
                 Expr::var("rev"),
                 Expr::var("list"),
             ]))),
@@ -709,9 +734,9 @@ mod tests {
     fn throw_analysis() {
         assert!(Prog::Throw(Expr::unit()).contains_throw());
         let caught = Prog::Catch(
-            Box::new(Prog::Throw(Expr::unit())),
+            IProg::new(Prog::Throw(Expr::unit())),
             "e".into(),
-            Box::new(Prog::skip()),
+            IProg::new(Prog::skip()),
         );
         assert!(!caught.contains_throw());
     }

@@ -7,7 +7,7 @@ use ir::expr::{BinOp, Expr};
 use ir::state::State;
 use ir::update::Update;
 use ir::value::Value;
-use monadic::{exec, MonadResult, Prog, ProgramCtx};
+use monadic::{exec, IProg, MonadResult, Prog, ProgramCtx};
 use proptest::prelude::*;
 
 /// Random straight-line programs over locals x, y.
@@ -36,9 +36,9 @@ fn arb_prog() -> impl Strategy<Value = Prog> {
                 b
             )),
             (inner.clone(), inner).prop_map(|(a, b)| Prog::Catch(
-                Box::new(a),
+                IProg::new(a),
                 "e".into(),
-                Box::new(b)
+                IProg::new(b)
             )),
         ]
     })
@@ -83,7 +83,7 @@ proptest! {
     /// Catch of a non-throwing program is the program.
     #[test]
     fn catch_no_throw(m in arb_prog(), x in 0u32..60, y in 0u32..60) {
-        let wrapped = Prog::Catch(Box::new(m.clone()), "e".into(), Box::new(Prog::Throw(Expr::var("e"))));
+        let wrapped = Prog::Catch(IProg::new(m.clone()), "e".into(), IProg::new(Prog::Throw(Expr::var("e"))));
         // catch m (rethrow) ≡ m
         prop_assert_eq!(run(&wrapped, x, y), run(&m, x, y));
     }

@@ -65,11 +65,48 @@ pub mod test_runner {
             }
         }
     }
+
+    /// A failed or rejected test case (upstream's error type; without
+    /// shrinking it only carries the message). Property bodies may
+    /// `return Err(TestCaseError::fail(..))` — the `proptest!` macro runs
+    /// them in a `TestCaseResult` context, upstream-style.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// Hard failure: the case panics the test.
+        Fail(String),
+        /// Rejected input: the case is skipped (like `prop_assume!`).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A hard failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A rejected (skipped) case with the given reason.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+                TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+            }
+        }
+    }
+
+    /// What a property body produces.
+    pub type TestCaseResult = Result<(), TestCaseError>;
 }
 
 /// Everything the property tests import.
 pub mod prelude {
     pub use crate::strategy::{any, BoxedStrategy, Just, Strategy, ValueTree};
+    pub use crate::test_runner::{TestCaseError, TestCaseResult};
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
 }
 
@@ -91,12 +128,13 @@ macro_rules! prop_assert_ne {
     ($($t:tt)*) => { assert_ne!($($t)*) };
 }
 
-/// Skips the current case when the assumption fails.
+/// Skips the current case when the assumption fails. Only valid inside a
+/// `proptest!` body (which runs in a `TestCaseResult` context).
 #[macro_export]
 macro_rules! prop_assume {
     ($cond:expr) => {
         if !($cond) {
-            return;
+            return Err($crate::test_runner::TestCaseError::reject(stringify!($cond)));
         }
     };
 }
@@ -123,8 +161,20 @@ macro_rules! proptest {
             for __case in 0..$crate::NUM_CASES {
                 let _ = __case;
                 $(let $bind = $crate::strategy::Strategy::generate(&($strat), &mut __runner.rng);)*
-                let __case_fn = move || $body;
-                __case_fn();
+                // Upstream-style body context: the case runs in a
+                // `TestCaseResult` closure so bodies can `return Err(..)`
+                // (`prop_assume!` rejections, explicit `TestCaseError`s);
+                // `let _: () = $body` keeps plain `()` bodies valid.
+                let __case_fn = move || -> $crate::test_runner::TestCaseResult {
+                    let _: () = $body;
+                    Ok(())
+                };
+                match __case_fn() {
+                    Ok(()) | Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    Err($crate::test_runner::TestCaseError::Fail(__m)) => {
+                        panic!("proptest case failed: {__m}")
+                    }
+                }
             }
         }
         $crate::proptest! { $($rest)* }

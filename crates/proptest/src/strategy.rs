@@ -224,6 +224,82 @@ macro_rules! impl_range_strategy {
 }
 impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+macro_rules! impl_range_from_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::RangeFrom<$t> {
+            type Value = $t;
+            #[allow(
+                clippy::cast_possible_truncation,
+                clippy::cast_possible_wrap,
+                clippy::cast_sign_loss,
+                clippy::cast_lossless
+            )]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = ((<$t>::MAX as i128) - (self.start as i128) + 1) as u128;
+                let k = u128::from(rng.next_u64()) % span;
+                ((self.start as i128) + (k as i128)) as $t
+            }
+        }
+    )*}
+}
+impl_range_from_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Upstream proptest treats string literals as regex strategies. This
+/// stand-in supports the subset the workspace uses: concatenations of
+/// literal characters and character classes `[a-z0-9_]` (ranges and single
+/// characters), each optionally repeated `{n}` or `{lo,hi}`.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let mut chars = self.chars().peekable();
+        while let Some(c) = chars.next() {
+            let choices: Vec<char> = if c == '[' {
+                let mut set = Vec::new();
+                let mut pending_range = false; // saw "x-" awaiting the end
+                for d in chars.by_ref() {
+                    if d == ']' {
+                        break;
+                    }
+                    if d == '-' && !set.is_empty() && !pending_range {
+                        pending_range = true;
+                    } else if pending_range {
+                        let lo = *set.last().expect("range start");
+                        set.extend((lo as u32 + 1..=d as u32).filter_map(char::from_u32));
+                        pending_range = false;
+                    } else {
+                        set.push(d);
+                    }
+                }
+                assert!(!set.is_empty(), "pattern strategy: empty class in {self:?}");
+                set
+            } else {
+                vec![c]
+            };
+            // Optional repetition suffix.
+            let (lo, hi) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let spec: String = chars.by_ref().take_while(|&d| d != '}').collect();
+                let (l, h) = match spec.split_once(',') {
+                    Some((l, h)) => (l, h),
+                    None => (spec.as_str(), spec.as_str()),
+                };
+                (
+                    l.trim().parse::<usize>().expect("repetition bound"),
+                    h.trim().parse::<usize>().expect("repetition bound"),
+                )
+            } else {
+                (1, 1)
+            };
+            let n = lo + (rng.next_u64() as usize) % (hi - lo + 1);
+            for _ in 0..n {
+                out.push(choices[(rng.next_u64() as usize) % choices.len()]);
+            }
+        }
+        out
+    }
+}
+
 macro_rules! impl_tuple_strategy {
     ($($name:ident : $idx:tt),+) => {
         impl<$($name: Strategy),+> Strategy for ($($name,)+) {
@@ -257,6 +333,7 @@ mod tests {
     fn recursion_terminates() {
         #[derive(Clone, Debug)]
         enum T {
+            #[allow(dead_code)]
             Leaf(u32),
             Node(Box<T>, Box<T>),
         }

@@ -86,6 +86,9 @@ impl Standard for f64 {
 pub trait SampleUniform: Sized + PartialOrd {
     /// Uniform draw from `[lo, hi)`.
     fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+
+    /// Uniform draw from `[lo, hi]`.
+    fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
 }
 
 macro_rules! impl_sample_uniform {
@@ -103,6 +106,19 @@ macro_rules! impl_sample_uniform {
                 let k = u128::from(rng.next_u64()) % span;
                 ((lo as i128) + (k as i128)) as $t
             }
+
+            #[allow(
+                clippy::cast_possible_truncation,
+                clippy::cast_possible_wrap,
+                clippy::cast_sign_loss,
+                clippy::cast_lossless
+            )]
+            fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128).wrapping_sub(lo as i128) as u128 + 1;
+                let k = u128::from(rng.next_u64()) % span;
+                ((lo as i128) + (k as i128)) as $t
+            }
         }
     )*}
 }
@@ -113,6 +129,30 @@ impl SampleUniform for f64 {
         assert!(lo < hi, "gen_range: empty range");
         lo + f64::draw(rng) * (hi - lo)
     }
+
+    fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        // Measure-zero endpoint: the half-open draw is the right answer.
+        Self::sample_range(rng, lo, hi)
+    }
+}
+
+/// Range shapes accepted by [`Rng::gen_range`] (upstream's `SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws a uniform value from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_range_inclusive(rng, lo, hi)
+    }
 }
 
 /// Convenience extension methods over any [`RngCore`].
@@ -122,9 +162,9 @@ pub trait Rng: RngCore {
         T::draw(self)
     }
 
-    /// Uniform value in the half-open range `lo..hi`.
-    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
-        T::sample_range(self, range.start, range.end)
+    /// Uniform value in the range (`lo..hi` or `lo..=hi`).
+    fn gen_range<T: SampleUniform, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample(self)
     }
 
     /// `true` with probability `p`.

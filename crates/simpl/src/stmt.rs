@@ -11,7 +11,7 @@ use ir::update::Update;
 pub use ir::guard::GuardKind;
 
 /// A Simpl statement.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum SimplStmt {
     /// `SKIP`.
     Skip,

@@ -424,9 +424,9 @@ impl<'a> FnTranslator<'a> {
                                 target = Expr::field(target, f.clone());
                             }
                             acc = Expr::UpdateField(
-                                Box::new(target),
+                                ir::IExpr::new(target),
                                 path[i].0.clone(),
-                                Box::new(acc),
+                                ir::IExpr::new(acc),
                             );
                         }
                         let upd = match &cur.kind {
@@ -483,7 +483,7 @@ impl<'a> FnTranslator<'a> {
             }
             .with_guards(guards),
         );
-        Ok(Expr::Local(tmp))
+        Ok(Expr::local(tmp))
     }
 
     // ---- expressions -------------------------------------------------------
@@ -508,8 +508,8 @@ impl<'a> FnTranslator<'a> {
                 Ok(TrExpr::pure(Expr::word(Word::new(*v, w, s))))
             }
             TExprKind::Null => Ok(TrExpr::pure(Expr::null(Ty::Unit))),
-            TExprKind::Local(n) => Ok(TrExpr::pure(Expr::Local(n.clone()))),
-            TExprKind::Global(n) => Ok(TrExpr::pure(Expr::Global(n.clone()))),
+            TExprKind::Local(n) => Ok(TrExpr::pure(Expr::local(n))),
+            TExprKind::Global(n) => Ok(TrExpr::pure(Expr::global(n))),
             TExprKind::Call(name, args) => {
                 let ret = e.ty.clone();
                 self.hoist_call(name, args, &ret, pre).map(TrExpr::pure)

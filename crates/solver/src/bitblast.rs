@@ -215,7 +215,7 @@ impl<'a> Bb<'a> {
     fn word(&mut self, e: &Expr) -> R<(Bv, Width, Signedness)> {
         match e {
             Expr::Lit(Value::Word(w)) => Ok((self.const_bv(w), w.width(), w.sign())),
-            Expr::Var(n) => match self.vars.get(n) {
+            Expr::Var(n) => match self.vars.get(n.as_str()) {
                 Some(Ty::Word(w, s)) => Ok((self.var_bv(n, *w, *s), *w, *s)),
                 t => Err(Unsupported(format!("variable `{n}` of type {t:?}"))),
             },
@@ -342,12 +342,12 @@ impl<'a> Bb<'a> {
     fn boolean(&mut self, e: &Expr) -> R<Lit> {
         match e {
             Expr::Lit(Value::Bool(b)) => Ok(self.lit_of_bool(*b)),
-            Expr::Var(n) if self.vars.get(n) == Some(&Ty::Bool) => {
-                if let Some(&l) = self.bool_vars.get(n) {
+            Expr::Var(n) if self.vars.get(n.as_str()) == Some(&Ty::Bool) => {
+                if let Some(&l) = self.bool_vars.get(n.as_str()) {
                     return Ok(l);
                 }
                 let l = self.fresh();
-                self.bool_vars.insert(n.clone(), l);
+                self.bool_vars.insert(n.to_string(), l);
                 Ok(l)
             }
             Expr::UnOp(UnOp::Not, a) => Ok(self.boolean(a)?.negate()),

@@ -142,7 +142,7 @@ fn is_word_level(e: &Expr, vars: &HashMap<String, Ty>) -> bool {
         Expr::Lit(Value::Nat(_) | Value::Int(_)) => word_only = false,
         Expr::Cast(ir::expr::CastKind::Unat | ir::expr::CastKind::Sint, _) => word_only = false,
         Expr::Var(n) => {
-            if matches!(vars.get(n), Some(Ty::Nat | Ty::Int)) {
+            if matches!(vars.get(n.as_str()), Some(Ty::Nat | Ty::Int)) {
                 word_only = false;
             }
         }

@@ -270,7 +270,7 @@ fn formula(e: &Expr, positive: bool, cx: &mut Cx) -> Option<Vec<Branch>> {
         Expr::BinOp(op @ (BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le), a, b) => {
             atom(*op, a, b, positive, cx)
         }
-        Expr::Var(v) if cx.vars.get(v) == Some(&Ty::Bool) => {
+        Expr::Var(v) if cx.vars.get(v.as_str()) == Some(&Ty::Bool) => {
             // Encode boolean variables as 0/1 integers.
             let bv = Lin::var(&format!("·bool_{v}"));
             let one = Lin::constant(Int::one());
@@ -358,7 +358,7 @@ fn cap(v: Vec<Branch>) -> Option<Vec<Branch>> {
 fn is_numeric(e: &Expr, cx: &Cx) -> bool {
     match e {
         Expr::Lit(Value::Nat(_) | Value::Int(_)) => true,
-        Expr::Var(v) => matches!(cx.vars.get(v), Some(Ty::Nat | Ty::Int)),
+        Expr::Var(v) => matches!(cx.vars.get(v.as_str()), Some(Ty::Nat | Ty::Int)),
         Expr::BinOp(
             BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod,
             a,
@@ -472,7 +472,7 @@ fn atom(op: BinOp, a: &Expr, b: &Expr, positive: bool, cx: &mut Cx) -> Option<Ve
 fn is_nat(e: &Expr, cx: &Cx) -> bool {
     match e {
         Expr::Lit(Value::Nat(_)) => true,
-        Expr::Var(v) => cx.vars.get(v) == Some(&Ty::Nat),
+        Expr::Var(v) => cx.vars.get(v.as_str()) == Some(&Ty::Nat),
         Expr::Cast(CastKind::Unat | CastKind::IntToNat, _) => true,
         Expr::BinOp(_, a, b) => is_nat(a, cx) || is_nat(b, cx),
         Expr::Ite(_, t, f) => is_nat(t, cx) || is_nat(f, cx),
@@ -487,7 +487,7 @@ fn term(e: &Expr, cx: &mut Cx) -> Option<Vec<(Vec<Constraint>, Lin)>> {
     match e {
         Expr::Lit(Value::Nat(n)) => Some(vec![(vec![], Lin::constant(Int::from_nat(n.clone())))]),
         Expr::Lit(Value::Int(i)) => Some(vec![(vec![], Lin::constant(i.clone()))]),
-        Expr::Var(v) if matches!(cx.vars.get(v), Some(Ty::Nat | Ty::Int)) => {
+        Expr::Var(v) if matches!(cx.vars.get(v.as_str()), Some(Ty::Nat | Ty::Int)) => {
             Some(vec![(vec![], Lin::var(v))])
         }
         Expr::Cast(CastKind::NatToInt, inner) => term(inner, cx),
@@ -683,7 +683,7 @@ fn atomize(e: &Expr, cx: &mut Cx) -> Option<Vec<(Vec<Constraint>, Lin)>> {
 fn word_width(e: &Expr, cx: &Cx) -> Option<u32> {
     match e {
         Expr::Lit(Value::Word(w)) => Some(w.width().bits()),
-        Expr::Var(v) => match cx.vars.get(v) {
+        Expr::Var(v) => match cx.vars.get(v.as_str()) {
             Some(Ty::Word(w, _)) => Some(w.bits()),
             _ => None,
         },

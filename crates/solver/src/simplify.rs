@@ -78,7 +78,7 @@ fn simp_node(e: Expr) -> Expr {
                 let env = ir::eval::Env::new();
                 let st = ir::state::State::conc_empty();
                 if let Ok(out) = ir::eval::eval(
-                    &Expr::Cast(k.clone(), Box::new(Expr::Lit(v.clone()))),
+                    &Expr::Cast(k.clone(), ir::expr::IExpr::new(Expr::Lit(v.clone()))),
                     &env,
                     &st,
                 ) {
@@ -316,7 +316,7 @@ mod tests {
     #[test]
     fn field_of_update() {
         let s = Expr::var("s");
-        let upd = Expr::UpdateField(Box::new(s.clone()), "f".into(), Box::new(Expr::u32(5)));
+        let upd = Expr::UpdateField(ir::expr::IExpr::new(s.clone()), "f".into(), ir::expr::IExpr::new(Expr::u32(5)));
         assert_eq!(
             simplify(&Expr::field(upd.clone(), "f")),
             Expr::u32(5)

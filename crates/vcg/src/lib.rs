@@ -96,7 +96,7 @@ fn auto_depth(
     if let Some((a, b)) = find_var_eq(&g) {
         effort.splits += 1;
         // Positive: substitute b := a and re-simplify.
-        let pos = g.subst_var(&b, &Expr::var(a.clone()));
+        let pos = g.subst_var(&b, &Expr::var(a));
         // Negative: assume a ≠ b — equalities become false, and the
         // disequality atoms themselves become true (so the split is not
         // re-discovered).
@@ -121,7 +121,7 @@ fn auto_depth(
 /// wp-substituted VC refer to the same initial state, so this is sound).
 #[doc(hidden)]
 pub fn saturate(goal: &Expr) -> Expr {
-    fn collect_eqs(h: &Expr, eqs: &mut Vec<(Expr, Expr)>, nes: &mut Vec<(String, String)>) {
+    fn collect_eqs(h: &Expr, eqs: &mut Vec<(Expr, Expr)>, nes: &mut Vec<(ir::Symbol, ir::Symbol)>) {
         match h {
             Expr::BinOp(ir::expr::BinOp::And, a, b) => {
                 collect_eqs(a, eqs, nes);
@@ -136,7 +136,7 @@ pub fn saturate(goal: &Expr) -> Expr {
             }
             Expr::BinOp(ir::expr::BinOp::Ne, l, r) => {
                 if let (Expr::Var(a), Expr::Var(b)) = (&**l, &**r) {
-                    nes.push((a.clone(), b.clone()));
+                    nes.push((*a, *b));
                 }
             }
             _ => {}
@@ -145,7 +145,7 @@ pub fn saturate(goal: &Expr) -> Expr {
     /// Known-distinct variables collapse equality atoms to `false`
     /// (pointer distinctness hypotheses kill read-over-write conditionals
     /// without case splitting — essential for Suzuki's challenge).
-    fn apply_nes(c: &Expr, nes: &[(String, String)]) -> Expr {
+    fn apply_nes(c: &Expr, nes: &[(ir::Symbol, ir::Symbol)]) -> Expr {
         if nes.is_empty() {
             return c.clone();
         }
@@ -206,7 +206,7 @@ pub fn saturate(goal: &Expr) -> Expr {
 }
 
 /// Finds an equality atom `Var a = Var b` (`a ≠ b`) to split on.
-fn find_var_eq(e: &Expr) -> Option<(String, String)> {
+fn find_var_eq(e: &Expr) -> Option<(ir::Symbol, ir::Symbol)> {
     let mut found = None;
     e.visit(&mut |sub| {
         if found.is_some() {
@@ -215,7 +215,7 @@ fn find_var_eq(e: &Expr) -> Option<(String, String)> {
         if let Expr::BinOp(ir::expr::BinOp::Eq | ir::expr::BinOp::Ne, l, r) = sub {
             if let (Expr::Var(a), Expr::Var(b)) = (&**l, &**r) {
                 if a != b {
-                    found = Some((a.clone(), b.clone()));
+                    found = Some((*a, *b));
                 }
             }
         }

@@ -121,11 +121,11 @@ struct Wp<'a> {
     fresh: u64,
     side: Vec<Vc>,
     /// Variable pairs known distinct from the precondition.
-    nes: Vec<(String, String)>,
+    nes: Vec<(ir::Symbol, ir::Symbol)>,
 }
 
 /// Collects `Var ≠ Var` conjuncts of a precondition.
-fn collect_nes(pre: &Expr, out: &mut Vec<(String, String)>) {
+fn collect_nes(pre: &Expr, out: &mut Vec<(ir::Symbol, ir::Symbol)>) {
     match pre {
         Expr::BinOp(BinOp::And, a, b) => {
             collect_nes(a, out);
@@ -133,7 +133,7 @@ fn collect_nes(pre: &Expr, out: &mut Vec<(String, String)>) {
         }
         Expr::BinOp(BinOp::Ne, l, r) => {
             if let (Expr::Var(a), Expr::Var(b)) = (&**l, &**r) {
-                out.push((a.clone(), b.clone()));
+                out.push((*a, *b));
             }
         }
         _ => {}
@@ -323,12 +323,12 @@ impl<'a> Wp<'a> {
                     if q2 == *p {
                         v.clone()
                     } else if self.known_distinct(&q2, p) {
-                        Expr::ReadHeap(rt.clone(), Box::new(q2))
+                        Expr::ReadHeap(rt.clone(), ir::intern::Interned::new(q2))
                     } else {
                         Expr::ite(
                             Expr::eq(q2.clone(), p.clone()),
                             v.clone(),
-                            Expr::ReadHeap(rt.clone(), Box::new(q2)),
+                            Expr::ReadHeap(rt.clone(), ir::intern::Interned::new(q2)),
                         )
                     }
                 } else {
@@ -337,13 +337,13 @@ impl<'a> Wp<'a> {
                     if self.model == HeapModel::ByteLevel {
                         obligations.push(self.no_partial_overlap(rt, &q2, ty, p, false));
                     }
-                    Expr::ReadHeap(rt.clone(), Box::new(q2))
+                    Expr::ReadHeap(rt.clone(), ir::intern::Interned::new(q2))
                 }
             }
             // Validity is independent of data writes (the Sec 4.4 payoff).
             Expr::IsValid(rt, q) => {
                 let q2 = self.read_over_write(q, ty, p, v, obligations);
-                Expr::IsValid(rt.clone(), Box::new(q2))
+                Expr::IsValid(rt.clone(), ir::intern::Interned::new(q2))
             }
             _ => {
                 // Generic recursion.
@@ -426,27 +426,27 @@ fn children(e: &Expr) -> Vec<&Expr> {
 fn with_children(e: &Expr, kids: &[Expr]) -> Expr {
     match e {
         Expr::Lit(_) | Expr::Var(_) | Expr::Local(_) | Expr::Global(_) => e.clone(),
-        Expr::ReadHeap(t, _) => Expr::ReadHeap(t.clone(), Box::new(kids[0].clone())),
-        Expr::ReadByte(_) => Expr::ReadByte(Box::new(kids[0].clone())),
-        Expr::IsValid(t, _) => Expr::IsValid(t.clone(), Box::new(kids[0].clone())),
-        Expr::PtrAligned(t, _) => Expr::PtrAligned(t.clone(), Box::new(kids[0].clone())),
-        Expr::NullFree(t, _) => Expr::NullFree(t.clone(), Box::new(kids[0].clone())),
-        Expr::Field(_, n) => Expr::Field(Box::new(kids[0].clone()), n.clone()),
-        Expr::UnOp(op, _) => Expr::UnOp(*op, Box::new(kids[0].clone())),
-        Expr::Cast(k, _) => Expr::Cast(k.clone(), Box::new(kids[0].clone())),
-        Expr::Proj(i, _) => Expr::Proj(*i, Box::new(kids[0].clone())),
+        Expr::ReadHeap(t, _) => Expr::ReadHeap(t.clone(), ir::intern::Interned::new(kids[0].clone())),
+        Expr::ReadByte(_) => Expr::ReadByte(ir::intern::Interned::new(kids[0].clone())),
+        Expr::IsValid(t, _) => Expr::IsValid(t.clone(), ir::intern::Interned::new(kids[0].clone())),
+        Expr::PtrAligned(t, _) => Expr::PtrAligned(t.clone(), ir::intern::Interned::new(kids[0].clone())),
+        Expr::NullFree(t, _) => Expr::NullFree(t.clone(), ir::intern::Interned::new(kids[0].clone())),
+        Expr::Field(_, n) => Expr::Field(ir::intern::Interned::new(kids[0].clone()), n.clone()),
+        Expr::UnOp(op, _) => Expr::UnOp(*op, ir::intern::Interned::new(kids[0].clone())),
+        Expr::Cast(k, _) => Expr::Cast(k.clone(), ir::intern::Interned::new(kids[0].clone())),
+        Expr::Proj(i, _) => Expr::Proj(*i, ir::intern::Interned::new(kids[0].clone())),
         Expr::UpdateField(_, n, _) => Expr::UpdateField(
-            Box::new(kids[0].clone()),
+            ir::intern::Interned::new(kids[0].clone()),
             n.clone(),
-            Box::new(kids[1].clone()),
+            ir::intern::Interned::new(kids[1].clone()),
         ),
         Expr::BinOp(op, _, _) => {
-            Expr::BinOp(*op, Box::new(kids[0].clone()), Box::new(kids[1].clone()))
+            Expr::BinOp(*op, ir::intern::Interned::new(kids[0].clone()), ir::intern::Interned::new(kids[1].clone()))
         }
         Expr::Ite(..) => Expr::Ite(
-            Box::new(kids[0].clone()),
-            Box::new(kids[1].clone()),
-            Box::new(kids[2].clone()),
+            ir::intern::Interned::new(kids[0].clone()),
+            ir::intern::Interned::new(kids[1].clone()),
+            ir::intern::Interned::new(kids[2].clone()),
         ),
         Expr::Tuple(_) => Expr::Tuple(kids.to_vec()),
     }

@@ -19,7 +19,7 @@ fn a_loop() -> Prog {
     Prog::While {
         vars: vec!["i".into()],
         cond: Expr::binop(ir::expr::BinOp::Lt, Expr::var("i"), Expr::nat(3u64)),
-        body: Box::new(Prog::ret(Expr::binop(
+        body: ir::intern::Interned::new(Prog::ret(Expr::binop(
             ir::expr::BinOp::Add,
             Expr::var("i"),
             Expr::nat(1u64),
@@ -49,7 +49,7 @@ fn calls_without_contracts_are_rejected() {
 
 #[test]
 fn exec_concrete_blocks_are_rejected() {
-    let p = Prog::ExecConcrete(Box::new(Prog::ret(Expr::u32(1))));
+    let p = Prog::ExecConcrete(ir::intern::Interned::new(Prog::ret(Expr::u32(1))));
     let err = vcg(&p, &tt_spec(), &[], HeapModel::SplitHeaps, &TypeEnv::new())
         .unwrap_err();
     assert!(err.to_string().contains("exec_concrete"), "{err}");

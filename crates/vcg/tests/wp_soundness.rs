@@ -106,7 +106,7 @@ fn arb_prog(rng: &mut StdRng, bound: &mut Vec<String>, fuel: u32) -> Prog {
             bound.push(v.clone());
             let handler = arb_prog(rng, bound, fuel - 1);
             bound.pop();
-            Prog::Catch(Box::new(body), v, Box::new(handler))
+            Prog::Catch(ir::intern::Interned::new(body), v, ir::intern::Interned::new(handler))
         }
         _ => Prog::ret(Expr::ite(
             arb_bool(rng, bound, 2),
@@ -129,7 +129,7 @@ fn sample_env(rng: &mut StdRng, tenv: &TypeEnv) -> Env {
         } else {
             rng.gen()
         };
-        env.vars.insert(v.to_owned(), Value::u32(x));
+        env.vars.insert((*v).into(), Value::u32(x));
     }
     env
 }
@@ -169,7 +169,7 @@ fn wp_matches_execution_on_loop_free_programs() {
             let exec_ok = match run {
                 Ok((MonadResult::Normal(v), _)) => {
                     let mut env2 = env.clone();
-                    env2.vars.insert(vcg::RV.to_owned(), v);
+                    env2.vars.insert(vcg::RV.into(), v);
                     eval_bool(&post, &env2, &st).expect("post evaluates")
                 }
                 Ok((MonadResult::Except(_), _))
@@ -196,9 +196,9 @@ fn wp_threads_exceptional_post_through_catch() {
     // catch (throw a) (λe. return e): never escapes, so with post
     // `·rv = a` the WP is tt → a = a … i.e. valid everywhere.
     let prog = Prog::Catch(
-        Box::new(Prog::Throw(Expr::var("a"))),
+        ir::intern::Interned::new(Prog::Throw(Expr::var("a"))),
         "e".into(),
-        Box::new(Prog::ret(Expr::var("e"))),
+        ir::intern::Interned::new(Prog::ret(Expr::var("e"))),
     );
     let spec = Spec {
         pre: Expr::tt(),

@@ -739,7 +739,7 @@ pub fn overflow_idiom_rule() -> CustomRule {
         // Both operands must be unat-abstracted variables.
         for v in [x, y] {
             let Expr::Var(n) = &**v else { return None };
-            if ctx.get(n) != Some(&AbsFun::Unat) {
+            if ctx.get(n.as_str()) != Some(&AbsFun::Unat) {
                 return None;
             }
         }

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_table5.json reproducibly (fixed seed 0xAC inside the
+# harness; timings are host-dependent, everything else is deterministic).
+#
+#   scripts/bench.sh           # all five rows + Criterion micro-benches,
+#                              # rewrites BENCH_table5.json
+#   scripts/bench.sh --quick   # Schorr-Waite + eChronos rows only,
+#                              # writes BENCH_table5.quick.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--quick" ]]; then
+    TABLE5_ROWS="schorr-waite,echronos" \
+        cargo bench -q -p bench --bench table5_scalability
+else
+    cargo bench -q -p bench --bench table5_scalability
+fi

@@ -4,18 +4,27 @@
 #   scripts/tier1.sh          # build + full test suite
 #   scripts/tier1.sh --lint   # additionally clippy (-D warnings) the
 #                             # crates this PR series touches
+#   scripts/tier1.sh --quick  # additionally smoke the Table 5 bench on
+#                             # the Schorr-Waite + eChronos rows
+#                             # (regenerates dedup/replay-cache stats,
+#                             # fails on any panic/assertion)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
-cargo test -q
+cargo test -q --workspace
+
+if [[ "${1:-}" == "--quick" ]]; then
+    scripts/bench.sh --quick
+fi
 
 if [[ "${1:-}" == "--lint" ]]; then
     # Clippy on the crates touched by the parallel-pipeline work; extend
     # the list as later PRs touch more crates.
     cargo clippy -q --release \
         -p autocorres -p kernel -p monadic -p wordabs -p heapabs \
-        -p codegen -p bench \
+        -p codegen -p bench -p ir -p solver -p vcg -p simpl \
+        -p autocorres-repro -p proptest \
         --all-targets -- -D warnings
 fi
 

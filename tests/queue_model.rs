@@ -108,7 +108,7 @@ fn random_operation_sequences_match_the_model() {
                 model.push_back(addr);
             } else {
                 let (r, st2) =
-                    monadic::exec_fn(&out.wa, "dequeue", &[q.clone()], st, 1_000_000)
+                    monadic::exec_fn(&out.wa, "dequeue", std::slice::from_ref(&q), st, 1_000_000)
                         .unwrap_or_else(|e| panic!("round {round} step {step}: {e}"));
                 let MonadResult::Normal(Value::Ptr(p)) = r else {
                     panic!("dequeue returned {r:?}");
@@ -122,7 +122,7 @@ fn random_operation_sequences_match_the_model() {
             }
             // The stored length always matches the model.
             let (r, st2) =
-                monadic::exec_fn(&out.wa, "length", &[q.clone()], st, 1_000_000).unwrap();
+                monadic::exec_fn(&out.wa, "length", std::slice::from_ref(&q), st, 1_000_000).unwrap();
             assert_eq!(
                 r,
                 MonadResult::Normal(Value::nat(model.len() as u64)),
