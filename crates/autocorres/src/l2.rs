@@ -20,9 +20,9 @@
 //! documented substitute for Isabelle's rewrite-rule proofs, DESIGN.md §2).
 
 use std::collections::BTreeSet;
-use std::fmt;
 
 use cparser::typecheck::{ctype_to_ty, TExprKind, TFunDef, TProgram, TStmt};
+use ir::diag::{Diag, DiagKind};
 use ir::expr::Expr;
 use ir::guard::GuardKind;
 use ir::state::State;
@@ -44,26 +44,16 @@ pub const TAG_BRK: u32 = 1;
 /// Exception tag for `continue`.
 pub const TAG_CONT: u32 = 2;
 
-/// An L2 phase error.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct L2Error {
-    /// Explanation.
-    pub msg: String,
+/// An L2 diagnostic (phase `L2`, kind `Unsupported` unless noted).
+fn l2_diag(msg: impl Into<String>) -> Diag {
+    Diag::new(ir::diag::Phase::L2, DiagKind::Unsupported, msg)
 }
 
-impl fmt::Display for L2Error {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "L2: {}", self.msg)
-    }
+fn err<T>(msg: impl Into<String>) -> Result<T, Diag> {
+    Err(l2_diag(msg))
 }
 
-impl std::error::Error for L2Error {}
-
-fn err<T>(msg: impl Into<String>) -> Result<T, L2Error> {
-    Err(L2Error { msg: msg.into() })
-}
-
-type R<T> = Result<T, L2Error>;
+type R<T> = Result<T, Diag>;
 
 /// Translates a typed program to L2 and proves each function refines its L1
 /// counterpart.
@@ -122,9 +112,15 @@ pub fn l2_fn_theorem(
     let l1b = &l1ctx.fns[name].body;
     refine::exec_tested(cx, l2b, l1b, trials, fn_seed, || {
         test_fn_refines(l2ctx, l1ctx, name, heap_types, trials, fn_seed)
+            .map_err(|m| Diag::new(ir::diag::Phase::L2, DiagKind::Testing, m))
     })
-    .map_err(|e| L2Error {
-        msg: format!("{name}: {e}"),
+    .map_err(|e| {
+        Diag::new(
+            ir::diag::Phase::L2,
+            DiagKind::Testing,
+            format!("{name}: {e}"),
+        )
+        .with_function(name)
     })
 }
 
@@ -531,7 +527,7 @@ impl<'a> L2Tr<'a> {
         let tr = self
             .fx
             .rvalue(e, &mut pre)
-            .map_err(|e| L2Error { msg: e.to_string() })?;
+            .map_err(|e| e.in_phase(ir::diag::Phase::L2))?;
         let mut steps = self.convert_pre(pre)?;
         for (k, g) in tr.guards {
             steps.push(PreStep::Guard(k, delocal(&g)));
@@ -545,7 +541,7 @@ impl<'a> L2Tr<'a> {
         let tr = self
             .fx
             .cond(e, &mut pre)
-            .map_err(|e| L2Error { msg: e.to_string() })?;
+            .map_err(|e| e.in_phase(ir::diag::Phase::L2))?;
         let mut steps = self.convert_pre(pre)?;
         for (k, g) in tr.guards {
             steps.push(PreStep::Guard(k, delocal(&g)));
@@ -588,7 +584,7 @@ impl<'a> L2Tr<'a> {
                 let (lguards, upd) = self
                     .fx
                     .lvalue_update(lhs, re, &mut pre_lhs)
-                    .map_err(|e| L2Error { msg: e.to_string() })?;
+                    .map_err(|e| e.in_phase(ir::diag::Phase::L2))?;
                 steps.extend(self.convert_pre(pre_lhs)?);
                 for (k, g) in lguards {
                     steps.push(PreStep::Guard(k, delocal(&g)));
@@ -610,7 +606,7 @@ impl<'a> L2Tr<'a> {
                 let (guards, arg_exprs) = self
                     .fx
                     .call_args(args, &mut pre)
-                    .map_err(|e| L2Error { msg: e.to_string() })?;
+                    .map_err(|e| e.in_phase(ir::diag::Phase::L2))?;
                 let mut steps = self.convert_pre(pre)?;
                 for (k, g) in guards {
                     steps.push(PreStep::Guard(k, delocal(&g)));

@@ -37,12 +37,15 @@
 
 pub mod l1;
 pub mod l2;
+pub mod phase;
 pub mod pipeline;
 pub mod schedule;
+pub mod session;
 pub mod stats;
 pub mod testing;
 
-pub use pipeline::{
-    derive_seed, translate, translate_program, Options, Output, PhaseTheorems, PipelineError,
-};
+pub use ir::diag::Diag;
+pub use phase::{options_digest, ArtifactStore, Dep, DepScope, Phase, PHASES};
+pub use pipeline::{derive_seed, translate, translate_program, Options, Output, PhaseTheorems};
+pub use session::Session;
 pub use stats::{PhaseStat, PipelineStats};

@@ -1,0 +1,1433 @@
+//! The phase graph: L1, L2, HL, and WA as uniform nodes.
+//!
+//! Each pipeline phase implements the [`Phase`] trait — a name, a static
+//! dependency shape ([`Dep`]), a content digest of everything its
+//! per-function job consumes, and the job itself. The driver
+//! ([`run_phases`]) expands the phase list into one node per
+//! `(phase, function)` pair plus one barrier node per phase, wires the
+//! edges from the declared [`DepScope`]s, and hands the whole graph to the
+//! generic [`crate::schedule::run_dag`] scheduler. No phase owns its own
+//! scheduling code: adding a phase means adding a `Phase` impl and listing
+//! it in [`PHASES`].
+//!
+//! # Content-addressed incremental recomputation
+//!
+//! Every node computes a 128-bit *input digest* before running: a
+//! double-pass hash over the function's typed + Simpl terms, the global
+//! environment (layouts, globals, the signature table), the normalized
+//! driver options, and — for the exec-testing phases — the transitive
+//! callee cone. The [`ArtifactStore`] (owned by [`crate::Session`]) maps
+//! `(phase, function, input_digest)` to the artifact produced last time;
+//! a hit returns the cached artifact without re-running the job. Because
+//! every job is a deterministic pure function of exactly the digested
+//! inputs, a cache hit is byte-identical to a re-run — the incremental
+//! test suite asserts this.
+//!
+//! Soundness (DESIGN.md §7): artifacts store [`kernel::Thm`] values that
+//! were constructed through the kernel on the original run; the cache can
+//! skip *re-construction* and *re-replay* of an unchanged derivation, but
+//! it can never mint a theorem — `Thm` has no public constructor.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use ir::diag::{Diag, DiagKind};
+use ir::ty::Ty;
+use kernel::{CheckCtx, Thm};
+use monadic::{MonadicFn, Prog, ProgramCtx};
+use simpl::stmt::{SimplProgram, SimplStmt};
+
+use crate::pipeline::{derive_seed, Options, Output, PhaseTheorems};
+use crate::schedule::{run_dag, PoolStats};
+use crate::stats::{PhaseStat, PipelineStats};
+
+/// Which nodes of a dependency phase a node waits for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DepScope {
+    /// The dependency phase's node for the *same* function.
+    SameFn,
+    /// The dependency phase's nodes for the function's direct callees
+    /// (per the static call graph; recursion edges impose no ordering).
+    Callees,
+    /// The dependency phase's barrier — every function's node.
+    AllFns,
+}
+
+/// One declared dependency of a phase.
+#[derive(Clone, Copy, Debug)]
+pub struct Dep {
+    /// Name of the phase depended on.
+    pub phase: &'static str,
+    /// Which of its nodes to wait for.
+    pub scope: DepScope,
+}
+
+/// A per-function phase result.
+#[derive(Clone, Debug)]
+pub enum Artifact {
+    /// L1 output: the monadic function plus its `l1corres` theorem.
+    L1 {
+        /// Translated function (locals in state).
+        fun: MonadicFn,
+        /// The `l1corres` theorem.
+        thm: Thm,
+    },
+    /// L2 translation output (no theorem yet; see [`Artifact::L2Thm`]).
+    L2Fn(MonadicFn),
+    /// The L2 `refines` theorem (depends on the complete L1/L2 contexts).
+    L2Thm(Thm),
+    /// HL output; `thm` is `None` for concrete-kept functions.
+    Hl {
+        /// Heap-abstracted (or concrete-kept) function.
+        fun: MonadicFn,
+        /// The `abs_h_stmt` theorem, when abstracted.
+        thm: Option<Thm>,
+    },
+    /// WA output; `thm` is `None` for non-selected functions.
+    Wa {
+        /// Word-abstracted (or passed-through) function.
+        fun: MonadicFn,
+        /// The `abs_w_stmt` theorem, when selected.
+        thm: Option<Thm>,
+    },
+    /// Caller adaptation; `None` when the function needed no rewriting.
+    Adapt(Option<AdaptedFn>),
+}
+
+/// An adapted concrete caller: the rewritten body and its theorem.
+#[derive(Clone, Debug)]
+pub struct AdaptedFn {
+    /// Body with call sites lifted/re-concretised.
+    pub body: Prog,
+    /// The adaptation's `ExecTested` refinement theorem.
+    pub thm: Thm,
+}
+
+/// A stored phase result: the artifact plus the input digest it was
+/// computed from (the store key's digest component, kept for debugging).
+#[derive(Debug)]
+pub struct PhaseArtifact {
+    /// 128-bit content digest of the inputs that produced `value`.
+    pub digest: u128,
+    /// The result.
+    pub value: Artifact,
+}
+
+/// A node failure: the diagnostic plus whether this node is the *root*
+/// cause (`true`) or merely downstream of another failed node (`false`).
+/// Error reporting picks the first root failure in phase order.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// What went wrong.
+    pub diag: Diag,
+    /// Root cause (as opposed to inherited from a failed dependency)?
+    pub root: bool,
+}
+
+impl From<Diag> for Failure {
+    fn from(diag: Diag) -> Failure {
+        Failure { diag, root: true }
+    }
+}
+
+impl Failure {
+    fn inherit(&self) -> Failure {
+        Failure {
+            diag: self.diag.clone(),
+            root: false,
+        }
+    }
+}
+
+type NodeResult = Result<Option<Arc<PhaseArtifact>>, Failure>;
+
+/// A pipeline phase: one node per function, scheduled generically.
+pub trait Phase: Sync {
+    /// Unique phase name (also the artifact-store key component).
+    fn name(&self) -> &'static str;
+    /// Dependency shape, wired into the node graph by [`run_phases`].
+    fn deps(&self) -> &'static [Dep];
+    /// Content digest of everything [`Phase::run`] consumes for function
+    /// `f` — called after this node's dependencies completed, so it may
+    /// read shared contexts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates failures of the dependencies the digest covers.
+    fn input_digest(&self, cx: &PhaseCx<'_>, f: usize) -> Result<u128, Failure>;
+    /// Produces the function's artifact.
+    ///
+    /// # Errors
+    ///
+    /// A root `Failure` for genuine phase errors, an inherited one when a
+    /// dependency already failed.
+    fn run(&self, cx: &PhaseCx<'_>, f: usize) -> Result<Artifact, Failure>;
+}
+
+/// The phase list, in pipeline order. Order matters only for error
+/// reporting (first failing phase wins) and stats display; scheduling is
+/// purely dependency-driven.
+pub static PHASES: &[&dyn Phase] = &[
+    &L1Phase,
+    &L2TrPhase,
+    &L2ThmPhase,
+    &HlPhase,
+    &WaPhase,
+    &AdaptPhase,
+];
+
+fn phase_index(name: &str) -> usize {
+    PHASES
+        .iter()
+        .position(|p| p.name() == name)
+        .expect("dependency on an unknown phase")
+}
+
+// ---- digests ----------------------------------------------------------------
+
+/// Two independent fixed-key `DefaultHasher` passes, concatenated to 128
+/// bits (the same construction as the kernel's `ReplayCache`).
+fn digest128(write: impl Fn(&mut DefaultHasher)) -> u128 {
+    fn pass(seed: u64, write: &impl Fn(&mut DefaultHasher)) -> u64 {
+        let mut h = DefaultHasher::new();
+        seed.hash(&mut h);
+        write(&mut h);
+        h.finish()
+    }
+    (u128::from(pass(0x9E37_79B9_7F4A_7C15, &write)) << 64)
+        | u128::from(pass(0xC2B2_AE3D_27D4_EB4F, &write))
+}
+
+/// Digest of the normalized [`Options`]: the per-function selections (both
+/// `BTreeSet`s iterate sorted, so insertion order cannot leak), the custom
+/// word rules by identity, the *effective* L2 trial budget (`0` and the
+/// default `80` hash equal), and the seed. `workers` is deliberately
+/// excluded — the worker count never affects output bytes.
+#[must_use]
+pub fn options_digest(opts: &Options) -> u128 {
+    digest128(|h| {
+        for f in &opts.concrete_fns {
+            f.hash(h);
+        }
+        0xffu8.hash(h);
+        match &opts.word_abstract_fns {
+            None => 0u8.hash(h),
+            Some(s) => {
+                1u8.hash(h);
+                for f in s {
+                    f.hash(h);
+                }
+            }
+        }
+        0xffu8.hash(h);
+        opts.custom_word_rules.len().hash(h);
+        for r in &opts.custom_word_rules {
+            (Arc::as_ptr(r) as *const () as usize).hash(h);
+        }
+        effective_l2_trials(opts).hash(h);
+        opts.seed.hash(h);
+    })
+}
+
+/// The L2 differential-test budget with the `0 = default` normalization.
+pub(crate) fn effective_l2_trials(opts: &Options) -> u32 {
+    if opts.l2_trials == 0 {
+        80
+    } else {
+        opts.l2_trials
+    }
+}
+
+// ---- the shared per-run context ---------------------------------------------
+
+/// Per-phase wall/busy clocks, accumulated lock-free by the node jobs.
+struct PhaseClock {
+    /// Sum of node durations (nanoseconds).
+    busy: AtomicU64,
+    /// Earliest node start, nanoseconds since the graph epoch.
+    start: AtomicU64,
+    /// Latest node end, nanoseconds since the graph epoch.
+    end: AtomicU64,
+    /// Nodes answered from the artifact store.
+    cached: AtomicUsize,
+}
+
+impl Default for PhaseClock {
+    fn default() -> PhaseClock {
+        PhaseClock {
+            busy: AtomicU64::new(0),
+            start: AtomicU64::new(u64::MAX),
+            end: AtomicU64::new(0),
+            cached: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// Everything the phase jobs share: the inputs, the precomputed digests,
+/// the per-node result slots, and the lazily-built cross-function contexts
+/// of the barrier-dependent phases.
+pub struct PhaseCx<'a> {
+    /// The typed C program.
+    pub typed: &'a cparser::TProgram,
+    /// The Simpl translation (trusted front end output).
+    pub sp: &'a SimplProgram,
+    /// Driver options.
+    pub opts: &'a Options,
+    /// Base kernel context (struct layouts only).
+    pub cx: CheckCtx,
+    /// Function names, sorted — node index order for every phase.
+    pub names: Vec<String>,
+    /// For each name index, the index into `typed.functions`.
+    pub typed_idx: Vec<usize>,
+    /// Static call graph over name indices (from the Simpl bodies).
+    pub callees: Vec<Vec<usize>>,
+    /// Per-function term digest (typed def + Simpl translation).
+    pub fn_digests: Vec<u128>,
+    /// Per-function transitive-callee cone digest (includes the function).
+    pub cone_digests: Vec<u128>,
+    /// Digest of layouts, globals, and the full signature table.
+    pub env_digest: u128,
+    /// Digest of the normalized options.
+    pub opts_digest: u128,
+    slots: Vec<OnceLock<NodeResult>>,
+    /// Per-function "some node was recomputed" flags (0/1).
+    dirty: Vec<AtomicUsize>,
+    l2sh: OnceLock<Result<L2Shared, Failure>>,
+    wash: OnceLock<Result<WaShared, Failure>>,
+    adsh: OnceLock<Result<AdaptShared, Failure>>,
+    clocks: Vec<PhaseClock>,
+    epoch: Instant,
+}
+
+/// L2-theorem shared state: the complete L1/L2 contexts and the heap
+/// types the differential tests generate states from.
+struct L2Shared {
+    l1ctx: ProgramCtx,
+    l2ctx: ProgramCtx,
+    heap_types: Vec<Ty>,
+    /// Digest of `heap_types` — part of the L2-theorem input digest, since
+    /// the generated test states depend on it.
+    ht_digest: u128,
+}
+
+/// WA shared state: the complete HL context, resolved options, and the
+/// kernel context extended with the abstracted signature table.
+struct WaShared {
+    hlctx: ProgramCtx,
+    wa_opts: wordabs::WaOptions,
+    check_ctx: CheckCtx,
+}
+
+/// Adaptation shared state: the final WA context (adapted bodies already
+/// swapped in), the per-function plans, and the HL heap types the
+/// adaptation tests use.
+struct AdaptShared {
+    wactx: ProgramCtx,
+    plans: BTreeMap<String, (Prog, Prog)>,
+    heap_types: Vec<Ty>,
+    ht_digest: u128,
+}
+
+impl<'a> PhaseCx<'a> {
+    /// Builds the shared context: sorted name order, the static call
+    /// graph, and all per-function digests.
+    #[must_use]
+    pub fn new(typed: &'a cparser::TProgram, sp: &'a SimplProgram, opts: &'a Options) -> Self {
+        let names: Vec<String> = sp.fns.keys().cloned().collect();
+        let name_idx: BTreeMap<&str, usize> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.as_str(), i))
+            .collect();
+        let typed_idx: Vec<usize> = names
+            .iter()
+            .map(|n| {
+                typed
+                    .functions
+                    .iter()
+                    .position(|f| &f.name == n)
+                    .expect("simpl translates exactly the typed functions")
+            })
+            .collect();
+        let callees: Vec<Vec<usize>> = names
+            .iter()
+            .map(|n| {
+                let mut out = BTreeSet::new();
+                collect_calls(&sp.fns[n].body, &mut out);
+                out.iter()
+                    .filter_map(|c| name_idx.get(c.as_str()).copied())
+                    .collect()
+            })
+            .collect();
+        let fn_digests: Vec<u128> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                digest128(|h| {
+                    typed.functions[typed_idx[i]].hash(h);
+                    sp.fns[n].hash(h);
+                })
+            })
+            .collect();
+        let cone_digests: Vec<u128> = (0..names.len())
+            .map(|i| {
+                // BFS over transitive callees, cycle-tolerant; hash the
+                // reached functions' digests in deterministic index order.
+                let mut seen = BTreeSet::from([i]);
+                let mut frontier = vec![i];
+                while let Some(j) = frontier.pop() {
+                    for &c in &callees[j] {
+                        if seen.insert(c) {
+                            frontier.push(c);
+                        }
+                    }
+                }
+                digest128(|h| {
+                    for &j in &seen {
+                        names[j].hash(h);
+                        fn_digests[j].hash(h);
+                    }
+                })
+            })
+            .collect();
+        let env_digest = digest128(|h| {
+            sp.tenv.hash(h);
+            sp.globals.hash(h);
+            typed.globals.hash(h);
+            for (n, f) in &sp.fns {
+                n.hash(h);
+                f.params.hash(h);
+                f.ret_ty.hash(h);
+            }
+        });
+        let n_nodes = PHASES.len() * (names.len() + 1);
+        let mut slots = Vec::with_capacity(n_nodes);
+        slots.resize_with(n_nodes, OnceLock::new);
+        let mut dirty = Vec::with_capacity(names.len());
+        dirty.resize_with(names.len(), || AtomicUsize::new(0));
+        let mut clocks = Vec::with_capacity(PHASES.len());
+        clocks.resize_with(PHASES.len(), PhaseClock::default);
+        PhaseCx {
+            typed,
+            sp,
+            opts,
+            cx: CheckCtx {
+                tenv: sp.tenv.clone(),
+                ..CheckCtx::default()
+            },
+            names,
+            typed_idx,
+            callees,
+            fn_digests,
+            cone_digests,
+            env_digest,
+            opts_digest: options_digest(opts),
+            slots,
+            dirty,
+            l2sh: OnceLock::new(),
+            wash: OnceLock::new(),
+            adsh: OnceLock::new(),
+            clocks,
+            epoch: Instant::now(),
+        }
+    }
+
+    fn node_id(&self, phase: usize, f: usize) -> usize {
+        phase * (self.names.len() + 1) + f
+    }
+
+    /// The finished artifact of `(phase, f)` — panics if scheduling let us
+    /// read it before its node ran (a driver bug, not a user error).
+    fn artifact(&self, phase: &str, f: usize) -> Result<Arc<PhaseArtifact>, Failure> {
+        let id = self.node_id(phase_index(phase), f);
+        match self.slots[id].get().expect("dependency node finished") {
+            Ok(Some(a)) => Ok(Arc::clone(a)),
+            Ok(None) => unreachable!("barrier nodes carry no artifact"),
+            Err(e) => Err(e.inherit()),
+        }
+    }
+
+    /// A plain per-function digest: the phase name, the function's own
+    /// term, the environment, and the options.
+    fn fn_scope_digest(&self, phase: &str, f: usize) -> u128 {
+        let fd = self.fn_digests[f];
+        let (env, opts) = (self.env_digest, self.opts_digest);
+        digest128(move |h| {
+            phase.hash(h);
+            fd.hash(h);
+            env.hash(h);
+            opts.hash(h);
+        })
+    }
+
+    /// A cone digest for the exec-testing phases: like
+    /// [`PhaseCx::fn_scope_digest`] but covering the transitive callee
+    /// cone (tests execute calls) plus any phase-shared extra.
+    fn cone_scope_digest(&self, phase: &str, f: usize, extra: u128) -> u128 {
+        let cd = self.cone_digests[f];
+        let (env, opts) = (self.env_digest, self.opts_digest);
+        digest128(move |h| {
+            phase.hash(h);
+            cd.hash(h);
+            env.hash(h);
+            opts.hash(h);
+            extra.hash(h);
+        })
+    }
+
+    fn l2_shared(&self) -> Result<&L2Shared, Failure> {
+        self.l2sh
+            .get_or_init(|| {
+                let mut l1ctx = ProgramCtx {
+                    tenv: self.sp.tenv.clone(),
+                    globals: self.sp.globals.clone(),
+                    ..ProgramCtx::default()
+                };
+                let mut l2ctx = ProgramCtx {
+                    tenv: self.sp.tenv.clone(),
+                    globals: self.sp.globals.clone(),
+                    ..ProgramCtx::default()
+                };
+                for (i, name) in self.names.iter().enumerate() {
+                    let Artifact::L1 { fun, .. } = &self.artifact("l1", i)?.value else {
+                        unreachable!("l1 nodes produce L1 artifacts");
+                    };
+                    l1ctx.fns.insert(name.clone(), fun.clone());
+                    let Artifact::L2Fn(fun) = &self.artifact("l2", i)?.value else {
+                        unreachable!("l2 nodes produce L2Fn artifacts");
+                    };
+                    l2ctx.fns.insert(name.clone(), fun.clone());
+                }
+                let heap_types = crate::testing::heap_types_of(&l1ctx.tenv, &l1ctx);
+                let ht = heap_types.clone();
+                let ht_digest = digest128(move |h| ht.hash(h));
+                Ok(L2Shared {
+                    l1ctx,
+                    l2ctx,
+                    heap_types,
+                    ht_digest,
+                })
+            })
+            .as_ref()
+            .map_err(Failure::inherit)
+    }
+
+    fn wa_shared(&self) -> Result<&WaShared, Failure> {
+        self.wash
+            .get_or_init(|| {
+                let mut hlctx = ProgramCtx {
+                    tenv: self.sp.tenv.clone(),
+                    globals: self.sp.globals.clone(),
+                    ..ProgramCtx::default()
+                };
+                for (i, name) in self.names.iter().enumerate() {
+                    let Artifact::Hl { fun, .. } = &self.artifact("hl", i)?.value else {
+                        unreachable!("hl nodes produce Hl artifacts");
+                    };
+                    hlctx.fns.insert(name.clone(), fun.clone());
+                }
+                let opts = self.opts;
+                let wa_opts = wordabs::WaOptions {
+                    abstract_fns: match &opts.word_abstract_fns {
+                        Some(s) => Some(s.clone()),
+                        // Never word-abstract concrete-kept functions by
+                        // default.
+                        None if opts.concrete_fns.is_empty() => None,
+                        None => Some(
+                            hlctx
+                                .fns
+                                .keys()
+                                .filter(|n| !opts.concrete_fns.contains(*n))
+                                .cloned()
+                                .collect(),
+                        ),
+                    },
+                    custom_rules: opts.custom_word_rules.clone(),
+                    custom_trials: 1000,
+                };
+                let check_ctx = wordabs::wa_signatures(&self.cx, &hlctx, &wa_opts);
+                Ok(WaShared {
+                    hlctx,
+                    wa_opts,
+                    check_ctx,
+                })
+            })
+            .as_ref()
+            .map_err(Failure::inherit)
+    }
+
+    fn adapt_shared(&self) -> Result<&AdaptShared, Failure> {
+        self.adsh
+            .get_or_init(|| {
+                let wash = self.wa_shared().map_err(|e| e.inherit())?;
+                let mut wactx = ProgramCtx {
+                    tenv: self.sp.tenv.clone(),
+                    globals: self.sp.globals.clone(),
+                    ..ProgramCtx::default()
+                };
+                for (i, name) in self.names.iter().enumerate() {
+                    let Artifact::Wa { fun, .. } = &self.artifact("wa", i)?.value else {
+                        unreachable!("wa nodes produce Wa artifacts");
+                    };
+                    wactx.fns.insert(name.clone(), fun.clone());
+                }
+                let plans: BTreeMap<String, (Prog, Prog)> =
+                    plan_caller_adaptations(&wash.check_ctx, &wash.hlctx, &wactx)
+                        .into_iter()
+                        .map(|(n, new, old)| (n, (new, old)))
+                        .collect();
+                for (name, (new_body, _)) in &plans {
+                    wactx
+                        .fns
+                        .get_mut(name)
+                        .expect("planned adaptation of a known function")
+                        .body = new_body.clone();
+                }
+                let heap_types =
+                    crate::testing::heap_types_of(&wash.hlctx.tenv, &wash.hlctx);
+                let ht = heap_types.clone();
+                let ht_digest = digest128(move |h| ht.hash(h));
+                Ok(AdaptShared {
+                    wactx,
+                    plans,
+                    heap_types,
+                    ht_digest,
+                })
+            })
+            .as_ref()
+            .map_err(Failure::inherit)
+    }
+}
+
+/// Direct callees of a Simpl body.
+fn collect_calls(s: &SimplStmt, out: &mut BTreeSet<String>) {
+    match s {
+        SimplStmt::Call { fname, .. } => {
+            out.insert(fname.clone());
+        }
+        SimplStmt::Seq(a, b) | SimplStmt::TryCatch(a, b) | SimplStmt::Cond(_, a, b) => {
+            collect_calls(a, out);
+            collect_calls(b, out);
+        }
+        SimplStmt::While(_, b) | SimplStmt::Guard(_, _, b) => collect_calls(b, out),
+        SimplStmt::Skip | SimplStmt::Basic(_) | SimplStmt::Throw => {}
+    }
+}
+
+// ---- the six phases ---------------------------------------------------------
+
+/// Simpl → monadic with state-stored locals (one kernel rule per
+/// construct, Table 1).
+struct L1Phase;
+
+impl Phase for L1Phase {
+    fn name(&self) -> &'static str {
+        "l1"
+    }
+    fn deps(&self) -> &'static [Dep] {
+        &[]
+    }
+    fn input_digest(&self, cx: &PhaseCx<'_>, f: usize) -> Result<u128, Failure> {
+        Ok(cx.fn_scope_digest("l1", f))
+    }
+    fn run(&self, cx: &PhaseCx<'_>, f: usize) -> Result<Artifact, Failure> {
+        let sf = &cx.sp.fns[&cx.names[f]];
+        let out = crate::l1::l1_function(&cx.cx, sf).map_err(|e| {
+            Failure::from(
+                Diag::new(ir::diag::Phase::L1, DiagKind::Kernel, e.to_string())
+                    .with_function(&cx.names[f]),
+            )
+        })?;
+        Ok(Artifact::L1 {
+            fun: out.fun,
+            thm: out.thm,
+        })
+    }
+}
+
+/// L1 → L2 translation (lambda-bound locals, structured control flow).
+struct L2TrPhase;
+
+impl Phase for L2TrPhase {
+    fn name(&self) -> &'static str {
+        "l2"
+    }
+    fn deps(&self) -> &'static [Dep] {
+        &[]
+    }
+    fn input_digest(&self, cx: &PhaseCx<'_>, f: usize) -> Result<u128, Failure> {
+        Ok(cx.fn_scope_digest("l2", f))
+    }
+    fn run(&self, cx: &PhaseCx<'_>, f: usize) -> Result<Artifact, Failure> {
+        let tf = &cx.typed.functions[cx.typed_idx[f]];
+        let fun = crate::l2::l2_function(cx.typed, tf)
+            .map_err(|d| Failure::from(d.with_function(&cx.names[f])))?;
+        Ok(Artifact::L2Fn(fun))
+    }
+}
+
+/// The L2 `refines` theorem (differential test against L1; executes
+/// calls, so it needs the complete L1/L2 contexts).
+struct L2ThmPhase;
+
+impl Phase for L2ThmPhase {
+    fn name(&self) -> &'static str {
+        "l2thm"
+    }
+    fn deps(&self) -> &'static [Dep] {
+        &[
+            Dep {
+                phase: "l1",
+                scope: DepScope::AllFns,
+            },
+            Dep {
+                phase: "l2",
+                scope: DepScope::AllFns,
+            },
+        ]
+    }
+    fn input_digest(&self, cx: &PhaseCx<'_>, f: usize) -> Result<u128, Failure> {
+        let sh = cx.l2_shared()?;
+        Ok(cx.cone_scope_digest("l2thm", f, sh.ht_digest))
+    }
+    fn run(&self, cx: &PhaseCx<'_>, f: usize) -> Result<Artifact, Failure> {
+        let sh = cx.l2_shared()?;
+        let thm = crate::l2::l2_fn_theorem(
+            &cx.cx,
+            &sh.l2ctx,
+            &sh.l1ctx,
+            &sh.heap_types,
+            &cx.names[f],
+            effective_l2_trials(cx.opts),
+            cx.opts.seed,
+        )
+        .map_err(Failure::from)?;
+        Ok(Artifact::L2Thm(thm))
+    }
+}
+
+/// Byte-level heap → typed split heaps (Sec 4).
+struct HlPhase;
+
+impl Phase for HlPhase {
+    fn name(&self) -> &'static str {
+        "hl"
+    }
+    fn deps(&self) -> &'static [Dep] {
+        &[Dep {
+            phase: "l2",
+            scope: DepScope::SameFn,
+        }]
+    }
+    fn input_digest(&self, cx: &PhaseCx<'_>, f: usize) -> Result<u128, Failure> {
+        Ok(cx.fn_scope_digest("hl", f))
+    }
+    fn run(&self, cx: &PhaseCx<'_>, f: usize) -> Result<Artifact, Failure> {
+        let name = &cx.names[f];
+        let Artifact::L2Fn(fun) = &cx.artifact("l2", f)?.value else {
+            unreachable!("l2 nodes produce L2Fn artifacts");
+        };
+        let hl_opts = heapabs::HlOptions {
+            concrete_fns: cx.opts.concrete_fns.clone(),
+        };
+        if hl_opts.concrete_fns.contains(name) {
+            Ok(Artifact::Hl {
+                fun: heapabs::hl_keep_concrete(fun, &hl_opts),
+                thm: None,
+            })
+        } else {
+            let (fun, thm) = heapabs::hl_function(&cx.cx, fun, &hl_opts)
+                .map_err(|e| Failure::from(Diag::from(e).with_function(name)))?;
+            Ok(Artifact::Hl {
+                fun,
+                thm: Some(thm),
+            })
+        }
+    }
+}
+
+/// Machine words → ideal `nat`/`int` arithmetic (Sec 3). Scheduled over
+/// the call graph so a caller's job never starts before its callees'.
+struct WaPhase;
+
+impl Phase for WaPhase {
+    fn name(&self) -> &'static str {
+        "wa"
+    }
+    fn deps(&self) -> &'static [Dep] {
+        &[
+            Dep {
+                phase: "hl",
+                scope: DepScope::AllFns,
+            },
+            Dep {
+                phase: "wa",
+                scope: DepScope::Callees,
+            },
+        ]
+    }
+    fn input_digest(&self, cx: &PhaseCx<'_>, f: usize) -> Result<u128, Failure> {
+        Ok(cx.cone_scope_digest("wa", f, 0))
+    }
+    fn run(&self, cx: &PhaseCx<'_>, f: usize) -> Result<Artifact, Failure> {
+        let sh = cx.wa_shared()?;
+        let name = &cx.names[f];
+        let fun = &sh.hlctx.fns[name];
+        if sh.wa_opts.selects(name) {
+            let (fun, thm) = wordabs::wa_function_in(&sh.check_ctx, &sh.hlctx, fun, &sh.wa_opts)
+                .map_err(|e| Failure::from(Diag::from(e).with_function(name)))?;
+            Ok(Artifact::Wa {
+                fun,
+                thm: Some(thm),
+            })
+        } else {
+            Ok(Artifact::Wa {
+                fun: fun.clone(),
+                thm: None,
+            })
+        }
+    }
+}
+
+/// Caller adaptation (Sec 4.6's value direction): rewrite non-abstracted
+/// callers of abstracted callees and exec-test each rewritten function
+/// against the final context.
+struct AdaptPhase;
+
+impl Phase for AdaptPhase {
+    fn name(&self) -> &'static str {
+        "adapt"
+    }
+    fn deps(&self) -> &'static [Dep] {
+        &[Dep {
+            phase: "wa",
+            scope: DepScope::AllFns,
+        }]
+    }
+    fn input_digest(&self, cx: &PhaseCx<'_>, f: usize) -> Result<u128, Failure> {
+        let sh = cx.adapt_shared()?;
+        Ok(cx.cone_scope_digest("adapt", f, sh.ht_digest))
+    }
+    fn run(&self, cx: &PhaseCx<'_>, f: usize) -> Result<Artifact, Failure> {
+        let sh = cx.adapt_shared()?;
+        let wash = cx.wa_shared()?;
+        let name = &cx.names[f];
+        let Some((new_body, old_body)) = sh.plans.get(name) else {
+            return Ok(Artifact::Adapt(None));
+        };
+        let fn_seed = derive_seed(cx.opts.seed, name);
+        let thm = kernel::rules::refine::exec_tested(
+            &wash.check_ctx,
+            new_body,
+            old_body,
+            60,
+            fn_seed,
+            || {
+                test_adapted_fn(&sh.wactx, &wash.hlctx, name, &sh.heap_types, 60, fn_seed)
+                    .map_err(|m| Diag::new(ir::diag::Phase::Wa, DiagKind::Testing, m))
+            },
+        )
+        .map_err(|e| {
+            Failure::from(
+                Diag::new(ir::diag::Phase::Wa, DiagKind::Kernel, e.to_string())
+                    .with_function(name),
+            )
+        })?;
+        Ok(Artifact::Adapt(Some(AdaptedFn {
+            body: new_body.clone(),
+            thm,
+        })))
+    }
+}
+
+// ---- the artifact store -----------------------------------------------------
+
+/// `(phase name, function name, input digest)` — the store key.
+type ArtifactKey = (&'static str, String, u128);
+
+/// Session-scoped artifact store: `(phase, function, input_digest)` →
+/// artifact. Lookups that hit skip the phase job entirely.
+#[derive(Default)]
+pub struct ArtifactStore {
+    map: Mutex<HashMap<ArtifactKey, Arc<PhaseArtifact>>>,
+}
+
+impl ArtifactStore {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> ArtifactStore {
+        ArtifactStore::default()
+    }
+
+    /// Number of stored artifacts.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("artifact store poisoned").len()
+    }
+
+    /// Is the store empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn get(&self, phase: &'static str, name: &str, digest: u128) -> Option<Arc<PhaseArtifact>> {
+        self.map
+            .lock()
+            .expect("artifact store poisoned")
+            .get(&(phase, name.to_owned(), digest))
+            .map(Arc::clone)
+    }
+
+    fn put(&self, phase: &'static str, name: &str, artifact: Arc<PhaseArtifact>) {
+        self.map
+            .lock()
+            .expect("artifact store poisoned")
+            .insert((phase, name.to_owned(), artifact.digest), artifact);
+    }
+}
+
+// ---- the generic driver -----------------------------------------------------
+
+/// Expands [`PHASES`] into the per-function node graph (with one barrier
+/// node per phase encoding `AllFns` edges linearly) and executes it on
+/// [`run_dag`]. Results land in `cx`'s slots; per-phase clocks and cache
+/// counters accumulate in `cx`.
+pub(crate) fn run_phases(cx: &PhaseCx<'_>, store: &ArtifactStore, workers: usize) -> PoolStats {
+    let n = cx.names.len();
+    let stride = n + 1;
+    let n_nodes = PHASES.len() * stride;
+    let mut deps: Vec<Vec<usize>> = vec![Vec::new(); n_nodes];
+    for (p, phase) in PHASES.iter().enumerate() {
+        // Barrier: waits for every node of its phase.
+        deps[p * stride + n] = (0..n).map(|i| p * stride + i).collect();
+        for d in phase.deps() {
+            let q = phase_index(d.phase);
+            for i in 0..n {
+                let node = p * stride + i;
+                match d.scope {
+                    DepScope::SameFn => deps[node].push(q * stride + i),
+                    DepScope::AllFns => deps[node].push(q * stride + n),
+                    DepScope::Callees => {
+                        deps[node].extend(cx.callees[i].iter().map(|&c| q * stride + c));
+                    }
+                }
+            }
+        }
+    }
+    let (_, pool) = run_dag(n_nodes, &deps, workers, |node| {
+        let (p, i) = (node / stride, node % stride);
+        if i == n {
+            // Barriers do no work.
+            let _ = cx.slots[node].set(Ok(None));
+            return;
+        }
+        let t0 = Instant::now();
+        let started = cx.epoch.elapsed().as_nanos() as u64;
+        let result = exec_node(cx, store, p, i);
+        let clock = &cx.clocks[p];
+        clock.busy.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        clock.start.fetch_min(started, Ordering::Relaxed);
+        clock
+            .end
+            .fetch_max(cx.epoch.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let _ = cx.slots[node].set(result);
+    });
+    pool
+}
+
+fn exec_node(cx: &PhaseCx<'_>, store: &ArtifactStore, p: usize, i: usize) -> NodeResult {
+    let phase = PHASES[p];
+    let digest = phase.input_digest(cx, i)?;
+    let name = &cx.names[i];
+    if let Some(hit) = store.get(phase.name(), name, digest) {
+        cx.clocks[p].cached.fetch_add(1, Ordering::Relaxed);
+        return Ok(Some(hit));
+    }
+    cx.dirty[i].store(1, Ordering::Relaxed);
+    let value = phase.run(cx, i)?;
+    let artifact = Arc::new(PhaseArtifact { digest, value });
+    store.put(phase.name(), name, Arc::clone(&artifact));
+    Ok(Some(artifact))
+}
+
+// ---- assembly ---------------------------------------------------------------
+
+/// Per-phase outcome summary used by the pipeline to build the output and
+/// the stats.
+pub(crate) struct GraphRun {
+    /// First root failure in phase order, if any.
+    pub error: Option<Diag>,
+    /// Per-phase `(busy, wall-start, wall-end, cached)` clock snapshots,
+    /// indexed like [`PHASES`].
+    pub clocks: Vec<(u64, u64, u64, usize)>,
+    /// Functions with at least one recomputed (non-cached) node.
+    pub dirty_fns: usize,
+    /// Total nodes answered from the artifact store.
+    pub cached_nodes: usize,
+}
+
+/// Collects errors/clock data after [`run_phases`] finished.
+pub(crate) fn graph_outcome(cx: &PhaseCx<'_>) -> GraphRun {
+    let n = cx.names.len();
+    let stride = n + 1;
+    // Error selection mirrors the old strictly-phased pipeline: the first
+    // failing function of the earliest failing phase, in that phase's
+    // fixed iteration order (source order for the L2 phases, name order
+    // elsewhere).
+    let mut error: Option<Diag> = None;
+    let mut fallback: Option<Diag> = None;
+    for (p, phase) in PHASES.iter().enumerate() {
+        let src_order = matches!(phase.name(), "l2" | "l2thm");
+        let order: Vec<usize> = if src_order {
+            let mut by_src: Vec<usize> = (0..n).collect();
+            by_src.sort_by_key(|&i| cx.typed_idx[i]);
+            by_src
+        } else {
+            (0..n).collect()
+        };
+        for i in order {
+            if let Some(Err(f)) = cx.slots[p * stride + i].get() {
+                if f.root {
+                    error = Some(f.diag.clone());
+                    break;
+                }
+                if fallback.is_none() {
+                    fallback = Some(f.diag.clone());
+                }
+            }
+        }
+        if error.is_some() {
+            break;
+        }
+    }
+    let error = error.or(fallback);
+    let clocks: Vec<(u64, u64, u64, usize)> = cx
+        .clocks
+        .iter()
+        .map(|c| {
+            let start = c.start.load(Ordering::Relaxed);
+            (
+                c.busy.load(Ordering::Relaxed),
+                if start == u64::MAX { 0 } else { start },
+                c.end.load(Ordering::Relaxed),
+                c.cached.load(Ordering::Relaxed),
+            )
+        })
+        .collect();
+    let dirty_fns = cx
+        .dirty
+        .iter()
+        .filter(|d| d.load(Ordering::Relaxed) != 0)
+        .count();
+    let cached_nodes = cx
+        .clocks
+        .iter()
+        .map(|c| c.cached.load(Ordering::Relaxed))
+        .sum();
+    GraphRun {
+        error,
+        clocks,
+        dirty_fns,
+        cached_nodes,
+    }
+}
+
+// ---- the pipeline entry point -----------------------------------------------
+
+/// Runs the whole phase graph over `typed` and assembles the legacy
+/// [`Output`] — theorem lists in the historical per-phase orders, stats
+/// per phase — so the result is byte-identical to the old strictly-phased
+/// driver (and to any cached re-run).
+pub(crate) fn run_pipeline(
+    typed: &cparser::TProgram,
+    opts: &Options,
+    store: &ArtifactStore,
+) -> Result<Output, Diag> {
+    let total_start = Instant::now();
+    let workers = opts.workers.max(1);
+
+    // Parse (trusted, sequential, never cached — the frontend is cheap
+    // relative to the proof-producing phases).
+    let parse_start = Instant::now();
+    let sp = simpl::translate_program(typed)?;
+    let parse_pool = PoolStats {
+        workers: 1,
+        busy: parse_start.elapsed(),
+        wall: parse_start.elapsed(),
+    };
+    let mut phases: Vec<PhaseStat> =
+        vec![PhaseStat::from_pool("parse", parse_pool, sp.fns.len(), 0, 0)];
+
+    let cx = PhaseCx::new(typed, &sp, opts);
+    run_phases(&cx, store, workers);
+    let outcome = graph_outcome(&cx);
+    if let Some(d) = outcome.error {
+        return Err(d);
+    }
+    let n = cx.names.len();
+
+    // Theorem lists in the legacy orders: l1/hl/wa in sorted-name order,
+    // l2 in source order, adaptation theorems appended to `wa`.
+    let take = |phase: &str, i: usize| -> Arc<PhaseArtifact> {
+        cx.artifact(phase, i).expect("graph reported success")
+    };
+    let mut l1_thms: Vec<(String, Thm)> = Vec::with_capacity(n);
+    for i in 0..n {
+        let Artifact::L1 { thm, .. } = &take("l1", i).value else {
+            unreachable!("l1 nodes produce L1 artifacts");
+        };
+        l1_thms.push((cx.names[i].clone(), thm.clone()));
+    }
+    let mut src_order: Vec<usize> = (0..n).collect();
+    src_order.sort_by_key(|&i| cx.typed_idx[i]);
+    let mut l2_thms: Vec<(String, Thm)> = Vec::with_capacity(n);
+    for &i in &src_order {
+        let Artifact::L2Thm(thm) = &take("l2thm", i).value else {
+            unreachable!("l2thm nodes produce L2Thm artifacts");
+        };
+        l2_thms.push((cx.names[i].clone(), thm.clone()));
+    }
+    let mut hl_thms: Vec<(String, Thm)> = Vec::new();
+    for i in 0..n {
+        let Artifact::Hl { thm, .. } = &take("hl", i).value else {
+            unreachable!("hl nodes produce Hl artifacts");
+        };
+        if let Some(thm) = thm {
+            hl_thms.push((cx.names[i].clone(), thm.clone()));
+        }
+    }
+    let mut wa_thms: Vec<(String, Thm)> = Vec::new();
+    for i in 0..n {
+        let Artifact::Wa { thm, .. } = &take("wa", i).value else {
+            unreachable!("wa nodes produce Wa artifacts");
+        };
+        if let Some(thm) = thm {
+            wa_thms.push((cx.names[i].clone(), thm.clone()));
+        }
+    }
+    let mut adapt_thms: Vec<(String, Thm)> = Vec::new();
+    for i in 0..n {
+        let Artifact::Adapt(adapted) = &take("adapt", i).value else {
+            unreachable!("adapt nodes produce Adapt artifacts");
+        };
+        if let Some(a) = adapted {
+            adapt_thms.push((cx.names[i].clone(), a.thm.clone()));
+        }
+    }
+
+    // Per-phase stats from the node clocks; `l2`/`l2thm` merge into the
+    // single legacy `l2` entry so the deterministic summary is unchanged.
+    let pool = |(busy, start, end, _): (u64, u64, u64, usize)| PoolStats {
+        workers,
+        busy: Duration::from_nanos(busy),
+        wall: Duration::from_nanos(end.saturating_sub(start)),
+    };
+    let mk = |name, pool: PoolStats, fns, thms: &[(String, Thm)], cached| {
+        let proof_nodes = thms.iter().map(|(_, t)| t.proof_size()).sum();
+        PhaseStat {
+            cached,
+            ..PhaseStat::from_pool(name, pool, fns, thms.len(), proof_nodes)
+        }
+    };
+    let c = &outcome.clocks;
+    phases.push(mk("l1", pool(c[0]), n, &l1_thms, c[0].3));
+    let l2_pool = PoolStats {
+        workers,
+        busy: Duration::from_nanos(c[1].0 + c[2].0),
+        wall: Duration::from_nanos(c[1].2.max(c[2].2).saturating_sub(c[1].1.min(c[2].1))),
+    };
+    phases.push(mk("l2", l2_pool, n, &l2_thms, c[1].3 + c[2].3));
+    phases.push(mk("hl", pool(c[3]), n, &hl_thms, c[3].3));
+    phases.push(mk("wa", pool(c[4]), n, &wa_thms, c[4].3));
+    phases.push(mk("adapt", pool(c[5]), adapt_thms.len(), &adapt_thms, c[5].3));
+    wa_thms.extend(adapt_thms);
+
+    let thms = PhaseTheorems {
+        l1: l1_thms,
+        l2: l2_thms,
+        hl: hl_thms,
+        wa: wa_thms,
+    };
+    let mut stats = PipelineStats {
+        workers,
+        phases,
+        total_wall: total_start.elapsed(),
+        dirty_fns: outcome.dirty_fns,
+        cached_nodes: outcome.cached_nodes,
+        ..PipelineStats::default()
+    };
+    for (_, name, thm) in thms.iter() {
+        *stats.fn_theorems.entry(name.to_owned()).or_insert(0) += 1;
+        *stats.fn_proof_nodes.entry(name.to_owned()).or_insert(0) += thm.proof_size();
+    }
+
+    // Success implies every shared context exists (or is trivially
+    // constructible for the empty program).
+    let l2sh = cx.l2_shared().map_err(|f| f.diag.clone())?;
+    let wash = cx.wa_shared().map_err(|f| f.diag.clone())?;
+    let adsh = cx.adapt_shared().map_err(|f| f.diag.clone())?;
+    let (l1ctx, l2ctx) = (l2sh.l1ctx.clone(), l2sh.l2ctx.clone());
+    let (hlctx, check_ctx) = (wash.hlctx.clone(), wash.check_ctx.clone());
+    let wactx = adsh.wactx.clone();
+    drop(cx);
+    Ok(Output {
+        typed: typed.clone(),
+        simpl: sp,
+        l1: l1ctx,
+        l2: l2ctx,
+        hl: hlctx,
+        wa: wactx,
+        thms,
+        check_ctx,
+        stats,
+    })
+}
+
+// ---- caller adaptation (moved from pipeline.rs) -----------------------------
+
+/// Plans the call-site adaptations of non-abstracted callers (Sec 4.6's
+/// value direction): for every function outside the `fn_abs` table whose
+/// body calls an abstracted callee, computes the rewritten body — arguments
+/// lifted with `unat`/`sint`, results re-concretised with
+/// `of_nat`/`of_int`. Pure: no context mutation, no testing. Returns
+/// `(name, new_body, old_body)` in name order, changed functions only.
+fn plan_caller_adaptations(
+    cx: &CheckCtx,
+    hlctx: &ProgramCtx,
+    wactx: &ProgramCtx,
+) -> Vec<(String, Prog, Prog)> {
+    use ir::expr::{CastKind, Expr};
+    use ir::ty::Signedness;
+
+    let abstracted: BTreeSet<String> = cx.fn_abs.keys().cloned().collect();
+    if abstracted.is_empty() {
+        return Vec::new();
+    }
+    let lift_arg = |a: &Expr, conc_ty: &Ty| -> Expr {
+        match conc_ty {
+            Ty::Word(_, Signedness::Unsigned) => Expr::cast(CastKind::Unat, a.clone()),
+            Ty::Word(_, Signedness::Signed) => Expr::cast(CastKind::Sint, a.clone()),
+            _ => a.clone(),
+        }
+    };
+    let rewrite_calls = |p: &Prog, hl_f: &dyn Fn(&str) -> Option<MonadicFn>| -> Prog {
+        fn go(
+            p: &Prog,
+            abstracted: &BTreeSet<String>,
+            hl_f: &dyn Fn(&str) -> Option<MonadicFn>,
+            lift_arg: &dyn Fn(&Expr, &Ty) -> Expr,
+        ) -> Prog {
+            match p {
+                Prog::Call { fname, args } if abstracted.contains(fname) => {
+                    let Some(callee) = hl_f(fname) else {
+                        return p.clone();
+                    };
+                    let new_args: Vec<Expr> = args
+                        .iter()
+                        .zip(&callee.params)
+                        .map(|(a, (_, t))| lift_arg(a, t))
+                        .collect();
+                    let call = Prog::Call {
+                        fname: fname.clone(),
+                        args: new_args,
+                    };
+                    match &callee.ret_ty {
+                        Ty::Word(w, s @ Signedness::Unsigned) => Prog::bind(
+                            call,
+                            "·r",
+                            Prog::ret(Expr::cast(CastKind::OfNat(*w, *s), Expr::var("·r"))),
+                        ),
+                        Ty::Word(w, s @ Signedness::Signed) => Prog::bind(
+                            call,
+                            "·r",
+                            Prog::ret(Expr::cast(CastKind::OfInt(*w, *s), Expr::var("·r"))),
+                        ),
+                        _ => call,
+                    }
+                }
+                Prog::Bind(l, v, r) => Prog::bind(
+                    go(l, abstracted, hl_f, lift_arg),
+                    v.clone(),
+                    go(r, abstracted, hl_f, lift_arg),
+                ),
+                Prog::BindTuple(l, vs, r) => Prog::bind_tuple(
+                    go(l, abstracted, hl_f, lift_arg),
+                    vs.clone(),
+                    go(r, abstracted, hl_f, lift_arg),
+                ),
+                Prog::Catch(l, v, r) => Prog::Catch(
+                    ir::intern::Interned::new(go(l, abstracted, hl_f, lift_arg)),
+                    v.clone(),
+                    ir::intern::Interned::new(go(r, abstracted, hl_f, lift_arg)),
+                ),
+                Prog::Condition(c, t, e) => Prog::cond(
+                    c.clone(),
+                    go(t, abstracted, hl_f, lift_arg),
+                    go(e, abstracted, hl_f, lift_arg),
+                ),
+                Prog::While {
+                    vars,
+                    cond,
+                    body,
+                    init,
+                } => Prog::While {
+                    vars: vars.clone(),
+                    cond: cond.clone(),
+                    body: ir::intern::Interned::new(go(body, abstracted, hl_f, lift_arg)),
+                    init: init.clone(),
+                },
+                Prog::ExecConcrete(q) => {
+                    Prog::ExecConcrete(ir::intern::Interned::new(go(q, abstracted, hl_f, lift_arg)))
+                }
+                Prog::ExecAbstract(q) => {
+                    Prog::ExecAbstract(ir::intern::Interned::new(go(q, abstracted, hl_f, lift_arg)))
+                }
+                other => other.clone(),
+            }
+        }
+        go(p, &abstracted, hl_f, &lift_arg)
+    };
+
+    wactx
+        .fns
+        .iter()
+        .filter(|(name, _)| !abstracted.contains(*name))
+        .filter_map(|(name, old)| {
+            let new_body = rewrite_calls(&old.body, &|f| hlctx.fns.get(f).cloned());
+            if new_body == old.body {
+                None
+            } else {
+                Some((name.clone(), new_body, old.body.clone()))
+            }
+        })
+        .collect()
+}
+
+/// Differential test for an adapted concrete caller: final-level run vs
+/// HL-level run on identical concrete states and arguments.
+fn test_adapted_fn(
+    wactx: &ProgramCtx,
+    hlctx: &ProgramCtx,
+    fname: &str,
+    heap_types: &[Ty],
+    trials: u32,
+    seed: u64,
+) -> Result<(), String> {
+    use ir::state::State;
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+    let f = &hlctx.fns[fname];
+    for i in 0..trials {
+        let conc = crate::testing::gen_state(&mut rng, &hlctx.tenv, heap_types, 4);
+        let args: Vec<ir::value::Value> = f
+            .params
+            .iter()
+            .map(|(_, t)| crate::testing::random_arg(&mut rng, t, heap_types, 4))
+            .collect();
+        let st = State::Conc(conc);
+        let new_run = monadic::exec_fn(wactx, fname, &args, st.clone(), 200_000);
+        let old_run = monadic::exec_fn(hlctx, fname, &args, st, 200_000);
+        match (new_run, old_run) {
+            (Ok((v1, s1)), Ok((v2, s2))) => {
+                if v1 != v2 || s1 != s2 {
+                    return Err(format!("trial {i}: adapted caller diverges"));
+                }
+            }
+            (Err(monadic::MonadFault::Failure(_)), _) => continue,
+            (_, Err(monadic::MonadFault::Failure(_))) => continue,
+            (a, b) => return Err(format!("trial {i}: outcomes diverge: {a:?} vs {b:?}")),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_digest_is_normalized() {
+        let base = Options::default();
+        // Insertion order into the BTreeSet cannot leak into the digest.
+        let mut a = Options::default();
+        a.concrete_fns.insert("alpha".into());
+        a.concrete_fns.insert("beta".into());
+        let mut b = Options::default();
+        b.concrete_fns.insert("beta".into());
+        b.concrete_fns.insert("alpha".into());
+        assert_eq!(options_digest(&a), options_digest(&b));
+        assert_ne!(options_digest(&a), options_digest(&base));
+
+        // `l2_trials: 0` means "default 80": the two must digest equal, a
+        // genuinely different budget must not.
+        let zero = Options {
+            l2_trials: 0,
+            ..Options::default()
+        };
+        let eighty = Options {
+            l2_trials: 80,
+            ..Options::default()
+        };
+        let forty = Options {
+            l2_trials: 40,
+            ..Options::default()
+        };
+        assert_eq!(options_digest(&zero), options_digest(&eighty));
+        assert_ne!(options_digest(&zero), options_digest(&forty));
+
+        // Worker count never affects output bytes, so it must never
+        // invalidate the store.
+        let wide = Options {
+            workers: 16,
+            ..Options::default()
+        };
+        assert_eq!(options_digest(&base), options_digest(&wide));
+
+        // Seed does affect recorded theorem statements.
+        let reseeded = Options {
+            seed: 1,
+            ..Options::default()
+        };
+        assert_ne!(options_digest(&base), options_digest(&reseeded));
+
+        // `None` (abstract everything) differs from an empty explicit set,
+        // and the `0xff` separators keep adjacent sets from bleeding into
+        // one another.
+        let none = Options {
+            word_abstract_fns: None,
+            ..Options::default()
+        };
+        let empty = Options {
+            word_abstract_fns: Some(BTreeSet::new()),
+            ..Options::default()
+        };
+        assert_ne!(options_digest(&none), options_digest(&empty));
+    }
+
+    #[test]
+    fn fn_digests_are_per_function_content() {
+        let typed_a = cparser::parse_and_check(
+            "unsigned f(unsigned x) { return x + 1u; }\n\
+             unsigned g(unsigned x) { return x * 2u; }\n",
+        )
+        .unwrap();
+        let typed_b = cparser::parse_and_check(
+            "unsigned f(unsigned x) { return x + 9u; }\n\
+             unsigned g(unsigned x) { return x * 2u; }\n",
+        )
+        .unwrap();
+        let sp_a = simpl::translate_program(&typed_a).unwrap();
+        let sp_b = simpl::translate_program(&typed_b).unwrap();
+        let opts = Options::default();
+        let cx_a = PhaseCx::new(&typed_a, &sp_a, &opts);
+        let cx_b = PhaseCx::new(&typed_b, &sp_b, &opts);
+        // names are sorted: [f, g].
+        assert_ne!(cx_a.fn_digests[0], cx_b.fn_digests[0], "f was edited");
+        assert_eq!(cx_a.fn_digests[1], cx_b.fn_digests[1], "g was not");
+        assert_eq!(cx_a.env_digest, cx_b.env_digest, "signatures unchanged");
+    }
+}

@@ -1,35 +1,37 @@
 //! The pipeline driver: C source → abstracted specification + theorems.
 //!
-//! Runs the phases of the paper's Fig 1 in order and collects the
-//! per-function theorem of each verified arrow. The output exposes every
-//! intermediate level (Simpl, L1, L2, HL, WA) so users can reason at
-//! whichever level suits them — and so the Table 5 metrics can compare the
-//! parser output against the final output.
+//! The phase logic itself lives in [`crate::phase`]: L1, L2, HL, WA and
+//! caller adaptation are uniform [`crate::phase::Phase`] nodes in a
+//! per-function dependency graph executed by the generic
+//! [`crate::schedule::run_dag`] scheduler. This module keeps the stable
+//! surface — [`Options`], [`Output`], [`PhaseTheorems`], the one-shot
+//! [`translate`]/[`translate_program`] entry points — and the
+//! seed-derivation shared by every testing-validated rule. Incremental
+//! re-translation (reusing unchanged per-function artifacts across runs)
+//! is offered by [`crate::Session`].
 //!
 //! # Parallelism and determinism
 //!
-//! Within a phase, functions are independent (L1/L2/HL) or ordered by the
-//! call graph (WA and caller adaptation, scheduled by
-//! [`crate::schedule::run_dag`] so a caller's job never starts before its
-//! callees'). [`Options::workers`] picks the pool width; `0`/`1` runs
-//! everything inline on the calling thread. Both paths execute the *same*
-//! per-function closures with per-function RNG streams derived by
-//! [`derive_seed`] from `(seed, fn_name)`, and results are collected in
-//! fixed name/source order — so for a fixed seed the output (specs,
-//! theorem statements, guards, metrics) is byte-identical at any worker
-//! count. The determinism test suite asserts this.
+//! Within the graph, functions are independent (L1/L2/HL) or ordered by
+//! the call graph (WA and caller adaptation). [`Options::workers`] picks
+//! the pool width; `0`/`1` runs everything inline on the calling thread.
+//! All schedules execute the *same* per-function jobs with per-function
+//! RNG streams derived by [`derive_seed`] from `(seed, fn_name)`, and
+//! results are collected in fixed name/source order — so for a fixed seed
+//! the output (specs, theorem statements, guards, metrics) is
+//! byte-identical at any worker count, cached or not. The determinism
+//! test suite asserts this.
 
 use std::collections::BTreeSet;
 use std::fmt;
-use std::time::Instant;
 
+use ir::diag::Diag;
 use ir::metrics::SpecMetrics;
 use kernel::{CheckCtx, ReplayReport, Thm};
 use monadic::ProgramCtx;
 use simpl::SimplProgram;
 
-use crate::schedule::{par_map, run_dag, PoolStats};
-use crate::stats::{PhaseStat, PipelineStats};
+use crate::stats::PipelineStats;
 
 /// Driver options (per-function selections, Sec 3.2 / 4.6).
 #[derive(Clone, Default)]
@@ -144,7 +146,8 @@ pub struct Output {
     /// The kernel context (with the abstracted-function signature table),
     /// for replaying the theorems through the checker.
     pub check_ctx: CheckCtx,
-    /// Per-phase timings, theorem/proof-tree counts, worker utilization.
+    /// Per-phase timings, theorem/proof-tree counts, worker utilization,
+    /// cache hit counters.
     pub stats: PipelineStats,
 }
 
@@ -198,46 +201,13 @@ impl Output {
     }
 }
 
-/// A pipeline error, tagged with the failing phase.
-#[derive(Clone, Debug)]
-pub enum PipelineError {
-    /// C frontend (lex/parse/typecheck).
-    Frontend(String),
-    /// C-to-Simpl translation.
-    Simpl(String),
-    /// L1 phase.
-    L1(String),
-    /// L2 phase.
-    L2(String),
-    /// Heap abstraction.
-    Hl(String),
-    /// Word abstraction.
-    Wa(String),
-}
-
-impl fmt::Display for PipelineError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            PipelineError::Frontend(m) => write!(f, "frontend: {m}"),
-            PipelineError::Simpl(m) => write!(f, "simpl: {m}"),
-            PipelineError::L1(m) => write!(f, "L1: {m}"),
-            PipelineError::L2(m) => write!(f, "L2: {m}"),
-            PipelineError::Hl(m) => write!(f, "HL: {m}"),
-            PipelineError::Wa(m) => write!(f, "WA: {m}"),
-        }
-    }
-}
-
-impl std::error::Error for PipelineError {}
-
 /// Translates C source text through the full pipeline.
 ///
 /// # Errors
 ///
-/// Returns a [`PipelineError`] tagged with the failing phase.
-pub fn translate(src: &str, opts: &Options) -> Result<Output, PipelineError> {
-    let typed = cparser::parse_and_check(src)
-        .map_err(|e| PipelineError::Frontend(e.to_string()))?;
+/// Returns the first failing phase's [`Diag`].
+pub fn translate(src: &str, opts: &Options) -> Result<Output, Diag> {
+    let typed = cparser::parse_and_check(src)?;
     translate_program(&typed, opts)
 }
 
@@ -250,395 +220,6 @@ pub fn translate(src: &str, opts: &Options) -> Result<Output, PipelineError> {
 /// As for [`translate`]. With multiple workers, errors of a phase are
 /// reported for the first failing function in that phase's fixed order,
 /// independent of thread interleaving.
-pub fn translate_program(
-    typed: &cparser::TProgram,
-    opts: &Options,
-) -> Result<Output, PipelineError> {
-    let total_start = Instant::now();
-    let workers = opts.workers.max(1);
-    let mut phases: Vec<PhaseStat> = Vec::new();
-
-    // Parse (trusted, sequential — one Simpl translation unit).
-    let parse_start = Instant::now();
-    let sp = simpl::translate_program(typed).map_err(|e| PipelineError::Simpl(e.to_string()))?;
-    let parse_pool = PoolStats {
-        workers: 1,
-        busy: parse_start.elapsed(),
-        wall: parse_start.elapsed(),
-    };
-    phases.push(PhaseStat::from_pool("parse", parse_pool, sp.fns.len(), 0, 0));
-    let cx = CheckCtx {
-        tenv: sp.tenv.clone(),
-        ..CheckCtx::default()
-    };
-
-    // L1: one independent job per function, results in BTreeMap order.
-    let l1_items: Vec<(&String, &simpl::SimplFn)> = sp.fns.iter().collect();
-    let (l1_results, l1_pool) = par_map(&l1_items, workers, |_, (name, f)| {
-        crate::l1::l1_function(&cx, f).map(|out| ((*name).clone(), out))
-    });
-    let mut l1ctx = ProgramCtx {
-        tenv: sp.tenv.clone(),
-        globals: sp.globals.clone(),
-        ..ProgramCtx::default()
-    };
-    let mut l1_thms: Vec<(String, Thm)> = Vec::new();
-    for r in l1_results {
-        let (name, out) = r.map_err(|e| PipelineError::L1(e.to_string()))?;
-        l1ctx.fns.insert(name.clone(), out.fun);
-        l1_thms.push((name, out.thm));
-    }
-    phases.push(phase_stat("l1", l1_pool, l1_items.len(), &l1_thms));
-
-    // L2: translate every function, then derive the per-function refines
-    // theorems (which execute calls, so they need the complete contexts).
-    let trials = if opts.l2_trials == 0 { 80 } else { opts.l2_trials };
-    let l2_start = Instant::now();
-    let (l2_translated, l2_pool_a) = par_map(&typed.functions, workers, |_, f| {
-        crate::l2::l2_function(typed, f).map(|fun| (f.name.clone(), fun))
-    });
-    let mut l2ctx = ProgramCtx {
-        tenv: l1ctx.tenv.clone(),
-        globals: l1ctx.globals.clone(),
-        ..ProgramCtx::default()
-    };
-    for r in l2_translated {
-        let (name, fun) = r.map_err(|e| PipelineError::L2(e.to_string()))?;
-        l2ctx.fns.insert(name, fun);
-    }
-    let heap_types = crate::testing::heap_types_of(&l1ctx.tenv, &l1ctx);
-    let (l2_tested, l2_pool_b) = par_map(&typed.functions, workers, |_, f| {
-        crate::l2::l2_fn_theorem(&cx, &l2ctx, &l1ctx, &heap_types, &f.name, trials, opts.seed)
-            .map(|thm| (f.name.clone(), thm))
-    });
-    let mut l2_thms: Vec<(String, Thm)> = Vec::new();
-    for r in l2_tested {
-        l2_thms.push(r.map_err(|e| PipelineError::L2(e.to_string()))?);
-    }
-    let l2_pool = PoolStats {
-        workers: l2_pool_a.workers.max(l2_pool_b.workers),
-        busy: l2_pool_a.busy + l2_pool_b.busy,
-        wall: l2_start.elapsed(),
-    };
-    phases.push(phase_stat("l2", l2_pool, typed.functions.len(), &l2_thms));
-
-    // HL: independent per-function jobs; concrete-kept functions only get
-    // their abstract call sites wrapped (no theorem).
-    let hl_opts = heapabs::HlOptions {
-        concrete_fns: opts.concrete_fns.clone(),
-    };
-    let hl_items: Vec<(&String, &monadic::MonadicFn)> = l2ctx.fns.iter().collect();
-    let (hl_results, hl_pool) = par_map(&hl_items, workers, |_, (name, f)| {
-        if hl_opts.concrete_fns.contains(*name) {
-            Ok(((*name).clone(), heapabs::hl_keep_concrete(f, &hl_opts), None))
-        } else {
-            heapabs::hl_function(&cx, f, &hl_opts)
-                .map(|(fun, thm)| ((*name).clone(), fun, Some(thm)))
-        }
-    });
-    let mut hlctx = ProgramCtx {
-        tenv: l2ctx.tenv.clone(),
-        globals: l2ctx.globals.clone(),
-        ..ProgramCtx::default()
-    };
-    let mut hl_thms: Vec<(String, Thm)> = Vec::new();
-    for r in hl_results {
-        let (name, fun, thm) = r.map_err(|e| PipelineError::Hl(e.to_string()))?;
-        hlctx.fns.insert(name.clone(), fun);
-        if let Some(thm) = thm {
-            hl_thms.push((name, thm));
-        }
-    }
-    phases.push(phase_stat("hl", hl_pool, hl_items.len(), &hl_thms));
-
-    // WA: scheduled over the call graph (a caller's job never starts
-    // before its callees'), so downstream per-function work that follows a
-    // function's abstraction — the caller adaptations below, and any
-    // future exec-testing WA rules — can rely on callee results being
-    // final. Non-selected functions pass through unchanged.
-    let wa_opts = wordabs::WaOptions {
-        abstract_fns: match &opts.word_abstract_fns {
-            Some(s) => Some(s.clone()),
-            // Never word-abstract concrete-kept functions by default.
-            None if opts.concrete_fns.is_empty() => None,
-            None => Some(
-                hlctx
-                    .fns
-                    .keys()
-                    .filter(|n| !opts.concrete_fns.contains(*n))
-                    .cloned()
-                    .collect(),
-            ),
-        },
-        custom_rules: opts.custom_word_rules.clone(),
-        custom_trials: 1000,
-    };
-    let check_ctx = wordabs::wa_signatures(&cx, &hlctx, &wa_opts);
-    let wa_items: Vec<(&String, &monadic::MonadicFn)> = hlctx.fns.iter().collect();
-    let index: std::collections::BTreeMap<&str, usize> = wa_items
-        .iter()
-        .enumerate()
-        .map(|(i, (n, _))| (n.as_str(), i))
-        .collect();
-    let call_graph = hlctx.call_graph();
-    let deps: Vec<Vec<usize>> = wa_items
-        .iter()
-        .map(|(n, _)| {
-            call_graph[n.as_str()]
-                .iter()
-                .filter_map(|c| index.get(c.as_str()).copied())
-                .collect()
-        })
-        .collect();
-    let (wa_results, wa_pool) = run_dag(wa_items.len(), &deps, workers, |i| {
-        let (name, f) = wa_items[i];
-        if wa_opts.selects(name) {
-            wordabs::wa_function_in(&check_ctx, &hlctx, f, &wa_opts)
-                .map(|(fun, thm)| (name.clone(), fun, Some(thm)))
-        } else {
-            Ok((name.clone(), (*f).clone(), None))
-        }
-    });
-    let mut wactx = ProgramCtx {
-        tenv: hlctx.tenv.clone(),
-        globals: hlctx.globals.clone(),
-        ..ProgramCtx::default()
-    };
-    let mut wa_thms: Vec<(String, Thm)> = Vec::new();
-    for r in wa_results {
-        let (name, fun, thm) = r.map_err(|e: wordabs::WaError| PipelineError::Wa(e.to_string()))?;
-        wactx.fns.insert(name.clone(), fun);
-        if let Some(thm) = thm {
-            wa_thms.push((name, thm));
-        }
-    }
-    phases.push(phase_stat("wa", wa_pool, wa_items.len(), &wa_thms));
-
-    // Caller adaptation: rewrite non-abstracted callers of abstracted
-    // callees, then exec-test every rewritten function against the *final*
-    // context. All WA theorems exist before any adaptation theorem is
-    // derived (the call-graph ordering the scheduler enforces phase-wide).
-    let adapt_start = Instant::now();
-    let plans = plan_caller_adaptations(&check_ctx, &hlctx, &wactx);
-    for (name, new_body, _) in &plans {
-        let f = wactx
-            .fns
-            .get_mut(name)
-            .expect("planned adaptation of a known function");
-        f.body = new_body.clone();
-    }
-    let adapt_heap_types = crate::testing::heap_types_of(&hlctx.tenv, &hlctx);
-    let (adapt_results, adapt_pool) = par_map(&plans, workers, |_, (name, new_body, old_body)| {
-        let fn_seed = derive_seed(opts.seed, name);
-        kernel::rules::refine::exec_tested(&check_ctx, new_body, old_body, 60, fn_seed, || {
-            test_adapted_fn(&wactx, &hlctx, name, &adapt_heap_types, 60, fn_seed)
-        })
-        .map(|thm| (name.clone(), thm))
-        .map_err(|e| e.to_string())
-    });
-    let mut adapt_thms: Vec<(String, Thm)> = Vec::new();
-    for r in adapt_results {
-        adapt_thms.push(r.map_err(PipelineError::Wa)?);
-    }
-    let adapt_pool = PoolStats {
-        wall: adapt_start.elapsed(),
-        ..adapt_pool
-    };
-    phases.push(phase_stat("adapt", adapt_pool, plans.len(), &adapt_thms));
-    wa_thms.extend(adapt_thms);
-
-    let thms = PhaseTheorems {
-        l1: l1_thms,
-        l2: l2_thms,
-        hl: hl_thms,
-        wa: wa_thms,
-    };
-    let mut stats = PipelineStats {
-        workers,
-        phases,
-        total_wall: total_start.elapsed(),
-        ..PipelineStats::default()
-    };
-    for (_, name, thm) in thms.iter() {
-        *stats.fn_theorems.entry(name.to_owned()).or_insert(0) += 1;
-        *stats.fn_proof_nodes.entry(name.to_owned()).or_insert(0) += thm.proof_size();
-    }
-    Ok(Output {
-        typed: typed.clone(),
-        simpl: sp,
-        l1: l1ctx,
-        l2: l2ctx,
-        hl: hlctx,
-        wa: wactx,
-        thms,
-        check_ctx,
-        stats,
-    })
-}
-
-/// Builds the phase entry from its pool occupancy and theorem list.
-fn phase_stat(
-    name: &'static str,
-    pool: PoolStats,
-    fns: usize,
-    thms: &[(String, Thm)],
-) -> PhaseStat {
-    let proof_nodes = thms.iter().map(|(_, t)| t.proof_size()).sum();
-    PhaseStat::from_pool(name, pool, fns, thms.len(), proof_nodes)
-}
-
-/// Plans the call-site adaptations of non-abstracted callers (Sec 4.6's
-/// value direction): for every function outside the `fn_abs` table whose
-/// body calls an abstracted callee, computes the rewritten body — arguments
-/// lifted with `unat`/`sint`, results re-concretised with
-/// `of_nat`/`of_int`. Pure: no context mutation, no testing. Returns
-/// `(name, new_body, old_body)` in name order, changed functions only.
-fn plan_caller_adaptations(
-    cx: &CheckCtx,
-    hlctx: &ProgramCtx,
-    wactx: &ProgramCtx,
-) -> Vec<(String, monadic::Prog, monadic::Prog)> {
-    use ir::expr::{CastKind, Expr};
-    use ir::ty::{Signedness, Ty};
-    use monadic::Prog;
-
-    let abstracted: BTreeSet<String> = cx.fn_abs.keys().cloned().collect();
-    if abstracted.is_empty() {
-        return Vec::new();
-    }
-    let lift_arg = |a: &Expr, conc_ty: &Ty| -> Expr {
-        match conc_ty {
-            Ty::Word(_, Signedness::Unsigned) => Expr::cast(CastKind::Unat, a.clone()),
-            Ty::Word(_, Signedness::Signed) => Expr::cast(CastKind::Sint, a.clone()),
-            _ => a.clone(),
-        }
-    };
-    let rewrite_calls = |p: &Prog, hl_f: &dyn Fn(&str) -> Option<monadic::MonadicFn>| -> Prog {
-        fn go(
-            p: &Prog,
-            abstracted: &BTreeSet<String>,
-            hl_f: &dyn Fn(&str) -> Option<monadic::MonadicFn>,
-            lift_arg: &dyn Fn(&Expr, &Ty) -> Expr,
-        ) -> Prog {
-            match p {
-                Prog::Call { fname, args } if abstracted.contains(fname) => {
-                    let Some(callee) = hl_f(fname) else {
-                        return p.clone();
-                    };
-                    let new_args: Vec<Expr> = args
-                        .iter()
-                        .zip(&callee.params)
-                        .map(|(a, (_, t))| lift_arg(a, t))
-                        .collect();
-                    let call = Prog::Call {
-                        fname: fname.clone(),
-                        args: new_args,
-                    };
-                    match &callee.ret_ty {
-                        Ty::Word(w, s @ Signedness::Unsigned) => Prog::bind(
-                            call,
-                            "·r",
-                            Prog::ret(Expr::cast(CastKind::OfNat(*w, *s), Expr::var("·r"))),
-                        ),
-                        Ty::Word(w, s @ Signedness::Signed) => Prog::bind(
-                            call,
-                            "·r",
-                            Prog::ret(Expr::cast(CastKind::OfInt(*w, *s), Expr::var("·r"))),
-                        ),
-                        _ => call,
-                    }
-                }
-                Prog::Bind(l, v, r) => Prog::bind(
-                    go(l, abstracted, hl_f, lift_arg),
-                    v.clone(),
-                    go(r, abstracted, hl_f, lift_arg),
-                ),
-                Prog::BindTuple(l, vs, r) => Prog::bind_tuple(
-                    go(l, abstracted, hl_f, lift_arg),
-                    vs.clone(),
-                    go(r, abstracted, hl_f, lift_arg),
-                ),
-                Prog::Catch(l, v, r) => Prog::Catch(
-                    ir::intern::Interned::new(go(l, abstracted, hl_f, lift_arg)),
-                    v.clone(),
-                    ir::intern::Interned::new(go(r, abstracted, hl_f, lift_arg)),
-                ),
-                Prog::Condition(c, t, e) => Prog::cond(
-                    c.clone(),
-                    go(t, abstracted, hl_f, lift_arg),
-                    go(e, abstracted, hl_f, lift_arg),
-                ),
-                Prog::While {
-                    vars,
-                    cond,
-                    body,
-                    init,
-                } => Prog::While {
-                    vars: vars.clone(),
-                    cond: cond.clone(),
-                    body: ir::intern::Interned::new(go(body, abstracted, hl_f, lift_arg)),
-                    init: init.clone(),
-                },
-                Prog::ExecConcrete(q) => {
-                    Prog::ExecConcrete(ir::intern::Interned::new(go(q, abstracted, hl_f, lift_arg)))
-                }
-                Prog::ExecAbstract(q) => {
-                    Prog::ExecAbstract(ir::intern::Interned::new(go(q, abstracted, hl_f, lift_arg)))
-                }
-                other => other.clone(),
-            }
-        }
-        go(p, &abstracted, hl_f, &lift_arg)
-    };
-
-    wactx
-        .fns
-        .iter()
-        .filter(|(name, _)| !abstracted.contains(*name))
-        .filter_map(|(name, old)| {
-            let new_body = rewrite_calls(&old.body, &|f| hlctx.fns.get(f).cloned());
-            if new_body == old.body {
-                None
-            } else {
-                Some((name.clone(), new_body, old.body.clone()))
-            }
-        })
-        .collect()
-}
-
-/// Differential test for an adapted concrete caller: final-level run vs
-/// HL-level run on identical concrete states and arguments.
-fn test_adapted_fn(
-    wactx: &ProgramCtx,
-    hlctx: &ProgramCtx,
-    fname: &str,
-    heap_types: &[ir::ty::Ty],
-    trials: u32,
-    seed: u64,
-) -> Result<(), String> {
-    use ir::state::State;
-    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
-    let f = &hlctx.fns[fname];
-    for i in 0..trials {
-        let conc = crate::testing::gen_state(&mut rng, &hlctx.tenv, heap_types, 4);
-        let args: Vec<ir::value::Value> = f
-            .params
-            .iter()
-            .map(|(_, t)| crate::testing::random_arg(&mut rng, t, heap_types, 4))
-            .collect();
-        let st = State::Conc(conc);
-        let new_run = monadic::exec_fn(wactx, fname, &args, st.clone(), 200_000);
-        let old_run = monadic::exec_fn(hlctx, fname, &args, st, 200_000);
-        match (new_run, old_run) {
-            (Ok((v1, s1)), Ok((v2, s2))) => {
-                if v1 != v2 || s1 != s2 {
-                    return Err(format!("trial {i}: adapted caller diverges"));
-                }
-            }
-            (Err(monadic::MonadFault::Failure(_)), _) => continue,
-            (_, Err(monadic::MonadFault::Failure(_))) => continue,
-            (a, b) => return Err(format!("trial {i}: outcomes diverge: {a:?} vs {b:?}")),
-        }
-    }
-    Ok(())
+pub fn translate_program(typed: &cparser::TProgram, opts: &Options) -> Result<Output, Diag> {
+    crate::phase::run_pipeline(typed, opts, &crate::phase::ArtifactStore::new())
 }

@@ -1,0 +1,107 @@
+//! Incremental translation sessions.
+//!
+//! A [`Session`] owns two caches that outlive a single `translate` call:
+//!
+//! * the **artifact store** ([`crate::phase::ArtifactStore`]), mapping
+//!   `(phase, function, input_digest)` to the phase artifact produced the
+//!   last time those exact inputs were seen, and
+//! * a **replay cache** ([`kernel::ReplayCache`]), remembering which proof
+//!   nodes the independent checker already validated.
+//!
+//! Translating edited source through the same session therefore re-runs
+//! only the *dirty cone*: the edited function in every phase, plus its
+//! transitive callers in the exec-testing phases (whose differential tests
+//! execute calls, so their input digests cover the callee cone). Everything
+//! else is answered from the store — and because every phase job is a
+//! deterministic pure function of exactly its digested inputs, the output
+//! is byte-identical to a from-scratch run. Likewise
+//! [`Session::check_all_report`] replays only theorems whose derivations
+//! contain proof nodes not yet seen by this session's replay cache.
+//!
+//! ```
+//! use autocorres::{Options, Session};
+//! let sess = Session::new(Options::default());
+//! let out1 = sess.translate("int one(void) { return 1; }").unwrap();
+//! let out2 = sess.translate("int one(void) { return 1; }").unwrap();
+//! assert_eq!(out2.stats.dirty_fns, 0); // nothing changed: full cache hit
+//! assert_eq!(out1.wa.function("one").unwrap().to_string(),
+//!            out2.wa.function("one").unwrap().to_string());
+//! ```
+
+use ir::diag::Diag;
+use kernel::{KernelError, ReplayCache, ReplayReport};
+
+use crate::phase::{run_pipeline, ArtifactStore};
+use crate::pipeline::{Options, Output};
+
+/// A translation session: pipeline options plus the cross-run caches.
+pub struct Session {
+    opts: Options,
+    store: ArtifactStore,
+    replay: ReplayCache,
+}
+
+impl Session {
+    /// Creates a session with empty caches.
+    #[must_use]
+    pub fn new(opts: Options) -> Session {
+        Session {
+            opts,
+            store: ArtifactStore::new(),
+            replay: ReplayCache::new(),
+        }
+    }
+
+    /// The options every translation in this session runs with.
+    #[must_use]
+    pub fn options(&self) -> &Options {
+        &self.opts
+    }
+
+    /// Number of artifacts currently held by the session store.
+    #[must_use]
+    pub fn artifacts(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Translates C source, reusing unchanged per-function artifacts from
+    /// earlier runs of this session.
+    ///
+    /// # Errors
+    ///
+    /// The first failing phase's diagnostic, in the same phase/function
+    /// order as a from-scratch run.
+    pub fn translate(&self, src: &str) -> Result<Output, Diag> {
+        let typed = cparser::parse_and_check(src)?;
+        self.translate_program(&typed)
+    }
+
+    /// Translates an already-typechecked program (see [`Session::translate`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Session::translate`].
+    pub fn translate_program(&self, typed: &cparser::TProgram) -> Result<Output, Diag> {
+        run_pipeline(typed, &self.opts, &self.store)
+    }
+
+    /// Replays `out`'s theorems through the independent checker, skipping
+    /// proof nodes this session already validated (the reported
+    /// `cache_hits`/`cache_misses` cover this call only).
+    ///
+    /// # Errors
+    ///
+    /// The failing function name and kernel error, first in theorem order.
+    pub fn check_all_report(
+        &self,
+        out: &Output,
+        workers: usize,
+    ) -> Result<ReplayReport, (String, KernelError)> {
+        kernel::check_all_with(
+            out.thms.iter().map(|(_, n, t)| (n, t)),
+            &out.check_ctx,
+            workers,
+            &self.replay,
+        )
+    }
+}

@@ -30,6 +30,9 @@ pub struct PhaseStat {
     pub thms: usize,
     /// Kernel rule applications across the phase's proof trees.
     pub proof_nodes: usize,
+    /// Per-function jobs answered from the session artifact store instead
+    /// of being recomputed (always `0` for one-shot `translate` runs).
+    pub cached: usize,
 }
 
 impl PhaseStat {
@@ -50,6 +53,7 @@ impl PhaseStat {
             fns,
             thms,
             proof_nodes,
+            cached: 0,
         }
     }
 
@@ -78,6 +82,14 @@ pub struct PipelineStats {
     pub fn_theorems: BTreeMap<String, usize>,
     /// Proof-tree nodes (kernel rule applications) per function.
     pub fn_proof_nodes: BTreeMap<String, usize>,
+    /// Functions with at least one recomputed (non-cached) phase job — the
+    /// dirty cone of an incremental [`crate::Session`] run. Equal to the
+    /// function count for one-shot runs with a fresh store.
+    pub dirty_fns: usize,
+    /// Phase jobs answered from the session artifact store, summed over
+    /// phases. Excluded from [`PipelineStats::deterministic_summary`]:
+    /// cache occupancy varies between runs, output bytes must not.
+    pub cached_nodes: usize,
 }
 
 impl PipelineStats {
@@ -173,6 +185,7 @@ mod tests {
             fns: 3,
             thms: 3,
             proof_nodes: 30,
+            cached: 0,
         };
         assert!(p.utilization() <= 1.0 && p.utilization() > 0.8);
         let empty = PhaseStat::default();

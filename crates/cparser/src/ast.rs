@@ -2,10 +2,11 @@
 
 use std::fmt;
 
+use ir::diag::Span;
 use ir::ty::{Signedness, Width};
 
 /// A C type, as written in the source.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum CType {
     /// `void` (only as a return type or pointer target).
     Void,
@@ -66,7 +67,7 @@ impl fmt::Display for CType {
 }
 
 /// Unary operators.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum CUnOp {
     /// `-e`.
     Neg,
@@ -79,7 +80,7 @@ pub enum CUnOp {
 }
 
 /// Binary operators (assignment is statement-level, not an operator).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum CBinOp {
     /// `+`
     Add,
@@ -216,6 +217,8 @@ pub struct FunDef {
     pub body: Vec<Stmt>,
     /// `false` for prototypes (declarations without a body).
     pub is_definition: bool,
+    /// Position of the function name in the source.
+    pub span: Span,
 }
 
 /// A global variable declaration.
@@ -227,6 +230,8 @@ pub struct GlobalDecl {
     pub ty: CType,
     /// Optional constant initialiser.
     pub init: Option<CExpr>,
+    /// Position of the variable name in the source.
+    pub span: Span,
 }
 
 /// A struct declaration.
@@ -236,6 +241,8 @@ pub struct StructDecl {
     pub name: String,
     /// Fields in order.
     pub fields: Vec<(String, CType)>,
+    /// Position of the struct tag in the source.
+    pub span: Span,
 }
 
 /// A complete translation unit.

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+pub use ir::diag::Span;
+
 /// A token kind.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TokenKind {
@@ -17,13 +19,21 @@ pub enum TokenKind {
     Eof,
 }
 
-/// A token with its source line (1-based) for error messages.
+/// A token with its source position for error messages.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Token {
     /// What the token is.
     pub kind: TokenKind,
-    /// 1-based source line.
-    pub line: u32,
+    /// Byte offset, 1-based line and column of the token's first byte.
+    pub span: Span,
+}
+
+impl Token {
+    /// 1-based source line (shorthand for `span.line`).
+    #[must_use]
+    pub fn line(&self) -> u32 {
+        self.span.line
+    }
 }
 
 /// A lexical error.
@@ -31,13 +41,17 @@ pub struct Token {
 pub struct LexError {
     /// Explanation.
     pub msg: String,
-    /// 1-based source line.
-    pub line: u32,
+    /// Position of the offending byte.
+    pub span: Span,
 }
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "lex error at line {}: {}", self.line, self.msg)
+        write!(
+            f,
+            "lex error at line {}, column {}: {}",
+            self.span.line, self.span.col, self.msg
+        )
     }
 }
 
@@ -59,16 +73,24 @@ const PUNCTS: &[&str] = &[
 /// # Errors
 ///
 /// Returns a [`LexError`] on malformed literals or unexpected characters.
+#[allow(clippy::too_many_lines, clippy::cast_possible_truncation)]
 pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
     let bytes = src.as_bytes();
     let mut i = 0usize;
     let mut line = 1u32;
+    // Byte index just past the most recent newline: columns are 1-based
+    // offsets from here.
+    let mut line_start = 0usize;
     let mut out = Vec::new();
+    let span_at = |at: usize, line: u32, line_start: usize| -> Span {
+        Span::new(at as u32, line, (at - line_start + 1) as u32)
+    };
     'outer: while i < bytes.len() {
         let c = bytes[i];
         if c == b'\n' {
             line += 1;
             i += 1;
+            line_start = i;
             continue;
         }
         if c.is_ascii_whitespace() {
@@ -88,6 +110,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 while i + 1 < bytes.len() {
                     if bytes[i] == b'\n' {
                         line += 1;
+                        line_start = i + 1;
                     }
                     if bytes[i] == b'*' && bytes[i + 1] == b'/' {
                         i += 2;
@@ -97,7 +120,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 }
                 return Err(LexError {
                     msg: "unterminated block comment".into(),
-                    line,
+                    span: span_at(i.min(bytes.len()), line, line_start),
                 });
             }
         }
@@ -116,7 +139,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             }
             out.push(Token {
                 kind: TokenKind::Ident(src[start..i].to_owned()),
-                line,
+                span: span_at(start, line, line_start),
             });
             continue;
         }
@@ -142,7 +165,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             };
             let value = u64::from_str_radix(text, radix).map_err(|_| LexError {
                 msg: format!("malformed integer literal `{}`", &src[start..i]),
-                line,
+                span: span_at(start, line, line_start),
             })?;
             // Suffixes: u/U marks unsigned; l/L accepted and ignored.
             let mut unsigned = false;
@@ -160,7 +183,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             }
             out.push(Token {
                 kind: TokenKind::IntLit(value, unsigned),
-                line,
+                span: span_at(start, line, line_start),
             });
             continue;
         }
@@ -176,7 +199,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     other => {
                         return Err(LexError {
                             msg: format!("unknown escape `\\{}`", other as char),
-                            line,
+                            span: span_at(i, line, line_start),
                         })
                     }
                 };
@@ -186,18 +209,18 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             } else {
                 return Err(LexError {
                     msg: "unterminated character literal".into(),
-                    line,
+                    span: span_at(i, line, line_start),
                 });
             };
             if bytes.get(i + consumed - 1) != Some(&b'\'') {
                 return Err(LexError {
                     msg: "unterminated character literal".into(),
-                    line,
+                    span: span_at(i, line, line_start),
                 });
             }
             out.push(Token {
                 kind: TokenKind::CharLit(value),
-                line,
+                span: span_at(i, line, line_start),
             });
             i += consumed;
             continue;
@@ -207,7 +230,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             if src[i..].starts_with(p) {
                 out.push(Token {
                     kind: TokenKind::Punct(p),
-                    line,
+                    span: span_at(i, line, line_start),
                 });
                 i += p.len();
                 continue 'outer;
@@ -215,12 +238,12 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
         }
         return Err(LexError {
             msg: format!("unexpected character `{}`", c as char),
-            line,
+            span: span_at(i, line, line_start),
         });
     }
     out.push(Token {
         kind: TokenKind::Eof,
-        line,
+        span: span_at(bytes.len(), line, line_start),
     });
     Ok(out)
 }
@@ -297,9 +320,27 @@ mod tests {
     #[test]
     fn line_numbers() {
         let toks = lex("a\nb\n\nc").unwrap();
-        assert_eq!(toks[0].line, 1);
-        assert_eq!(toks[1].line, 2);
-        assert_eq!(toks[2].line, 4);
+        assert_eq!(toks[0].line(), 1);
+        assert_eq!(toks[1].line(), 2);
+        assert_eq!(toks[2].line(), 4);
+    }
+
+    #[test]
+    fn spans_track_offset_and_column() {
+        let toks = lex("ab cd\n  ef").unwrap();
+        // `ab` at offset 0, line 1, col 1
+        assert_eq!(toks[0].span, Span::new(0, 1, 1));
+        // `cd` at offset 3, line 1, col 4
+        assert_eq!(toks[1].span, Span::new(3, 1, 4));
+        // `ef` at offset 8, line 2, col 3
+        assert_eq!(toks[2].span, Span::new(8, 2, 3));
+    }
+
+    #[test]
+    fn error_spans_point_at_the_offending_byte() {
+        let e = lex("x =\n  @").unwrap_err();
+        assert_eq!(e.span, Span::new(6, 2, 3));
+        assert!(e.to_string().contains("line 2, column 3"));
     }
 
     #[test]

@@ -32,6 +32,8 @@ pub mod lexer;
 pub mod parser;
 pub mod typecheck;
 
+use ir::diag::{Diag, DiagKind, Phase};
+
 pub use ast::{CBinOp, CExpr, CType, CUnOp, FunDef, Program, Stmt};
 pub use lexer::{lex, LexError, Token, TokenKind};
 pub use parser::{parse, ParseError};
@@ -41,49 +43,31 @@ pub use typecheck::{typecheck, TExpr, TExprKind, TFunDef, TProgram, TStmt, TypeE
 ///
 /// # Errors
 ///
-/// Returns a [`FrontendError`] describing the first lexical, syntactic, or
-/// type error encountered.
-pub fn parse_and_check(src: &str) -> Result<TProgram, FrontendError> {
-    let tokens = lex(src)?;
-    let prog = parse(&tokens)?;
-    Ok(typecheck(&prog)?)
+/// Returns a frontend [`Diag`] describing the first lexical, syntactic, or
+/// type error encountered; the message carries the full rendered error and
+/// the span points at the offending token or declaration.
+pub fn parse_and_check(src: &str) -> Result<TProgram, Diag> {
+    let tokens = lex(src).map_err(Diag::from)?;
+    let prog = parse(&tokens).map_err(Diag::from)?;
+    typecheck(&prog).map_err(Diag::from)
 }
 
-/// Any error produced by the C frontend.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum FrontendError {
-    /// Lexical error.
-    Lex(LexError),
-    /// Syntax error.
-    Parse(ParseError),
-    /// Type error (including uses of unsupported features).
-    Type(TypeError),
-}
-
-impl std::fmt::Display for FrontendError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            FrontendError::Lex(e) => write!(f, "{e}"),
-            FrontendError::Parse(e) => write!(f, "{e}"),
-            FrontendError::Type(e) => write!(f, "{e}"),
-        }
-    }
-}
-
-impl std::error::Error for FrontendError {}
-
-impl From<LexError> for FrontendError {
+impl From<LexError> for Diag {
     fn from(e: LexError) -> Self {
-        FrontendError::Lex(e)
+        Diag::new(Phase::Frontend, DiagKind::Lex, e.to_string()).with_span(e.span)
     }
 }
-impl From<ParseError> for FrontendError {
+impl From<ParseError> for Diag {
     fn from(e: ParseError) -> Self {
-        FrontendError::Parse(e)
+        Diag::new(Phase::Frontend, DiagKind::Parse, e.to_string()).with_span(e.span)
     }
 }
-impl From<TypeError> for FrontendError {
+impl From<TypeError> for Diag {
     fn from(e: TypeError) -> Self {
-        FrontendError::Type(e)
+        let d = Diag::new(Phase::Frontend, DiagKind::Type, e.to_string());
+        match e.span {
+            Some(s) => d.with_span(s),
+            None => d,
+        }
     }
 }

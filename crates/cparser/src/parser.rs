@@ -7,20 +7,24 @@ use ir::ty::{Signedness, Width};
 use crate::ast::{
     CBinOp, CExpr, CType, CUnOp, FunDef, GlobalDecl, Program, Stmt, StructDecl,
 };
-use crate::lexer::{Token, TokenKind};
+use crate::lexer::{Span, Token, TokenKind};
 
 /// A syntax error.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParseError {
     /// Explanation.
     pub msg: String,
-    /// 1-based source line.
-    pub line: u32,
+    /// Position of the token the parser was looking at.
+    pub span: Span,
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at line {}: {}", self.line, self.msg)
+        write!(
+            f,
+            "parse error at line {}, column {}: {}",
+            self.span.line, self.span.col, self.msg
+        )
     }
 }
 
@@ -68,14 +72,14 @@ impl<'a> Parser<'a> {
         &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)]
     }
 
-    fn line(&self) -> u32 {
-        self.peek().line
+    fn span(&self) -> Span {
+        self.peek().span
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T> {
         Err(ParseError {
             msg: msg.into(),
-            line: self.line(),
+            span: self.span(),
         })
     }
 
@@ -216,17 +220,19 @@ impl<'a> Parser<'a> {
                 // a global/function using a struct type. Look ahead for `{`.
                 let save = self.pos;
                 self.bump();
+                let span = self.span();
                 let name = self.expect_any_ident()?;
                 if self.at_punct("{") {
-                    prog.structs.push(self.struct_body(name)?);
+                    prog.structs.push(self.struct_body(name, span)?);
                     continue;
                 }
                 self.pos = save;
             }
             let ty = self.full_type()?;
+            let span = self.span();
             let name = self.expect_any_ident()?;
             if self.at_punct("(") {
-                prog.functions.push(self.function(ty, name)?);
+                prog.functions.push(self.function(ty, name, span)?);
             } else {
                 let init = if self.eat_punct("=") {
                     Some(self.expr()?)
@@ -234,13 +240,13 @@ impl<'a> Parser<'a> {
                     None
                 };
                 self.expect_punct(";")?;
-                prog.globals.push(GlobalDecl { name, ty, init });
+                prog.globals.push(GlobalDecl { name, ty, init, span });
             }
         }
         Ok(prog)
     }
 
-    fn struct_body(&mut self, name: String) -> Result<StructDecl> {
+    fn struct_body(&mut self, name: String, span: Span) -> Result<StructDecl> {
         self.expect_punct("{")?;
         let mut fields = Vec::new();
         while !self.eat_punct("}") {
@@ -265,10 +271,10 @@ impl<'a> Parser<'a> {
             self.expect_punct(";")?;
         }
         self.expect_punct(";")?;
-        Ok(StructDecl { name, fields })
+        Ok(StructDecl { name, fields, span })
     }
 
-    fn function(&mut self, ret: CType, name: String) -> Result<FunDef> {
+    fn function(&mut self, ret: CType, name: String, span: Span) -> Result<FunDef> {
         self.expect_punct("(")?;
         let mut params = Vec::new();
         if !self.eat_punct(")") {
@@ -297,6 +303,7 @@ impl<'a> Parser<'a> {
                 params,
                 body: Vec::new(),
                 is_definition: false,
+                span,
             });
         }
         let body = self.block()?;
@@ -306,6 +313,7 @@ impl<'a> Parser<'a> {
             params,
             body,
             is_definition: true,
+            span,
         })
     }
 
@@ -874,6 +882,13 @@ mod tests {
         assert!(perr("float x;").msg.contains("float"));
         assert!(perr("void f(void) { int a[10]; }").msg.contains("arrays"));
         assert!(perr("void f(int x) { int *p = &x; }").msg.contains("address-of"));
+    }
+
+    #[test]
+    fn parse_errors_carry_spans() {
+        let e = perr("void f(void) {\n    goto end;\n}");
+        assert_eq!(e.span, Span::new(19, 2, 5));
+        assert!(e.to_string().contains("line 2, column 5"));
     }
 
     #[test]

@@ -16,6 +16,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use ir::diag::Span;
 use ir::ty::{Signedness, Ty, TypeEnv, Width};
 
 use crate::ast::{CBinOp, CExpr, CType, CUnOp, FunDef, Program, Stmt};
@@ -25,17 +26,38 @@ use crate::ast::{CBinOp, CExpr, CType, CUnOp, FunDef, Program, Stmt};
 pub struct TypeError {
     /// Explanation.
     pub msg: String,
+    /// Position of the enclosing declaration, when known.
+    pub span: Option<Span>,
 }
 
 impl TypeError {
     fn new(msg: impl Into<String>) -> TypeError {
-        TypeError { msg: msg.into() }
+        TypeError {
+            msg: msg.into(),
+            span: None,
+        }
+    }
+
+    /// Attaches a declaration span, keeping an already-recorded (more
+    /// precise) one.
+    fn with_span(mut self, span: Span) -> TypeError {
+        if self.span.is_none() {
+            self.span = Some(span);
+        }
+        self
     }
 }
 
 impl fmt::Display for TypeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "type error: {}", self.msg)
+        match self.span {
+            Some(s) => write!(
+                f,
+                "type error at line {}, column {}: {}",
+                s.line, s.col, self.msg
+            ),
+            None => write!(f, "type error: {}", self.msg),
+        }
     }
 }
 
@@ -44,7 +66,7 @@ impl std::error::Error for TypeError {}
 type Result<T> = std::result::Result<T, TypeError>;
 
 /// A typed expression.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct TExpr {
     /// The expression.
     pub kind: TExprKind,
@@ -53,7 +75,7 @@ pub struct TExpr {
 }
 
 /// Typed expression kinds (post-normalisation).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum TExprKind {
     /// Integer literal (bit pattern; interpretation given by `ty`).
     IntLit(u64),
@@ -97,7 +119,7 @@ impl TExpr {
 }
 
 /// A typed statement.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum TStmt {
     /// Local declaration (name already unique within the function).
     Decl {
@@ -152,7 +174,7 @@ pub enum TStmt {
 }
 
 /// A typechecked function.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct TFunDef {
     /// Function name.
     pub name: String,
@@ -167,7 +189,7 @@ pub struct TFunDef {
 }
 
 /// A typechecked global.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct TGlobal {
     /// Name.
     pub name: String,
@@ -223,7 +245,7 @@ pub fn typecheck(prog: &Program) -> Result<TProgram> {
             .map(|(n, t)| (n.clone(), ctype_to_ty(t)))
             .collect();
         tenv.define_struct(&s.name, fields)
-            .map_err(|e| TypeError::new(e.to_string()))?;
+            .map_err(|e| TypeError::new(e.to_string()).with_span(s.span))?;
     }
 
     // Signature table: later definitions override earlier prototypes.
@@ -242,7 +264,9 @@ pub fn typecheck(prog: &Program) -> Result<TProgram> {
     let mut globals = Vec::new();
     for g in &prog.globals {
         if globals_map.contains_key(&g.name) {
-            return Err(TypeError::new(format!("duplicate global `{}`", g.name)));
+            return Err(
+                TypeError::new(format!("duplicate global `{}`", g.name)).with_span(g.span)
+            );
         }
         globals_map.insert(g.name.clone(), g.ty.clone());
         let cx = Ctx {
@@ -253,14 +277,15 @@ pub fn typecheck(prog: &Program) -> Result<TProgram> {
         let init = match &g.init {
             None => None,
             Some(e) => {
-                let te = cx.expr_no_scope(e)?;
+                let te = cx.expr_no_scope(e).map_err(|e| e.with_span(g.span))?;
                 if te.has_call() {
                     return Err(TypeError::new(format!(
                         "global `{}` initialiser may not call functions",
                         g.name
-                    )));
+                    ))
+                    .with_span(g.span));
                 }
-                Some(cx.convert(te, &g.ty)?)
+                Some(cx.convert(te, &g.ty).map_err(|e| e.with_span(g.span))?)
             }
         };
         globals.push(TGlobal {
@@ -280,21 +305,31 @@ pub fn typecheck(prog: &Program) -> Result<TProgram> {
             sigs: &sigs,
             globals: &globals_map,
         };
-        functions.push(cx.function(f)?);
+        functions.push(cx.function(f).map_err(|e| e.with_span(f.span))?);
     }
 
     // Every called function must have a definition (we translate whole
     // programs; externs would need axiomatisation).
+    let decl_spans: HashMap<&str, Span> = prog
+        .functions
+        .iter()
+        .map(|f| (f.name.as_str(), f.span))
+        .collect();
     let defined: std::collections::HashSet<&str> =
         functions.iter().map(|f| f.name.as_str()).collect();
     for f in &functions {
+        let span = decl_spans.get(f.name.as_str()).copied();
         each_call(&f.body, &mut |name| {
             if defined.contains(name) {
                 Ok(())
             } else {
-                Err(TypeError::new(format!(
+                let e = TypeError::new(format!(
                     "function `{name}` is declared but never defined"
-                )))
+                ));
+                Err(match span {
+                    Some(s) => e.with_span(s),
+                    None => e,
+                })
             }
         })?;
     }
@@ -1118,6 +1153,15 @@ mod tests {
             .msg
             .contains("never defined"));
         assert!(check_err("void f(int x) { 1 = x; }").msg.contains("lvalue"));
+    }
+
+    #[test]
+    fn type_errors_carry_declaration_spans() {
+        let e = check_err("int ok(void) { return 0; }\nint bad(void) { return g(); }");
+        // The span points at `bad` on line 2 (column after "int ").
+        let s = e.span.expect("function-level span");
+        assert_eq!((s.line, s.col), (2, 5));
+        assert!(e.to_string().contains("line 2, column 5"));
     }
 
     #[test]

@@ -58,6 +58,16 @@ impl fmt::Display for HlError {
 
 impl std::error::Error for HlError {}
 
+impl From<HlError> for ir::diag::Diag {
+    fn from(e: HlError) -> ir::diag::Diag {
+        let kind = match &e {
+            HlError::Kernel(_) => ir::diag::DiagKind::Kernel,
+            HlError::Unsupported(_) => ir::diag::DiagKind::Unsupported,
+        };
+        ir::diag::Diag::new(ir::diag::Phase::Hl, kind, e.to_string())
+    }
+}
+
 impl From<KernelError> for HlError {
     fn from(e: KernelError) -> HlError {
         HlError::Kernel(e)

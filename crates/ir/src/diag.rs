@@ -1,0 +1,200 @@
+//! Typed pipeline diagnostics.
+//!
+//! Every phase of the pipeline used to report failures as `Result<_,
+//! String>`, which meant the CLI (and tests) could only grep messages.
+//! [`Diag`] is the shared structured replacement: it records *which phase*
+//! failed, *which function* was being translated (when known), a coarse
+//! [`DiagKind`], the human-readable message, and — for frontend errors —
+//! a source [`Span`].
+//!
+//! The `Display` form is kept compatible with the old stringly errors
+//! (`"frontend: …"`, `"L2: …"`, …) so driver output and error-matching
+//! tests are unchanged.
+
+use std::fmt;
+
+/// The pipeline phase a diagnostic originated from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// C parsing and type checking (`cparser`).
+    Frontend,
+    /// The trusted C → Simpl translation (`simpl::translate`).
+    Simpl,
+    /// Simpl → L1 monadic shallow embedding.
+    L1,
+    /// L1 → L2: lambda-bound locals, exception elimination.
+    L2,
+    /// Heap abstraction (byte memory → typed split heaps).
+    Hl,
+    /// Word abstraction (machine words → `nat`/`int`).
+    Wa,
+    /// The proof kernel itself (replay / rule application / testing).
+    Kernel,
+}
+
+impl Phase {
+    /// The short prefix used in rendered diagnostics. Matches the old
+    /// `PipelineError` display prefixes verbatim.
+    #[must_use]
+    pub fn prefix(self) -> &'static str {
+        match self {
+            Phase::Frontend => "frontend",
+            Phase::Simpl => "simpl",
+            Phase::L1 => "L1",
+            Phase::L2 => "L2",
+            Phase::Hl => "HL",
+            Phase::Wa => "WA",
+            Phase::Kernel => "kernel",
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.prefix())
+    }
+}
+
+/// A position in the original C source, tracked from the lexer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// Byte offset from the start of the translation unit.
+    pub offset: u32,
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column (in bytes) within the line.
+    pub col: u32,
+}
+
+impl Span {
+    /// Creates a span at the given byte offset / line / column.
+    #[must_use]
+    pub fn new(offset: u32, line: u32, col: u32) -> Self {
+        Span { offset, line, col }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Coarse classification of a diagnostic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DiagKind {
+    /// Lexical error in the C source.
+    Lex,
+    /// Syntax error in the C source.
+    Parse,
+    /// Type error (or unsupported construct found during type checking).
+    Type,
+    /// A construct the pipeline does not support at this phase.
+    Unsupported,
+    /// A kernel rule application failed during proof construction.
+    Kernel,
+    /// Differential testing found a divergence (an `ExecTested` oracle
+    /// refused to certify a refinement).
+    Testing,
+    /// An internal invariant was violated; always a bug.
+    Internal,
+}
+
+/// A structured pipeline diagnostic.
+///
+/// `message` carries the legacy error text verbatim; the remaining fields
+/// are structured metadata layered on top, so converting a phase from
+/// `Result<_, String>` to `Result<_, Diag>` never rewords anything.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diag {
+    /// The phase that produced the diagnostic.
+    pub phase: Phase,
+    /// The function being translated, when known.
+    pub function: Option<String>,
+    /// Coarse classification.
+    pub kind: DiagKind,
+    /// Human-readable message (legacy text, unchanged).
+    pub message: String,
+    /// Source position, for frontend diagnostics.
+    pub span: Option<Span>,
+}
+
+impl Diag {
+    /// Creates a diagnostic with no function or span attached.
+    #[must_use]
+    pub fn new(phase: Phase, kind: DiagKind, message: impl Into<String>) -> Self {
+        Diag {
+            phase,
+            function: None,
+            kind,
+            message: message.into(),
+            span: None,
+        }
+    }
+
+    /// Attaches the function name, keeping an already-recorded one (inner
+    /// frames know the function better than outer ones).
+    #[must_use]
+    pub fn with_function(mut self, name: impl Into<String>) -> Self {
+        if self.function.is_none() {
+            self.function = Some(name.into());
+        }
+        self
+    }
+
+    /// Attaches a source span, keeping an already-recorded one (spans
+    /// recorded closer to the lexer are more precise).
+    #[must_use]
+    pub fn with_span(mut self, span: Span) -> Self {
+        if self.span.is_none() {
+            self.span = Some(span);
+        }
+        self
+    }
+
+    /// Re-labels the diagnostic as coming from `phase`. Used when a lower
+    /// layer's diagnostic (e.g. a kernel testing failure) is surfaced as a
+    /// pipeline phase failure.
+    #[must_use]
+    pub fn in_phase(mut self, phase: Phase) -> Self {
+        self.phase = phase;
+        self
+    }
+}
+
+impl fmt::Display for Diag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.phase.prefix(), self.message)
+    }
+}
+
+impl std::error::Error for Diag {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_legacy_prefixes() {
+        let d = Diag::new(Phase::L2, DiagKind::Testing, "gcd: trial 3: values differ");
+        assert_eq!(d.to_string(), "L2: gcd: trial 3: values differ");
+        let d = Diag::new(Phase::Frontend, DiagKind::Parse, "parse error at 1:2: x");
+        assert_eq!(d.to_string(), "frontend: parse error at 1:2: x");
+        assert_eq!(Phase::Hl.prefix(), "HL");
+        assert_eq!(Phase::Wa.prefix(), "WA");
+        assert_eq!(Phase::Simpl.prefix(), "simpl");
+    }
+
+    #[test]
+    fn with_span_and_function_keep_inner_values() {
+        let inner = Span::new(10, 2, 3);
+        let d = Diag::new(Phase::Frontend, DiagKind::Type, "boom")
+            .with_span(inner)
+            .with_span(Span::new(99, 9, 9))
+            .with_function("f")
+            .with_function("g");
+        assert_eq!(d.span, Some(inner));
+        assert_eq!(d.function.as_deref(), Some("f"));
+        assert_eq!(format!("{}", inner), "2:3");
+    }
+}

@@ -32,6 +32,7 @@
 //! assert_eq!(v, Value::Nat(Nat::from(5u64)));
 //! ```
 
+pub mod diag;
 pub mod eval;
 pub mod guard;
 pub mod expr;
@@ -47,6 +48,7 @@ pub mod update;
 pub mod value;
 pub mod word;
 
+pub use diag::{Diag, DiagKind, Span};
 pub use expr::{BinOp, CastKind, Expr, IExpr, UnOp};
 pub use guard::GuardKind;
 pub use intern::{Internable, InternStats, Interned, Interner};

@@ -180,7 +180,7 @@ impl fmt::Display for Ty {
 }
 
 /// A field of a structure, with its byte offset within the struct.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct StructField {
     /// Field name.
     pub name: String,
@@ -191,7 +191,7 @@ pub struct StructField {
 }
 
 /// Layout of a structure type: fields with offsets, total size, alignment.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct StructDef {
     /// Structure tag name (without the generated `_C` suffix).
     pub name: String,
@@ -217,7 +217,7 @@ impl StructDef {
 /// their natural size and alignment, pointers are 4 bytes / 4-aligned, and
 /// structs use standard C layout (each field aligned to its own alignment,
 /// total size rounded up to the struct alignment).
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub struct TypeEnv {
     structs: BTreeMap<String, StructDef>,
 }

@@ -31,4 +31,6 @@ pub mod semantics;
 pub mod thm;
 
 pub use judgment::{AbsFun, Judgment};
-pub use thm::{check, check_all, CheckCtx, KernelError, ReplayCache, ReplayReport, Rule, Thm};
+pub use thm::{
+    check, check_all, check_all_with, CheckCtx, KernelError, ReplayCache, ReplayReport, Rule, Thm,
+};

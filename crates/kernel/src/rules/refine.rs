@@ -429,9 +429,9 @@ pub fn exec_tested(
     conc: &Prog,
     trials: u32,
     seed: u64,
-    validate: impl FnOnce() -> Result<(), String>,
+    validate: impl FnOnce() -> Result<(), ir::diag::Diag>,
 ) -> R {
-    validate().map_err(|m| err(Rule::ExecTested, m))?;
+    validate().map_err(|d| err(Rule::ExecTested, d.message))?;
     Thm::admit(
         Rule::ExecTested,
         vec![],

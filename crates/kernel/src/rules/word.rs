@@ -472,6 +472,7 @@ pub(crate) fn validate_val(
                 return Err("WCustomSampled needs sampling side data".into());
             };
             crate::semantics::sample_wval(concl, vars, *trials, *seed)
+                .map_err(|e| e.message)
         }
         other => Err(format!("not a word-value rule: {other:?}")),
     }

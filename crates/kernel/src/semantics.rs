@@ -11,6 +11,7 @@
 
 use std::collections::BTreeMap;
 
+use ir::diag::{Diag, DiagKind, Phase};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -22,6 +23,12 @@ use monadic::interp::{exec, MonadFault, MonadResult};
 use monadic::{Prog, ProgramCtx};
 
 use crate::judgment::{AbsFun, Judgment};
+
+/// Builds a testing diagnostic. Messages are unchanged from the historic
+/// stringly errors; the structured fields classify them.
+fn derr(msg: impl Into<String>) -> Diag {
+    Diag::new(Phase::Kernel, DiagKind::Testing, msg)
+}
 
 /// Samples a random value of a type (for word/pointer/bool leaves).
 ///
@@ -68,9 +75,9 @@ pub fn sample_wval(
     vars: &BTreeMap<String, Ty>,
     trials: u32,
     seed: u64,
-) -> Result<(), String> {
+) -> Result<(), Diag> {
     let Judgment::WVal { ctx, pre, f, abs, conc } = j else {
-        return Err("sampling applies to abs_w_val".into());
+        return Err(derr("sampling applies to abs_w_val"));
     };
     let mut rng = StdRng::seed_from_u64(seed);
     let st = State::conc_empty();
@@ -81,7 +88,7 @@ pub fn sample_wval(
         for (name, ty) in vars {
             let cv = random_value(&mut rng, ty);
             let af = ctx.get(name).cloned().unwrap_or(AbsFun::Id);
-            let av = af.apply(&cv)?;
+            let av = af.apply(&cv).map_err(derr)?;
             conc_env.bind_mut(name, cv);
             abs_env.bind_mut(name, av);
         }
@@ -96,16 +103,16 @@ pub fn sample_wval(
         let (Ok(cv), Ok(av)) = (eval(conc, &conc_env, &st), eval(abs, &abs_env, &st)) else {
             continue;
         };
-        let expected = f.apply(&cv)?;
+        let expected = f.apply(&cv).map_err(derr)?;
         if av != expected {
-            return Err(format!(
+            return Err(derr(format!(
                 "sample violates abs_w_val: abs = {av}, {f} conc = {expected}"
-            ));
+            )));
         }
         checked += 1;
     }
     if checked == 0 && trials > 0 {
-        return Err("no sample satisfied the precondition; cannot validate".into());
+        return Err(derr("no sample satisfied the precondition; cannot validate"));
     }
     Ok(())
 }
@@ -120,12 +127,12 @@ enum Run {
     Timeout,
 }
 
-fn outcome(r: Result<(MonadResult, State), MonadFault>) -> Result<Run, String> {
+fn outcome(r: Result<(MonadResult, State), MonadFault>) -> Result<Run, Diag> {
     match r {
         Ok((v, st)) => Ok(Run::Done(v, st)),
         Err(MonadFault::Failure(_)) => Ok(Run::Failed),
         Err(MonadFault::OutOfFuel) => Ok(Run::Timeout),
-        Err(e) => Err(format!("stuck execution: {e}")),
+        Err(e) => Err(derr(format!("stuck execution: {e}"))),
     }
 }
 
@@ -144,7 +151,7 @@ pub fn test_refines(
     trials: u32,
     seed: u64,
     mut gen: impl FnMut(&mut StdRng) -> (Env, State),
-) -> Result<(), String> {
+) -> Result<(), Diag> {
     let mut rng = StdRng::seed_from_u64(seed);
     for i in 0..trials {
         let (env, st) = gen(&mut rng);
@@ -156,13 +163,13 @@ pub fn test_refines(
             Run::Done(v, s) => (v, s),
             Run::Timeout => continue,
             Run::Failed => {
-                return Err(format!("trial {i}: concrete fails but abstract succeeds"))
+                return Err(derr(format!("trial {i}: concrete fails but abstract succeeds")))
             }
         };
         if a_res != c_res || a_st != c_st {
-            return Err(format!(
+            return Err(derr(format!(
                 "trial {i}: results differ (abs: {a_res:?}, conc: {c_res:?})"
-            ));
+            )));
         }
     }
     Ok(())
@@ -185,9 +192,9 @@ pub fn test_wstmt(
     trials: u32,
     seed: u64,
     mut gen_state: impl FnMut(&mut StdRng) -> State,
-) -> Result<(), String> {
+) -> Result<(), Diag> {
     let Judgment::WStmt { ctx, rx, ex, abs, conc } = j else {
-        return Err("expected abs_w_stmt".into());
+        return Err(derr("expected abs_w_stmt"));
     };
     let mut rng = StdRng::seed_from_u64(seed);
     for i in 0..trials {
@@ -197,7 +204,7 @@ pub fn test_wstmt(
         for (name, ty) in vars {
             let cv = random_value(&mut rng, ty);
             let af = ctx.get(name).cloned().unwrap_or(AbsFun::Id);
-            abs_env.bind_mut(name, af.apply(&cv)?);
+            abs_env.bind_mut(name, af.apply(&cv).map_err(derr)?);
             conc_env.bind_mut(name, cv);
         }
         let Run::Done(a_res, a_st) =
@@ -210,21 +217,21 @@ pub fn test_wstmt(
             Run::Done(v, s) => (v, s),
             Run::Timeout => continue,
             Run::Failed => {
-                return Err(format!("trial {i}: concrete fails but abstract succeeds"))
+                return Err(derr(format!("trial {i}: concrete fails but abstract succeeds")))
             }
         };
         let related = match (&a_res, &c_res) {
-            (MonadResult::Normal(a), MonadResult::Normal(c)) => *a == rx.apply(c)?,
-            (MonadResult::Except(a), MonadResult::Except(c)) => *a == ex.apply(c)?,
+            (MonadResult::Normal(a), MonadResult::Normal(c)) => *a == rx.apply(c).map_err(derr)?,
+            (MonadResult::Except(a), MonadResult::Except(c)) => *a == ex.apply(c).map_err(derr)?,
             _ => false,
         };
         if !related {
-            return Err(format!(
+            return Err(derr(format!(
                 "trial {i}: results unrelated (abs: {a_res:?}, conc: {c_res:?})"
-            ));
+            )));
         }
         if a_st != c_st {
-            return Err(format!("trial {i}: states differ after execution"));
+            return Err(derr(format!("trial {i}: states differ after execution")));
         }
     }
     Ok(())
@@ -247,9 +254,9 @@ pub fn test_hstmt(
     trials: u32,
     seed: u64,
     mut gen: impl FnMut(&mut StdRng) -> (Env, ir::state::ConcState),
-) -> Result<(), String> {
+) -> Result<(), Diag> {
     let Judgment::HStmt { abs, conc } = j else {
-        return Err("expected abs_h_stmt".into());
+        return Err(derr("expected abs_h_stmt"));
     };
     let mut rng = StdRng::seed_from_u64(seed);
     for i in 0..trials {
@@ -276,26 +283,26 @@ pub fn test_hstmt(
             Run::Done(v, s) => (v, s),
             Run::Timeout => continue,
             Run::Failed => {
-                return Err(format!("trial {i}: concrete fails but abstract succeeds"))
+                return Err(derr(format!("trial {i}: concrete fails but abstract succeeds")))
             }
         };
         if a_res != c_res {
-            return Err(format!(
+            return Err(derr(format!(
                 "trial {i}: results differ (abs: {a_res:?}, conc: {c_res:?})"
-            ));
+            )));
         }
         let State::Conc(c_final) = &c_st else {
-            return Err("concrete execution left a non-concrete state".into());
+            return Err(derr("concrete execution left a non-concrete state"));
         };
         let lifted = heapmodel::lift_state(c_final, &conc_ctx.tenv, heap_types);
         let State::Abs(a_final) = &a_st else {
-            return Err("abstract execution left a non-abstract state".into());
+            return Err(derr("abstract execution left a non-abstract state"));
         };
         if lifted.heaps != a_final.heaps
             || lifted.globals != a_final.globals
             || lifted.locals != a_final.locals
         {
-            return Err(format!("trial {i}: lifted final state differs"));
+            return Err(derr(format!("trial {i}: lifted final state differs")));
         }
     }
     Ok(())
@@ -315,9 +322,9 @@ pub fn test_l1(
     trials: u32,
     seed: u64,
     mut gen: impl FnMut(&mut StdRng) -> State,
-) -> Result<(), String> {
+) -> Result<(), Diag> {
     let Judgment::L1 { prog, simpl } = j else {
-        return Err("expected l1corres".into());
+        return Err(derr("expected l1corres"));
     };
     let mut rng = StdRng::seed_from_u64(seed);
     for i in 0..trials {
@@ -330,18 +337,18 @@ pub fn test_l1(
         match (s_result, m_result) {
             (Ok(simpl::interp::Outcome::Normal), Ok((MonadResult::Normal(_), m_state))) => {
                 if s_state != m_state {
-                    return Err(format!("trial {i}: states differ after normal outcome"));
+                    return Err(derr(format!("trial {i}: states differ after normal outcome")));
                 }
             }
             (Ok(simpl::interp::Outcome::Abrupt), Ok((MonadResult::Except(_), m_state))) => {
                 if s_state != m_state {
-                    return Err(format!("trial {i}: states differ after abrupt outcome"));
+                    return Err(derr(format!("trial {i}: states differ after abrupt outcome")));
                 }
             }
             (Err(simpl::interp::Fault::GuardFailure(_)), Err(MonadFault::Failure(_))) => {}
             (Err(simpl::interp::Fault::OutOfFuel), _) | (_, Err(MonadFault::OutOfFuel)) => {}
             (s, m) => {
-                return Err(format!("trial {i}: outcomes diverge ({s:?} vs {m:?})"));
+                return Err(derr(format!("trial {i}: outcomes diverge ({s:?} vs {m:?})")));
             }
         }
     }

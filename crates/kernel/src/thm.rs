@@ -216,7 +216,10 @@ pub enum Side {
 pub struct Thm {
     judgment: Judgment,
     rule: Rule,
-    premises: Vec<Thm>,
+    /// Refcounted so `Thm::clone` is O(1) instead of copying the whole
+    /// derivation — session artifact stores clone theorems on every
+    /// retrieval.
+    premises: std::sync::Arc<[Thm]>,
     side: Side,
     /// Rule applications in the derivation, computed once at `admit` time
     /// (derived from the other fields, so excluded from comparisons).
@@ -271,7 +274,7 @@ impl Thm {
         Ok(Thm {
             judgment,
             rule,
-            premises,
+            premises: premises.into(),
             side,
             proof_size,
         })
@@ -336,7 +339,7 @@ fn check_cached(thm: &Thm, cx: &CheckCtx, cache: Option<&ReplayCache>) -> Result
             return Ok(());
         }
     }
-    for p in &thm.premises {
+    for p in thm.premises.iter() {
         check_cached(p, cx, cache)?;
     }
     let prem_judgments: Vec<&Judgment> = thm.premises.iter().map(Thm::judgment).collect();
@@ -387,7 +390,7 @@ impl ReplayCache {
             seed.hash(&mut h);
             thm.rule.hash(&mut h);
             thm.judgment.hash(&mut h);
-            for p in &thm.premises {
+            for p in thm.premises.iter() {
                 p.judgment.hash(&mut h);
             }
             thm.side.hash(&mut h);
@@ -472,25 +475,45 @@ pub fn check_all<'a, I>(
 where
     I: IntoIterator<Item = (&'a str, &'a Thm)>,
 {
+    check_all_with(items, cx, workers, &ReplayCache::new())
+}
+
+/// [`check_all`] against a caller-supplied [`ReplayCache`]. A session-scoped
+/// cache lets incremental re-checks skip proof nodes validated by earlier
+/// runs; the report's hit/miss counters cover *this run only* (counter
+/// deltas), not the cache's lifetime totals.
+///
+/// # Errors
+///
+/// Returns the failing theorem's label together with the kernel error.
+pub fn check_all_with<'a, I>(
+    items: I,
+    cx: &CheckCtx,
+    workers: usize,
+    cache: &ReplayCache,
+) -> Result<ReplayReport, (String, KernelError)>
+where
+    I: IntoIterator<Item = (&'a str, &'a Thm)>,
+{
     let items: Vec<(&str, &Thm)> = items.into_iter().collect();
     let start = std::time::Instant::now();
+    let (hits0, misses0) = cache.counters();
     let proof_nodes: usize = items.iter().map(|(_, t)| t.proof_size()).sum();
     let workers = workers.clamp(1, items.len().max(1));
-    let cache = ReplayCache::new();
     let mut first_failure: Option<(usize, String, KernelError)> = None;
     if workers <= 1 {
         for (name, thm) in &items {
-            if let Err(e) = check_cached(thm, cx, Some(&cache)) {
+            if let Err(e) = check_cached(thm, cx, Some(cache)) {
                 return Err(((*name).to_owned(), e));
             }
         }
         let wall = start.elapsed();
-        let (cache_hits, cache_misses) = cache.counters();
+        let (hits1, misses1) = cache.counters();
         return Ok(ReplayReport {
             checked: items.len(),
             proof_nodes,
-            cache_hits,
-            cache_misses,
+            cache_hits: hits1 - hits0,
+            cache_misses: misses1 - misses0,
             workers: 1,
             busy: wall,
             wall,
@@ -509,7 +532,7 @@ where
                         let Some((name, thm)) = items.get(i) else {
                             break;
                         };
-                        if let Err(e) = check_cached(thm, cx, Some(&cache)) {
+                        if let Err(e) = check_cached(thm, cx, Some(cache)) {
                             failures.push((i, (*name).to_owned(), e));
                         }
                     }
@@ -527,14 +550,14 @@ where
             }
         }
     });
-    let (cache_hits, cache_misses) = cache.counters();
+    let (hits1, misses1) = cache.counters();
     match first_failure {
         Some((_, name, e)) => Err((name, e)),
         None => Ok(ReplayReport {
             checked: items.len(),
             proof_nodes,
-            cache_hits,
-            cache_misses,
+            cache_hits: hits1 - hits0,
+            cache_misses: misses1 - misses0,
             workers,
             busy,
             wall: start.elapsed(),

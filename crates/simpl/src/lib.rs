@@ -34,7 +34,7 @@ pub mod translate;
 
 pub use interp::{exec_fn, exec_stmt, Fault, Outcome};
 pub use stmt::{GuardKind, SimplFn, SimplProgram, SimplStmt};
-pub use translate::{translate_program, TranslateError};
+pub use translate::translate_program;
 
 /// Name of the ghost local recording the abrupt-termination reason.
 pub const EXN_VAR: &str = "global_exn_var";

@@ -149,7 +149,7 @@ impl fmt::Display for SimplStmt {
 }
 
 /// A translated function.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct SimplFn {
     /// Function name.
     pub name: String,

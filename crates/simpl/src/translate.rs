@@ -4,10 +4,9 @@
 //! `THROW` + `global_exn_var`, inline guards for every potentially undefined
 //! operation, and pointer-offset field accesses.
 
-use std::fmt;
-
 use cparser::ast::{CBinOp, CType, CUnOp};
 use cparser::typecheck::{ctype_to_ty, TExpr, TExprKind, TFunDef, TProgram, TStmt};
+use ir::diag::{Diag, DiagKind, Phase};
 use ir::expr::{BinOp, CastKind, Expr, UnOp};
 use ir::ty::{Signedness, Ty, Width};
 use ir::update::Update;
@@ -17,38 +16,26 @@ use ir::word::Word;
 use crate::stmt::{GuardKind, SimplFn, SimplProgram, SimplStmt};
 use crate::{EXN_BREAK, EXN_CONTINUE, EXN_RETURN, EXN_VAR, RET_VAR};
 
-/// An error during translation (uses of features the translation cannot
-/// encode, e.g. calls in loop conditions).
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct TranslateError {
-    /// Explanation.
-    pub msg: String,
+/// Builds a translation diagnostic. The message keeps the historic
+/// `translation error:` prefix so rendered errors are unchanged.
+fn terr(msg: impl Into<String>) -> Diag {
+    Diag::new(
+        Phase::Simpl,
+        DiagKind::Unsupported,
+        format!("translation error: {}", msg.into()),
+    )
 }
-
-impl TranslateError {
-    fn new(msg: impl Into<String>) -> TranslateError {
-        TranslateError { msg: msg.into() }
-    }
-}
-
-impl fmt::Display for TranslateError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "translation error: {}", self.msg)
-    }
-}
-
-impl std::error::Error for TranslateError {}
 
 /// Guards to emit before a call, plus the translated argument expressions.
 pub type GuardedArgs = (Vec<(GuardKind, Expr)>, Vec<Expr>);
 
-type Result<T> = std::result::Result<T, TranslateError>;
+type Result<T> = std::result::Result<T, Diag>;
 
 /// Translates a typechecked program into Simpl.
 ///
 /// # Errors
 ///
-/// Returns a [`TranslateError`] on constructs the literal translation cannot
+/// Returns a [`Diag`] on constructs the literal translation cannot
 /// encode (calls in loop conditions or short-circuit operands, `break`
 /// outside a loop).
 pub fn translate_program(tp: &TProgram) -> Result<SimplProgram> {
@@ -65,14 +52,14 @@ pub fn translate_program(tp: &TProgram) -> Result<SimplProgram> {
                 let mut pre = Vec::new();
                 let te = tr.rvalue(e, &mut pre)?;
                 if !pre.is_empty() || !te.guards.is_empty() {
-                    return Err(TranslateError::new(format!(
+                    return Err(terr(format!(
                         "global `{}` initialiser must be a guard-free constant",
                         g.name
                     )));
                 }
                 let env = ir::eval::Env::with_tenv(tp.tenv.clone());
                 ir::eval::eval(&te.expr, &env, &ir::state::State::conc_empty())
-                    .map_err(|e| TranslateError::new(format!("global init: {e}")))?
+                    .map_err(|e| terr(format!("global init: {e}")))?
             }
         };
         out.globals.push((g.name.clone(), value));
@@ -172,7 +159,7 @@ impl<'a> FnTranslator<'a> {
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T> {
-        Err(TranslateError::new(msg))
+        Err(terr(msg))
     }
 
     fn fresh_tmp(&mut self, ty: Ty) -> String {
@@ -404,7 +391,7 @@ impl<'a> FnTranslator<'a> {
                                 .tp
                                 .tenv
                                 .field_offset(&sname, f)
-                                .map_err(|e| TranslateError::new(e.to_string()))?;
+                                .map_err(|e| terr(e.to_string()))?;
                             fty = t.clone();
                             if let Ty::Struct(next) = t {
                                 sname = next.clone();
@@ -566,7 +553,7 @@ impl<'a> FnTranslator<'a> {
                         .tp
                         .tenv
                         .field_offset(sname, field)
-                        .map_err(|e| TranslateError::new(e.to_string()))?;
+                        .map_err(|e| terr(e.to_string()))?;
                     let fty = ctype_to_ty(&e.ty);
                     let pv = self.rvalue(p, pre)?;
                     let mut guards = pv.guards;
@@ -665,7 +652,7 @@ impl<'a> FnTranslator<'a> {
                 .tp
                 .tenv
                 .size_of(&elem)
-                .map_err(|e| TranslateError::new(e.to_string()))?;
+                .map_err(|e| terr(e.to_string()))?;
             let lv = self.rvalue(l, pre)?;
             let rv = self.rvalue(r, pre)?;
             let mut guards = lv.guards;
@@ -881,7 +868,7 @@ fn is_boolish(e: &TExpr) -> bool {
 fn int_shape(t: &CType) -> Result<(Width, Signedness)> {
     match t {
         CType::Int(w, s) => Ok((*w, *s)),
-        t => Err(TranslateError::new(format!(
+        t => Err(terr(format!(
             "expected an integer type, got `{t}`"
         ))),
     }

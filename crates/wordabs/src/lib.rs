@@ -85,6 +85,16 @@ impl fmt::Display for WaError {
 
 impl std::error::Error for WaError {}
 
+impl From<WaError> for ir::diag::Diag {
+    fn from(e: WaError) -> ir::diag::Diag {
+        let kind = match &e {
+            WaError::Kernel(_) => ir::diag::DiagKind::Kernel,
+            WaError::Unsupported(_) => ir::diag::DiagKind::Unsupported,
+        };
+        ir::diag::Diag::new(ir::diag::Phase::Wa, kind, e.to_string())
+    }
+}
+
 impl From<KernelError> for WaError {
     fn from(e: KernelError) -> WaError {
         WaError::Kernel(e)

@@ -14,6 +14,11 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q --workspace
 
+# Incremental smoke: the session store must re-run only the dirty cone and
+# stay byte-identical to from-scratch translation (tests/incremental.rs
+# asserts both; run it by name so a filtered workspace run can't skip it).
+cargo test -q --test incremental
+
 if [[ "${1:-}" == "--quick" ]]; then
     scripts/bench.sh --quick
 fi

@@ -1,12 +1,17 @@
 //! Unsupported constructs produce clean, phase-tagged errors — the user
 //! experience the paper's "supported subset" list implies.
 
-use autocorres::{translate, Options, PipelineError};
+use autocorres::{translate, Options};
+use ir::diag::Phase;
 
 fn expect_frontend_error(src: &str, needle: &str) {
     match translate(src, &Options::default()) {
-        Err(PipelineError::Frontend(msg)) => {
-            assert!(msg.contains(needle), "expected `{needle}` in: {msg}");
+        Err(d) if d.phase == Phase::Frontend => {
+            assert!(
+                d.message.contains(needle),
+                "expected `{needle}` in: {}",
+                d.message
+            );
         }
         other => panic!("expected a frontend error for {src:?}, got {other:?}"),
     }
@@ -32,8 +37,8 @@ fn translation_limits_are_reported() {
          void f(unsigned n) { while (id(n) > 0u) { n = n - 1u; } }",
         &Options::default(),
     ) {
-        Err(PipelineError::Simpl(msg)) => {
-            assert!(msg.contains("loop conditions"), "{msg}");
+        Err(d) if d.phase == Phase::Simpl => {
+            assert!(d.message.contains("loop conditions"), "{}", d.message);
         }
         other => panic!("expected a Simpl-phase error, got {other:?}"),
     }

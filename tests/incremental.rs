@@ -1,0 +1,211 @@
+//! Incremental recomputation: a [`Session`] re-runs only the dirty cone.
+//!
+//! The phase graph keys every per-function artifact by a content digest of
+//! its inputs (the function's terms, the environment, the options, and —
+//! for the exec-testing phases — the transitive callee cone). Editing one
+//! function must therefore re-run exactly that function in the translation
+//! phases plus its transitive callers in the testing phases, answer
+//! everything else from the session store, and still produce output
+//! byte-identical to a from-scratch translation at any worker count.
+
+use autocorres::{translate_program, Options, Output, Session};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Everything a consumer can observe of the output, rendered to text (the
+/// same shape the parallel-determinism suite byte-compares).
+fn render(out: &Output) -> String {
+    let mut s = String::new();
+    for (level, ctx) in [
+        ("l1", &out.l1),
+        ("l2", &out.l2),
+        ("hl", &out.hl),
+        ("wa", &out.wa),
+    ] {
+        for (name, f) in &ctx.fns {
+            let _ = writeln!(s, "=== {level} {name} ===\n{f}");
+        }
+    }
+    for (phase, name, thm) in out.thms.iter() {
+        let _ = writeln!(s, "--- thm {phase} {name} ---\n{thm}\n{thm:?}");
+    }
+    let _ = writeln!(s, "parser metrics: {:?}", out.parser_metrics());
+    let _ = writeln!(s, "output metrics: {:?}", out.output_metrics());
+    let _ = writeln!(s, "proof size: {}", out.total_proof_size());
+    s.push_str(&out.stats.deterministic_summary());
+    s
+}
+
+fn opts(workers: usize) -> Options {
+    Options {
+        l2_trials: 4,
+        seed: 0xA11CE,
+        workers,
+        ..Options::default()
+    }
+}
+
+/// `leaf ← mid ← top`, plus `lone` with no calls at all.
+fn diamond(leaf_const: u32) -> String {
+    format!(
+        "unsigned leaf(unsigned x) {{ return x + {leaf_const}u; }}\n\
+         unsigned mid(unsigned x) {{ return leaf(x) + 2u; }}\n\
+         unsigned top(unsigned x) {{ return mid(x) ^ leaf(x); }}\n\
+         unsigned lone(unsigned x) {{ return x * 3u; }}\n"
+    )
+}
+
+fn phase_cached(out: &Output, phase: &str) -> usize {
+    out.stats
+        .phases
+        .iter()
+        .find(|p| p.name == phase)
+        .unwrap_or_else(|| panic!("phase {phase} missing"))
+        .cached
+}
+
+#[test]
+fn identical_retranslation_is_a_full_cache_hit() {
+    let sess = Session::new(opts(2));
+    let first = sess.translate(&diamond(1)).unwrap();
+    assert_eq!(first.stats.dirty_fns, 4, "fresh session: everything dirty");
+    assert_eq!(first.stats.cached_nodes, 0);
+
+    let second = sess.translate(&diamond(1)).unwrap();
+    assert_eq!(second.stats.dirty_fns, 0, "nothing changed");
+    // Every per-function job of every phase was answered from the store.
+    assert_eq!(second.stats.cached_nodes, 6 * 4);
+    assert_eq!(render(&first), render(&second), "cache changed the output");
+}
+
+#[test]
+fn editing_one_function_reruns_exactly_the_dirty_cone() {
+    let sess = Session::new(opts(2));
+    sess.translate(&diamond(1)).unwrap();
+
+    // Edit `leaf`: its callers `mid` and `top` must re-test (their
+    // differential tests execute the edited callee), `lone` must not.
+    let incr = sess.translate(&diamond(9)).unwrap();
+    assert_eq!(
+        incr.stats.dirty_fns, 3,
+        "dirty cone is leaf + mid + top, not {}",
+        incr.stats.dirty_fns
+    );
+    // Translation phases are per-function: only `leaf` re-ran there.
+    assert_eq!(phase_cached(&incr, "l1"), 3);
+    assert_eq!(phase_cached(&incr, "hl"), 3);
+    // l2 merges translation (3 cached) + testing (only `lone`'s callee
+    // cone is unchanged: 1 cached).
+    assert_eq!(phase_cached(&incr, "l2"), 4);
+    // Exec-testing phases re-run the whole caller cone.
+    assert_eq!(phase_cached(&incr, "wa"), 1);
+    assert_eq!(phase_cached(&incr, "adapt"), 1);
+
+    // Byte-identical to from-scratch translation of the edited source, at
+    // several worker counts.
+    let reference = render(&incr);
+    for workers in [1usize, 2, 8] {
+        let typed = cparser::parse_and_check(&diamond(9)).unwrap();
+        let fresh = translate_program(&typed, &opts(workers)).unwrap();
+        assert_eq!(
+            reference,
+            render(&fresh),
+            "incremental output diverges from scratch (workers={workers})"
+        );
+    }
+}
+
+#[test]
+fn session_replay_skips_previously_checked_proofs() {
+    let sess = Session::new(opts(2));
+    let out = sess.translate(&diamond(1)).unwrap();
+    let first = sess.check_all_report(&out, 2).unwrap();
+    assert!(first.cache_misses > 0, "first replay validates something");
+    let again = sess.check_all_report(&out, 2).unwrap();
+    assert_eq!(
+        again.cache_misses, 0,
+        "second replay of identical theorems must be all hits"
+    );
+    assert!(again.cache_hits > 0);
+    // An incremental re-translation reuses cached theorems, so its replay
+    // through the same session is also fully cached.
+    let out2 = sess.translate(&diamond(1)).unwrap();
+    let third = sess.check_all_report(&out2, 1).unwrap();
+    assert_eq!(third.cache_misses, 0);
+}
+
+/// A call-graph-shaped program: `fn_i` calls exactly `deps[i]` (all lower
+/// indices), plus a per-function constant that `bump` edits.
+fn src_from_graph(g: &[Vec<usize>], bump: Option<usize>) -> String {
+    let mut s = String::new();
+    for (i, deps) in g.iter().enumerate() {
+        let c = if bump == Some(i) { 7 } else { 1 };
+        let _ = writeln!(s, "unsigned fn_{i}(unsigned x) {{");
+        let _ = writeln!(s, "    unsigned r = x + {c}u;");
+        for d in deps {
+            let _ = writeln!(s, "    r = r ^ fn_{d}(r % 13u + 1u);");
+        }
+        let _ = writeln!(s, "    return r;");
+        let _ = writeln!(s, "}}");
+    }
+    s
+}
+
+/// The edited function plus its transitive callers.
+fn caller_cone(g: &[Vec<usize>], k: usize) -> BTreeSet<usize> {
+    let mut cone = BTreeSet::from([k]);
+    loop {
+        let before = cone.len();
+        for (i, deps) in g.iter().enumerate() {
+            if deps.iter().any(|d| cone.contains(d)) {
+                cone.insert(i);
+            }
+        }
+        if cone.len() == before {
+            return cone;
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn random_single_edit_invalidates_exactly_the_caller_cone(
+        seed in 0u64..1_000_000,
+        n in 2usize..7,
+        density_pct in 20usize..101,
+        pick in 0usize..1_000,
+        workers in 1usize..5,
+    ) {
+        let g = codegen::gen_call_graph(seed, n, density_pct as f64 / 100.0);
+        let k = pick % n;
+        let o = Options {
+            l2_trials: 2,
+            seed: 3,
+            workers,
+            ..Options::default()
+        };
+        let sess = Session::new(o.clone());
+        let base = cparser::parse_and_check(&src_from_graph(&g, None)).unwrap();
+        sess.translate_program(&base).unwrap();
+
+        let edited = cparser::parse_and_check(&src_from_graph(&g, Some(k))).unwrap();
+        let incr = sess.translate_program(&edited).unwrap();
+        let cone = caller_cone(&g, k);
+        prop_assert_eq!(
+            incr.stats.dirty_fns,
+            cone.len(),
+            "graph {:?}, edited fn_{}: dirty set must be the caller cone {:?}",
+            g, k, cone
+        );
+        // The untouched functions' translation jobs all hit the store.
+        prop_assert_eq!(phase_cached(&incr, "l1"), n - 1);
+
+        let fresh = translate_program(&edited, &o).unwrap();
+        prop_assert_eq!(
+            render(&incr),
+            render(&fresh),
+            "incremental output diverges from scratch"
+        );
+    }
+}
