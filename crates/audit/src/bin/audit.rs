@@ -1,0 +1,123 @@
+//! Audit driver: prints the mutation-kill matrix, the cache/store attack
+//! verdicts, and differential-fuzz throughput.
+//!
+//! `audit` (or `audit --smoke`) runs the small-budget smoke used by
+//! `scripts/tier1.sh`; `audit --full` runs the ISSUE-5 acceptance
+//! campaign (≥ 200 generated programs at two worker counts).
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use audit::{
+    attack_artifact_store, attack_replay_cache, attack_theorems, DiffConfig, KillMatrix,
+    SIGNED_MIX_SRC,
+};
+use autocorres::{translate, Options};
+use codegen::{generate_mix, Mix, Profile};
+
+fn main() -> ExitCode {
+    let full = std::env::args().any(|a| a == "--full");
+    let mode = if full { "full" } else { "smoke" };
+    println!("== soundness audit ({mode}) ==");
+
+    let mut ok = true;
+    ok &= mutation_kill(full);
+    ok &= cache_attacks();
+    ok &= differential(full);
+
+    if ok {
+        println!("\naudit: PASS");
+        ExitCode::SUCCESS
+    } else {
+        println!("\naudit: FAIL");
+        ExitCode::FAILURE
+    }
+}
+
+/// Sources whose theorems get mutated: the handcrafted signed/struct/loop
+/// mix, the custom-rule overflow idiom (for `WCustomSampled` evidence),
+/// and generated audit-mix programs.
+fn mutation_sources(full: bool) -> Vec<(String, Options)> {
+    let mut srcs = vec![
+        (SIGNED_MIX_SRC.to_string(), Options::default()),
+        (
+            casestudies::sources::OVERFLOW_IDIOM.to_string(),
+            Options {
+                custom_word_rules: vec![wordabs::overflow_idiom_rule()],
+                ..Options::default()
+            },
+        ),
+    ];
+    let programs = if full { 4 } else { 1 };
+    for seed in 0..programs {
+        let profile = Profile {
+            name: "audit",
+            loc: 90,
+            functions: 6,
+        };
+        srcs.push((
+            generate_mix(&profile, &Mix::audit(), 0xBAD_5EED + seed),
+            Options::default(),
+        ));
+    }
+    srcs
+}
+
+fn mutation_kill(full: bool) -> bool {
+    let budget = if full { 6 } else { 2 };
+    let start = Instant::now();
+    let mut matrix = KillMatrix::default();
+    for (src, opts) in mutation_sources(full) {
+        let out = translate(&src, &opts).expect("audit source translates");
+        matrix.merge(&attack_theorems(&out, budget));
+    }
+    println!("\n-- mutation kill matrix (killed/applied) --");
+    print!("{}", matrix.render());
+    println!("mutation time: {:.1}s", start.elapsed().as_secs_f64());
+    for s in &matrix.survivors {
+        println!("SURVIVOR: {s}");
+    }
+    matrix.all_killed()
+}
+
+fn cache_attacks() -> bool {
+    println!("\n-- cache/store corruption --");
+    let cache = attack_replay_cache(SIGNED_MIX_SRC, &Options::default(), 16, 0xCAFE);
+    println!(
+        "replay cache: {} digests bit-flipped; valid theorems still accepted: {}; forged theorem rejected: {}",
+        cache.digests_corrupted, cache.valid_still_accepted, cache.forged_rejected
+    );
+    let stores = attack_artifact_store(SIGNED_MIX_SRC, &Options::default());
+    let mut ok = cache.sound();
+    for r in &stores {
+        println!(
+            "artifact store [{}/{}]: cached re-run: {}; poisoned output rejected: {}",
+            r.phase, r.function, r.cache_hit, r.rejected
+        );
+        ok &= r.cache_hit && r.rejected;
+    }
+    ok
+}
+
+fn differential(full: bool) -> bool {
+    let cfg = if full { DiffConfig::full() } else { DiffConfig::smoke() };
+    println!(
+        "\n-- cross-layer differential oracle ({} programs × workers {:?}) --",
+        cfg.programs, cfg.workers
+    );
+    let start = Instant::now();
+    let stats = audit::run_campaign(&cfg);
+    let secs = start.elapsed().as_secs_f64();
+    println!(
+        "programs: {}  functions: {}  trials: {}  decided pairs: {}  fuel-skips: {}",
+        stats.programs, stats.functions, stats.trials, stats.decided_pairs, stats.skipped_fuel
+    );
+    println!(
+        "throughput: {:.1} programs/sec ({secs:.1}s total)",
+        stats.programs as f64 / secs.max(1e-9)
+    );
+    for d in stats.disagreements.iter().take(10) {
+        println!("DISAGREEMENT: {d}");
+    }
+    stats.disagreements.is_empty() && stats.decided_pairs > 0
+}

@@ -1,0 +1,403 @@
+//! Cross-layer differential oracle.
+//!
+//! Runs every function of a generated program through all five executable
+//! layers — the Simpl interpreter, the L1 and L2 monadic interpreters
+//! (byte-heap states), HL (typed split heaps), and WA (ideal arithmetic) —
+//! on shared random initial states and arguments, and diffs adjacent
+//! layers. Any unsound-but-proof-accepted translation shows up as an
+//! execution disagreement here, independently of the proof checker.
+//!
+//! Comparison discipline per adjacent pair (the abstract side first):
+//!
+//! * **Simpl ↔ L1** is an *exact* correspondence: identical outcomes,
+//!   return values, and final memory + globals (locals are excluded —
+//!   the Simpl interpreter leaves the callee frame in the final state by
+//!   design, the monadic interpreters restore the caller's).
+//! * **L1 ↔ L2**, **L2 ↔ HL**, **HL ↔ WA** are *refinements*: when the
+//!   abstract run succeeds, the concrete run must succeed with the related
+//!   value and state; when the abstract run faults, nothing is claimed
+//!   (the pair is undecided for that trial).
+//! * Across the HL boundary, concrete final states are compared through
+//!   [`heapmodel::lift_state`]; across WA, return values are compared
+//!   through the function's [`kernel::AbsFun`].
+//! * `Stuck`/`UnknownFunction` anywhere is always a disagreement (a
+//!   translation produced an ill-formed program); running out of fuel
+//!   anywhere skips the trial.
+
+use autocorres::testing::{gen_state, heap_types_of, random_arg};
+use autocorres::{translate, Options, Output};
+use codegen::{generate_mix, Mix, Profile};
+use ir::state::State;
+use ir::ty::Ty;
+use ir::value::Value;
+use kernel::AbsFun;
+use monadic::{MonadFault, MonadResult, ProgramCtx};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Interpreter fuel per layer run: generous for the bounded loops and
+/// capped recursion the generator emits, small enough that a runaway
+/// translation is cut off.
+const FUEL: u64 = 400_000;
+
+/// Objects allocated per heap type in each generated initial state.
+const HEAP_OBJS: usize = 4;
+
+/// Configuration of a differential campaign.
+#[derive(Clone, Debug)]
+pub struct DiffConfig {
+    /// Number of generated programs.
+    pub programs: u32,
+    /// Functions per generated program.
+    pub functions: usize,
+    /// Approximate lines per generated program.
+    pub loc: usize,
+    /// Shared-input trials per function.
+    pub trials: u32,
+    /// Base RNG seed (program `i` uses `seed + i`).
+    pub seed: u64,
+    /// Worker counts to translate and diff at (≥ 2 for the audit claim).
+    pub workers: Vec<usize>,
+    /// Pipeline `l2_trials` (kept small: the oracle supplies the coverage).
+    pub l2_trials: u32,
+}
+
+impl DiffConfig {
+    /// Small smoke campaign (test-suite sized).
+    #[must_use]
+    pub fn smoke() -> DiffConfig {
+        DiffConfig {
+            programs: 6,
+            functions: 6,
+            loc: 90,
+            trials: 4,
+            seed: 0xD1FF,
+            workers: vec![1, 4],
+            l2_trials: 4,
+        }
+    }
+
+    /// Full campaign: the ISSUE-5 acceptance bar (≥ 200 programs at two
+    /// worker counts).
+    #[must_use]
+    pub fn full() -> DiffConfig {
+        DiffConfig {
+            programs: 200,
+            functions: 8,
+            loc: 120,
+            trials: 6,
+            seed: 0xD1FF,
+            workers: vec![1, 4],
+            l2_trials: 4,
+        }
+    }
+}
+
+/// Campaign results.
+#[derive(Clone, Debug, Default)]
+pub struct DiffStats {
+    /// Programs translated and diffed (counted once per worker count).
+    pub programs: u64,
+    /// Function runs diffed.
+    pub functions: u64,
+    /// Shared-input trials executed.
+    pub trials: u64,
+    /// Adjacent-layer comparisons decided (abstract side succeeded).
+    pub decided_pairs: u64,
+    /// Trials skipped because some layer ran out of fuel.
+    pub skipped_fuel: u64,
+    /// Layer disagreements (must stay empty). Messages carry the program
+    /// seed so `codegen::generate_mix` regenerates the offending source.
+    pub disagreements: Vec<String>,
+}
+
+impl DiffStats {
+    fn merge(&mut self, other: &DiffStats) {
+        self.programs += other.programs;
+        self.functions += other.functions;
+        self.trials += other.trials;
+        self.decided_pairs += other.decided_pairs;
+        self.skipped_fuel += other.skipped_fuel;
+        self.disagreements.extend(other.disagreements.iter().cloned());
+    }
+}
+
+/// Runs a differential campaign: generates `cfg.programs` programs with
+/// the audit shape mix, translates each at every configured worker count,
+/// and diffs all five layers on shared inputs.
+#[must_use]
+pub fn run_campaign(cfg: &DiffConfig) -> DiffStats {
+    let mut stats = DiffStats::default();
+    let profile = Profile {
+        name: "audit",
+        loc: cfg.loc,
+        functions: cfg.functions,
+    };
+    for i in 0..cfg.programs {
+        let seed = cfg.seed.wrapping_add(u64::from(i));
+        let src = generate_mix(&profile, &Mix::audit(), seed);
+        let mut wa_prints = Vec::new();
+        for &workers in &cfg.workers {
+            let opts = Options {
+                workers,
+                l2_trials: cfg.l2_trials,
+                seed,
+                ..Options::default()
+            };
+            let out = match translate(&src, &opts) {
+                Ok(out) => out,
+                Err(e) => {
+                    stats.disagreements.push(format!(
+                        "program seed={seed} workers={workers}: pipeline error: {e}"
+                    ));
+                    continue;
+                }
+            };
+            wa_prints.push(print_wa(&out));
+            stats.merge(&diff_output(&out, seed, cfg.trials));
+            stats.programs += 1;
+        }
+        // The determinism claim rides along: the final specs must be
+        // byte-identical at every worker count.
+        if wa_prints.windows(2).any(|w| w[0] != w[1]) {
+            stats
+                .disagreements
+                .push(format!("program seed={seed}: WA output differs across worker counts"));
+        }
+    }
+    stats
+}
+
+fn print_wa(out: &Output) -> String {
+    let mut s = String::new();
+    for f in out.wa.fns.values() {
+        s.push_str(&f.to_string());
+        s.push('\n');
+    }
+    s
+}
+
+/// One layer run, classified.
+#[derive(Clone, Debug)]
+enum Run {
+    Normal(Value, State),
+    Except(Value, State),
+    /// A guard failed / `fail` was reached.
+    Fault,
+    Fuel,
+    /// Stuck or unknown function: always a bug.
+    Broken(String),
+}
+
+fn run_monadic(ctx: &ProgramCtx, name: &str, args: &[Value], st: State) -> Run {
+    match monadic::exec_fn(ctx, name, args, st, FUEL) {
+        Ok((MonadResult::Normal(v), st)) => Run::Normal(v, st),
+        Ok((MonadResult::Except(v), st)) => Run::Except(v, st),
+        Err(MonadFault::Failure(_)) => Run::Fault,
+        Err(MonadFault::OutOfFuel) => Run::Fuel,
+        Err(e @ (MonadFault::Stuck(_) | MonadFault::UnknownFunction(_))) => {
+            Run::Broken(e.to_string())
+        }
+    }
+}
+
+fn run_simpl(prog: &simpl::SimplProgram, name: &str, args: &[Value], st: State) -> Run {
+    match simpl::exec_fn(prog, name, args, st, FUEL) {
+        Ok((v, st)) => Run::Normal(v, st),
+        Err(simpl::Fault::GuardFailure(_)) => Run::Fault,
+        Err(simpl::Fault::OutOfFuel) => Run::Fuel,
+        Err(e @ (simpl::Fault::Stuck(_) | simpl::Fault::UnknownFunction(_))) => {
+            Run::Broken(e.to_string())
+        }
+    }
+}
+
+/// Diffs every function of one pipeline output on `trials` shared inputs.
+#[must_use]
+pub fn diff_output(out: &Output, seed: u64, trials: u32) -> DiffStats {
+    let mut stats = DiffStats::default();
+    let tenv = &out.simpl.tenv;
+    let heap_types = heap_types_of(tenv, &out.l1);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA0D1_7000);
+    for (name, simpl_f) in &out.simpl.fns {
+        stats.functions += 1;
+        let wa_f = out.wa.fns.get(name).expect("wa keeps every function");
+        for trial in 0..trials {
+            stats.trials += 1;
+            let conc0 = gen_state(&mut rng, tenv, &heap_types, HEAP_OBJS);
+            let args: Vec<Value> = simpl_f
+                .params
+                .iter()
+                .map(|(_, t)| random_arg(&mut rng, t, &heap_types, HEAP_OBJS))
+                .collect();
+            let abs0 = heapmodel::lift_state(&conc0, tenv, &heap_types);
+            let wa_args: Vec<Value> = args
+                .iter()
+                .zip(&simpl_f.params)
+                .map(|(v, (_, t))| AbsFun::for_ty(t).apply(v).expect("abstractable arg"))
+                .collect();
+
+            let runs = [
+                run_simpl(&out.simpl, name, &args, State::Conc(conc0.clone())),
+                run_monadic(&out.l1, name, &args, State::Conc(conc0.clone())),
+                run_monadic(&out.l2, name, &args, State::Conc(conc0)),
+                run_monadic(&out.hl, name, &args, State::Abs(abs0.clone())),
+                run_monadic(&out.wa, name, &wa_args, State::Abs(abs0)),
+            ];
+            let at = |msg: String| format!("seed={seed} fn={name} trial={trial}: {msg}");
+
+            if let Some(broken) = runs.iter().find_map(|r| match r {
+                Run::Broken(e) => Some(e.clone()),
+                _ => None,
+            }) {
+                stats.disagreements.push(at(format!("layer broke: {broken}")));
+                continue;
+            }
+            if runs.iter().any(|r| matches!(r, Run::Fuel)) {
+                stats.skipped_fuel += 1;
+                continue;
+            }
+            let [simpl_r, l1_r, l2_r, hl_r, wa_r] = runs;
+
+            // Simpl ↔ L1: exact (modulo the locals frame).
+            match (&l1_r, &simpl_r) {
+                (Run::Normal(va, sta), Run::Normal(vc, stc)) => {
+                    stats.decided_pairs += 1;
+                    if va != vc {
+                        stats
+                            .disagreements
+                            .push(at(format!("simpl/l1 values differ: {vc} vs {va}")));
+                    } else if !conc_states_agree(sta, stc) {
+                        stats.disagreements.push(at("simpl/l1 final states differ".into()));
+                    }
+                }
+                (Run::Fault, Run::Fault) => stats.decided_pairs += 1,
+                (a, c) => stats.disagreements.push(at(format!(
+                    "simpl/l1 outcomes differ: simpl {} vs l1 {}",
+                    describe(c),
+                    describe(a)
+                ))),
+            }
+
+            // The three refinement pairs, concrete side first.
+            check_refines(&mut stats, &at, "l1/l2", &l1_r, &l2_r, |va, vc| va == vc, |sa, sc| {
+                conc_states_agree(sa, sc)
+            });
+            check_refines(
+                &mut stats,
+                &at,
+                "l2/hl",
+                &l2_r,
+                &hl_r,
+                |va, vc| va == vc,
+                |sa, sc| lifted_states_agree(sa, sc, out, &heap_types),
+            );
+            check_refines(
+                &mut stats,
+                &at,
+                "hl/wa",
+                &hl_r,
+                &wa_r,
+                |va, vc| {
+                    let expect = match (vc, &wa_f.ret_ty) {
+                        (Value::Word(w), Ty::Nat) => Value::Nat(w.unat()),
+                        (Value::Word(w), Ty::Int) => Value::Int(w.sint()),
+                        (other, _) => other.clone(),
+                    };
+                    *va == expect
+                },
+                abs_states_agree,
+            );
+        }
+    }
+    stats
+}
+
+fn describe(r: &Run) -> &'static str {
+    match r {
+        Run::Normal(..) => "normal",
+        Run::Except(..) => "except",
+        Run::Fault => "fault",
+        Run::Fuel => "fuel",
+        Run::Broken(_) => "broken",
+    }
+}
+
+/// Refinement check: when the abstract run succeeds (normally or with an
+/// exception), the concrete run must match it under the value/state
+/// relations; when the abstract run faults, the pair is undecided.
+fn check_refines(
+    stats: &mut DiffStats,
+    at: &dyn Fn(String) -> String,
+    pair: &str,
+    conc: &Run,
+    abs: &Run,
+    val_rel: impl Fn(&Value, &Value) -> bool,
+    st_rel: impl Fn(&State, &State) -> bool,
+) {
+    match abs {
+        Run::Normal(va, sa) => match conc {
+            Run::Normal(vc, sc) => {
+                stats.decided_pairs += 1;
+                if !val_rel(va, vc) {
+                    stats
+                        .disagreements
+                        .push(at(format!("{pair} values unrelated: {vc} vs {va}")));
+                } else if !st_rel(sa, sc) {
+                    stats.disagreements.push(at(format!("{pair} final states unrelated")));
+                }
+            }
+            other => stats.disagreements.push(at(format!(
+                "{pair}: abstract succeeded but concrete was {}",
+                describe(other)
+            ))),
+        },
+        Run::Except(va, sa) => match conc {
+            Run::Except(vc, sc) => {
+                stats.decided_pairs += 1;
+                if !val_rel(va, vc) || !st_rel(sa, sc) {
+                    stats
+                        .disagreements
+                        .push(at(format!("{pair} exception outcomes unrelated")));
+                }
+            }
+            other => stats.disagreements.push(at(format!(
+                "{pair}: abstract raised but concrete was {}",
+                describe(other)
+            ))),
+        },
+        // Abstract fault: refinement claims nothing.
+        Run::Fault => {}
+        Run::Fuel | Run::Broken(_) => unreachable!("filtered before pairing"),
+    }
+}
+
+/// Byte-level state agreement: memory and globals (locals excluded — see
+/// module docs).
+fn conc_states_agree(a: &State, b: &State) -> bool {
+    match (a, b) {
+        (State::Conc(x), State::Conc(y)) => x.mem == y.mem && x.globals == y.globals,
+        _ => false,
+    }
+}
+
+/// Concrete (`b`) vs abstract (`a`) agreement across the heap-abstraction
+/// boundary: the lifted concrete heaps must equal the abstract heaps.
+fn lifted_states_agree(a: &State, b: &State, out: &Output, heap_types: &[Ty]) -> bool {
+    match (a, b) {
+        (State::Abs(x), State::Conc(y)) => {
+            let lifted = heapmodel::lift_state(y, &out.simpl.tenv, heap_types);
+            lifted.heaps == x.heaps && y.globals == x.globals
+        }
+        _ => false,
+    }
+}
+
+/// Abstract-vs-abstract agreement (word abstraction leaves heaps and
+/// globals at the word level).
+fn abs_states_agree(a: &State, b: &State) -> bool {
+    match (a, b) {
+        (State::Abs(x), State::Abs(y)) => x.heaps == y.heaps && x.globals == y.globals,
+        _ => false,
+    }
+}

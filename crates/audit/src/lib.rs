@@ -1,0 +1,52 @@
+//! Soundness audit subsystem (DESIGN.md §6c).
+//!
+//! The pipeline's trust story has two halves, and this crate attacks both:
+//!
+//! 1. **Fault injection** ([`mutate`]): forge lying derivations and
+//!    corrupted cache state through audit-only backdoors
+//!    (`kernel/forge`, `autocorres/audit` features) and assert the
+//!    independent checker kills every mutant — 100%, reported as a kill
+//!    matrix per mutation kind × pipeline phase.
+//! 2. **Differential execution** ([`differential`]): run generated
+//!    programs through all five executable layers (Simpl, L1, L2, HL, WA)
+//!    on shared inputs and require agreement, covering the
+//!    randomized-evidence steps (`ExecTested`, `WCustomSampled`) that
+//!    fault injection deliberately leaves to execution.
+//!
+//! Driven by `cargo test -p audit` (small budgets) and the `audit` binary
+//! (`scripts/tier1.sh --audit` for the full campaign).
+
+pub mod differential;
+pub mod mutate;
+
+pub use differential::{diff_output, run_campaign, DiffConfig, DiffStats};
+pub use mutate::{
+    attack_artifact_store, attack_replay_cache, attack_theorems, CacheAttackReport, KillMatrix,
+    Mutation, StoreAttackReport, MUTATIONS,
+};
+
+/// Handcrafted audit source: signed arithmetic (SDiv/SNeg guards), struct
+/// access, a loop, and a call — exercises rule families the generator's
+/// unsigned-heavy mix hits less often.
+pub const SIGNED_MIX_SRC: &str = "\
+struct obj { struct obj *next; unsigned state; unsigned refcount; int prio; };\n\
+int signed_mix(int a, int b) {\n\
+    int acc = a;\n\
+    if (b != 0) acc = acc / b;\n\
+    acc = acc - b * 2;\n\
+    if (acc < 0) acc = -acc;\n\
+    return acc;\n\
+}\n\
+unsigned loopy(unsigned n, struct obj *p) {\n\
+    unsigned i = 0u;\n\
+    unsigned acc = 0u;\n\
+    while (i < n % 9u) {\n\
+        acc = acc + i;\n\
+        i = i + 1u;\n\
+        if (p != NULL) p->state = acc;\n\
+    }\n\
+    return acc;\n\
+}\n\
+unsigned call_chain(unsigned x) {\n\
+    return loopy(x, NULL) + 1u;\n\
+}\n";

@@ -1,0 +1,739 @@
+//! Proof-tree fault injection.
+//!
+//! The kernel's trust story is LCF-style: `Thm` has no public constructor,
+//! and `kernel::check` replays every rule application bottom-up. This
+//! module attacks that story head-on. Using the kernel's audit-only
+//! `forge` backdoor it mints derivations that are *lies* — a swapped rule
+//! name, a perturbed conclusion, a dropped or reordered premise, zeroed
+//! testing evidence, a renamed symbol on one side of a correspondence —
+//! and asserts the checker rejects **every single one** (a 100%
+//! mutation-kill rate, reported per mutation kind × pipeline phase).
+//!
+//! Two mutation classes are deliberately *not* in the matrix and covered
+//! elsewhere (DESIGN.md §6c):
+//!
+//! * Conclusion perturbations of **oracle nodes** (`ExecTested`,
+//!   `WCustomSampled`): their replay re-runs randomized evidence rather
+//!   than recomputing the conclusion, so a judgment tweak is only caught
+//!   probabilistically. The cross-layer differential oracle
+//!   ([`crate::differential`]) owns that half of the trust argument.
+//! * Cache corruption ([`attack_replay_cache`], [`attack_artifact_store`]):
+//!   reported separately because the property is different — a corrupted
+//!   digest must never cause a forged theorem to be *accepted* (nor a
+//!   valid one to be rejected), but it is allowed to cost a cache miss.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use autocorres::phase::Artifact;
+use autocorres::{Options, Output, Session};
+use ir::expr::Expr;
+use ir::intern::Interned;
+use ir::names::Symbol;
+use ir::update::Update;
+use kernel::{check, check_all_with, Judgment, Rule, Side, Thm};
+use monadic::Prog;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One way of lying to the checker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Mutation {
+    /// Replace the rule name with one from a different judgment family.
+    SwapRuleFamily,
+    /// Replace an L1 rule with the L1 rule for a different statement shape.
+    SwapRuleShape,
+    /// Perturb one subterm of the conclusion (wrap the concrete program in
+    /// a no-op `skip; ·`, or strengthen the precondition with an
+    /// unprovable conjunct).
+    PerturbJudgment,
+    /// Drop the first premise.
+    DropPremise,
+    /// Swap the first two (distinct) premises.
+    ReorderPremises,
+    /// Zero out randomized-testing evidence (`trials = 0`, or strip the
+    /// sampling record entirely).
+    ZeroTestEvidence,
+    /// Rename every occurrence of one symbol on the *concrete* side only,
+    /// breaking the correspondence the judgment claims.
+    CorruptSymbol,
+}
+
+/// Every mutation kind, in display order.
+pub const MUTATIONS: &[Mutation] = &[
+    Mutation::SwapRuleFamily,
+    Mutation::SwapRuleShape,
+    Mutation::PerturbJudgment,
+    Mutation::DropPremise,
+    Mutation::ReorderPremises,
+    Mutation::ZeroTestEvidence,
+    Mutation::CorruptSymbol,
+];
+
+impl fmt::Display for Mutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Mutation::SwapRuleFamily => "swap-rule-family",
+            Mutation::SwapRuleShape => "swap-rule-shape",
+            Mutation::PerturbJudgment => "perturb-judgment",
+            Mutation::DropPremise => "drop-premise",
+            Mutation::ReorderPremises => "reorder-premises",
+            Mutation::ZeroTestEvidence => "zero-test-evidence",
+            Mutation::CorruptSymbol => "corrupt-symbol",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One cell of the kill matrix.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KillCell {
+    /// Mutants injected.
+    pub applied: u64,
+    /// Mutants the checker rejected.
+    pub killed: u64,
+}
+
+/// Mutation-kill results per mutation kind × pipeline phase.
+#[derive(Clone, Debug, Default)]
+pub struct KillMatrix {
+    /// `(mutation, phase) → cell`.
+    pub cells: BTreeMap<(Mutation, &'static str), KillCell>,
+    /// Descriptions of mutants that were **accepted** (must stay empty).
+    pub survivors: Vec<String>,
+}
+
+/// The phase columns of the matrix, in pipeline order.
+pub const PHASE_COLS: &[&str] = &["l1", "l2", "hl", "wa"];
+
+impl KillMatrix {
+    /// Total mutants injected.
+    #[must_use]
+    pub fn applied(&self) -> u64 {
+        self.cells.values().map(|c| c.applied).sum()
+    }
+
+    /// Total mutants rejected.
+    #[must_use]
+    pub fn killed(&self) -> u64 {
+        self.cells.values().map(|c| c.killed).sum()
+    }
+
+    /// Mutants injected by one operator, across all phases.
+    #[must_use]
+    pub fn applied_for(&self, kind: Mutation) -> u64 {
+        self.cells
+            .iter()
+            .filter(|((k, _), _)| *k == kind)
+            .map(|(_, c)| c.applied)
+            .sum()
+    }
+
+    /// Did the checker reject every injected mutant (and was at least one
+    /// injected)?
+    #[must_use]
+    pub fn all_killed(&self) -> bool {
+        self.survivors.is_empty() && self.applied() > 0
+    }
+
+    /// Accumulates another matrix into this one.
+    pub fn merge(&mut self, other: &KillMatrix) {
+        for (k, c) in &other.cells {
+            let cell = self.cells.entry(*k).or_default();
+            cell.applied += c.applied;
+            cell.killed += c.killed;
+        }
+        self.survivors.extend(other.survivors.iter().cloned());
+    }
+
+    /// Renders the matrix as a `killed/applied` table (kind rows × phase
+    /// columns).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("{:<20}", "mutation \\ phase"));
+        for p in PHASE_COLS {
+            s.push_str(&format!("{p:>12}"));
+        }
+        s.push('\n');
+        for m in MUTATIONS {
+            s.push_str(&format!("{:<20}", m.to_string()));
+            for p in PHASE_COLS {
+                let cell = self.cells.get(&(*m, *p)).copied().unwrap_or_default();
+                if cell.applied == 0 {
+                    s.push_str(&format!("{:>12}", "-"));
+                } else {
+                    s.push_str(&format!("{:>12}", format!("{}/{}", cell.killed, cell.applied)));
+                }
+            }
+            s.push('\n');
+        }
+        s.push_str(&format!(
+            "total: {}/{} mutants killed\n",
+            self.killed(),
+            self.applied()
+        ));
+        s
+    }
+}
+
+/// Injects up to `budget_per_site` mutants of every kind into every
+/// theorem of `out` and replays each through the independent checker.
+/// Accepted mutants land in [`KillMatrix::survivors`].
+#[must_use]
+pub fn attack_theorems(out: &Output, budget_per_site: usize) -> KillMatrix {
+    let mut matrix = KillMatrix::default();
+    for (phase, name, thm) in out.thms.iter() {
+        let col = phase_col(phase);
+        for &kind in MUTATIONS {
+            let mut sites = Vec::new();
+            collect_sites(thm, kind, &mut Vec::new(), &mut sites);
+            for path in sample(&sites, budget_per_site) {
+                let Some(mutant) = mutate_at(thm, path, kind) else {
+                    continue;
+                };
+                // A mutation that did not change the theorem is a harness
+                // bug, not a survivor.
+                assert!(mutant != *thm, "no-op {kind} mutation at {path:?}");
+                let cell = matrix.cells.entry((kind, col)).or_default();
+                cell.applied += 1;
+                if check(&mutant, &out.check_ctx).is_err() {
+                    cell.killed += 1;
+                } else {
+                    matrix.survivors.push(format!(
+                        "{kind} on {phase}/{name} at {path:?} (rule {:?}) was ACCEPTED",
+                        node_at(thm, path).rule()
+                    ));
+                }
+            }
+        }
+    }
+    matrix
+}
+
+fn phase_col(phase: &'static str) -> &'static str {
+    // `PhaseTheorems::iter` only tags with the four theorem-bearing
+    // phases; keep a stable column even if that changes.
+    if PHASE_COLS.contains(&phase) {
+        phase
+    } else {
+        "wa"
+    }
+}
+
+/// Evenly strided sample of at most `budget` site paths.
+fn sample(sites: &[Vec<usize>], budget: usize) -> impl Iterator<Item = &Vec<usize>> {
+    let n = sites.len();
+    let take = budget.min(n);
+    (0..take).map(move |k| &sites[k * n / take.max(1)])
+}
+
+fn node_at<'t>(thm: &'t Thm, path: &[usize]) -> &'t Thm {
+    let mut node = thm;
+    for &i in path {
+        node = &node.premises()[i];
+    }
+    node
+}
+
+/// Walks the derivation collecting the paths of all nodes `kind` applies to.
+fn collect_sites(thm: &Thm, kind: Mutation, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+    if applicable(thm, kind) {
+        out.push(cur.clone());
+    }
+    for (i, p) in thm.premises().iter().enumerate() {
+        cur.push(i);
+        collect_sites(p, kind, cur, out);
+        cur.pop();
+    }
+}
+
+/// Structural rules recompute their conclusion from their premises on
+/// replay; oracle rules re-run recorded randomized evidence instead.
+fn structural(rule: Rule) -> bool {
+    !matches!(rule, Rule::ExecTested | Rule::WCustomSampled)
+}
+
+fn is_l1_rule(rule: Rule) -> bool {
+    matches!(
+        rule,
+        Rule::L1Skip
+            | Rule::L1Basic
+            | Rule::L1Seq
+            | Rule::L1Cond
+            | Rule::L1While
+            | Rule::L1Guard
+            | Rule::L1Throw
+            | Rule::L1Catch
+            | Rule::L1Call
+    )
+}
+
+fn applicable(thm: &Thm, kind: Mutation) -> bool {
+    match kind {
+        Mutation::SwapRuleFamily => true,
+        Mutation::SwapRuleShape => is_l1_rule(thm.rule()),
+        // Oracle nodes don't recompute their conclusion on replay, so a
+        // perturbed judgment there is only probabilistically detectable —
+        // excluded by design (covered by the differential oracle).
+        Mutation::PerturbJudgment => structural(thm.rule()),
+        Mutation::DropPremise => structural(thm.rule()) && !thm.premises().is_empty(),
+        // A premise swap that still validates implies the swapped premise
+        // *judgments* were equal (validators destructure positionally), so
+        // equal-judgment pairs are no-ops, not mutations.
+        Mutation::ReorderPremises => {
+            structural(thm.rule())
+                && thm.premises().len() >= 2
+                && thm.premises()[0].judgment() != thm.premises()[1].judgment()
+        }
+        Mutation::ZeroTestEvidence => !matches!(thm.side(), Side::None),
+        // DischargeGuard is excluded: renaming a symbol uniformly in a
+        // guard like `x == x` can leave it still provable-by-simplifier.
+        Mutation::CorruptSymbol => {
+            structural(thm.rule())
+                && thm.rule() != Rule::DischargeGuard
+                && conc_symbol(thm.judgment()).is_some()
+        }
+    }
+}
+
+/// Builds the mutated root: applies `kind` at `path`, then rebuilds every
+/// ancestor with `Thm::forge` (ancestor conclusions unchanged — the lie is
+/// local).
+fn mutate_at(thm: &Thm, path: &[usize], kind: Mutation) -> Option<Thm> {
+    if path.is_empty() {
+        return apply(thm, kind);
+    }
+    let i = path[0];
+    let mut prems: Vec<Thm> = thm.premises().to_vec();
+    prems[i] = mutate_at(&prems[i], &path[1..], kind)?;
+    Some(Thm::forge(
+        thm.rule(),
+        prems,
+        thm.judgment().clone(),
+        thm.side().clone(),
+    ))
+}
+
+fn apply(thm: &Thm, kind: Mutation) -> Option<Thm> {
+    let prems = thm.premises().to_vec();
+    let j = thm.judgment().clone();
+    let side = thm.side().clone();
+    match kind {
+        Mutation::SwapRuleFamily => {
+            let new_rule = match thm.judgment() {
+                Judgment::L1 { .. } => Rule::ReflRefines,
+                _ => Rule::L1Skip,
+            };
+            Some(Thm::forge(new_rule, prems, j, side))
+        }
+        Mutation::SwapRuleShape => {
+            let new_rule = match thm.rule() {
+                Rule::L1Skip => Rule::L1Basic,
+                Rule::L1Basic => Rule::L1Skip,
+                Rule::L1Seq => Rule::L1Cond,
+                Rule::L1Cond => Rule::L1Seq,
+                Rule::L1While => Rule::L1Guard,
+                Rule::L1Guard => Rule::L1While,
+                Rule::L1Throw => Rule::L1Basic,
+                Rule::L1Catch => Rule::L1Seq,
+                Rule::L1Call => Rule::L1Skip,
+                _ => return None,
+            };
+            Some(Thm::forge(new_rule, prems, j, side))
+        }
+        Mutation::PerturbJudgment => {
+            let j2 = perturb_judgment(thm.judgment());
+            Some(Thm::forge(thm.rule(), prems, j2, side))
+        }
+        Mutation::DropPremise => {
+            Some(Thm::forge(thm.rule(), prems[1..].to_vec(), j, side))
+        }
+        Mutation::ReorderPremises => {
+            let mut prems = prems;
+            prems.swap(0, 1);
+            Some(Thm::forge(thm.rule(), prems, j, side))
+        }
+        Mutation::ZeroTestEvidence => {
+            let new_side = match thm.side() {
+                Side::Tested { seed, .. } => Side::Tested { trials: 0, seed: *seed },
+                // `trials = 0` could vacuously pass a sampling loop; strip
+                // the record entirely so the destructure itself fails.
+                Side::SampledWVal { .. } => Side::None,
+                Side::None => return None,
+            };
+            Some(Thm::forge(thm.rule(), prems, j, new_side))
+        }
+        Mutation::CorruptSymbol => {
+            let sym = conc_symbol(thm.judgment())?;
+            let forged = Symbol::intern(&format!("{}\u{b7}forged", sym.as_str()));
+            let j2 = rename_conc(thm.judgment(), sym, forged);
+            Some(Thm::forge(thm.rule(), prems, j2, side))
+        }
+    }
+}
+
+/// An opaque, unprovable extra conjunct ('·' cannot appear in parsed C, so
+/// the simplifier knows nothing about it).
+fn audit_flag() -> Expr {
+    Expr::var("\u{b7}audit\u{b7}unprovable")
+}
+
+/// Wraps a program in a semantically-equivalent-looking no-op so the term
+/// no longer matches the validator's recomputation. Built with the raw
+/// `Bind` constructor: `Prog::then` simplifies `skip; p` back to `p`,
+/// which would make this a no-op rather than a mutation.
+fn wrap(p: &Prog) -> Prog {
+    Prog::Bind(
+        Interned::new(Prog::skip()),
+        "\u{b7}audit".into(),
+        Interned::new(p.clone()),
+    )
+}
+
+fn perturb_judgment(j: &Judgment) -> Judgment {
+    match j {
+        Judgment::L1 { prog, simpl } => Judgment::L1 {
+            prog: wrap(prog),
+            simpl: simpl.clone(),
+        },
+        Judgment::Refines { abs, conc } => Judgment::Refines {
+            abs: abs.clone(),
+            conc: wrap(conc),
+        },
+        Judgment::WStmt { ctx, rx, ex, abs, conc } => Judgment::WStmt {
+            ctx: ctx.clone(),
+            rx: rx.clone(),
+            ex: ex.clone(),
+            abs: abs.clone(),
+            conc: wrap(conc),
+        },
+        Judgment::HStmt { abs, conc } => Judgment::HStmt {
+            abs: abs.clone(),
+            conc: wrap(conc),
+        },
+        Judgment::WVal { ctx, pre, f, abs, conc } => Judgment::WVal {
+            ctx: ctx.clone(),
+            pre: Expr::and(pre.clone(), audit_flag()),
+            f: f.clone(),
+            abs: abs.clone(),
+            conc: conc.clone(),
+        },
+        Judgment::HVal { pre, abs, conc } => Judgment::HVal {
+            pre: Expr::and(pre.clone(), audit_flag()),
+            abs: abs.clone(),
+            conc: conc.clone(),
+        },
+        Judgment::HUpd { pre, abs, conc } => Judgment::HUpd {
+            pre: Expr::and(pre.clone(), audit_flag()),
+            abs: abs.clone(),
+            conc: conc.clone(),
+        },
+    }
+}
+
+/// The first symbol occurring on the judgment's *concrete* side.
+fn conc_symbol(j: &Judgment) -> Option<Symbol> {
+    match j {
+        Judgment::L1 { prog, .. } => first_symbol_prog(prog),
+        Judgment::Refines { conc, .. }
+        | Judgment::WStmt { conc, .. }
+        | Judgment::HStmt { conc, .. } => first_symbol_prog(conc),
+        Judgment::WVal { conc, .. } | Judgment::HVal { conc, .. } => first_symbol_expr(conc),
+        Judgment::HUpd { conc, .. } => first_symbol_update(conc),
+    }
+}
+
+/// Renames `from` to `to` throughout the concrete side only, leaving the
+/// abstract side (and, for L1, the Simpl side) untouched.
+fn rename_conc(j: &Judgment, from: Symbol, to: Symbol) -> Judgment {
+    match j {
+        Judgment::L1 { prog, simpl } => Judgment::L1 {
+            prog: rename_prog(prog, from, to),
+            simpl: simpl.clone(),
+        },
+        Judgment::Refines { abs, conc } => Judgment::Refines {
+            abs: abs.clone(),
+            conc: rename_prog(conc, from, to),
+        },
+        Judgment::WStmt { ctx, rx, ex, abs, conc } => Judgment::WStmt {
+            ctx: ctx.clone(),
+            rx: rx.clone(),
+            ex: ex.clone(),
+            abs: abs.clone(),
+            conc: rename_prog(conc, from, to),
+        },
+        Judgment::HStmt { abs, conc } => Judgment::HStmt {
+            abs: abs.clone(),
+            conc: rename_prog(conc, from, to),
+        },
+        Judgment::WVal { ctx, pre, f, abs, conc } => Judgment::WVal {
+            ctx: ctx.clone(),
+            pre: pre.clone(),
+            f: f.clone(),
+            abs: abs.clone(),
+            conc: rename_expr(conc, from, to),
+        },
+        Judgment::HVal { pre, abs, conc } => Judgment::HVal {
+            pre: pre.clone(),
+            abs: abs.clone(),
+            conc: rename_expr(conc, from, to),
+        },
+        Judgment::HUpd { pre, abs, conc } => Judgment::HUpd {
+            pre: pre.clone(),
+            abs: abs.clone(),
+            conc: rename_update(conc, from, to),
+        },
+    }
+}
+
+fn first_symbol_expr(e: &Expr) -> Option<Symbol> {
+    let mut found = None;
+    e.visit(&mut |sub| {
+        if found.is_none() {
+            if let Expr::Var(s) | Expr::Local(s) | Expr::Global(s) = sub {
+                found = Some(*s);
+            }
+        }
+    });
+    found
+}
+
+fn first_symbol_prog(p: &Prog) -> Option<Symbol> {
+    let mut found = None;
+    p.visit_exprs(&mut |e| {
+        if found.is_none() {
+            found = first_symbol_expr(e);
+        }
+    });
+    found
+}
+
+fn first_symbol_update(u: &Update) -> Option<Symbol> {
+    match u {
+        Update::Local(_, e) | Update::Global(_, e) | Update::TagRegion(_, e) => {
+            first_symbol_expr(e)
+        }
+        Update::Heap(_, p, v) | Update::Byte(p, v) => {
+            first_symbol_expr(p).or_else(|| first_symbol_expr(v))
+        }
+    }
+}
+
+fn ie(e: Expr) -> ir::expr::IExpr {
+    Interned::new(e)
+}
+
+fn rename_expr(e: &Expr, from: Symbol, to: Symbol) -> Expr {
+    let r = |x: &Expr| ie(rename_expr(x, from, to));
+    match e {
+        Expr::Lit(_) => e.clone(),
+        Expr::Var(s) => Expr::Var(if *s == from { to } else { *s }),
+        Expr::Local(s) => Expr::Local(if *s == from { to } else { *s }),
+        Expr::Global(s) => Expr::Global(if *s == from { to } else { *s }),
+        Expr::ReadHeap(t, p) => Expr::ReadHeap(t.clone(), r(p)),
+        Expr::ReadByte(p) => Expr::ReadByte(r(p)),
+        Expr::IsValid(t, p) => Expr::IsValid(t.clone(), r(p)),
+        Expr::PtrAligned(t, p) => Expr::PtrAligned(t.clone(), r(p)),
+        Expr::NullFree(t, p) => Expr::NullFree(t.clone(), r(p)),
+        Expr::Field(a, f) => Expr::Field(r(a), f.clone()),
+        Expr::UpdateField(a, f, v) => Expr::UpdateField(r(a), f.clone(), r(v)),
+        Expr::UnOp(op, a) => Expr::UnOp(*op, r(a)),
+        Expr::BinOp(op, a, b) => Expr::BinOp(*op, r(a), r(b)),
+        Expr::Cast(k, a) => Expr::Cast(k.clone(), r(a)),
+        Expr::Ite(c, t, f) => Expr::Ite(r(c), r(t), r(f)),
+        Expr::Tuple(vs) => Expr::Tuple(vs.iter().map(|v| rename_expr(v, from, to)).collect()),
+        Expr::Proj(i, a) => Expr::Proj(*i, r(a)),
+    }
+}
+
+fn rename_update(u: &Update, from: Symbol, to: Symbol) -> Update {
+    let r = |e: &Expr| rename_expr(e, from, to);
+    match u {
+        Update::Local(n, e) => Update::Local(n.clone(), r(e)),
+        Update::Global(n, e) => Update::Global(n.clone(), r(e)),
+        Update::Heap(t, p, v) => Update::Heap(t.clone(), r(p), r(v)),
+        Update::Byte(p, v) => Update::Byte(r(p), r(v)),
+        Update::TagRegion(t, p) => Update::TagRegion(t.clone(), r(p)),
+    }
+}
+
+fn ip(p: Prog) -> monadic::IProg {
+    Interned::new(p)
+}
+
+fn rename_prog(p: &Prog, from: Symbol, to: Symbol) -> Prog {
+    let re = |e: &Expr| rename_expr(e, from, to);
+    let rp = |q: &Prog| ip(rename_prog(q, from, to));
+    match p {
+        Prog::Return(e) => Prog::Return(re(e)),
+        Prog::Gets(e) => Prog::Gets(re(e)),
+        Prog::Modify(u) => Prog::Modify(rename_update(u, from, to)),
+        Prog::Guard(k, e) => Prog::Guard(k.clone(), re(e)),
+        Prog::Throw(e) => Prog::Throw(re(e)),
+        Prog::Fail => Prog::Fail,
+        Prog::Bind(l, v, r) => Prog::Bind(rp(l), v.clone(), rp(r)),
+        Prog::BindTuple(l, vs, r) => Prog::BindTuple(rp(l), vs.clone(), rp(r)),
+        Prog::Condition(c, t, e) => Prog::Condition(re(c), rp(t), rp(e)),
+        Prog::While { vars, cond, body, init } => Prog::While {
+            vars: vars.clone(),
+            cond: re(cond),
+            body: rp(body),
+            init: init.iter().map(|e| rename_expr(e, from, to)).collect(),
+        },
+        Prog::Catch(l, v, r) => Prog::Catch(rp(l), v.clone(), rp(r)),
+        Prog::Call { fname, args } => Prog::Call {
+            fname: fname.clone(),
+            args: args.iter().map(|e| rename_expr(e, from, to)).collect(),
+        },
+        Prog::ExecConcrete(q) => Prog::ExecConcrete(rp(q)),
+        Prog::ExecAbstract(q) => Prog::ExecAbstract(rp(q)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cache and store corruption
+// ---------------------------------------------------------------------------
+
+/// Result of the replay-cache bit-flip attack.
+#[derive(Clone, Debug)]
+pub struct CacheAttackReport {
+    /// Stored digests that were bit-flipped.
+    pub digests_corrupted: usize,
+    /// The session's *valid* theorems still check after corruption (the
+    /// flips only cost cache misses — they must never flip a verdict).
+    pub valid_still_accepted: bool,
+    /// A forged theorem checked against the corrupted cache is rejected.
+    pub forged_rejected: bool,
+}
+
+impl CacheAttackReport {
+    /// Did the cache uphold both properties?
+    #[must_use]
+    pub fn sound(&self) -> bool {
+        self.valid_still_accepted && self.forged_rejected
+    }
+}
+
+/// Translates `src` in a fresh session, populates the session replay
+/// cache, then flips one random bit in `flips` stored digests and asserts
+/// the corruption changes no verdict in either direction.
+///
+/// # Panics
+///
+/// Panics if `src` does not translate (audit inputs must be valid).
+#[must_use]
+pub fn attack_replay_cache(src: &str, opts: &Options, flips: usize, seed: u64) -> CacheAttackReport {
+    let sess = Session::new(opts.clone());
+    let out = sess.translate(src).expect("audit source translates");
+    sess.check_all_report(&out, 1).expect("valid theorems check");
+    let cache = sess.audit_replay();
+    let digests = cache.forge_digests();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut corrupted = 0;
+    for _ in 0..flips.min(digests.len()) {
+        let d = digests[rng.gen_range(0..digests.len())];
+        if cache.forge_remove(d) {
+            cache.forge_insert(d ^ (1u128 << rng.gen_range(0..128)));
+            corrupted += 1;
+        }
+    }
+    let valid_still_accepted = sess.check_all_report(&out, 1).is_ok();
+    // A forged theorem must still be rejected: its (mutated) root digest is
+    // a cache miss, so the validator runs and catches the lie.
+    let forged_rejected = out.thms.iter().any(|(_, _, thm)| {
+        let Some(mutant) = mutate_at(thm, &[], Mutation::SwapRuleFamily) else {
+            return false;
+        };
+        check_all_with(
+            std::iter::once(("forged", &mutant)),
+            &out.check_ctx,
+            1,
+            cache,
+        )
+        .is_err()
+    });
+    CacheAttackReport {
+        digests_corrupted: corrupted,
+        valid_still_accepted,
+        forged_rejected,
+    }
+}
+
+/// Result of one artifact-store corruption attack.
+#[derive(Clone, Debug)]
+pub struct StoreAttackReport {
+    /// The phase whose stored artifact was corrupted.
+    pub phase: &'static str,
+    /// The function whose artifact was corrupted.
+    pub function: String,
+    /// The re-translation was answered from the (poisoned) cache.
+    pub cache_hit: bool,
+    /// `Session::check_all_report` rejected the poisoned output.
+    pub rejected: bool,
+}
+
+/// For each theorem-bearing phase, corrupts one stored artifact's theorem
+/// in a warm session, re-translates (a full cache hit, so the poisoned
+/// artifact flows into the output), and asserts the session checker
+/// rejects the result — cached state is *untrusted*; only replay is.
+///
+/// # Panics
+///
+/// Panics if `src` does not translate or a phase has no theorem-bearing
+/// artifact to corrupt.
+#[must_use]
+pub fn attack_artifact_store(src: &str, opts: &Options) -> Vec<StoreAttackReport> {
+    let mut reports = Vec::new();
+    for target in ["l1", "l2thm", "hl", "wa"] {
+        let sess = Session::new(opts.clone());
+        sess.translate(src).expect("audit source translates");
+        let store = sess.audit_store();
+        let key = store
+            .audit_keys()
+            .into_iter()
+            .find(|(phase, name, digest)| {
+                *phase == target
+                    && store
+                        .audit_get(phase, name, *digest)
+                        .is_some_and(|a| corrupt_artifact(&a.value).is_some())
+            })
+            .unwrap_or_else(|| panic!("no theorem-bearing `{target}` artifact"));
+        let art = store
+            .audit_get(key.0, &key.1, key.2)
+            .expect("artifact just found");
+        let poisoned = corrupt_artifact(&art.value).expect("artifact has a theorem");
+        assert!(store.audit_replace(key.0, &key.1, key.2, poisoned));
+        let out2 = sess.translate(src).expect("cached re-translation");
+        reports.push(StoreAttackReport {
+            phase: target,
+            function: key.1,
+            cache_hit: out2.stats.dirty_fns == 0,
+            rejected: sess.check_all_report(&out2, 1).is_err(),
+        });
+    }
+    reports
+}
+
+/// Replaces the artifact's theorem with a rule-family-swapped forgery
+/// (applicable at any root, guaranteed rejectable). `None` if the artifact
+/// carries no theorem.
+fn corrupt_artifact(a: &Artifact) -> Option<Artifact> {
+    let swap = |thm: &Thm| mutate_at(thm, &[], Mutation::SwapRuleFamily).expect("swap applies");
+    Some(match a {
+        Artifact::L1 { fun, thm } => Artifact::L1 {
+            fun: fun.clone(),
+            thm: swap(thm),
+        },
+        Artifact::L2Thm(thm) => Artifact::L2Thm(swap(thm)),
+        Artifact::Hl { fun, thm: Some(thm) } => Artifact::Hl {
+            fun: fun.clone(),
+            thm: Some(swap(thm)),
+        },
+        Artifact::Wa { fun, thm: Some(thm) } => Artifact::Wa {
+            fun: fun.clone(),
+            thm: Some(swap(thm)),
+        },
+        _ => return None,
+    })
+}

@@ -889,6 +889,54 @@ impl ArtifactStore {
             .expect("artifact store poisoned")
             .insert((phase, name.to_owned(), artifact.digest), artifact);
     }
+
+    /// Audit-only (`audit` feature): every stored key, sorted.
+    #[cfg(feature = "audit")]
+    #[must_use]
+    pub fn audit_keys(&self) -> Vec<(&'static str, String, u128)> {
+        let mut keys: Vec<ArtifactKey> = self
+            .map
+            .lock()
+            .expect("artifact store poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        keys.sort();
+        keys
+    }
+
+    /// Audit-only (`audit` feature): reads a stored artifact by key.
+    #[cfg(feature = "audit")]
+    #[must_use]
+    pub fn audit_get(
+        &self,
+        phase: &'static str,
+        name: &str,
+        digest: u128,
+    ) -> Option<Arc<PhaseArtifact>> {
+        self.get(phase, name, digest)
+    }
+
+    /// Audit-only (`audit` feature): overwrites the artifact stored under
+    /// an existing key — the store-corruption attack. Returns `false`
+    /// (storing nothing) when the key was never populated, so the attack
+    /// cannot accidentally *grow* the store.
+    #[cfg(feature = "audit")]
+    pub fn audit_replace(
+        &self,
+        phase: &'static str,
+        name: &str,
+        digest: u128,
+        value: Artifact,
+    ) -> bool {
+        let mut map = self.map.lock().expect("artifact store poisoned");
+        let key = (phase, name.to_owned(), digest);
+        if !map.contains_key(&key) {
+            return false;
+        }
+        map.insert(key, Arc::new(PhaseArtifact { digest, value }));
+        true
+    }
 }
 
 // ---- the generic driver -----------------------------------------------------

@@ -64,6 +64,22 @@ impl Session {
         self.store.len()
     }
 
+    /// Audit-only (`audit` feature): direct access to the session's
+    /// artifact store, for the store-corruption attacks.
+    #[cfg(feature = "audit")]
+    #[must_use]
+    pub fn audit_store(&self) -> &ArtifactStore {
+        &self.store
+    }
+
+    /// Audit-only (`audit` feature): direct access to the session's
+    /// replay cache, for the cache-corruption attacks.
+    #[cfg(feature = "audit")]
+    #[must_use]
+    pub fn audit_replay(&self) -> &ReplayCache {
+        &self.replay
+    }
+
     /// Translates C source, reusing unchanged per-function artifacts from
     /// earlier runs of this session.
     ///

@@ -286,6 +286,284 @@ fn gen_caller_fn(
     let _ = writeln!(s, "}}");
 }
 
+/// Shape weights for [`generate_mix`]. Each field is the relative weight
+/// of one function template; a zero weight disables the template. The
+/// first five fields are the same templates [`generate`] draws from, the
+/// rest are the audit-oriented shapes (deep control flow, mixed-width
+/// overflow idioms, two-struct heap walks, bounded recursion).
+#[derive(Clone, Copy, Debug)]
+pub struct Mix {
+    /// Straight-line arithmetic ([`generate`]'s weight: 1).
+    pub arith: u32,
+    /// Pointer/struct field access (weight 2).
+    pub structs: u32,
+    /// Simple bounded `while` loops (weight 2).
+    pub loops: u32,
+    /// Error-code dispatch chains (weight 2).
+    pub dispatch: u32,
+    /// Call chains into earlier functions (weight 1).
+    pub callers: u32,
+    /// `while` + `break`/`continue`, `do`-`while`, `for`.
+    pub deep_loops: u32,
+    /// Mixed-width arithmetic, casts, wraparound and overflow-check idioms.
+    pub overflow: u32,
+    /// Bounded pointer walks over a second struct type (`struct node`).
+    pub heap_walks: u32,
+    /// Bounded self-recursion.
+    pub recursion: u32,
+}
+
+impl Mix {
+    /// The weights [`generate`] has always used — no new shapes.
+    #[must_use]
+    pub fn table5() -> Mix {
+        Mix {
+            arith: 1,
+            structs: 2,
+            loops: 2,
+            dispatch: 2,
+            callers: 1,
+            deep_loops: 0,
+            overflow: 0,
+            heap_walks: 0,
+            recursion: 0,
+        }
+    }
+
+    /// Audit mix: every shape enabled, biased towards the new
+    /// control-flow-, overflow- and heap-heavy templates that stress the
+    /// cross-layer differential oracle.
+    #[must_use]
+    pub fn audit() -> Mix {
+        Mix {
+            arith: 1,
+            structs: 2,
+            loops: 1,
+            dispatch: 1,
+            callers: 2,
+            deep_loops: 3,
+            overflow: 3,
+            heap_walks: 2,
+            recursion: 2,
+        }
+    }
+
+    fn weights(&self) -> [u32; 9] {
+        [
+            self.arith,
+            self.structs,
+            self.loops,
+            self.dispatch,
+            self.callers,
+            self.deep_loops,
+            self.overflow,
+            self.heap_walks,
+            self.recursion,
+        ]
+    }
+}
+
+/// Generates a synthetic C translation unit like [`generate`], but with
+/// the function templates drawn according to `mix`. A second struct type
+/// (`struct node`) is always declared so the heap-walk template (and any
+/// consumer seeding heaps from the program's actual struct types) sees
+/// more than one typed heap.
+///
+/// `generate` itself is untouched by this entry point: its output is
+/// byte-identical to what it produced before `Mix` existed, so the
+/// Table 5 bench rows stay reproducible.
+#[must_use]
+pub fn generate_mix(profile: &Profile, mix: &Mix, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = String::new();
+    out.push_str(
+        "struct obj { struct obj *next; unsigned state; unsigned refcount; int prio; };\n\n",
+    );
+    out.push_str("struct node { struct node *next; unsigned val; };\n\n");
+    out.push_str("unsigned helper(unsigned x) { return x ^ 0x5au; }\n\n");
+    let per_fn = (profile.loc / profile.functions.max(1)).max(4);
+    let weights = mix.weights();
+    let total: u32 = weights.iter().sum::<u32>().max(1);
+    let mut callable: Vec<usize> = Vec::new();
+    for i in 0..profile.functions {
+        let body_budget = per_fn.saturating_sub(3).max(1);
+        let mut roll = rng.gen_range(0..total);
+        let mut shape = 0usize;
+        for (k, &w) in weights.iter().enumerate() {
+            if roll < w {
+                shape = k;
+                break;
+            }
+            roll -= w;
+        }
+        let mut s = String::new();
+        match shape {
+            0 => gen_arith_fn(&mut rng, i, body_budget, &mut s),
+            1 => gen_struct_fn(&mut rng, i, body_budget, &mut s),
+            2 => {
+                gen_loop_fn(&mut rng, i, body_budget, &mut s);
+                callable.push(i);
+            }
+            3 => gen_dispatch_fn(&mut rng, i, body_budget, &mut s),
+            4 => {
+                gen_caller_fn(&mut rng, i, body_budget, &callable, &mut s);
+                callable.push(i);
+            }
+            5 => {
+                gen_deep_loop_fn(&mut rng, i, body_budget, &mut s);
+                callable.push(i);
+            }
+            6 => {
+                gen_overflow_fn(&mut rng, i, body_budget, &mut s);
+            }
+            7 => gen_walk_fn(&mut rng, i, body_budget, &mut s),
+            _ => {
+                gen_rec_fn(&mut rng, i, &mut s);
+                callable.push(i);
+            }
+        }
+        out.push_str(&s);
+        out.push('\n');
+    }
+    out
+}
+
+/// Deep control flow: `while` with both `break` and `continue`, a bounded
+/// `do`-`while`, and a `for` loop — the shapes where the Simpl exception
+/// encoding of loop exits is most intricate.
+fn gen_deep_loop_fn(rng: &mut StdRng, idx: usize, lines: usize, s: &mut String) {
+    let bound = rng.gen_range(3..14);
+    let skip_mask = rng.gen_range(1..4);
+    let _ = writeln!(s, "unsigned fn_{idx}(unsigned n) {{");
+    let _ = writeln!(s, "    unsigned acc = 0u;");
+    let _ = writeln!(s, "    unsigned i = 0u;");
+    // NB loop *conditions* must abstract without preconditions (no `+`):
+    // the word-abstraction engine rejects loops otherwise.
+    let _ = writeln!(s, "    while (i < n % {bound}u) {{");
+    let _ = writeln!(s, "        i = i + 1u;");
+    let _ = writeln!(s, "        if ((i & {skip_mask}u) == {skip_mask}u) continue;");
+    let _ = writeln!(s, "        if (acc > {}u) break;", rng.gen_range(200..900));
+    for _ in 0..lines.saturating_sub(10).min(4) {
+        match rng.gen_range(0..2) {
+            0 => {
+                let _ = writeln!(s, "        acc = acc + i * {}u;", rng.gen_range(1..9));
+            }
+            _ => {
+                let _ = writeln!(s, "        acc = acc ^ (n >> (i & 7u));");
+            }
+        }
+    }
+    let _ = writeln!(s, "        acc = acc + i;");
+    let _ = writeln!(s, "    }}");
+    let _ = writeln!(s, "    unsigned j = 0u;");
+    let _ = writeln!(s, "    do {{");
+    let _ = writeln!(s, "        acc = acc + {}u;", rng.gen_range(1..7));
+    let _ = writeln!(s, "        j = j + 1u;");
+    let _ = writeln!(s, "    }} while (j < n % 3u);");
+    let _ = writeln!(s, "    for (j = 0u; j < {}u; j++) {{", rng.gen_range(2..6));
+    let _ = writeln!(s, "        acc = acc ^ (n + j);");
+    let _ = writeln!(s, "    }}");
+    let _ = writeln!(s, "    return acc;");
+    let _ = writeln!(s, "}}");
+}
+
+/// Mixed-width arithmetic: narrow (`unsigned char`/`unsigned short`)
+/// locals with wraparound, explicit casts, the classic `a + b < a`
+/// unsigned-overflow check, signed arithmetic, and short-circuit guards —
+/// the idioms word abstraction must either prove or guard.
+fn gen_overflow_fn(rng: &mut StdRng, idx: usize, lines: usize, s: &mut String) {
+    let _ = writeln!(s, "unsigned fn_{idx}(unsigned a, unsigned b) {{");
+    let _ = writeln!(s, "    unsigned char c = (unsigned char)a;");
+    let _ = writeln!(s, "    unsigned short w = (unsigned short)(b + {}u);", rng.gen_range(1..999));
+    let _ = writeln!(s, "    unsigned acc = a;");
+    for _ in 0..lines.saturating_sub(6).min(8) {
+        match rng.gen_range(0..6) {
+            0 => {
+                // Narrow wraparound: the add happens at `int` width, the
+                // assignment truncates back to 8 bits.
+                let _ = writeln!(s, "    c = (unsigned char)(c + {}u);", rng.gen_range(100..250));
+            }
+            1 => {
+                let _ = writeln!(s, "    w = (unsigned short)(w * {}u);", rng.gen_range(3..9));
+            }
+            2 => {
+                // Unsigned overflow-check idiom.
+                let _ = writeln!(s, "    if (acc + b < acc) acc = {}u;", rng.gen_range(0..9));
+            }
+            3 => {
+                let _ = writeln!(s, "    acc = acc + (unsigned)c * {}u;", rng.gen_range(1..5));
+            }
+            4 => {
+                // Short-circuit evaluation with a divide guarded by the
+                // left conjunct.
+                let _ = writeln!(
+                    s,
+                    "    if (b != 0u && a / b > {}u) acc = acc + w;",
+                    rng.gen_range(0..4)
+                );
+            }
+            _ => {
+                let _ = writeln!(
+                    s,
+                    "    if (c > {}u || w < {}u) acc = acc ^ (unsigned)w;",
+                    rng.gen_range(10..200),
+                    rng.gen_range(10..999)
+                );
+            }
+        }
+    }
+    let _ = writeln!(s, "    return acc + (unsigned)c + (unsigned)w;");
+    let _ = writeln!(s, "}}");
+}
+
+/// Bounded pointer walk over the second struct type, mutating the heap
+/// along the way. The step bound makes cyclic inputs terminate.
+fn gen_walk_fn(rng: &mut StdRng, idx: usize, lines: usize, s: &mut String) {
+    let steps = rng.gen_range(3..9);
+    let _ = writeln!(s, "unsigned fn_{idx}(struct node *p, unsigned v) {{");
+    let _ = writeln!(s, "    unsigned acc = v;");
+    let _ = writeln!(s, "    unsigned k = 0u;");
+    let _ = writeln!(s, "    while (p != NULL && k < {steps}u) {{");
+    let _ = writeln!(s, "        acc = acc + p->val;");
+    for _ in 0..lines.saturating_sub(8).min(3) {
+        match rng.gen_range(0..2) {
+            0 => {
+                let _ = writeln!(s, "        p->val = acc % {}u;", rng.gen_range(7..100));
+            }
+            _ => {
+                let _ = writeln!(
+                    s,
+                    "        if (p->val > {}u) acc = acc ^ {}u;",
+                    rng.gen_range(1..50),
+                    rng.gen_range(1..64)
+                );
+            }
+        }
+    }
+    let _ = writeln!(s, "        p = p->next;");
+    let _ = writeln!(s, "        k = k + 1u;");
+    let _ = writeln!(s, "    }}");
+    let _ = writeln!(s, "    return acc + k;");
+    let _ = writeln!(s, "}}");
+}
+
+/// Bounded linear self-recursion (`fn(n) = f(n, fn(n - 1))`): the input is
+/// reduced modulo a small bound first, so the call depth stays far below
+/// the interpreter stack limit whatever the argument.
+fn gen_rec_fn(rng: &mut StdRng, idx: usize, s: &mut String) {
+    let cap = rng.gen_range(8..24);
+    let mixer = match rng.gen_range(0..3) {
+        0 => format!("n + fn_{idx}(n - 1u)"),
+        1 => format!("n ^ fn_{idx}(n - 1u) * 3u"),
+        _ => format!("fn_{idx}(n - 1u) + {}u", rng.gen_range(1..9)),
+    };
+    let _ = writeln!(s, "unsigned fn_{idx}(unsigned n) {{");
+    let _ = writeln!(s, "    n = n % {cap}u;");
+    let _ = writeln!(s, "    if (n == 0u) return 1u;");
+    let _ = writeln!(s, "    return {mixer};");
+    let _ = writeln!(s, "}}");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -334,5 +612,64 @@ mod tests {
             cparser::parse_and_check(&src)
                 .unwrap_or_else(|e| panic!("{}: {e}", p.name));
         }
+    }
+
+    #[test]
+    fn mix_generation_is_deterministic_and_parses() {
+        let p = Profile {
+            name: "audit",
+            loc: 400,
+            functions: 30,
+        };
+        let mix = Mix::audit();
+        for seed in [1u64, 2, 3] {
+            let src = generate_mix(&p, &mix, seed);
+            assert_eq!(src, generate_mix(&p, &mix, seed));
+            cparser::parse_and_check(&src)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+        }
+    }
+
+    #[test]
+    fn audit_mix_exercises_the_new_shapes() {
+        let p = Profile {
+            name: "audit",
+            loc: 600,
+            functions: 48,
+        };
+        let src = generate_mix(&p, &Mix::audit(), 5);
+        for needle in [
+            "struct node",
+            "continue;",
+            "do {",
+            "for (",
+            "(unsigned char)",
+            "(unsigned short)",
+            "p = p->next;",
+        ] {
+            assert!(src.contains(needle), "missing `{needle}` in:\n{src}");
+        }
+        // At least one self-recursive function.
+        assert!(
+            (0..p.functions).any(|i| {
+                let call = format!("fn_{i}(n - 1u)");
+                src.matches(&call).count() >= 1
+            }),
+            "no recursive function generated:\n{src}"
+        );
+    }
+
+    #[test]
+    fn table5_mix_uses_only_the_original_shapes() {
+        let p = Profile {
+            name: "t5",
+            loc: 300,
+            functions: 24,
+        };
+        let src = generate_mix(&p, &Mix::table5(), 11);
+        cparser::parse_and_check(&src).unwrap();
+        assert!(!src.contains("continue;"));
+        assert!(!src.contains("do {"));
+        assert!(!src.contains("(unsigned char)"));
     }
 }

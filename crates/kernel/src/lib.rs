@@ -32,5 +32,6 @@ pub mod thm;
 
 pub use judgment::{AbsFun, Judgment};
 pub use thm::{
-    check, check_all, check_all_with, CheckCtx, KernelError, ReplayCache, ReplayReport, Rule, Thm,
+    check, check_all, check_all_with, CheckCtx, KernelError, ReplayCache, ReplayReport, Rule, Side,
+    Thm,
 };

@@ -258,6 +258,27 @@ impl Thm {
         self.proof_size
     }
 
+    /// Audit-only constructor that **skips validation** (`forge` feature).
+    ///
+    /// This deliberately breaks the LCF discipline: it mints a theorem
+    /// from arbitrary parts so the fault-injection harness
+    /// (`crates/audit`) can hand the checker derivations that are *lies*
+    /// and assert every one is rejected. `proof_size` is computed normally
+    /// so forged trees are indistinguishable from real ones except through
+    /// replay. Nothing outside audit builds may enable the feature.
+    #[cfg(feature = "forge")]
+    #[must_use]
+    pub fn forge(rule: Rule, premises: Vec<Thm>, judgment: Judgment, side: Side) -> Thm {
+        let proof_size = 1 + premises.iter().map(Thm::proof_size).sum::<usize>();
+        Thm {
+            judgment,
+            rule,
+            premises: premises.into(),
+            side,
+            proof_size,
+        }
+    }
+
     /// Kernel-internal constructor (`pub(crate)`) — validates before
     /// admitting.
     pub(crate) fn admit(
@@ -411,6 +432,40 @@ impl ReplayCache {
 
     fn insert(&self, thm: &Thm) {
         let d = Self::digest(thm);
+        let shard = &self.shards[(d as usize) % self.shards.len()];
+        shard.lock().expect("replay cache poisoned").insert(d);
+    }
+
+    /// Audit-only (`forge` feature): the digest of a theorem's root node,
+    /// as stored by this cache.
+    #[cfg(feature = "forge")]
+    #[must_use]
+    pub fn forge_digest_of(thm: &Thm) -> u128 {
+        Self::digest(thm)
+    }
+
+    /// Audit-only (`forge` feature): snapshot of every stored digest.
+    #[cfg(feature = "forge")]
+    #[must_use]
+    pub fn forge_digests(&self) -> Vec<u128> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.lock().expect("replay cache poisoned").iter().copied().collect::<Vec<_>>())
+            .collect()
+    }
+
+    /// Audit-only (`forge` feature): removes a stored digest, returning
+    /// whether it was present.
+    #[cfg(feature = "forge")]
+    pub fn forge_remove(&self, d: u128) -> bool {
+        let shard = &self.shards[(d as usize) % self.shards.len()];
+        shard.lock().expect("replay cache poisoned").remove(&d)
+    }
+
+    /// Audit-only (`forge` feature): inserts a raw digest — the
+    /// cache-corruption attack of the audit harness.
+    #[cfg(feature = "forge")]
+    pub fn forge_insert(&self, d: u128) {
         let shard = &self.shards[(d as usize) % self.shards.len()];
         shard.lock().expect("replay cache poisoned").insert(d);
     }

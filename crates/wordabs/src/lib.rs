@@ -667,20 +667,53 @@ impl<'a> Engine<'a> {
 
     /// Best-effort concrete value type of a program.
     fn prog_value_ty(&self, p: &Prog) -> Option<Ty> {
+        let mut vars = self.vars.clone();
+        self.prog_value_ty_in(&mut vars, p)
+    }
+
+    /// `prog_value_ty` against a local variable environment. Bindings
+    /// introduced by `Bind`/`BindTuple` along the way are recorded so that
+    /// a trailing `return (x, y)` of locally bound words still infers —
+    /// the L2 simplifier inlines initializers, so the enclosing engine
+    /// environment often has no entry for them (e.g. a do-while's
+    /// run-once body feeding its `whileLoop` inits).
+    fn prog_value_ty_in(&self, vars: &mut HashMap<String, Ty>, p: &Prog) -> Option<Ty> {
         match p {
-            Prog::Return(e) | Prog::Gets(e) => self.ty_of(e),
-            Prog::Bind(_, _, r) | Prog::BindTuple(_, _, r) => self.prog_value_ty(r),
+            Prog::Return(e) | Prog::Gets(e) => infer_ty(e, vars, &self.cx.tenv),
+            Prog::Bind(l, v, r) => {
+                if let Some(t) = self.prog_value_ty_in(vars, l) {
+                    vars.insert(v.clone(), t);
+                }
+                self.prog_value_ty_in(vars, r)
+            }
+            Prog::BindTuple(l, vs, r) => {
+                if let Some(Ty::Tuple(ts)) = self.prog_value_ty_in(vars, l) {
+                    if ts.len() == vs.len() {
+                        for (v, t) in vs.iter().zip(ts) {
+                            vars.insert(v.clone(), t);
+                        }
+                    }
+                }
+                self.prog_value_ty_in(vars, r)
+            }
             Prog::Condition(_, t, e) => {
-                self.prog_value_ty(t).or_else(|| self.prog_value_ty(e))
+                let tt = self.prog_value_ty_in(vars, t);
+                if tt.is_some() {
+                    return tt;
+                }
+                self.prog_value_ty_in(vars, e)
             }
             Prog::While { init, .. } => {
                 if init.len() == 1 {
-                    self.ty_of(&init[0])
+                    infer_ty(&init[0], vars, &self.cx.tenv)
                 } else {
-                    init.iter().map(|i| self.ty_of(i)).collect::<Option<Vec<_>>>().map(Ty::Tuple)
+                    init.iter()
+                        .map(|i| infer_ty(i, vars, &self.cx.tenv))
+                        .collect::<Option<Vec<_>>>()
+                        .map(Ty::Tuple)
                 }
             }
-            Prog::Catch(l, _, _) => self.prog_value_ty(l),
+            Prog::Catch(l, _, _) => self.prog_value_ty_in(vars, l),
             Prog::Call { fname, .. } => {
                 self.prog.function(fname).map(|f| f.ret_ty.clone())
             }

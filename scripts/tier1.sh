@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
 # Tier-1 gate: what every PR must keep green (see ROADMAP.md).
 #
-#   scripts/tier1.sh          # build + full test suite
+#   scripts/tier1.sh          # build + full test suite + audit smoke
 #   scripts/tier1.sh --lint   # additionally clippy (-D warnings) the
 #                             # crates this PR series touches
 #   scripts/tier1.sh --quick  # additionally smoke the Table 5 bench on
 #                             # the Schorr-Waite + eChronos rows
 #                             # (regenerates dedup/replay-cache stats,
 #                             # fails on any panic/assertion)
+#   scripts/tier1.sh --audit  # run the full soundness audit instead of
+#                             # the smoke: ≥200-program differential
+#                             # campaign + large mutation budget
+#                             # (prints the kill matrix; ~30s)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,6 +23,16 @@ cargo test -q --workspace
 # asserts both; run it by name so a filtered workspace run can't skip it).
 cargo test -q --test incremental
 
+# Soundness audit (crates/audit): fault-injection against the kernel
+# checker plus the cross-layer differential oracle. The smoke runs by
+# default (small mutation budget, a few fuzz seeds, two worker counts);
+# `--audit` runs the full acceptance campaign from ISSUE 5 / DESIGN.md §6c.
+if [[ "${1:-}" == "--audit" ]]; then
+    cargo run --release -q -p audit -- --full
+else
+    cargo run --release -q -p audit
+fi
+
 if [[ "${1:-}" == "--quick" ]]; then
     scripts/bench.sh --quick
 fi
@@ -29,7 +43,7 @@ if [[ "${1:-}" == "--lint" ]]; then
     cargo clippy -q --release \
         -p autocorres -p kernel -p monadic -p wordabs -p heapabs \
         -p codegen -p bench -p ir -p solver -p vcg -p simpl \
-        -p autocorres-repro -p proptest \
+        -p autocorres-repro -p proptest -p audit -p cparser \
         --all-targets -- -D warnings
 fi
 

@@ -1,0 +1,48 @@
+//! Golden snapshot of the quickstart example's final output: the
+//! pretty-printed WA spec of `max` (the paper's Fig 2) must be
+//! byte-identical to the committed artifact at every worker count.
+//! Catches both accidental spec drift (an abstraction phase producing a
+//! different term) and scheduler nondeterminism leaking into outputs.
+//!
+//! To update after an intentional output change, replace
+//! `tests/golden/quickstart_wa.txt` with the new pretty-printing and
+//! explain the diff in the PR.
+
+use autocorres::{translate, Options};
+
+/// The same source `examples/quickstart.rs` uses.
+const QUICKSTART_SRC: &str = "int max(int a, int b) {\n    if (a < b)\n        return b;\n    return a;\n}\n";
+
+const GOLDEN: &str = include_str!("golden/quickstart_wa.txt");
+
+fn wa_pretty(workers: usize) -> String {
+    let opts = Options {
+        workers,
+        ..Options::default()
+    };
+    let out = translate(QUICKSTART_SRC, &opts).expect("quickstart translates");
+    out.check_all().expect("theorems replay");
+    format!("{}", out.wa.function("max").expect("max is translated"))
+}
+
+#[test]
+fn quickstart_wa_spec_matches_committed_golden_single_worker() {
+    assert_eq!(
+        wa_pretty(1),
+        GOLDEN,
+        "WA pretty-printing drifted from tests/golden/quickstart_wa.txt"
+    );
+}
+
+#[test]
+fn quickstart_wa_spec_matches_committed_golden_parallel() {
+    // Byte-identical at a parallel worker count too: scheduling must not
+    // influence the final spec.
+    for workers in [2, 4] {
+        assert_eq!(
+            wa_pretty(workers),
+            GOLDEN,
+            "WA pretty-printing differs from golden at {workers} workers"
+        );
+    }
+}

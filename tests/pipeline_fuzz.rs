@@ -1,15 +1,67 @@
 //! Whole-system fuzzing: random synthetic C programs through the complete
 //! pipeline, with every theorem replayed and every function checked for
 //! end-to-end refinement between the parser level and the final output.
+//!
+//! The fixed seeds live in a checked-in corpus (`tests/corpus/*.seed`) so a
+//! failing configuration can be named, re-run alone, and new regressions
+//! added as data rather than code. On failure the generated C source is
+//! printed so the program can be reproduced without re-running the
+//! generator.
+
+use std::path::{Path, PathBuf};
 
 use autocorres::{translate, Options};
-use ir::ty::Ty;
 
-fn fuzz_profile(seed: u64, functions: usize) {
+/// Every corpus entry, replayed by the named tests below.
+/// `corpus_dir_matches_replayed_names` fails if this list and the
+/// `tests/corpus` directory drift apart.
+const CORPUS: &[&str] = &["seed-001", "seed-002", "seed-003", "seed-004", "seed-005"];
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+/// A parsed `tests/corpus/<name>.seed` entry.
+struct SeedEntry {
+    seed: u64,
+    functions: usize,
+}
+
+fn load_entry(name: &str) -> SeedEntry {
+    let path = corpus_dir().join(format!("{name}.seed"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("corpus entry {} unreadable: {e}", path.display()));
+    let mut seed = None;
+    let mut functions = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((k, v)) = line.split_once('=') else {
+            panic!("{name}.seed: malformed line `{line}`");
+        };
+        match k.trim() {
+            "seed" => seed = Some(v.trim().parse().expect("seed is a u64")),
+            "functions" => functions = Some(v.trim().parse().expect("functions is a usize")),
+            other => panic!("{name}.seed: unknown key `{other}`"),
+        }
+    }
+    SeedEntry {
+        seed: seed.unwrap_or_else(|| panic!("{name}.seed: missing `seed`")),
+        functions: functions.unwrap_or_else(|| panic!("{name}.seed: missing `functions`")),
+    }
+}
+
+/// Replays one corpus entry by name. Panics with the generated C source on
+/// any failure so the offending program is visible in the test log.
+fn replay(name: &str) {
+    let entry = load_entry(name);
+    let seed = entry.seed;
     let profile = codegen::Profile {
         name: "fuzz",
-        loc: functions * 10,
-        functions,
+        loc: entry.functions * 10,
+        functions: entry.functions,
     };
     let src = codegen::generate(&profile, seed);
     let opts = Options {
@@ -18,45 +70,70 @@ fn fuzz_profile(seed: u64, functions: usize) {
         ..Options::default()
     };
     let out = translate(&src, &opts)
-        .unwrap_or_else(|e| panic!("seed {seed}: pipeline failed: {e}\n{src}"));
+        .unwrap_or_else(|e| panic!("corpus {name} (seed {seed}): pipeline failed: {e}\n{src}"));
     out.check_all()
-        .unwrap_or_else(|e| panic!("seed {seed}: checker rejected: {e}"));
+        .unwrap_or_else(|e| panic!("corpus {name} (seed {seed}): checker rejected: {e}\n{src}"));
 
-    let heap_types = vec![Ty::Struct("obj".into())];
+    // Heap types come from the generated program itself (its struct
+    // definitions and pointer parameters), not a hardcoded list — the
+    // generator's type vocabulary can grow without this test silently
+    // fuzzing states that alias no heap cell.
+    let heap_types = autocorres::testing::heap_types_of(&out.simpl.tenv, &out.l1);
+    assert!(
+        !heap_types.is_empty(),
+        "corpus {name}: no heap types found in generated program\n{src}"
+    );
     let names: Vec<String> = out.wa.fns.keys().cloned().collect();
     let mut total_decided = 0;
-    for name in &names {
+    for fname in &names {
         total_decided +=
-            autocorres::testing::check_e2e_refinement(&out, name, &heap_types, 12, seed ^ 0x55);
+            autocorres::testing::check_e2e_refinement(&out, fname, &heap_types, 12, seed ^ 0x55);
     }
     assert!(
         total_decided > 0,
-        "seed {seed}: no trial decidable across {} functions",
+        "corpus {name} (seed {seed}): no trial decidable across {} functions\n{src}",
         names.len()
     );
 }
 
 #[test]
-fn fuzz_seed_1() {
-    fuzz_profile(1, 12);
+fn corpus_dir_matches_replayed_names() {
+    let mut on_disk: Vec<String> = std::fs::read_dir(corpus_dir())
+        .expect("tests/corpus exists")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "seed"))
+        .map(|p| p.file_stem().unwrap().to_string_lossy().into_owned())
+        .collect();
+    on_disk.sort();
+    let mut named: Vec<String> = CORPUS.iter().map(|s| (*s).to_owned()).collect();
+    named.sort();
+    assert_eq!(
+        on_disk, named,
+        "tests/corpus/*.seed and the CORPUS list have drifted"
+    );
 }
 
 #[test]
-fn fuzz_seed_2() {
-    fuzz_profile(2, 12);
+fn corpus_seed_001() {
+    replay("seed-001");
 }
 
 #[test]
-fn fuzz_seed_3() {
-    fuzz_profile(3, 12);
+fn corpus_seed_002() {
+    replay("seed-002");
 }
 
 #[test]
-fn fuzz_seed_4() {
-    fuzz_profile(4, 12);
+fn corpus_seed_003() {
+    replay("seed-003");
 }
 
 #[test]
-fn fuzz_seed_5() {
-    fuzz_profile(5, 16);
+fn corpus_seed_004() {
+    replay("seed-004");
+}
+
+#[test]
+fn corpus_seed_005() {
+    replay("seed-005");
 }
