@@ -27,18 +27,14 @@
 use autocorres::testing::{gen_state, heap_types_of, random_arg};
 use autocorres::{translate, Options, Output};
 use codegen::{generate_mix, Mix, Profile};
-use ir::state::State;
-use ir::ty::Ty;
 use ir::value::Value;
-use kernel::AbsFun;
-use monadic::{MonadFault, MonadResult, ProgramCtx};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// Interpreter fuel per layer run: generous for the bounded loops and
-/// capped recursion the generator emits, small enough that a runaway
-/// translation is cut off.
-const FUEL: u64 = 400_000;
+use crate::layers::{
+    abs_states_agree, conc_states_agree, exact_pair, lifted_states_agree, refine_pair, run_all,
+    wa_val_related, LayerRun,
+};
 
 /// Objects allocated per heap type in each generated initial state.
 const HEAP_OBJS: usize = 4;
@@ -177,41 +173,6 @@ fn print_wa(out: &Output) -> String {
     s
 }
 
-/// One layer run, classified.
-#[derive(Clone, Debug)]
-enum Run {
-    Normal(Value, State),
-    Except(Value, State),
-    /// A guard failed / `fail` was reached.
-    Fault,
-    Fuel,
-    /// Stuck or unknown function: always a bug.
-    Broken(String),
-}
-
-fn run_monadic(ctx: &ProgramCtx, name: &str, args: &[Value], st: State) -> Run {
-    match monadic::exec_fn(ctx, name, args, st, FUEL) {
-        Ok((MonadResult::Normal(v), st)) => Run::Normal(v, st),
-        Ok((MonadResult::Except(v), st)) => Run::Except(v, st),
-        Err(MonadFault::Failure(_)) => Run::Fault,
-        Err(MonadFault::OutOfFuel) => Run::Fuel,
-        Err(e @ (MonadFault::Stuck(_) | MonadFault::UnknownFunction(_))) => {
-            Run::Broken(e.to_string())
-        }
-    }
-}
-
-fn run_simpl(prog: &simpl::SimplProgram, name: &str, args: &[Value], st: State) -> Run {
-    match simpl::exec_fn(prog, name, args, st, FUEL) {
-        Ok((v, st)) => Run::Normal(v, st),
-        Err(simpl::Fault::GuardFailure(_)) => Run::Fault,
-        Err(simpl::Fault::OutOfFuel) => Run::Fuel,
-        Err(e @ (simpl::Fault::Stuck(_) | simpl::Fault::UnknownFunction(_))) => {
-            Run::Broken(e.to_string())
-        }
-    }
-}
-
 /// Diffs every function of one pipeline output on `trials` shared inputs.
 #[must_use]
 pub fn diff_output(out: &Output, seed: u64, trials: u32) -> DiffStats {
@@ -230,174 +191,73 @@ pub fn diff_output(out: &Output, seed: u64, trials: u32) -> DiffStats {
                 .iter()
                 .map(|(_, t)| random_arg(&mut rng, t, &heap_types, HEAP_OBJS))
                 .collect();
-            let abs0 = heapmodel::lift_state(&conc0, tenv, &heap_types);
-            let wa_args: Vec<Value> = args
-                .iter()
-                .zip(&simpl_f.params)
-                .map(|(v, (_, t))| AbsFun::for_ty(t).apply(v).expect("abstractable arg"))
-                .collect();
-
-            let runs = [
-                run_simpl(&out.simpl, name, &args, State::Conc(conc0.clone())),
-                run_monadic(&out.l1, name, &args, State::Conc(conc0.clone())),
-                run_monadic(&out.l2, name, &args, State::Conc(conc0)),
-                run_monadic(&out.hl, name, &args, State::Abs(abs0.clone())),
-                run_monadic(&out.wa, name, &wa_args, State::Abs(abs0)),
-            ];
             let at = |msg: String| format!("seed={seed} fn={name} trial={trial}: {msg}");
 
+            let runs = match run_all(out, name, &args, &conc0, &heap_types) {
+                Ok(runs) => runs,
+                Err(e) => {
+                    stats.disagreements.push(at(format!("layer setup failed: {e}")));
+                    continue;
+                }
+            };
             if let Some(broken) = runs.iter().find_map(|r| match r {
-                Run::Broken(e) => Some(e.clone()),
+                LayerRun::Broken(e) => Some(e.clone()),
                 _ => None,
             }) {
                 stats.disagreements.push(at(format!("layer broke: {broken}")));
                 continue;
             }
-            if runs.iter().any(|r| matches!(r, Run::Fuel)) {
+            if runs.iter().any(|r| matches!(r, LayerRun::Fuel)) {
                 stats.skipped_fuel += 1;
                 continue;
             }
-            let [simpl_r, l1_r, l2_r, hl_r, wa_r] = runs;
 
-            // Simpl ↔ L1: exact (modulo the locals frame).
-            match (&l1_r, &simpl_r) {
-                (Run::Normal(va, sta), Run::Normal(vc, stc)) => {
-                    stats.decided_pairs += 1;
-                    if va != vc {
-                        stats
-                            .disagreements
-                            .push(at(format!("simpl/l1 values differ: {vc} vs {va}")));
-                    } else if !conc_states_agree(sta, stc) {
-                        stats.disagreements.push(at("simpl/l1 final states differ".into()));
-                    }
-                }
-                (Run::Fault, Run::Fault) => stats.decided_pairs += 1,
-                (a, c) => stats.disagreements.push(at(format!(
-                    "simpl/l1 outcomes differ: simpl {} vs l1 {}",
-                    describe(c),
-                    describe(a)
-                ))),
-            }
-
-            // The three refinement pairs, concrete side first.
-            check_refines(&mut stats, &at, "l1/l2", &l1_r, &l2_r, |va, vc| va == vc, |sa, sc| {
-                conc_states_agree(sa, sc)
-            });
-            check_refines(
+            // Simpl <-> L1 is exact; the three refinement pairs follow,
+            // concrete side first (see `layers` for the relations).
+            record(&mut stats, &at, "simpl/l1", exact_pair(&runs[0], &runs[1]));
+            record(
+                &mut stats,
+                &at,
+                "l1/l2",
+                refine_pair(&runs[1], &runs[2], |va, vc| va == vc, conc_states_agree),
+            );
+            record(
                 &mut stats,
                 &at,
                 "l2/hl",
-                &l2_r,
-                &hl_r,
-                |va, vc| va == vc,
-                |sa, sc| lifted_states_agree(sa, sc, out, &heap_types),
+                refine_pair(
+                    &runs[2],
+                    &runs[3],
+                    |va, vc| va == vc,
+                    |sa, sc| lifted_states_agree(sa, sc, tenv, &heap_types),
+                ),
             );
-            check_refines(
+            record(
                 &mut stats,
                 &at,
                 "hl/wa",
-                &hl_r,
-                &wa_r,
-                |va, vc| {
-                    let expect = match (vc, &wa_f.ret_ty) {
-                        (Value::Word(w), Ty::Nat) => Value::Nat(w.unat()),
-                        (Value::Word(w), Ty::Int) => Value::Int(w.sint()),
-                        (other, _) => other.clone(),
-                    };
-                    *va == expect
-                },
-                abs_states_agree,
+                refine_pair(
+                    &runs[3],
+                    &runs[4],
+                    |va, vc| wa_val_related(va, vc, &wa_f.ret_ty),
+                    abs_states_agree,
+                ),
             );
         }
     }
     stats
 }
 
-fn describe(r: &Run) -> &'static str {
-    match r {
-        Run::Normal(..) => "normal",
-        Run::Except(..) => "except",
-        Run::Fault => "fault",
-        Run::Fuel => "fuel",
-        Run::Broken(_) => "broken",
-    }
-}
-
-/// Refinement check: when the abstract run succeeds (normally or with an
-/// exception), the concrete run must match it under the value/state
-/// relations; when the abstract run faults, the pair is undecided.
-fn check_refines(
+/// Folds one pair-check result into the campaign stats.
+fn record(
     stats: &mut DiffStats,
     at: &dyn Fn(String) -> String,
     pair: &str,
-    conc: &Run,
-    abs: &Run,
-    val_rel: impl Fn(&Value, &Value) -> bool,
-    st_rel: impl Fn(&State, &State) -> bool,
+    res: Result<bool, String>,
 ) {
-    match abs {
-        Run::Normal(va, sa) => match conc {
-            Run::Normal(vc, sc) => {
-                stats.decided_pairs += 1;
-                if !val_rel(va, vc) {
-                    stats
-                        .disagreements
-                        .push(at(format!("{pair} values unrelated: {vc} vs {va}")));
-                } else if !st_rel(sa, sc) {
-                    stats.disagreements.push(at(format!("{pair} final states unrelated")));
-                }
-            }
-            other => stats.disagreements.push(at(format!(
-                "{pair}: abstract succeeded but concrete was {}",
-                describe(other)
-            ))),
-        },
-        Run::Except(va, sa) => match conc {
-            Run::Except(vc, sc) => {
-                stats.decided_pairs += 1;
-                if !val_rel(va, vc) || !st_rel(sa, sc) {
-                    stats
-                        .disagreements
-                        .push(at(format!("{pair} exception outcomes unrelated")));
-                }
-            }
-            other => stats.disagreements.push(at(format!(
-                "{pair}: abstract raised but concrete was {}",
-                describe(other)
-            ))),
-        },
-        // Abstract fault: refinement claims nothing.
-        Run::Fault => {}
-        Run::Fuel | Run::Broken(_) => unreachable!("filtered before pairing"),
-    }
-}
-
-/// Byte-level state agreement: memory and globals (locals excluded — see
-/// module docs).
-fn conc_states_agree(a: &State, b: &State) -> bool {
-    match (a, b) {
-        (State::Conc(x), State::Conc(y)) => x.mem == y.mem && x.globals == y.globals,
-        _ => false,
-    }
-}
-
-/// Concrete (`b`) vs abstract (`a`) agreement across the heap-abstraction
-/// boundary: the lifted concrete heaps must equal the abstract heaps.
-fn lifted_states_agree(a: &State, b: &State, out: &Output, heap_types: &[Ty]) -> bool {
-    match (a, b) {
-        (State::Abs(x), State::Conc(y)) => {
-            let lifted = heapmodel::lift_state(y, &out.simpl.tenv, heap_types);
-            lifted.heaps == x.heaps && y.globals == x.globals
-        }
-        _ => false,
-    }
-}
-
-/// Abstract-vs-abstract agreement (word abstraction leaves heaps and
-/// globals at the word level).
-fn abs_states_agree(a: &State, b: &State) -> bool {
-    match (a, b) {
-        (State::Abs(x), State::Abs(y)) => x.heaps == y.heaps && x.globals == y.globals,
-        _ => false,
+    match res {
+        Ok(true) => stats.decided_pairs += 1,
+        Ok(false) => {}
+        Err(msg) => stats.disagreements.push(at(format!("{pair}: {msg}"))),
     }
 }

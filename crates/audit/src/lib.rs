@@ -17,9 +17,11 @@
 //! (`scripts/tier1.sh --audit` for the full campaign).
 
 pub mod differential;
+pub mod layers;
 pub mod mutate;
 
 pub use differential::{diff_output, run_campaign, DiffConfig, DiffStats};
+pub use layers::{first_divergence, run_all, Divergence, LayerRun};
 pub use mutate::{
     attack_artifact_store, attack_replay_cache, attack_theorems, CacheAttackReport, KillMatrix,
     Mutation, StoreAttackReport, MUTATIONS,

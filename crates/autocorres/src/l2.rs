@@ -270,13 +270,15 @@ fn normalize(stmts: &[TStmt]) -> Vec<TStmt> {
                 then_branch: normalize(then_branch),
                 else_branch: normalize(else_branch),
             }),
-            TStmt::While { cond, body } => out.push(TStmt::While {
+            TStmt::While { cond, body, span } => out.push(TStmt::While {
                 cond: cond.clone(),
                 body: normalize(body),
+                span: *span,
             }),
-            TStmt::DoWhile { body, cond } => out.push(TStmt::DoWhile {
+            TStmt::DoWhile { body, cond, span } => out.push(TStmt::DoWhile {
                 body: normalize(body),
                 cond: cond.clone(),
+                span: *span,
             }),
             TStmt::Block(b) => out.push(TStmt::Block(normalize(b))),
             s => out.push(s.clone()),
@@ -290,7 +292,7 @@ fn normalize(stmts: &[TStmt]) -> Vec<TStmt> {
 /// `continue`?
 fn always_exits(stmts: &[TStmt]) -> bool {
     match stmts.last() {
-        Some(TStmt::Return(_) | TStmt::Break | TStmt::Continue) => true,
+        Some(TStmt::Return(..) | TStmt::Break | TStmt::Continue) => true,
         Some(TStmt::If {
             then_branch,
             else_branch,
@@ -307,7 +309,7 @@ fn returns_only_in_tail(stmts: &[TStmt], tail: bool) -> bool {
     for (i, s) in stmts.iter().enumerate() {
         let is_last = i + 1 == stmts.len();
         match s {
-            TStmt::Return(_)
+            TStmt::Return(..)
                 if !(tail && is_last) => {
                     return false;
                 }
@@ -337,7 +339,7 @@ fn returns_only_in_tail(stmts: &[TStmt], tail: bool) -> bool {
 
 fn contains_return(stmts: &[TStmt]) -> bool {
     stmts.iter().any(|s| match s {
-        TStmt::Return(_) => true,
+        TStmt::Return(..) => true,
         TStmt::If {
             then_branch,
             else_branch,
@@ -652,17 +654,17 @@ impl<'a> L2Tr<'a> {
                 };
                 Ok(self.with_pre(steps, joined))
             }
-            TStmt::While { cond, body } => {
+            TStmt::While { cond, body, .. } => {
                 let (loop_prog, vars) = self.tr_loop(cond, body, None)?;
                 let k = self.tr_stmts(rest, tail, lp)?;
                 Ok(join_loop(loop_prog, &vars, k))
             }
-            TStmt::DoWhile { body, cond } => {
+            TStmt::DoWhile { body, cond, .. } => {
                 let (loop_prog, vars) = self.tr_loop(cond, body, Some(body))?;
                 let k = self.tr_stmts(rest, tail, lp)?;
                 Ok(join_loop(loop_prog, &vars, k))
             }
-            TStmt::Return(value) => {
+            TStmt::Return(value, _) => {
                 let (steps, e) = match value {
                     Some(e) => self.value(e)?,
                     None => (Vec::new(), Expr::unit()),

@@ -199,6 +199,85 @@ impl Output {
     pub fn total_proof_size(&self) -> usize {
         self.thms.iter().map(|(_, _, t)| t.proof_size()).sum()
     }
+
+    /// Source spans backing the verification conditions of `name`: the
+    /// function-header span plus one span per loop in *WP traversal
+    /// order* — the order the VCG consumes loop annotations in. WP works
+    /// continuation-first, so at each nesting level statements are
+    /// visited in reverse order, a loop is visited before the loops of
+    /// its own body, `if` visits the then-branch before the else-branch,
+    /// and a `do`/`while` body contributes its loops twice (the lowering
+    /// unrolls the first iteration in front of the loop).
+    /// The main VC's postcondition is checked at function exit, so its
+    /// span is the last `return` statement (statement-level, not the
+    /// header); functions without a `return` fall back to the header.
+    #[must_use]
+    pub fn fn_spans(&self, name: &str) -> Option<(ir::diag::Span, Vec<ir::diag::Span>)> {
+        let f = self.typed.function(name)?;
+        let mut loops = Vec::new();
+        collect_loop_spans(&f.body, &mut loops);
+        let main = last_return_span(&f.body).unwrap_or(f.span);
+        Some((main, loops))
+    }
+}
+
+/// The span of the last `return` statement in source order, if any.
+fn last_return_span(stmts: &[cparser::TStmt]) -> Option<ir::diag::Span> {
+    use cparser::TStmt;
+    let mut found = None;
+    for s in stmts {
+        match s {
+            TStmt::Return(_, span) => found = Some(*span),
+            TStmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                let sp = last_return_span(else_branch)
+                    .or_else(|| last_return_span(then_branch));
+                if let Some(sp) = sp {
+                    found = Some(sp);
+                }
+            }
+            TStmt::While { body, .. } | TStmt::DoWhile { body, .. } | TStmt::Block(body) => {
+                if let Some(sp) = last_return_span(body) {
+                    found = Some(sp);
+                }
+            }
+            _ => {}
+        }
+    }
+    found
+}
+
+/// Collects loop-keyword spans in WP traversal order (see
+/// [`Output::fn_spans`]).
+fn collect_loop_spans(stmts: &[cparser::TStmt], out: &mut Vec<ir::diag::Span>) {
+    use cparser::TStmt;
+    for s in stmts.iter().rev() {
+        match s {
+            TStmt::While { body, span, .. } => {
+                out.push(*span);
+                collect_loop_spans(body, out);
+            }
+            TStmt::DoWhile { body, span, .. } => {
+                out.push(*span);
+                // The loop's own body, then the unrolled first iteration.
+                collect_loop_spans(body, out);
+                collect_loop_spans(body, out);
+            }
+            TStmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                collect_loop_spans(then_branch, out);
+                collect_loop_spans(else_branch, out);
+            }
+            TStmt::Block(b) => collect_loop_spans(b, out),
+            _ => {}
+        }
+    }
 }
 
 /// Translates C source text through the full pipeline.

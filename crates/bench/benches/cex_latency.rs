@@ -1,0 +1,144 @@
+//! Counterexample-extraction latency (DESIGN.md §6d).
+//!
+//! Measures `counterexample::analyze` — the VC pass, the solver
+//! refutation, the falsification search, the five-layer runs, and trace
+//! rendering — on the negative-path programs of `tests/negative_path.rs`,
+//! plus seed playback (re-translate + re-run) for the simplest one. Each
+//! program exercises a different extraction path: a bit-blasted model
+//! (badmax), a linarith boundary model (inc/INT_MAX), a refuted loop VC
+//! (count), an undecided heap goal falling to state search (second), and
+//! the exec fallback for recursion (fact).
+
+use counterexample::{analyze, FnSpec, Seed};
+use criterion::{criterion_group, criterion_main, Criterion};
+use ir::expr::{BinOp, Expr};
+use ir::ty::Ty;
+use vcg::{LoopAnn, RV};
+
+struct Case {
+    name: &'static str,
+    src: &'static str,
+    spec: FnSpec,
+}
+
+fn cases() -> Vec<Case> {
+    vec![
+        Case {
+            name: "badmax",
+            src: "int badmax(int a, int b) {\n\
+                if (a < b) {\n\
+                    return a;\n\
+                }\n\
+                return b;\n\
+            }",
+            spec: FnSpec {
+                pre: Expr::tt(),
+                post: Expr::and(
+                    Expr::binop(BinOp::Le, Expr::var("a"), Expr::var(RV)),
+                    Expr::binop(BinOp::Le, Expr::var("b"), Expr::var(RV)),
+                ),
+                anns: vec![],
+            },
+        },
+        Case {
+            name: "inc_overflow",
+            src: "int inc(int x) {\n\
+                return x + 1;\n\
+            }",
+            spec: FnSpec {
+                pre: Expr::tt(),
+                post: Expr::tt(),
+                anns: vec![],
+            },
+        },
+        Case {
+            name: "count_off_by_one",
+            src: "unsigned count(unsigned n) {\n\
+                unsigned i = 0u;\n\
+                while (i <= n) {\n\
+                    i = i + 1u;\n\
+                }\n\
+                return i;\n\
+            }",
+            spec: FnSpec {
+                pre: Expr::binop(BinOp::Lt, Expr::var("n"), Expr::u32(1000)),
+                post: Expr::eq(Expr::var(RV), Expr::var("n")),
+                anns: vec![LoopAnn {
+                    inv: Expr::and(
+                        Expr::binop(
+                            BinOp::Le,
+                            Expr::var("i"),
+                            Expr::binop(BinOp::Add, Expr::var("n"), Expr::u32(1)),
+                        ),
+                        Expr::binop(BinOp::Lt, Expr::var("n"), Expr::u32(1000)),
+                    ),
+                    measure: None,
+                    var_tys: vec![("i".into(), Ty::U32), ("n".into(), Ty::U32)],
+                }],
+            },
+        },
+        Case {
+            name: "heap_walk",
+            src: "struct node { unsigned data; struct node *next; };\n\
+                unsigned second(struct node *p) {\n\
+                return p->next->data;\n\
+            }",
+            spec: FnSpec {
+                pre: Expr::is_valid(Ty::Struct("node".into()), Expr::var("p")),
+                post: Expr::tt(),
+                anns: vec![],
+            },
+        },
+        Case {
+            name: "fact_recursion",
+            src: "unsigned fact(unsigned n) {\n\
+                if (n == 0u) {\n\
+                    return 0u;\n\
+                }\n\
+                return n * fact(n - 1u);\n\
+            }",
+            spec: FnSpec {
+                pre: Expr::binop(BinOp::Lt, Expr::var("n"), Expr::u32(6)),
+                post: Expr::binop(BinOp::Le, Expr::u32(1), Expr::var(RV)),
+                anns: vec![],
+            },
+        },
+    ]
+}
+
+fn fn_name(case: &Case) -> &'static str {
+    match case.name {
+        "inc_overflow" => "inc",
+        "count_off_by_one" => "count",
+        "heap_walk" => "second",
+        "fact_recursion" => "fact",
+        other => other,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    for case in cases() {
+        let out = autocorres::translate(case.src, &autocorres::Options::default()).unwrap();
+        let name = fn_name(&case);
+        // Extraction alone (translation is measured by Table 5 benches).
+        c.bench_function(&format!("cex/extract_{}", case.name), |b| {
+            b.iter(|| std::hint::black_box(analyze(&out, name, &case.spec).unwrap()));
+        });
+    }
+    // Playback: parse seed, re-translate the embedded source, re-run.
+    let case = &cases()[0];
+    let out = autocorres::translate(case.src, &autocorres::Options::default()).unwrap();
+    let analysis = analyze(&out, "badmax", &case.spec).unwrap();
+    let seed = Seed::from_cex(analysis.first_cex().unwrap(), &case.spec, case.src);
+    let text = seed.render();
+    c.bench_function("cex/playback_badmax", |b| {
+        b.iter(|| std::hint::black_box(counterexample::playback(&text).unwrap()));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

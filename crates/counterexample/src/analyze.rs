@@ -1,0 +1,643 @@
+//! Counterexample extraction: VC refutation → concrete falsifying input.
+//!
+//! [`analyze`] verifies one function of a pipeline [`Output`] against a
+//! [`FnSpec`] at the HL level (typed split heaps — the same level the
+//! paper's case-study proofs run at) and, for every VC the automation
+//! *refutes*, turns the solver's satisfying assignment into a concrete
+//! input: argument values plus typed heap cells. The assignment alone is
+//! not trusted — a countermodel of a loop VC can describe an unreachable
+//! mid-loop state — so every candidate is **validated by execution**: the
+//! function is run on the candidate input through the interpreters and
+//! the spec is evaluated on the observed result. Only inputs whose run
+//! genuinely falsifies the spec (postcondition false, or a guard fault
+//! under a satisfied precondition) are reported, which makes spurious
+//! counterexamples impossible by construction.
+//!
+//! When the model's values do not reproduce the failure, a deterministic
+//! boundary-value grid and a seeded random search (heap shapes from
+//! `autocorres::testing`) look for a nearby falsifying input. Functions
+//! outside the VCG's fragment (e.g. recursion — `calls need contracts`)
+//! fall back to the same execution-backed search against the spec, with
+//! the VC name `"exec"`.
+
+use std::collections::HashMap;
+
+use autocorres::testing::{gen_state, heap_types_of, random_arg};
+use autocorres::{derive_seed, Output};
+use ir::diag::{CexHeapCell, Counterexample, Diag, DiagKind, Phase, Span};
+use ir::eval::Env;
+use ir::state::{AbsState, ConcState, State};
+use ir::ty::{Signedness, Ty};
+use ir::value::{Ptr, Value};
+use ir::word::Word;
+use ir::Symbol;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vcg::{examine, HeapModel, LoopAnn, ProofEffort, SpanInfo, Spec, VcOutcome, RV};
+
+use crate::trace;
+
+/// Seed salt for the deterministic falsification search.
+const SEARCH_SALT: u64 = 0xCE11_AB1E;
+/// Random search attempts after the model-derived and grid candidates.
+const RANDOM_ATTEMPTS: u64 = 400;
+/// Cap on grid candidates (cartesian product truncated by odometer).
+const GRID_CAP: usize = 800;
+/// Objects per heap type in generated candidate states.
+const HEAP_OBJS: usize = 4;
+
+/// A specification for one function: pre/postcondition plus one loop
+/// annotation per loop in WP traversal order (see `Output::fn_spans`).
+#[derive(Clone, Debug)]
+pub struct FnSpec {
+    /// Precondition over parameters and the initial state.
+    pub pre: ir::expr::Expr,
+    /// Postcondition; the result is the free variable [`RV`], heap reads
+    /// refer to the final state.
+    pub post: ir::expr::Expr,
+    /// Loop annotations, WP traversal order.
+    pub anns: Vec<LoopAnn>,
+}
+
+/// What the HL interpreter observed on the falsifying input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Observed {
+    /// Normal termination with this value (postcondition evaluated false).
+    Normal(Value),
+    /// Early exit with this value (postcondition evaluated false).
+    Except(Value),
+    /// A guard failed — under a satisfied precondition this falsifies any
+    /// (total-correctness) spec.
+    Fault,
+}
+
+impl Observed {
+    /// Stable text form used in seed files: `(normal V)`, `(except V)`,
+    /// `fault`.
+    #[must_use]
+    pub fn render(&self) -> String {
+        match self {
+            Observed::Normal(v) => format!("(normal {})", crate::sexp::value_to_sexp(v)),
+            Observed::Except(v) => format!("(except {})", crate::sexp::value_to_sexp(v)),
+            Observed::Fault => "fault".to_owned(),
+        }
+    }
+
+    /// Parses the [`Observed::render`] form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on malformed input.
+    pub fn parse(s: &str) -> Result<Observed, String> {
+        if s.trim() == "fault" {
+            return Ok(Observed::Fault);
+        }
+        let sx = crate::sexp::Sexp::parse(s)?;
+        let crate::sexp::Sexp::List(items) = &sx else {
+            return Err(format!("bad observed `{s}`"));
+        };
+        match items.as_slice() {
+            [crate::sexp::Sexp::Atom(tag), v] if tag == "normal" => {
+                Ok(Observed::Normal(crate::sexp::value_from_sexp(v)?))
+            }
+            [crate::sexp::Sexp::Atom(tag), v] if tag == "except" => {
+                Ok(Observed::Except(crate::sexp::value_from_sexp(v)?))
+            }
+            _ => Err(format!("bad observed `{s}`")),
+        }
+    }
+}
+
+/// A validated concrete counterexample.
+#[derive(Clone, Debug)]
+pub struct Cex {
+    /// The structured payload attached to diagnostics (model, heap cells,
+    /// span, `validated` flag).
+    pub info: Counterexample,
+    /// Argument values in parameter order.
+    pub args: Vec<Value>,
+    /// The HL interpreter's observation on this input.
+    pub observed: Observed,
+    /// Pretty-printed five-layer divergence trace.
+    pub trace: String,
+}
+
+impl Cex {
+    /// Packages the counterexample as a solver-phase [`Diag`].
+    #[must_use]
+    pub fn diag(&self) -> Diag {
+        Diag::new(
+            Phase::Solver,
+            DiagKind::Refuted,
+            format!("{}", self.info),
+        )
+        .with_counterexample(self.info.clone())
+    }
+
+    /// Rebuilds the concrete input state from the heap cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a cell fails to encode.
+    pub fn input_state(&self, tenv: &ir::ty::TypeEnv) -> Result<ConcState, String> {
+        state_from_cells(&self.info.heap, tenv)
+    }
+}
+
+/// Builds a concrete state by allocating each cell at its address.
+///
+/// # Errors
+///
+/// Returns a message when a cell fails to encode.
+pub fn state_from_cells(
+    cells: &[CexHeapCell],
+    tenv: &ir::ty::TypeEnv,
+) -> Result<ConcState, String> {
+    let mut st = ConcState::default();
+    for c in cells {
+        st.mem
+            .alloc(c.addr, &c.value, tenv)
+            .map_err(|e| format!("cell {c}: {e}"))?;
+    }
+    Ok(st)
+}
+
+/// Per-VC classification after extraction.
+#[derive(Clone, Debug)]
+pub enum VcStatus {
+    /// The automation proved the obligation.
+    Proved,
+    /// Neither proved nor refuted with a validated input.
+    Undecided,
+    /// Refuted, with a validated concrete counterexample.
+    Refuted(Box<Cex>),
+}
+
+/// One VC's name, span, and outcome.
+#[derive(Clone, Debug)]
+pub struct VcReport {
+    /// VC name (`"main"`, `"loop 0 exit"`, …; `"exec"` for the
+    /// execution-search fallback).
+    pub vc: String,
+    /// Statement-level source span.
+    pub span: Option<Span>,
+    /// Outcome.
+    pub status: VcStatus,
+}
+
+/// The result of analyzing one function against a spec.
+#[derive(Clone, Debug)]
+pub struct Analysis {
+    /// The analyzed function.
+    pub function: String,
+    /// Per-VC outcomes.
+    pub reports: Vec<VcReport>,
+    /// Proof-effort bookkeeping from the VC pass.
+    pub effort: ProofEffort,
+}
+
+impl Analysis {
+    /// All obligations proved (no refutations, nothing undecided).
+    #[must_use]
+    pub fn verified(&self) -> bool {
+        self.reports
+            .iter()
+            .all(|r| matches!(r.status, VcStatus::Proved))
+    }
+
+    /// The first validated counterexample, if any VC was refuted.
+    #[must_use]
+    pub fn first_cex(&self) -> Option<&Cex> {
+        self.reports.iter().find_map(|r| match &r.status {
+            VcStatus::Refuted(c) => Some(&**c),
+            _ => None,
+        })
+    }
+}
+
+/// Verifies `name` against `spec` and extracts validated counterexamples
+/// for refuted VCs. See the module docs for the extraction discipline.
+///
+/// # Errors
+///
+/// Returns a message when the function is missing from the pipeline
+/// output.
+pub fn analyze(out: &Output, name: &str, spec: &FnSpec) -> Result<Analysis, String> {
+    let hl_f = out
+        .hl
+        .function(name)
+        .ok_or_else(|| format!("no function named `{name}`"))?;
+    let vars: HashMap<String, Ty> = hl_f
+        .params
+        .iter()
+        .map(|(n, t)| (n.clone(), t.clone()))
+        .collect();
+    let (main_span, loop_spans) = out
+        .fn_spans(name)
+        .map_or((None, Vec::new()), |(m, l)| (Some(m), l));
+    let spans = SpanInfo {
+        main: main_span,
+        loops: loop_spans,
+    };
+    let vcg_spec = Spec {
+        pre: spec.pre.clone(),
+        post: spec.post.clone(),
+    };
+
+    let examined = examine(
+        &hl_f.body,
+        &vcg_spec,
+        &spec.anns,
+        HeapModel::SplitHeaps,
+        &vars,
+        &out.hl.tenv,
+        &spans,
+    );
+    match examined {
+        Ok((vcs, effort)) => {
+            let mut reports = Vec::new();
+            for (vc, outcome) in vcs {
+                let status = match outcome {
+                    VcOutcome::Proved => VcStatus::Proved,
+                    VcOutcome::Refuted(model) => {
+                        match falsify(out, name, spec, Some(&model), &vc.name, vc.span) {
+                            Some(cex) => VcStatus::Refuted(Box::new(cex)),
+                            None => VcStatus::Undecided,
+                        }
+                    }
+                    VcOutcome::Undecided => {
+                        // The solver could not refute the goal symbolically;
+                        // the execution search may still find a concrete
+                        // falsifying input (heap-dependent goals degrade to
+                        // Unknown in the decision procedures).
+                        match falsify(out, name, spec, None, &vc.name, vc.span) {
+                            Some(cex) => VcStatus::Refuted(Box::new(cex)),
+                            None => VcStatus::Undecided,
+                        }
+                    }
+                };
+                reports.push(VcReport {
+                    vc: vc.name,
+                    span: vc.span,
+                    status,
+                });
+            }
+            Ok(Analysis {
+                function: name.to_owned(),
+                reports,
+                effort,
+            })
+        }
+        Err(_) => {
+            // Outside the VCG fragment (recursion, missing annotations):
+            // fall back to pure execution search against the spec.
+            let status = match falsify(out, name, spec, None, "exec", spans.main) {
+                Some(cex) => VcStatus::Refuted(Box::new(cex)),
+                None => VcStatus::Undecided,
+            };
+            Ok(Analysis {
+                function: name.to_owned(),
+                reports: vec![VcReport {
+                    vc: "exec".to_owned(),
+                    span: spans.main,
+                    status,
+                }],
+                effort: ProofEffort::default(),
+            })
+        }
+    }
+}
+
+/// Validates one recorded input against `spec` and, when it still
+/// falsifies, rebuilds the full [`Cex`] (fresh layer runs and trace).
+/// This is the replay entry point used by seed playback.
+#[must_use]
+pub fn validate_input(
+    out: &Output,
+    name: &str,
+    spec: &FnSpec,
+    vc_name: &str,
+    span: Option<Span>,
+    args: &[Value],
+    conc0: &ConcState,
+) -> Option<Cex> {
+    let heap_types = heap_types_of(&out.simpl.tenv, &out.l1);
+    let observed = check_falsifies(out, name, spec, args, conc0, &heap_types)?;
+    Some(build_cex(
+        out,
+        name,
+        spec,
+        None,
+        vc_name,
+        span,
+        args,
+        conc0,
+        &heap_types,
+        observed,
+    ))
+}
+
+/// Coerces a solver-model value to a parameter's HL type (linarith hands
+/// back `Nat`/`Int` where the variable is a word).
+fn coerce(v: &Value, ty: &Ty) -> Option<Value> {
+    match (v, ty) {
+        (Value::Word(w), Ty::Word(width, sign)) => {
+            Some(Value::Word(Word::new(w.bits(), *width, *sign)))
+        }
+        (Value::Nat(n), Ty::Word(width, sign)) => Some(Value::Word(Word::of_nat(n, *width, *sign))),
+        (Value::Int(i), Ty::Word(width, sign)) => Some(Value::Word(Word::of_int(i, *width, *sign))),
+        (Value::Nat(_) | Value::Int(_), Ty::Nat | Ty::Int) | (Value::Bool(_), Ty::Bool) => {
+            Some(v.clone())
+        }
+        (Value::Ptr(p), Ty::Ptr(t)) if p.pointee == **t => Some(v.clone()),
+        _ => None,
+    }
+}
+
+/// The boundary word grid the deterministic candidate pass draws from.
+fn word_grid(sign: Signedness) -> Vec<i64> {
+    match sign {
+        Signedness::Unsigned => vec![0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 31, 32, 33],
+        Signedness::Signed => vec![0, 1, 2, 3, -1, -2, 5, 8, -8, 16, 31, -31, 33],
+    }
+}
+
+/// Searches for a concrete input falsifying `spec`: the model-derived
+/// candidate first, then a boundary grid, then seeded random states.
+/// Returns a fully-built [`Cex`] (trace included) on success.
+fn falsify(
+    out: &Output,
+    name: &str,
+    spec: &FnSpec,
+    model: Option<&HashMap<String, Value>>,
+    vc_name: &str,
+    span: Option<Span>,
+) -> Option<Cex> {
+    let hl_f = out.hl.function(name)?;
+    let heap_types = heap_types_of(&out.simpl.tenv, &out.l1);
+    let params = &hl_f.params;
+
+    let mut try_args = |args: &[Value], conc0: &ConcState| -> Option<Cex> {
+        let observed = check_falsifies(out, name, spec, args, conc0, &heap_types)?;
+        Some(build_cex(
+            out,
+            name,
+            spec,
+            model,
+            vc_name,
+            span,
+            args,
+            conc0,
+            &heap_types,
+            observed,
+        ))
+    };
+
+    // A fixed heap shape for the model-derived and grid candidates: the
+    // same deterministic layout the random pass uses, at a pinned seed.
+    let base_state = {
+        let mut rng = StdRng::seed_from_u64(derive_seed(SEARCH_SALT, name));
+        gen_state(&mut rng, &out.simpl.tenv, &heap_types, HEAP_OBJS)
+    };
+
+    // 1. Model-derived candidate: exact values from the solver's
+    //    assignment (catches magic constants like overflow boundaries the
+    //    grid and random passes would never hit).
+    if let Some(m) = model {
+        let mut m = m.clone();
+        let ptys: HashMap<String, Ty> =
+            params.iter().map(|(n, t)| (n.clone(), t.clone())).collect();
+        solver::complete_model(&mut m, &ptys);
+        let args: Option<Vec<Value>> = params
+            .iter()
+            .map(|(n, t)| m.get(n).and_then(|v| coerce(v, t)))
+            .collect();
+        if let Some(args) = args {
+            if let Some(cex) = try_args(&args, &ConcState::default()) {
+                return Some(cex);
+            }
+            if let Some(cex) = try_args(&args, &base_state) {
+                return Some(cex);
+            }
+        }
+    }
+
+    // 2. Deterministic boundary grid over word parameters (pointer
+    //    parameters cycle through NULL and the first object slots).
+    if let Some(cex) = grid_search(out, name, params, &base_state, &heap_types, &mut try_args) {
+        return Some(cex);
+    }
+
+    // 3. Seeded random search: fresh heap shapes and argument draws.
+    let mut rng = StdRng::seed_from_u64(derive_seed(SEARCH_SALT ^ 1, name));
+    for _ in 0..RANDOM_ATTEMPTS {
+        let conc0 = gen_state(&mut rng, &out.simpl.tenv, &heap_types, HEAP_OBJS);
+        let args: Vec<Value> = params
+            .iter()
+            .map(|(_, t)| random_arg(&mut rng, t, &heap_types, HEAP_OBJS))
+            .collect();
+        if let Some(cex) = try_args(&args, &conc0) {
+            return Some(cex);
+        }
+    }
+    None
+}
+
+/// Odometer-style cartesian sweep over per-parameter candidate lists.
+fn grid_search(
+    out: &Output,
+    _name: &str,
+    params: &[(String, Ty)],
+    base_state: &ConcState,
+    heap_types: &[Ty],
+    try_args: &mut impl FnMut(&[Value], &ConcState) -> Option<Cex>,
+) -> Option<Cex> {
+    let lists: Vec<Vec<Value>> = params
+        .iter()
+        .map(|(_, t)| match t {
+            Ty::Word(w, s) => word_grid(*s)
+                .into_iter()
+                .map(|v| Value::Word(Word::of_int(&bignum::Int::from(v), *w, *s)))
+                .collect(),
+            Ty::Ptr(p) => {
+                let mut vals = vec![Value::Ptr(Ptr::null((**p).clone()))];
+                // The first object slots of this pointee type in the
+                // deterministic layout of `gen_state`.
+                let mut next = autocorres::testing::OBJ_BASE;
+                for ht in heap_types {
+                    if ht == &**p {
+                        for k in 0..HEAP_OBJS as u64 {
+                            vals.push(Value::Ptr(Ptr::new(
+                                next + k * autocorres::testing::OBJ_STRIDE,
+                                (**p).clone(),
+                            )));
+                        }
+                        break;
+                    }
+                    next += autocorres::testing::OBJ_STRIDE * HEAP_OBJS as u64;
+                }
+                vals
+            }
+            Ty::Bool => vec![Value::Bool(false), Value::Bool(true)],
+            other => vec![Value::zero_of(other, &out.hl.tenv)],
+        })
+        .collect();
+    if lists.is_empty() {
+        return try_args(&[], base_state);
+    }
+    let mut idx = vec![0usize; lists.len()];
+    for _ in 0..GRID_CAP {
+        let args: Vec<Value> = idx.iter().zip(&lists).map(|(&i, l)| l[i].clone()).collect();
+        if let Some(cex) = try_args(&args, base_state) {
+            return Some(cex);
+        }
+        // Advance the odometer.
+        let mut k = 0;
+        loop {
+            if k == lists.len() {
+                return None;
+            }
+            idx[k] += 1;
+            if idx[k] < lists[k].len() {
+                break;
+            }
+            idx[k] = 0;
+            k += 1;
+        }
+    }
+    None
+}
+
+/// The parameter environment for spec evaluation.
+fn param_env(params: &[(String, Ty)], args: &[Value], tenv: &ir::ty::TypeEnv) -> Env {
+    let mut vars = HashMap::new();
+    for ((n, _), v) in params.iter().zip(args) {
+        vars.insert(Symbol::intern(n), v.clone());
+    }
+    Env {
+        vars,
+        tenv: tenv.clone(),
+    }
+}
+
+/// Runs `name` on the candidate at the HL level only and checks whether
+/// the spec is falsified: precondition true on the initial abstract state,
+/// and either the run faults or the postcondition evaluates to false on
+/// the result. Anything ambiguous (pre doesn't hold, fuel, stuck, post
+/// can't be evaluated) rejects the candidate — no spurious acceptances.
+fn check_falsifies(
+    out: &Output,
+    name: &str,
+    spec: &FnSpec,
+    args: &[Value],
+    conc0: &ConcState,
+    heap_types: &[Ty],
+) -> Option<Observed> {
+    let hl_f = out.hl.function(name)?;
+    let tenv = &out.hl.tenv;
+    let abs0 = heapmodel::lift_state(conc0, &out.simpl.tenv, heap_types);
+    let env = param_env(&hl_f.params, args, tenv);
+    if !matches!(
+        ir::eval::eval_bool(&spec.pre, &env, &State::Abs(abs0.clone())),
+        Ok(true)
+    ) {
+        return None;
+    }
+    match audit::layers::run_monadic(&out.hl, name, args, State::Abs(abs0)) {
+        audit::layers::LayerRun::Fault => Some(Observed::Fault),
+        audit::layers::LayerRun::Normal(v, st) => {
+            post_falsified(spec, &env, &v, &st).then(|| Observed::Normal(v))
+        }
+        audit::layers::LayerRun::Except(v, st) => {
+            post_falsified(spec, &env, &v, &st).then(|| Observed::Except(v))
+        }
+        _ => None,
+    }
+}
+
+/// Evaluates the postcondition with [`RV`] bound to the observed result,
+/// on the final state. `true` = genuinely falsified.
+fn post_falsified(spec: &FnSpec, env: &Env, rv: &Value, final_st: &State) -> bool {
+    let mut env = env.clone();
+    env.vars.insert(Symbol::intern(RV), rv.clone());
+    matches!(
+        ir::eval::eval_bool(&spec.post, &env, final_st),
+        Ok(false)
+    )
+}
+
+/// Extracts the typed heap cells of the candidate's initial state
+/// (deterministic: `BTreeMap` order — type, then address).
+fn cells_of(abs0: &AbsState, tenv: &ir::ty::TypeEnv) -> Vec<CexHeapCell> {
+    let mut cells = Vec::new();
+    for (ty, heap) in &abs0.heaps {
+        for &addr in &heap.valid {
+            let value = heap
+                .get(addr)
+                .cloned()
+                .unwrap_or_else(|| Value::zero_of(ty, tenv));
+            cells.push(CexHeapCell {
+                ty: ty.clone(),
+                addr,
+                value,
+            });
+        }
+    }
+    cells
+}
+
+/// Assembles the final [`Cex`]: structured payload, five-layer runs, and
+/// the pretty trace.
+#[allow(clippy::too_many_arguments)]
+fn build_cex(
+    out: &Output,
+    name: &str,
+    spec: &FnSpec,
+    model: Option<&HashMap<String, Value>>,
+    vc_name: &str,
+    span: Option<Span>,
+    args: &[Value],
+    conc0: &ConcState,
+    heap_types: &[Ty],
+    observed: Observed,
+) -> Cex {
+    let hl_f = out.hl.function(name).expect("checked by caller");
+    let tenv = &out.hl.tenv;
+    let abs0 = heapmodel::lift_state(conc0, &out.simpl.tenv, heap_types);
+    let cells = cells_of(&abs0, tenv);
+
+    // The reported assignment: parameters (validated values) first, then
+    // any solver-model variables not shadowed by a parameter.
+    let mut assignment: Vec<(String, Value)> = hl_f
+        .params
+        .iter()
+        .zip(args)
+        .map(|((n, _), v)| (n.clone(), v.clone()))
+        .collect();
+    if let Some(m) = model {
+        let mut extra: Vec<(String, Value)> = m
+            .iter()
+            .filter(|(k, _)| !hl_f.params.iter().any(|(n, _)| n == *k))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        extra.sort_by(|a, b| a.0.cmp(&b.0));
+        assignment.extend(extra);
+    }
+
+    let info = Counterexample {
+        function: name.to_owned(),
+        vc: vc_name.to_owned(),
+        span,
+        model: assignment,
+        heap: cells,
+        validated: true,
+    };
+    let runs = audit::layers::run_all(out, name, args, conc0, heap_types).ok();
+    let trace = trace::render(out, spec, &info, args, runs.as_ref(), &observed, heap_types);
+    Cex {
+        info,
+        args: args.to_vec(),
+        observed,
+        trace,
+    }
+}

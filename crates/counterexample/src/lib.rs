@@ -1,0 +1,33 @@
+//! Counterexample extraction and concrete playback.
+//!
+//! When the verification pipeline refutes a VC, the solver's satisfying
+//! assignment is only a *symbolic* story about why the proof fails. This
+//! crate turns it into a *concrete* one:
+//!
+//! 1. [`analyze`] runs the VCG over a function's spec, and for every
+//!    refuted (or undecided) obligation searches for a concrete input —
+//!    argument values plus typed heap cells — that genuinely falsifies
+//!    the spec **under execution**. Candidates come from the solver
+//!    model first, then a deterministic boundary grid, then a seeded
+//!    random search; each one is validated by running the HL interpreter
+//!    and re-evaluating the spec, so spurious counterexamples are
+//!    impossible by construction.
+//! 2. Every validated [`Cex`] carries a structured
+//!    [`ir::diag::Counterexample`] payload (attachable to a `Diag`), the
+//!    five-layer interpreter runs (Simpl/L1/L2/HL/WA), and a
+//!    deterministic pretty-printed divergence trace ([`trace`]).
+//! 3. [`Seed`] packages a counterexample as a standalone replayable
+//!    artifact (`cex-v1` text format: spec + input + observed outcome +
+//!    the C source verbatim); [`playback`] re-translates, re-runs, and
+//!    re-checks it — a verification failure becomes a runnable
+//!    regression test.
+
+pub mod analyze;
+pub mod seed;
+pub mod sexp;
+pub mod trace;
+
+pub use analyze::{
+    analyze, state_from_cells, validate_input, Analysis, Cex, FnSpec, Observed, VcReport, VcStatus,
+};
+pub use seed::{playback, Playback, Seed, FORMAT, SOURCE_SEP};

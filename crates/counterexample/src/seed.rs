@@ -1,0 +1,258 @@
+//! Replayable counterexample seeds.
+//!
+//! A seed file packages everything needed to re-run a verification
+//! failure from scratch, with no state beyond the file itself: the C
+//! source, the spec (pre/post + loop annotations), the falsifying input
+//! (arguments + typed heap cells), and the outcome the HL interpreter
+//! observed at extraction time. [`playback`] re-translates the source,
+//! rebuilds the input state, re-runs the function, re-evaluates the spec
+//! and compares against the recorded verdict — a counterexample is a
+//! *runnable regression test*: if the C code is later fixed, playback
+//! reports that the input no longer falsifies the spec.
+//!
+//! Format (`cex-v1`): `key = value` header lines (same line discipline as
+//! the fuzz-corpus seeds, values are S-expressions from [`crate::sexp`]),
+//! then the C source verbatim after a `--- source ---` separator.
+
+use ir::diag::{CexHeapCell, Span};
+use ir::value::Value;
+
+use crate::analyze::{validate_input, Cex, FnSpec, Observed};
+use crate::sexp::{
+    ann_from_sexp, ann_to_sexp, expr_from_sexp, expr_to_sexp, span_from_text, span_to_text,
+    ty_from_sexp, ty_to_sexp, value_from_sexp, value_to_sexp, Sexp,
+};
+
+/// The format tag of the current seed version.
+pub const FORMAT: &str = "cex-v1";
+/// The separator between the header and the C source.
+pub const SOURCE_SEP: &str = "--- source ---";
+
+/// A parsed (or to-be-rendered) counterexample seed.
+#[derive(Clone, Debug)]
+pub struct Seed {
+    /// The function whose spec was refuted.
+    pub function: String,
+    /// The refuted VC's name.
+    pub vc: String,
+    /// Statement-level span of the refuted obligation.
+    pub span: Option<Span>,
+    /// Argument values, parameter order.
+    pub args: Vec<Value>,
+    /// Typed heap cells of the input state.
+    pub cells: Vec<CexHeapCell>,
+    /// The spec the function was verified against.
+    pub spec: FnSpec,
+    /// The outcome observed at extraction time ([`Observed::render`]).
+    pub observed: Observed,
+    /// The C translation unit, verbatim.
+    pub source: String,
+}
+
+impl Seed {
+    /// Builds a seed from an extraction result.
+    #[must_use]
+    pub fn from_cex(cex: &Cex, spec: &FnSpec, source: &str) -> Seed {
+        Seed {
+            function: cex.info.function.clone(),
+            vc: cex.info.vc.clone(),
+            span: cex.info.span,
+            args: cex.args.clone(),
+            cells: cex.info.heap.clone(),
+            spec: spec.clone(),
+            observed: cex.observed.clone(),
+            source: source.to_owned(),
+        }
+    }
+
+    /// Renders the seed file text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "# counterexample seed ({FORMAT}): {} / {}\n",
+            self.function, self.vc
+        ));
+        s.push_str(&format!("format = {FORMAT}\n"));
+        s.push_str(&format!("function = {}\n", self.function));
+        s.push_str(&format!("vc = {}\n", self.vc));
+        if let Some(sp) = self.span {
+            s.push_str(&format!("span = {}\n", span_to_text(sp)));
+        }
+        s.push_str("verdict = falsified\n");
+        s.push_str(&format!("observed = {}\n", self.observed.render()));
+        for a in &self.args {
+            s.push_str(&format!("arg = {}\n", value_to_sexp(a)));
+        }
+        for c in &self.cells {
+            s.push_str(&format!(
+                "cell = ({} {} {})\n",
+                ty_to_sexp(&c.ty),
+                c.addr,
+                value_to_sexp(&c.value)
+            ));
+        }
+        s.push_str(&format!("pre = {}\n", expr_to_sexp(&self.spec.pre)));
+        s.push_str(&format!("post = {}\n", expr_to_sexp(&self.spec.post)));
+        for a in &self.spec.anns {
+            s.push_str(&format!("ann = {}\n", ann_to_sexp(a)));
+        }
+        s.push_str(SOURCE_SEP);
+        s.push('\n');
+        s.push_str(&self.source);
+        s
+    }
+
+    /// Parses a seed file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on malformed input or a format-tag mismatch.
+    pub fn parse(text: &str) -> Result<Seed, String> {
+        let (header, source) = text
+            .split_once(SOURCE_SEP)
+            .ok_or_else(|| format!("missing `{SOURCE_SEP}` separator"))?;
+        let source = source.strip_prefix('\n').unwrap_or(source).to_owned();
+        let mut function = None;
+        let mut vc = None;
+        let mut span = None;
+        let mut observed = None;
+        let mut args = Vec::new();
+        let mut cells = Vec::new();
+        let mut pre = None;
+        let mut post = None;
+        let mut anns = Vec::new();
+        for line in header.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .map(|(k, v)| (k.trim(), v.trim()))
+                .ok_or_else(|| format!("bad seed line `{line}`"))?;
+            match key {
+                "format" => {
+                    if value != FORMAT {
+                        return Err(format!("unsupported seed format `{value}`"));
+                    }
+                }
+                "function" => function = Some(value.to_owned()),
+                "vc" => vc = Some(value.to_owned()),
+                "span" => span = Some(span_from_text(value)?),
+                "verdict" => {
+                    if value != "falsified" {
+                        return Err(format!("unsupported verdict `{value}`"));
+                    }
+                }
+                "observed" => observed = Some(Observed::parse(value)?),
+                "arg" => args.push(value_from_sexp(&Sexp::parse(value)?)?),
+                "cell" => {
+                    let sx = Sexp::parse(value)?;
+                    let Sexp::List(items) = &sx else {
+                        return Err(format!("bad cell `{value}`"));
+                    };
+                    let [ty, addr, v] = items.as_slice() else {
+                        return Err(format!("bad cell `{value}`"));
+                    };
+                    let Sexp::Atom(addr) = addr else {
+                        return Err(format!("bad cell addr in `{value}`"));
+                    };
+                    cells.push(CexHeapCell {
+                        ty: ty_from_sexp(ty)?,
+                        addr: addr.parse().map_err(|e| format!("bad cell addr: {e}"))?,
+                        value: value_from_sexp(v)?,
+                    });
+                }
+                "pre" => pre = Some(expr_from_sexp(&Sexp::parse(value)?)?),
+                "post" => post = Some(expr_from_sexp(&Sexp::parse(value)?)?),
+                "ann" => anns.push(ann_from_sexp(&Sexp::parse(value)?)?),
+                other => return Err(format!("unknown seed key `{other}`")),
+            }
+        }
+        Ok(Seed {
+            function: function.ok_or("seed missing `function`")?,
+            vc: vc.ok_or("seed missing `vc`")?,
+            span,
+            args,
+            cells,
+            spec: FnSpec {
+                pre: pre.ok_or("seed missing `pre`")?,
+                post: post.ok_or("seed missing `post`")?,
+                anns,
+            },
+            observed: observed.ok_or("seed missing `observed`")?,
+            source,
+        })
+    }
+
+    /// A human-readable description of the concrete input (for mismatch
+    /// reports).
+    #[must_use]
+    pub fn describe_input(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("function: {} (VC {})\n", self.function, self.vc));
+        s.push_str("args:\n");
+        for a in &self.args {
+            s.push_str(&format!("  {a}\n"));
+        }
+        if self.args.is_empty() {
+            s.push_str("  (none)\n");
+        }
+        s.push_str("heap cells:\n");
+        for c in &self.cells {
+            s.push_str(&format!("  {c}\n"));
+        }
+        if self.cells.is_empty() {
+            s.push_str("  (empty)\n");
+        }
+        s
+    }
+}
+
+/// The result of replaying a seed.
+#[derive(Clone, Debug)]
+pub struct Playback {
+    /// The parsed seed.
+    pub seed: Seed,
+    /// The re-validated counterexample, when the recorded input still
+    /// falsifies the spec (carries a fresh trace).
+    pub cex: Option<Cex>,
+    /// The recorded verdict (`falsified`) still holds.
+    pub verdict_matches: bool,
+    /// The observed outcome is identical to the recorded one.
+    pub observed_matches: bool,
+}
+
+/// Replays a seed from its text: re-translates the source, rebuilds the
+/// input state, re-runs the function, and re-checks the spec.
+///
+/// # Errors
+///
+/// Returns a message when the seed is malformed, the source no longer
+/// translates, or the input state no longer encodes.
+pub fn playback(text: &str) -> Result<Playback, String> {
+    let seed = Seed::parse(text)?;
+    let out = autocorres::translate(&seed.source, &autocorres::Options::default())
+        .map_err(|e| format!("seed source no longer translates: {e}"))?;
+    let conc0 = crate::analyze::state_from_cells(&seed.cells, &out.simpl.tenv)?;
+    let cex = validate_input(
+        &out,
+        &seed.function,
+        &seed.spec,
+        &seed.vc,
+        seed.span,
+        &seed.args,
+        &conc0,
+    );
+    let verdict_matches = cex.is_some();
+    let observed_matches = cex
+        .as_ref()
+        .is_some_and(|c| c.observed == seed.observed);
+    Ok(Playback {
+        seed,
+        cex,
+        verdict_matches,
+        observed_matches,
+    })
+}

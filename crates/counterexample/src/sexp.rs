@@ -1,0 +1,662 @@
+//! S-expression (de)serialization for the seed artifacts.
+//!
+//! Counterexample seeds must survive a round trip through a text file and
+//! come back to the *same* spec, argument values, and heap cells — so the
+//! writer and parser here cover exactly the [`Ty`], [`Value`], [`Expr`],
+//! and [`LoopAnn`] shapes the VCG layer works over. The format is a plain
+//! parenthesized prefix notation with bare atoms (every name that appears
+//! — variables, fields, structs — is a C identifier or the VCG's `·rv`),
+//! no quoting or escapes needed.
+
+use ir::diag::Span;
+use ir::expr::{BinOp, CastKind, Expr, UnOp};
+use ir::intern::Interned;
+use ir::ty::{Signedness, Ty, Width};
+use ir::value::{Ptr, Value};
+use ir::word::Word;
+use vcg::LoopAnn;
+
+/// A parsed S-expression node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Sexp {
+    /// A bare token.
+    Atom(String),
+    /// A parenthesized list.
+    List(Vec<Sexp>),
+}
+
+impl std::fmt::Display for Sexp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Sexp::Atom(a) => f.write_str(a),
+            Sexp::List(items) => {
+                f.write_str("(")?;
+                for (i, s) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" ")?;
+                    }
+                    write!(f, "{s}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+impl Sexp {
+    fn atom(s: impl Into<String>) -> Sexp {
+        Sexp::Atom(s.into())
+    }
+
+    fn list(items: Vec<Sexp>) -> Sexp {
+        Sexp::List(items)
+    }
+
+    /// Parses one S-expression from `text` (ignoring trailing whitespace).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on malformed input.
+    pub fn parse(text: &str) -> Result<Sexp, String> {
+        let mut chars = text.char_indices().peekable();
+        let sexp = parse_one(text, &mut chars)?;
+        skip_ws(&mut chars);
+        if let Some((i, c)) = chars.peek() {
+            return Err(format!("trailing input at byte {i}: `{c}`"));
+        }
+        Ok(sexp)
+    }
+
+    fn as_atom(&self) -> Result<&str, String> {
+        match self {
+            Sexp::Atom(a) => Ok(a),
+            Sexp::List(_) => Err(format!("expected atom, got {self}")),
+        }
+    }
+
+    fn as_list(&self) -> Result<&[Sexp], String> {
+        match self {
+            Sexp::List(items) => Ok(items),
+            Sexp::Atom(_) => Err(format!("expected list, got {self}")),
+        }
+    }
+
+    /// A list whose head atom is `tag`, returning the remaining items.
+    fn tagged(&self, tag: &str) -> Result<&[Sexp], String> {
+        let items = self.as_list()?;
+        match items.first() {
+            Some(Sexp::Atom(a)) if a == tag => Ok(&items[1..]),
+            _ => Err(format!("expected ({tag} …), got {self}")),
+        }
+    }
+}
+
+type Chars<'a> = std::iter::Peekable<std::str::CharIndices<'a>>;
+
+fn skip_ws(chars: &mut Chars<'_>) {
+    while let Some((_, c)) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+        } else {
+            break;
+        }
+    }
+}
+
+fn parse_one(text: &str, chars: &mut Chars<'_>) -> Result<Sexp, String> {
+    skip_ws(chars);
+    match chars.peek().copied() {
+        None => Err("unexpected end of input".into()),
+        Some((_, '(')) => {
+            chars.next();
+            let mut items = Vec::new();
+            loop {
+                skip_ws(chars);
+                match chars.peek().copied() {
+                    None => return Err("unclosed `(`".into()),
+                    Some((_, ')')) => {
+                        chars.next();
+                        return Ok(Sexp::List(items));
+                    }
+                    Some(_) => items.push(parse_one(text, chars)?),
+                }
+            }
+        }
+        Some((_, ')')) => Err("unexpected `)`".into()),
+        Some((start, _)) => {
+            let mut end = text.len();
+            while let Some((i, c)) = chars.peek().copied() {
+                if c.is_whitespace() || c == '(' || c == ')' {
+                    end = i;
+                    break;
+                }
+                chars.next();
+            }
+            if chars.peek().is_none() {
+                end = text.len();
+            }
+            Ok(Sexp::Atom(text[start..end].to_owned()))
+        }
+    }
+}
+
+fn width_atom(w: Width) -> Sexp {
+    Sexp::atom(w.bits().to_string())
+}
+
+fn parse_width(s: &Sexp) -> Result<Width, String> {
+    match s.as_atom()? {
+        "8" => Ok(Width::W8),
+        "16" => Ok(Width::W16),
+        "32" => Ok(Width::W32),
+        "64" => Ok(Width::W64),
+        other => Err(format!("bad width `{other}`")),
+    }
+}
+
+fn sign_atom(s: Signedness) -> Sexp {
+    Sexp::atom(match s {
+        Signedness::Signed => "s",
+        Signedness::Unsigned => "u",
+    })
+}
+
+fn parse_sign(s: &Sexp) -> Result<Signedness, String> {
+    match s.as_atom()? {
+        "s" => Ok(Signedness::Signed),
+        "u" => Ok(Signedness::Unsigned),
+        other => Err(format!("bad signedness `{other}`")),
+    }
+}
+
+/// Serializes a type.
+#[must_use]
+pub fn ty_to_sexp(t: &Ty) -> Sexp {
+    match t {
+        Ty::Unit => Sexp::atom("unit"),
+        Ty::Bool => Sexp::atom("bool"),
+        Ty::Nat => Sexp::atom("nat"),
+        Ty::Int => Sexp::atom("int"),
+        Ty::Word(w, s) => Sexp::list(vec![Sexp::atom("word"), width_atom(*w), sign_atom(*s)]),
+        Ty::Ptr(p) => Sexp::list(vec![Sexp::atom("ptr"), ty_to_sexp(p)]),
+        Ty::Struct(n) => Sexp::list(vec![Sexp::atom("struct"), Sexp::atom(n.clone())]),
+        Ty::Tuple(ts) => {
+            let mut items = vec![Sexp::atom("tuple")];
+            items.extend(ts.iter().map(ty_to_sexp));
+            Sexp::list(items)
+        }
+    }
+}
+
+/// Parses a type.
+///
+/// # Errors
+///
+/// Returns a message on shape mismatches.
+pub fn ty_from_sexp(s: &Sexp) -> Result<Ty, String> {
+    match s {
+        Sexp::Atom(a) => match a.as_str() {
+            "unit" => Ok(Ty::Unit),
+            "bool" => Ok(Ty::Bool),
+            "nat" => Ok(Ty::Nat),
+            "int" => Ok(Ty::Int),
+            other => Err(format!("bad type atom `{other}`")),
+        },
+        Sexp::List(items) => {
+            let tag = items
+                .first()
+                .ok_or_else(|| "empty type list".to_owned())?
+                .as_atom()?;
+            match (tag, &items[1..]) {
+                ("word", [w, sg]) => Ok(Ty::Word(parse_width(w)?, parse_sign(sg)?)),
+                ("ptr", [p]) => Ok(Ty::Ptr(Box::new(ty_from_sexp(p)?))),
+                ("struct", [n]) => Ok(Ty::Struct(n.as_atom()?.to_owned())),
+                ("tuple", ts) => Ok(Ty::Tuple(
+                    ts.iter().map(ty_from_sexp).collect::<Result<_, _>>()?,
+                )),
+                _ => Err(format!("bad type {s}")),
+            }
+        }
+    }
+}
+
+/// Serializes a value.
+#[must_use]
+pub fn value_to_sexp(v: &Value) -> Sexp {
+    match v {
+        Value::Unit => Sexp::atom("unit"),
+        Value::Bool(b) => Sexp::atom(if *b { "true" } else { "false" }),
+        Value::Word(w) => Sexp::list(vec![
+            Sexp::atom("w"),
+            width_atom(w.width()),
+            sign_atom(w.sign()),
+            Sexp::atom(w.bits().to_string()),
+        ]),
+        Value::Nat(n) => Sexp::list(vec![Sexp::atom("nat"), Sexp::atom(n.to_string())]),
+        Value::Int(i) => Sexp::list(vec![Sexp::atom("int"), Sexp::atom(i.to_string())]),
+        Value::Ptr(p) => Sexp::list(vec![
+            Sexp::atom("ptr"),
+            Sexp::atom(p.addr.to_string()),
+            ty_to_sexp(&p.pointee),
+        ]),
+        Value::Struct(n, fields) => {
+            let mut items = vec![Sexp::atom("sv"), Sexp::atom(n.clone())];
+            for (f, fv) in fields {
+                items.push(Sexp::list(vec![Sexp::atom(f.clone()), value_to_sexp(fv)]));
+            }
+            Sexp::list(items)
+        }
+        Value::Tuple(vs) => {
+            let mut items = vec![Sexp::atom("tv")];
+            items.extend(vs.iter().map(value_to_sexp));
+            Sexp::list(items)
+        }
+    }
+}
+
+/// Parses a value.
+///
+/// # Errors
+///
+/// Returns a message on shape mismatches.
+pub fn value_from_sexp(s: &Sexp) -> Result<Value, String> {
+    match s {
+        Sexp::Atom(a) => match a.as_str() {
+            "unit" => Ok(Value::Unit),
+            "true" => Ok(Value::Bool(true)),
+            "false" => Ok(Value::Bool(false)),
+            other => Err(format!("bad value atom `{other}`")),
+        },
+        Sexp::List(items) => {
+            let tag = items
+                .first()
+                .ok_or_else(|| "empty value list".to_owned())?
+                .as_atom()?;
+            match (tag, &items[1..]) {
+                ("w", [w, sg, bits]) => {
+                    let bits: u64 = bits
+                        .as_atom()?
+                        .parse()
+                        .map_err(|e| format!("bad word bits: {e}"))?;
+                    Ok(Value::Word(Word::new(bits, parse_width(w)?, parse_sign(sg)?)))
+                }
+                ("nat", [n]) => Ok(Value::Nat(
+                    n.as_atom()?.parse().map_err(|e| format!("bad nat: {e}"))?,
+                )),
+                ("int", [i]) => Ok(Value::Int(
+                    i.as_atom()?.parse().map_err(|e| format!("bad int: {e}"))?,
+                )),
+                ("ptr", [addr, t]) => {
+                    let addr: u64 = addr
+                        .as_atom()?
+                        .parse()
+                        .map_err(|e| format!("bad addr: {e}"))?;
+                    Ok(Value::Ptr(Ptr::new(addr, ty_from_sexp(t)?)))
+                }
+                ("sv", [n, fields @ ..]) => {
+                    let fields = fields
+                        .iter()
+                        .map(|f| {
+                            let pair = f.as_list()?;
+                            match pair {
+                                [name, v] => {
+                                    Ok((name.as_atom()?.to_owned(), value_from_sexp(v)?))
+                                }
+                                _ => Err(format!("bad struct field {f}")),
+                            }
+                        })
+                        .collect::<Result<_, String>>()?;
+                    Ok(Value::Struct(n.as_atom()?.to_owned(), fields))
+                }
+                ("tv", vs) => Ok(Value::Tuple(
+                    vs.iter().map(value_from_sexp).collect::<Result<_, _>>()?,
+                )),
+                _ => Err(format!("bad value {s}")),
+            }
+        }
+    }
+}
+
+fn binop_atom(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "add",
+        BinOp::Sub => "sub",
+        BinOp::Mul => "mul",
+        BinOp::Div => "div",
+        BinOp::Mod => "mod",
+        BinOp::BitAnd => "band",
+        BinOp::BitOr => "bor",
+        BinOp::BitXor => "bxor",
+        BinOp::Shl => "shl",
+        BinOp::Shr => "shr",
+        BinOp::Eq => "eq",
+        BinOp::Ne => "ne",
+        BinOp::Lt => "lt",
+        BinOp::Le => "le",
+        BinOp::And => "and",
+        BinOp::Or => "or",
+        BinOp::Implies => "implies",
+        BinOp::PtrAdd => "ptradd",
+    }
+}
+
+fn parse_binop(s: &str) -> Result<BinOp, String> {
+    Ok(match s {
+        "add" => BinOp::Add,
+        "sub" => BinOp::Sub,
+        "mul" => BinOp::Mul,
+        "div" => BinOp::Div,
+        "mod" => BinOp::Mod,
+        "band" => BinOp::BitAnd,
+        "bor" => BinOp::BitOr,
+        "bxor" => BinOp::BitXor,
+        "shl" => BinOp::Shl,
+        "shr" => BinOp::Shr,
+        "eq" => BinOp::Eq,
+        "ne" => BinOp::Ne,
+        "lt" => BinOp::Lt,
+        "le" => BinOp::Le,
+        "and" => BinOp::And,
+        "or" => BinOp::Or,
+        "implies" => BinOp::Implies,
+        "ptradd" => BinOp::PtrAdd,
+        other => return Err(format!("bad binop `{other}`")),
+    })
+}
+
+fn unop_atom(op: UnOp) -> &'static str {
+    match op {
+        UnOp::Not => "not",
+        UnOp::BitNot => "bitnot",
+        UnOp::Neg => "neg",
+    }
+}
+
+fn parse_unop(s: &str) -> Result<UnOp, String> {
+    Ok(match s {
+        "not" => UnOp::Not,
+        "bitnot" => UnOp::BitNot,
+        "neg" => UnOp::Neg,
+        other => return Err(format!("bad unop `{other}`")),
+    })
+}
+
+fn cast_to_sexp(k: &CastKind) -> Sexp {
+    match k {
+        CastKind::WordToWord(w, s) => {
+            Sexp::list(vec![Sexp::atom("w2w"), width_atom(*w), sign_atom(*s)])
+        }
+        CastKind::Unat => Sexp::atom("unat"),
+        CastKind::Sint => Sexp::atom("sint"),
+        CastKind::OfNat(w, s) => {
+            Sexp::list(vec![Sexp::atom("ofnat"), width_atom(*w), sign_atom(*s)])
+        }
+        CastKind::OfInt(w, s) => {
+            Sexp::list(vec![Sexp::atom("ofint"), width_atom(*w), sign_atom(*s)])
+        }
+        CastKind::NatToInt => Sexp::atom("nat2int"),
+        CastKind::IntToNat => Sexp::atom("int2nat"),
+        CastKind::PtrToWord => Sexp::atom("ptr2word"),
+        CastKind::WordToPtr(t) => Sexp::list(vec![Sexp::atom("word2ptr"), ty_to_sexp(t)]),
+        CastKind::PtrRetype(t) => Sexp::list(vec![Sexp::atom("retype"), ty_to_sexp(t)]),
+    }
+}
+
+fn cast_from_sexp(s: &Sexp) -> Result<CastKind, String> {
+    match s {
+        Sexp::Atom(a) => Ok(match a.as_str() {
+            "unat" => CastKind::Unat,
+            "sint" => CastKind::Sint,
+            "nat2int" => CastKind::NatToInt,
+            "int2nat" => CastKind::IntToNat,
+            "ptr2word" => CastKind::PtrToWord,
+            other => return Err(format!("bad cast `{other}`")),
+        }),
+        Sexp::List(items) => {
+            let tag = items
+                .first()
+                .ok_or_else(|| "empty cast list".to_owned())?
+                .as_atom()?;
+            match (tag, &items[1..]) {
+                ("w2w", [w, sg]) => Ok(CastKind::WordToWord(parse_width(w)?, parse_sign(sg)?)),
+                ("ofnat", [w, sg]) => Ok(CastKind::OfNat(parse_width(w)?, parse_sign(sg)?)),
+                ("ofint", [w, sg]) => Ok(CastKind::OfInt(parse_width(w)?, parse_sign(sg)?)),
+                ("word2ptr", [t]) => Ok(CastKind::WordToPtr(ty_from_sexp(t)?)),
+                ("retype", [t]) => Ok(CastKind::PtrRetype(ty_from_sexp(t)?)),
+                _ => Err(format!("bad cast {s}")),
+            }
+        }
+    }
+}
+
+/// Serializes an expression.
+#[must_use]
+pub fn expr_to_sexp(e: &Expr) -> Sexp {
+    let l = |tag: &str, rest: Vec<Sexp>| {
+        let mut items = vec![Sexp::atom(tag)];
+        items.extend(rest);
+        Sexp::list(items)
+    };
+    match e {
+        Expr::Lit(v) => l("lit", vec![value_to_sexp(v)]),
+        Expr::Var(n) => l("var", vec![Sexp::atom(n.as_str())]),
+        Expr::Local(n) => l("local", vec![Sexp::atom(n.as_str())]),
+        Expr::Global(n) => l("global", vec![Sexp::atom(n.as_str())]),
+        Expr::ReadHeap(t, p) => l("rh", vec![ty_to_sexp(t), expr_to_sexp(p)]),
+        Expr::ReadByte(p) => l("rb", vec![expr_to_sexp(p)]),
+        Expr::IsValid(t, p) => l("valid", vec![ty_to_sexp(t), expr_to_sexp(p)]),
+        Expr::PtrAligned(t, p) => l("aligned", vec![ty_to_sexp(t), expr_to_sexp(p)]),
+        Expr::NullFree(t, p) => l("nullfree", vec![ty_to_sexp(t), expr_to_sexp(p)]),
+        Expr::Field(s, f) => l("field", vec![expr_to_sexp(s), Sexp::atom(f.clone())]),
+        Expr::UpdateField(s, f, v) => l(
+            "updf",
+            vec![expr_to_sexp(s), Sexp::atom(f.clone()), expr_to_sexp(v)],
+        ),
+        Expr::UnOp(op, a) => l("un", vec![Sexp::atom(unop_atom(*op)), expr_to_sexp(a)]),
+        Expr::BinOp(op, a, b) => l(
+            "bin",
+            vec![Sexp::atom(binop_atom(*op)), expr_to_sexp(a), expr_to_sexp(b)],
+        ),
+        Expr::Cast(k, a) => l("cast", vec![cast_to_sexp(k), expr_to_sexp(a)]),
+        Expr::Ite(c, t, f) => l(
+            "ite",
+            vec![expr_to_sexp(c), expr_to_sexp(t), expr_to_sexp(f)],
+        ),
+        Expr::Tuple(es) => l("tuple", es.iter().map(expr_to_sexp).collect()),
+        Expr::Proj(i, a) => l("proj", vec![Sexp::atom(i.to_string()), expr_to_sexp(a)]),
+    }
+}
+
+/// Parses an expression.
+///
+/// # Errors
+///
+/// Returns a message on shape mismatches.
+pub fn expr_from_sexp(s: &Sexp) -> Result<Expr, String> {
+    let items = s.as_list()?;
+    let tag = items
+        .first()
+        .ok_or_else(|| "empty expr list".to_owned())?
+        .as_atom()?;
+    let rest = &items[1..];
+    let i = |e: &Sexp| -> Result<Interned<Expr>, String> { Ok(Interned::new(expr_from_sexp(e)?)) };
+    match (tag, rest) {
+        ("lit", [v]) => Ok(Expr::Lit(value_from_sexp(v)?)),
+        ("var", [n]) => Ok(Expr::var(n.as_atom()?)),
+        ("local", [n]) => Ok(Expr::local(n.as_atom()?)),
+        ("global", [n]) => Ok(Expr::global(n.as_atom()?)),
+        ("rh", [t, p]) => Ok(Expr::ReadHeap(ty_from_sexp(t)?, i(p)?)),
+        ("rb", [p]) => Ok(Expr::ReadByte(i(p)?)),
+        ("valid", [t, p]) => Ok(Expr::IsValid(ty_from_sexp(t)?, i(p)?)),
+        ("aligned", [t, p]) => Ok(Expr::PtrAligned(ty_from_sexp(t)?, i(p)?)),
+        ("nullfree", [t, p]) => Ok(Expr::NullFree(ty_from_sexp(t)?, i(p)?)),
+        ("field", [e, f]) => Ok(Expr::Field(i(e)?, f.as_atom()?.to_owned())),
+        ("updf", [e, f, v]) => Ok(Expr::UpdateField(i(e)?, f.as_atom()?.to_owned(), i(v)?)),
+        ("un", [op, a]) => Ok(Expr::UnOp(parse_unop(op.as_atom()?)?, i(a)?)),
+        ("bin", [op, a, b]) => Ok(Expr::BinOp(parse_binop(op.as_atom()?)?, i(a)?, i(b)?)),
+        ("cast", [k, a]) => Ok(Expr::Cast(cast_from_sexp(k)?, i(a)?)),
+        ("ite", [c, t, f]) => Ok(Expr::Ite(i(c)?, i(t)?, i(f)?)),
+        ("tuple", es) => Ok(Expr::Tuple(
+            es.iter().map(expr_from_sexp).collect::<Result<_, _>>()?,
+        )),
+        ("proj", [idx, a]) => Ok(Expr::Proj(
+            idx.as_atom()?.parse().map_err(|e| format!("bad proj: {e}"))?,
+            i(a)?,
+        )),
+        _ => Err(format!("bad expr {s}")),
+    }
+}
+
+/// Serializes a loop annotation.
+#[must_use]
+pub fn ann_to_sexp(a: &LoopAnn) -> Sexp {
+    let measure = match &a.measure {
+        Some(m) => expr_to_sexp(m),
+        None => Sexp::atom("none"),
+    };
+    let vars = a
+        .var_tys
+        .iter()
+        .map(|(n, t)| Sexp::list(vec![Sexp::atom(n.clone()), ty_to_sexp(t)]))
+        .collect();
+    Sexp::list(vec![
+        Sexp::atom("ann"),
+        Sexp::list(vec![Sexp::atom("inv"), expr_to_sexp(&a.inv)]),
+        Sexp::list(vec![Sexp::atom("measure"), measure]),
+        Sexp::list({
+            let mut items = vec![Sexp::atom("vars")];
+            items.extend::<Vec<Sexp>>(vars);
+            items
+        }),
+    ])
+}
+
+/// Parses a loop annotation.
+///
+/// # Errors
+///
+/// Returns a message on shape mismatches.
+pub fn ann_from_sexp(s: &Sexp) -> Result<LoopAnn, String> {
+    let rest = s.tagged("ann")?;
+    let [inv, measure, vars] = rest else {
+        return Err(format!("bad ann {s}"));
+    };
+    let inv = match inv.tagged("inv")? {
+        [e] => expr_from_sexp(e)?,
+        _ => return Err(format!("bad ann inv {inv}")),
+    };
+    let measure = match measure.tagged("measure")? {
+        [Sexp::Atom(a)] if a == "none" => None,
+        [e] => Some(expr_from_sexp(e)?),
+        _ => return Err(format!("bad ann measure {measure}")),
+    };
+    let var_tys = vars
+        .tagged("vars")?
+        .iter()
+        .map(|v| {
+            let pair = v.as_list()?;
+            match pair {
+                [n, t] => Ok((n.as_atom()?.to_owned(), ty_from_sexp(t)?)),
+                _ => Err(format!("bad ann var {v}")),
+            }
+        })
+        .collect::<Result<_, String>>()?;
+    Ok(LoopAnn {
+        inv,
+        measure,
+        var_tys,
+    })
+}
+
+/// Serializes a span as `line:col@offset`.
+#[must_use]
+pub fn span_to_text(s: Span) -> String {
+    format!("{}:{}@{}", s.line, s.col, s.offset)
+}
+
+/// Parses a `line:col@offset` span.
+///
+/// # Errors
+///
+/// Returns a message on malformed input.
+pub fn span_from_text(s: &str) -> Result<Span, String> {
+    let (lc, off) = s.split_once('@').ok_or_else(|| format!("bad span `{s}`"))?;
+    let (l, c) = lc.split_once(':').ok_or_else(|| format!("bad span `{s}`"))?;
+    let parse = |x: &str| x.parse::<u32>().map_err(|e| format!("bad span `{s}`: {e}"));
+    Ok(Span::new(parse(off)?, parse(l)?, parse(c)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_expr(e: &Expr) {
+        let text = expr_to_sexp(e).to_string();
+        let back = expr_from_sexp(&Sexp::parse(&text).unwrap()).unwrap();
+        assert_eq!(*e, back, "via {text}");
+    }
+
+    #[test]
+    fn exprs_roundtrip() {
+        let node = Ty::Struct("node".into());
+        roundtrip_expr(&Expr::eq(Expr::var("·rv"), Expr::i32(4)));
+        roundtrip_expr(&Expr::implies(
+            Expr::is_valid(node.clone(), Expr::var("p")),
+            Expr::eq(
+                Expr::field(Expr::read_heap(node.clone(), Expr::var("p")), "val"),
+                Expr::u32(7),
+            ),
+        ));
+        roundtrip_expr(&Expr::ite(
+            Expr::binop(BinOp::Lt, Expr::var("a"), Expr::var("b")),
+            Expr::cast(CastKind::Unat, Expr::var("a")),
+            Expr::nat(3u32),
+        ));
+        roundtrip_expr(&Expr::Tuple(vec![
+            Expr::unop(UnOp::Neg, Expr::int(-5)),
+            Expr::proj(1, Expr::var("x")),
+            Expr::null(Ty::U32),
+        ]));
+    }
+
+    #[test]
+    fn values_and_tys_roundtrip() {
+        let vals = [
+            Value::Unit,
+            Value::Bool(true),
+            Value::u32(0xFFFF_FFFF),
+            Value::Nat(7u32.into()),
+            Value::Int((-12i64).into()),
+            Value::Ptr(Ptr::new(0x1000, Ty::Struct("node".into()))),
+            Value::Struct(
+                "node".into(),
+                vec![
+                    ("next".into(), Value::Ptr(Ptr::null(Ty::Struct("node".into())))),
+                    ("val".into(), Value::u32(3)),
+                ],
+            ),
+            Value::Tuple(vec![Value::u32(1), Value::Bool(false)]),
+        ];
+        for v in &vals {
+            let text = value_to_sexp(v).to_string();
+            let back = value_from_sexp(&Sexp::parse(&text).unwrap()).unwrap();
+            assert_eq!(*v, back, "via {text}");
+        }
+        let tys = [
+            Ty::Unit,
+            Ty::Word(Width::W64, Signedness::Signed),
+            Ty::Ptr(Box::new(Ty::Struct("obj".into()))),
+            Ty::Tuple(vec![Ty::Nat, Ty::Bool]),
+        ];
+        for t in &tys {
+            let text = ty_to_sexp(t).to_string();
+            assert_eq!(*t, ty_from_sexp(&Sexp::parse(&text).unwrap()).unwrap(), "via {text}");
+        }
+    }
+
+    #[test]
+    fn spans_roundtrip() {
+        let s = Span::new(42, 3, 7);
+        assert_eq!(span_from_text(&span_to_text(s)).unwrap(), s);
+    }
+}

@@ -1,0 +1,106 @@
+//! Pretty-printed divergence traces.
+//!
+//! One trace per counterexample: the falsifying input (assignment + heap
+//! cells), each of the five layer runs' outcomes, the first layer pair
+//! where abstract and concrete behavior split (usually *none* — a wrong
+//! program is translated consistently; the split is between the program
+//! and its spec), and the spec verdict with its source span. The output
+//! is fully deterministic (sorted maps, no timing, no addresses beyond
+//! the fixed object pool), so it can be golden-snapshotted and must be
+//! byte-identical at any pipeline worker count.
+
+use audit::layers::{first_divergence, LayerRun, LAYER_NAMES};
+use autocorres::Output;
+use ir::diag::Counterexample;
+use ir::ty::Ty;
+use ir::value::Value;
+
+use crate::analyze::{FnSpec, Observed};
+
+/// Renders the trace for one validated counterexample.
+#[must_use]
+pub fn render(
+    out: &Output,
+    _spec: &FnSpec,
+    info: &Counterexample,
+    args: &[Value],
+    runs: Option<&[LayerRun; 5]>,
+    observed: &Observed,
+    heap_types: &[Ty],
+) -> String {
+    let mut s = String::new();
+    let push = |s: &mut String, line: &str| {
+        s.push_str(line);
+        s.push('\n');
+    };
+
+    let mut head = format!("counterexample: {} / {}", info.function, info.vc);
+    if let Some(sp) = info.span {
+        head.push_str(&format!(" (at {sp})"));
+    }
+    push(&mut s, &head);
+
+    push(&mut s, "input assignment:");
+    for (n, v) in &info.model {
+        push(&mut s, &format!("  {n} = {v}"));
+    }
+    if info.model.is_empty() {
+        push(&mut s, "  (none)");
+    }
+
+    push(&mut s, "input heap:");
+    for c in &info.heap {
+        push(&mut s, &format!("  {c}"));
+    }
+    if info.heap.is_empty() {
+        push(&mut s, "  (empty)");
+    }
+
+    let hl_params = out
+        .hl
+        .function(&info.function)
+        .map(|f| f.params.clone())
+        .unwrap_or_default();
+    let arg_list: Vec<String> = hl_params
+        .iter()
+        .zip(args)
+        .map(|((n, _), v)| format!("{n} = {v}"))
+        .collect();
+    push(&mut s, &format!("call: {}({})", info.function, arg_list.join(", ")));
+
+    push(&mut s, "layer runs:");
+    match runs {
+        Some(runs) => {
+            for (name, r) in LAYER_NAMES.iter().zip(runs.iter()) {
+                let line = match r {
+                    LayerRun::Normal(v, _) => format!("  {name:<5} normal  {v}"),
+                    LayerRun::Except(v, _) => format!("  {name:<5} except  {v}"),
+                    LayerRun::Fault => format!("  {name:<5} fault"),
+                    LayerRun::Fuel => format!("  {name:<5} out-of-fuel"),
+                    LayerRun::Broken(e) => format!("  {name:<5} broken: {e}"),
+                };
+                push(&mut s, &line);
+            }
+            match first_divergence(out, &info.function, runs, heap_types) {
+                Some(d) => push(&mut s, &format!("first layer split: {d}")),
+                None => push(&mut s, "first layer split: none (all layers agree)"),
+            }
+        }
+        None => push(&mut s, "  (layer runs unavailable)"),
+    }
+
+    let verdict = match observed {
+        Observed::Fault => {
+            "spec verdict: pre holds; the run FAULTS (guard failure falsifies the spec)"
+                .to_owned()
+        }
+        Observed::Normal(v) => {
+            format!("spec verdict: pre holds; post evaluates FALSE with ·rv = {v}")
+        }
+        Observed::Except(v) => {
+            format!("spec verdict: pre holds; post evaluates FALSE with ·rv = {v} (early exit)")
+        }
+    };
+    push(&mut s, &verdict);
+    s
+}

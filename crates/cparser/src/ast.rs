@@ -186,6 +186,9 @@ pub enum Stmt {
         cond: CExpr,
         /// Body.
         body: Vec<Stmt>,
+        /// Position of the `while` keyword (`for` keyword for desugared
+        /// `for` loops).
+        span: Span,
     },
     /// `do { body } while (cond);`.
     DoWhile {
@@ -193,9 +196,11 @@ pub enum Stmt {
         body: Vec<Stmt>,
         /// Condition.
         cond: CExpr,
+        /// Position of the `do` keyword.
+        span: Span,
     },
-    /// `return e;` / `return;`.
-    Return(Option<CExpr>),
+    /// `return e;` / `return;`; the span is the `return` keyword.
+    Return(Option<CExpr>, Span),
     /// `break;`.
     Break,
     /// `continue;`.

@@ -363,12 +363,13 @@ impl<'a> Parser<'a> {
                 else_branch,
             });
         }
+        let span = self.span();
         if self.eat_ident("while") {
             self.expect_punct("(")?;
             let cond = self.expr()?;
             self.expect_punct(")")?;
             let body = self.branch_body()?;
-            return Ok(Stmt::While { cond, body });
+            return Ok(Stmt::While { cond, body, span });
         }
         if self.eat_ident("do") {
             let body = self.branch_body()?;
@@ -379,10 +380,10 @@ impl<'a> Parser<'a> {
             let cond = self.expr()?;
             self.expect_punct(")")?;
             self.expect_punct(";")?;
-            return Ok(Stmt::DoWhile { body, cond });
+            return Ok(Stmt::DoWhile { body, cond, span });
         }
         if self.eat_ident("for") {
-            return self.for_stmt();
+            return self.for_stmt(span);
         }
         if self.eat_ident("return") {
             let value = if self.at_punct(";") {
@@ -391,7 +392,7 @@ impl<'a> Parser<'a> {
                 Some(self.expr()?)
             };
             self.expect_punct(";")?;
-            return Ok(Stmt::Return(value));
+            return Ok(Stmt::Return(value, span));
         }
         if self.eat_ident("break") {
             self.expect_punct(";")?;
@@ -488,7 +489,7 @@ impl<'a> Parser<'a> {
         Ok(Stmt::Expr(lhs))
     }
 
-    fn for_stmt(&mut self) -> Result<Stmt> {
+    fn for_stmt(&mut self, span: Span) -> Result<Stmt> {
         self.expect_punct("(")?;
         let init = if self.at_punct(";") {
             None
@@ -523,6 +524,7 @@ impl<'a> Parser<'a> {
         let w = Stmt::While {
             cond,
             body: while_body,
+            span,
         };
         Ok(match init {
             Some(i) => Stmt::Block(vec![i, w]),
@@ -901,7 +903,7 @@ mod tests {
     #[test]
     fn ternary_and_index() {
         let prog = p("int f(int *a, int i) { return a[i] > 0 ? a[i] : 0; }");
-        let Stmt::Return(Some(CExpr::Cond(..))) = &prog.functions[0].body[0] else {
+        let Stmt::Return(Some(CExpr::Cond(..)), _) = &prog.functions[0].body[0] else {
             panic!()
         };
     }

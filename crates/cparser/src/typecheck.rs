@@ -155,6 +155,8 @@ pub enum TStmt {
         cond: TExpr,
         /// Body.
         body: Vec<TStmt>,
+        /// Position of the loop keyword in the source.
+        span: Span,
     },
     /// `do`/`while` loop.
     DoWhile {
@@ -162,9 +164,12 @@ pub enum TStmt {
         body: Vec<TStmt>,
         /// Condition.
         cond: TExpr,
+        /// Position of the `do` keyword in the source.
+        span: Span,
     },
-    /// `return`, with the value converted to the return type.
-    Return(Option<TExpr>),
+    /// `return`, with the value converted to the return type; the span is
+    /// the `return` keyword.
+    Return(Option<TExpr>, Span),
     /// `break`.
     Break,
     /// `continue`.
@@ -186,6 +191,8 @@ pub struct TFunDef {
     pub locals: Vec<(String, CType)>,
     /// The body.
     pub body: Vec<TStmt>,
+    /// Position of the function name in the source (the header span).
+    pub span: Span,
 }
 
 /// A typechecked global.
@@ -370,7 +377,7 @@ fn each_call(stmts: &[TStmt], f: &mut impl FnMut(&str) -> Result<()>) -> Result<
     }
     for s in stmts {
         match s {
-            TStmt::Decl { init: Some(e), .. } | TStmt::ExprCall(e) | TStmt::Return(Some(e)) => {
+            TStmt::Decl { init: Some(e), .. } | TStmt::ExprCall(e) | TStmt::Return(Some(e), _) => {
                 in_expr(e, f)?;
             }
             TStmt::Assign { lhs, rhs } => {
@@ -386,7 +393,7 @@ fn each_call(stmts: &[TStmt], f: &mut impl FnMut(&str) -> Result<()>) -> Result<
                 each_call(then_branch, f)?;
                 each_call(else_branch, f)?;
             }
-            TStmt::While { cond, body } | TStmt::DoWhile { body, cond } => {
+            TStmt::While { cond, body, .. } | TStmt::DoWhile { body, cond, .. } => {
                 in_expr(cond, f)?;
                 each_call(body, f)?;
             }
@@ -472,6 +479,7 @@ impl<'a> Ctx<'a> {
             params,
             locals: scope.all,
             body,
+            span: f.span,
         })
     }
 
@@ -539,32 +547,40 @@ impl<'a> Ctx<'a> {
                     else_branch: e,
                 })
             }
-            Stmt::While { cond, body } => {
+            Stmt::While { cond, body, span } => {
                 let c = self.condition(cond, scope)?;
                 scope.push();
                 let b = self.stmts(body, scope, ret)?;
                 scope.pop();
-                Ok(TStmt::While { cond: c, body: b })
+                Ok(TStmt::While {
+                    cond: c,
+                    body: b,
+                    span: *span,
+                })
             }
-            Stmt::DoWhile { body, cond } => {
+            Stmt::DoWhile { body, cond, span } => {
                 scope.push();
                 let b = self.stmts(body, scope, ret)?;
                 scope.pop();
                 let c = self.condition(cond, scope)?;
-                Ok(TStmt::DoWhile { body: b, cond: c })
+                Ok(TStmt::DoWhile {
+                    body: b,
+                    cond: c,
+                    span: *span,
+                })
             }
-            Stmt::Return(None) => {
+            Stmt::Return(None, span) => {
                 if *ret != CType::Void {
                     return Err(TypeError::new("return without value in non-void function"));
                 }
-                Ok(TStmt::Return(None))
+                Ok(TStmt::Return(None, *span))
             }
-            Stmt::Return(Some(e)) => {
+            Stmt::Return(Some(e), span) => {
                 if *ret == CType::Void {
                     return Err(TypeError::new("return with value in void function"));
                 }
                 let te = self.expr(e, scope)?;
-                Ok(TStmt::Return(Some(self.convert(te, ret)?)))
+                Ok(TStmt::Return(Some(self.convert(te, ret)?), *span))
             }
             Stmt::Break => Ok(TStmt::Break),
             Stmt::Continue => Ok(TStmt::Continue),
@@ -1027,7 +1043,7 @@ mod tests {
     fn promotions_inserted() {
         let p = check("int f(char c) { return c + 1; }");
         let f = p.function("f").unwrap();
-        let TStmt::Return(Some(e)) = &f.body[0] else {
+        let TStmt::Return(Some(e), _) = &f.body[0] else {
             panic!()
         };
         // c promoted to int via a cast node
@@ -1065,7 +1081,7 @@ mod tests {
              unsigned f(struct node *p) { return p->data; }",
         );
         let f = p.function("f").unwrap();
-        let TStmt::Return(Some(e)) = &f.body[0] else {
+        let TStmt::Return(Some(e), _) = &f.body[0] else {
             panic!()
         };
         let TExprKind::Member(inner, field) = &e.kind else {
@@ -1080,7 +1096,7 @@ mod tests {
     fn index_normalised() {
         let p = check("int f(int *a) { return a[3]; }");
         let f = p.function("f").unwrap();
-        let TStmt::Return(Some(e)) = &f.body[0] else {
+        let TStmt::Return(Some(e), _) = &f.body[0] else {
             panic!()
         };
         assert!(matches!(&e.kind, TExprKind::Unary(CUnOp::Deref, _)));
@@ -1093,7 +1109,7 @@ mod tests {
              unsigned f(void) { return sizeof(struct pair); }",
         );
         let f = p.function("f").unwrap();
-        let TStmt::Return(Some(e)) = &f.body[0] else {
+        let TStmt::Return(Some(e), _) = &f.body[0] else {
             panic!()
         };
         // sizeof → literal 8, converted to unsigned (already UINT).
@@ -1106,7 +1122,7 @@ mod tests {
         let f = p.function("f").unwrap();
         assert_eq!(f.locals.len(), 2);
         assert_eq!(f.locals[1].0, "x__2");
-        let TStmt::Return(Some(e)) = &f.body[1] else {
+        let TStmt::Return(Some(e), _) = &f.body[1] else {
             panic!()
         };
         assert!(matches!(&e.kind, TExprKind::Local(n) if n == "x"));
@@ -1124,7 +1140,7 @@ mod tests {
     fn pointer_arith_keeps_index() {
         let p = check("int f(int *a) { return *(a + 2); }");
         let f = p.function("f").unwrap();
-        let TStmt::Return(Some(e)) = &f.body[0] else {
+        let TStmt::Return(Some(e), _) = &f.body[0] else {
             panic!()
         };
         let TExprKind::Unary(CUnOp::Deref, inner) = &e.kind else {

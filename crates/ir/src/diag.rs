@@ -30,6 +30,9 @@ pub enum Phase {
     Wa,
     /// The proof kernel itself (replay / rule application / testing).
     Kernel,
+    /// The verification-condition / decision-procedure layer (`vcg` +
+    /// `solver`): a spec was checked and a VC was refuted or undecided.
+    Solver,
 }
 
 impl Phase {
@@ -45,6 +48,7 @@ impl Phase {
             Phase::Hl => "HL",
             Phase::Wa => "WA",
             Phase::Kernel => "kernel",
+            Phase::Solver => "solver",
         }
     }
 }
@@ -98,6 +102,67 @@ pub enum DiagKind {
     Testing,
     /// An internal invariant was violated; always a bug.
     Internal,
+    /// A verification condition was refuted: the diagnostic carries a
+    /// [`Counterexample`] when one could be extracted.
+    Refuted,
+}
+
+/// One typed heap cell of a counterexample's input state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CexHeapCell {
+    /// The heap type the cell lives in.
+    pub ty: crate::ty::Ty,
+    /// The cell's address.
+    pub addr: u64,
+    /// The object stored at the address.
+    pub value: crate::value::Value,
+}
+
+impl fmt::Display for CexHeapCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{:#x} = {}", self.ty, self.addr, self.value)
+    }
+}
+
+/// A concrete falsifying assignment for a refuted verification condition,
+/// extracted from the solver layers and validated (when possible) by
+/// concrete interpretation.
+///
+/// Lives in `ir` so a [`Diag`] can carry it without the diagnostics layer
+/// depending on the solver stack; the extraction machinery that builds it
+/// lives in the `counterexample` crate.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Counterexample {
+    /// The function whose spec was refuted.
+    pub function: String,
+    /// Which VC ("main", "loop 0 exit", "loop 0 body", "spec", …).
+    pub vc: String,
+    /// Statement-level source span of the refuted obligation (the loop or
+    /// return statement, not the function header).
+    pub span: Option<Span>,
+    /// The falsifying assignment, sorted by variable name.
+    pub model: Vec<(String, crate::value::Value)>,
+    /// Typed heap cells of the falsifying input state.
+    pub heap: Vec<CexHeapCell>,
+    /// `true` when the assignment was re-validated by running the function
+    /// on the concrete input and observing the spec violation.
+    pub validated: bool,
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: VC `{}` refuted", self.function, self.vc)?;
+        if let Some(s) = self.span {
+            write!(f, " at {s}")?;
+        }
+        for (n, v) in &self.model {
+            write!(f, "; {n} = {v}")?;
+        }
+        for c in &self.heap {
+            write!(f, "; {c}")?;
+        }
+        Ok(())
+    }
 }
 
 /// A structured pipeline diagnostic.
@@ -117,6 +182,8 @@ pub struct Diag {
     pub message: String,
     /// Source position, for frontend diagnostics.
     pub span: Option<Span>,
+    /// A concrete falsifying input, for refuted verification conditions.
+    pub counterexample: Option<Box<Counterexample>>,
 }
 
 impl Diag {
@@ -129,6 +196,7 @@ impl Diag {
             kind,
             message: message.into(),
             span: None,
+            counterexample: None,
         }
     }
 
@@ -149,6 +217,21 @@ impl Diag {
         if self.span.is_none() {
             self.span = Some(span);
         }
+        self
+    }
+
+    /// Attaches a concrete counterexample, adopting its span and function
+    /// when the diagnostic has none (the counterexample's span is the
+    /// refuted statement — more precise than a function-header span).
+    #[must_use]
+    pub fn with_counterexample(mut self, cex: Counterexample) -> Self {
+        if self.span.is_none() {
+            self.span = cex.span;
+        }
+        if self.function.is_none() {
+            self.function = Some(cex.function.clone());
+        }
+        self.counterexample = Some(Box::new(cex));
         self
     }
 

@@ -126,6 +126,54 @@ pub struct Stats {
     pub learnt_clauses: u64,
 }
 
+/// A satisfying assignment, indexable by [`Var`], [`Lit`], or registered
+/// variable name.
+///
+/// Produced by [`Solver::solve_model`] / [`Solver::solve_model_limited`].
+/// Named lookups go through the solver's name registry (see
+/// [`Solver::new_named_var`]), which records names in registration order —
+/// the *stable naming* contract the upper layers (bit-blasting model
+/// extraction) rely on to reconstruct word values bit by bit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Model {
+    values: Vec<bool>,
+    names: Vec<(String, Var)>,
+}
+
+impl Model {
+    /// The assignment of a variable.
+    #[must_use]
+    pub fn value(&self, v: Var) -> bool {
+        self.values[v.index()]
+    }
+
+    /// The truth value of a literal under the model.
+    #[must_use]
+    pub fn lit(&self, l: Lit) -> bool {
+        self.value(l.var()) ^ l.is_neg()
+    }
+
+    /// The assignment of a registered named variable.
+    #[must_use]
+    pub fn named(&self, name: &str) -> Option<bool> {
+        self.names
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| self.value(v))
+    }
+
+    /// All registered names with their assignments, in registration order.
+    pub fn named_iter(&self) -> impl Iterator<Item = (&str, bool)> {
+        self.names.iter().map(|(n, v)| (n.as_str(), self.value(*v)))
+    }
+
+    /// The raw assignment vector, indexed by variable.
+    #[must_use]
+    pub fn as_slice(&self) -> &[bool] {
+        &self.values
+    }
+}
+
 /// A CDCL SAT solver over clauses added incrementally.
 pub struct Solver {
     num_vars: u32,
@@ -150,6 +198,8 @@ pub struct Solver {
     unsat: bool,
     /// Pending unit clauses to assert at level 0.
     pending_units: Vec<Lit>,
+    /// Registered variable names in registration order (model extraction).
+    names: Vec<(String, Var)>,
     /// Statistics of the last [`Solver::solve`] run.
     pub stats: Stats,
 }
@@ -189,6 +239,7 @@ impl Solver {
             act_inc: 1.0,
             unsat: false,
             pending_units: Vec::new(),
+            names: Vec::new(),
             stats: Stats::default(),
         }
     }
@@ -204,6 +255,21 @@ impl Solver {
         self.reason.push(None);
         self.activity.push(0.0);
         v
+    }
+
+    /// Allocates a fresh variable registered under `name` for named model
+    /// lookup. Names are kept in registration order; registering the same
+    /// name twice keeps both entries (the first wins on lookup), so callers
+    /// should register each name once.
+    pub fn new_named_var(&mut self, name: impl Into<String>) -> Var {
+        let v = self.new_var();
+        self.names.push((name.into(), v));
+        v
+    }
+
+    /// The registered names with their variables, in registration order.
+    pub fn named_vars(&self) -> impl Iterator<Item = (&str, Var)> {
+        self.names.iter().map(|(n, v)| (n.as_str(), *v))
     }
 
     /// Number of variables allocated.
@@ -476,6 +542,28 @@ impl Solver {
             .expect("no conflict limit in plain solve")
     }
 
+    /// Solves and wraps a satisfying assignment as a [`Model`] carrying the
+    /// solver's name registry: `Some(model)` if satisfiable, `None` if
+    /// unsatisfiable.
+    pub fn solve_model(&mut self) -> Option<Model> {
+        self.solve_model_limited(u64::MAX)
+            .expect("no conflict limit in plain solve")
+    }
+
+    /// [`Solver::solve_model`] with a conflict budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(())` if the conflict limit was exceeded before a
+    /// verdict was reached.
+    #[allow(clippy::result_unit_err)]
+    pub fn solve_model_limited(&mut self, max_conflicts: u64) -> Result<Option<Model>, ()> {
+        Ok(self.solve_limited(max_conflicts)?.map(|values| Model {
+            values,
+            names: self.names.clone(),
+        }))
+    }
+
     /// Solves with a conflict budget; `Err(())` when the budget runs out.
     ///
     /// # Errors
@@ -719,5 +807,24 @@ mod tests {
             }
         }
         assert_eq!(s.solve_limited(5), Err(()));
+    }
+
+    #[test]
+    fn named_model_extraction() {
+        let mut s = Solver::new();
+        let a = s.new_named_var("a");
+        let b = s.new_named_var("b");
+        let c = s.new_var(); // unnamed internal variable
+        s.add_clause([Lit::pos(a)]);
+        s.add_clause([Lit::neg(a), Lit::pos(b)]);
+        s.add_clause([Lit::pos(c), Lit::pos(b)]);
+        let m = s.solve_model().expect("satisfiable");
+        assert_eq!(m.named("a"), Some(true));
+        assert_eq!(m.named("b"), Some(true));
+        assert_eq!(m.named("c"), None);
+        assert!(m.value(a) && m.lit(Lit::pos(b)) && !m.lit(Lit::neg(b)));
+        let names: Vec<&str> = m.named_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["a", "b"], "registration order is stable");
+        assert_eq!(m.as_slice().len(), s.num_vars());
     }
 }

@@ -212,9 +212,9 @@ impl<'a> FnTranslator<'a> {
                 let body = SimplStmt::Cond(c.expr, Box::new(t), Box::new(e)).with_guards(c.guards);
                 Ok(SimplStmt::seq(SimplStmt::seq_all(pre), body))
             }
-            TStmt::While { cond, body } => self.while_loop(cond, body, None),
-            TStmt::DoWhile { body, cond } => self.while_loop(cond, body, Some(body)),
-            TStmt::Return(value) => {
+            TStmt::While { cond, body, .. } => self.while_loop(cond, body, None),
+            TStmt::DoWhile { body, cond, .. } => self.while_loop(cond, body, Some(body)),
+            TStmt::Return(value, _) => {
                 let mut out = SimplStmt::Skip;
                 if let Some(e) = value {
                     out = self.assign_to_local(RET_VAR, e)?;

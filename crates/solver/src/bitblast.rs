@@ -130,7 +130,12 @@ impl<'a> Bb<'a> {
         if let Some((bv, _, _)) = self.word_vars.get(name) {
             return bv.clone();
         }
-        let bv: Bv = (0..width.bits()).map(|_| self.fresh()).collect();
+        // Each bit is a named SAT variable (`x[i]`, little-endian), so the
+        // satisfying assignment can be read back through the solver's
+        // stable-name registry as well as through `word_vars`.
+        let bv: Bv = (0..width.bits())
+            .map(|i| Lit::pos(self.solver.new_named_var(format!("{name}[{i}]"))))
+            .collect();
         self.word_vars
             .insert(name.to_owned(), (bv.clone(), width, sign));
         bv
@@ -346,7 +351,7 @@ impl<'a> Bb<'a> {
                 if let Some(&l) = self.bool_vars.get(n.as_str()) {
                     return Ok(l);
                 }
-                let l = self.fresh();
+                let l = Lit::pos(self.solver.new_named_var(n.as_str()));
                 self.bool_vars.insert(n.to_string(), l);
                 Ok(l)
             }
@@ -418,25 +423,23 @@ pub fn decide_word_with_stats(goal: &Expr, vars: &HashMap<String, Ty>) -> (Verdi
         Err(_) => return (Verdict::Unknown, Stats::default()),
     };
     bb.solver.add_clause([lit.negate()]);
-    match bb.solver.solve_limited(2_000_000) {
+    match bb.solver.solve_model_limited(2_000_000) {
         Ok(None) => (Verdict::Valid, bb.solver.stats),
         Ok(Some(model)) => {
+            // Un-bitblast: reassemble each word variable from its named
+            // bit assignments (little-endian), and read booleans directly.
             let mut out = HashMap::new();
             for (name, (bv, w, s)) in &bb.word_vars {
                 let mut bits: u64 = 0;
                 for (i, l) in bv.iter().enumerate() {
-                    let val = model[l.var().index()] != l.is_neg();
-                    if val {
+                    if model.lit(*l) {
                         bits |= 1 << i;
                     }
                 }
                 out.insert(name.clone(), Value::Word(Word::new(bits, *w, *s)));
             }
             for (name, l) in &bb.bool_vars {
-                out.insert(
-                    name.clone(),
-                    Value::Bool(model[l.var().index()] != l.is_neg()),
-                );
+                out.insert(name.clone(), Value::Bool(model.lit(*l)));
             }
             (Verdict::Counterexample(out), bb.solver.stats)
         }

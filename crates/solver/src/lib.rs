@@ -135,6 +135,31 @@ pub fn decide_with_info(goal: &Expr, vars: &HashMap<String, Ty>) -> DecideInfo {
     }
 }
 
+/// Completes a partial countermodel: every variable in `vars` missing from
+/// `model` (because the decision procedure found it unconstrained) is bound
+/// to a type-appropriate default, so downstream playback can bind every
+/// function parameter. Word variables default to zero, `nat`/`int` to 0,
+/// booleans to `false`, pointers to NULL.
+pub fn complete_model(model: &mut HashMap<String, Value>, vars: &HashMap<String, Ty>) {
+    for (name, ty) in vars {
+        if model.contains_key(name) {
+            continue;
+        }
+        let v = match ty {
+            Ty::Word(w, s) => Value::Word(ir::word::Word::new(0, *w, *s)),
+            Ty::Nat => Value::nat(0u64),
+            Ty::Int => Value::int(0i64),
+            Ty::Bool => Value::Bool(false),
+            Ty::Ptr(p) => Value::Ptr(ir::value::Ptr::null((**p).clone())),
+            Ty::Unit => Value::Unit,
+            // Struct/tuple-typed VC variables do not occur in generated
+            // VCs; skip rather than guess a layout.
+            Ty::Struct(_) | Ty::Tuple(_) => continue,
+        };
+        model.insert(name.clone(), v);
+    }
+}
+
 /// Does the goal live purely at the machine-word/boolean level?
 fn is_word_level(e: &Expr, vars: &HashMap<String, Ty>) -> bool {
     let mut word_only = true;

@@ -189,6 +189,28 @@ fn search_countermodel(
                 .map(|&n| Value::int(n))
                 .collect(),
             Some(Ty::Bool) => vec![Value::Bool(false), Value::Bool(true)],
+            Some(Ty::Word(w, s)) => {
+                // Small values plus the width extremes: overflow guards are
+                // falsified exactly at the boundary magic constants
+                // (INT_MAX, UINT_MAX, INT_MIN), which no small-value sweep
+                // would ever reach.
+                let max = ir::word::Word::max_value(*w, *s);
+                let min = ir::word::Word::min_value(*w, *s);
+                let mut raw: Vec<Int> = [0i64, 1, 2, 3, -1, -2]
+                    .iter()
+                    .map(|&n| Int::from(n))
+                    .filter(|i| *i >= min && *i <= max)
+                    .collect();
+                raw.push(max.clone() - Int::one());
+                raw.push(max);
+                if min != Int::zero() {
+                    raw.push(min.clone() + Int::one());
+                    raw.push(min);
+                }
+                raw.iter()
+                    .map(|i| Value::Word(ir::word::Word::of_int(i, *w, *s)))
+                    .collect()
+            }
             _ => vec![],
         })
         .collect();

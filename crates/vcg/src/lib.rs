@@ -29,9 +29,10 @@ use std::fmt;
 
 use ir::expr::Expr;
 use ir::ty::Ty;
+use ir::value::Value;
 use solver::Verdict;
 
-pub use wp::{vcg, HeapModel, LoopAnn, Spec, Vc, VcgError, RV};
+pub use wp::{vcg, vcg_spanned, HeapModel, LoopAnn, SpanInfo, Spec, Vc, VcgError, RV};
 
 /// The result of running the automation on a VC set.
 #[derive(Clone, Debug, Default)]
@@ -269,4 +270,73 @@ pub fn verify(
         }
     }
     Ok((vcs, effort))
+}
+
+/// Per-VC outcome of [`examine`].
+#[derive(Clone, Debug)]
+pub enum VcOutcome {
+    /// `auto` discharged the obligation.
+    Proved,
+    /// A decision procedure produced a falsifying assignment for the
+    /// (simplified, saturated) goal. The map may be partial — unconstrained
+    /// variables are simply absent (see `solver::complete_model`).
+    Refuted(HashMap<String, Value>),
+    /// Neither proved nor refuted (outside the decidable fragment, or the
+    /// case-split budget ran out).
+    Undecided,
+}
+
+/// Tries to refute a single goal: simplifies, saturates, and asks the
+/// decision procedures for a countermodel. Returns `None` when the goal is
+/// valid or undecided.
+#[must_use]
+pub fn refute(goal: &Expr, vars: &HashMap<String, Ty>) -> Option<HashMap<String, Value>> {
+    let g = saturate(&solver::simplify::simplify(goal));
+    if g.is_true_lit() {
+        return None;
+    }
+    match solver::decide(&g, vars) {
+        Verdict::Counterexample(m) => Some(m),
+        Verdict::Valid | Verdict::Unknown => None,
+    }
+}
+
+/// Runs [`vcg_spanned`] and classifies every VC: proved by [`auto`],
+/// refuted with a concrete countermodel, or undecided. This is the entry
+/// point counterexample extraction builds on — unlike [`verify`] it keeps
+/// the falsifying assignment instead of collapsing it to a `manual` count.
+///
+/// # Errors
+///
+/// Propagates [`VcgError`] from generation.
+pub fn examine(
+    prog: &monadic::Prog,
+    spec: &Spec,
+    anns: &[LoopAnn],
+    model: HeapModel,
+    vars: &HashMap<String, Ty>,
+    tenv: &ir::ty::TypeEnv,
+    spans: &SpanInfo,
+) -> Result<(Vec<(Vc, VcOutcome)>, ProofEffort), VcgError> {
+    let vcs = vcg_spanned(prog, spec, anns, model, tenv, spans)?;
+    let mut effort = ProofEffort::default();
+    let mut out = Vec::with_capacity(vcs.len());
+    for vc in vcs {
+        let mut all_vars = vars.clone();
+        for (v, t) in &vc.vars {
+            all_vars.insert(v.clone(), t.clone());
+        }
+        let outcome = if auto(&vc.goal, &all_vars, &mut effort) {
+            effort.auto_discharged += 1;
+            VcOutcome::Proved
+        } else {
+            effort.manual += 1;
+            match refute(&vc.goal, &all_vars) {
+                Some(m) => VcOutcome::Refuted(m),
+                None => VcOutcome::Undecided,
+            }
+        };
+        out.push((vc, outcome));
+    }
+    Ok((out, effort))
 }

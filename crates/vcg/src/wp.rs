@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use ir::diag::Span;
 use ir::expr::{BinOp, CastKind, Expr};
 use ir::ty::{Ty, TypeEnv};
 use ir::update::Update;
@@ -44,6 +45,22 @@ pub struct LoopAnn {
     pub var_tys: Vec<(String, Ty)>,
 }
 
+/// Statement-level source positions for VC provenance, parallel to the
+/// annotation list: `loops[i]` is the span of the loop consuming annotation
+/// `i` (WP-traversal order, same convention as `anns`), and `main` is the
+/// span of the statement the main VC's postcondition is checked at
+/// (typically the `return`).
+///
+/// Threaded through the WP traversal so a refuted VC can point at the
+/// statement whose obligation failed instead of the function header.
+#[derive(Clone, Debug, Default)]
+pub struct SpanInfo {
+    /// Span for the "main" VC (the return statement / function exit).
+    pub main: Option<Span>,
+    /// Span of the loop statement per annotation index.
+    pub loops: Vec<Span>,
+}
+
 /// A verification condition.
 #[derive(Clone, Debug)]
 pub struct Vc {
@@ -53,6 +70,9 @@ pub struct Vc {
     pub goal: Expr,
     /// Types of goal-local variables introduced by the generator.
     pub vars: HashMap<String, Ty>,
+    /// Statement-level source position of the obligation, when the caller
+    /// supplied a [`SpanInfo`].
+    pub span: Option<Span>,
 }
 
 /// A generation error (outside the supported fragment).
@@ -88,6 +108,24 @@ pub fn vcg(
     model: HeapModel,
     tenv: &TypeEnv,
 ) -> R<Vec<Vc>> {
+    vcg_spanned(prog, spec, anns, model, tenv, &SpanInfo::default())
+}
+
+/// [`vcg`] with statement-level source provenance: each generated VC gets
+/// the span of the statement its obligation comes from (loop VCs the loop
+/// statement, the main VC `spans.main`).
+///
+/// # Errors
+///
+/// Returns a [`VcgError`] on unsupported constructs, like [`vcg`].
+pub fn vcg_spanned(
+    prog: &Prog,
+    spec: &Spec,
+    anns: &[LoopAnn],
+    model: HeapModel,
+    tenv: &TypeEnv,
+    spans: &SpanInfo,
+) -> R<Vec<Vc>> {
     // Pointer-distinctness facts from the precondition prune
     // read-over-write conditionals during generation (keeping WP terms
     // linear for write-heavy code like Suzuki's challenge).
@@ -101,6 +139,7 @@ pub fn vcg(
         fresh: 0,
         side: Vec::new(),
         nes,
+        spans,
     };
     // Exceptions escaping the program are not allowed by default specs.
     let wp = w.wp(prog, &spec.post, RV, &Expr::ff())?;
@@ -108,6 +147,7 @@ pub fn vcg(
         name: "main".into(),
         goal: Expr::implies(spec.pre.clone(), wp),
         vars: HashMap::new(),
+        span: spans.main,
     }];
     out.extend(w.side);
     Ok(out)
@@ -122,6 +162,8 @@ struct Wp<'a> {
     side: Vec<Vc>,
     /// Variable pairs known distinct from the precondition.
     nes: Vec<(ir::Symbol, ir::Symbol)>,
+    /// Statement spans, indexed like `anns`.
+    spans: &'a SpanInfo,
 }
 
 /// Collects `Var ≠ Var` conjuncts of a precondition.
@@ -202,6 +244,8 @@ impl<'a> Wp<'a> {
                     return self.err("missing loop annotation");
                 };
                 let ann = ann.clone();
+                let loop_span = self.spans.loops.get(self.next_ann).copied();
+                let idx = self.next_ann;
                 self.next_ann += 1;
 
                 let pack = if vars.len() == 1 {
@@ -217,9 +261,10 @@ impl<'a> Wp<'a> {
                 let mut vc_vars: HashMap<String, Ty> =
                     ann.var_tys.iter().cloned().collect();
                 self.side.push(Vc {
-                    name: format!("loop {} exit", self.next_ann - 1),
+                    name: format!("loop {idx} exit"),
                     goal: exit_goal,
                     vars: vc_vars.clone(),
+                    span: loop_span,
                 });
 
                 // Body VC: inv ∧ cond (∧ measure = m₀) → wp(body, inv′ (∧ measure′ < m₀)).
@@ -255,9 +300,10 @@ impl<'a> Wp<'a> {
                 }
                 let body_wp = self.wp(body, &body_post, &rv_body, xpost)?;
                 self.side.push(Vc {
-                    name: format!("loop {} body", self.next_ann - 1),
+                    name: format!("loop {idx} body"),
                     goal: Expr::implies(hyp, body_wp),
                     vars: vc_vars,
+                    span: loop_span,
                 });
 
                 // WP of the loop itself: the invariant holds initially.

@@ -23,6 +23,14 @@ cargo test -q --workspace
 # asserts both; run it by name so a filtered workspace run can't skip it).
 cargo test -q --test incremental
 
+# Counterexample playback smoke: every checked-in counterexample seed must
+# still reproduce its recorded verdict through the release binary (the
+# same `--playback` path users run; tests/pipeline_fuzz.rs covers the
+# debug build).
+for seed in tests/corpus/cex-*.seed; do
+    ./target/release/autocorres --quiet --playback "$seed" > /dev/null
+done
+
 # Soundness audit (crates/audit): fault-injection against the kernel
 # checker plus the cross-layer differential oracle. The smoke runs by
 # default (small mutation budget, a few fuzz seeds, two worker counts);

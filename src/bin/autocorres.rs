@@ -13,8 +13,15 @@
 //!   --seed N                 RNG seed for testing-validated rules
 //!   --metrics                print Table 5-style size metrics and exit
 //!   --check                  replay all theorems through the proof checker
+//!   --playback SEED          replay a counterexample seed file and exit
 //!   --quiet                  suppress the banner
 //! ```
+//!
+//! With `--playback` no C file argument is taken: the seed embeds the
+//! source, spec, and falsifying input. The replay re-translates, re-runs,
+//! and prints the divergence trace; the exit code is nonzero when the
+//! recorded input no longer falsifies the spec (the regression is fixed or
+//! the pipeline drifted).
 
 use std::collections::BTreeSet;
 use std::process::ExitCode;
@@ -32,13 +39,15 @@ struct Cli {
     seed: u64,
     metrics: bool,
     check: bool,
+    playback: Option<String>,
     quiet: bool,
 }
 
 fn usage() -> &'static str {
     "usage: autocorres [--level l1|l2|hl|wa] [--fn NAME]... [--concrete NAME]...\n\
      \x20                 [--no-word-abs] [--word-abs NAME]... [--trials N] [--seed N]\n\
-     \x20                 [--metrics] [--check] [--quiet] FILE.c"
+     \x20                 [--metrics] [--check] [--quiet] FILE.c\n\
+     \x20      autocorres --playback SEED"
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -52,6 +61,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         seed: 2014,
         metrics: false,
         check: false,
+        playback: None,
         quiet: false,
     };
     let mut it = args.iter();
@@ -91,6 +101,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             }
             "--metrics" => cli.metrics = true,
             "--check" => cli.check = true,
+            "--playback" => cli.playback = Some(value("--playback")?),
             "--quiet" => cli.quiet = true,
             "--help" | "-h" => return Err(usage().to_owned()),
             f if f.starts_with('-') => return Err(format!("unknown flag `{f}`")),
@@ -102,10 +113,49 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             }
         }
     }
-    if cli.file.is_empty() {
+    if cli.playback.is_some() {
+        if !cli.file.is_empty() {
+            return Err("--playback takes no C file (the seed embeds the source)".into());
+        }
+    } else if cli.file.is_empty() {
         return Err(usage().to_owned());
     }
     Ok(cli)
+}
+
+/// Replays a counterexample seed file: prints the recorded input, the
+/// fresh divergence trace, and whether the verdict still holds.
+fn run_playback(path: &str, quiet: bool) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let pb = counterexample::playback(&text)?;
+    if !quiet {
+        eprintln!(
+            "replaying {path}: {} / {}",
+            pb.seed.function, pb.seed.vc
+        );
+    }
+    match &pb.cex {
+        Some(cex) => {
+            print!("{}", cex.trace);
+            if !pb.observed_matches {
+                println!(
+                    "playback: input still falsifies the spec, but the observed outcome \
+                     drifted (recorded {}, now {})",
+                    pb.seed.observed.render(),
+                    cex.observed.render()
+                );
+                print!("{}", pb.seed.describe_input());
+                return Err("observed outcome drifted".into());
+            }
+            println!("playback: verdict reproduced (still falsified)");
+            Ok(())
+        }
+        None => {
+            print!("{}", pb.seed.describe_input());
+            println!("playback: recorded input no longer falsifies the spec");
+            Err("verdict not reproduced".into())
+        }
+    }
 }
 
 fn print_ctx(ctx: &ProgramCtx, only: &[String]) -> Result<(), String> {
@@ -123,6 +173,9 @@ fn print_ctx(ctx: &ProgramCtx, only: &[String]) -> Result<(), String> {
 }
 
 fn run(cli: &Cli) -> Result<(), String> {
+    if let Some(path) = &cli.playback {
+        return run_playback(path, cli.quiet);
+    }
     let src = std::fs::read_to_string(&cli.file)
         .map_err(|e| format!("{}: {e}", cli.file))?;
     let opts = Options {

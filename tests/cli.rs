@@ -88,6 +88,49 @@ fn missing_function_filter_is_an_error() {
 }
 
 #[test]
+fn playback_replays_a_checked_in_counterexample_seed() {
+    let seed = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/corpus/cex-005.seed");
+    let out = bin().args(["--playback"]).arg(&seed).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("counterexample: badmax / main"), "{stdout}");
+    assert!(stdout.contains("verdict reproduced"), "{stdout}");
+}
+
+#[test]
+fn playback_rejects_a_fixed_program_with_nonzero_exit() {
+    // Take a checked-in seed and fix the bug in its embedded source: the
+    // recorded input must no longer falsify the spec, and playback must
+    // say so and exit nonzero.
+    let seed = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/corpus/cex-005.seed");
+    let text = std::fs::read_to_string(seed).unwrap();
+    let fixed = text.replace("return a;", "return b;").replace(
+        "return b;\n}",
+        "return a;\n}",
+    );
+    assert_ne!(fixed, text, "source rewrite must change the seed");
+    let path = write_temp("cli_fixed.seed", &fixed);
+    let out = bin().args(["--playback"]).arg(&path).output().unwrap();
+    assert!(!out.status.success(), "fixed program must not reproduce");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("no longer falsifies"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn playback_takes_no_c_file() {
+    let out = bin()
+        .args(["--playback", "x.seed", "y.c"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
 fn concrete_flag_keeps_function_at_byte_level() {
     let path = write_temp(
         "cli_conc.c",

@@ -1,0 +1,390 @@
+//! Negative-path end-to-end tests: deliberately wrong C programs whose
+//! refuted VCs must yield *validated* concrete counterexamples.
+//!
+//! Every case asserts the full tentpole contract: the extracted input
+//! genuinely falsifies the spec under concrete interpretation, the
+//! counterexample carries a statement-level span, and the seed artifact
+//! round-trips through serialization to an identical verdict.
+//!
+//! `regen_artifacts` (ignored by default) regenerates the checked-in
+//! `tests/corpus/cex-*.seed` files and the golden trace:
+//!
+//! ```text
+//! cargo test --test negative_path regen_artifacts -- --ignored
+//! ```
+
+use std::path::{Path, PathBuf};
+
+use autocorres::{translate, Options, Output};
+use counterexample::{analyze, playback, validate_input, Cex, FnSpec, Seed};
+use ir::expr::{BinOp, Expr};
+use ir::ty::Ty;
+use vcg::{LoopAnn, RV};
+
+fn u32w(n: &str) -> Ty {
+    let _ = n;
+    Ty::U32
+}
+
+/// One deliberately wrong program: name, C source, spec.
+struct WrongProgram {
+    name: &'static str,
+    src: &'static str,
+    spec: FnSpec,
+}
+
+/// Off-by-one loop bound: `i <= n` counts one past `n`.
+fn off_by_one() -> WrongProgram {
+    let src = "unsigned count(unsigned n) {\n\
+        unsigned i = 0u;\n\
+        while (i <= n) {\n\
+            i = i + 1u;\n\
+        }\n\
+        return i;\n\
+    }";
+    let n = || Expr::var("n");
+    let i = || Expr::var("i");
+    WrongProgram {
+        name: "count",
+        src,
+        spec: FnSpec {
+            pre: Expr::binop(BinOp::Lt, n(), Expr::u32(1000)),
+            post: Expr::eq(Expr::var(RV), n()),
+            anns: vec![LoopAnn {
+                inv: Expr::and(
+                    Expr::binop(
+                        BinOp::Le,
+                        i(),
+                        Expr::binop(BinOp::Add, n(), Expr::u32(1)),
+                    ),
+                    Expr::binop(BinOp::Lt, n(), Expr::u32(1000)),
+                ),
+                measure: None,
+                var_tys: vec![("i".into(), u32w("i")), ("n".into(), u32w("n"))],
+            }],
+        },
+    }
+}
+
+/// Signed overflow: `x + 1` is undefined at `INT_MAX` — the guard VC is
+/// refuted with the magic constant only the solver model can supply.
+fn signed_overflow() -> WrongProgram {
+    let src = "int inc(int x) {\n\
+        return x + 1;\n\
+    }";
+    WrongProgram {
+        name: "inc",
+        src,
+        spec: FnSpec {
+            pre: Expr::tt(),
+            post: Expr::tt(),
+            anns: vec![],
+        },
+    }
+}
+
+/// Bad heap walk: dereferences `p->next` without a NULL check.
+fn bad_heap_walk() -> WrongProgram {
+    let src = "struct node { unsigned data; struct node *next; };\n\
+        unsigned second(struct node *p) {\n\
+        return p->next->data;\n\
+    }";
+    WrongProgram {
+        name: "second",
+        src,
+        spec: FnSpec {
+            pre: Expr::is_valid(Ty::Struct("node".into()), Expr::var("p")),
+            post: Expr::tt(),
+            anns: vec![],
+        },
+    }
+}
+
+/// Wrong recursion base case: `fact(0)` returns 0, so `fact` is never
+/// `>= 1`. Recursion is outside the VCG fragment, exercising the
+/// execution-search fallback (VC name `exec`).
+fn wrong_base_case() -> WrongProgram {
+    let src = "unsigned fact(unsigned n) {\n\
+        if (n == 0u) {\n\
+            return 0u;\n\
+        }\n\
+        return n * fact(n - 1u);\n\
+    }";
+    WrongProgram {
+        name: "fact",
+        src,
+        spec: FnSpec {
+            pre: Expr::binop(BinOp::Lt, Expr::var("n"), Expr::u32(6)),
+            post: Expr::binop(BinOp::Le, Expr::u32(1), Expr::var(RV)),
+            anns: vec![],
+        },
+    }
+}
+
+/// Flipped comparison: returns the *minimum*.
+fn flipped_max() -> WrongProgram {
+    let src = "int badmax(int a, int b) {\n\
+        if (a < b) {\n\
+            return a;\n\
+        }\n\
+        return b;\n\
+    }";
+    WrongProgram {
+        name: "badmax",
+        src,
+        spec: FnSpec {
+            pre: Expr::tt(),
+            post: Expr::and(
+                Expr::binop(BinOp::Le, Expr::var("a"), Expr::var(RV)),
+                Expr::binop(BinOp::Le, Expr::var("b"), Expr::var(RV)),
+            ),
+            anns: vec![],
+        },
+    }
+}
+
+/// Wrong accumulator: the loop adds 2 per iteration but the spec claims
+/// the result equals `n`.
+fn double_counter() -> WrongProgram {
+    let src = "unsigned dbl(unsigned n) {\n\
+        unsigned r = 0u;\n\
+        unsigned i = 0u;\n\
+        while (i < n) {\n\
+            r = r + 2u;\n\
+            i = i + 1u;\n\
+        }\n\
+        return r;\n\
+    }";
+    let n = || Expr::var("n");
+    let i = || Expr::var("i");
+    let r = || Expr::var("r");
+    WrongProgram {
+        name: "dbl",
+        src,
+        spec: FnSpec {
+            pre: Expr::binop(BinOp::Lt, n(), Expr::u32(100)),
+            post: Expr::eq(Expr::var(RV), n()),
+            anns: vec![LoopAnn {
+                inv: Expr::and(
+                    Expr::eq(r(), Expr::binop(BinOp::Add, i(), i())),
+                    Expr::and(
+                        Expr::binop(BinOp::Le, i(), n()),
+                        Expr::binop(BinOp::Lt, n(), Expr::u32(100)),
+                    ),
+                ),
+                measure: None,
+                var_tys: vec![
+                    ("i".into(), u32w("i")),
+                    ("n".into(), u32w("n")),
+                    ("r".into(), u32w("r")),
+                ],
+            }],
+        },
+    }
+}
+
+fn all_programs() -> Vec<WrongProgram> {
+    vec![
+        off_by_one(),
+        signed_overflow(),
+        bad_heap_walk(),
+        wrong_base_case(),
+        flipped_max(),
+        double_counter(),
+    ]
+}
+
+/// Runs extraction for one wrong program and checks the full contract.
+fn check_program(p: &WrongProgram) -> (Output, Cex) {
+    let out = translate(p.src, &Options::default())
+        .unwrap_or_else(|e| panic!("{}: translate failed: {e}", p.name));
+    let analysis = analyze(&out, p.name, &p.spec)
+        .unwrap_or_else(|e| panic!("{}: analyze failed: {e}", p.name));
+    let cex = analysis
+        .first_cex()
+        .unwrap_or_else(|| panic!("{}: no counterexample extracted", p.name))
+        .clone();
+
+    // (a) The payload is marked validated and the input actually
+    // falsifies the spec when re-run through the interpreter.
+    assert!(cex.info.validated, "{}: unvalidated counterexample", p.name);
+    let conc0 = cex
+        .input_state(&out.simpl.tenv)
+        .unwrap_or_else(|e| panic!("{}: input state broken: {e}", p.name));
+    assert!(
+        validate_input(
+            &out,
+            p.name,
+            &p.spec,
+            &cex.info.vc,
+            cex.info.span,
+            &cex.args,
+            &conc0
+        )
+        .is_some(),
+        "{}: extracted input does not falsify the spec on replay",
+        p.name
+    );
+
+    // (c) Statement-level span: present, and not the degenerate 1:1
+    // function-header position.
+    let span = cex
+        .info
+        .span
+        .unwrap_or_else(|| panic!("{}: counterexample has no span", p.name));
+    assert!(
+        span.line > 1,
+        "{}: span {span} points at the function header, not a statement",
+        p.name
+    );
+
+    // The diagnostic carries the structured payload.
+    let diag = cex.diag();
+    assert!(
+        diag.counterexample.is_some(),
+        "{}: diag lost the payload",
+        p.name
+    );
+
+    // (b) Seed round-trip: render → parse → playback gives the identical
+    // verdict and observed outcome.
+    let seed = Seed::from_cex(&cex, &p.spec, p.src);
+    let reparsed = Seed::parse(&seed.render())
+        .unwrap_or_else(|e| panic!("{}: seed does not reparse: {e}", p.name));
+    assert_eq!(reparsed.function, p.name);
+    assert_eq!(reparsed.observed, cex.observed, "{}", p.name);
+    let pb = playback(&seed.render())
+        .unwrap_or_else(|e| panic!("{}: playback failed: {e}", p.name));
+    assert!(
+        pb.verdict_matches,
+        "{}: playback verdict drifted:\n{}",
+        p.name,
+        pb.seed.describe_input()
+    );
+    assert!(
+        pb.observed_matches,
+        "{}: playback observed outcome drifted:\n{}",
+        p.name,
+        pb.seed.describe_input()
+    );
+
+    (out, cex)
+}
+
+#[test]
+fn off_by_one_loop_bound_yields_counterexample() {
+    let p = off_by_one();
+    let (_, cex) = check_program(&p);
+    // The refuted obligation is a loop VC, not the main path.
+    assert!(cex.info.vc.starts_with("loop"), "vc = {}", cex.info.vc);
+}
+
+#[test]
+fn signed_overflow_yields_magic_constant() {
+    let p = signed_overflow();
+    let (_, cex) = check_program(&p);
+    // Only x = INT_MAX overflows; grid and random search never try it, so
+    // the value must have come from the solver model.
+    let x = cex
+        .info
+        .model
+        .iter()
+        .find(|(n, _)| n == "x")
+        .map(|(_, v)| v.clone())
+        .expect("x in assignment");
+    assert_eq!(
+        x,
+        ir::value::Value::i32(i32::MAX),
+        "expected the INT_MAX magic constant"
+    );
+    assert_eq!(cex.observed, counterexample::Observed::Fault);
+}
+
+#[test]
+fn bad_heap_walk_yields_faulting_heap() {
+    let p = bad_heap_walk();
+    let (_, cex) = check_program(&p);
+    // The falsifying input is a genuine heap shape: p valid (pre) but the
+    // walk faults, and the cells are recorded in the payload.
+    assert_eq!(cex.observed, counterexample::Observed::Fault);
+    assert!(
+        !cex.info.heap.is_empty(),
+        "heap-walk counterexample should carry heap cells"
+    );
+}
+
+#[test]
+fn wrong_recursion_base_case_yields_counterexample() {
+    let p = wrong_base_case();
+    let (_, cex) = check_program(&p);
+    // Recursion falls back to the execution search.
+    assert_eq!(cex.info.vc, "exec");
+    // Only n = 0 exposes the wrong base case directly.
+    assert_eq!(cex.args, vec![ir::value::Value::u32(0)]);
+}
+
+#[test]
+fn flipped_max_yields_counterexample() {
+    let p = flipped_max();
+    let (_, cex) = check_program(&p);
+    assert_eq!(cex.info.vc, "main");
+}
+
+#[test]
+fn wrong_loop_accumulator_yields_counterexample() {
+    let p = double_counter();
+    let (_, cex) = check_program(&p);
+    assert!(cex.info.vc.starts_with("loop"), "vc = {}", cex.info.vc);
+}
+
+#[test]
+fn every_program_in_suite_is_refutable() {
+    // The suite invariant the corpus regeneration relies on: all six
+    // programs extract, none is accidentally correct.
+    assert_eq!(all_programs().len(), 6);
+}
+
+fn repo_path(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+/// Regenerates the checked-in seed corpus and the golden trace. Run with
+/// `--ignored` after an intentional format or extraction change.
+#[test]
+#[ignore = "writes tests/corpus and tests/golden artifacts"]
+fn regen_artifacts() {
+    for (k, p) in all_programs().iter().enumerate() {
+        let (_, cex) = check_program(p);
+        let seed = Seed::from_cex(&cex, &p.spec, p.src);
+        let path = repo_path(&format!("tests/corpus/cex-{:03}.seed", k + 1));
+        std::fs::write(&path, seed.render()).unwrap();
+        eprintln!("wrote {}", path.display());
+    }
+    let p = flipped_max();
+    let (_, cex) = check_program(&p);
+    let path = repo_path("tests/golden/cex_trace.txt");
+    std::fs::write(&path, &cex.trace).unwrap();
+    eprintln!("wrote {}", path.display());
+}
+
+/// The golden divergence trace is byte-identical across pipeline worker
+/// counts (determinism of extraction, search, and rendering).
+#[test]
+fn golden_trace_is_worker_count_independent() {
+    let p = flipped_max();
+    let golden = std::fs::read_to_string(repo_path("tests/golden/cex_trace.txt"))
+        .expect("tests/golden/cex_trace.txt exists (regen with --ignored regen_artifacts)");
+    for workers in [1usize, 2, 4] {
+        let opts = Options {
+            workers,
+            ..Options::default()
+        };
+        let out = translate(p.src, &opts).unwrap();
+        let analysis = analyze(&out, p.name, &p.spec).unwrap();
+        let cex = analysis.first_cex().expect("refuted");
+        assert_eq!(
+            cex.trace, golden,
+            "trace drifted from golden at workers = {workers}"
+        );
+    }
+}

@@ -15,7 +15,16 @@ use autocorres::{translate, Options};
 /// Every corpus entry, replayed by the named tests below.
 /// `corpus_dir_matches_replayed_names` fails if this list and the
 /// `tests/corpus` directory drift apart.
-const CORPUS: &[&str] = &["seed-001", "seed-002", "seed-003", "seed-004", "seed-005"];
+///
+/// Two kinds of entry share the directory: `seed-*` files name a fuzz
+/// configuration (generator seed + function count) to re-run through the
+/// whole pipeline, and `cex-*` files are counterexample seeds
+/// (`format = cex-v1`) replayed through concrete playback — each one a
+/// verification failure checked in as a regression test.
+const CORPUS: &[&str] = &[
+    "cex-001", "cex-002", "cex-003", "cex-004", "cex-005", "cex-006", "seed-001", "seed-002",
+    "seed-003", "seed-004", "seed-005",
+];
 
 fn corpus_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
@@ -51,6 +60,30 @@ fn load_entry(name: &str) -> SeedEntry {
         seed: seed.unwrap_or_else(|| panic!("{name}.seed: missing `seed`")),
         functions: functions.unwrap_or_else(|| panic!("{name}.seed: missing `functions`")),
     }
+}
+
+/// Replays a counterexample seed (`format = cex-v1`): re-translates the
+/// embedded C source, rebuilds the recorded input state, re-runs the
+/// function, and re-checks that the input still falsifies the spec with
+/// the same observed outcome. On mismatch the concrete input state is
+/// printed so the failure can be reproduced by hand.
+fn replay_cex(name: &str) {
+    let path = corpus_dir().join(format!("{name}.seed"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("corpus entry {} unreadable: {e}", path.display()));
+    let pb = counterexample::playback(&text)
+        .unwrap_or_else(|e| panic!("corpus {name}: playback failed: {e}"));
+    assert!(
+        pb.verdict_matches,
+        "corpus {name}: recorded input no longer falsifies the spec\n{}",
+        pb.seed.describe_input()
+    );
+    assert!(
+        pb.observed_matches,
+        "corpus {name}: observed outcome drifted (recorded {})\n{}",
+        pb.seed.observed.render(),
+        pb.seed.describe_input()
+    );
 }
 
 /// Replays one corpus entry by name. Panics with the generated C source on
@@ -116,6 +149,36 @@ fn corpus_dir_matches_replayed_names() {
 #[test]
 fn corpus_seed_001() {
     replay("seed-001");
+}
+
+#[test]
+fn corpus_cex_001() {
+    replay_cex("cex-001");
+}
+
+#[test]
+fn corpus_cex_002() {
+    replay_cex("cex-002");
+}
+
+#[test]
+fn corpus_cex_003() {
+    replay_cex("cex-003");
+}
+
+#[test]
+fn corpus_cex_004() {
+    replay_cex("cex-004");
+}
+
+#[test]
+fn corpus_cex_005() {
+    replay_cex("cex-005");
+}
+
+#[test]
+fn corpus_cex_006() {
+    replay_cex("cex-006");
 }
 
 #[test]
