@@ -3,12 +3,27 @@
 //! Each pipeline phase implements the [`Phase`] trait — a name, a static
 //! dependency shape ([`Dep`]), a content digest of everything its
 //! per-function job consumes, and the job itself. The driver
-//! ([`run_phases`]) expands the phase list into one node per
-//! `(phase, function)` pair plus one barrier node per phase, wires the
-//! edges from the declared [`DepScope`]s, and hands the whole graph to the
-//! generic [`crate::schedule::run_dag`] scheduler. No phase owns its own
-//! scheduling code: adding a phase means adding a `Phase` impl and listing
-//! it in [`PHASES`].
+//! ([`run_phases`]) groups the functions into cost-balanced *batches*
+//! (contiguous slices of a deterministic topological order of the call
+//! graph, sized from the Simpl term sizes so each phase yields about
+//! `workers × 4` scheduled units), expands the phase list into one node
+//! per `(phase, batch)` pair plus one barrier node per phase, wires the
+//! edges from the declared [`DepScope`]s, and hands the whole graph to
+//! the generic [`crate::schedule::run_dag_tagged`] work-stealing
+//! scheduler. There is no barrier between phases: a batch's L2 node runs
+//! the moment its own dependencies finish, even while other batches are
+//! still in L1. No phase owns its own scheduling code: adding a phase
+//! means adding a `Phase` impl and listing it in [`PHASES`].
+//!
+//! Batching is pure scheduling: results still land in per-`(phase,
+//! function)` slots, cache hits are still counted per function, and error
+//! selection still follows the fixed per-phase orders — so output bytes
+//! are identical at every worker count and batch shape. The partition is
+//! safe by construction: within the topological order every callee sits
+//! in the same batch or an earlier one, and a batch executes its own
+//! functions in that order, so `Callees` edges never point forward
+//! (recursion cycles excepted — the scheduler breaks those
+//! deterministically, exactly as the per-function graph did).
 //!
 //! # Content-addressed incremental recomputation
 //!
@@ -42,7 +57,7 @@ use monadic::{MonadicFn, Prog, ProgramCtx};
 use simpl::stmt::{SimplProgram, SimplStmt};
 
 use crate::pipeline::{derive_seed, Options, Output, PhaseTheorems};
-use crate::schedule::{run_dag, PoolStats};
+use crate::schedule::{plan_workers, run_dag_tagged, topo_order, PoolStats, TASKS_PER_WORKER};
 use crate::stats::{PhaseStat, PipelineStats};
 
 /// Which nodes of a dependency phase a node waits for.
@@ -143,7 +158,7 @@ impl Failure {
     }
 }
 
-type NodeResult = Result<Option<Arc<PhaseArtifact>>, Failure>;
+type NodeResult = Result<Arc<PhaseArtifact>, Failure>;
 
 /// A pipeline phase: one node per function, scheduled generically.
 pub trait Phase: Sync {
@@ -254,6 +269,9 @@ struct PhaseClock {
     end: AtomicU64,
     /// Nodes answered from the artifact store.
     cached: AtomicUsize,
+    /// Batch nodes of this phase executed by a worker other than the one
+    /// that made them ready.
+    steals: AtomicU64,
 }
 
 impl Default for PhaseClock {
@@ -263,6 +281,7 @@ impl Default for PhaseClock {
             start: AtomicU64::new(u64::MAX),
             end: AtomicU64::new(0),
             cached: AtomicUsize::new(0),
+            steals: AtomicU64::new(0),
         }
     }
 }
@@ -404,9 +423,9 @@ impl<'a> PhaseCx<'a> {
                 f.ret_ty.hash(h);
             }
         });
-        let n_nodes = PHASES.len() * (names.len() + 1);
-        let mut slots = Vec::with_capacity(n_nodes);
-        slots.resize_with(n_nodes, OnceLock::new);
+        let n_slots = PHASES.len() * names.len();
+        let mut slots = Vec::with_capacity(n_slots);
+        slots.resize_with(n_slots, OnceLock::new);
         let mut dirty = Vec::with_capacity(names.len());
         dirty.resize_with(names.len(), || AtomicUsize::new(0));
         let mut clocks = Vec::with_capacity(PHASES.len());
@@ -436,17 +455,16 @@ impl<'a> PhaseCx<'a> {
         }
     }
 
-    fn node_id(&self, phase: usize, f: usize) -> usize {
-        phase * (self.names.len() + 1) + f
+    fn slot_id(&self, phase: usize, f: usize) -> usize {
+        phase * self.names.len() + f
     }
 
     /// The finished artifact of `(phase, f)` — panics if scheduling let us
     /// read it before its node ran (a driver bug, not a user error).
     fn artifact(&self, phase: &str, f: usize) -> Result<Arc<PhaseArtifact>, Failure> {
-        let id = self.node_id(phase_index(phase), f);
+        let id = self.slot_id(phase_index(phase), f);
         match self.slots[id].get().expect("dependency node finished") {
-            Ok(Some(a)) => Ok(Arc::clone(a)),
-            Ok(None) => unreachable!("barrier nodes carry no artifact"),
+            Ok(a) => Ok(Arc::clone(a)),
             Err(e) => Err(e.inherit()),
         }
     }
@@ -941,49 +959,147 @@ impl ArtifactStore {
 
 // ---- the generic driver -----------------------------------------------------
 
-/// Expands [`PHASES`] into the per-function node graph (with one barrier
+/// The function batches one pipeline run schedules: contiguous slices of
+/// a deterministic topological order of the call graph, cut so each batch
+/// carries roughly `total cost / batch count` Simpl term-size units.
+/// Shared by every phase, so `SameFn` edges map batch `k` to batch `k`
+/// and — callees preceding callers in the order — `Callees` edges only
+/// ever reach the same or an earlier batch (recursion cycles excepted).
+pub(crate) struct BatchPlan {
+    /// Function indices per batch, each in intra-batch execution order.
+    batches: Vec<Vec<usize>>,
+    /// Inverse map: `batch_of[f]` is the batch holding function `f`.
+    batch_of: Vec<usize>,
+    /// Summed Simpl term size over all functions — the pool-sizing
+    /// estimate fed to [`plan_workers`] (per phase; multiply by the phase
+    /// count for the whole graph).
+    pub cost: u64,
+}
+
+impl BatchPlan {
+    /// Cuts the call-graph topological order into at most
+    /// `workers × TASKS_PER_WORKER` cost-balanced contiguous batches.
+    pub(crate) fn new(cx: &PhaseCx<'_>, workers: usize) -> BatchPlan {
+        let n = cx.names.len();
+        let costs: Vec<u64> = cx
+            .names
+            .iter()
+            .map(|name| cx.sp.fns[name].body.term_size() as u64 + 1)
+            .collect();
+        let cost: u64 = costs.iter().sum();
+        let order = topo_order(&cx.callees);
+        let max_batches = (workers * TASKS_PER_WORKER).clamp(1, n.max(1));
+        let target = cost.div_ceil(max_batches as u64).max(1);
+        let mut batches: Vec<Vec<usize>> = Vec::with_capacity(max_batches);
+        let mut cur: Vec<usize> = Vec::new();
+        let mut acc = 0u64;
+        for &i in &order {
+            cur.push(i);
+            acc += costs[i];
+            if acc >= target && batches.len() + 1 < max_batches {
+                batches.push(std::mem::take(&mut cur));
+                acc = 0;
+            }
+        }
+        if !cur.is_empty() {
+            batches.push(cur);
+        }
+        let mut batch_of = vec![0usize; n];
+        for (k, b) in batches.iter().enumerate() {
+            for &i in b {
+                batch_of[i] = k;
+            }
+        }
+        BatchPlan {
+            batches,
+            batch_of,
+            cost,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.batches.len()
+    }
+}
+
+/// Expands [`PHASES`] into the per-batch node graph (with one barrier
 /// node per phase encoding `AllFns` edges linearly) and executes it on
-/// [`run_dag`]. Results land in `cx`'s slots; per-phase clocks and cache
-/// counters accumulate in `cx`.
-pub(crate) fn run_phases(cx: &PhaseCx<'_>, store: &ArtifactStore, workers: usize) -> PoolStats {
-    let n = cx.names.len();
-    let stride = n + 1;
+/// the work-stealing [`run_dag_tagged`] scheduler. Results land in `cx`'s
+/// per-function slots; per-phase clocks, cache and steal counters
+/// accumulate in `cx`.
+pub(crate) fn run_phases(
+    cx: &PhaseCx<'_>,
+    store: &ArtifactStore,
+    plan: &BatchPlan,
+    workers: usize,
+) -> PoolStats {
+    let nb = plan.len();
+    if nb == 0 {
+        return PoolStats {
+            requested: workers.max(1),
+            workers: 1,
+            ..PoolStats::default()
+        };
+    }
+    let stride = nb + 1;
     let n_nodes = PHASES.len() * stride;
-    let mut deps: Vec<Vec<usize>> = vec![Vec::new(); n_nodes];
+    let mut deps: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n_nodes];
     for (p, phase) in PHASES.iter().enumerate() {
-        // Barrier: waits for every node of its phase.
-        deps[p * stride + n] = (0..n).map(|i| p * stride + i).collect();
+        // Barrier: waits for every batch of its phase.
+        deps[p * stride + nb].extend((0..nb).map(|k| p * stride + k));
         for d in phase.deps() {
             let q = phase_index(d.phase);
-            for i in 0..n {
-                let node = p * stride + i;
+            for k in 0..nb {
+                let node = p * stride + k;
                 match d.scope {
-                    DepScope::SameFn => deps[node].push(q * stride + i),
-                    DepScope::AllFns => deps[node].push(q * stride + n),
+                    DepScope::SameFn => {
+                        // The partition is shared across phases, so the
+                        // same function lives in the same batch there.
+                        deps[node].insert(q * stride + k);
+                    }
+                    DepScope::AllFns => {
+                        deps[node].insert(q * stride + nb);
+                    }
                     DepScope::Callees => {
-                        deps[node].extend(cx.callees[i].iter().map(|&c| q * stride + c));
+                        for &i in &plan.batches[k] {
+                            for &c in &cx.callees[i] {
+                                deps[node].insert(q * stride + plan.batch_of[c]);
+                            }
+                        }
                     }
                 }
             }
         }
     }
-    let (_, pool) = run_dag(n_nodes, &deps, workers, |node| {
-        let (p, i) = (node / stride, node % stride);
-        if i == n {
+    let deps: Vec<Vec<usize>> = deps
+        .into_iter()
+        .map(|s| s.into_iter().collect())
+        .collect();
+    let (_, pool) = run_dag_tagged(n_nodes, &deps, workers, |node, stolen| {
+        let (p, k) = (node / stride, node % stride);
+        if k == nb {
             // Barriers do no work.
-            let _ = cx.slots[node].set(Ok(None));
             return;
         }
-        let t0 = Instant::now();
-        let started = cx.epoch.elapsed().as_nanos() as u64;
-        let result = exec_node(cx, store, p, i);
         let clock = &cx.clocks[p];
-        clock.busy.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        clock.start.fetch_min(started, Ordering::Relaxed);
-        clock
-            .end
-            .fetch_max(cx.epoch.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        let _ = cx.slots[node].set(result);
+        if stolen {
+            clock.steals.fetch_add(1, Ordering::Relaxed);
+        }
+        // Intra-batch order is the topological order, so a callee in the
+        // same batch always runs before its caller.
+        for &i in &plan.batches[k] {
+            let t0 = Instant::now();
+            let started = cx.epoch.elapsed().as_nanos() as u64;
+            let result = exec_node(cx, store, p, i);
+            clock
+                .busy
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            clock.start.fetch_min(started, Ordering::Relaxed);
+            clock
+                .end
+                .fetch_max(cx.epoch.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            let _ = cx.slots[cx.slot_id(p, i)].set(result);
+        }
     });
     pool
 }
@@ -994,25 +1110,39 @@ fn exec_node(cx: &PhaseCx<'_>, store: &ArtifactStore, p: usize, i: usize) -> Nod
     let name = &cx.names[i];
     if let Some(hit) = store.get(phase.name(), name, digest) {
         cx.clocks[p].cached.fetch_add(1, Ordering::Relaxed);
-        return Ok(Some(hit));
+        return Ok(hit);
     }
     cx.dirty[i].store(1, Ordering::Relaxed);
     let value = phase.run(cx, i)?;
     let artifact = Arc::new(PhaseArtifact { digest, value });
     store.put(phase.name(), name, Arc::clone(&artifact));
-    Ok(Some(artifact))
+    Ok(artifact)
 }
 
 // ---- assembly ---------------------------------------------------------------
+
+/// One phase's clock snapshot after the graph ran.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ClockSnap {
+    /// Summed per-function job time, nanoseconds.
+    pub busy: u64,
+    /// Earliest job start, nanoseconds since the graph epoch.
+    pub start: u64,
+    /// Latest job end, nanoseconds since the graph epoch.
+    pub end: u64,
+    /// Per-function jobs answered from the artifact store.
+    pub cached: usize,
+    /// Batch nodes of the phase executed by a thief worker.
+    pub steals: u64,
+}
 
 /// Per-phase outcome summary used by the pipeline to build the output and
 /// the stats.
 pub(crate) struct GraphRun {
     /// First root failure in phase order, if any.
     pub error: Option<Diag>,
-    /// Per-phase `(busy, wall-start, wall-end, cached)` clock snapshots,
-    /// indexed like [`PHASES`].
-    pub clocks: Vec<(u64, u64, u64, usize)>,
+    /// Per-phase clock snapshots, indexed like [`PHASES`].
+    pub clocks: Vec<ClockSnap>,
     /// Functions with at least one recomputed (non-cached) node.
     pub dirty_fns: usize,
     /// Total nodes answered from the artifact store.
@@ -1022,7 +1152,6 @@ pub(crate) struct GraphRun {
 /// Collects errors/clock data after [`run_phases`] finished.
 pub(crate) fn graph_outcome(cx: &PhaseCx<'_>) -> GraphRun {
     let n = cx.names.len();
-    let stride = n + 1;
     // Error selection mirrors the old strictly-phased pipeline: the first
     // failing function of the earliest failing phase, in that phase's
     // fixed iteration order (source order for the L2 phases, name order
@@ -1039,7 +1168,7 @@ pub(crate) fn graph_outcome(cx: &PhaseCx<'_>) -> GraphRun {
             (0..n).collect()
         };
         for i in order {
-            if let Some(Err(f)) = cx.slots[p * stride + i].get() {
+            if let Some(Err(f)) = cx.slots[p * n + i].get() {
                 if f.root {
                     error = Some(f.diag.clone());
                     break;
@@ -1054,17 +1183,18 @@ pub(crate) fn graph_outcome(cx: &PhaseCx<'_>) -> GraphRun {
         }
     }
     let error = error.or(fallback);
-    let clocks: Vec<(u64, u64, u64, usize)> = cx
+    let clocks: Vec<ClockSnap> = cx
         .clocks
         .iter()
         .map(|c| {
             let start = c.start.load(Ordering::Relaxed);
-            (
-                c.busy.load(Ordering::Relaxed),
-                if start == u64::MAX { 0 } else { start },
-                c.end.load(Ordering::Relaxed),
-                c.cached.load(Ordering::Relaxed),
-            )
+            ClockSnap {
+                busy: c.busy.load(Ordering::Relaxed),
+                start: if start == u64::MAX { 0 } else { start },
+                end: c.end.load(Ordering::Relaxed),
+                cached: c.cached.load(Ordering::Relaxed),
+                steals: c.steals.load(Ordering::Relaxed),
+            }
         })
         .collect();
     let dirty_fns = cx
@@ -1097,22 +1227,39 @@ pub(crate) fn run_pipeline(
     store: &ArtifactStore,
 ) -> Result<Output, Diag> {
     let total_start = Instant::now();
-    let workers = opts.workers.max(1);
+    let requested = opts.workers.max(1);
 
     // Parse (trusted, sequential, never cached — the frontend is cheap
     // relative to the proof-producing phases).
     let parse_start = Instant::now();
     let sp = simpl::translate_program(typed)?;
     let parse_pool = PoolStats {
+        requested: 1,
         workers: 1,
         busy: parse_start.elapsed(),
         wall: parse_start.elapsed(),
+        steals: 0,
+        tasks: 1,
     };
     let mut phases: Vec<PhaseStat> =
         vec![PhaseStat::from_pool("parse", parse_pool, sp.fns.len(), 0, 0)];
 
     let cx = PhaseCx::new(typed, &sp, opts);
-    run_phases(&cx, store, workers);
+    // Size the pool from the estimated work (term sizes × phase count),
+    // then cut the batches for the width actually granted.
+    let plan = BatchPlan::new(&cx, requested);
+    let workers = plan_workers(
+        requested,
+        plan.cost.saturating_mul(PHASES.len() as u64),
+        opts.force_pool,
+    );
+    let plan = if workers == requested {
+        plan
+    } else {
+        BatchPlan::new(&cx, workers)
+    };
+    let graph_pool = run_phases(&cx, store, &plan, workers);
+    let workers = graph_pool.workers;
     let outcome = graph_outcome(&cx);
     if let Some(d) = outcome.error {
         return Err(d);
@@ -1170,10 +1317,14 @@ pub(crate) fn run_pipeline(
 
     // Per-phase stats from the node clocks; `l2`/`l2thm` merge into the
     // single legacy `l2` entry so the deterministic summary is unchanged.
-    let pool = |(busy, start, end, _): (u64, u64, u64, usize)| PoolStats {
+    let batches = plan.len();
+    let pool = |c: ClockSnap| PoolStats {
+        requested,
         workers,
-        busy: Duration::from_nanos(busy),
-        wall: Duration::from_nanos(end.saturating_sub(start)),
+        busy: Duration::from_nanos(c.busy),
+        wall: Duration::from_nanos(c.end.saturating_sub(c.start)),
+        steals: c.steals,
+        tasks: batches,
     };
     let mk = |name, pool: PoolStats, fns, thms: &[(String, Thm)], cached| {
         let proof_nodes = thms.iter().map(|(_, t)| t.proof_size()).sum();
@@ -1183,16 +1334,27 @@ pub(crate) fn run_pipeline(
         }
     };
     let c = &outcome.clocks;
-    phases.push(mk("l1", pool(c[0]), n, &l1_thms, c[0].3));
+    phases.push(mk("l1", pool(c[0]), n, &l1_thms, c[0].cached));
     let l2_pool = PoolStats {
+        requested,
         workers,
-        busy: Duration::from_nanos(c[1].0 + c[2].0),
-        wall: Duration::from_nanos(c[1].2.max(c[2].2).saturating_sub(c[1].1.min(c[2].1))),
+        busy: Duration::from_nanos(c[1].busy + c[2].busy),
+        wall: Duration::from_nanos(
+            c[1].end.max(c[2].end).saturating_sub(c[1].start.min(c[2].start)),
+        ),
+        steals: c[1].steals + c[2].steals,
+        tasks: batches * 2,
     };
-    phases.push(mk("l2", l2_pool, n, &l2_thms, c[1].3 + c[2].3));
-    phases.push(mk("hl", pool(c[3]), n, &hl_thms, c[3].3));
-    phases.push(mk("wa", pool(c[4]), n, &wa_thms, c[4].3));
-    phases.push(mk("adapt", pool(c[5]), adapt_thms.len(), &adapt_thms, c[5].3));
+    phases.push(mk("l2", l2_pool, n, &l2_thms, c[1].cached + c[2].cached));
+    phases.push(mk("hl", pool(c[3]), n, &hl_thms, c[3].cached));
+    phases.push(mk("wa", pool(c[4]), n, &wa_thms, c[4].cached));
+    phases.push(mk(
+        "adapt",
+        pool(c[5]),
+        adapt_thms.len(),
+        &adapt_thms,
+        c[5].cached,
+    ));
     wa_thms.extend(adapt_thms);
 
     let thms = PhaseTheorems {
@@ -1203,6 +1365,7 @@ pub(crate) fn run_pipeline(
     };
     let mut stats = PipelineStats {
         workers,
+        requested_workers: requested,
         phases,
         total_wall: total_start.elapsed(),
         dirty_fns: outcome.dirty_fns,

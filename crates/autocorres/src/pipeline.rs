@@ -13,9 +13,14 @@
 //! # Parallelism and determinism
 //!
 //! Within the graph, functions are independent (L1/L2/HL) or ordered by
-//! the call graph (WA and caller adaptation). [`Options::workers`] picks
-//! the pool width; `0`/`1` runs everything inline on the calling thread.
-//! All schedules execute the *same* per-function jobs with per-function
+//! the call graph (WA and caller adaptation). [`Options::workers`] asks
+//! for a pool width; [`crate::schedule::plan_workers`] grants at most the
+//! host CPU count (and `1` when the estimated work would not amortize a
+//! pool), and the granted width drives a work-stealing scheduler over the
+//! whole phase graph with functions grouped into cost-balanced batches
+//! (see [`crate::phase`]). `0`/`1` runs everything inline on the calling
+//! thread. All schedules execute the *same* per-function jobs with
+//! per-function
 //! RNG streams derived by [`derive_seed`] from `(seed, fn_name)`, and
 //! results are collected in fixed name/source order — so for a fixed seed
 //! the output (specs, theorem statements, guards, metrics) is
@@ -48,9 +53,19 @@ pub struct Options {
     /// RNG seed for the testing-validated rules.
     pub seed: u64,
     /// Worker threads for the per-function phases and theorem replay
-    /// (`0` or `1` = run inline on the calling thread). Output is
-    /// byte-identical at every worker count.
+    /// (`0` or `1` = run inline on the calling thread). This is a
+    /// *request*: [`crate::schedule::plan_workers`] may grant fewer —
+    /// never more than the host has CPUs, and `1` when the estimated
+    /// work is too small to amortize a pool. Output is byte-identical at
+    /// every worker count, requested or granted.
     pub workers: usize,
+    /// Bypass the adaptive sizing policy and run the pool at exactly
+    /// `workers` threads, even on a single-CPU host (where the policy
+    /// would otherwise always run inline). For tests and benches that
+    /// must exercise the parallel machinery — including deliberate
+    /// oversubscription; never needed in normal use. Like `workers`,
+    /// never affects output bytes.
+    pub force_pool: bool,
 }
 
 impl fmt::Debug for Options {
@@ -62,6 +77,7 @@ impl fmt::Debug for Options {
             .field("l2_trials", &self.l2_trials)
             .field("seed", &self.seed)
             .field("workers", &self.workers)
+            .field("force_pool", &self.force_pool)
             .finish()
     }
 }

@@ -1,56 +1,131 @@
-//! The work-scheduling layer: std-only scoped-thread pools for the
+//! The work-scheduling layer: a std-only work-stealing pool for the
 //! per-function pipeline phases.
 //!
-//! Two primitives:
+//! Three primitives:
 //!
-//! * [`par_map`] — an order-preserving parallel map for phases whose
-//!   per-function jobs are independent (L1, L2, HL, the adaptation tests).
-//! * [`run_dag`] — a dependency-respecting scheduler for phases where a
-//!   function's job must not start before its callees' jobs finish (the WA
-//!   phase, whose call-graph ordering `adapt_concrete_callers` and mixed
-//!   level calls induce).
+//! * [`par_map`] — an order-preserving parallel map for independent jobs
+//!   (theorem replay, ad-hoc fan-out). Items are claimed in contiguous
+//!   chunks so the shared counter is touched O(workers) times, not O(items).
+//! * [`run_dag`] / [`run_dag_tagged`] — a dependency-respecting scheduler.
+//!   With `workers <= 1` it runs a deterministic lowest-index topological
+//!   order inline on the calling thread — zero pool setup. With more
+//!   workers it runs a *work-stealing* pool: each worker owns a deque,
+//!   pushes the nodes it unblocks onto its own deque (LIFO, cache-warm),
+//!   and steals from the front of a victim's deque (FIFO, oldest first)
+//!   only when its own runs dry. There is no barrier anywhere: a node runs
+//!   the moment its last dependency finishes, whichever phase it belongs
+//!   to.
+//! * [`plan_workers`] — the adaptive sizing policy: how many workers a
+//!   given amount of estimated work actually deserves on this host
+//!   (1 on single-CPU hosts, never more than the host has cores, fewer
+//!   when the work is too small to amortize a pool).
 //!
-//! Both run jobs inline on the caller's thread when `workers <= 1`, so the
-//! sequential pipeline and the parallel pipeline execute the *same*
-//! closures — byte-identical output is then a property of the closures
-//! (per-function seeds, name-keyed result collection), not of scheduling
-//! luck. Both report [`PoolStats`] for the utilization numbers in
+//! Sequential and parallel schedules execute the *same* closures —
+//! byte-identical output is a property of the closures (per-function
+//! seeds, name/slot-keyed result collection), not of scheduling luck. Both
+//! report [`PoolStats`] for the utilization numbers in
 //! [`crate::stats::PipelineStats`].
 
-use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-/// Worker-pool occupancy of one phase.
+/// Worker-pool occupancy of one scheduled graph (or map).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct PoolStats {
-    /// Workers the phase ran with.
+    /// Workers the caller asked for.
+    pub requested: usize,
+    /// Workers the pool actually ran with (after [`plan_workers`] and
+    /// clamping to the job count). `1` means the inline fast path: no
+    /// threads were spawned at all.
     pub workers: usize,
     /// Sum of per-worker busy time.
     pub busy: Duration,
-    /// Wall-clock time of the phase.
+    /// Wall-clock time of the run.
     pub wall: Duration,
+    /// Tasks executed by a worker other than the one that made them ready.
+    pub steals: u64,
+    /// Scheduled units (batch nodes for the pipeline graph, chunks for
+    /// [`par_map`]).
+    pub tasks: usize,
 }
 
 impl PoolStats {
-    /// Fraction of worker capacity spent busy, in `[0, 1]`.
+    /// Raw busy time over capacity (`wall × effective workers`).
+    ///
+    /// Deliberately *not* clamped to `[0, 1]`: a value above `1.0` means
+    /// the reported worker count is wrong (more concurrency happened than
+    /// the pool admits to), and a value far below `1.0` at a high worker
+    /// count means the pool was oversubscribed or starved. Both are
+    /// pathologies worth seeing, not clamping away.
     #[must_use]
     pub fn utilization(&self) -> f64 {
         let capacity = self.wall.as_secs_f64() * self.workers.max(1) as f64;
         if capacity <= 0.0 {
             0.0
         } else {
-            (self.busy.as_secs_f64() / capacity).min(1.0)
+            self.busy.as_secs_f64() / capacity
         }
     }
+}
+
+/// Number of CPUs the host exposes (1 when undetectable).
+#[must_use]
+pub fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Target scheduled units per worker: enough slack for stealing to balance
+/// uneven batch costs, few enough that per-unit scheduling cost stays
+/// negligible.
+pub const TASKS_PER_WORKER: usize = 4;
+
+/// Minimum estimated cost (term-size units) one batch must carry before a
+/// worker is worth adding. Calibrated so a workload measured in
+/// milliseconds stays inline while anything seconds-scale fans out fully
+/// on real cores.
+pub const MIN_TASK_COST: u64 = 500;
+
+/// The adaptive pool-sizing policy: how many workers `requested` workers
+/// and `estimated_cost` units of work (term-size units; `u64::MAX` for
+/// "plenty") actually deserve.
+///
+/// * `requested <= 1` → `1` (explicitly sequential).
+/// * `force_pool` → `requested` verbatim (tests and benches that must
+///   exercise the parallel machinery, including oversubscription).
+/// * one host CPU → `1`: a pool can only time-slice there, so it is pure
+///   overhead.
+/// * otherwise `min(requested, host_cpus, cost / (MIN_TASK_COST ×
+///   TASKS_PER_WORKER))` — never more workers than cores (oversubscription
+///   never helps a CPU-bound pipeline) and never so many that batches drop
+///   below [`MIN_TASK_COST`].
+///
+/// The choice never affects output bytes — only wall-clock time — so it is
+/// free to depend on the host.
+#[must_use]
+pub fn plan_workers(requested: usize, estimated_cost: u64, force_pool: bool) -> usize {
+    if requested <= 1 {
+        return 1;
+    }
+    if force_pool {
+        return requested;
+    }
+    let cpus = host_cpus();
+    if cpus <= 1 {
+        return 1;
+    }
+    let by_cost = (estimated_cost / (MIN_TASK_COST * TASKS_PER_WORKER as u64))
+        .min(usize::MAX as u64) as usize;
+    requested.min(cpus).min(by_cost.max(1))
 }
 
 /// Applies `job` to every item index, returning results in item order.
 ///
 /// With `workers <= 1` the jobs run inline, in order, on the calling
-/// thread. Otherwise `workers` scoped threads claim indices from a shared
-/// counter; results land in their input slot, so the output order (and any
+/// thread. Otherwise `workers` scoped threads claim contiguous chunks of
+/// indices from a shared counter (≈ [`TASKS_PER_WORKER`] chunks per
+/// worker); results land in their input slot, so the output order (and any
 /// fold over it, e.g. first-error selection) is independent of thread
 /// interleaving.
 pub fn par_map<T, R, F>(items: &[T], workers: usize, job: F) -> (Vec<R>, PoolStats)
@@ -60,19 +135,28 @@ where
     F: Fn(usize, &T) -> R + Sync,
 {
     let start = Instant::now();
-    let workers = workers.clamp(1, items.len().max(1));
+    let requested = workers.max(1);
+    let workers = requested.clamp(1, items.len().max(1));
     if workers <= 1 {
         let out: Vec<R> = items.iter().enumerate().map(|(i, t)| job(i, t)).collect();
         let wall = start.elapsed();
         return (
             out,
             PoolStats {
+                requested,
                 workers: 1,
                 busy: wall,
                 wall,
+                steals: 0,
+                tasks: items.len(),
             },
         );
     }
+    // Workers will intern concurrently: route interning through the
+    // per-thread caches for the duration of the pool.
+    let _intern_scope = ir::intern::ParallelScope::enter();
+    let chunk = items.len().div_ceil(workers * TASKS_PER_WORKER).max(1);
+    let tasks = items.len().div_ceil(chunk);
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
     slots.resize_with(items.len(), || None);
@@ -84,9 +168,14 @@ where
                     let t0 = Instant::now();
                     let mut mine: Vec<(usize, R)> = Vec::new();
                     loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(item) = items.get(i) else { break };
-                        mine.push((i, job(i, item)));
+                        let lo = next.fetch_add(chunk, Ordering::Relaxed);
+                        if lo >= items.len() {
+                            break;
+                        }
+                        let hi = (lo + chunk).min(items.len());
+                        for (i, item) in items[lo..hi].iter().enumerate() {
+                            mine.push((lo + i, job(lo + i, item)));
+                        }
                     }
                     (mine, t0.elapsed())
                 })
@@ -107,49 +196,74 @@ where
     (
         out,
         PoolStats {
+            requested,
             workers,
             busy,
             wall: start.elapsed(),
+            steals: 0,
+            tasks,
         },
     )
 }
 
-/// Shared scheduling state of [`run_dag`].
-struct DagState {
-    /// Unresolved dependency count per node; `usize::MAX` marks scheduled.
-    indegree: Vec<usize>,
-    /// Min-heap of ready node indices (lowest index first, so the
-    /// sequential path and tie-breaks are deterministic).
-    ready: BinaryHeap<std::cmp::Reverse<usize>>,
-    running: usize,
-    finished: usize,
-}
+/// Sentinel marking a node as enqueued (or executed): its pending-dependency
+/// counter can no longer reach the enqueue threshold.
+const SCHEDULED: usize = usize::MAX;
 
-impl DagState {
-    /// When no node is ready but work remains and nothing is running, the
-    /// dependency graph has a cycle (e.g. mutually recursive functions).
-    /// Break it deterministically: force-ready the lowest-index blocked
-    /// node. Jobs must therefore tolerate running before such a callee —
-    /// the pipeline guarantees this by testing against complete contexts.
-    fn break_cycle_if_stuck(&mut self, n: usize) {
-        if !self.ready.is_empty() || self.running > 0 || self.finished >= n {
-            return;
-        }
-        if let Some(i) = (0..n).find(|&i| self.indegree[i] != usize::MAX) {
-            self.indegree[i] = usize::MAX;
-            self.ready.push(std::cmp::Reverse(i));
+/// A deterministic, cycle-tolerant lowest-index topological order of a
+/// dependency graph: the exact order the sequential scheduler executes, and
+/// the order batches are cut from. Cycles (legal in C call graphs:
+/// recursion) are broken at the lowest-index stuck node.
+#[must_use]
+pub fn topo_order(deps: &[Vec<usize>]) -> Vec<usize> {
+    let n = deps.len();
+    let mut indegree = vec![0usize; n];
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, ds) in deps.iter().enumerate() {
+        for &d in ds {
+            assert!(d < n, "topo_order: dependency index out of range");
+            if d != i {
+                dependents[d].push(i);
+                indegree[i] += 1;
+            }
         }
     }
+    let mut ready: BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
+        .filter(|&i| indegree[i] == 0)
+        .map(std::cmp::Reverse)
+        .collect();
+    for std::cmp::Reverse(i) in ready.iter().copied().collect::<Vec<_>>() {
+        indegree[i] = SCHEDULED;
+    }
+    let mut order = Vec::with_capacity(n);
+    while order.len() < n {
+        let Some(std::cmp::Reverse(i)) = ready.pop() else {
+            // Stuck: break the cycle at the lowest-index blocked node.
+            let i = (0..n)
+                .find(|&i| indegree[i] != SCHEDULED)
+                .expect("unfinished node exists while order is short");
+            indegree[i] = SCHEDULED;
+            ready.push(std::cmp::Reverse(i));
+            continue;
+        };
+        order.push(i);
+        for &dep in &dependents[i] {
+            if indegree[dep] != SCHEDULED {
+                indegree[dep] -= 1;
+                if indegree[dep] == 0 {
+                    indegree[dep] = SCHEDULED;
+                    ready.push(std::cmp::Reverse(dep));
+                }
+            }
+        }
+    }
+    order
 }
 
 /// Runs one job per node of a dependency graph, never starting a node
 /// before all of `deps[node]` have finished. Results are returned in node
-/// order. Ready nodes are dispatched lowest-index-first; with
-/// `workers <= 1` this degenerates to a deterministic topological order on
-/// the calling thread.
-///
-/// Cycles (legal in C call graphs: recursion) are broken deterministically
-/// at the lowest-index stuck node rather than deadlocking.
+/// order. See [`run_dag_tagged`] for the scheduling discipline; the job
+/// here does not learn whether its node was stolen.
 ///
 /// # Panics
 ///
@@ -159,8 +273,40 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
+    run_dag_tagged(n, deps, workers, |i, _stolen| job(i))
+}
+
+/// [`run_dag`] where the job also learns whether its node was *stolen*
+/// (executed by a worker other than the one that made it ready) — the
+/// pipeline attributes steal counts to phases this way.
+///
+/// With `workers <= 1` this degenerates to the deterministic
+/// lowest-index topological order of [`topo_order`], inline on the calling
+/// thread, with zero pool setup. Otherwise each worker owns a deque:
+/// finishing a node pushes the nodes it unblocked onto the finisher's own
+/// deque (popped LIFO), and a worker whose deque is empty steals the
+/// oldest node from a victim's deque. Workers with nothing to run or steal
+/// park on a condvar; the last parked worker breaks dependency cycles
+/// deterministically at the lowest-index stuck node (recursion in the call
+/// graph), exactly as the sequential order does.
+///
+/// # Panics
+///
+/// Panics if `deps.len() != n` or an edge index is out of range.
+pub fn run_dag_tagged<R, F>(
+    n: usize,
+    deps: &[Vec<usize>],
+    workers: usize,
+    job: F,
+) -> (Vec<R>, PoolStats)
+where
+    R: Send,
+    F: Fn(usize, bool) -> R + Sync,
+{
     assert_eq!(deps.len(), n, "run_dag: deps length mismatch");
     let start = Instant::now();
+    let requested = workers.max(1);
+    let workers = requested.clamp(1, n.max(1));
     // Reverse adjacency: which nodes each node unblocks.
     let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
     let mut indegree = vec![0usize; n];
@@ -174,39 +320,13 @@ where
             indegree[i] += 1;
         }
     }
-    let mut state = DagState {
-        indegree,
-        ready: (0..n)
-            .filter(|&i| deps[i].iter().all(|&d| d == i))
-            .map(std::cmp::Reverse)
-            .collect(),
-        running: 0,
-        finished: 0,
-    };
-    for std::cmp::Reverse(i) in state.ready.iter().copied().collect::<Vec<_>>() {
-        state.indegree[i] = usize::MAX;
-    }
-    let workers = workers.clamp(1, n.max(1));
+
     if workers <= 1 {
+        let order = topo_order(deps);
         let mut out: Vec<Option<R>> = Vec::with_capacity(n);
         out.resize_with(n, || None);
-        while state.finished < n {
-            state.break_cycle_if_stuck(n);
-            let std::cmp::Reverse(i) = state
-                .ready
-                .pop()
-                .expect("a node is always ready after cycle breaking");
-            out[i] = Some(job(i));
-            state.finished += 1;
-            for &dep in &dependents[i] {
-                if state.indegree[dep] != usize::MAX {
-                    state.indegree[dep] -= 1;
-                    if state.indegree[dep] == 0 {
-                        state.indegree[dep] = usize::MAX;
-                        state.ready.push(std::cmp::Reverse(dep));
-                    }
-                }
-            }
+        for i in order {
+            out[i] = Some(job(i, false));
         }
         let wall = start.elapsed();
         let out: Vec<R> = out
@@ -216,53 +336,51 @@ where
         return (
             out,
             PoolStats {
+                requested,
                 workers: 1,
                 busy: wall,
                 wall,
+                steals: 0,
+                tasks: n,
             },
         );
     }
-    let shared = Mutex::new(state);
-    let cond = Condvar::new();
+
+    // Workers will intern concurrently: route interning through the
+    // per-thread caches for the duration of the pool.
+    let _intern_scope = ir::intern::ParallelScope::enter();
+    let pool = WsPool::new(n, workers, indegree);
+    // Seed the deques round-robin with the initially ready nodes, lowest
+    // index first, so early work spreads across workers immediately.
+    {
+        let mut w = 0;
+        for i in 0..n {
+            if pool.pending[i].load(Ordering::Relaxed) == 0 {
+                pool.pending[i].store(SCHEDULED, Ordering::Relaxed);
+                pool.deques[w]
+                    .lock()
+                    .expect("deque poisoned")
+                    .push_back(i);
+                w = (w + 1) % workers;
+            }
+        }
+    }
     let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
     let mut busy = Duration::ZERO;
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                s.spawn(|| {
+            .map(|w| {
+                let pool = &pool;
+                let dependents = &dependents;
+                let job = &job;
+                s.spawn(move || {
                     let t0 = Instant::now();
                     let mut mine: Vec<(usize, R)> = Vec::new();
-                    let mut guard = shared.lock().expect("dag lock poisoned");
-                    loop {
-                        if guard.finished >= n {
-                            break;
-                        }
-                        guard.break_cycle_if_stuck(n);
-                        let Some(std::cmp::Reverse(i)) = guard.ready.pop() else {
-                            guard = cond.wait(guard).expect("dag lock poisoned");
-                            continue;
-                        };
-                        guard.running += 1;
-                        drop(guard);
-                        let r = job(i);
-                        mine.push((i, r));
-                        guard = shared.lock().expect("dag lock poisoned");
-                        guard.running -= 1;
-                        guard.finished += 1;
-                        for &dep in &dependents[i] {
-                            if guard.indegree[dep] != usize::MAX {
-                                guard.indegree[dep] -= 1;
-                                if guard.indegree[dep] == 0 {
-                                    guard.indegree[dep] = usize::MAX;
-                                    guard.ready.push(std::cmp::Reverse(dep));
-                                }
-                            }
-                        }
-                        cond.notify_all();
+                    while let Some((i, stolen)) = pool.acquire(w) {
+                        mine.push((i, job(i, stolen)));
+                        pool.complete(w, i, dependents);
                     }
-                    drop(guard);
-                    cond.notify_all();
                     (mine, t0.elapsed())
                 })
             })
@@ -282,11 +400,148 @@ where
     (
         out,
         PoolStats {
+            requested,
             workers,
             busy,
             wall: start.elapsed(),
+            steals: pool.steals.load(Ordering::Relaxed),
+            tasks: n,
         },
     )
+}
+
+/// Shared state of the work-stealing pool.
+struct WsPool {
+    /// Per-worker deques. The owner pushes/pops at the back; thieves pop
+    /// at the front. Each deque has its own lock, so owners and thieves
+    /// only contend pairwise.
+    deques: Vec<Mutex<VecDeque<usize>>>,
+    /// Unresolved dependency count per node; [`SCHEDULED`] once enqueued.
+    pending: Vec<AtomicUsize>,
+    /// Nodes fully executed.
+    finished: AtomicUsize,
+    n: usize,
+    /// Workers currently parked (or about to park).
+    idle: AtomicUsize,
+    /// Park/wake coordination. The lock protects nothing but the condvar;
+    /// all scheduling state is in the atomics and deques.
+    park: Mutex<()>,
+    cond: Condvar,
+    steals: AtomicU64,
+}
+
+impl WsPool {
+    fn new(n: usize, workers: usize, indegree: Vec<usize>) -> WsPool {
+        WsPool {
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            pending: indegree.into_iter().map(AtomicUsize::new).collect(),
+            finished: AtomicUsize::new(0),
+            n,
+            idle: AtomicUsize::new(0),
+            park: Mutex::new(()),
+            cond: Condvar::new(),
+            steals: AtomicU64::new(0),
+        }
+    }
+
+    /// Pops the next node for worker `w`: own deque first (newest),
+    /// then steal (oldest) from the other deques, then park. Returns
+    /// `None` when the whole graph has finished.
+    fn acquire(&self, w: usize) -> Option<(usize, bool)> {
+        loop {
+            if self.finished.load(Ordering::Acquire) >= self.n {
+                return None;
+            }
+            if let Some(i) = self.deques[w].lock().expect("deque poisoned").pop_back() {
+                return Some((i, false));
+            }
+            if let Some(i) = self.try_steal(w) {
+                return Some((i, true));
+            }
+            self.park(w);
+        }
+    }
+
+    fn try_steal(&self, w: usize) -> Option<usize> {
+        let k = self.deques.len();
+        for v in 1..k {
+            let victim = (w + v) % k;
+            if let Some(i) = self.deques[victim]
+                .lock()
+                .expect("deque poisoned")
+                .pop_front()
+            {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Marks node `i` done and enqueues every node it unblocked onto
+    /// worker `w`'s own deque, waking parked workers if any.
+    fn complete(&self, w: usize, i: usize, dependents: &[Vec<usize>]) {
+        let mut released = 0usize;
+        for &dep in &dependents[i] {
+            if self.pending[dep].fetch_sub(1, Ordering::AcqRel) == 1 {
+                self.pending[dep].store(SCHEDULED, Ordering::Relaxed);
+                self.deques[w]
+                    .lock()
+                    .expect("deque poisoned")
+                    .push_back(dep);
+                released += 1;
+            }
+        }
+        let done = self.finished.fetch_add(1, Ordering::AcqRel) + 1;
+        if done >= self.n || (released > 0 && self.idle.load(Ordering::SeqCst) > 0) {
+            let _g = self.park.lock().expect("park lock poisoned");
+            self.cond.notify_all();
+        }
+    }
+
+    /// Parks worker `w` until new work may exist. The last worker to park
+    /// while the graph is unfinished has proven a dependency cycle (no
+    /// node running, none ready): it breaks the cycle deterministically at
+    /// the lowest-index stuck node and continues.
+    fn park(&self, w: usize) {
+        self.idle.fetch_add(1, Ordering::SeqCst);
+        let mut g = self.park.lock().expect("park lock poisoned");
+        loop {
+            if self.finished.load(Ordering::Acquire) >= self.n {
+                break;
+            }
+            if self
+                .deques
+                .iter()
+                .any(|d| !d.lock().expect("deque poisoned").is_empty())
+            {
+                break;
+            }
+            if self.idle.load(Ordering::SeqCst) == self.deques.len() {
+                // Every worker is idle and every deque is empty, so no
+                // pending counter can move: the scan below is exact.
+                if let Some(i) = (0..self.n)
+                    .find(|&i| self.pending[i].load(Ordering::Relaxed) != SCHEDULED)
+                {
+                    self.pending[i].store(SCHEDULED, Ordering::Relaxed);
+                    self.deques[w].lock().expect("deque poisoned").push_back(i);
+                    self.cond.notify_all();
+                    break;
+                }
+                // All nodes scheduled; stragglers are mid-`complete`. Fall
+                // through to the timed wait for the final finish count.
+            }
+            // Timed wait: a bounded backstop against any lost-wakeup
+            // window between the deque re-check and the wait.
+            let (guard, _timeout) = self
+                .cond
+                .wait_timeout(g, Duration::from_micros(200))
+                .expect("park lock poisoned");
+            g = guard;
+        }
+        drop(g);
+        self.idle.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 #[cfg(test)]
@@ -303,7 +558,8 @@ mod tests {
                 x * 3
             });
             assert_eq!(out, (0..100).map(|x| x * 3).collect::<Vec<_>>());
-            assert!(stats.workers >= 1 && stats.utilization() <= 1.0);
+            assert!(stats.workers >= 1 && stats.utilization() <= 1.01);
+            assert_eq!(stats.requested, workers.max(1));
         }
     }
 
@@ -314,6 +570,7 @@ mod tests {
         let (out, stats) = par_map(&[7u8], 8, |_, &x| x + 1);
         assert_eq!(out, vec![8]);
         assert_eq!(stats.workers, 1, "one item never needs more than one worker");
+        assert_eq!(stats.requested, 8, "the request is still reported");
     }
 
     #[test]
@@ -343,6 +600,7 @@ mod tests {
         run_dag(4, &deps, 1, |i| order.lock().unwrap().push(i));
         // Ready sets evolve as {1,2} → pop 1 → {2} → pop 2 → {0} → {3}.
         assert_eq!(*order.lock().unwrap(), vec![1, 2, 0, 3]);
+        assert_eq!(topo_order(&deps), vec![1, 2, 0, 3]);
     }
 
     #[test]
@@ -352,6 +610,57 @@ mod tests {
         for workers in [1, 4] {
             let (out, _) = run_dag(4, &deps, workers, |i| i);
             assert_eq!(out, vec![0, 1, 2, 3]);
+        }
+        assert_eq!(topo_order(&deps), vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn work_stealing_attributes_steals() {
+        // A wide independent graph with slow jobs: with several workers
+        // the seeded round-robin spread means most nodes run un-stolen,
+        // but the counter must stay coherent (0 ≤ steals ≤ n).
+        let deps = vec![Vec::new(); 64];
+        let (_, stats) = run_dag_tagged(64, &deps, 4, |_, _| {
+            std::thread::yield_now();
+        });
+        assert!(stats.steals <= 64);
+        assert_eq!(stats.tasks, 64);
+        assert_eq!(stats.workers, 4);
+    }
+
+    #[test]
+    fn plan_workers_policy() {
+        // Explicit sequential stays sequential, whatever the work.
+        assert_eq!(plan_workers(1, u64::MAX, false), 1);
+        assert_eq!(plan_workers(0, u64::MAX, false), 1);
+        // Forcing bypasses every cap, including host CPUs.
+        assert_eq!(plan_workers(8, 0, true), 8);
+        // Tiny work never fans out.
+        assert_eq!(plan_workers(8, 0, false), 1);
+        let planned = plan_workers(8, u64::MAX, false);
+        if host_cpus() == 1 {
+            assert_eq!(planned, 1, "a 1-CPU host always runs inline");
+        } else {
+            assert!(planned >= 2 && planned <= host_cpus().min(8));
+        }
+    }
+
+    #[test]
+    fn topo_order_covers_every_node_once() {
+        let deps = vec![vec![], vec![0], vec![0], vec![1, 2], vec![3], vec![]];
+        let order = topo_order(&deps);
+        let mut seen = vec![false; deps.len()];
+        let mut pos = vec![0usize; deps.len()];
+        for (k, &i) in order.iter().enumerate() {
+            assert!(!seen[i]);
+            seen[i] = true;
+            pos[i] = k;
+        }
+        assert!(seen.iter().all(|&b| b));
+        for (i, ds) in deps.iter().enumerate() {
+            for &d in ds {
+                assert!(pos[d] < pos[i], "{d} must precede {i}");
+            }
         }
     }
 }

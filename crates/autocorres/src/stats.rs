@@ -6,6 +6,13 @@
 //! goes without instrumenting the pipeline themselves. Timings vary run to
 //! run; everything else (function/theorem/proof-node counts) is
 //! deterministic and is compared by the determinism test suite.
+//!
+//! Worker counts are reported twice: `requested` (what the caller asked
+//! for) and `workers` (what [`crate::schedule::plan_workers`] actually
+//! granted). Utilization is busy time over `wall × effective workers`,
+//! deliberately *unclamped* — a ratio above `1.0` or a big
+//! requested/effective gap is a scheduling pathology that must stay
+//! visible, not be rounded away.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -22,8 +29,10 @@ pub struct PhaseStat {
     pub wall: Duration,
     /// Sum of per-worker busy time.
     pub busy: Duration,
-    /// Workers the phase ran with.
+    /// Workers the phase actually ran with (after the adaptive policy).
     pub workers: usize,
+    /// Workers the caller asked for.
+    pub requested: usize,
     /// Functions processed.
     pub fns: usize,
     /// Theorems produced.
@@ -33,6 +42,12 @@ pub struct PhaseStat {
     /// Per-function jobs answered from the session artifact store instead
     /// of being recomputed (always `0` for one-shot `translate` runs).
     pub cached: usize,
+    /// Scheduled batch nodes of this phase (functions are grouped into
+    /// cost-balanced batches; see `crate::phase`).
+    pub batches: usize,
+    /// Batch nodes of this phase executed by a worker other than the one
+    /// that made them ready.
+    pub steals: u64,
 }
 
 impl PhaseStat {
@@ -50,21 +65,26 @@ impl PhaseStat {
             wall: pool.wall,
             busy: pool.busy,
             workers: pool.workers,
+            requested: pool.requested,
             fns,
             thms,
             proof_nodes,
             cached: 0,
+            batches: pool.tasks,
+            steals: pool.steals,
         }
     }
 
-    /// Fraction of worker capacity spent busy, in `[0, 1]`.
+    /// Raw busy time over capacity (`wall × effective workers`). Not
+    /// clamped: values above `1.0` expose a wrong effective-worker count,
+    /// values far below `1.0` expose starvation or oversubscription.
     #[must_use]
     pub fn utilization(&self) -> f64 {
         let capacity = self.wall.as_secs_f64() * self.workers.max(1) as f64;
         if capacity <= 0.0 {
             0.0
         } else {
-            (self.busy.as_secs_f64() / capacity).min(1.0)
+            self.busy.as_secs_f64() / capacity
         }
     }
 }
@@ -72,8 +92,14 @@ impl PhaseStat {
 /// Observability of one pipeline run.
 #[derive(Clone, Debug, Default)]
 pub struct PipelineStats {
-    /// Worker count the pipeline was configured with (≥ 1).
+    /// Worker count the phase graph actually ran with (≥ 1), after the
+    /// adaptive sizing policy. This is also the width later
+    /// [`crate::Output::check_all`] replays with.
     pub workers: usize,
+    /// Worker count the caller configured ([`crate::Options::workers`],
+    /// normalized to ≥ 1) — may exceed `workers` when the policy shrank
+    /// the pool (single-CPU host, tiny workload).
+    pub requested_workers: usize,
     /// Per-phase measurements, in execution order.
     pub phases: Vec<PhaseStat>,
     /// Wall-clock time of the whole translation.
@@ -105,7 +131,14 @@ impl PipelineStats {
         self.phases.iter().map(|p| p.proof_nodes).sum()
     }
 
-    /// Overall worker utilization across the timed phases.
+    /// Total batch nodes stolen across phases.
+    #[must_use]
+    pub fn total_steals(&self) -> u64 {
+        self.phases.iter().map(|p| p.steals).sum()
+    }
+
+    /// Overall worker utilization across the timed phases (raw, unclamped
+    /// — see [`PhaseStat::utilization`]).
     #[must_use]
     pub fn utilization(&self) -> f64 {
         let wall: f64 = self.phases.iter().map(|p| p.wall.as_secs_f64()).sum();
@@ -114,11 +147,12 @@ impl PipelineStats {
         if capacity <= 0.0 {
             0.0
         } else {
-            (busy / capacity).min(1.0)
+            busy / capacity
         }
     }
 
-    /// The deterministic subset of the stats (counts, no timings), for
+    /// The deterministic subset of the stats (counts, no timings, no
+    /// scheduling artifacts like batch or steal counts), for
     /// byte-comparison between sequential and parallel runs.
     #[must_use]
     pub fn deterministic_summary(&self) -> String {
@@ -143,27 +177,32 @@ impl fmt::Display for PipelineStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "pipeline: {} workers, {:.1?} wall, {} theorems, {} proof nodes, {:.0}% utilization",
+            "pipeline: {} workers ({} requested), {:.1?} wall, {} theorems, {} proof nodes, \
+             {:.0}% utilization, {} steals",
             self.workers,
+            self.requested_workers,
             self.total_wall,
             self.total_theorems(),
             self.total_proof_nodes(),
-            self.utilization() * 100.0
+            self.utilization() * 100.0,
+            self.total_steals()
         )?;
         writeln!(
             f,
-            "  {:<8} {:>10} {:>6} {:>6} {:>12} {:>6}",
-            "phase", "wall", "fns", "thms", "proof nodes", "util"
+            "  {:<8} {:>10} {:>6} {:>6} {:>12} {:>7} {:>6} {:>6}",
+            "phase", "wall", "fns", "thms", "proof nodes", "batches", "steals", "util"
         )?;
         for p in &self.phases {
             writeln!(
                 f,
-                "  {:<8} {:>10.1?} {:>6} {:>6} {:>12} {:>5.0}%",
+                "  {:<8} {:>10.1?} {:>6} {:>6} {:>12} {:>7} {:>6} {:>5.0}%",
                 p.name,
                 p.wall,
                 p.fns,
                 p.thms,
                 p.proof_nodes,
+                p.batches,
+                p.steals,
                 p.utilization() * 100.0
             )?;
         }
@@ -176,26 +215,62 @@ mod tests {
     use super::*;
 
     #[test]
-    fn utilization_is_bounded() {
+    fn utilization_is_raw_busy_over_capacity() {
         let p = PhaseStat {
             name: "l1",
             wall: Duration::from_millis(10),
             busy: Duration::from_millis(35),
             workers: 4,
+            requested: 4,
             fns: 3,
             thms: 3,
             proof_nodes: 30,
-            cached: 0,
+            ..PhaseStat::default()
         };
         assert!(p.utilization() <= 1.0 && p.utilization() > 0.8);
         let empty = PhaseStat::default();
         assert_eq!(empty.utilization(), 0.0);
+
+        // The pathology that motivated the unclamped report: more busy
+        // time than the claimed worker count admits must *show*, not be
+        // clamped to a clean-looking 100%.
+        let lying = PhaseStat {
+            name: "l1",
+            wall: Duration::from_millis(10),
+            busy: Duration::from_millis(40),
+            workers: 1,
+            requested: 4,
+            ..PhaseStat::default()
+        };
+        assert!(
+            lying.utilization() > 3.9,
+            "oversubscription must be visible: {}",
+            lying.utilization()
+        );
+    }
+
+    #[test]
+    fn requested_vs_effective_workers_survive_from_pool() {
+        let pool = PoolStats {
+            requested: 8,
+            workers: 2,
+            busy: Duration::from_millis(4),
+            wall: Duration::from_millis(2),
+            steals: 3,
+            tasks: 7,
+        };
+        let p = PhaseStat::from_pool("wa", pool, 10, 10, 100);
+        assert_eq!(p.requested, 8);
+        assert_eq!(p.workers, 2);
+        assert_eq!(p.steals, 3);
+        assert_eq!(p.batches, 7);
     }
 
     #[test]
     fn summary_is_deterministic_text() {
         let mut s = PipelineStats {
             workers: 2,
+            requested_workers: 4,
             ..PipelineStats::default()
         };
         s.phases.push(PhaseStat {
@@ -203,6 +278,8 @@ mod tests {
             fns: 2,
             thms: 2,
             proof_nodes: 17,
+            batches: 3,
+            steals: 1,
             ..PhaseStat::default()
         });
         s.fn_theorems.insert("f".into(), 4);
@@ -210,6 +287,11 @@ mod tests {
         let a = s.deterministic_summary();
         assert!(a.contains("l1: fns=2 thms=2 proof_nodes=17"));
         assert!(a.contains("fn f: thms=4 proof_nodes=21"));
+        assert!(
+            !a.contains("steals") && !a.contains("batches"),
+            "scheduling artifacts vary with worker count and must stay out \
+             of the byte-compared summary"
+        );
         assert_eq!(a, s.deterministic_summary());
     }
 }

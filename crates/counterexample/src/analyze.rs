@@ -546,10 +546,10 @@ fn check_falsifies(
     match audit::layers::run_monadic(&out.hl, name, args, State::Abs(abs0)) {
         audit::layers::LayerRun::Fault => Some(Observed::Fault),
         audit::layers::LayerRun::Normal(v, st) => {
-            post_falsified(spec, &env, &v, &st).then(|| Observed::Normal(v))
+            post_falsified(spec, &env, &v, &st).then_some(Observed::Normal(v))
         }
         audit::layers::LayerRun::Except(v, st) => {
-            post_falsified(spec, &env, &v, &st).then(|| Observed::Except(v))
+            post_falsified(spec, &env, &v, &st).then_some(Observed::Except(v))
         }
         _ => None,
     }

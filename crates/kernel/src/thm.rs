@@ -492,7 +492,9 @@ pub struct ReplayReport {
     pub cache_hits: u64,
     /// Proof nodes that had to be validated.
     pub cache_misses: u64,
-    /// Workers used.
+    /// Workers the caller asked for (before clamping to the item count).
+    pub requested: usize,
+    /// Workers actually used.
     pub workers: usize,
     /// Sum of per-worker busy time (≤ `workers` × wall time).
     pub busy: std::time::Duration,
@@ -554,7 +556,8 @@ where
     let start = std::time::Instant::now();
     let (hits0, misses0) = cache.counters();
     let proof_nodes: usize = items.iter().map(|(_, t)| t.proof_size()).sum();
-    let workers = workers.clamp(1, items.len().max(1));
+    let requested = workers.max(1);
+    let workers = requested.clamp(1, items.len().max(1));
     let mut first_failure: Option<(usize, String, KernelError)> = None;
     if workers <= 1 {
         for (name, thm) in &items {
@@ -569,11 +572,19 @@ where
             proof_nodes,
             cache_hits: hits1 - hits0,
             cache_misses: misses1 - misses0,
+            requested,
             workers: 1,
             busy: wall,
             wall,
         });
     }
+    // Claim contiguous chunks (≈4 per worker) instead of single items:
+    // the shared counter is touched O(workers) times rather than O(items),
+    // while stragglers can still rebalance across the last few chunks.
+    // Replay interns terms while rebuilding rule conclusions, so route
+    // interning through the per-thread caches for the pool's lifetime.
+    let _intern_scope = ir::intern::ParallelScope::enter();
+    let chunk = items.len().div_ceil(workers * 4).max(1);
     let next = std::sync::atomic::AtomicUsize::new(0);
     let mut busy = std::time::Duration::ZERO;
     std::thread::scope(|s| {
@@ -583,12 +594,17 @@ where
                     let t0 = std::time::Instant::now();
                     let mut failures: Vec<(usize, String, KernelError)> = Vec::new();
                     loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        let Some((name, thm)) = items.get(i) else {
+                        let lo = next.fetch_add(chunk, std::sync::atomic::Ordering::Relaxed);
+                        if lo >= items.len() {
                             break;
-                        };
-                        if let Err(e) = check_cached(thm, cx, Some(cache)) {
-                            failures.push((i, (*name).to_owned(), e));
+                        }
+                        let hi = (lo + chunk).min(items.len());
+                        for (i, (name, thm)) in
+                            items[lo..hi].iter().enumerate().map(|(o, it)| (lo + o, it))
+                        {
+                            if let Err(e) = check_cached(thm, cx, Some(cache)) {
+                                failures.push((i, (*name).to_owned(), e));
+                            }
                         }
                     }
                     (failures, t0.elapsed())
@@ -613,6 +629,7 @@ where
             proof_nodes,
             cache_hits: hits1 - hits0,
             cache_misses: misses1 - misses0,
+            requested,
             workers,
             busy,
             wall: start.elapsed(),

@@ -31,6 +31,25 @@ for seed in tests/corpus/cex-*.seed; do
     ./target/release/autocorres --quiet --playback "$seed" > /dev/null
 done
 
+# Scheduler smoke: the quickstart source must print byte-identical WA
+# specs at every worker count — including counts that oversubscribe this
+# host (the adaptive planner sizes the pool down; the work-stealing
+# scheduler must never let scheduling leak into the output bytes).
+tmp_c=$(mktemp --suffix=.c)
+tmp_out=$(mktemp)
+trap 'rm -f "$tmp_c" "$tmp_out"' EXIT
+printf 'int max(int a, int b) {\n    if (a < b) {\n        return b;\n    }\n    return a;\n}\n' > "$tmp_c"
+golden=$(mktemp)
+trap 'rm -f "$tmp_c" "$tmp_out" "$golden"' EXIT
+# The CLI prints each function with a trailing blank line; the golden
+# snapshot stores the bare pretty-printing.
+{ cat tests/golden/quickstart_wa.txt; echo; } > "$golden"
+for w in 1 2 4 8; do
+    ./target/release/autocorres --quiet --level wa --fn max --workers "$w" "$tmp_c" > "$tmp_out"
+    diff -u "$golden" "$tmp_out" \
+        || { echo "tier1: scheduler smoke diverged at --workers $w" >&2; exit 1; }
+done
+
 # Soundness audit (crates/audit): fault-injection against the kernel
 # checker plus the cross-layer differential oracle. The smoke runs by
 # default (small mutation budget, a few fuzz seeds, two worker counts);

@@ -11,6 +11,8 @@
 //!   --word-abs NAME          word-abstract only NAME (repeatable)
 //!   --trials N               differential-test budget per theorem (default 60)
 //!   --seed N                 RNG seed for testing-validated rules
+//!   --workers N              worker threads for the phase graph (default:
+//!                            adaptive; output is identical at any count)
 //!   --metrics                print Table 5-style size metrics and exit
 //!   --check                  replay all theorems through the proof checker
 //!   --playback SEED          replay a counterexample seed file and exit
@@ -37,6 +39,7 @@ struct Cli {
     word_abs: Option<BTreeSet<String>>,
     trials: u32,
     seed: u64,
+    workers: usize,
     metrics: bool,
     check: bool,
     playback: Option<String>,
@@ -46,7 +49,7 @@ struct Cli {
 fn usage() -> &'static str {
     "usage: autocorres [--level l1|l2|hl|wa] [--fn NAME]... [--concrete NAME]...\n\
      \x20                 [--no-word-abs] [--word-abs NAME]... [--trials N] [--seed N]\n\
-     \x20                 [--metrics] [--check] [--quiet] FILE.c\n\
+     \x20                 [--workers N] [--metrics] [--check] [--quiet] FILE.c\n\
      \x20      autocorres --playback SEED"
 }
 
@@ -59,6 +62,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         word_abs: None,
         trials: 60,
         seed: 2014,
+        workers: 0,
         metrics: false,
         check: false,
         playback: None,
@@ -98,6 +102,11 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 cli.seed = value("--seed")?
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--workers" => {
+                cli.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
             }
             "--metrics" => cli.metrics = true,
             "--check" => cli.check = true,
@@ -183,6 +192,7 @@ fn run(cli: &Cli) -> Result<(), String> {
         word_abstract_fns: cli.word_abs.clone(),
         l2_trials: cli.trials,
         seed: cli.seed,
+        workers: cli.workers,
         ..Options::default()
     };
     let out = translate(&src, &opts).map_err(|e| e.to_string())?;

@@ -12,7 +12,6 @@ use autocorres::{translate, Options, Output};
 use counterexample::{analyze, validate_input, Cex, FnSpec};
 use ir::eval::{eval_bool, Env};
 use ir::expr::{BinOp, Expr};
-use ir::state::State;
 use ir::ty::Ty;
 use ir::Symbol;
 use proptest::prelude::*;
