@@ -1,0 +1,763 @@
+//! Flow-sensitive abstract interpretation over the monadic IR.
+//!
+//! This crate walks a word-abstracted [`MonadicFn`] with the three-domain
+//! abstract environment from `solver::interval` — wrapping intervals per
+//! numeric kind, pointer nullness/heap validity, and (via unreachable
+//! branches collapsing to bottom) definite reachability — and assigns every
+//! `guard` combinator a [`Verdict`]:
+//!
+//! * [`Verdict::ProvedTrue`] — the guard holds in every state reaching it.
+//!   The verdict carries a *self-contained hypothesis* `hyp`: a conjunction
+//!   of interval bounds and assumed facts, rendered from the abstract
+//!   environment, such that `solver::interval::entails(hyp, guard)` holds.
+//!   The kernel's `AbsintDischarge` rule re-validates exactly that side
+//!   condition, so a discharge theorem is independently checkable without
+//!   re-running the flow analysis.
+//! * [`Verdict::ProvedFalse`] — the guard is false in every state reaching
+//!   it (e.g. a definite signed overflow): the function *will* fail on any
+//!   run that gets there. Reported eagerly as a lint.
+//! * [`Verdict::Unknown`] — everything else. Never wrong, just imprecise.
+//!
+//! Loops are analysed to a fixpoint with interval widening at the head
+//! (join for two rounds, then widen unstable variables to their kind's
+//! range), and guard verdicts inside the body are recorded in one final
+//! pass under the stabilised head environment — sound for every iteration.
+//!
+//! The companion [`lint`] module runs classic intraprocedural lints (dead
+//! stores, unreachable code, use before initialisation) over the *typed C
+//! AST*, where byte-offset spans are still available.
+
+pub mod lint;
+
+use ir::expr::{BinOp, Expr};
+use ir::guard::GuardKind;
+use ir::names::Symbol;
+use ir::ty::TypeEnv;
+use monadic::prog::{MonadicFn, Prog};
+use solver::interval::{entails, AbsEnv, AbsVal, NumKind};
+
+pub use lint::{lint_fn, Lint, LintKind};
+
+/// Result of abstractly evaluating one guard occurrence.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Verdict {
+    /// The guard holds on every path reaching it; `hyp` is the recorded
+    /// hypothesis with `solver::interval::entails(hyp, guard)`.
+    ProvedTrue {
+        /// Self-contained hypothesis entailing the guard.
+        hyp: Expr,
+    },
+    /// The guard is false on every path reaching it: definite failure.
+    ProvedFalse,
+    /// Not decided by interval reasoning.
+    Unknown,
+}
+
+/// One guard occurrence, in deterministic traversal order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GuardInfo {
+    /// Position in the traversal (0-based; stable across runs and worker
+    /// counts — the analysis is sequential per function).
+    pub index: usize,
+    /// What the guard protects against.
+    pub kind: GuardKind,
+    /// The guard expression.
+    pub guard: Expr,
+    /// The analysis verdict.
+    pub verdict: Verdict,
+}
+
+/// Per-function analysis result.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FnAbsint {
+    /// Every reachable guard with its verdict, in traversal order.
+    pub guards: Vec<GuardInfo>,
+    /// Lints found over the typed C AST (filled in by the caller from
+    /// [`lint_fn`]; kept here so one artifact carries both consumers).
+    pub lints: Vec<Lint>,
+}
+
+impl FnAbsint {
+    /// Number of guards proved true.
+    #[must_use]
+    pub fn discharged(&self) -> usize {
+        self.guards
+            .iter()
+            .filter(|g| matches!(g.verdict, Verdict::ProvedTrue { .. }))
+            .count()
+    }
+
+    /// Number of guards proved definitely false.
+    #[must_use]
+    pub fn refuted(&self) -> usize {
+        self.guards
+            .iter()
+            .filter(|g| g.verdict == Verdict::ProvedFalse)
+            .count()
+    }
+}
+
+/// Analyses one function's body, seeding parameters from their types.
+///
+/// The traversal is deterministic and purely functional over the program;
+/// calling it twice (or from different worker threads) yields identical
+/// results.
+#[must_use]
+pub fn analyze_fn(f: &MonadicFn, tenv: &TypeEnv) -> FnAbsint {
+    let mut env = AbsEnv::new().with_tenv(tenv.clone());
+    for (name, ty) in &f.params {
+        env.bind(name.as_str(), AbsVal::of_ty(ty));
+    }
+    // L1-level functions keep locals in the state; those are read through
+    // `Expr::Local` which the evaluator already treats as opaque.
+    let mut a = Analyzer {
+        recording: true,
+        guards: Vec::new(),
+    };
+    let _ = a.transfer(&f.body, &env);
+    FnAbsint {
+        guards: a.guards,
+        lints: Vec::new(),
+    }
+}
+
+/// An abstract *value* — `AbsVal` extended with tuples, which the monadic
+/// language produces for loop-iterator bundles.
+#[derive(Clone, Debug, PartialEq)]
+enum Val {
+    One(AbsVal),
+    Tuple(Vec<Val>),
+}
+
+impl Val {
+    fn top() -> Val {
+        Val::One(AbsVal::Top)
+    }
+
+    fn join(&self, other: &Val) -> Val {
+        match (self, other) {
+            (Val::One(a), Val::One(b)) => Val::One(a.join(b)),
+            (Val::Tuple(xs), Val::Tuple(ys)) if xs.len() == ys.len() => {
+                Val::Tuple(xs.iter().zip(ys).map(|(x, y)| x.join(y)).collect())
+            }
+            _ => Val::top(),
+        }
+    }
+
+    fn flat(&self) -> AbsVal {
+        match self {
+            Val::One(a) => a.clone(),
+            Val::Tuple(_) => AbsVal::Top,
+        }
+    }
+}
+
+/// The result of abstractly running a program fragment: the normal
+/// continuation (value + environment) when the fragment can terminate
+/// normally, and the exceptional continuation when it can throw.
+struct Flow {
+    norm: Option<(Val, AbsEnv)>,
+    exc: Option<(Val, AbsEnv)>,
+}
+
+fn join_opt(a: Option<(Val, AbsEnv)>, b: Option<(Val, AbsEnv)>) -> Option<(Val, AbsEnv)> {
+    match (a, b) {
+        (Some((va, ea)), Some((vb, eb))) => Some((va.join(&vb), ea.join(&eb))),
+        (Some(x), None) | (None, Some(x)) => Some(x),
+        (None, None) => None,
+    }
+}
+
+struct Analyzer {
+    /// Verdicts are recorded only on the final (post-fixpoint) pass over
+    /// each loop body; fixpoint iterations run with this off.
+    recording: bool,
+    guards: Vec<GuardInfo>,
+}
+
+impl Analyzer {
+    fn transfer(&mut self, p: &Prog, env: &AbsEnv) -> Flow {
+        match p {
+            Prog::Return(e) | Prog::Gets(e) => Flow {
+                norm: Some((eval_val(env, e), env.clone())),
+                exc: None,
+            },
+            Prog::Modify(u) => {
+                let mut e = env.clone();
+                match u {
+                    ir::update::Update::Local(n, rhs) => {
+                        let v = e.eval(rhs);
+                        e.bind(n.as_str(), v);
+                    }
+                    ir::update::Update::Global(..) => e.global_write(),
+                    ir::update::Update::Heap(..) => e.heap_write(),
+                    ir::update::Update::Byte(..) | ir::update::Update::TagRegion(..) => {
+                        e.state_blast();
+                    }
+                }
+                Flow {
+                    norm: Some((Val::top(), e)),
+                    exc: None,
+                }
+            }
+            Prog::Guard(kind, g) => {
+                if self.recording {
+                    let verdict = if env.holds(g) {
+                        let hyp = render_hyp(env, g);
+                        if entails(&hyp, g) {
+                            Verdict::ProvedTrue { hyp }
+                        } else {
+                            // The environment knew more than the rendering
+                            // could express; stay sound and say nothing.
+                            Verdict::Unknown
+                        }
+                    } else if env.refutes(g) {
+                        Verdict::ProvedFalse
+                    } else {
+                        Verdict::Unknown
+                    };
+                    self.guards.push(GuardInfo {
+                        index: self.guards.len(),
+                        kind: kind.clone(),
+                        guard: g.clone(),
+                        verdict,
+                    });
+                }
+                // Downstream of a guard the guard holds (failure is not a
+                // normal continuation).
+                Flow {
+                    norm: Some((Val::top(), env.refined(g))),
+                    exc: None,
+                }
+            }
+            Prog::Throw(e) => Flow {
+                norm: None,
+                exc: Some((eval_val(env, e), env.clone())),
+            },
+            Prog::Fail => Flow {
+                norm: None,
+                exc: None,
+            },
+            Prog::Bind(l, v, r) => {
+                let fl = self.transfer(l, env);
+                let mut exc = fl.exc;
+                let norm = match fl.norm {
+                    Some((val, mut e)) => {
+                        bind_val(&mut e, v, &val);
+                        let fr = self.transfer(r, &e);
+                        exc = join_opt(exc, fr.exc);
+                        fr.norm
+                    }
+                    None => None,
+                };
+                Flow { norm, exc }
+            }
+            Prog::BindTuple(l, vs, r) => {
+                let fl = self.transfer(l, env);
+                let mut exc = fl.exc;
+                let norm = match fl.norm {
+                    Some((val, mut e)) => {
+                        bind_tuple(&mut e, vs, &val);
+                        let fr = self.transfer(r, &e);
+                        exc = join_opt(exc, fr.exc);
+                        fr.norm
+                    }
+                    None => None,
+                };
+                Flow { norm, exc }
+            }
+            Prog::Condition(c, t, e) => {
+                if env.holds(c) {
+                    self.transfer(t, &env.refined(c))
+                } else if env.refutes(c) {
+                    self.transfer(e, &env.refined_not(c))
+                } else {
+                    let ft = self.transfer(t, &env.refined(c));
+                    let fe = self.transfer(e, &env.refined_not(c));
+                    Flow {
+                        norm: join_opt(ft.norm, fe.norm),
+                        exc: join_opt(ft.exc, fe.exc),
+                    }
+                }
+            }
+            Prog::Catch(l, v, h) => {
+                let fl = self.transfer(l, env);
+                match fl.exc {
+                    Some((ev, mut ee)) => {
+                        bind_val(&mut ee, v, &ev);
+                        let fh = self.transfer(h, &ee);
+                        Flow {
+                            norm: join_opt(fl.norm, fh.norm),
+                            exc: fh.exc,
+                        }
+                    }
+                    None => Flow {
+                        norm: fl.norm,
+                        exc: None,
+                    },
+                }
+            }
+            // Function boundaries catch their own exceptions (early returns
+            // are resolved inside the callee at L2), so a call terminates
+            // normally; globals and heap data may change, validity facts
+            // survive.
+            Prog::Call { .. } => {
+                let mut e = env.clone();
+                e.call();
+                Flow {
+                    norm: Some((Val::top(), e)),
+                    exc: None,
+                }
+            }
+            // Crossing the heap-representation boundary: byte-level effects
+            // invalidate all state knowledge on both sides.
+            Prog::ExecConcrete(q) | Prog::ExecAbstract(q) => {
+                let mut e = env.clone();
+                e.state_blast();
+                let f = self.transfer(q, &e);
+                let blast = |r: Option<(Val, AbsEnv)>| {
+                    r.map(|(_, mut e)| {
+                        e.state_blast();
+                        (Val::top(), e)
+                    })
+                };
+                Flow {
+                    norm: blast(f.norm),
+                    exc: blast(f.exc),
+                }
+            }
+            Prog::While {
+                vars,
+                cond,
+                body,
+                init,
+            } => self.transfer_while(vars, cond, body, init, env),
+        }
+    }
+
+    fn transfer_while(
+        &mut self,
+        vars: &[String],
+        cond: &Expr,
+        body: &Prog,
+        init: &[Expr],
+        env: &AbsEnv,
+    ) -> Flow {
+        let mut head = env.clone();
+        let init_vals: Vec<AbsVal> = init.iter().map(|i| env.eval(i)).collect();
+        for (v, a) in vars.iter().zip(init_vals) {
+            head.bind(v.as_str(), a);
+        }
+        // Fixpoint with widening, verdicts off: the head must cover every
+        // iteration before anything inside the body is recorded.
+        let was = self.recording;
+        self.recording = false;
+        let mut stable = false;
+        for iter in 0..8 {
+            if head.refutes(cond) {
+                stable = true;
+                break;
+            }
+            let fb = self.transfer(body, &head.refined(cond));
+            let Some((bval, benv)) = fb.norm else {
+                // The body never completes an iteration normally, so the
+                // head is never re-entered: the entry environment is final.
+                stable = true;
+                break;
+            };
+            let mut next = benv;
+            rebind_iters(&mut next, vars, &bval);
+            let joined = head.join(&next);
+            let cand = if iter < 2 { joined } else { joined.widen(&head) };
+            if cand == head {
+                stable = true;
+                break;
+            }
+            head = cand;
+        }
+        if !stable {
+            head = top_env(&head);
+        }
+        self.recording = was;
+        // One recording pass under the stabilised head: verdicts recorded
+        // here hold for every iteration. Exceptions (break / early return)
+        // escape from the same pass.
+        let mut exc = None;
+        if !head.refutes(cond) {
+            let fb = self.transfer(body, &head.refined(cond));
+            exc = fb.exc;
+        }
+        let exit = head.refined_not(cond);
+        let val = if vars.len() == 1 {
+            Val::One(exit.var(&Symbol::intern(&vars[0])))
+        } else {
+            Val::Tuple(
+                vars.iter()
+                    .map(|v| Val::One(exit.var(&Symbol::intern(v))))
+                    .collect(),
+            )
+        };
+        Flow {
+            norm: Some((val, exit)),
+            exc,
+        }
+    }
+}
+
+fn eval_val(env: &AbsEnv, e: &Expr) -> Val {
+    match e {
+        Expr::Tuple(es) => Val::Tuple(es.iter().map(|x| eval_val(env, x)).collect()),
+        _ => Val::One(env.eval(e)),
+    }
+}
+
+fn bind_val(env: &mut AbsEnv, v: &str, val: &Val) {
+    env.bind(v, val.flat());
+}
+
+fn bind_tuple(env: &mut AbsEnv, vs: &[String], val: &Val) {
+    match val {
+        Val::Tuple(xs) if xs.len() == vs.len() => {
+            for (v, x) in vs.iter().zip(xs) {
+                env.bind(v.as_str(), x.flat());
+            }
+        }
+        _ if vs.len() == 1 => env.bind(vs[0].as_str(), val.flat()),
+        _ => {
+            for v in vs {
+                env.bind(v.as_str(), AbsVal::Top);
+            }
+        }
+    }
+}
+
+/// Rebinds the loop-iterator variables from the body's yielded value.
+fn rebind_iters(env: &mut AbsEnv, vars: &[String], val: &Val) {
+    if vars.len() == 1 {
+        env.bind(vars[0].as_str(), val.flat());
+    } else {
+        bind_tuple(env, vars, val);
+    }
+}
+
+/// The everything-unknown environment with the same variable footprint:
+/// the sound fallback when a loop fails to stabilise.
+fn top_env(e: &AbsEnv) -> AbsEnv {
+    let mut out = e.clone();
+    let names: Vec<Symbol> = out.vars().map(|(v, _)| *v).collect();
+    for v in names {
+        out.bind(v, AbsVal::Top);
+    }
+    out.state_blast();
+    out
+}
+
+/// Renders a self-contained hypothesis for `g` from the environment: the
+/// finite interval bounds of `g`'s free variables, the refined bounds of
+/// opaque atoms occurring in `g`, and every assumed fact sharing structure
+/// or variables with `g`. By construction the result mentions nothing the
+/// independent checker cannot re-derive with [`entails`].
+fn render_hyp(env: &AbsEnv, g: &Expr) -> Expr {
+    let fv = g.free_vars();
+    let mut conj: Vec<Expr> = Vec::new();
+    for (v, val) in env.vars() {
+        let name = v.to_string();
+        if !fv.contains(&name) {
+            continue;
+        }
+        if let AbsVal::Num(k, iv) = val {
+            let full = k.range();
+            let var = Expr::Var(*v);
+            if let Some(lo) = iv.lo {
+                if full.lo != Some(lo) {
+                    if let Some(lit) = num_lit(*k, lo) {
+                        conj.push(Expr::binop(BinOp::Le, lit, var.clone()));
+                    }
+                }
+            }
+            if let Some(hi) = iv.hi {
+                if full.hi != Some(hi) {
+                    if let Some(lit) = num_lit(*k, hi) {
+                        conj.push(Expr::binop(BinOp::Le, var.clone(), lit));
+                    }
+                }
+            }
+        }
+    }
+    for (a, k, iv) in env.atom_bounds() {
+        if !occurs_in(a, g) {
+            continue;
+        }
+        let full = k.range();
+        if let Some(lo) = iv.lo {
+            if full.lo != Some(lo) {
+                if let Some(lit) = num_lit(k, lo) {
+                    conj.push(Expr::binop(BinOp::Le, lit, a.clone()));
+                }
+            }
+        }
+        if let Some(hi) = iv.hi {
+            if full.hi != Some(hi) {
+                if let Some(lit) = num_lit(k, hi) {
+                    conj.push(Expr::binop(BinOp::Le, a.clone(), lit));
+                }
+            }
+        }
+    }
+    for f in env.facts() {
+        let relevant =
+            f == g || occurs_in(f, g) || f.free_vars().iter().any(|v| fv.contains(v));
+        if relevant {
+            conj.push(f.clone());
+        }
+    }
+    match conj.into_iter().reduce(Expr::and) {
+        Some(h) => h,
+        None => Expr::tt(),
+    }
+}
+
+/// Renders an interval endpoint as a literal of the kind, when the kind
+/// has a literal form the evaluator understands (words are skipped — word
+/// guards are rare after word abstraction).
+fn num_lit(k: NumKind, v: i128) -> Option<Expr> {
+    match k {
+        NumKind::Nat => u128::try_from(v).ok().map(Expr::nat),
+        NumKind::Int => Some(Expr::int(v)),
+        NumKind::Word(..) => None,
+    }
+}
+
+/// Structural subterm test.
+fn occurs_in(sub: &Expr, e: &Expr) -> bool {
+    let mut found = false;
+    e.visit(&mut |x| {
+        if x == sub {
+            found = true;
+        }
+    });
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir::ty::Ty;
+
+    fn fun(params: Vec<(&str, Ty)>, body: Prog) -> MonadicFn {
+        MonadicFn {
+            name: "f".into(),
+            params: params.into_iter().map(|(n, t)| (n.into(), t)).collect(),
+            ret_ty: Ty::Nat,
+            frame: None,
+            body,
+        }
+    }
+
+    fn nat(v: u64) -> Expr {
+        Expr::nat(v)
+    }
+
+    #[test]
+    fn bounded_divisor_guard_discharges() {
+        // do _ ← guard (b mod 7 + 1 ≠ 0); return 0 od — with b : nat free.
+        let d = Expr::binop(
+            BinOp::Add,
+            Expr::binop(BinOp::Mod, Expr::var("b"), nat(7)),
+            nat(1),
+        );
+        let g = Expr::binop(BinOp::Ne, d, nat(0));
+        let f = fun(
+            vec![("b", Ty::Nat)],
+            Prog::bind(
+                Prog::guard(GuardKind::DivByZero, g),
+                "_",
+                Prog::ret(nat(0)),
+            ),
+        );
+        let r = analyze_fn(&f, &TypeEnv::new());
+        assert_eq!(r.guards.len(), 1);
+        let Verdict::ProvedTrue { hyp } = &r.guards[0].verdict else {
+            panic!("expected discharge, got {:?}", r.guards[0].verdict);
+        };
+        // The recorded hypothesis re-validates independently.
+        assert!(entails(hyp, &r.guards[0].guard));
+    }
+
+    #[test]
+    fn branch_refinement_discharges_overflow_idiom() {
+        // condition (x ≤ 10) (guard (x + 1 ≤ 20); ...) (return 0)
+        let x = Expr::var("x");
+        let c = Expr::binop(BinOp::Le, x.clone(), nat(10));
+        let g = Expr::binop(
+            BinOp::Le,
+            Expr::binop(BinOp::Add, x.clone(), nat(1)),
+            nat(20),
+        );
+        let f = fun(
+            vec![("x", Ty::Nat)],
+            Prog::cond(
+                c,
+                Prog::bind(
+                    Prog::guard(GuardKind::UnsignedOverflow, g.clone()),
+                    "_",
+                    Prog::ret(nat(1)),
+                ),
+                Prog::ret(nat(0)),
+            ),
+        );
+        let r = analyze_fn(&f, &TypeEnv::new());
+        assert_eq!(r.discharged(), 1);
+        let Verdict::ProvedTrue { hyp } = &r.guards[0].verdict else {
+            panic!("not discharged");
+        };
+        // Self-contained: x ≤ 10 must be rendered into the hypothesis.
+        assert!(entails(hyp, &g));
+    }
+
+    #[test]
+    fn unknown_guard_stays_unknown() {
+        let g = Expr::binop(BinOp::Le, Expr::var("x"), nat(5));
+        let f = fun(
+            vec![("x", Ty::Nat)],
+            Prog::bind(
+                Prog::guard(GuardKind::WordAbs, g),
+                "_",
+                Prog::ret(nat(0)),
+            ),
+        );
+        let r = analyze_fn(&f, &TypeEnv::new());
+        assert_eq!(r.guards[0].verdict, Verdict::Unknown);
+    }
+
+    #[test]
+    fn definitely_false_guard_reported() {
+        // x bound to 30 by the bind, guard (x ≤ 20) is definitely false.
+        let f = fun(
+            vec![],
+            Prog::bind(
+                Prog::ret(nat(30)),
+                "x",
+                Prog::bind(
+                    Prog::guard(
+                        GuardKind::UnsignedOverflow,
+                        Expr::binop(BinOp::Le, Expr::var("x"), nat(20)),
+                    ),
+                    "_",
+                    Prog::ret(nat(0)),
+                ),
+            ),
+        );
+        let r = analyze_fn(&f, &TypeEnv::new());
+        assert_eq!(r.guards[0].verdict, Verdict::ProvedFalse);
+        assert_eq!(r.refuted(), 1);
+    }
+
+    #[test]
+    fn loop_counter_bound_discharges_via_widening() {
+        // i starts at 0; while (i < 13) { guard (i + 1 ≤ 100); i := i + 1 }
+        // After widening i covers [0, ∞) but the condition refines i ≤ 12
+        // inside the body, so i + 1 ≤ 100 holds for every iteration.
+        let i = Expr::var("i");
+        let cond = Expr::binop(BinOp::Lt, i.clone(), nat(13));
+        let g = Expr::binop(
+            BinOp::Le,
+            Expr::binop(BinOp::Add, i.clone(), nat(1)),
+            nat(100),
+        );
+        let body = Prog::bind(
+            Prog::guard(GuardKind::UnsignedOverflow, g),
+            "_",
+            Prog::ret(Expr::binop(BinOp::Add, i.clone(), nat(1))),
+        );
+        let f = fun(
+            vec![],
+            Prog::While {
+                vars: vec!["i".into()],
+                cond,
+                body: monadic::prog::IProg::new(body),
+                init: vec![nat(0)],
+            },
+        );
+        let r = analyze_fn(&f, &TypeEnv::new());
+        assert_eq!(r.guards.len(), 1, "guard recorded exactly once");
+        assert_eq!(r.discharged(), 1, "verdict: {:?}", r.guards[0].verdict);
+    }
+
+    #[test]
+    fn guard_unsound_for_later_iterations_is_not_discharged() {
+        // while (i < 13) { guard (i ≤ 0); i := i + 1 } — true on entry only.
+        let i = Expr::var("i");
+        let cond = Expr::binop(BinOp::Lt, i.clone(), nat(13));
+        let g = Expr::binop(BinOp::Le, i.clone(), nat(0));
+        let body = Prog::bind(
+            Prog::guard(GuardKind::WordAbs, g),
+            "_",
+            Prog::ret(Expr::binop(BinOp::Add, i.clone(), nat(1))),
+        );
+        let f = fun(
+            vec![],
+            Prog::While {
+                vars: vec!["i".into()],
+                cond,
+                body: monadic::prog::IProg::new(body),
+                init: vec![nat(0)],
+            },
+        );
+        let r = analyze_fn(&f, &TypeEnv::new());
+        assert_eq!(r.discharged(), 0, "verdict: {:?}", r.guards[0].verdict);
+    }
+
+    #[test]
+    fn repeated_validity_guard_discharges_after_heap_write() {
+        // guard (is_valid p); heap write; guard (is_valid p) — the second
+        // discharges (data writes preserve validity).
+        let p = Expr::var("p");
+        let ty = Ty::Word(ir::ty::Width::W32, ir::ty::Signedness::Unsigned);
+        let v = Expr::is_valid(ty.clone(), p.clone());
+        let f = fun(
+            vec![("p", ty.clone().ptr_to())],
+            Prog::bind(
+                Prog::guard(GuardKind::PtrValid, v.clone()),
+                "_",
+                Prog::bind(
+                    Prog::Modify(ir::update::Update::Heap(ty, p.clone(), nat(0))),
+                    "_",
+                    Prog::bind(
+                        Prog::guard(GuardKind::PtrValid, v),
+                        "_",
+                        Prog::ret(nat(0)),
+                    ),
+                ),
+            ),
+        );
+        let r = analyze_fn(&f, &TypeEnv::new());
+        assert_eq!(r.guards.len(), 2);
+        assert_eq!(r.guards[0].verdict, Verdict::Unknown);
+        assert!(
+            matches!(r.guards[1].verdict, Verdict::ProvedTrue { .. }),
+            "second validity check should be free: {:?}",
+            r.guards[1].verdict
+        );
+    }
+
+    #[test]
+    fn guards_after_definite_failure_are_unreachable() {
+        // guard (false-ish) then another guard: the second is dead code and
+        // is not recorded at all.
+        let f = fun(
+            vec![],
+            Prog::bind(
+                Prog::Fail,
+                "_",
+                Prog::bind(
+                    Prog::guard(GuardKind::DivByZero, Expr::tt()),
+                    "_",
+                    Prog::ret(nat(0)),
+                ),
+            ),
+        );
+        let r = analyze_fn(&f, &TypeEnv::new());
+        assert!(r.guards.is_empty());
+    }
+}

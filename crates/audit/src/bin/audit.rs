@@ -24,6 +24,7 @@ fn main() -> ExitCode {
     ok &= mutation_kill(full);
     ok &= cache_attacks();
     ok &= differential(full);
+    ok &= discharge_differential(full);
 
     if ok {
         println!("\naudit: PASS");
@@ -120,4 +121,31 @@ fn differential(full: bool) -> bool {
         println!("DISAGREEMENT: {d}");
     }
     stats.disagreements.is_empty() && stats.decided_pairs > 0
+}
+
+fn discharge_differential(full: bool) -> bool {
+    let cfg = if full {
+        audit::DischargeConfig::full()
+    } else {
+        audit::DischargeConfig::smoke()
+    };
+    println!(
+        "\n-- discharge-vs-solver differential ({} programs) --",
+        cfg.programs
+    );
+    let start = Instant::now();
+    let stats = audit::run_discharge_campaign(&cfg);
+    println!(
+        "programs: {}  guards: {}  discharged: {}  refuted: {}  solver-unknown: {}  ({:.1}s)",
+        stats.programs,
+        stats.guards,
+        stats.discharged,
+        stats.refuted,
+        stats.solver_unknown,
+        start.elapsed().as_secs_f64()
+    );
+    for d in stats.disagreements.iter().take(10) {
+        println!("DISAGREEMENT: {d}");
+    }
+    stats.disagreements.is_empty() && stats.discharged > 0
 }

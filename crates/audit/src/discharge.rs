@@ -1,0 +1,202 @@
+//! Discharge-vs-solver differential.
+//!
+//! The abstract-interpretation phase proves guards statically and the
+//! kernel replays each `absint_discharge` side condition — but both halves
+//! run the *same* interval engine, so a shared bug (an unsound transfer
+//! function, a wrong widening) would slip through replay. This module is
+//! the independent oracle: every statically discharged guard is re-posed
+//! to [`solver::decide`] as `hyp ⟶ guard` and any `Counterexample` is a
+//! disagreement that fails the audit. `Unknown` verdicts are counted but
+//! not failures — the decision procedures are incomplete on non-linear
+//! goals, while the interval engine handles some of them (e.g. products
+//! of bounded factors).
+
+use std::collections::HashMap;
+
+use autocorres::{translate, Options, Output};
+use codegen::{generate_mix, Mix, Profile};
+use ir::expr::Expr;
+use solver::Verdict;
+
+/// Configuration of a discharge-differential campaign.
+#[derive(Clone, Debug)]
+pub struct DischargeConfig {
+    /// Number of generated programs.
+    pub programs: u32,
+    /// Functions per generated program.
+    pub functions: usize,
+    /// Approximate lines per generated program.
+    pub loc: usize,
+    /// Base RNG seed (program `i` uses `seed + i`).
+    pub seed: u64,
+}
+
+impl DischargeConfig {
+    /// Small smoke campaign (test-suite sized).
+    #[must_use]
+    pub fn smoke() -> DischargeConfig {
+        DischargeConfig {
+            programs: 8,
+            functions: 6,
+            loc: 90,
+            seed: 0xAB51,
+        }
+    }
+
+    /// Full campaign: the ISSUE-8 acceptance bar (100 generated programs).
+    #[must_use]
+    pub fn full() -> DischargeConfig {
+        DischargeConfig {
+            programs: 100,
+            functions: 8,
+            loc: 120,
+            seed: 0xAB51,
+        }
+    }
+}
+
+/// Campaign results.
+#[derive(Clone, Debug, Default)]
+pub struct DischargeStats {
+    /// Programs translated.
+    pub programs: u64,
+    /// Guards the analysis saw on reachable paths.
+    pub guards: u64,
+    /// Guards proved true statically and re-checked against the solver.
+    pub discharged: u64,
+    /// Guards proved definitely false (not solver-checked: refutation is a
+    /// claim about a *reachable* abstract state, which the per-function
+    /// solver goal cannot express).
+    pub refuted: u64,
+    /// Discharged guards the solver could not decide either way.
+    pub solver_unknown: u64,
+    /// Discharged guards the solver *refuted* (must stay empty). Messages
+    /// carry the program seed so `codegen::generate_mix` regenerates the
+    /// offending source.
+    pub disagreements: Vec<String>,
+}
+
+impl DischargeStats {
+    fn merge(&mut self, other: &DischargeStats) {
+        self.programs += other.programs;
+        self.guards += other.guards;
+        self.discharged += other.discharged;
+        self.refuted += other.refuted;
+        self.solver_unknown += other.solver_unknown;
+        self.disagreements.extend(other.disagreements.iter().cloned());
+    }
+}
+
+/// Re-poses every statically discharged guard of one pipeline output to
+/// the solver. `label` prefixes disagreement messages.
+#[must_use]
+pub fn check_discharges(out: &Output, label: &str) -> DischargeStats {
+    let mut stats = DischargeStats::default();
+    for (name, a) in &out.absint {
+        let fun = out.wa.fns.get(name).expect("wa keeps every function");
+        let vars: HashMap<String, ir::ty::Ty> = fun.params.iter().cloned().collect();
+        for g in &a.report.guards {
+            stats.guards += 1;
+            match &g.verdict {
+                absint::Verdict::ProvedTrue { hyp } => {
+                    stats.discharged += 1;
+                    let goal = Expr::implies(hyp.clone(), g.guard.clone());
+                    match solver::decide(&goal, &vars) {
+                        Verdict::Valid => {}
+                        Verdict::Unknown => stats.solver_unknown += 1,
+                        Verdict::Counterexample(cex) => stats.disagreements.push(format!(
+                            "{label} fn={name} guard[{}] {}: absint proved `{}` under \
+                             `{hyp}` but the solver refutes it: {cex:?}",
+                            g.index, g.kind, g.guard
+                        )),
+                    }
+                }
+                absint::Verdict::ProvedFalse => stats.refuted += 1,
+                absint::Verdict::Unknown => {}
+            }
+        }
+    }
+    stats
+}
+
+/// Runs a discharge-differential campaign over generated audit-mix
+/// programs: translate, collect the absint report, and solver-check every
+/// discharged guard.
+#[must_use]
+pub fn run_discharge_campaign(cfg: &DischargeConfig) -> DischargeStats {
+    let mut stats = DischargeStats::default();
+    let profile = Profile {
+        name: "audit",
+        loc: cfg.loc,
+        functions: cfg.functions,
+    };
+    for i in 0..cfg.programs {
+        let seed = cfg.seed.wrapping_add(u64::from(i));
+        let src = generate_mix(&profile, &Mix::audit(), seed);
+        let opts = Options {
+            seed,
+            l2_trials: 4,
+            ..Options::default()
+        };
+        let out = match translate(&src, &opts) {
+            Ok(out) => out,
+            Err(e) => {
+                stats
+                    .disagreements
+                    .push(format!("program seed={seed}: pipeline error: {e}"));
+                continue;
+            }
+        };
+        stats.programs += 1;
+        stats.merge(&check_discharges(&out, &format!("seed={seed}")));
+        // The discharge theorems must also replay through the kernel.
+        if let Err(e) = out.check_absint() {
+            stats
+                .disagreements
+                .push(format!("program seed={seed}: discharge replay failed: {e}"));
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handcrafted_discharges_agree_with_solver() {
+        let src = "
+unsigned clamp(unsigned x) {
+    if (x < 100u) { return x + 1u; }
+    return 100u;
+}
+int scale(int n) {
+    if (n > 0 && n < 1000) { return n * 2; }
+    return 0;
+}
+";
+        let out = translate(src, &Options::default()).unwrap();
+        let stats = check_discharges(&out, "handcrafted");
+        assert!(stats.discharged > 0, "expected at least one discharge");
+        assert!(
+            stats.disagreements.is_empty(),
+            "solver refuted a discharged guard: {:?}",
+            stats.disagreements
+        );
+    }
+
+    #[test]
+    fn smoke_campaign_has_no_disagreements() {
+        let cfg = DischargeConfig {
+            programs: 2,
+            ..DischargeConfig::smoke()
+        };
+        let stats = run_discharge_campaign(&cfg);
+        assert_eq!(stats.programs, 2);
+        assert!(
+            stats.disagreements.is_empty(),
+            "{:?}",
+            stats.disagreements
+        );
+    }
+}

@@ -12,15 +12,23 @@
 //!    on shared inputs and require agreement, covering the
 //!    randomized-evidence steps (`ExecTested`, `WCustomSampled`) that
 //!    fault injection deliberately leaves to execution.
+//! 3. **Discharge differential** ([`discharge`]): every guard the
+//!    abstract-interpretation phase proved statically is re-posed to the
+//!    independent decision procedures — a disagreement means the interval
+//!    engine (shared by analysis and kernel replay) is unsound.
 //!
 //! Driven by `cargo test -p audit` (small budgets) and the `audit` binary
 //! (`scripts/tier1.sh --audit` for the full campaign).
 
 pub mod differential;
+pub mod discharge;
 pub mod layers;
 pub mod mutate;
 
 pub use differential::{diff_output, run_campaign, DiffConfig, DiffStats};
+pub use discharge::{
+    check_discharges, run_discharge_campaign, DischargeConfig, DischargeStats,
+};
 pub use layers::{first_divergence, run_all, Divergence, LayerRun};
 pub use mutate::{
     attack_artifact_store, attack_replay_cache, attack_theorems, CacheAttackReport, KillMatrix,

@@ -429,6 +429,12 @@ fn perturb_judgment(j: &Judgment) -> Judgment {
             abs: abs.clone(),
             conc: conc.clone(),
         },
+        Judgment::AbsGuard { hyp, kind, guard } => Judgment::AbsGuard {
+            hyp: hyp.clone(),
+            kind: kind.clone(),
+            // Strengthen the conclusion past what the hypothesis supports.
+            guard: Expr::and(guard.clone(), audit_flag()),
+        },
     }
 }
 
@@ -441,6 +447,7 @@ fn conc_symbol(j: &Judgment) -> Option<Symbol> {
         | Judgment::HStmt { conc, .. } => first_symbol_prog(conc),
         Judgment::WVal { conc, .. } | Judgment::HVal { conc, .. } => first_symbol_expr(conc),
         Judgment::HUpd { conc, .. } => first_symbol_update(conc),
+        Judgment::AbsGuard { guard, .. } => first_symbol_expr(guard),
     }
 }
 
@@ -483,6 +490,12 @@ fn rename_conc(j: &Judgment, from: Symbol, to: Symbol) -> Judgment {
             pre: pre.clone(),
             abs: abs.clone(),
             conc: rename_update(conc, from, to),
+        },
+        Judgment::AbsGuard { hyp, kind, guard } => Judgment::AbsGuard {
+            // Rename in the guard only: the hypothesis no longer bounds it.
+            hyp: hyp.clone(),
+            kind: kind.clone(),
+            guard: rename_expr(guard, from, to),
         },
     }
 }

@@ -249,6 +249,7 @@ fn normalize(stmts: &[TStmt]) -> Vec<TStmt> {
                 cond,
                 then_branch,
                 else_branch,
+                span,
             } if else_branch.is_empty()
                 && always_exits(then_branch)
                 && i + 1 < stmts.len() =>
@@ -258,6 +259,7 @@ fn normalize(stmts: &[TStmt]) -> Vec<TStmt> {
                     cond: cond.clone(),
                     then_branch: normalize(then_branch),
                     else_branch: rest,
+                    span: *span,
                 });
                 return out;
             }
@@ -265,10 +267,12 @@ fn normalize(stmts: &[TStmt]) -> Vec<TStmt> {
                 cond,
                 then_branch,
                 else_branch,
+                span,
             } => out.push(TStmt::If {
                 cond: cond.clone(),
                 then_branch: normalize(then_branch),
                 else_branch: normalize(else_branch),
+                span: *span,
             }),
             TStmt::While { cond, body, span } => out.push(TStmt::While {
                 cond: cond.clone(),
@@ -567,7 +571,7 @@ impl<'a> L2Tr<'a> {
         };
         let is_last = rest.is_empty();
         match first {
-            TStmt::Decl { name, ty, init } => {
+            TStmt::Decl { name, ty, init, .. } => {
                 self.scope.insert(name.clone());
                 let (steps, e) = match init {
                     Some(e) => self.value(e)?,
@@ -580,7 +584,7 @@ impl<'a> L2Tr<'a> {
                 let k = self.tr_stmts(rest, tail, lp)?;
                 Ok(self.with_pre(steps, Prog::bind(Self::yield_value(e), name.clone(), k)))
             }
-            TStmt::Assign { lhs, rhs } => {
+            TStmt::Assign { lhs, rhs, .. } => {
                 let (mut steps, re) = self.value(rhs)?;
                 let mut pre_lhs = Vec::new();
                 let (lguards, upd) = self
@@ -600,7 +604,7 @@ impl<'a> L2Tr<'a> {
                 };
                 Ok(self.with_pre(steps, prog))
             }
-            TStmt::ExprCall(e) => {
+            TStmt::ExprCall(e, _) => {
                 let TExprKind::Call(name, args) = &e.kind else {
                     return err("expression statement is not a call");
                 };
@@ -626,6 +630,7 @@ impl<'a> L2Tr<'a> {
                 cond,
                 then_branch,
                 else_branch,
+                ..
             } => {
                 let (steps, c) = self.condition(cond)?;
                 if is_last {

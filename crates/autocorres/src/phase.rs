@@ -111,6 +111,21 @@ pub enum Artifact {
     },
     /// Caller adaptation; `None` when the function needed no rewriting.
     Adapt(Option<AdaptedFn>),
+    /// Abstract-interpretation result: the guard/lint report plus the
+    /// discharge theorems. Empty when `--no-absint` disabled the phase.
+    Absint(AbsintFn),
+}
+
+/// The abstract-interpretation artifact for one function.
+#[derive(Clone, Debug, Default)]
+pub struct AbsintFn {
+    /// Guard verdicts and lints from the flow-sensitive analysis.
+    pub report: absint::FnAbsint,
+    /// One `absint_discharge` theorem per statically proved guard, keyed
+    /// by the guard's index in `report.guards`. Kept separate from the
+    /// refinement theorems: discharge theorems certify guard validity,
+    /// not translation correctness.
+    pub thms: Vec<(usize, Thm)>,
 }
 
 /// An adapted concrete caller: the rewritten body and its theorem.
@@ -193,6 +208,7 @@ pub static PHASES: &[&dyn Phase] = &[
     &HlPhase,
     &WaPhase,
     &AdaptPhase,
+    &AbsintPhase,
 ];
 
 fn phase_index(name: &str) -> usize {
@@ -636,7 +652,7 @@ fn collect_calls(s: &SimplStmt, out: &mut BTreeSet<String>) {
     }
 }
 
-// ---- the six phases ---------------------------------------------------------
+// ---- the seven phases -------------------------------------------------------
 
 /// Simpl → monadic with state-stored locals (one kernel rule per
 /// construct, Table 1).
@@ -859,6 +875,66 @@ impl Phase for AdaptPhase {
             body: new_body.clone(),
             thm,
         })))
+    }
+}
+
+/// Abstract interpretation over the final (adapted) bodies: wrapping
+/// intervals, nullness/validity, and reachability, feeding guard
+/// discharge (one `absint_discharge` theorem per proved guard) and the
+/// source-level lint passes. Purely observational — it never rewrites a
+/// body or a spec, so disabling it cannot change translation output.
+struct AbsintPhase;
+
+impl Phase for AbsintPhase {
+    fn name(&self) -> &'static str {
+        "absint"
+    }
+    fn deps(&self) -> &'static [Dep] {
+        &[Dep {
+            phase: "adapt",
+            scope: DepScope::AllFns,
+        }]
+    }
+    fn input_digest(&self, cx: &PhaseCx<'_>, f: usize) -> Result<u128, Failure> {
+        // The analysis reads the function's final body (callee kills are
+        // name-only, so the own-function digest covers the inputs), but
+        // adapted bodies depend on the callee cone — use the cone digest
+        // like the other post-WA phases. `no_absint` is hashed here, not
+        // in the options digest, so flipping it cannot invalidate the
+        // translation phases' cache entries.
+        let sh = cx.adapt_shared()?;
+        let extra = sh.ht_digest ^ u128::from(cx.opts.no_absint);
+        Ok(cx.cone_scope_digest("absint", f, extra))
+    }
+    fn run(&self, cx: &PhaseCx<'_>, f: usize) -> Result<Artifact, Failure> {
+        if cx.opts.no_absint {
+            return Ok(Artifact::Absint(AbsintFn::default()));
+        }
+        let sh = cx.adapt_shared()?;
+        let wash = cx.wa_shared()?;
+        let name = &cx.names[f];
+        let fun = &sh.wactx.fns[name];
+        let mut report = absint::analyze_fn(fun, &cx.sp.tenv);
+        report.lints = absint::lint_fn(&cx.typed.functions[cx.typed_idx[f]]);
+        let mut thms = Vec::new();
+        for g in &report.guards {
+            if let absint::Verdict::ProvedTrue { hyp } = &g.verdict {
+                let thm = kernel::rules::refine::absint_discharge(
+                    &wash.check_ctx,
+                    hyp,
+                    g.kind.clone(),
+                    &g.guard,
+                )
+                .map_err(|e| {
+                    Failure::from(
+                        Diag::new(ir::diag::Phase::Absint, DiagKind::Kernel, e.to_string())
+                            .with_function(name),
+                    )
+                })?;
+                thms.push((g.index, thm));
+            }
+        }
+        Ok(Artifact::Absint(AbsintFn { report, thms }))
     }
 }
 
@@ -1314,6 +1390,13 @@ pub(crate) fn run_pipeline(
             adapt_thms.push((cx.names[i].clone(), a.thm.clone()));
         }
     }
+    let mut absint_map: BTreeMap<String, AbsintFn> = BTreeMap::new();
+    for i in 0..n {
+        let Artifact::Absint(a) = &take("absint", i).value else {
+            unreachable!("absint nodes produce Absint artifacts");
+        };
+        absint_map.insert(cx.names[i].clone(), a.clone());
+    }
 
     // Per-phase stats from the node clocks; `l2`/`l2thm` merge into the
     // single legacy `l2` entry so the deterministic summary is unchanged.
@@ -1356,6 +1439,17 @@ pub(crate) fn run_pipeline(
         c[5].cached,
     ));
     wa_thms.extend(adapt_thms);
+    // Discharge theorems are (guard index, Thm) pairs and stay out of the
+    // refinement-theorem lists: the row is built by hand, not via `mk`.
+    let absint_thms: usize = absint_map.values().map(|a| a.thms.len()).sum();
+    let absint_nodes: usize = absint_map
+        .values()
+        .flat_map(|a| a.thms.iter().map(|(_, t)| t.proof_size()))
+        .sum();
+    phases.push(PhaseStat {
+        cached: c[6].cached,
+        ..PhaseStat::from_pool("absint", pool(c[6]), n, absint_thms, absint_nodes)
+    });
 
     let thms = PhaseTheorems {
         l1: l1_thms,
@@ -1370,6 +1464,9 @@ pub(crate) fn run_pipeline(
         total_wall: total_start.elapsed(),
         dirty_fns: outcome.dirty_fns,
         cached_nodes: outcome.cached_nodes,
+        guards_total: absint_map.values().map(|a| a.report.guards.len()).sum(),
+        guards_discharged: absint_map.values().map(|a| a.report.discharged()).sum(),
+        guards_refuted: absint_map.values().map(|a| a.report.refuted()).sum(),
         ..PipelineStats::default()
     };
     for (_, name, thm) in thms.iter() {
@@ -1394,6 +1491,7 @@ pub(crate) fn run_pipeline(
         hl: hlctx,
         wa: wactx,
         thms,
+        absint: absint_map,
         check_ctx,
         stats,
     })

@@ -27,7 +27,7 @@
 //! byte-identical at any worker count, cached or not. The determinism
 //! test suite asserts this.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use ir::diag::Diag;
@@ -66,6 +66,11 @@ pub struct Options {
     /// oversubscription; never needed in normal use. Like `workers`,
     /// never affects output bytes.
     pub force_pool: bool,
+    /// Disables the abstract-interpretation phase (guard discharge and
+    /// lints). The phase never changes specs or refinement theorems, so
+    /// this is purely an escape hatch: translation output is byte-identical
+    /// either way, only the discharge report and lint set become empty.
+    pub no_absint: bool,
 }
 
 impl fmt::Debug for Options {
@@ -78,6 +83,7 @@ impl fmt::Debug for Options {
             .field("seed", &self.seed)
             .field("workers", &self.workers)
             .field("force_pool", &self.force_pool)
+            .field("no_absint", &self.no_absint)
             .finish()
     }
 }
@@ -159,6 +165,13 @@ pub struct Output {
     pub wa: ProgramCtx,
     /// Theorems per phase.
     pub thms: PhaseTheorems,
+    /// Per-function abstract-interpretation results: guard verdicts (with
+    /// one `absint_discharge` theorem per statically proved guard) and
+    /// lints. Empty reports with [`Options::no_absint`]. Kept apart from
+    /// [`Output::thms`]: discharge theorems certify guard validity, not
+    /// translation correctness, and are replayed by
+    /// [`Output::check_absint`].
+    pub absint: BTreeMap<String, crate::phase::AbsintFn>,
     /// The kernel context (with the abstracted-function signature table),
     /// for replaying the theorems through the checker.
     pub check_ctx: CheckCtx,
@@ -214,6 +227,73 @@ impl Output {
     #[must_use]
     pub fn total_proof_size(&self) -> usize {
         self.thms.iter().map(|(_, _, t)| t.proof_size()).sum()
+    }
+
+    /// Replays every `absint_discharge` theorem through the independent
+    /// checker — the kernel re-runs each theorem's interval side
+    /// condition, so a bug in the analyzer's fixpoint cannot silently
+    /// discharge an invalid guard.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing rule application (in function order).
+    pub fn check_absint(&self) -> Result<(), kernel::KernelError> {
+        kernel::check_all(
+            self.absint.iter().flat_map(|(name, a)| {
+                a.thms.iter().map(move |(_, t)| (name.as_str(), t))
+            }),
+            &self.check_ctx,
+            self.stats.workers,
+        )
+        .map(|_| ())
+        .map_err(|(_, e)| e)
+    }
+
+    /// The abstract-interpretation findings as diagnostics: the AST-level
+    /// lints (dead stores, unreachable code, use-before-init) with their
+    /// source spans, plus one `definite-overflow` lint per guard proved
+    /// *false* — a fault on a reachable path, anchored at the function's
+    /// main VC span like a solver refutation would be. Sorted by function
+    /// name, then span offset.
+    #[must_use]
+    pub fn lint_diags(&self) -> Vec<Diag> {
+        let mut out = Vec::new();
+        for (name, a) in &self.absint {
+            let mut fn_diags: Vec<Diag> = Vec::new();
+            for l in &a.report.lints {
+                fn_diags.push(
+                    Diag::new(
+                        ir::diag::Phase::Absint,
+                        ir::diag::DiagKind::Lint,
+                        format!("{}: {}", l.kind.name(), l.message),
+                    )
+                    .with_function(name)
+                    .with_span(l.span),
+                );
+            }
+            let main = self.fn_spans(name).map(|(m, _)| m);
+            for g in &a.report.guards {
+                if g.verdict == absint::Verdict::ProvedFalse {
+                    let mut d = Diag::new(
+                        ir::diag::Phase::Absint,
+                        ir::diag::DiagKind::Lint,
+                        format!(
+                            "definite-overflow: guard {} is provably false on a \
+                             reachable path: {}",
+                            g.kind, g.guard
+                        ),
+                    )
+                    .with_function(name);
+                    if let Some(sp) = main {
+                        d = d.with_span(sp);
+                    }
+                    fn_diags.push(d);
+                }
+            }
+            fn_diags.sort_by_key(|d| d.span.map_or(0, |s| s.offset));
+            out.extend(fn_diags);
+        }
+        out
     }
 
     /// Source spans backing the verification conditions of `name`: the

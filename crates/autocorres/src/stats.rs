@@ -116,6 +116,14 @@ pub struct PipelineStats {
     /// phases. Excluded from [`PipelineStats::deterministic_summary`]:
     /// cache occupancy varies between runs, output bytes must not.
     pub cached_nodes: usize,
+    /// Guards the abstract-interpretation phase saw on reachable paths
+    /// (0 with `--no-absint`).
+    pub guards_total: usize,
+    /// Guards proved true statically — each carries an `absint_discharge`
+    /// theorem and needs no VCG/solver work.
+    pub guards_discharged: usize,
+    /// Guards proved *false* — definite faults, surfaced as lints.
+    pub guards_refuted: usize,
 }
 
 impl PipelineStats {

@@ -30,4 +30,4 @@ pub mod trace;
 pub use analyze::{
     analyze, state_from_cells, validate_input, Analysis, Cex, FnSpec, Observed, VcReport, VcStatus,
 };
-pub use seed::{playback, Playback, Seed, FORMAT, SOURCE_SEP};
+pub use seed::{playback, playback_with, Playback, Seed, FORMAT, SOURCE_SEP};

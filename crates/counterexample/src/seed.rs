@@ -232,8 +232,19 @@ pub struct Playback {
 /// Returns a message when the seed is malformed, the source no longer
 /// translates, or the input state no longer encodes.
 pub fn playback(text: &str) -> Result<Playback, String> {
+    playback_with(text, &autocorres::Options::default())
+}
+
+/// [`playback`] with explicit pipeline options — lets the bench assert
+/// that seed replays are byte-identical with the abstract-interpretation
+/// phase disabled.
+///
+/// # Errors
+///
+/// As for [`playback`].
+pub fn playback_with(text: &str, opts: &autocorres::Options) -> Result<Playback, String> {
     let seed = Seed::parse(text)?;
-    let out = autocorres::translate(&seed.source, &autocorres::Options::default())
+    let out = autocorres::translate(&seed.source, opts)
         .map_err(|e| format!("seed source no longer translates: {e}"))?;
     let conc0 = crate::analyze::state_from_cells(&seed.cells, &out.simpl.tenv)?;
     let cex = validate_input(

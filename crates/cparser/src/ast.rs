@@ -160,6 +160,8 @@ pub enum Stmt {
         ty: CType,
         /// Optional initialiser.
         init: Option<CExpr>,
+        /// Position of the declared name in the source.
+        span: Span,
     },
     /// Assignment `lhs = rhs;` (lhs must be an lvalue).
     Assign {
@@ -167,10 +169,13 @@ pub enum Stmt {
         lhs: CExpr,
         /// Value.
         rhs: CExpr,
+        /// Position of the statement start in the source.
+        span: Span,
     },
     /// Expression statement (must be a call — other expressions have no
-    /// effect and are rejected by the typechecker).
-    Expr(CExpr),
+    /// effect and are rejected by the typechecker); the span is the
+    /// statement start.
+    Expr(CExpr, Span),
     /// `if`/`else`.
     If {
         /// Condition.
@@ -179,6 +184,8 @@ pub enum Stmt {
         then_branch: Vec<Stmt>,
         /// Else branch (empty when absent).
         else_branch: Vec<Stmt>,
+        /// Position of the `if` keyword in the source.
+        span: Span,
     },
     /// `while` loop.
     While {

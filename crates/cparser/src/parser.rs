@@ -347,6 +347,7 @@ impl<'a> Parser<'a> {
         if self.at_punct("{") {
             return Ok(Stmt::Block(self.block()?));
         }
+        let span = self.span();
         if self.eat_ident("if") {
             self.expect_punct("(")?;
             let cond = self.expr()?;
@@ -361,9 +362,9 @@ impl<'a> Parser<'a> {
                 cond,
                 then_branch,
                 else_branch,
+                span,
             });
         }
-        let span = self.span();
         if self.eat_ident("while") {
             self.expect_punct("(")?;
             let cond = self.expr()?;
@@ -423,6 +424,7 @@ impl<'a> Parser<'a> {
 
     fn decl_stmt(&mut self) -> Result<Stmt> {
         let ty = self.full_type()?;
+        let span = self.span();
         let name = self.expect_any_ident()?;
         if self.at_punct("[") {
             return self.err("arrays are not in the supported subset; use pointers");
@@ -435,11 +437,12 @@ impl<'a> Parser<'a> {
         if self.at_punct(",") {
             return self.err("multiple declarators per statement are unsupported; split them");
         }
-        Ok(Stmt::Decl { name, ty, init })
+        Ok(Stmt::Decl { name, ty, init, span })
     }
 
     /// Assignment, compound assignment, increment/decrement, or a call.
     fn simple_stmt(&mut self) -> Result<Stmt> {
+        let span = self.span();
         // Prefix increment/decrement as statements.
         for (op, bin) in [("++", CBinOp::Add), ("--", CBinOp::Sub)] {
             if self.at_punct(op) {
@@ -448,13 +451,14 @@ impl<'a> Parser<'a> {
                 return Ok(Stmt::Assign {
                     lhs: lhs.clone(),
                     rhs: CExpr::Binary(bin, Box::new(lhs), Box::new(CExpr::IntLit(1, false))),
+                    span,
                 });
             }
         }
         let lhs = self.expr()?;
         if self.eat_punct("=") {
             let rhs = self.expr()?;
-            return Ok(Stmt::Assign { lhs, rhs });
+            return Ok(Stmt::Assign { lhs, rhs, span });
         }
         for (op, bin) in [
             ("+=", CBinOp::Add),
@@ -474,6 +478,7 @@ impl<'a> Parser<'a> {
                 return Ok(Stmt::Assign {
                     lhs: lhs.clone(),
                     rhs: CExpr::Binary(bin, Box::new(lhs), Box::new(rhs)),
+                    span,
                 });
             }
         }
@@ -483,10 +488,11 @@ impl<'a> Parser<'a> {
                 return Ok(Stmt::Assign {
                     lhs: lhs.clone(),
                     rhs: CExpr::Binary(bin, Box::new(lhs), Box::new(CExpr::IntLit(1, false))),
+                    span,
                 });
             }
         }
-        Ok(Stmt::Expr(lhs))
+        Ok(Stmt::Expr(lhs, span))
     }
 
     fn for_stmt(&mut self, span: Span) -> Result<Stmt> {
@@ -851,7 +857,8 @@ mod tests {
             &prog.functions[0].body[0],
             Stmt::Assign {
                 lhs: CExpr::Arrow(..),
-                rhs: CExpr::Null
+                rhs: CExpr::Null,
+                ..
             }
         ));
     }

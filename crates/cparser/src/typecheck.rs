@@ -129,6 +129,8 @@ pub enum TStmt {
         ty: CType,
         /// Initialiser, already converted to `ty`.
         init: Option<TExpr>,
+        /// Position of the declared name in the source.
+        span: Span,
     },
     /// Assignment; `lhs` is an lvalue (Local, Global, Deref, or Member
     /// chains over those).
@@ -137,9 +139,11 @@ pub enum TStmt {
         lhs: TExpr,
         /// Value, already converted to the target type.
         rhs: TExpr,
+        /// Position of the statement start in the source.
+        span: Span,
     },
-    /// A call evaluated for effect only.
-    ExprCall(TExpr),
+    /// A call evaluated for effect only; the span is the statement start.
+    ExprCall(TExpr, Span),
     /// `if`/`else` on a boolean-valued condition.
     If {
         /// Condition (boolean-valued).
@@ -148,6 +152,8 @@ pub enum TStmt {
         then_branch: Vec<TStmt>,
         /// Else branch.
         else_branch: Vec<TStmt>,
+        /// Position of the `if` keyword in the source.
+        span: Span,
     },
     /// `while` loop.
     While {
@@ -377,10 +383,12 @@ fn each_call(stmts: &[TStmt], f: &mut impl FnMut(&str) -> Result<()>) -> Result<
     }
     for s in stmts {
         match s {
-            TStmt::Decl { init: Some(e), .. } | TStmt::ExprCall(e) | TStmt::Return(Some(e), _) => {
+            TStmt::Decl { init: Some(e), .. }
+            | TStmt::ExprCall(e, _)
+            | TStmt::Return(Some(e), _) => {
                 in_expr(e, f)?;
             }
-            TStmt::Assign { lhs, rhs } => {
+            TStmt::Assign { lhs, rhs, .. } => {
                 in_expr(lhs, f)?;
                 in_expr(rhs, f)?;
             }
@@ -388,6 +396,7 @@ fn each_call(stmts: &[TStmt], f: &mut impl FnMut(&str) -> Result<()>) -> Result<
                 cond,
                 then_branch,
                 else_branch,
+                ..
             } => {
                 in_expr(cond, f)?;
                 each_call(then_branch, f)?;
@@ -493,7 +502,7 @@ impl<'a> Ctx<'a> {
 
     fn stmt(&self, s: &Stmt, scope: &mut Scope, ret: &CType) -> Result<TStmt> {
         match s {
-            Stmt::Decl { name, ty, init } => {
+            Stmt::Decl { name, ty, init, span } => {
                 if *ty == CType::Void {
                     return Err(TypeError::new(format!("variable `{name}` of type void")));
                 }
@@ -509,30 +518,36 @@ impl<'a> Ctx<'a> {
                     name: unique,
                     ty: ty.clone(),
                     init,
+                    span: *span,
                 })
             }
-            Stmt::Assign { lhs, rhs } => {
+            Stmt::Assign { lhs, rhs, span } => {
                 let tl = self.expr(lhs, scope)?;
                 if !is_lvalue(&tl) {
                     return Err(TypeError::new(format!("not an lvalue: {lhs:?}")));
                 }
                 let tr = self.expr(rhs, scope)?;
                 let tr = self.convert(tr, &tl.ty.clone())?;
-                Ok(TStmt::Assign { lhs: tl, rhs: tr })
+                Ok(TStmt::Assign {
+                    lhs: tl,
+                    rhs: tr,
+                    span: *span,
+                })
             }
-            Stmt::Expr(e) => {
+            Stmt::Expr(e, span) => {
                 let te = self.expr(e, scope)?;
                 if !matches!(te.kind, TExprKind::Call(..)) {
                     return Err(TypeError::new(
                         "expression statements must be function calls (no side effects otherwise)",
                     ));
                 }
-                Ok(TStmt::ExprCall(te))
+                Ok(TStmt::ExprCall(te, *span))
             }
             Stmt::If {
                 cond,
                 then_branch,
                 else_branch,
+                span,
             } => {
                 let c = self.condition(cond, scope)?;
                 scope.push();
@@ -545,6 +560,7 @@ impl<'a> Ctx<'a> {
                     cond: c,
                     then_branch: t,
                     else_branch: e,
+                    span: *span,
                 })
             }
             Stmt::While { cond, body, span } => {

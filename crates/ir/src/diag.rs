@@ -33,6 +33,9 @@ pub enum Phase {
     /// The verification-condition / decision-procedure layer (`vcg` +
     /// `solver`): a spec was checked and a VC was refuted or undecided.
     Solver,
+    /// The abstract-interpretation phase (`absint`): guard discharge and
+    /// IR lints.
+    Absint,
 }
 
 impl Phase {
@@ -49,6 +52,7 @@ impl Phase {
             Phase::Wa => "WA",
             Phase::Kernel => "kernel",
             Phase::Solver => "solver",
+            Phase::Absint => "absint",
         }
     }
 }
@@ -105,6 +109,10 @@ pub enum DiagKind {
     /// A verification condition was refuted: the diagnostic carries a
     /// [`Counterexample`] when one could be extracted.
     Refuted,
+    /// A static-analysis lint: the code is accepted but suspicious (dead
+    /// store, unreachable code, use before initialisation, or a guard the
+    /// abstract interpreter proved *false* on every run).
+    Lint,
 }
 
 /// One typed heap cell of a counterexample's input state.

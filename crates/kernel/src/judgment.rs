@@ -184,6 +184,22 @@ pub enum Judgment {
         /// Concrete (original) program.
         conc: Prog,
     },
+    /// Abstract-interpretation guard discharge: `hyp ⟹ guard` by interval
+    /// entailment. The judgment is self-contained — the hypothesis records
+    /// everything the flow-sensitive analysis knew at the guard's program
+    /// point, so the independent checker re-validates the entailment from
+    /// the theorem alone (the flow-sensitivity claim itself is covered by
+    /// the audit differential, which re-decides every discharge with the
+    /// solver).
+    AbsGuard {
+        /// Conjunction of facts the abstract interpreter established at the
+        /// guard's program point (variable bounds, validity facts).
+        hyp: Expr,
+        /// What kind of side condition the guard protects.
+        kind: GuardKind,
+        /// The guard condition being discharged.
+        guard: Expr,
+    },
 }
 
 impl Judgment {
@@ -198,6 +214,7 @@ impl Judgment {
             Judgment::HStmt { .. } => "abs_h_stmt",
             Judgment::L1 { .. } => "l1corres",
             Judgment::Refines { .. } => "refines",
+            Judgment::AbsGuard { .. } => "abs_guard",
         }
     }
 }

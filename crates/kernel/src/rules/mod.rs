@@ -46,6 +46,7 @@ pub(crate) fn validate(
         }
         ReflRefines | TransRefines | BindCong | CondCong | CatchCong | WhileCong
         | DischargeGuard | ExecTested => refine::validate_refines(rule, premises, concl, side),
+        AbsintDischarge => refine::validate_absint(premises, concl),
     }
 }
 

@@ -243,6 +243,24 @@ pub(crate) fn validate_refines(
     }
 }
 
+/// Validates an abstract-interpretation guard discharge: the recorded
+/// hypothesis must entail the guard by interval reasoning alone. The
+/// judgment is self-contained, so replay needs nothing from the engine
+/// that produced it.
+pub(crate) fn validate_absint(prems: &[&Judgment], concl: &Judgment) -> V {
+    let Judgment::AbsGuard { hyp, guard, .. } = concl else {
+        return Err(format!("expected abs_guard, got {}", concl.describe()));
+    };
+    if !prems.is_empty() {
+        return Err("absint discharge is a leaf rule".into());
+    }
+    if solver::interval::entails(hyp, guard) {
+        Ok(())
+    } else {
+        Err(format!("interval reasoning cannot derive `{guard}` from `{hyp}`"))
+    }
+}
+
 // ---- public constructors ---------------------------------------------------
 
 type R = Result<Thm, KernelError>;
@@ -410,6 +428,28 @@ pub fn discharge_guard(cx: &CheckCtx, conc: &Prog) -> R {
         Judgment::Refines {
             abs: Prog::skip(),
             conc: conc.clone(),
+        },
+        Side::None,
+        cx,
+    )
+}
+
+/// Abstract-interpretation guard discharge: admits `hyp ⟹ guard` when
+/// interval entailment derives it (the rule's side condition, re-run by the
+/// independent checker on replay).
+///
+/// # Errors
+///
+/// Fails when interval reasoning cannot derive the guard from the
+/// hypothesis.
+pub fn absint_discharge(cx: &CheckCtx, hyp: &Expr, kind: ir::guard::GuardKind, guard: &Expr) -> R {
+    Thm::admit(
+        Rule::AbsintDischarge,
+        vec![],
+        Judgment::AbsGuard {
+            hyp: hyp.clone(),
+            kind,
+            guard: guard.clone(),
         },
         Side::None,
         cx,

@@ -176,6 +176,9 @@ pub enum Rule {
     WhileCong,
     /// Guard discharge: the simplifier proves the guard true.
     DischargeGuard,
+    /// Guard discharge by abstract interpretation: the recorded hypothesis
+    /// entails the guard by interval reasoning (`solver::interval::entails`).
+    AbsintDischarge,
     /// Refinement admitted after randomized differential testing
     /// (seed and trial count recorded; the substitute for Isabelle's
     /// rewrite-step proofs, see DESIGN.md §2).

@@ -185,8 +185,8 @@ impl<'a> FnTranslator<'a> {
                 None => Ok(SimplStmt::Skip),
                 Some(e) => self.assign_to_local(name, e),
             },
-            TStmt::Assign { lhs, rhs } => self.assign(lhs, rhs),
-            TStmt::ExprCall(e) => {
+            TStmt::Assign { lhs, rhs, .. } => self.assign(lhs, rhs),
+            TStmt::ExprCall(e, _) => {
                 let TExprKind::Call(name, args) = &e.kind else {
                     return self.err("expression statement is not a call");
                 };
@@ -204,6 +204,7 @@ impl<'a> FnTranslator<'a> {
                 cond,
                 then_branch,
                 else_branch,
+                ..
             } => {
                 let mut pre = Vec::new();
                 let c = self.cond(cond, &mut pre)?;

@@ -1,0 +1,1271 @@
+//! Interval entailment — the small trusted core behind abstract-interpretation
+//! guard discharge.
+//!
+//! An [`AbsEnv`] maps *atoms* (variables or opaque subterms) to value
+//! abstractions: numeric intervals tagged with the value's kind
+//! (`nat`/`int`/machine word), three-valued booleans, and pointer nullness —
+//! plus a set of expressions assumed true (*facts*, used to re-match repeated
+//! `is_valid` obligations syntactically). [`AbsEnv::assume`] refines the
+//! environment by a hypothesis; [`AbsEnv::eval`] evaluates an expression
+//! bottom-up, *hypothesis-aware*: the right side of `∧`/`⟶` is evaluated
+//! under the left side assumed, so the `if (a+b<a)` wrap-check idiom and
+//! guards of the form `c ⟶ g` discharge without case analysis.
+//!
+//! Three consumers share this engine:
+//!
+//! * the `absint` phase builds flow-sensitive environments and asks whether
+//!   each guard holds,
+//! * the kernel's `AbsintDischarge` rule re-validates a discharge from its
+//!   recorded hypothesis alone ([`entails`]) — the independent-checker story,
+//! * `vcg::auto` tries [`prove`] before invoking the decision procedures.
+//!
+//! Everything here is *conservative*: `eval` returning `Bool(Some(true))`
+//! means the expression is true in every concrete state satisfying the
+//! environment; any unsupported construct degrades to `Top`/unknown.
+
+use std::collections::HashMap;
+
+use ir::expr::{BinOp, CastKind, Expr, UnOp};
+use ir::names::Symbol;
+use ir::ty::{Signedness, Ty, TypeEnv, Width};
+use ir::value::Value;
+
+/// A closed integer interval with optional (= infinite) endpoints.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Iv {
+    /// Lower bound (`None` = −∞; for `nat`-kinded values, 0).
+    pub lo: Option<i128>,
+    /// Upper bound (`None` = +∞).
+    pub hi: Option<i128>,
+}
+
+impl Iv {
+    /// The unbounded interval.
+    #[must_use]
+    pub fn top() -> Iv {
+        Iv { lo: None, hi: None }
+    }
+
+    /// A point interval.
+    #[must_use]
+    pub fn point(v: i128) -> Iv {
+        Iv {
+            lo: Some(v),
+            hi: Some(v),
+        }
+    }
+
+    /// A bounded interval.
+    #[must_use]
+    pub fn new(lo: i128, hi: i128) -> Iv {
+        Iv {
+            lo: Some(lo),
+            hi: Some(hi),
+        }
+    }
+
+    /// Is the interval empty (contradictory bounds)?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        matches!((self.lo, self.hi), (Some(l), Some(h)) if l > h)
+    }
+
+    /// Intersection (meet).
+    #[must_use]
+    pub fn meet(&self, other: &Iv) -> Iv {
+        Iv {
+            lo: opt_max(self.lo, other.lo),
+            hi: opt_min(self.hi, other.hi),
+        }
+    }
+
+    /// Convex hull (join).
+    #[must_use]
+    pub fn join(&self, other: &Iv) -> Iv {
+        Iv {
+            lo: match (self.lo, other.lo) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                _ => None,
+            },
+            hi: match (self.hi, other.hi) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                _ => None,
+            },
+        }
+    }
+
+    /// Is `self` contained in `[lo, hi]`?
+    #[must_use]
+    pub fn within(&self, lo: i128, hi: i128) -> bool {
+        matches!(self.lo, Some(l) if l >= lo) && matches!(self.hi, Some(h) if h <= hi)
+    }
+}
+
+fn opt_max(a: Option<i128>, b: Option<i128>) -> Option<i128> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(a.max(b)),
+        (x, None) | (None, x) => x,
+    }
+}
+
+fn opt_min(a: Option<i128>, b: Option<i128>) -> Option<i128> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (x, None) | (None, x) => x,
+    }
+}
+
+/// The kind of a numeric abstraction: which concrete semantics its interval
+/// bounds refer to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NumKind {
+    /// Ideal natural (`unat`-abstracted): implicitly ≥ 0, subtraction is
+    /// truncated (monus).
+    Nat,
+    /// Ideal integer (`sint`-abstracted): exact arithmetic.
+    Int,
+    /// A machine word of the given shape; the interval bounds the word's
+    /// *semantic* value (two's-complement for signed words).
+    Word(Width, Signedness),
+}
+
+impl NumKind {
+    /// The representable range of this kind (`None` endpoints = unbounded).
+    #[must_use]
+    pub fn range(self) -> Iv {
+        match self {
+            NumKind::Nat => Iv {
+                lo: Some(0),
+                hi: None,
+            },
+            NumKind::Int => Iv::top(),
+            NumKind::Word(w, s) => word_range(w, s),
+        }
+    }
+
+    fn clamp(self, iv: Iv) -> Iv {
+        iv.meet(&self.range())
+    }
+}
+
+/// The semantic value range of a word shape.
+#[must_use]
+pub fn word_range(w: Width, s: Signedness) -> Iv {
+    let bits = i128::from(w.bits());
+    match s {
+        Signedness::Unsigned => Iv::new(0, (1i128 << bits) - 1),
+        Signedness::Signed => Iv::new(-(1i128 << (bits - 1)), (1i128 << (bits - 1)) - 1),
+    }
+}
+
+/// An abstract value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AbsVal {
+    /// No information.
+    Top,
+    /// A numeric value of the given kind within the interval.
+    Num(NumKind, Iv),
+    /// A three-valued boolean.
+    Bool(Option<bool>),
+    /// A pointer: `Some(true)` = definitely NULL, `Some(false)` =
+    /// definitely non-NULL.
+    Ptr(Option<bool>),
+}
+
+impl AbsVal {
+    /// The interval of a numeric abstraction.
+    #[must_use]
+    pub fn iv(&self) -> Option<(NumKind, Iv)> {
+        match self {
+            AbsVal::Num(k, iv) => Some((*k, *iv)),
+            _ => None,
+        }
+    }
+
+    /// Join (least upper bound).
+    #[must_use]
+    pub fn join(&self, other: &AbsVal) -> AbsVal {
+        match (self, other) {
+            (AbsVal::Num(k1, a), AbsVal::Num(k2, b)) if k1 == k2 => AbsVal::Num(*k1, a.join(b)),
+            (AbsVal::Bool(a), AbsVal::Bool(b)) if a == b => AbsVal::Bool(*a),
+            (AbsVal::Ptr(a), AbsVal::Ptr(b)) if a == b => AbsVal::Ptr(*a),
+            (AbsVal::Bool(_), AbsVal::Bool(_)) => AbsVal::Bool(None),
+            (AbsVal::Ptr(_), AbsVal::Ptr(_)) => AbsVal::Ptr(None),
+            _ => AbsVal::Top,
+        }
+    }
+
+    /// The abstraction of a literal value.
+    #[must_use]
+    pub fn of_value(v: &Value) -> AbsVal {
+        match v {
+            Value::Bool(b) => AbsVal::Bool(Some(*b)),
+            Value::Nat(n) => n
+                .to_u128()
+                .and_then(|u| i128::try_from(u).ok())
+                .map_or(AbsVal::Num(NumKind::Nat, NumKind::Nat.range()), |u| {
+                    AbsVal::Num(NumKind::Nat, Iv::point(u))
+                }),
+            Value::Int(i) => i.to_i128().map_or(AbsVal::Num(NumKind::Int, Iv::top()), |i| {
+                AbsVal::Num(NumKind::Int, Iv::point(i))
+            }),
+            Value::Word(w) => {
+                let k = NumKind::Word(w.width(), w.sign());
+                let sem = match w.sign() {
+                    Signedness::Unsigned => i128::from(w.bits()),
+                    Signedness::Signed => i128::from(w.signed_value()),
+                };
+                AbsVal::Num(k, Iv::point(sem))
+            }
+            Value::Ptr(p) => AbsVal::Ptr(Some(p.is_null())),
+            _ => AbsVal::Top,
+        }
+    }
+
+    /// The coarsest abstraction consistent with a semantic type (used to
+    /// seed parameter environments from signatures).
+    #[must_use]
+    pub fn of_ty(ty: &Ty) -> AbsVal {
+        match ty {
+            Ty::Bool => AbsVal::Bool(None),
+            Ty::Word(w, s) => AbsVal::Num(NumKind::Word(*w, *s), word_range(*w, *s)),
+            Ty::Nat => AbsVal::Num(NumKind::Nat, NumKind::Nat.range()),
+            Ty::Int => AbsVal::Num(NumKind::Int, Iv::top()),
+            Ty::Ptr(_) => AbsVal::Ptr(None),
+            _ => AbsVal::Top,
+        }
+    }
+}
+
+/// One recorded fact: an expression assumed true, with precomputed kill
+/// metadata.
+#[derive(Clone, Debug, PartialEq)]
+struct Fact {
+    expr: Expr,
+    reads_heap: bool,
+    reads_global: bool,
+    is_validity: bool,
+}
+
+/// One refined atom bound: an opaque subterm (not a plain `Var`) with a
+/// tightened interval, keyed by structural equality.
+#[derive(Clone, Debug, PartialEq)]
+struct AtomBound {
+    expr: Expr,
+    kind: NumKind,
+    iv: Iv,
+    reads_heap: bool,
+    reads_global: bool,
+}
+
+/// The abstract environment: per-variable abstractions, refined opaque-atom
+/// bounds, and assumed facts. Deterministic by construction (`BTreeMap`
+/// over spelling-ordered [`Symbol`]s; facts in insertion order).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AbsEnv {
+    vars: std::collections::BTreeMap<Symbol, AbsVal>,
+    atoms: Vec<AtomBound>,
+    facts: Vec<Fact>,
+    /// Structure layouts for field-width lookups (optional precision).
+    tenv: Option<TypeEnv>,
+}
+
+impl AbsEnv {
+    /// An empty environment.
+    #[must_use]
+    pub fn new() -> AbsEnv {
+        AbsEnv::default()
+    }
+
+    /// Attaches structure layouts (field reads gain width bounds).
+    #[must_use]
+    pub fn with_tenv(mut self, tenv: TypeEnv) -> AbsEnv {
+        self.tenv = Some(tenv);
+        self
+    }
+
+    /// Binds variable `v` to `val`, dropping facts and bounds that mention
+    /// the old binding.
+    pub fn bind(&mut self, v: impl Into<Symbol>, val: AbsVal) {
+        let v: Symbol = v.into();
+        let name = v.to_string();
+        self.facts.retain(|f| !f.expr.free_vars().contains(&name));
+        self.atoms.retain(|a| !a.expr.free_vars().contains(&name));
+        self.vars.insert(v, val);
+    }
+
+    /// The current abstraction of variable `v`.
+    #[must_use]
+    pub fn var(&self, v: &Symbol) -> AbsVal {
+        self.vars.get(v).cloned().unwrap_or(AbsVal::Top)
+    }
+
+    /// Iterates the tracked variables (spelling order).
+    pub fn vars(&self) -> impl Iterator<Item = (&Symbol, &AbsVal)> {
+        self.vars.iter()
+    }
+
+    /// Iterates the recorded facts (insertion order).
+    pub fn facts(&self) -> impl Iterator<Item = &Expr> {
+        self.facts.iter().map(|f| &f.expr)
+    }
+
+    /// Iterates the refined opaque-atom bounds (insertion order): the
+    /// expression, its numeric kind, and the tightened interval.
+    pub fn atom_bounds(&self) -> impl Iterator<Item = (&Expr, NumKind, Iv)> {
+        self.atoms.iter().map(|a| (&a.expr, a.kind, a.iv))
+    }
+
+    /// Drops knowledge invalidated by a typed-heap **data** write: heap
+    /// reads go stale, but `is_valid` facts survive (validity is untouched
+    /// by data writes — paper Sec 4.4; the model has no allocation).
+    pub fn heap_write(&mut self) {
+        self.facts.retain(|f| !f.reads_heap || f.is_validity);
+        self.atoms.retain(|a| !a.reads_heap);
+    }
+
+    /// Drops knowledge invalidated by a global-variable write.
+    pub fn global_write(&mut self) {
+        self.facts.retain(|f| !f.reads_global);
+        self.atoms.retain(|a| !a.reads_global);
+    }
+
+    /// Drops knowledge invalidated by an opaque call: globals and heap data
+    /// may change; validity facts survive (callees cannot allocate or
+    /// retype — `TagRegion` never appears above the byte level).
+    pub fn call(&mut self) {
+        self.facts
+            .retain(|f| (!f.reads_heap || f.is_validity) && !f.reads_global);
+        self.atoms.retain(|a| !a.reads_heap && !a.reads_global);
+    }
+
+    /// Drops *all* state-dependent knowledge (byte-level effects).
+    pub fn state_blast(&mut self) {
+        self.facts.retain(|f| !f.reads_heap && !f.reads_global);
+        self.atoms.retain(|a| !a.reads_heap && !a.reads_global);
+    }
+
+    /// Join with another environment (control-flow merge): variable-wise
+    /// joins, facts and atom bounds by intersection (hulled).
+    #[must_use]
+    pub fn join(&self, other: &AbsEnv) -> AbsEnv {
+        let mut vars = std::collections::BTreeMap::new();
+        for (v, a) in &self.vars {
+            let b = other.var(v);
+            vars.insert(*v, a.join(&b));
+        }
+        // Variables only known on `other`'s side join with Top — drop them.
+        let facts = self
+            .facts
+            .iter()
+            .filter(|f| other.facts.iter().any(|g| g.expr == f.expr))
+            .cloned()
+            .collect();
+        let atoms = self
+            .atoms
+            .iter()
+            .filter_map(|a| {
+                other
+                    .atoms
+                    .iter()
+                    .find(|b| b.expr == a.expr && b.kind == a.kind)
+                    .map(|b| AtomBound {
+                        iv: a.iv.join(&b.iv),
+                        ..a.clone()
+                    })
+            })
+            .collect();
+        AbsEnv {
+            vars,
+            atoms,
+            facts,
+            tenv: self.tenv.clone(),
+        }
+    }
+
+    /// Widen against a previous iterate: any variable whose interval still
+    /// moved widens to its kind's full range (classic interval widening at
+    /// loop heads).
+    #[must_use]
+    pub fn widen(&self, prev: &AbsEnv) -> AbsEnv {
+        let mut out = self.clone();
+        for (v, val) in &mut out.vars {
+            if prev.var(v) != *val {
+                if let AbsVal::Num(k, _) = val {
+                    *val = AbsVal::Num(*k, k.range());
+                } else {
+                    *val = match val {
+                        AbsVal::Bool(_) => AbsVal::Bool(None),
+                        AbsVal::Ptr(_) => AbsVal::Ptr(None),
+                        _ => AbsVal::Top,
+                    };
+                }
+            }
+        }
+        out
+    }
+
+    /// Does `e` definitely hold in every state satisfying this environment?
+    #[must_use]
+    pub fn holds(&self, e: &Expr) -> bool {
+        self.eval(e) == AbsVal::Bool(Some(true))
+    }
+
+    /// Is `e` definitely false in every state satisfying this environment?
+    #[must_use]
+    pub fn refutes(&self, e: &Expr) -> bool {
+        self.eval(e) == AbsVal::Bool(Some(false))
+    }
+
+    // ---- evaluation -------------------------------------------------------
+
+    /// Evaluates `e` to an abstract value.
+    #[must_use]
+    pub fn eval(&self, e: &Expr) -> AbsVal {
+        // Assumed facts match first: a repeated guard expression is true by
+        // fiat, whatever its structure.
+        if self.facts.iter().any(|f| f.expr == *e) {
+            return AbsVal::Bool(Some(true));
+        }
+        if let Some(a) = self.atoms.iter().find(|a| a.expr == *e) {
+            return AbsVal::Num(a.kind, a.iv);
+        }
+        match e {
+            Expr::Lit(v) => AbsVal::of_value(v),
+            Expr::Var(v) => self.var(v),
+            Expr::UnOp(op, a) => self.eval_unop(*op, a),
+            Expr::BinOp(op, a, b) => self.eval_binop(*op, a, b),
+            Expr::Cast(k, a) => self.eval_cast(k, a),
+            Expr::Ite(c, t, f) => match self.eval(c) {
+                AbsVal::Bool(Some(true)) => self.refined(c).eval(t),
+                AbsVal::Bool(Some(false)) => self.refined_not(c).eval(f),
+                _ => self.refined(c).eval(t).join(&self.refined_not(c).eval(f)),
+            },
+            Expr::IsValid(_, p) => match self.eval(p) {
+                // `is_valid` of NULL is false by definition.
+                AbsVal::Ptr(Some(true)) => AbsVal::Bool(Some(false)),
+                _ => AbsVal::Bool(None),
+            },
+            Expr::ReadHeap(ty, _) => AbsVal::of_ty(ty),
+            Expr::Field(base, fname) => self.field_abs(base, fname),
+            Expr::Proj(_, _) | Expr::Tuple(_) => AbsVal::Top,
+            _ => AbsVal::Top,
+        }
+    }
+
+    /// Field select: bound by the field's declared type when layouts are
+    /// available.
+    fn field_abs(&self, base: &Expr, fname: &str) -> AbsVal {
+        let Some(tenv) = &self.tenv else {
+            return AbsVal::Top;
+        };
+        let sname = match base {
+            Expr::ReadHeap(Ty::Struct(n), _) => n.clone(),
+            _ => return AbsVal::Top,
+        };
+        tenv.struct_def(&sname)
+            .and_then(|d| d.fields.iter().find(|f| f.name == fname))
+            .map_or(AbsVal::Top, |f| AbsVal::of_ty(&f.ty))
+    }
+
+    fn eval_unop(&self, op: UnOp, a: &Expr) -> AbsVal {
+        let va = self.eval(a);
+        match op {
+            UnOp::Not => match va {
+                AbsVal::Bool(b) => AbsVal::Bool(b.map(|x| !x)),
+                _ => AbsVal::Bool(None),
+            },
+            UnOp::Neg => match va {
+                AbsVal::Num(NumKind::Int, iv) => AbsVal::Num(
+                    NumKind::Int,
+                    Iv {
+                        lo: iv.hi.map(|h| -h),
+                        hi: iv.lo.map(|l| -l),
+                    },
+                ),
+                AbsVal::Num(k @ NumKind::Word(..), iv) => {
+                    // Wrapping negation: exact when no endpoint wraps.
+                    let neg = Iv {
+                        lo: iv.hi.map(|h| -h),
+                        hi: iv.lo.map(|l| -l),
+                    };
+                    if !neg.is_empty() && iv_subset(&neg, &k.range()) {
+                        AbsVal::Num(k, neg)
+                    } else {
+                        AbsVal::Num(k, k.range())
+                    }
+                }
+                _ => AbsVal::Top,
+            },
+            UnOp::BitNot => match va {
+                AbsVal::Num(k @ NumKind::Word(..), _) => AbsVal::Num(k, k.range()),
+                _ => AbsVal::Top,
+            },
+        }
+    }
+
+    fn eval_cast(&self, k: &CastKind, a: &Expr) -> AbsVal {
+        let va = self.eval(a);
+        match k {
+            CastKind::Unat => match va {
+                AbsVal::Num(NumKind::Word(_, Signedness::Unsigned), iv) => {
+                    AbsVal::Num(NumKind::Nat, iv)
+                }
+                // Signed word under `unat`: the bit pattern, top within width.
+                AbsVal::Num(NumKind::Word(w, _), _) => AbsVal::Num(
+                    NumKind::Nat,
+                    word_range(w, Signedness::Unsigned),
+                ),
+                _ => AbsVal::Num(NumKind::Nat, NumKind::Nat.range()),
+            },
+            CastKind::Sint => match va {
+                AbsVal::Num(NumKind::Word(_, Signedness::Signed), iv) => {
+                    AbsVal::Num(NumKind::Int, iv)
+                }
+                AbsVal::Num(NumKind::Word(w, _), _) => {
+                    AbsVal::Num(NumKind::Int, word_range(w, Signedness::Signed))
+                }
+                _ => AbsVal::Num(NumKind::Int, Iv::top()),
+            },
+            CastKind::OfNat(w, s) | CastKind::OfInt(w, s) => {
+                let k = NumKind::Word(*w, *s);
+                match va {
+                    AbsVal::Num(NumKind::Nat | NumKind::Int, iv)
+                        if iv_subset(&iv, &word_range(*w, *s)) =>
+                    {
+                        AbsVal::Num(k, iv)
+                    }
+                    _ => AbsVal::Num(k, k.range()),
+                }
+            }
+            CastKind::NatToInt => match va {
+                AbsVal::Num(NumKind::Nat, iv) => AbsVal::Num(NumKind::Int, iv),
+                _ => AbsVal::Num(NumKind::Int, Iv::top()),
+            },
+            CastKind::IntToNat => match va {
+                AbsVal::Num(NumKind::Int, iv) => AbsVal::Num(
+                    NumKind::Nat,
+                    Iv {
+                        lo: Some(iv.lo.map_or(0, |l| l.max(0))),
+                        hi: iv.hi.map(|h| h.max(0)),
+                    },
+                ),
+                _ => AbsVal::Num(NumKind::Nat, NumKind::Nat.range()),
+            },
+            CastKind::WordToWord(w, s) => {
+                let k = NumKind::Word(*w, *s);
+                match va {
+                    // C conversion is the identity exactly on the target's
+                    // representable range.
+                    AbsVal::Num(NumKind::Word(..), iv) if iv_subset(&iv, &word_range(*w, *s)) => {
+                        AbsVal::Num(k, iv)
+                    }
+                    _ => AbsVal::Num(k, k.range()),
+                }
+            }
+            CastKind::PtrToWord => match va {
+                AbsVal::Ptr(Some(true)) => {
+                    AbsVal::Num(NumKind::Word(Width::W32, Signedness::Unsigned), Iv::point(0))
+                }
+                AbsVal::Ptr(Some(false)) => AbsVal::Num(
+                    NumKind::Word(Width::W32, Signedness::Unsigned),
+                    Iv::new(1, (1i128 << 32) - 1),
+                ),
+                _ => AbsVal::Num(
+                    NumKind::Word(Width::W32, Signedness::Unsigned),
+                    word_range(Width::W32, Signedness::Unsigned),
+                ),
+            },
+            CastKind::WordToPtr(_) => match va {
+                AbsVal::Num(_, iv) if iv == Iv::point(0) => AbsVal::Ptr(Some(true)),
+                AbsVal::Num(_, iv) if iv_excludes(&iv, 0) => AbsVal::Ptr(Some(false)),
+                _ => AbsVal::Ptr(None),
+            },
+            CastKind::PtrRetype(_) => match va {
+                AbsVal::Ptr(n) => AbsVal::Ptr(n),
+                _ => AbsVal::Ptr(None),
+            },
+        }
+    }
+
+    fn eval_binop(&self, op: BinOp, a: &Expr, b: &Expr) -> AbsVal {
+        match op {
+            BinOp::And => {
+                let va = self.eval(a);
+                if va == AbsVal::Bool(Some(false)) {
+                    return AbsVal::Bool(Some(false));
+                }
+                // Hypothesis-aware: the right conjunct is evaluated under
+                // the left assumed (sound for deciding the conjunction).
+                let vb = self.refined(a).eval(b);
+                match (va, vb) {
+                    (_, AbsVal::Bool(Some(false))) => AbsVal::Bool(Some(false)),
+                    (AbsVal::Bool(Some(true)), AbsVal::Bool(Some(true))) => {
+                        AbsVal::Bool(Some(true))
+                    }
+                    _ => AbsVal::Bool(None),
+                }
+            }
+            BinOp::Or => {
+                let va = self.eval(a);
+                if va == AbsVal::Bool(Some(true)) {
+                    return AbsVal::Bool(Some(true));
+                }
+                let vb = self.refined_not(a).eval(b);
+                match (va, vb) {
+                    (_, AbsVal::Bool(Some(true))) => AbsVal::Bool(Some(true)),
+                    (AbsVal::Bool(Some(false)), AbsVal::Bool(Some(false))) => {
+                        AbsVal::Bool(Some(false))
+                    }
+                    _ => AbsVal::Bool(None),
+                }
+            }
+            BinOp::Implies => {
+                let va = self.eval(a);
+                if va == AbsVal::Bool(Some(false)) {
+                    return AbsVal::Bool(Some(true));
+                }
+                let vb = self.refined(a).eval(b);
+                match (va, vb) {
+                    (_, AbsVal::Bool(Some(true))) => AbsVal::Bool(Some(true)),
+                    (AbsVal::Bool(Some(true)), AbsVal::Bool(Some(false))) => {
+                        AbsVal::Bool(Some(false))
+                    }
+                    _ => AbsVal::Bool(None),
+                }
+            }
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le => self.eval_cmp(op, a, b),
+            _ => self.eval_arith(op, a, b),
+        }
+    }
+
+    fn eval_cmp(&self, op: BinOp, a: &Expr, b: &Expr) -> AbsVal {
+        let va = self.eval(a);
+        let vb = self.eval(b);
+        // Structural `nat` laws: monus/div/mod never grow the left operand
+        // (`x div 0 = 0`, `x mod 0 = x` in HOL, so these hold outright).
+        if op == BinOp::Le {
+            if let Expr::BinOp(BinOp::Sub | BinOp::Div | BinOp::Mod, x, _) = a {
+                if **x == *b && matches!(va, AbsVal::Num(NumKind::Nat, _)) {
+                    return AbsVal::Bool(Some(true));
+                }
+            }
+        }
+        // Pointer (dis)equality via nullness.
+        if let (AbsVal::Ptr(na), AbsVal::Ptr(nb)) = (&va, &vb) {
+            let eq = match (na, nb) {
+                (Some(true), Some(true)) => Some(true),
+                (Some(x), Some(y)) if x != y => Some(false),
+                _ => None,
+            };
+            return match op {
+                BinOp::Eq => AbsVal::Bool(eq),
+                BinOp::Ne => AbsVal::Bool(eq.map(|x| !x)),
+                _ => AbsVal::Bool(None),
+            };
+        }
+        let (Some((_, ia)), Some((_, ib))) = (va.iv(), vb.iv()) else {
+            // Structural equality on identical terms still decides `=`/`≠`.
+            if a == b {
+                return match op {
+                    BinOp::Eq | BinOp::Le => AbsVal::Bool(Some(true)),
+                    BinOp::Ne | BinOp::Lt => AbsVal::Bool(Some(false)),
+                    _ => AbsVal::Bool(None),
+                };
+            }
+            return AbsVal::Bool(None);
+        };
+        let lt = iv_cmp_lt(&ia, &ib);
+        let le = iv_cmp_le(&ia, &ib);
+        let eq = if ia == ib && ia.lo.is_some() && ia.lo == ia.hi {
+            Some(true)
+        } else if iv_disjoint(&ia, &ib) {
+            Some(false)
+        } else {
+            None
+        };
+        match op {
+            BinOp::Lt => AbsVal::Bool(lt),
+            BinOp::Le => AbsVal::Bool(le),
+            BinOp::Eq => AbsVal::Bool(eq),
+            BinOp::Ne => AbsVal::Bool(eq.map(|x| !x)),
+            _ => AbsVal::Bool(None),
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn eval_arith(&self, op: BinOp, a: &Expr, b: &Expr) -> AbsVal {
+        let va = self.eval(a);
+        let vb = self.eval(b);
+        // A `Top` operand beside a known numeric kind coerces to that
+        // kind's full range: well-typed arithmetic has same-kind operands.
+        let (ia, ib, k) = match (va.iv(), vb.iv()) {
+            (Some((ka, ia)), Some((kb, ib))) if ka == kb => (ia, ib, ka),
+            (Some((ka, ia)), None) if vb == AbsVal::Top => (ia, ka.range(), ka),
+            (None, Some((kb, ib))) if va == AbsVal::Top => (kb.range(), ib, kb),
+            _ => return AbsVal::Top,
+        };
+        let exact = |iv: Iv| -> AbsVal {
+            if iv.is_empty() {
+                return AbsVal::Num(k, k.range());
+            }
+            match k {
+                // Ideal arithmetic is exact; machine words wrap — keep the
+                // mathematical interval only when it is representable.
+                NumKind::Nat | NumKind::Int => AbsVal::Num(k, k.clamp(iv)),
+                NumKind::Word(..) => {
+                    if iv_subset(&iv, &k.range()) {
+                        AbsVal::Num(k, iv)
+                    } else {
+                        AbsVal::Num(k, k.range())
+                    }
+                }
+            }
+        };
+        match op {
+            BinOp::Add => exact(iv_add(&ia, &ib)),
+            BinOp::Sub => {
+                let raw = iv_sub(&ia, &ib);
+                match k {
+                    // nat subtraction is monus: truncated at 0.
+                    NumKind::Nat => AbsVal::Num(
+                        NumKind::Nat,
+                        Iv {
+                            lo: Some(raw.lo.map_or(0, |l| l.max(0))),
+                            hi: raw.hi.map(|h| h.max(0)),
+                        },
+                    ),
+                    _ => exact(raw),
+                }
+            }
+            BinOp::Mul => match iv_mul(&ia, &ib) {
+                Some(iv) => exact(iv),
+                None => AbsVal::Num(k, k.range()),
+            },
+            BinOp::Div => match k {
+                NumKind::Nat | NumKind::Word(_, Signedness::Unsigned) => {
+                    if let (Some(bl), Some(bh)) = (ib.lo, ib.hi) {
+                        if bl >= 1 {
+                            let lo = ia.lo.map(|l| l.div_euclid(bh));
+                            let hi = ia.hi.map(|h| h.div_euclid(bl));
+                            return exact(Iv { lo, hi });
+                        }
+                    }
+                    // Division by zero yields 0 (HOL) — result ≤ dividend
+                    // either way on naturals/unsigned words.
+                    AbsVal::Num(k, k.clamp(Iv { lo: Some(0), hi: ia.hi }))
+                }
+                _ => AbsVal::Num(k, k.range()),
+            },
+            BinOp::Mod => match k {
+                NumKind::Nat | NumKind::Word(_, Signedness::Unsigned) => {
+                    if let (Some(bl), Some(bh)) = (ib.lo, ib.hi) {
+                        if bl >= 1 {
+                            let hi = opt_min(Some(bh - 1), ia.hi);
+                            return exact(Iv { lo: Some(0), hi });
+                        }
+                    }
+                    // `x mod 0 = x`: bounded by max of both sides.
+                    AbsVal::Num(
+                        k,
+                        k.clamp(Iv {
+                            lo: Some(0),
+                            hi: match (ia.hi, ib.hi) {
+                                (Some(ah), Some(bh)) => Some(ah.max(bh - 1).max(0)),
+                                _ => None,
+                            },
+                        }),
+                    )
+                }
+                _ => AbsVal::Num(k, k.range()),
+            },
+            BinOp::Shl => {
+                if let (Some(bl), Some(bh)) = (ib.lo, ib.hi) {
+                    if (0..=127).contains(&bl) && (0..=127).contains(&bh) {
+                        if let (Some(al), Some(ah)) = (ia.lo, ia.hi) {
+                            if al >= 0 {
+                                let lo = al.checked_shl(u32::try_from(bl).unwrap_or(127));
+                                let hi = ah.checked_shl(u32::try_from(bh).unwrap_or(127));
+                                if let (Some(lo), Some(hi)) = (lo, hi) {
+                                    return exact(Iv::new(lo, hi));
+                                }
+                            }
+                        }
+                    }
+                }
+                AbsVal::Num(k, k.range())
+            }
+            BinOp::Shr => {
+                if let (Some(bl), Some(bh)) = (ib.lo, ib.hi) {
+                    if (0..=127).contains(&bl) && (0..=127).contains(&bh) {
+                        if let (Some(al), Some(ah)) = (ia.lo, ia.hi) {
+                            if al >= 0 {
+                                return exact(Iv::new(
+                                    al >> bh.min(127),
+                                    ah >> bl.min(127),
+                                ));
+                            }
+                        }
+                    }
+                }
+                AbsVal::Num(k, k.range())
+            }
+            BinOp::BitAnd => match (k, ia.lo, ib.lo) {
+                (NumKind::Nat | NumKind::Word(_, Signedness::Unsigned), Some(al), Some(bl))
+                    if al >= 0 && bl >= 0 =>
+                {
+                    AbsVal::Num(k, Iv { lo: Some(0), hi: opt_min(ia.hi, ib.hi) })
+                }
+                _ => AbsVal::Num(k, k.range()),
+            },
+            BinOp::BitOr | BinOp::BitXor => match (k, ia.lo, ib.lo, ia.hi, ib.hi) {
+                (
+                    NumKind::Nat | NumKind::Word(_, Signedness::Unsigned),
+                    Some(al),
+                    Some(bl),
+                    Some(ah),
+                    Some(bh),
+                ) if al >= 0 && bl >= 0 => {
+                    // or/xor cannot exceed the next power of two above both.
+                    let m = ah.max(bh);
+                    let bound = (1i128 << (128 - m.leading_zeros()).min(126)) - 1;
+                    AbsVal::Num(k, k.clamp(Iv::new(0, bound)))
+                }
+                _ => AbsVal::Num(k, k.range()),
+            },
+            _ => AbsVal::Top,
+        }
+    }
+
+    // ---- refinement -------------------------------------------------------
+
+    /// A copy of the environment with `c` assumed true.
+    #[must_use]
+    pub fn refined(&self, c: &Expr) -> AbsEnv {
+        let mut out = self.clone();
+        out.assume(c);
+        out
+    }
+
+    /// A copy of the environment with `c` assumed false.
+    #[must_use]
+    pub fn refined_not(&self, c: &Expr) -> AbsEnv {
+        let mut out = self.clone();
+        out.assume_not(c);
+        out
+    }
+
+    /// Refines the environment by assuming `c` holds.
+    pub fn assume(&mut self, c: &Expr) {
+        match c {
+            Expr::Lit(_) => {}
+            Expr::BinOp(BinOp::And, a, b) => {
+                self.assume(a);
+                self.assume(b);
+            }
+            Expr::UnOp(UnOp::Not, a) => self.assume_not(a),
+            Expr::BinOp(op @ (BinOp::Lt | BinOp::Le | BinOp::Eq | BinOp::Ne), a, b) => {
+                self.assume_cmp(*op, a, b);
+                self.record_fact(c);
+            }
+            Expr::IsValid(_, p) => {
+                // Validity implies non-NULL.
+                self.narrow_ptr(p, Some(false));
+                self.record_fact(c);
+            }
+            _ => self.record_fact(c),
+        }
+    }
+
+    /// Refines the environment by assuming `c` is false.
+    pub fn assume_not(&mut self, c: &Expr) {
+        match c {
+            Expr::UnOp(UnOp::Not, a) => self.assume(a),
+            Expr::BinOp(BinOp::Or, a, b) => {
+                self.assume_not(a);
+                self.assume_not(b);
+            }
+            Expr::BinOp(BinOp::Lt, a, b) => self.assume_cmp(BinOp::Le, b, a),
+            Expr::BinOp(BinOp::Le, a, b) => self.assume_cmp(BinOp::Lt, b, a),
+            Expr::BinOp(BinOp::Eq, a, b) => self.assume_cmp(BinOp::Ne, a, b),
+            Expr::BinOp(BinOp::Ne, a, b) => self.assume_cmp(BinOp::Eq, a, b),
+            _ => {}
+        }
+    }
+
+    fn record_fact(&mut self, c: &Expr) {
+        if self.facts.iter().any(|f| f.expr == *c) {
+            return;
+        }
+        self.facts.push(Fact {
+            reads_heap: c.reads_heap(),
+            reads_global: reads_global(c),
+            is_validity: matches!(c, Expr::IsValid(..)),
+            expr: c.clone(),
+        });
+    }
+
+    fn assume_cmp(&mut self, op: BinOp, a: &Expr, b: &Expr) {
+        // Pointer null tests.
+        if let (AbsVal::Ptr(_), AbsVal::Ptr(nb)) = (self.eval(a), self.eval(b)) {
+            match (op, nb) {
+                (BinOp::Eq, Some(x)) => self.narrow_ptr(a, Some(x)),
+                (BinOp::Ne, Some(true)) => self.narrow_ptr(a, Some(false)),
+                _ => {}
+            }
+            return;
+        }
+        let vb = self.eval(b);
+        let va = self.eval(a);
+        // Narrow `a` from above using b's upper knowledge, and `b` from
+        // below using a's lower knowledge.
+        if let Some((kb, ib)) = vb.iv() {
+            let refine_a = match op {
+                BinOp::Lt => ib.hi.map(|h| Iv { lo: None, hi: Some(h - 1) }),
+                BinOp::Le => ib.hi.map(|h| Iv { lo: None, hi: Some(h) }),
+                BinOp::Eq => Some(ib),
+                _ => None,
+            };
+            if let Some(r) = refine_a {
+                self.narrow_num(a, kb, r);
+            }
+        }
+        if let Some((ka, ia)) = va.iv() {
+            let refine_b = match op {
+                BinOp::Lt => ia.lo.map(|l| Iv { lo: Some(l + 1), hi: None }),
+                BinOp::Le => ia.lo.map(|l| Iv { lo: Some(l), hi: None }),
+                BinOp::Eq => Some(ia),
+                _ => None,
+            };
+            if let Some(r) = refine_b {
+                self.narrow_num(b, ka, r);
+            }
+        }
+    }
+
+    /// Narrows the abstraction of `e` (a variable or opaque atom) to the
+    /// meet with `iv`. Literals and kind mismatches are left untouched.
+    fn narrow_num(&mut self, e: &Expr, kind: NumKind, iv: Iv) {
+        if matches!(e, Expr::Lit(_)) {
+            return;
+        }
+        if let Expr::Var(v) = e {
+            let cur = self.var(v);
+            let next = match cur {
+                AbsVal::Num(k, old) if k == kind => {
+                    let m = old.meet(&iv);
+                    if m.is_empty() {
+                        return;
+                    }
+                    AbsVal::Num(k, m)
+                }
+                AbsVal::Top => {
+                    let m = kind.clamp(iv);
+                    if m.is_empty() {
+                        return;
+                    }
+                    AbsVal::Num(kind, m)
+                }
+                _ => return,
+            };
+            self.vars.insert(*v, next);
+            return;
+        }
+        // Opaque atom: meet with any structural knowledge we already have.
+        let base = match self.eval(e) {
+            AbsVal::Num(k, b) if k == kind => b,
+            AbsVal::Top => kind.range(),
+            _ => return,
+        };
+        let m = base.meet(&iv);
+        if m.is_empty() {
+            return;
+        }
+        if let Some(slot) = self
+            .atoms
+            .iter_mut()
+            .find(|a| a.expr == *e && a.kind == kind)
+        {
+            slot.iv = slot.iv.meet(&m);
+        } else {
+            self.atoms.push(AtomBound {
+                kind,
+                iv: m,
+                reads_heap: e.reads_heap(),
+                reads_global: reads_global(e),
+                expr: e.clone(),
+            });
+        }
+    }
+
+    fn narrow_ptr(&mut self, e: &Expr, nullness: Option<bool>) {
+        if let Expr::Var(v) = e {
+            match self.var(v) {
+                AbsVal::Ptr(_) | AbsVal::Top => {
+                    self.vars.insert(*v, AbsVal::Ptr(nullness));
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+fn reads_global(e: &Expr) -> bool {
+    let mut found = false;
+    e.visit(&mut |x| {
+        if matches!(x, Expr::Global(_)) {
+            found = true;
+        }
+    });
+    found
+}
+
+fn iv_subset(a: &Iv, b: &Iv) -> bool {
+    let lo_ok = match (a.lo, b.lo) {
+        (_, None) => true,
+        (Some(al), Some(bl)) => al >= bl,
+        (None, Some(_)) => false,
+    };
+    let hi_ok = match (a.hi, b.hi) {
+        (_, None) => true,
+        (Some(ah), Some(bh)) => ah <= bh,
+        (None, Some(_)) => false,
+    };
+    lo_ok && hi_ok
+}
+
+fn iv_excludes(iv: &Iv, v: i128) -> bool {
+    matches!(iv.lo, Some(l) if l > v) || matches!(iv.hi, Some(h) if h < v)
+}
+
+fn iv_disjoint(a: &Iv, b: &Iv) -> bool {
+    matches!((a.hi, b.lo), (Some(ah), Some(bl)) if ah < bl)
+        || matches!((b.hi, a.lo), (Some(bh), Some(al)) if bh < al)
+}
+
+fn iv_cmp_lt(a: &Iv, b: &Iv) -> Option<bool> {
+    if let (Some(ah), Some(bl)) = (a.hi, b.lo) {
+        if ah < bl {
+            return Some(true);
+        }
+    }
+    if let (Some(al), Some(bh)) = (a.lo, b.hi) {
+        if al >= bh {
+            return Some(false);
+        }
+    }
+    None
+}
+
+fn iv_cmp_le(a: &Iv, b: &Iv) -> Option<bool> {
+    if let (Some(ah), Some(bl)) = (a.hi, b.lo) {
+        if ah <= bl {
+            return Some(true);
+        }
+    }
+    if let (Some(al), Some(bh)) = (a.lo, b.hi) {
+        if al > bh {
+            return Some(false);
+        }
+    }
+    None
+}
+
+fn iv_add(a: &Iv, b: &Iv) -> Iv {
+    Iv {
+        lo: match (a.lo, b.lo) {
+            (Some(x), Some(y)) => x.checked_add(y),
+            _ => None,
+        },
+        hi: match (a.hi, b.hi) {
+            (Some(x), Some(y)) => x.checked_add(y),
+            _ => None,
+        },
+    }
+}
+
+fn iv_sub(a: &Iv, b: &Iv) -> Iv {
+    Iv {
+        lo: match (a.lo, b.hi) {
+            (Some(x), Some(y)) => x.checked_sub(y),
+            _ => None,
+        },
+        hi: match (a.hi, b.lo) {
+            (Some(x), Some(y)) => x.checked_sub(y),
+            _ => None,
+        },
+    }
+}
+
+fn iv_mul(a: &Iv, b: &Iv) -> Option<Iv> {
+    let (al, ah, bl, bh) = (a.lo?, a.hi?, b.lo?, b.hi?);
+    let ps = [
+        al.checked_mul(bl)?,
+        al.checked_mul(bh)?,
+        ah.checked_mul(bl)?,
+        ah.checked_mul(bh)?,
+    ];
+    Some(Iv::new(
+        *ps.iter().min().expect("nonempty"),
+        *ps.iter().max().expect("nonempty"),
+    ))
+}
+
+/// Does `hyp` entail `concl` by interval reasoning alone? This is the side
+/// condition of the kernel's `AbsintDischarge` rule: it consumes nothing
+/// but the two expressions, so a discharge theorem is self-contained and
+/// independently re-checkable.
+#[must_use]
+pub fn entails(hyp: &Expr, concl: &Expr) -> bool {
+    let mut env = AbsEnv::new();
+    env.assume(hyp);
+    env.holds(concl)
+}
+
+/// Tries to prove `goal` valid by interval reasoning, seeding variable
+/// abstractions from their types (word widths bound word-typed variables).
+/// A top-level `H ⟶ C` refines by `H` first — the shape `vcg` emits.
+#[must_use]
+pub fn prove(goal: &Expr, vars: &HashMap<String, Ty>) -> bool {
+    let mut env = AbsEnv::new();
+    for (name, ty) in vars {
+        let abs = AbsVal::of_ty(ty);
+        if abs != AbsVal::Top {
+            env.bind(name.as_str(), abs);
+        }
+    }
+    env.holds(goal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nat(v: u64) -> Expr {
+        Expr::nat(v)
+    }
+
+    #[test]
+    fn bounded_divisor_discharges() {
+        // b mod 7 + 1 ≠ 0 and ≤ UINT_MAX, with b : nat unbounded.
+        let b = Expr::var("b");
+        let d = Expr::binop(
+            BinOp::Add,
+            Expr::binop(BinOp::Mod, b, nat(7)),
+            nat(1),
+        );
+        let env = AbsEnv::new();
+        assert!(env.holds(&Expr::binop(BinOp::Ne, d.clone(), nat(0))));
+        assert!(env.holds(&Expr::binop(BinOp::Le, d, nat(4_294_967_295))));
+    }
+
+    #[test]
+    fn implication_guard_refines() {
+        // 1000 < acc ⟶ 1000 ≤ acc
+        let acc = Expr::var("acc");
+        let g = Expr::implies(
+            Expr::binop(BinOp::Lt, nat(1000), acc.clone()),
+            Expr::binop(BinOp::Le, nat(1000), acc),
+        );
+        let mut env = AbsEnv::new();
+        env.bind("acc", AbsVal::Num(NumKind::Nat, NumKind::Nat.range()));
+        assert!(env.holds(&g));
+    }
+
+    #[test]
+    fn entailment_from_hypothesis() {
+        // (x ≤ 12) ⊢ x + 1 ≤ 13
+        let x = Expr::var("x");
+        let hyp = Expr::binop(BinOp::Le, x.clone(), nat(12));
+        let concl = Expr::binop(
+            BinOp::Le,
+            Expr::binop(BinOp::Add, x, nat(1)),
+            nat(13),
+        );
+        assert!(entails(&hyp, &concl));
+        assert!(!entails(&Expr::tt(), &concl));
+    }
+
+    #[test]
+    fn repeated_fact_matches_syntactically() {
+        let v = Expr::is_valid(Ty::Struct("node".into()), Expr::var("p"));
+        let mut env = AbsEnv::new();
+        env.assume(&v);
+        assert!(env.holds(&v));
+        // Validity survives a data write but not a rebind of `p`.
+        env.heap_write();
+        assert!(env.holds(&v));
+        env.bind("p", AbsVal::Ptr(None));
+        assert!(!env.holds(&v));
+    }
+
+    #[test]
+    fn signed_range_product() {
+        // 0 < a < 100 ∧ 0 < b < 50 ⊢ a·b ≤ INT_MAX ∧ -INT_MIN ≤ a·b
+        let a = Expr::var("a");
+        let b = Expr::var("b");
+        let hyp = Expr::and(
+            Expr::and(
+                Expr::binop(BinOp::Lt, Expr::int(0), a.clone()),
+                Expr::binop(BinOp::Lt, a.clone(), Expr::int(100)),
+            ),
+            Expr::and(
+                Expr::binop(BinOp::Lt, Expr::int(0), b.clone()),
+                Expr::binop(BinOp::Lt, b.clone(), Expr::int(50)),
+            ),
+        );
+        let prod = Expr::binop(BinOp::Mul, a, b);
+        let concl = Expr::and(
+            Expr::binop(BinOp::Le, Expr::int(-2_147_483_648i64), prod.clone()),
+            Expr::binop(BinOp::Le, prod, Expr::int(2_147_483_647i64)),
+        );
+        assert!(entails(&hyp, &concl));
+    }
+
+    #[test]
+    fn word_var_bounds_from_type() {
+        // u : word32 unsigned ⇒ unat-style semantic value ≤ 2³²−1, so
+        // `u ≤ 4294967295` at word level is *not* expressible without the
+        // type — prove() seeds it.
+        let u = Expr::var("u");
+        let goal = Expr::binop(
+            BinOp::Le,
+            Expr::cast(CastKind::Unat, u),
+            nat(4_294_967_295),
+        );
+        let mut vars = HashMap::new();
+        vars.insert("u".to_owned(), Ty::U32);
+        assert!(prove(&goal, &vars));
+    }
+
+    #[test]
+    fn nat_monus_truncates() {
+        // acc : nat, 1000 ≤ acc ⊢ acc - 1000 ≤ acc (monus stays ≥ 0).
+        let acc = Expr::var("acc");
+        let hyp = Expr::binop(BinOp::Le, nat(1000), acc.clone());
+        let sub = Expr::binop(BinOp::Sub, acc.clone(), nat(1000));
+        assert!(entails(&hyp, &Expr::binop(BinOp::Le, sub, acc)));
+    }
+
+    #[test]
+    fn unknown_stays_unknown() {
+        // a + b ≤ UINT_MAX with both unbounded must NOT discharge.
+        let g = Expr::binop(
+            BinOp::Le,
+            Expr::binop(BinOp::Add, Expr::var("a"), Expr::var("b")),
+            nat(4_294_967_295),
+        );
+        assert!(!AbsEnv::new().holds(&g));
+        // And nothing proves a falsehood.
+        assert!(!entails(&Expr::tt(), &Expr::ff()));
+    }
+
+    #[test]
+    fn definite_falsehood_detected() {
+        // x ≤ 5 ⊢ ¬(10 < x) — and eval refutes 10 < x outright.
+        let x = Expr::var("x");
+        let mut env = AbsEnv::new();
+        env.assume(&Expr::binop(BinOp::Le, x.clone(), nat(5)));
+        assert!(env.refutes(&Expr::binop(BinOp::Lt, nat(10), x)));
+    }
+}

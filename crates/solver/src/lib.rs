@@ -43,6 +43,7 @@
 //! ```
 
 pub mod bitblast;
+pub mod interval;
 pub mod linarith;
 pub mod simplify;
 

@@ -45,6 +45,9 @@ pub struct ProofEffort {
     pub splits: usize,
     /// Total solver invocations.
     pub solver_calls: usize,
+    /// Goals (including split sub-goals) proved by interval abstract
+    /// interpretation alone, before any solver call.
+    pub static_discharged: usize,
 }
 
 impl ProofEffort {
@@ -82,6 +85,14 @@ fn auto_depth(
 ) -> bool {
     let g = saturate(&solver::simplify::simplify(goal));
     if g.is_true_lit() {
+        return true;
+    }
+    // Interval abstract interpretation first: it proves the common
+    // bounds-shaped goals (`H ⟶ x + k ≤ max`) without touching the
+    // decision procedures, mirroring the pipeline's absint guard
+    // discharge.
+    if solver::interval::prove(&g, vars) {
+        effort.static_discharged += 1;
         return true;
     }
     effort.solver_calls += 1;

@@ -1,0 +1,27 @@
+//! Prints the static guard-discharge precision for every case-study
+//! source (the EXPERIMENTS.md precision table is generated from this).
+//!
+//! Run with: `cargo run --release --example absint_precision`
+
+use autocorres::{translate, Options};
+use casestudies::sources;
+
+fn main() {
+    println!("{:<16} {:>6} {:>10} {:>7}", "case study", "guards", "discharged", "%");
+    for (name, src) in [
+        ("max", sources::MAX),
+        ("gcd", sources::GCD),
+        ("midpoint", sources::MIDPOINT),
+        ("swap", sources::SWAP),
+        ("suzuki", sources::SUZUKI),
+        ("reverse", sources::REVERSE),
+        ("schorr-waite", sources::SCHORR_WAITE),
+        ("memset", sources::MEMSET),
+        ("overflow-idiom", sources::OVERFLOW_IDIOM),
+    ] {
+        let out = translate(src, &Options::default()).expect(name);
+        let (t, d) = (out.stats.guards_total, out.stats.guards_discharged);
+        let pct = if t == 0 { 0.0 } else { 100.0 * d as f64 / t as f64 };
+        println!("{name:<16} {t:>6} {d:>10} {pct:>6.1}");
+    }
+}

@@ -56,6 +56,10 @@ fn main() {
         "spec size: parser {} lines / {} nodes → AutoCorres {} lines / {} nodes",
         pm.lines, pm.term_size, om.lines, om.term_size
     );
+    println!(
+        "guards: {} total, {} discharged statically",
+        out.stats.guards_total, out.stats.guards_discharged
+    );
 
     println!("\n── pipeline stats ──");
     println!("{}", out.stats);

@@ -11,7 +11,9 @@
 #   scripts/tier1.sh --audit  # run the full soundness audit instead of
 #                             # the smoke: ≥200-program differential
 #                             # campaign + large mutation budget
-#                             # (prints the kill matrix; ~30s)
+#                             # (prints the kill matrix; ~30s) + the
+#                             # 100-program discharge-vs-solver
+#                             # differential (ISSUE 8)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -50,6 +52,18 @@ for w in 1 2 4 8; do
         || { echo "tier1: scheduler smoke diverged at --workers $w" >&2; exit 1; }
 done
 
+# Lint smoke: the release CLI's --lint output on the checked-in demo
+# program must match the golden warning set (all four lint kinds, with the
+# validated counterexample attached to the definite overflow), and
+# --lint=deny must exit nonzero on it.
+./target/release/autocorres --quiet --lint tests/golden/lint_demo.c \
+    | grep -E '^(warning|    counterexample)' > "$tmp_out"
+diff -u tests/golden/lint_demo.txt "$tmp_out" \
+    || { echo "tier1: lint smoke diverged from tests/golden/lint_demo.txt" >&2; exit 1; }
+if ./target/release/autocorres --quiet --lint=deny tests/golden/lint_demo.c > /dev/null 2>&1; then
+    echo "tier1: --lint=deny did not fail on the lint demo" >&2; exit 1
+fi
+
 # Soundness audit (crates/audit): fault-injection against the kernel
 # checker plus the cross-layer differential oracle. The smoke runs by
 # default (small mutation budget, a few fuzz seeds, two worker counts);
@@ -71,6 +85,7 @@ if [[ "${1:-}" == "--lint" ]]; then
         -p autocorres -p kernel -p monadic -p wordabs -p heapabs \
         -p codegen -p bench -p ir -p solver -p vcg -p simpl \
         -p autocorres-repro -p proptest -p audit -p cparser \
+        -p absint -p counterexample \
         --all-targets -- -D warnings
 fi
 

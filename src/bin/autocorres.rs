@@ -15,6 +15,10 @@
 //!                            adaptive; output is identical at any count)
 //!   --metrics                print Table 5-style size metrics and exit
 //!   --check                  replay all theorems through the proof checker
+//!   --lint[=deny]            print static-analysis lints (dead stores,
+//!                            unreachable code, use-before-init, definite
+//!                            overflow); `=deny` exits nonzero on any lint
+//!   --no-absint              disable the abstract-interpretation phase
 //!   --playback SEED          replay a counterexample seed file and exit
 //!   --quiet                  suppress the banner
 //! ```
@@ -42,6 +46,9 @@ struct Cli {
     workers: usize,
     metrics: bool,
     check: bool,
+    lint: bool,
+    lint_deny: bool,
+    no_absint: bool,
     playback: Option<String>,
     quiet: bool,
 }
@@ -49,7 +56,8 @@ struct Cli {
 fn usage() -> &'static str {
     "usage: autocorres [--level l1|l2|hl|wa] [--fn NAME]... [--concrete NAME]...\n\
      \x20                 [--no-word-abs] [--word-abs NAME]... [--trials N] [--seed N]\n\
-     \x20                 [--workers N] [--metrics] [--check] [--quiet] FILE.c\n\
+     \x20                 [--workers N] [--metrics] [--check] [--lint[=deny]]\n\
+     \x20                 [--no-absint] [--quiet] FILE.c\n\
      \x20      autocorres --playback SEED"
 }
 
@@ -65,6 +73,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         workers: 0,
         metrics: false,
         check: false,
+        lint: false,
+        lint_deny: false,
+        no_absint: false,
         playback: None,
         quiet: false,
     };
@@ -110,6 +121,16 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             }
             "--metrics" => cli.metrics = true,
             "--check" => cli.check = true,
+            "--lint" => cli.lint = true,
+            "--no-absint" => cli.no_absint = true,
+            f if f.starts_with("--lint=") => {
+                cli.lint = true;
+                match &f["--lint=".len()..] {
+                    "deny" => cli.lint_deny = true,
+                    "warn" => {}
+                    v => return Err(format!("--lint: unknown mode `{v}` (warn|deny)")),
+                }
+            }
             "--playback" => cli.playback = Some(value("--playback")?),
             "--quiet" => cli.quiet = true,
             "--help" | "-h" => return Err(usage().to_owned()),
@@ -181,6 +202,54 @@ fn print_ctx(ctx: &ProgramCtx, only: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Prints the abstract-interpretation lints as warnings, attaching a
+/// validated counterexample (via the extractor, with a trivial spec — the
+/// guards themselves are the obligations) to each definite-overflow lint.
+/// Returns the lint count.
+fn print_lints(out: &autocorres::Output) -> Result<usize, String> {
+    let mut diags = out.lint_diags();
+    // Eager counterexamples for definite overflows: analyze each affected
+    // function once and attach the first validated counterexample.
+    let overflowing: BTreeSet<String> = out
+        .absint
+        .iter()
+        .filter(|(_, a)| a.report.refuted() > 0)
+        .map(|(n, _)| n.clone())
+        .collect();
+    for name in &overflowing {
+        let spec = counterexample::FnSpec {
+            pre: ir::expr::Expr::tt(),
+            post: ir::expr::Expr::tt(),
+            anns: Vec::new(),
+        };
+        let Ok(analysis) = counterexample::analyze(out, name, &spec) else {
+            continue;
+        };
+        if let Some(cex) = analysis.first_cex() {
+            for d in &mut diags {
+                if d.function.as_deref() == Some(name.as_str())
+                    && d.message.starts_with("definite-overflow")
+                    && d.counterexample.is_none()
+                {
+                    d.counterexample = Some(Box::new(cex.info.clone()));
+                }
+            }
+        }
+    }
+    for d in &diags {
+        let at = match (&d.function, d.span) {
+            (Some(f), Some(s)) => format!("{f}:{}:{}", s.line, s.col),
+            (Some(f), None) => f.clone(),
+            _ => String::new(),
+        };
+        println!("warning[{at}]: {}", d.message);
+        if let Some(cex) = &d.counterexample {
+            println!("    counterexample: {cex}");
+        }
+    }
+    Ok(diags.len())
+}
+
 fn run(cli: &Cli) -> Result<(), String> {
     if let Some(path) = &cli.playback {
         return run_playback(path, cli.quiet);
@@ -193,6 +262,7 @@ fn run(cli: &Cli) -> Result<(), String> {
         l2_trials: cli.trials,
         seed: cli.seed,
         workers: cli.workers,
+        no_absint: cli.no_absint,
         ..Options::default()
     };
     let out = translate(&src, &opts).map_err(|e| e.to_string())?;
@@ -216,6 +286,12 @@ fn run(cli: &Cli) -> Result<(), String> {
         _ => &out.wa,
     };
     print_ctx(ctx, &cli.only)?;
+    if cli.lint {
+        let n = print_lints(&out)?;
+        if cli.lint_deny && n > 0 {
+            return Err(format!("--lint=deny: {n} lint(s)"));
+        }
+    }
     if cli.check {
         out.check_all().map_err(|e| format!("proof check failed: {e}"))?;
         if !cli.quiet {

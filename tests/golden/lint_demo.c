@@ -1,0 +1,30 @@
+/* Lint demo: one function per lint kind. Exercised by the --lint golden
+ * smoke in scripts/tier1.sh and by tests/lint_golden.rs; the expected
+ * warnings live in lint_demo.txt next to this file. */
+
+int shadowed(int a) {
+    int x = a + 1;
+    x = 2;
+    return x;
+}
+
+int tail(int a) {
+    return a;
+    a = 2;
+    return a;
+}
+
+int maybe(int a) {
+    int x;
+    if (a < 0) {
+        x = 1;
+    }
+    return x;
+}
+
+int boom(int x) {
+    if (x > 2147483645) {
+        return x + 10;
+    }
+    return x;
+}

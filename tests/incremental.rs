@@ -74,8 +74,9 @@ fn identical_retranslation_is_a_full_cache_hit() {
 
     let second = sess.translate(&diamond(1)).unwrap();
     assert_eq!(second.stats.dirty_fns, 0, "nothing changed");
-    // Every per-function job of every phase was answered from the store.
-    assert_eq!(second.stats.cached_nodes, 6 * 4);
+    // Every per-function job of every phase (7 phases including absint)
+    // was answered from the store.
+    assert_eq!(second.stats.cached_nodes, 7 * 4);
     assert_eq!(render(&first), render(&second), "cache changed the output");
 }
 

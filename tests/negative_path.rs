@@ -183,6 +183,49 @@ fn double_counter() -> WrongProgram {
     }
 }
 
+/// Definite overflow caught *statically*: under the branch refinement
+/// `x > 2147483600` the interval analysis proves the addition guard false
+/// on every path through the branch — no solver model needed to know the
+/// program is wrong. The counterexample extractor then produces a concrete
+/// witness for the refuted guard VC.
+fn definite_overflow_add() -> WrongProgram {
+    let src = "int bump(int x) {\n\
+        if (x > 2147483600) {\n\
+            return x + 100;\n\
+        }\n\
+        return x;\n\
+    }";
+    WrongProgram {
+        name: "bump",
+        src,
+        spec: FnSpec {
+            pre: Expr::tt(),
+            post: Expr::tt(),
+            anns: vec![],
+        },
+    }
+}
+
+/// The mirror image at the negative end of the range: `x - 100` underflows
+/// for every `x < -2147483600`, and the refined interval proves it.
+fn definite_underflow_sub() -> WrongProgram {
+    let src = "int sink(int x) {\n\
+        if (x < -2147483600) {\n\
+            return x - 100;\n\
+        }\n\
+        return x;\n\
+    }";
+    WrongProgram {
+        name: "sink",
+        src,
+        spec: FnSpec {
+            pre: Expr::tt(),
+            post: Expr::tt(),
+            anns: vec![],
+        },
+    }
+}
+
 fn all_programs() -> Vec<WrongProgram> {
     vec![
         off_by_one(),
@@ -191,6 +234,8 @@ fn all_programs() -> Vec<WrongProgram> {
         wrong_base_case(),
         flipped_max(),
         double_counter(),
+        definite_overflow_add(),
+        definite_underflow_sub(),
     ]
 }
 
@@ -337,11 +382,63 @@ fn wrong_loop_accumulator_yields_counterexample() {
     assert!(cex.info.vc.starts_with("loop"), "vc = {}", cex.info.vc);
 }
 
+/// Shared contract of the two definite-overflow programs: the abstract
+/// interpreter refutes the guard on its own (a `ProvedFalse` verdict and a
+/// `definite-overflow` lint, before any solver involvement), and the
+/// extractor still produces a concrete, replayable witness.
+fn check_absint_refutes(p: &WrongProgram) -> Cex {
+    let (out, cex) = check_program(p);
+    let report = &out.absint[p.name].report;
+    assert!(
+        report.refuted() > 0,
+        "{}: abstract interpretation did not refute the guard statically",
+        p.name
+    );
+    let diags = out.lint_diags();
+    assert!(
+        diags.iter().any(|d| {
+            d.function.as_deref() == Some(p.name) && d.message.starts_with("definite-overflow")
+        }),
+        "{}: no definite-overflow lint emitted: {diags:?}",
+        p.name
+    );
+    // The guard surfaces as the refuted main-path VC.
+    assert_eq!(cex.info.vc, "main", "{}", p.name);
+    cex
+}
+
+/// The signed value of the model's binding for `x`.
+fn model_x(cex: &Cex) -> i64 {
+    cex.info
+        .model
+        .iter()
+        .find(|(n, _)| n == "x")
+        .and_then(|(_, v)| v.as_word())
+        .expect("x bound to a word in the model")
+        .signed_value()
+}
+
+#[test]
+fn definite_overflow_is_caught_by_absint_alone() {
+    let cex = check_absint_refutes(&definite_overflow_add());
+    // Every refined value overflows; the witness must come from the
+    // refined range, not a boundary guess.
+    let x = model_x(&cex);
+    assert!(x > 2_147_483_600, "witness x = {x} outside the refined range");
+}
+
+#[test]
+fn definite_underflow_is_caught_by_absint_alone() {
+    let cex = check_absint_refutes(&definite_underflow_sub());
+    let x = model_x(&cex);
+    assert!(x < -2_147_483_600, "witness x = {x} outside the refined range");
+}
+
 #[test]
 fn every_program_in_suite_is_refutable() {
-    // The suite invariant the corpus regeneration relies on: all six
+    // The suite invariant the corpus regeneration relies on: all eight
     // programs extract, none is accidentally correct.
-    assert_eq!(all_programs().len(), 6);
+    assert_eq!(all_programs().len(), 8);
 }
 
 fn repo_path(rel: &str) -> PathBuf {

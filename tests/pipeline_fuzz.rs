@@ -22,8 +22,8 @@ use autocorres::{translate, Options};
 /// (`format = cex-v1`) replayed through concrete playback — each one a
 /// verification failure checked in as a regression test.
 const CORPUS: &[&str] = &[
-    "cex-001", "cex-002", "cex-003", "cex-004", "cex-005", "cex-006", "seed-001", "seed-002",
-    "seed-003", "seed-004", "seed-005",
+    "cex-001", "cex-002", "cex-003", "cex-004", "cex-005", "cex-006", "cex-007", "cex-008",
+    "seed-001", "seed-002", "seed-003", "seed-004", "seed-005",
 ];
 
 fn corpus_dir() -> PathBuf {
@@ -179,6 +179,16 @@ fn corpus_cex_005() {
 #[test]
 fn corpus_cex_006() {
     replay_cex("cex-006");
+}
+
+#[test]
+fn corpus_cex_007() {
+    replay_cex("cex-007");
+}
+
+#[test]
+fn corpus_cex_008() {
+    replay_cex("cex-008");
 }
 
 #[test]
