@@ -85,7 +85,7 @@ fn expr_reads(e: &TExpr, acc: &mut BTreeSet<String>) {
         TExprKind::Unary(_, a) | TExprKind::Member(a, _) | TExprKind::Cast(_, a) => {
             expr_reads(a, acc);
         }
-        TExprKind::Binary(_, a, b) => {
+        TExprKind::Binary(_, a, b) | TExprKind::Index(a, b) => {
             expr_reads(a, acc);
             expr_reads(b, acc);
         }
@@ -155,7 +155,7 @@ fn first_span(stmts: &[TStmt]) -> Option<Span> {
                     return Some(sp);
                 }
             }
-            TStmt::Break | TStmt::Continue => {}
+            TStmt::Break(_) | TStmt::Continue(_) => {}
         }
     }
     None
@@ -166,7 +166,7 @@ fn first_span(stmts: &[TStmt]) -> Option<Span> {
 /// Does this statement always leave the enclosing block abruptly?
 fn terminates(s: &TStmt) -> bool {
     match s {
-        TStmt::Return(..) | TStmt::Break | TStmt::Continue => true,
+        TStmt::Return(..) | TStmt::Break(_) | TStmt::Continue(_) => true,
         TStmt::If {
             then_branch,
             else_branch,
@@ -291,13 +291,21 @@ fn init_walk(stmts: &[TStmt], st: &mut InitState, out: &mut Vec<Lint>) {
                 // indices), excluding the stored-to local.
                 if let TExprKind::Local(n) = &lhs.kind {
                     st.uninit.remove(n);
+                } else if let TExprKind::Index(base, idx) = &lhs.kind {
+                    // An element store reads the index; the functional
+                    // update's read of the array itself is an encoding
+                    // artefact, not a source-level read.
+                    check_reads(idx, *span, st, out);
+                    if let TExprKind::Local(n) = &base.kind {
+                        st.uninit.remove(n);
+                    }
                 } else {
                     check_reads(lhs, *span, st, out);
                 }
             }
             TStmt::ExprCall(e, span) => check_reads(e, *span, st, out),
             TStmt::Return(Some(e), span) => check_reads(e, *span, st, out),
-            TStmt::Return(None, _) | TStmt::Break | TStmt::Continue => {}
+            TStmt::Return(None, _) | TStmt::Break(_) | TStmt::Continue(_) => {}
             TStmt::If {
                 cond,
                 then_branch,
@@ -359,7 +367,7 @@ fn all_reads(stmts: &[TStmt], acc: &mut BTreeSet<String>) {
             }
             TStmt::ExprCall(e, _) => expr_reads(e, acc),
             TStmt::Return(Some(e), _) => expr_reads(e, acc),
-            TStmt::Return(None, _) | TStmt::Break | TStmt::Continue => {}
+            TStmt::Return(None, _) | TStmt::Break(_) | TStmt::Continue(_) => {}
             TStmt::If {
                 cond,
                 then_branch,
@@ -425,7 +433,7 @@ fn live_walk(stmts: &[TStmt], live: &mut BTreeSet<String>, dead: &mut Vec<Lint>)
             }
             TStmt::ExprCall(e, _) => expr_reads(e, live),
             TStmt::Return(Some(e), _) => expr_reads(e, live),
-            TStmt::Return(None, _) | TStmt::Break | TStmt::Continue => {}
+            TStmt::Return(None, _) | TStmt::Break(_) | TStmt::Continue(_) => {}
             TStmt::If {
                 cond,
                 then_branch,

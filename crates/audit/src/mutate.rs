@@ -557,6 +557,8 @@ fn rename_expr(e: &Expr, from: Symbol, to: Symbol) -> Expr {
         Expr::Ite(c, t, f) => Expr::Ite(r(c), r(t), r(f)),
         Expr::Tuple(vs) => Expr::Tuple(vs.iter().map(|v| rename_expr(v, from, to)).collect()),
         Expr::Proj(i, a) => Expr::Proj(*i, r(a)),
+        Expr::Index(a, i) => Expr::Index(r(a), r(i)),
+        Expr::ArrUpd(a, i, v) => Expr::ArrUpd(r(a), r(i), r(v)),
     }
 }
 

@@ -211,7 +211,7 @@ pub fn l2_function(tp: &TProgram, f: &TFunDef) -> R<MonadicFn> {
             ir::intern::Interned::new(Prog::ret(Expr::proj(1, Expr::var("·rv")))),
         );
     }
-    let prog = tidy(&prog);
+    let prog = tidy(&prog, &f.volatile_locals);
     // Guard simplification (the paper's Sec 2 phase): discharge guards the
     // decision procedures prove, and drop guards already established on
     // every path to this point.
@@ -296,7 +296,7 @@ fn normalize(stmts: &[TStmt]) -> Vec<TStmt> {
 /// `continue`?
 fn always_exits(stmts: &[TStmt]) -> bool {
     match stmts.last() {
-        Some(TStmt::Return(..) | TStmt::Break | TStmt::Continue) => true,
+        Some(TStmt::Return(..) | TStmt::Break(_) | TStmt::Continue(_)) => true,
         Some(TStmt::If {
             then_branch,
             else_branch,
@@ -361,8 +361,8 @@ fn contains_break_or_continue(stmts: &[TStmt]) -> (bool, bool) {
     fn walk(stmts: &[TStmt], brk: &mut bool, cont: &mut bool) {
         for s in stmts {
             match s {
-                TStmt::Break => *brk = true,
-                TStmt::Continue => *cont = true,
+                TStmt::Break(_) => *brk = true,
+                TStmt::Continue(_) => *cont = true,
                 TStmt::If {
                     then_branch,
                     else_branch,
@@ -392,9 +392,10 @@ fn assigned_locals(stmts: &[TStmt], order: &[String], scope: &BTreeSet<String>) 
                     if let TExprKind::Local(n) = &lhs.kind {
                         set.insert(n.clone());
                     }
-                    // Member chains rooted at a local also assign it.
+                    // Member/index chains rooted at a local also assign it.
                     let mut cur = lhs;
-                    while let TExprKind::Member(inner, _) = &cur.kind {
+                    while let TExprKind::Member(inner, _) | TExprKind::Index(inner, _) = &cur.kind
+                    {
                         cur = inner;
                     }
                     if let TExprKind::Local(n) = &cur.kind {
@@ -686,7 +687,7 @@ impl<'a> L2Tr<'a> {
                 // Anything after a return is dead code.
                 Ok(self.with_pre(steps, prog))
             }
-            TStmt::Break => {
+            TStmt::Break(_) => {
                 let Some(l) = lp else {
                     return err("break outside a loop");
                 };
@@ -695,7 +696,7 @@ impl<'a> L2Tr<'a> {
                     pack_expr(&l.vars),
                 ])))
             }
-            TStmt::Continue => {
+            TStmt::Continue(_) => {
                 let Some(l) = lp else {
                     return err("continue outside a loop");
                 };
@@ -871,21 +872,23 @@ fn delocal_update(u: &Update) -> Update {
 
 /// Cosmetic post-pass: the rewrites that make the output match the paper's
 /// figures (`condition (return a) (return b)` → `return (if …)`, unit-bind
-/// cleanup, `v ← p; return v` → `p`).
-fn tidy(p: &Prog) -> Prog {
-    let q = tidy_once(p);
+/// cleanup, `v ← p; return v` → `p`). Bindings of names in `pinned`
+/// (`volatile` locals) are never substituted away: their reads must stay
+/// exactly where the source put them.
+fn tidy(p: &Prog, pinned: &BTreeSet<String>) -> Prog {
+    let q = tidy_once(p, pinned);
     if q == *p {
         q
     } else {
-        tidy(&q)
+        tidy(&q, pinned)
     }
 }
 
-fn tidy_once(p: &Prog) -> Prog {
+fn tidy_once(p: &Prog, pinned: &BTreeSet<String>) -> Prog {
     match p {
         Prog::Bind(l, v, r) => {
-            let l = tidy_once(l);
-            let r = tidy_once(r);
+            let l = tidy_once(l, pinned);
+            let r = tidy_once(r, pinned);
             // v ← return e; return v  →  return e
             if let Prog::Return(e) = &r {
                 if *e == Expr::var(v.clone()) {
@@ -894,10 +897,14 @@ fn tidy_once(p: &Prog) -> Prog {
             }
             // v ← return lit/var; r  →  r[v := e], substituting only the
             // free occurrences of v (binder-aware, capture-avoiding).
+            // Volatile locals are pinned: their binding survives.
             if let Prog::Return(e) = &l {
-                if matches!(e, Expr::Lit(_) | Expr::Var(_)) && v != "_" {
+                if matches!(e, Expr::Lit(_) | Expr::Var(_))
+                    && v != "_"
+                    && !pinned.contains(v)
+                {
                     if let Some(substituted) = subst_free(&r, v, e) {
-                        return tidy_once(&substituted);
+                        return tidy_once(&substituted, pinned);
                     }
                 }
             }
@@ -907,10 +914,12 @@ fn tidy_once(p: &Prog) -> Prog {
             }
             Prog::bind(l, v.clone(), r)
         }
-        Prog::BindTuple(l, vs, r) => Prog::bind_tuple(tidy_once(l), vs.clone(), tidy_once(r)),
+        Prog::BindTuple(l, vs, r) => {
+            Prog::bind_tuple(tidy_once(l, pinned), vs.clone(), tidy_once(r, pinned))
+        }
         Prog::Condition(c, t, e) => {
-            let t = tidy_once(t);
-            let e = tidy_once(e);
+            let t = tidy_once(t, pinned);
+            let e = tidy_once(e, pinned);
             if let (Prog::Return(a), Prog::Return(b)) = (&t, &e) {
                 return Prog::Return(Expr::ite(c.clone(), a.clone(), b.clone()));
             }
@@ -920,9 +929,9 @@ fn tidy_once(p: &Prog) -> Prog {
             Prog::cond(c.clone(), t, e)
         }
         Prog::Catch(l, v, r) => Prog::Catch(
-            ir::intern::Interned::new(tidy_once(l)),
+            ir::intern::Interned::new(tidy_once(l, pinned)),
             v.clone(),
-            ir::intern::Interned::new(tidy_once(r)),
+            ir::intern::Interned::new(tidy_once(r, pinned)),
         ),
         Prog::While {
             vars,
@@ -932,11 +941,15 @@ fn tidy_once(p: &Prog) -> Prog {
         } => Prog::While {
             vars: vars.clone(),
             cond: cond.clone(),
-            body: ir::intern::Interned::new(tidy_once(body)),
+            body: ir::intern::Interned::new(tidy_once(body, pinned)),
             init: init.clone(),
         },
-        Prog::ExecConcrete(q) => Prog::ExecConcrete(ir::intern::Interned::new(tidy_once(q))),
-        Prog::ExecAbstract(q) => Prog::ExecAbstract(ir::intern::Interned::new(tidy_once(q))),
+        Prog::ExecConcrete(q) => {
+            Prog::ExecConcrete(ir::intern::Interned::new(tidy_once(q, pinned)))
+        }
+        Prog::ExecAbstract(q) => {
+            Prog::ExecAbstract(ir::intern::Interned::new(tidy_once(q, pinned)))
+        }
         other => other.clone(),
     }
 }

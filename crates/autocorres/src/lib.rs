@@ -35,6 +35,7 @@
 //! assert!(text.contains("div"), "ideal division: {text}");
 //! ```
 
+pub mod corpus;
 pub mod l1;
 pub mod l2;
 pub mod phase;

@@ -311,6 +311,12 @@ pub struct Mix {
     pub heap_walks: u32,
     /// Bounded self-recursion.
     pub recursion: u32,
+    /// Local fixed-size array fill/fold loops with in-bounds indexing.
+    pub arrays: u32,
+    /// `switch` dispatch with fallthrough chains and `default`.
+    pub switches: u32,
+    /// Compound assignment (`+=`, `^=`, `<<=`, …) and `++`/`--`.
+    pub compound: u32,
 }
 
 impl Mix {
@@ -327,6 +333,9 @@ impl Mix {
             overflow: 0,
             heap_walks: 0,
             recursion: 0,
+            arrays: 0,
+            switches: 0,
+            compound: 0,
         }
     }
 
@@ -345,10 +354,13 @@ impl Mix {
             overflow: 3,
             heap_walks: 2,
             recursion: 2,
+            arrays: 3,
+            switches: 3,
+            compound: 2,
         }
     }
 
-    fn weights(&self) -> [u32; 9] {
+    fn weights(&self) -> [u32; 12] {
         [
             self.arith,
             self.structs,
@@ -359,6 +371,9 @@ impl Mix {
             self.overflow,
             self.heap_walks,
             self.recursion,
+            self.arrays,
+            self.switches,
+            self.compound,
         ]
     }
 }
@@ -417,9 +432,20 @@ pub fn generate_mix(profile: &Profile, mix: &Mix, seed: u64) -> String {
                 gen_overflow_fn(&mut rng, i, body_budget, &mut s);
             }
             7 => gen_walk_fn(&mut rng, i, body_budget, &mut s),
-            _ => {
+            8 => {
                 gen_rec_fn(&mut rng, i, &mut s);
                 callable.push(i);
+            }
+            9 => {
+                gen_array_fn(&mut rng, i, body_budget, &mut s);
+                callable.push(i);
+            }
+            10 => {
+                gen_switch_fn(&mut rng, i, body_budget, &mut s);
+                callable.push(i);
+            }
+            _ => {
+                gen_compound_fn(&mut rng, i, body_budget, &mut s);
             }
         }
         out.push_str(&s);
@@ -547,6 +573,114 @@ fn gen_walk_fn(rng: &mut StdRng, idx: usize, lines: usize, s: &mut String) {
     let _ = writeln!(s, "}}");
 }
 
+/// Local fixed-size array: a fill loop, random in-bounds element updates
+/// (compound assignment on elements included), and a fold — every index
+/// is either loop-bounded or reduced modulo the length, so the generated
+/// bounds guards are all provable.
+fn gen_array_fn(rng: &mut StdRng, idx: usize, lines: usize, s: &mut String) {
+    let len = rng.gen_range(4..12);
+    let _ = writeln!(s, "unsigned fn_{idx}(unsigned n) {{");
+    let _ = writeln!(s, "    unsigned a[{len}];");
+    let _ = writeln!(s, "    unsigned i = 0u;");
+    let _ = writeln!(s, "    while (i < {len}u) {{");
+    let _ = writeln!(s, "        a[i] = (n + i * {}u) % 97u;", rng.gen_range(1..9));
+    let _ = writeln!(s, "        i += 1u;");
+    let _ = writeln!(s, "    }}");
+    for _ in 0..lines.saturating_sub(10).min(5) {
+        match rng.gen_range(0..3) {
+            0 => {
+                let _ = writeln!(
+                    s,
+                    "    a[{}u] += {}u;",
+                    rng.gen_range(0..len),
+                    rng.gen_range(1..50)
+                );
+            }
+            1 => {
+                let _ = writeln!(s, "    a[n % {len}u] ^= {}u;", rng.gen_range(1..64));
+            }
+            _ => {
+                let _ = writeln!(
+                    s,
+                    "    if (a[{}u] > a[{}u]) a[{}u] = n & 255u;",
+                    rng.gen_range(0..len),
+                    rng.gen_range(0..len),
+                    rng.gen_range(0..len)
+                );
+            }
+        }
+    }
+    let _ = writeln!(s, "    unsigned acc = 0u;");
+    let _ = writeln!(s, "    for (i = 0u; i < {len}u; i++) {{");
+    let _ = writeln!(s, "        acc += a[i];");
+    let _ = writeln!(s, "    }}");
+    let _ = writeln!(s, "    return acc;");
+    let _ = writeln!(s, "}}");
+}
+
+/// `switch` dispatch on a reduced scrutinee: distinct case constants,
+/// a random subset of arms falling through to the next (accumulating
+/// rather than overwriting so the fallthrough order is observable), and
+/// a `default` arm.
+fn gen_switch_fn(rng: &mut StdRng, idx: usize, lines: usize, s: &mut String) {
+    let ncases = rng.gen_range(3..7).min(lines.max(3));
+    let modulus = ncases + rng.gen_range(1..3);
+    let _ = writeln!(s, "unsigned fn_{idx}(unsigned n) {{");
+    let _ = writeln!(s, "    unsigned r = n & 7u;");
+    let _ = writeln!(s, "    switch (n % {modulus}u) {{");
+    for k in 0..ncases {
+        let _ = writeln!(s, "        case {k}:");
+        let _ = writeln!(s, "            r += {}u;", rng.gen_range(1..100));
+        // Last arm always breaks so it never falls into `default`
+        // accidentally-on-purpose; earlier arms fall through ~1/3 of
+        // the time.
+        if k + 1 == ncases || rng.gen_range(0..3) != 0 {
+            let _ = writeln!(s, "            break;");
+        }
+    }
+    let _ = writeln!(s, "        default:");
+    let _ = writeln!(s, "            r ^= {}u;", rng.gen_range(1..64));
+    let _ = writeln!(s, "            break;");
+    let _ = writeln!(s, "    }}");
+    let _ = writeln!(s, "    return r;");
+    let _ = writeln!(s, "}}");
+}
+
+/// Straight-line compound assignment and increment/decrement chains —
+/// single-evaluation desugaring at every width.
+fn gen_compound_fn(rng: &mut StdRng, idx: usize, lines: usize, s: &mut String) {
+    let _ = writeln!(s, "unsigned fn_{idx}(unsigned a, unsigned b) {{");
+    let _ = writeln!(s, "    unsigned acc = a;");
+    let _ = writeln!(s, "    unsigned short w = (unsigned short)b;");
+    for _ in 0..lines.saturating_sub(4).min(10) {
+        match rng.gen_range(0..7) {
+            0 => {
+                let _ = writeln!(s, "    acc += b & {}u;", rng.gen_range(1..255));
+            }
+            1 => {
+                let _ = writeln!(s, "    acc ^= {}u;", rng.gen_range(1..64));
+            }
+            2 => {
+                let _ = writeln!(s, "    acc >>= {}u;", rng.gen_range(1..4));
+            }
+            3 => {
+                let _ = writeln!(s, "    acc /= b % {}u + 1u;", rng.gen_range(2..9));
+            }
+            4 => {
+                let _ = writeln!(s, "    acc++;");
+            }
+            5 => {
+                let _ = writeln!(s, "    w *= {}u;", rng.gen_range(3..9));
+            }
+            _ => {
+                let _ = writeln!(s, "    if (acc != 0u) --acc;");
+            }
+        }
+    }
+    let _ = writeln!(s, "    return acc + (unsigned)w;");
+    let _ = writeln!(s, "}}");
+}
+
 /// Bounded linear self-recursion (`fn(n) = f(n, fn(n - 1))`): the input is
 /// reduced modulo a small bound first, so the call depth stays far below
 /// the interpreter stack limit whatever the argument.
@@ -646,6 +780,11 @@ mod tests {
             "(unsigned char)",
             "(unsigned short)",
             "p = p->next;",
+            "switch (",
+            "case 0:",
+            "default:",
+            "+=",
+            "acc++;",
         ] {
             assert!(src.contains(needle), "missing `{needle}` in:\n{src}");
         }
@@ -657,6 +796,8 @@ mod tests {
             }),
             "no recursive function generated:\n{src}"
         );
+        // At least one local array declaration (`unsigned a[N];`).
+        assert!(src.contains("unsigned a["), "no array function:\n{src}");
     }
 
     #[test]
@@ -671,5 +812,19 @@ mod tests {
         assert!(!src.contains("continue;"));
         assert!(!src.contains("do {"));
         assert!(!src.contains("(unsigned char)"));
+        assert!(!src.contains("switch ("));
+        assert!(!src.contains("unsigned a["));
+        assert!(!src.contains("+="));
+    }
+
+    #[test]
+    fn table5_mix_matches_legacy_generate_weights() {
+        // The zero weights for the new shapes keep the roll modulus at 8,
+        // so `generate_mix(Mix::table5())` must keep drawing the same
+        // shapes `generate` always has (byte-identity of `generate` itself
+        // is covered by `generation_is_deterministic`).
+        let w = Mix::table5().weights();
+        assert_eq!(w.iter().sum::<u32>(), 8);
+        assert_eq!(&w[5..], &[0; 7]);
     }
 }

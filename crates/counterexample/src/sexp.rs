@@ -185,6 +185,11 @@ pub fn ty_to_sexp(t: &Ty) -> Sexp {
             items.extend(ts.iter().map(ty_to_sexp));
             Sexp::list(items)
         }
+        Ty::Arr(t, n) => Sexp::list(vec![
+            Sexp::atom("arr"),
+            ty_to_sexp(t),
+            Sexp::atom(n.to_string()),
+        ]),
     }
 }
 
@@ -213,6 +218,12 @@ pub fn ty_from_sexp(s: &Sexp) -> Result<Ty, String> {
                 ("struct", [n]) => Ok(Ty::Struct(n.as_atom()?.to_owned())),
                 ("tuple", ts) => Ok(Ty::Tuple(
                     ts.iter().map(ty_from_sexp).collect::<Result<_, _>>()?,
+                )),
+                ("arr", [t, n]) => Ok(Ty::Arr(
+                    Box::new(ty_from_sexp(t)?),
+                    n.as_atom()?
+                        .parse()
+                        .map_err(|e| format!("bad array length: {e}"))?,
                 )),
                 _ => Err(format!("bad type {s}")),
             }
@@ -248,6 +259,11 @@ pub fn value_to_sexp(v: &Value) -> Sexp {
         }
         Value::Tuple(vs) => {
             let mut items = vec![Sexp::atom("tv")];
+            items.extend(vs.iter().map(value_to_sexp));
+            Sexp::list(items)
+        }
+        Value::Arr(t, vs) => {
+            let mut items = vec![Sexp::atom("av"), ty_to_sexp(t)];
             items.extend(vs.iter().map(value_to_sexp));
             Sexp::list(items)
         }
@@ -309,6 +325,10 @@ pub fn value_from_sexp(s: &Sexp) -> Result<Value, String> {
                     Ok(Value::Struct(n.as_atom()?.to_owned(), fields))
                 }
                 ("tv", vs) => Ok(Value::Tuple(
+                    vs.iter().map(value_from_sexp).collect::<Result<_, _>>()?,
+                )),
+                ("av", [t, vs @ ..]) => Ok(Value::Arr(
+                    Box::new(ty_from_sexp(t)?),
                     vs.iter().map(value_from_sexp).collect::<Result<_, _>>()?,
                 )),
                 _ => Err(format!("bad value {s}")),
@@ -464,6 +484,11 @@ pub fn expr_to_sexp(e: &Expr) -> Sexp {
         ),
         Expr::Tuple(es) => l("tuple", es.iter().map(expr_to_sexp).collect()),
         Expr::Proj(i, a) => l("proj", vec![Sexp::atom(i.to_string()), expr_to_sexp(a)]),
+        Expr::Index(a, ix) => l("index", vec![expr_to_sexp(a), expr_to_sexp(ix)]),
+        Expr::ArrUpd(a, ix, v) => l(
+            "arrupd",
+            vec![expr_to_sexp(a), expr_to_sexp(ix), expr_to_sexp(v)],
+        ),
     }
 }
 
@@ -503,6 +528,8 @@ pub fn expr_from_sexp(s: &Sexp) -> Result<Expr, String> {
             idx.as_atom()?.parse().map_err(|e| format!("bad proj: {e}"))?,
             i(a)?,
         )),
+        ("index", [a, ix]) => Ok(Expr::Index(i(a)?, i(ix)?)),
+        ("arrupd", [a, ix, v]) => Ok(Expr::ArrUpd(i(a)?, i(ix)?, i(v)?)),
         _ => Err(format!("bad expr {s}")),
     }
 }

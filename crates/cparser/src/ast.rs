@@ -16,6 +16,9 @@ pub enum CType {
     Ptr(Box<CType>),
     /// `struct name`.
     Struct(String),
+    /// A fixed-size array `T name[N]` (single dimension; local and global
+    /// declarations only — arrays never decay to pointers in the subset).
+    Arr(Box<CType>, u64),
 }
 
 impl CType {
@@ -41,6 +44,30 @@ impl CType {
     pub fn ptr_to(self) -> CType {
         CType::Ptr(Box::new(self))
     }
+
+    /// Builds an array of `n` elements of this type.
+    #[must_use]
+    pub fn arr_of(self, n: u64) -> CType {
+        CType::Arr(Box::new(self), n)
+    }
+
+    /// Is this an array type?
+    #[must_use]
+    pub fn is_array(&self) -> bool {
+        matches!(self, CType::Arr(..))
+    }
+}
+
+/// Declaration qualifiers. The subset allows them on whole declarations of
+/// non-pointer type only: `const` makes the typechecker reject writes
+/// through the declared name, `volatile` pins the variable out of L2
+/// flow-optimisation (its reads are never inlined or reordered away).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Quals {
+    /// Declared `const`.
+    pub is_const: bool,
+    /// Declared `volatile`.
+    pub is_volatile: bool,
 }
 
 impl fmt::Display for CType {
@@ -62,6 +89,7 @@ impl fmt::Display for CType {
             }
             CType::Ptr(t) => write!(f, "{t} *"),
             CType::Struct(n) => write!(f, "struct {n}"),
+            CType::Arr(t, n) => write!(f, "{t}[{n}]"),
         }
     }
 }
@@ -158,6 +186,8 @@ pub enum Stmt {
         name: String,
         /// Declared type.
         ty: CType,
+        /// Declaration qualifiers (`const` / `volatile`).
+        quals: Quals,
         /// Optional initialiser.
         init: Option<CExpr>,
         /// Position of the declared name in the source.
@@ -208,12 +238,37 @@ pub enum Stmt {
     },
     /// `return e;` / `return;`; the span is the `return` keyword.
     Return(Option<CExpr>, Span),
-    /// `break;`.
-    Break,
-    /// `continue;`.
-    Continue,
+    /// `break;`; the span is the `break` keyword.
+    Break(Span),
+    /// `continue;`; the span is the `continue` keyword.
+    Continue(Span),
     /// A braced block.
     Block(Vec<Stmt>),
+    /// `switch (scrutinee) { arms }` — desugared by the typechecker into
+    /// guarded branches, so no layer below the AST sees a new statement
+    /// form.
+    Switch {
+        /// The switched-on expression (evaluated once).
+        scrutinee: CExpr,
+        /// The arms, in source order.
+        arms: Vec<SwitchArm>,
+        /// Position of the `switch` keyword.
+        span: Span,
+    },
+}
+
+/// One arm of a `switch`: a run of labels followed by the statements up to
+/// the next label (or the closing brace). Fallthrough between arms is
+/// represented by the arm simply not ending in `break`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SwitchArm {
+    /// Labels naming this arm: `Some(expr)` for `case expr:` (an integer
+    /// constant), `None` for `default:`. Adjacent labels share one arm.
+    pub labels: Vec<Option<CExpr>>,
+    /// The arm body (possibly empty, possibly falling through).
+    pub body: Vec<Stmt>,
+    /// Position of the arm's first label.
+    pub span: Span,
 }
 
 /// A function definition.
@@ -240,6 +295,8 @@ pub struct GlobalDecl {
     pub name: String,
     /// Declared type.
     pub ty: CType,
+    /// Declaration qualifiers (`const` / `volatile`).
+    pub quals: Quals,
     /// Optional constant initialiser.
     pub init: Option<CExpr>,
     /// Position of the variable name in the source.

@@ -5,18 +5,26 @@
 //! translates, conservatively and literally, into the Simpl intermediate
 //! language.
 //!
-//! # Supported subset (paper Sec 2)
+//! # Supported subset (paper Sec 2, widened by ISSUE 9)
 //!
-//! Loops (`while`, `do`/`while`, `for`), `if`/`else`, function calls and
+//! Loops (`while`, `do`/`while`, `for`), `if`/`else`, `switch`/`case`/
+//! `default` with fallthrough (the typechecker desugars it into guarded
+//! branches over a one-shot scrutinee binding), function calls and
 //! recursion, integer types of all widths and signednesses, type casts,
 //! pointers and pointer arithmetic, structures (including pointers to
-//! struct and `->`/`.` access), `break`/`continue`/`return`.
+//! struct and `->`/`.` access), fixed-size arrays (`T a[N]`; every access
+//! carries an in-bounds guard), compound assignment and `++`/`--`
+//! (parser-level sugar with single evaluation of the lvalue),
+//! `const`/`volatile` qualifiers on locals and globals,
+//! `break`/`continue`/`return`.
 //!
 //! # Unsupported (rejected with an error)
 //!
-//! References to local variables (`&x`), `goto`, `switch`, unions, floating
-//! point, function pointers, expressions with side effects other than
-//! hoistable function calls, variadic functions, arrays (use pointers).
+//! References to local variables (`&x`), `goto`, unions, floating point,
+//! function pointers, expressions with side effects other than hoistable
+//! function calls, variadic functions, array-to-pointer decay, array
+//! initialisers, multi-dimensional arrays, qualified pointer declarations,
+//! writes to `const` objects.
 //!
 //! # Example
 //!

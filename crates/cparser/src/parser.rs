@@ -5,7 +5,8 @@ use std::fmt;
 use ir::ty::{Signedness, Width};
 
 use crate::ast::{
-    CBinOp, CExpr, CType, CUnOp, FunDef, GlobalDecl, Program, Stmt, StructDecl,
+    CBinOp, CExpr, CType, CUnOp, FunDef, GlobalDecl, Program, Quals, Stmt, StructDecl,
+    SwitchArm,
 };
 use crate::lexer::{Span, Token, TokenKind};
 
@@ -38,7 +39,7 @@ type Result<T> = std::result::Result<T, ParseError>;
 /// # Errors
 ///
 /// Returns a [`ParseError`] on malformed input or uses of unsupported
-/// syntax (`goto`, `switch`, `union`, floating point, arrays, `&`).
+/// syntax (`goto`, `union`, floating point, `&`).
 pub fn parse(tokens: &[Token]) -> Result<Program> {
     let mut p = Parser { tokens, pos: 0, depth: 0 };
     p.program()
@@ -48,9 +49,11 @@ const TYPE_KEYWORDS: &[&str] = &[
     "void", "int", "unsigned", "signed", "char", "short", "long", "struct",
 ];
 
-const UNSUPPORTED_KEYWORDS: &[&str] = &[
-    "goto", "switch", "union", "float", "double", "case", "default", "typedef", "enum",
-];
+const UNSUPPORTED_KEYWORDS: &[&str] =
+    &["goto", "union", "float", "double", "typedef", "enum"];
+
+/// Declaration qualifiers the subset accepts (in leading position only).
+const QUAL_KEYWORDS: &[&str] = &["const", "volatile"];
 
 struct Parser<'a> {
     tokens: &'a [Token],
@@ -135,7 +138,26 @@ impl<'a> Parser<'a> {
     }
 
     fn at_type_start(&self) -> bool {
-        matches!(&self.peek().kind, TokenKind::Ident(n) if TYPE_KEYWORDS.contains(&n.as_str()))
+        matches!(&self.peek().kind, TokenKind::Ident(n)
+            if TYPE_KEYWORDS.contains(&n.as_str()) || QUAL_KEYWORDS.contains(&n.as_str()))
+    }
+
+    fn at_qual(&self) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(n) if QUAL_KEYWORDS.contains(&n.as_str()))
+    }
+
+    /// Parses leading declaration qualifiers (`const` / `volatile`).
+    fn decl_quals(&mut self) -> Quals {
+        let mut q = Quals::default();
+        loop {
+            if self.eat_ident("const") {
+                q.is_const = true;
+            } else if self.eat_ident("volatile") {
+                q.is_volatile = true;
+            } else {
+                return q;
+            }
+        }
     }
 
     fn check_unsupported(&self) -> Result<()> {
@@ -209,6 +231,40 @@ impl<'a> Parser<'a> {
         Ok(t)
     }
 
+    /// Parses an optional `[N]` array suffix after a declarator name.
+    fn array_suffix(&mut self, ty: CType) -> Result<CType> {
+        if !self.eat_punct("[") {
+            return Ok(ty);
+        }
+        if ty.is_ptr() {
+            return self.err("arrays of pointers are not in the supported subset");
+        }
+        if ty == CType::Void {
+            return self.err("arrays of void are not a C type");
+        }
+        let n = match &self.peek().kind {
+            TokenKind::IntLit(v, _) => *v,
+            k => {
+                return self.err(format!(
+                    "array length must be an integer literal, found {}",
+                    describe(k)
+                ))
+            }
+        };
+        if n == 0 {
+            return self.err("zero-length arrays are not in the supported subset");
+        }
+        if n > 1 << 16 {
+            return self.err("array length too large for the supported subset (max 65536)");
+        }
+        self.pos += 1;
+        self.expect_punct("]")?;
+        if self.at_punct("[") {
+            return self.err("multi-dimensional arrays are not in the supported subset");
+        }
+        Ok(ty.arr_of(n))
+    }
+
     // ---- top level -------------------------------------------------------
 
     fn program(&mut self) -> Result<Program> {
@@ -228,19 +284,42 @@ impl<'a> Parser<'a> {
                 }
                 self.pos = save;
             }
+            let quals = self.decl_quals();
             let ty = self.full_type()?;
+            if self.at_qual() {
+                return self.err(
+                    "`const`/`volatile` must precede the type \
+                     (qualified pointers are not in the supported subset)",
+                );
+            }
+            if quals != Quals::default() && ty.is_ptr() {
+                return self.err(
+                    "qualified pointer declarations (`const T *`) are not in the \
+                     supported subset",
+                );
+            }
             let span = self.span();
             let name = self.expect_any_ident()?;
             if self.at_punct("(") {
+                if quals != Quals::default() {
+                    return self.err("qualified function return types are not supported");
+                }
                 prog.functions.push(self.function(ty, name, span)?);
             } else {
+                let ty = self.array_suffix(ty)?;
                 let init = if self.eat_punct("=") {
+                    if ty.is_array() {
+                        return self.err(
+                            "array initialisers are not supported; \
+                             assign elements individually",
+                        );
+                    }
                     Some(self.expr()?)
                 } else {
                     None
                 };
                 self.expect_punct(";")?;
-                prog.globals.push(GlobalDecl { name, ty, init, span });
+                prog.globals.push(GlobalDecl { name, ty, quals, init, span });
             }
         }
         Ok(prog)
@@ -283,8 +362,19 @@ impl<'a> Parser<'a> {
                 self.expect_punct(")")?;
             } else {
                 loop {
+                    if self.at_qual() {
+                        return self.err(
+                            "qualified parameters are not in the supported subset",
+                        );
+                    }
                     let pty = self.full_type()?;
                     let pname = self.expect_any_ident()?;
+                    if self.at_punct("[") {
+                        return self.err(
+                            "array parameters are not in the supported subset \
+                             (use a pointer)",
+                        );
+                    }
                     params.push((pname, pty));
                     if !self.eat_punct(",") {
                         break;
@@ -386,6 +476,15 @@ impl<'a> Parser<'a> {
         if self.eat_ident("for") {
             return self.for_stmt(span);
         }
+        if self.eat_ident("switch") {
+            return self.switch_stmt(span);
+        }
+        if self.at_ident("case") || self.at_ident("default") {
+            return self.err(
+                "`case`/`default` labels are only allowed at the top level of a \
+                 `switch` body",
+            );
+        }
         if self.eat_ident("return") {
             let value = if self.at_punct(";") {
                 None
@@ -397,11 +496,11 @@ impl<'a> Parser<'a> {
         }
         if self.eat_ident("break") {
             self.expect_punct(";")?;
-            return Ok(Stmt::Break);
+            return Ok(Stmt::Break(span));
         }
         if self.eat_ident("continue") {
             self.expect_punct(";")?;
-            return Ok(Stmt::Continue);
+            return Ok(Stmt::Continue(span));
         }
         if self.at_type_start() {
             let s = self.decl_stmt()?;
@@ -423,13 +522,29 @@ impl<'a> Parser<'a> {
     }
 
     fn decl_stmt(&mut self) -> Result<Stmt> {
+        let quals = self.decl_quals();
         let ty = self.full_type()?;
+        if self.at_qual() {
+            return self.err(
+                "`const`/`volatile` must precede the type \
+                 (qualified pointers are not in the supported subset)",
+            );
+        }
+        if quals != Quals::default() && ty.is_ptr() {
+            return self.err(
+                "qualified pointer declarations (`const T *`) are not in the \
+                 supported subset",
+            );
+        }
         let span = self.span();
         let name = self.expect_any_ident()?;
-        if self.at_punct("[") {
-            return self.err("arrays are not in the supported subset; use pointers");
-        }
+        let ty = self.array_suffix(ty)?;
         let init = if self.eat_punct("=") {
+            if ty.is_array() {
+                return self.err(
+                    "array initialisers are not supported; assign elements individually",
+                );
+            }
             Some(self.expr()?)
         } else {
             None
@@ -437,7 +552,7 @@ impl<'a> Parser<'a> {
         if self.at_punct(",") {
             return self.err("multiple declarators per statement are unsupported; split them");
         }
-        Ok(Stmt::Decl { name, ty, init, span })
+        Ok(Stmt::Decl { name, ty, quals, init, span })
     }
 
     /// Assignment, compound assignment, increment/decrement, or a call.
@@ -448,6 +563,7 @@ impl<'a> Parser<'a> {
             if self.at_punct(op) {
                 self.bump();
                 let lhs = self.unary()?;
+                self.check_single_eval(&lhs)?;
                 return Ok(Stmt::Assign {
                     lhs: lhs.clone(),
                     rhs: CExpr::Binary(bin, Box::new(lhs), Box::new(CExpr::IntLit(1, false))),
@@ -474,6 +590,7 @@ impl<'a> Parser<'a> {
         ] {
             if self.at_punct(op) {
                 self.bump();
+                self.check_single_eval(&lhs)?;
                 let rhs = self.expr()?;
                 return Ok(Stmt::Assign {
                     lhs: lhs.clone(),
@@ -485,6 +602,7 @@ impl<'a> Parser<'a> {
         for (op, bin) in [("++", CBinOp::Add), ("--", CBinOp::Sub)] {
             if self.at_punct(op) {
                 self.bump();
+                self.check_single_eval(&lhs)?;
                 return Ok(Stmt::Assign {
                     lhs: lhs.clone(),
                     rhs: CExpr::Binary(bin, Box::new(lhs), Box::new(CExpr::IntLit(1, false))),
@@ -493,6 +611,77 @@ impl<'a> Parser<'a> {
             }
         }
         Ok(Stmt::Expr(lhs, span))
+    }
+
+    /// Compound assignment and `++`/`--` desugar by duplicating the lvalue
+    /// expression, which is only sound when re-evaluating it is pure. Calls
+    /// are the one effectful expression form in the subset, so reject them.
+    fn check_single_eval(&self, lhs: &CExpr) -> Result<()> {
+        if expr_contains_call(lhs) {
+            return self.err(
+                "compound assignment / increment on an lvalue containing a \
+                 function call is not supported (the call would be evaluated twice)",
+            );
+        }
+        Ok(())
+    }
+
+    /// Parses `switch (e) { case c: ... default: ... }`. Arms are kept in
+    /// source order with fallthrough implicit; the typechecker desugars the
+    /// whole construct into guarded branches over a match index.
+    fn switch_stmt(&mut self, span: Span) -> Result<Stmt> {
+        self.expect_punct("(")?;
+        let scrutinee = self.expr()?;
+        self.expect_punct(")")?;
+        self.expect_punct("{")?;
+        let mut arms: Vec<SwitchArm> = Vec::new();
+        while !self.at_punct("}") {
+            let arm_span = self.span();
+            let mut labels = Vec::new();
+            loop {
+                if self.eat_ident("case") {
+                    // `binary(0)` rather than `expr()`: a ternary constant
+                    // would fight the label's `:` for the same token.
+                    let c = self.binary(0)?;
+                    self.expect_punct(":")?;
+                    labels.push(Some(c));
+                } else if self.eat_ident("default") {
+                    self.expect_punct(":")?;
+                    labels.push(None);
+                } else if labels.is_empty() {
+                    return self.err("expected `case` or `default` label in `switch` body");
+                } else {
+                    break;
+                }
+            }
+            let mut body = Vec::new();
+            while !self.at_punct("}") && !self.at_ident("case") && !self.at_ident("default") {
+                body.push(self.stmt()?);
+            }
+            // The desugaring may wrap the switch in a run-once loop so that
+            // `break` binds via the existing exception dance; a `continue`
+            // here would bind to that wrapper instead of the enclosing loop.
+            if contains_direct_continue(&body) {
+                return self.err(
+                    "`continue` inside `switch` is not supported \
+                     (it would bind to the enclosing loop)",
+                );
+            }
+            arms.push(SwitchArm {
+                labels,
+                body,
+                span: arm_span,
+            });
+        }
+        self.expect_punct("}")?;
+        if arms.is_empty() {
+            return self.err("`switch` body must contain at least one `case` or `default` label");
+        }
+        Ok(Stmt::Switch {
+            scrutinee,
+            arms,
+            span,
+        })
     }
 
     fn for_stmt(&mut self, span: Span) -> Result<Stmt> {
@@ -715,11 +904,28 @@ impl<'a> Parser<'a> {
     }
 }
 
+/// Does this expression contain a function call anywhere?
+fn expr_contains_call(e: &CExpr) -> bool {
+    match e {
+        CExpr::IntLit(..) | CExpr::Null | CExpr::Ident(_) | CExpr::SizeOf(_) => false,
+        CExpr::Call(..) => true,
+        CExpr::Unary(_, a) | CExpr::Member(a, _) | CExpr::Arrow(a, _) | CExpr::Cast(_, a) => {
+            expr_contains_call(a)
+        }
+        CExpr::Binary(_, a, b) | CExpr::Index(a, b) => {
+            expr_contains_call(a) || expr_contains_call(b)
+        }
+        CExpr::Cond(a, b, c) => {
+            expr_contains_call(a) || expr_contains_call(b) || expr_contains_call(c)
+        }
+    }
+}
+
 /// Does this statement list contain a `continue` that would bind to the
 /// enclosing loop (i.e. not nested inside another loop)?
 fn contains_direct_continue(stmts: &[Stmt]) -> bool {
     stmts.iter().any(|s| match s {
-        Stmt::Continue => true,
+        Stmt::Continue(_) => true,
         Stmt::If {
             then_branch,
             else_branch,
@@ -886,11 +1092,110 @@ mod tests {
     #[test]
     fn unsupported_features_rejected() {
         assert!(perr("void f(void) { goto end; }").msg.contains("goto"));
-        assert!(perr("void f(int x) { switch (x) { } }").msg.contains("switch"));
         assert!(perr("union u { int a; };").msg.contains("union"));
         assert!(perr("float x;").msg.contains("float"));
-        assert!(perr("void f(void) { int a[10]; }").msg.contains("arrays"));
         assert!(perr("void f(int x) { int *p = &x; }").msg.contains("address-of"));
+    }
+
+    #[test]
+    fn arrays_parse() {
+        let prog = p("int tab[16]; void f(void) { unsigned a[4]; a[0] = 1u; a[1] = a[0]; }");
+        assert_eq!(prog.globals[0].ty, CType::INT.arr_of(16));
+        let Stmt::Decl { ty, .. } = &prog.functions[0].body[0] else {
+            panic!("expected decl")
+        };
+        assert_eq!(*ty, CType::UINT.arr_of(4));
+        assert!(matches!(
+            &prog.functions[0].body[1],
+            Stmt::Assign {
+                lhs: CExpr::Index(..),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn array_restrictions_rejected() {
+        assert!(perr("void f(void) { int a[4][4]; }")
+            .msg
+            .contains("multi-dimensional"));
+        assert!(perr("void f(void) { int a[0]; }")
+            .msg
+            .contains("zero-length"));
+        assert!(perr("void f(void) { int a[99999999]; }").msg.contains("65536"));
+        assert!(perr("void f(void) { int n = 4; int a[n]; }")
+            .msg
+            .contains("literal"));
+        assert!(perr("void f(void) { int *a[4]; }").msg.contains("pointers"));
+        assert!(perr("void f(int a[4]) { }").msg.contains("array parameters"));
+        assert!(perr("int a[2] = 0;").msg.contains("initialisers"));
+    }
+
+    #[test]
+    fn switch_parses() {
+        let prog = p("void f(int x) { switch (x) { case 0: case 1: x = 1; break; \
+                      case 2: x = 2; default: x = 3; } }");
+        let Stmt::Switch { arms, .. } = &prog.functions[0].body[0] else {
+            panic!("expected switch")
+        };
+        assert_eq!(arms.len(), 3);
+        assert_eq!(arms[0].labels.len(), 2, "adjacent labels share an arm");
+        assert_eq!(arms[2].labels, vec![None], "default arm");
+        assert!(
+            matches!(arms[0].body.last(), Some(Stmt::Break(_))),
+            "trailing break kept for the typechecker to strip"
+        );
+    }
+
+    #[test]
+    fn switch_restrictions_rejected() {
+        assert!(perr("void f(int x) { case 1: x = 0; }").msg.contains("case"));
+        assert!(
+            perr("void f(int x) { while (x) { switch (x) { case 0: continue; } } }")
+                .msg
+                .contains("continue"),
+            "continue would bind to the desugaring wrapper"
+        );
+        assert!(perr("void f(int x) { switch (x) { x = 1; } }")
+            .msg
+            .contains("label"));
+    }
+
+    #[test]
+    fn qualifiers_parse() {
+        let prog = p("const unsigned limit = 10u;\n\
+                      void f(void) { volatile int v = 0; const int c = 1; v = c; }");
+        assert!(prog.globals[0].quals.is_const);
+        let Stmt::Decl { quals, .. } = &prog.functions[0].body[0] else {
+            panic!()
+        };
+        assert!(quals.is_volatile && !quals.is_const);
+    }
+
+    #[test]
+    fn qualifier_restrictions_rejected() {
+        assert!(perr("void f(void) { const int *p; }")
+            .msg
+            .contains("qualified pointer"));
+        assert!(perr("void f(void) { int const x = 1; }")
+            .msg
+            .contains("precede the type"));
+        assert!(perr("void f(const int x) { }").msg.contains("parameters"));
+        assert!(perr("const int f(void) { return 0; }")
+            .msg
+            .contains("return"));
+    }
+
+    #[test]
+    fn compound_assignment_with_call_lvalue_rejected() {
+        assert!(
+            perr("int *g(void); void f(void) { *g() += 1; }")
+                .msg
+                .contains("evaluated twice"),
+            "the desugar duplicates the lvalue"
+        );
+        // Calls on the right-hand side are fine.
+        p("int g(void); void f(int x) { x += g(); }");
     }
 
     #[test]

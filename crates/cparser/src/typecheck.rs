@@ -13,13 +13,13 @@
 //! * reject the remaining unsupported constructs (dereferencing `void *`,
 //!   struct-valued parameters, calls to undeclared functions, …).
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
 
 use ir::diag::Span;
 use ir::ty::{Signedness, Ty, TypeEnv, Width};
 
-use crate::ast::{CBinOp, CExpr, CType, CUnOp, FunDef, Program, Stmt};
+use crate::ast::{CBinOp, CExpr, CType, CUnOp, FunDef, Program, Quals, Stmt, SwitchArm};
 
 /// A type error (or use of an unsupported feature detected at this level).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -98,6 +98,10 @@ pub enum TExprKind {
     Cast(CType, Box<TExpr>),
     /// Conditional expression on a boolean-valued condition.
     Cond(Box<TExpr>, Box<TExpr>, Box<TExpr>),
+    /// `a[i]` where `a` has a true array type (never a pointer — pointer
+    /// indexing is normalised to `*(a + i)` instead). The Simpl translation
+    /// inserts the in-bounds guard.
+    Index(Box<TExpr>, Box<TExpr>),
 }
 
 impl TExpr {
@@ -112,7 +116,7 @@ impl TExpr {
             TExprKind::Unary(_, a) | TExprKind::Member(a, _) | TExprKind::Cast(_, a) => {
                 a.has_call()
             }
-            TExprKind::Binary(_, a, b) => a.has_call() || b.has_call(),
+            TExprKind::Binary(_, a, b) | TExprKind::Index(a, b) => a.has_call() || b.has_call(),
             TExprKind::Cond(a, b, c) => a.has_call() || b.has_call() || c.has_call(),
         }
     }
@@ -176,10 +180,10 @@ pub enum TStmt {
     /// `return`, with the value converted to the return type; the span is
     /// the `return` keyword.
     Return(Option<TExpr>, Span),
-    /// `break`.
-    Break,
-    /// `continue`.
-    Continue,
+    /// `break`; the span is the `break` keyword.
+    Break(Span),
+    /// `continue`; the span is the `continue` keyword.
+    Continue(Span),
     /// Block (scoping already resolved; kept for shape preservation).
     Block(Vec<TStmt>),
 }
@@ -195,6 +199,9 @@ pub struct TFunDef {
     pub params: Vec<(String, CType)>,
     /// All local declarations (including parameters), for frame setup.
     pub locals: Vec<(String, CType)>,
+    /// Locals declared `volatile` (unique names): L2 flow-optimisation must
+    /// not inline or eliminate their reads.
+    pub volatile_locals: BTreeSet<String>,
     /// The body.
     pub body: Vec<TStmt>,
     /// Position of the function name in the source (the header span).
@@ -208,6 +215,8 @@ pub struct TGlobal {
     pub name: String,
     /// Type.
     pub ty: CType,
+    /// Declaration qualifiers (`const` writes were rejected here).
+    pub quals: Quals,
     /// Initialiser (converted), if any.
     pub init: Option<TExpr>,
 }
@@ -241,6 +250,7 @@ pub fn ctype_to_ty(t: &CType) -> Ty {
         CType::Int(w, s) => Ty::Word(*w, *s),
         CType::Ptr(p) => ctype_to_ty(p).ptr_to(),
         CType::Struct(n) => Ty::Struct(n.clone()),
+        CType::Arr(t, n) => ctype_to_ty(t).arr_of(*n),
     }
 }
 
@@ -273,7 +283,7 @@ pub fn typecheck(prog: &Program) -> Result<TProgram> {
         );
     }
 
-    let mut globals_map: HashMap<String, CType> = HashMap::new();
+    let mut globals_map: HashMap<String, (CType, Quals)> = HashMap::new();
     let mut globals = Vec::new();
     for g in &prog.globals {
         if globals_map.contains_key(&g.name) {
@@ -281,7 +291,14 @@ pub fn typecheck(prog: &Program) -> Result<TProgram> {
                 TypeError::new(format!("duplicate global `{}`", g.name)).with_span(g.span)
             );
         }
-        globals_map.insert(g.name.clone(), g.ty.clone());
+        if g.quals.is_const && g.init.is_none() {
+            return Err(TypeError::new(format!(
+                "`const` global `{}` must have an initialiser",
+                g.name
+            ))
+            .with_span(g.span));
+        }
+        globals_map.insert(g.name.clone(), (g.ty.clone(), g.quals));
         let cx = Ctx {
             tenv: &tenv,
             sigs: &sigs,
@@ -304,6 +321,7 @@ pub fn typecheck(prog: &Program) -> Result<TProgram> {
         globals.push(TGlobal {
             name: g.name.clone(),
             ty: g.ty.clone(),
+            quals: g.quals,
             init,
         });
     }
@@ -363,7 +381,7 @@ fn each_call(stmts: &[TStmt], f: &mut impl FnMut(&str) -> Result<()>) -> Result<
             TExprKind::Unary(_, a) | TExprKind::Member(a, _) | TExprKind::Cast(_, a) => {
                 in_expr(a, f)?;
             }
-            TExprKind::Binary(_, a, b) => {
+            TExprKind::Binary(_, a, b) | TExprKind::Index(a, b) => {
                 in_expr(a, f)?;
                 in_expr(b, f)?;
             }
@@ -417,7 +435,7 @@ fn each_call(stmts: &[TStmt], f: &mut impl FnMut(&str) -> Result<()>) -> Result<
 struct Ctx<'a> {
     tenv: &'a TypeEnv,
     sigs: &'a HashMap<String, (CType, Vec<CType>)>,
-    globals: &'a HashMap<String, CType>,
+    globals: &'a HashMap<String, (CType, Quals)>,
 }
 
 /// Scope stack for locals with alpha-renaming of shadowed names.
@@ -427,6 +445,8 @@ struct Scope {
     frames: Vec<HashMap<String, String>>,
     /// unique name → type.
     types: HashMap<String, CType>,
+    /// unique name → declaration qualifiers.
+    quals: HashMap<String, Quals>,
     /// All declarations in order.
     all: Vec<(String, CType)>,
 }
@@ -440,7 +460,7 @@ impl Scope {
         self.frames.pop();
     }
 
-    fn declare(&mut self, name: &str, ty: CType) -> String {
+    fn declare(&mut self, name: &str, ty: CType, quals: Quals) -> String {
         let mut unique = name.to_owned();
         let mut i = 1;
         while self.types.contains_key(&unique) {
@@ -452,6 +472,7 @@ impl Scope {
             .expect("scope stack non-empty")
             .insert(name.to_owned(), unique.clone());
         self.types.insert(unique.clone(), ty.clone());
+        self.quals.insert(unique.clone(), quals);
         self.all.push((unique.clone(), ty));
         unique
     }
@@ -478,15 +499,22 @@ impl<'a> Ctx<'a> {
                     f.name
                 )));
             }
-            let unique = scope.declare(n, t.clone());
+            let unique = scope.declare(n, t.clone(), Quals::default());
             params.push((unique, t.clone()));
         }
         let body = self.stmts(&f.body, &mut scope, &f.ret)?;
+        let volatile_locals = scope
+            .quals
+            .iter()
+            .filter(|(_, q)| q.is_volatile)
+            .map(|(n, _)| n.clone())
+            .collect();
         Ok(TFunDef {
             name: f.name.clone(),
             ret: f.ret.clone(),
             params,
             locals: scope.all,
+            volatile_locals,
             body,
             span: f.span,
         })
@@ -502,9 +530,20 @@ impl<'a> Ctx<'a> {
 
     fn stmt(&self, s: &Stmt, scope: &mut Scope, ret: &CType) -> Result<TStmt> {
         match s {
-            Stmt::Decl { name, ty, init, span } => {
+            Stmt::Decl {
+                name,
+                ty,
+                quals,
+                init,
+                span,
+            } => {
                 if *ty == CType::Void {
                     return Err(TypeError::new(format!("variable `{name}` of type void")));
+                }
+                if quals.is_const && init.is_none() {
+                    return Err(TypeError::new(format!(
+                        "`const` variable `{name}` must have an initialiser"
+                    )));
                 }
                 let init = match init {
                     None => None,
@@ -513,7 +552,7 @@ impl<'a> Ctx<'a> {
                         Some(self.convert(te, ty)?)
                     }
                 };
-                let unique = scope.declare(name, ty.clone());
+                let unique = scope.declare(name, ty.clone(), *quals);
                 Ok(TStmt::Decl {
                     name: unique,
                     ty: ty.clone(),
@@ -522,12 +561,21 @@ impl<'a> Ctx<'a> {
                 })
             }
             Stmt::Assign { lhs, rhs, span } => {
-                let tl = self.expr(lhs, scope)?;
+                // Attach the statement span so e.g. a rejected `const`
+                // write points at the assignment, not the function.
+                let at = |e: TypeError| e.with_span(*span);
+                let tl = self.expr(lhs, scope).map_err(at)?;
                 if !is_lvalue(&tl) {
-                    return Err(TypeError::new(format!("not an lvalue: {lhs:?}")));
+                    return Err(at(TypeError::new(format!("not an lvalue: {lhs:?}"))));
                 }
-                let tr = self.expr(rhs, scope)?;
-                let tr = self.convert(tr, &tl.ty.clone())?;
+                if tl.ty.is_array() {
+                    return Err(at(TypeError::new(
+                        "whole-array assignment is not supported; assign elements individually",
+                    )));
+                }
+                self.check_writable(&tl, scope).map_err(at)?;
+                let tr = self.expr(rhs, scope).map_err(at)?;
+                let tr = self.convert(tr, &tl.ty.clone()).map_err(at)?;
                 Ok(TStmt::Assign {
                     lhs: tl,
                     rhs: tr,
@@ -598,15 +646,203 @@ impl<'a> Ctx<'a> {
                 let te = self.expr(e, scope)?;
                 Ok(TStmt::Return(Some(self.convert(te, ret)?), *span))
             }
-            Stmt::Break => Ok(TStmt::Break),
-            Stmt::Continue => Ok(TStmt::Continue),
+            Stmt::Break(span) => Ok(TStmt::Break(*span)),
+            Stmt::Continue(span) => Ok(TStmt::Continue(*span)),
             Stmt::Block(b) => {
                 scope.push();
                 let out = self.stmts(b, scope, ret)?;
                 scope.pop();
                 Ok(TStmt::Block(out))
             }
+            Stmt::Switch {
+                scrutinee,
+                arms,
+                span,
+            } => self.switch(scrutinee, arms, *span, scope, ret),
         }
+    }
+
+    /// Desugars `switch` into guarded branches over a *match index* so that
+    /// no layer below the typed AST sees a new statement form:
+    ///
+    /// 1. the scrutinee is evaluated once into a fresh temporary `t` at its
+    ///    promoted type;
+    /// 2. a match index `m` (an `int`) is computed as a pure conditional
+    ///    chain: the 1-based source index of the first arm with a matching
+    ///    `case` label, the default arm's index when nothing matches, or 0
+    ///    when there is no `default`;
+    /// 3. arm `j` runs iff `lower(j) ≤ m && m ≤ j`, where `lower(j)` is one
+    ///    past the last arm before `j` whose body ended in a (stripped)
+    ///    top-level `break` — this encodes fallthrough statically;
+    /// 4. only when a conditional (non-trailing) `break` remains does the
+    ///    chain get wrapped in a run-once `do … while (0)`, so `break`
+    ///    binds through the existing loop exception dance.
+    fn switch(
+        &self,
+        scrutinee: &CExpr,
+        arms: &[SwitchArm],
+        span: Span,
+        scope: &mut Scope,
+        ret: &CType,
+    ) -> Result<TStmt> {
+        let scrut = self.expr(scrutinee, scope)?;
+        if !scrut.ty.is_integer() {
+            return Err(TypeError::new(format!(
+                "`switch` on non-integer type `{}`",
+                scrut.ty
+            )));
+        }
+        let sty = promote(&scrut.ty);
+        let scrut = self.convert(scrut, &sty)?;
+        let CType::Int(width, _) = sty else {
+            unreachable!("promoted integer type")
+        };
+        let mask = width.mask();
+
+        // Collect `case` constants (bit patterns at the promoted type) and
+        // the default arm's 1-based index.
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut default_idx: Option<usize> = None;
+        let mut cases: Vec<(u64, usize)> = Vec::new();
+        for (j, arm) in arms.iter().enumerate() {
+            for label in &arm.labels {
+                match label {
+                    None => {
+                        if default_idx.replace(j + 1).is_some() {
+                            return Err(TypeError::new("duplicate `default` label"));
+                        }
+                    }
+                    Some(e) => {
+                        let bits = case_constant(e)? & mask;
+                        if !seen.insert(bits) {
+                            return Err(TypeError::new(format!(
+                                "duplicate `case` label (value {bits} at type `{sty}`)"
+                            )));
+                        }
+                        cases.push((bits, j + 1));
+                    }
+                }
+            }
+        }
+
+        scope.push();
+        let tmp = scope.declare("switch__scrut", sty.clone(), Quals::default());
+        let tmp_ref = TExpr {
+            kind: TExprKind::Local(tmp.clone()),
+            ty: sty.clone(),
+        };
+        let int_lit = |v: u64| TExpr {
+            kind: TExprKind::IntLit(v),
+            ty: CType::INT,
+        };
+        let mut stmts = vec![TStmt::Decl {
+            name: tmp,
+            ty: sty.clone(),
+            init: Some(scrut),
+            span,
+        }];
+
+        // m = if t == c1 then j1 else if t == c2 then j2 … else default/0
+        let mut m_expr = int_lit(default_idx.unwrap_or(0) as u64);
+        for (bits, j1) in cases.iter().rev() {
+            let cmp = TExpr {
+                kind: TExprKind::Binary(
+                    CBinOp::Eq,
+                    Box::new(tmp_ref.clone()),
+                    Box::new(TExpr {
+                        kind: TExprKind::IntLit(*bits),
+                        ty: sty.clone(),
+                    }),
+                ),
+                ty: CType::INT,
+            };
+            m_expr = TExpr {
+                kind: TExprKind::Cond(
+                    Box::new(cmp),
+                    Box::new(int_lit(*j1 as u64)),
+                    Box::new(m_expr),
+                ),
+                ty: CType::INT,
+            };
+        }
+        let m = scope.declare("switch__m", CType::INT, Quals::default());
+        let m_ref = TExpr {
+            kind: TExprKind::Local(m.clone()),
+            ty: CType::INT,
+        };
+        stmts.push(TStmt::Decl {
+            name: m,
+            ty: CType::INT,
+            init: Some(m_expr),
+            span,
+        });
+
+        // One guarded If per arm; fallthrough is the static window
+        // lower(j) ≤ m ≤ j.
+        let mut lower = 1usize;
+        let mut residual_break = false;
+        let mut ifs: Vec<TStmt> = Vec::new();
+        for (j, arm) in arms.iter().enumerate() {
+            let j1 = j + 1;
+            let (body, terminated) = match arm.body.split_last() {
+                Some((Stmt::Break(_), rest)) => (rest, true),
+                _ => (&arm.body[..], false),
+            };
+            if contains_direct_break(body) {
+                residual_break = true;
+            }
+            scope.push();
+            let tbody = self.stmts(body, scope, ret)?;
+            scope.pop();
+            if !tbody.is_empty() {
+                let le = |a: TExpr, b: TExpr| TExpr {
+                    kind: TExprKind::Binary(CBinOp::Le, Box::new(a), Box::new(b)),
+                    ty: CType::INT,
+                };
+                let cond = if lower == j1 {
+                    TExpr {
+                        kind: TExprKind::Binary(
+                            CBinOp::Eq,
+                            Box::new(m_ref.clone()),
+                            Box::new(int_lit(j1 as u64)),
+                        ),
+                        ty: CType::INT,
+                    }
+                } else {
+                    TExpr {
+                        kind: TExprKind::Binary(
+                            CBinOp::LAnd,
+                            Box::new(le(int_lit(lower as u64), m_ref.clone())),
+                            Box::new(le(m_ref.clone(), int_lit(j1 as u64))),
+                        ),
+                        ty: CType::INT,
+                    }
+                };
+                ifs.push(TStmt::If {
+                    cond,
+                    then_branch: tbody,
+                    else_branch: Vec::new(),
+                    span: arm.span,
+                });
+            }
+            if terminated {
+                lower = j1 + 1;
+            }
+        }
+        scope.pop();
+
+        if residual_break {
+            // A conditional break remains inside an arm: wrap in a run-once
+            // loop so it binds via the loop exception dance.
+            stmts.push(TStmt::DoWhile {
+                body: ifs,
+                cond: int_lit(0),
+                span,
+            });
+        } else {
+            stmts.extend(ifs);
+        }
+        Ok(TStmt::Block(stmts))
     }
 
     /// Typechecks an expression appearing in global-initialiser position.
@@ -649,7 +885,7 @@ impl<'a> Ctx<'a> {
                         kind: TExprKind::Local(unique.to_owned()),
                         ty: ty.clone(),
                     })
-                } else if let Some(ty) = self.globals.get(n) {
+                } else if let Some((ty, _)) = self.globals.get(n) {
                     Ok(TExpr {
                         kind: TExprKind::Global(n.clone()),
                         ty: ty.clone(),
@@ -741,7 +977,26 @@ impl<'a> Ctx<'a> {
                 self.expr(&CExpr::Member(Box::new(deref), f.clone()), scope)
             }
             CExpr::Index(base, idx) => {
-                // e[i]  ≡  *(e + i)
+                let tb = self.expr(base, scope)?;
+                if let CType::Arr(elem, _) = &tb.ty {
+                    // True array indexing: a first-class lvalue with an
+                    // in-bounds guard inserted by the Simpl translation.
+                    let elem = (**elem).clone();
+                    let ti = self.expr(idx, scope)?;
+                    if !ti.ty.is_integer() {
+                        return Err(TypeError::new(format!(
+                            "array index has non-integer type `{}`",
+                            ti.ty
+                        )));
+                    }
+                    let ity = promote(&ti.ty);
+                    let ti = self.convert(ti, &ity)?;
+                    return Ok(TExpr {
+                        kind: TExprKind::Index(Box::new(tb), Box::new(ti)),
+                        ty: elem,
+                    });
+                }
+                // Pointer indexing: e[i]  ≡  *(e + i)
                 let sum = CExpr::Binary(CBinOp::Add, base.clone(), idx.clone());
                 self.expr(&CExpr::Unary(CUnOp::Deref, Box::new(sum)), scope)
             }
@@ -942,6 +1197,30 @@ impl<'a> Ctx<'a> {
         })
     }
 
+    /// Rejects writes whose lvalue root was declared `const`. Heap writes
+    /// (through `Deref`) are always allowed: qualified pointer types are
+    /// rejected at parse, so no pointee is ever const.
+    fn check_writable(&self, lhs: &TExpr, scope: &Scope) -> Result<()> {
+        match lvalue_root(lhs) {
+            LvalueRoot::Local(n) => {
+                if scope.quals.get(n).is_some_and(|q| q.is_const) {
+                    return Err(TypeError::new(format!(
+                        "cannot assign to `const` variable `{n}`"
+                    )));
+                }
+            }
+            LvalueRoot::Global(n) => {
+                if self.globals.get(n).is_some_and(|(_, q)| q.is_const) {
+                    return Err(TypeError::new(format!(
+                        "cannot assign to `const` global `{n}`"
+                    )));
+                }
+            }
+            LvalueRoot::Heap => {}
+        }
+        Ok(())
+    }
+
     fn field_type(&self, sname: &str, f: &str) -> Result<CType> {
         let def = self
             .tenv
@@ -973,9 +1252,60 @@ fn is_lvalue(e: &TExpr) -> bool {
     match &e.kind {
         TExprKind::Local(_) | TExprKind::Global(_) => true,
         TExprKind::Unary(CUnOp::Deref, _) => true,
-        TExprKind::Member(inner, _) => is_lvalue(inner),
+        TExprKind::Member(inner, _) | TExprKind::Index(inner, _) => is_lvalue(inner),
         _ => false,
     }
+}
+
+/// Where a write through this lvalue ultimately lands.
+enum LvalueRoot<'a> {
+    /// A local variable (unique name).
+    Local(&'a str),
+    /// A global variable.
+    Global(&'a str),
+    /// The heap (through a pointer dereference).
+    Heap,
+}
+
+fn lvalue_root(e: &TExpr) -> LvalueRoot<'_> {
+    match &e.kind {
+        TExprKind::Local(n) => LvalueRoot::Local(n),
+        TExprKind::Global(n) => LvalueRoot::Global(n),
+        TExprKind::Member(inner, _) | TExprKind::Index(inner, _) => lvalue_root(inner),
+        _ => LvalueRoot::Heap,
+    }
+}
+
+/// Evaluates a `case` label: an integer literal, possibly negated. The
+/// value is the label's bit pattern before masking to the promoted type.
+fn case_constant(e: &CExpr) -> Result<u64> {
+    match e {
+        CExpr::IntLit(v, _) => Ok(*v),
+        CExpr::Unary(CUnOp::Neg, inner) => match **inner {
+            CExpr::IntLit(v, _) => Ok(v.wrapping_neg()),
+            _ => Err(TypeError::new(
+                "`case` labels must be integer literals (possibly negated)",
+            )),
+        },
+        _ => Err(TypeError::new(
+            "`case` labels must be integer literals (possibly negated)",
+        )),
+    }
+}
+
+/// Does this statement list contain a `break` that would bind to the
+/// enclosing `switch` (i.e. not nested inside a loop or inner switch)?
+fn contains_direct_break(stmts: &[Stmt]) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::Break(_) => true,
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => contains_direct_break(then_branch) || contains_direct_break(else_branch),
+        Stmt::Block(b) => contains_direct_break(b),
+        _ => false,
+    })
 }
 
 fn is_null_constant(e: &TExpr) -> bool {

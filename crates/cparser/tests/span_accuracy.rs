@@ -101,10 +101,10 @@ fn type_error_spans_point_at_the_declaration_multiline() {
     let src = "int g;\nint f(int *p) {\n    g = p;\n    return g;\n}\n";
     let e = parse_and_check(src).unwrap_err();
     let span = e.span.expect("type error carries a span");
-    // Type errors carry the enclosing declaration's span: the name token
-    // of function `f` on line 2.
-    assert_eq!(span.line, 2);
-    assert!(at(src, span).starts_with("f(int *p)"));
+    // Assignment type errors carry the statement's own span: the bad
+    // store on line 3 (not the enclosing function declaration).
+    assert_eq!(span.line, 3);
+    assert!(at(src, span).starts_with("g = p"));
     let (line, col) = line_col_at(src, span.offset as usize);
     assert_eq!((span.line, span.col), (line, col));
 }
@@ -116,6 +116,6 @@ fn type_error_spans_survive_crlf() {
     let le = parse_and_check(lf).unwrap_err().span.unwrap();
     let ce = parse_and_check(&crlf).unwrap_err().span.unwrap();
     assert_eq!((le.line, le.col), (ce.line, ce.col));
-    assert_eq!(ce.offset, le.offset + 1); // one `\r` before line 2
-    assert!(at(&crlf, ce).starts_with("f(int *p)"));
+    assert_eq!(ce.offset, le.offset + 2); // two `\r`s before line 3
+    assert!(at(&crlf, ce).starts_with("g = p"));
 }

@@ -1,0 +1,253 @@
+//! Property tests for the widened subset (arrays, `switch`, compound
+//! assignment, qualifiers):
+//!
+//! 1. **Round-trip**: a structurally known program rendered to C text
+//!    parses back to exactly the planned AST shape — array lengths,
+//!    switch arm/label grouping, fallthrough (an arm not ending in
+//!    `break`), qualifier flags, and the single-evaluation desugaring of
+//!    compound assignment (`lhs op= e` parses as `lhs = lhs op e` with
+//!    the *same* lvalue term on both sides).
+//! 2. **Span accuracy**: under randomized indentation, every statement
+//!    span of the new forms indexes the original source at its own
+//!    keyword (`switch`, `break`, `case`/`default`) or declared name.
+//!
+//! Both properties go through `typecheck` too, so every generated
+//! program is inside the accepted subset, not merely grammatical.
+
+use cparser::ast::{Program, Quals, Stmt, SwitchArm};
+use cparser::{lex, parse, parse_and_check, CBinOp, CExpr, CType};
+use proptest::prelude::*;
+
+/// The compound operators the generator draws from (all defined on
+/// `unsigned` without extra guard preconditions).
+const OPS: [(&str, CBinOp); 6] = [
+    ("+=", CBinOp::Add),
+    ("-=", CBinOp::Sub),
+    ("*=", CBinOp::Mul),
+    ("^=", CBinOp::BitXor),
+    ("&=", CBinOp::BitAnd),
+    ("|=", CBinOp::BitOr),
+];
+
+/// A structurally known test program over the new syntax.
+struct Plan {
+    len: u64,
+    konst: u64,
+    ncases: usize,
+    fall_mask: u32,
+    use_default: bool,
+    use_volatile: bool,
+    op_idx: usize,
+    indent: usize,
+}
+
+impl Plan {
+    fn falls_through(&self, arm: usize) -> bool {
+        // The last arm always breaks so it cannot fall into `default`.
+        arm + 1 != self.ncases && (self.fall_mask >> arm) & 1 == 1
+    }
+
+    /// Renders the plan to C source with `indent`-space indentation.
+    fn render(&self) -> String {
+        let i1 = " ".repeat(self.indent);
+        let i2 = " ".repeat(self.indent * 2);
+        let i3 = " ".repeat(self.indent * 3);
+        let op = OPS[self.op_idx].0;
+        let mut s = String::new();
+        s.push_str("unsigned f(int x) {\n");
+        s.push_str(&format!("{i1}const unsigned c = {}u;\n", self.konst));
+        if self.use_volatile {
+            s.push_str(&format!("{i1}volatile unsigned v = c;\n"));
+        }
+        s.push_str(&format!("{i1}unsigned a[{}];\n", self.len));
+        s.push_str(&format!("{i1}unsigned i = 0u;\n"));
+        s.push_str(&format!("{i1}while (i < {}u) {{\n", self.len));
+        s.push_str(&format!("{i2}a[i] = c;\n"));
+        s.push_str(&format!("{i2}i += 1u;\n"));
+        s.push_str(&format!("{i1}}}\n"));
+        s.push_str(&format!("{i1}switch (x) {{\n"));
+        for k in 0..self.ncases {
+            s.push_str(&format!("{i2}case {k}:\n"));
+            s.push_str(&format!("{i3}a[{}u] {op} c;\n", k as u64 % self.len));
+            if !self.falls_through(k) {
+                s.push_str(&format!("{i3}break;\n"));
+            }
+        }
+        if self.use_default {
+            s.push_str(&format!("{i2}default:\n"));
+            s.push_str(&format!("{i3}i++;\n"));
+            s.push_str(&format!("{i3}break;\n"));
+        }
+        s.push_str(&format!("{i1}}}\n"));
+        if self.use_volatile {
+            s.push_str(&format!("{i1}return a[0u] + i + v;\n"));
+        } else {
+            s.push_str(&format!("{i1}return a[0u] + i;\n"));
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Parses without typechecking (the round-trip target is the untyped AST).
+fn parse_src(src: &str) -> Program {
+    parse(&lex(src).expect("lexes")).expect("parses")
+}
+
+/// The statements of `f`'s body.
+fn body_of(prog: &Program) -> &[Stmt] {
+    &prog.function("f").expect("f is defined").body
+}
+
+fn find_switch(body: &[Stmt]) -> &Stmt {
+    body.iter()
+        .find(|s| matches!(s, Stmt::Switch { .. }))
+        .expect("a switch statement")
+}
+
+/// Recursively walks statements, asserting each new-syntax span indexes
+/// the source at the expected token.
+fn check_spans(src: &str, stmts: &[Stmt]) {
+    let at = |sp: ir::diag::Span| &src[sp.offset as usize..];
+    for s in stmts {
+        match s {
+            Stmt::Decl { name, span, .. } => {
+                assert!(
+                    at(*span).starts_with(name.as_str()),
+                    "Decl `{name}` span at {:?}",
+                    &at(*span)[..8.min(at(*span).len())]
+                );
+            }
+            Stmt::Break(span) => assert!(at(*span).starts_with("break")),
+            Stmt::Continue(span) => assert!(at(*span).starts_with("continue")),
+            Stmt::Return(_, span) => assert!(at(*span).starts_with("return")),
+            Stmt::While { span, body, .. } => {
+                assert!(at(*span).starts_with("while") || at(*span).starts_with("for"));
+                check_spans(src, body);
+            }
+            Stmt::DoWhile { span, body, .. } => {
+                assert!(at(*span).starts_with("do"));
+                check_spans(src, body);
+            }
+            Stmt::If {
+                span,
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                assert!(at(*span).starts_with("if"));
+                check_spans(src, then_branch);
+                check_spans(src, else_branch);
+            }
+            Stmt::Switch { span, arms, .. } => {
+                assert!(at(*span).starts_with("switch"));
+                for arm in arms {
+                    assert!(
+                        at(arm.span).starts_with("case") || at(arm.span).starts_with("default"),
+                        "arm span at {:?}",
+                        &at(arm.span)[..8.min(at(arm.span).len())]
+                    );
+                    check_spans(src, &arm.body);
+                }
+            }
+            Stmt::Block(b) => check_spans(src, b),
+            Stmt::Assign { .. } | Stmt::Expr(..) => {}
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn new_syntax_round_trips(
+        len in 1u64..9,
+        konst in 1u64..9,
+        ncases in 1usize..4,
+        fall_mask in 0u32..8,
+        use_default in any::<bool>(),
+        use_volatile in any::<bool>(),
+        op_idx in 0usize..6,
+        indent in 1usize..5,
+    ) {
+        let plan = Plan { len, konst, ncases, fall_mask, use_default, use_volatile, op_idx, indent };
+        let src = plan.render();
+        // Inside the accepted subset, not merely grammatical.
+        parse_and_check(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+        let prog = parse_src(&src);
+        let body = body_of(&prog);
+
+        // Qualifier flags land on the right declarations.
+        let decl = |n: &str| {
+            body.iter().find_map(|s| match s {
+                Stmt::Decl { name, ty, quals, init, .. } if name == n => {
+                    Some((ty.clone(), *quals, init.is_some()))
+                }
+                _ => None,
+            })
+        };
+        let (c_ty, c_quals, c_init) = decl("c").expect("const decl");
+        assert_eq!(c_ty, CType::UINT);
+        assert_eq!(c_quals, Quals { is_const: true, is_volatile: false });
+        assert!(c_init);
+        if use_volatile {
+            let (_, v_quals, _) = decl("v").expect("volatile decl");
+            assert_eq!(v_quals, Quals { is_const: false, is_volatile: true });
+        }
+
+        // The array declaration round-trips its element type and length.
+        let (a_ty, a_quals, a_init) = decl("a").expect("array decl");
+        assert_eq!(a_ty, CType::UINT.arr_of(len));
+        assert_eq!(a_quals, Quals::default());
+        assert!(!a_init);
+
+        // Switch arm/label grouping and fallthrough structure.
+        let Stmt::Switch { scrutinee, arms, .. } = find_switch(body) else {
+            unreachable!()
+        };
+        assert_eq!(*scrutinee, CExpr::Ident("x".into()));
+        assert_eq!(arms.len(), ncases + usize::from(use_default));
+        for (k, arm) in arms[..ncases].iter().enumerate() {
+            assert_eq!(
+                arm.labels,
+                vec![Some(CExpr::IntLit(k as u64, false))],
+                "labels of arm {k}"
+            );
+            let ends_in_break = matches!(arm.body.last(), Some(Stmt::Break(_)));
+            assert_eq!(
+                ends_in_break,
+                !plan.falls_through(k),
+                "fallthrough of arm {k}\n{src}"
+            );
+            // Compound assignment desugars to a single-evaluation binary
+            // with the identical lvalue term on both sides.
+            let Some(Stmt::Assign { lhs, rhs, .. }) = arm.body.first() else {
+                panic!("arm {k} starts with the compound assignment\n{src}");
+            };
+            assert!(matches!(lhs, CExpr::Index(..)), "lhs of arm {k}: {lhs:?}");
+            let CExpr::Binary(op, b_lhs, _) = rhs else {
+                panic!("rhs of arm {k} is a binary op: {rhs:?}");
+            };
+            assert_eq!(*op, OPS[op_idx].1);
+            assert_eq!(**b_lhs, *lhs, "single evaluation of arm {k}'s lvalue");
+        }
+        if use_default {
+            let arm: &SwitchArm = arms.last().unwrap();
+            assert_eq!(arm.labels, vec![None]);
+            // `i++` desugars like `i += 1`.
+            let Some(Stmt::Assign { lhs, rhs, .. }) = arm.body.first() else {
+                panic!("default arm starts with i++\n{src}");
+            };
+            assert_eq!(*lhs, CExpr::Ident("i".into()));
+            assert_eq!(
+                *rhs,
+                CExpr::Binary(
+                    CBinOp::Add,
+                    Box::new(CExpr::Ident("i".into())),
+                    Box::new(CExpr::IntLit(1, false)),
+                )
+            );
+        }
+
+        // Span accuracy under this indentation.
+        check_spans(&src, body);
+    }
+}

@@ -476,8 +476,8 @@ fn kernel_children(e: &Expr) -> Vec<&Expr> {
         | Expr::UnOp(_, a)
         | Expr::Cast(_, a)
         | Expr::Proj(_, a) => vec![a],
-        Expr::UpdateField(a, _, b) | Expr::BinOp(_, a, b) => vec![a, b],
-        Expr::Ite(a, b, c) => vec![a, b, c],
+        Expr::UpdateField(a, _, b) | Expr::BinOp(_, a, b) | Expr::Index(a, b) => vec![a, b],
+        Expr::Ite(a, b, c) | Expr::ArrUpd(a, b, c) => vec![a, b, c],
         Expr::Tuple(es) => es.iter().collect(),
     }
 }

@@ -209,6 +209,39 @@ pub fn eval(e: &Expr, env: &Env, st: &State) -> Result<Value> {
                 v => Err(mismatch(format!("proj {i}"), &[&v])),
             }
         }
+        Expr::Index(a, i) => {
+            let av = eval(a, env, st)?;
+            let iv = eval(i, env, st)?;
+            let idx = array_index(&iv)?;
+            av.arr_index(idx, &env.tenv)
+                .ok_or_else(|| mismatch("array index", &[&av, &iv]))
+        }
+        Expr::ArrUpd(a, i, v) => {
+            let av = eval(a, env, st)?;
+            let iv = eval(i, env, st)?;
+            let vv = eval(v, env, st)?;
+            let idx = array_index(&iv)?;
+            av.arr_update(idx, vv)
+                .ok_or_else(|| mismatch("array update", &[&av, &iv]))
+        }
+    }
+}
+
+/// An array index as a plain number. Accepts words (signed indices become
+/// their value — negatives map to huge u64s, which the OOB conventions
+/// absorb), naturals and integers (the shapes word abstraction produces).
+fn array_index(v: &Value) -> Result<u64> {
+    match v {
+        Value::Word(w) => match w.sign() {
+            crate::ty::Signedness::Unsigned => Ok(w.bits()),
+            crate::ty::Signedness::Signed => Ok(w.signed_value() as u64),
+        },
+        Value::Nat(n) => Ok(n.to_u64().unwrap_or(u64::MAX)),
+        Value::Int(i) => {
+            let i = i.to_i64().unwrap_or(i64::MAX);
+            Ok(if i < 0 { u64::MAX } else { i as u64 })
+        }
+        v => Err(mismatch("array index", &[v])),
     }
 }
 

@@ -153,6 +153,12 @@ pub enum Expr {
     Tuple(Vec<Expr>),
     /// Tuple projection (0-based).
     Proj(usize, IExpr),
+    /// Array element read `a ! i` (HOL list indexing). Out of bounds it
+    /// denotes the element type's zero value; bounds guards rule that out.
+    Index(IExpr, IExpr),
+    /// Functional array update `a[i := v]` (HOL `list_update`; the
+    /// identity out of bounds).
+    ArrUpd(IExpr, IExpr, IExpr),
 }
 
 impl Internable for Expr {
@@ -326,6 +332,18 @@ impl Expr {
         Expr::Proj(i, IExpr::new(e))
     }
 
+    /// Array element read.
+    #[must_use]
+    pub fn index(a: Expr, i: Expr) -> Expr {
+        Expr::Index(IExpr::new(a), IExpr::new(i))
+    }
+
+    /// Functional array update.
+    #[must_use]
+    pub fn arr_upd(a: Expr, i: Expr, v: Expr) -> Expr {
+        Expr::ArrUpd(IExpr::new(a), IExpr::new(i), IExpr::new(v))
+    }
+
     /// The "concrete-level pointer guard" of the paper's Fig 3:
     /// `ptr_aligned p ∧ 0 ∉ {p ..+ obj_size τ}`.
     #[must_use]
@@ -413,11 +431,11 @@ impl Expr {
             | Expr::UnOp(_, e)
             | Expr::Cast(_, e)
             | Expr::Proj(_, e) => e.visit(f),
-            Expr::UpdateField(a, _, b) | Expr::BinOp(_, a, b) => {
+            Expr::UpdateField(a, _, b) | Expr::BinOp(_, a, b) | Expr::Index(a, b) => {
                 a.visit(f);
                 b.visit(f);
             }
-            Expr::Ite(a, b, c) => {
+            Expr::Ite(a, b, c) | Expr::ArrUpd(a, b, c) => {
                 a.visit(f);
                 b.visit(f);
                 c.visit(f);
@@ -470,6 +488,15 @@ impl Expr {
             ),
             Expr::Tuple(es) => Expr::Tuple(es.iter().map(|e| e.map_memo(f, memo)).collect()),
             Expr::Proj(i, e) => Expr::Proj(*i, Self::map_child(e, f, memo)),
+            Expr::Index(a, i) => Expr::Index(
+                Self::map_child(a, f, memo),
+                Self::map_child(i, f, memo),
+            ),
+            Expr::ArrUpd(a, i, v) => Expr::ArrUpd(
+                Self::map_child(a, f, memo),
+                Self::map_child(i, f, memo),
+                Self::map_child(v, f, memo),
+            ),
         };
         f(rebuilt)
     }
@@ -544,8 +571,10 @@ impl Expr {
             | Expr::UnOp(_, e)
             | Expr::Cast(_, e)
             | Expr::Proj(_, e) => 1 + e.size(),
-            Expr::UpdateField(a, _, b) | Expr::BinOp(_, a, b) => 1 + a.size() + b.size(),
-            Expr::Ite(a, b, c) => 1 + a.size() + b.size() + c.size(),
+            Expr::UpdateField(a, _, b) | Expr::BinOp(_, a, b) | Expr::Index(a, b) => {
+                1 + a.size() + b.size()
+            }
+            Expr::Ite(a, b, c) | Expr::ArrUpd(a, b, c) => 1 + a.size() + b.size() + c.size(),
             Expr::Tuple(es) => 1 + es.iter().map(Expr::term_size).sum::<usize>(),
         }
     }

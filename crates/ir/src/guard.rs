@@ -27,6 +27,9 @@ pub enum GuardKind {
     /// A proof obligation introduced by word abstraction (the precondition
     /// of an `abs_w_val` rule, e.g. `a + b ≤ UINT_MAX`).
     WordAbs,
+    /// Array index within bounds (`i < N`, plus `0 ≤ i` for signed
+    /// indices) — emitted for every `a[i]` read or write.
+    ArrayBounds,
 }
 
 impl fmt::Display for GuardKind {
@@ -40,6 +43,7 @@ impl fmt::Display for GuardKind {
             GuardKind::UnsignedOverflow => "UnsignedOverflow",
             GuardKind::HeapValid => "HeapValid",
             GuardKind::WordAbs => "WordAbs",
+            GuardKind::ArrayBounds => "ArrayBounds",
         };
         write!(f, "{s}")
     }

@@ -168,7 +168,9 @@ impl Memory {
                 }
                 Ok(Value::Struct(name.clone(), fields))
             }
-            Ty::Nat | Ty::Int | Ty::Tuple(_) => Err(CodecError(format!(
+            // Arrays are functional values living in locals/globals only;
+            // they are never stored through the byte heap.
+            Ty::Nat | Ty::Int | Ty::Tuple(_) | Ty::Arr(..) => Err(CodecError(format!(
                 "type `{ty}` has no machine representation"
             ))),
         }
@@ -211,9 +213,11 @@ impl Memory {
                 }
                 Ok(())
             }
-            Value::Nat(_) | Value::Int(_) | Value::Tuple(_) => Err(CodecError(format!(
-                "value `{v}` has no machine representation"
-            ))),
+            Value::Nat(_) | Value::Int(_) | Value::Tuple(_) | Value::Arr(..) => {
+                Err(CodecError(format!(
+                    "value `{v}` has no machine representation"
+                )))
+            }
         }
     }
 

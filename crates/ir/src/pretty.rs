@@ -169,6 +169,19 @@ fn write_expr(e: &Expr, parent_prec: u8, f: &mut fmt::Formatter<'_>) -> fmt::Res
             write!(f, "π{i} ")?;
             write_expr(e, 11, f)
         }
+        Expr::Index(a, i) => {
+            write_expr(a, 11, f)?;
+            write!(f, " ! ")?;
+            write_expr(i, 11, f)
+        }
+        Expr::ArrUpd(a, i, v) => {
+            write_expr(a, 11, f)?;
+            write!(f, "[")?;
+            write_expr(i, 0, f)?;
+            write!(f, " := ")?;
+            write_expr(v, 0, f)?;
+            write!(f, "]")
+        }
     }
 }
 

@@ -80,6 +80,10 @@ pub enum Ty {
     Struct(String),
     /// Tuple of values (loop iterator state).
     Tuple(Vec<Ty>),
+    /// Fixed-size array `T[N]`, modelled as a functional value (an HOL
+    /// list of known length). Arrays live in locals/globals only — they
+    /// never decay to pointers in the supported subset.
+    Arr(Box<Ty>, u64),
 }
 
 impl Ty {
@@ -98,6 +102,12 @@ impl Ty {
     #[must_use]
     pub fn ptr_to(self) -> Ty {
         Ty::Ptr(Box::new(self))
+    }
+
+    /// Builds a fixed-size array type of `self`.
+    #[must_use]
+    pub fn arr_of(self, n: u64) -> Ty {
+        Ty::Arr(Box::new(self), n)
     }
 
     /// Is this a machine-word type?
@@ -150,6 +160,7 @@ impl Ty {
                 let inner: Vec<String> = ts.iter().map(Ty::tag_name).collect();
                 format!("tup_{}", inner.join("_"))
             }
+            Ty::Arr(t, n) => format!("arr{}_{}", n, t.tag_name()),
         }
     }
 }
@@ -175,6 +186,7 @@ impl fmt::Display for Ty {
                 }
                 write!(f, ")")
             }
+            Ty::Arr(t, n) => write!(f, "{t}[{n}]"),
         }
     }
 }
@@ -316,6 +328,7 @@ impl TypeEnv {
                 }
                 s.max(1)
             }
+            Ty::Arr(t, n) => (self.size_of(t)? * n).max(1),
         })
     }
 
@@ -336,6 +349,7 @@ impl TypeEnv {
                     .align
             }
             Ty::Tuple(_) => 4,
+            Ty::Arr(t, _) => self.align_of(t)?,
         })
     }
 

@@ -61,6 +61,11 @@ pub fn infer_ty(e: &Expr, vars: &HashMap<String, Ty>, tenv: &TypeEnv) -> Option<
             Ty::Tuple(ts) => ts.get(*i).cloned(),
             _ => None,
         },
+        Expr::Index(a, _) => match infer_ty(a, vars, tenv)? {
+            Ty::Arr(t, _) => Some(*t),
+            _ => None,
+        },
+        Expr::ArrUpd(a, _, _) => infer_ty(a, vars, tenv),
     }
 }
 

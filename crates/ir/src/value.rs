@@ -81,6 +81,11 @@ pub enum Value {
     Struct(String, Vec<(String, Value)>),
     /// A tuple (loop-iterator state).
     Tuple(Vec<Value>),
+    /// A fixed-size array value: element type plus the elements. The
+    /// element type is carried so `ty()` stays well-defined and index
+    /// reads out of bounds have a zero value to fall back on (HOL
+    /// totality convention; bounds guards rule such reads out).
+    Arr(Box<Ty>, Vec<Value>),
 }
 
 impl Value {
@@ -121,6 +126,7 @@ impl Value {
             Value::Ptr(p) => Ty::Ptr(Box::new(p.pointee.clone())),
             Value::Struct(n, _) => Ty::Struct(n.clone()),
             Value::Tuple(vs) => Ty::Tuple(vs.iter().map(Value::ty).collect()),
+            Value::Arr(t, vs) => Ty::Arr(t.clone(), vs.len() as u64),
         }
     }
 
@@ -192,6 +198,38 @@ impl Value {
         }
     }
 
+    /// Reads array element `i`. Out-of-bounds reads return the element
+    /// type's zero value (HOL totality; ruled out by bounds guards).
+    #[must_use]
+    pub fn arr_index(&self, i: u64, tenv: &crate::ty::TypeEnv) -> Option<Value> {
+        match self {
+            Value::Arr(t, vs) => Some(
+                usize::try_from(i)
+                    .ok()
+                    .and_then(|i| vs.get(i))
+                    .cloned()
+                    .unwrap_or_else(|| Value::zero_of(t, tenv)),
+            ),
+            _ => None,
+        }
+    }
+
+    /// Returns a copy with array element `i` replaced by `v` (Isabelle's
+    /// `list_update`: out-of-bounds updates leave the array unchanged).
+    #[must_use]
+    pub fn arr_update(&self, i: u64, v: Value) -> Option<Value> {
+        match self {
+            Value::Arr(t, vs) => {
+                let mut out = vs.clone();
+                if let Some(slot) = usize::try_from(i).ok().and_then(|i| out.get_mut(i)) {
+                    *slot = v;
+                }
+                Some(Value::Arr(t.clone(), out))
+            }
+            _ => None,
+        }
+    }
+
     /// The default (zero) value of a type — used to initialise fresh locals.
     #[must_use]
     pub fn zero_of(ty: &Ty, tenv: &crate::ty::TypeEnv) -> Value {
@@ -215,6 +253,10 @@ impl Value {
                 Value::Struct(n.clone(), fields)
             }
             Ty::Tuple(ts) => Value::Tuple(ts.iter().map(|t| Value::zero_of(t, tenv)).collect()),
+            Ty::Arr(t, n) => {
+                let n = usize::try_from(*n).unwrap_or(0);
+                Value::Arr(t.clone(), vec![Value::zero_of(t, tenv); n])
+            }
         }
     }
 
@@ -261,6 +303,16 @@ impl fmt::Display for Value {
                     write!(f, "{v}")?;
                 }
                 write!(f, ")")
+            }
+            Value::Arr(_, vs) => {
+                write!(f, "[")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
             }
         }
     }

@@ -73,8 +73,8 @@ pub(crate) fn children(e: &Expr) -> Vec<&Expr> {
         | Expr::UnOp(_, a)
         | Expr::Cast(_, a)
         | Expr::Proj(_, a) => vec![a],
-        Expr::UpdateField(a, _, b) | Expr::BinOp(_, a, b) => vec![a, b],
-        Expr::Ite(a, b, c) => vec![a, b, c],
+        Expr::UpdateField(a, _, b) | Expr::BinOp(_, a, b) | Expr::Index(a, b) => vec![a, b],
+        Expr::Ite(a, b, c) | Expr::ArrUpd(a, b, c) => vec![a, b, c],
         Expr::Tuple(es) => es.iter().collect(),
     }
 }
@@ -110,5 +110,14 @@ pub(crate) fn with_children(e: &Expr, kids: &[Expr]) -> Result<Expr, String> {
             ir::intern::Interned::new(kids[2].clone()),
         ),
         Expr::Tuple(_) => Expr::Tuple(kids.to_vec()),
+        Expr::Index(..) => Expr::Index(
+            ir::intern::Interned::new(kids[0].clone()),
+            ir::intern::Interned::new(kids[1].clone()),
+        ),
+        Expr::ArrUpd(..) => Expr::ArrUpd(
+            ir::intern::Interned::new(kids[0].clone()),
+            ir::intern::Interned::new(kids[1].clone()),
+            ir::intern::Interned::new(kids[2].clone()),
+        ),
     })
 }

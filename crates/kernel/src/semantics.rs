@@ -60,6 +60,10 @@ pub fn random_value(rng: &mut StdRng, ty: &Ty) -> Value {
             Value::Ptr(Ptr::new(addr, (**p).clone()))
         }
         Ty::Struct(_) | Ty::Tuple(_) => Value::Unit,
+        Ty::Arr(t, n) => {
+            let n = usize::try_from(*n).unwrap_or(0).min(64);
+            Value::Arr(t.clone(), (0..n).map(|_| random_value(rng, t)).collect())
+        }
     }
 }
 

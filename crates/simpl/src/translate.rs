@@ -29,6 +29,10 @@ fn terr(msg: impl Into<String>) -> Diag {
 /// Guards to emit before a call, plus the translated argument expressions.
 pub type GuardedArgs = (Vec<(GuardKind, Expr)>, Vec<Expr>);
 
+/// Decomposed array access: the array variable's name and locality, its
+/// value expression, the translated index, and the accumulated guards.
+type IndexParts = (String, bool, Expr, Expr, Vec<(GuardKind, Expr)>);
+
 type Result<T> = std::result::Result<T, Diag>;
 
 /// Translates a typechecked program into Simpl.
@@ -226,7 +230,7 @@ impl<'a> FnTranslator<'a> {
                 );
                 Ok(SimplStmt::seq(out, SimplStmt::Throw))
             }
-            TStmt::Break => {
+            TStmt::Break(_) => {
                 if self.loop_depth == 0 {
                     return self.err("`break` outside of a loop");
                 }
@@ -235,7 +239,7 @@ impl<'a> FnTranslator<'a> {
                     SimplStmt::Throw,
                 ))
             }
-            TStmt::Continue => {
+            TStmt::Continue(_) => {
                 if self.loop_depth == 0 {
                     return self.err("`continue` outside of a loop");
                 }
@@ -363,6 +367,19 @@ impl<'a> FnTranslator<'a> {
                 ));
                 Ok((guards, Update::Heap(pointee, pv.expr, value)))
             }
+            // a[i] = v — functional update of the array variable.
+            TExprKind::Index(base, idx) => {
+                let (name, is_local, arr, iv, guards) = self.index_parts(base, idx, pre)?;
+                let upd = Expr::arr_upd(arr, iv, value);
+                Ok((
+                    guards,
+                    if is_local {
+                        Update::Local(name, upd)
+                    } else {
+                        Update::Global(name, upd)
+                    },
+                ))
+            }
             TExprKind::Member(inner, field) => {
                 // Walk down a member chain to its root.
                 let mut path = vec![(field.clone(), ctype_to_ty(&lhs.ty))];
@@ -424,11 +441,71 @@ impl<'a> FnTranslator<'a> {
                         };
                         Ok((root.guards, upd))
                     }
+                    // arr[i].f…g = v — update the field inside the element,
+                    // then store the element back (index evaluated once).
+                    TExprKind::Index(base, idx) => {
+                        let (name, is_local, arr, iv, guards) =
+                            self.index_parts(base, idx, pre)?;
+                        let element = Expr::index(arr.clone(), iv.clone());
+                        let mut acc = value;
+                        for i in (0..path.len()).rev() {
+                            let mut target = element.clone();
+                            for (f, _) in &path[..i] {
+                                target = Expr::field(target, f.clone());
+                            }
+                            acc = Expr::UpdateField(
+                                ir::IExpr::new(target),
+                                path[i].0.clone(),
+                                ir::IExpr::new(acc),
+                            );
+                        }
+                        let upd = Expr::arr_upd(arr, iv, acc);
+                        Ok((
+                            guards,
+                            if is_local {
+                                Update::Local(name, upd)
+                            } else {
+                                Update::Global(name, upd)
+                            },
+                        ))
+                    }
                     _ => self.err("unsupported lvalue shape"),
                 }
             }
             _ => self.err(format!("not an lvalue: {lhs:?}")),
         }
+    }
+
+    /// Decomposes an array access `base[idx]`: the array variable's name and
+    /// locality, its value expression, the translated index, and the
+    /// accumulated guards ending in the in-bounds check.
+    fn index_parts(
+        &mut self,
+        base: &TExpr,
+        idx: &TExpr,
+        pre: &mut Vec<SimplStmt>,
+    ) -> Result<IndexParts> {
+        let (name, is_local, arr) = match &base.kind {
+            TExprKind::Local(n) => (n.clone(), true, Expr::local(n)),
+            TExprKind::Global(n) => (n.clone(), false, Expr::global(n)),
+            _ => return self.err("array expressions must be named variables"),
+        };
+        let CType::Arr(_, n) = &base.ty else {
+            return self.err(format!("indexing non-array type `{}`", base.ty));
+        };
+        let iv = self.rvalue(idx, pre)?;
+        let mut guards = iv.guards;
+        let (w, s) = int_shape(&idx.ty)?;
+        // i < N, and 0 ≤ i when the index is signed.
+        let mut ok = Expr::binop(BinOp::Lt, iv.expr.clone(), Expr::word(Word::new(*n, w, s)));
+        if s == Signedness::Signed {
+            ok = Expr::and(
+                Expr::binop(BinOp::Le, Expr::word(Word::zero(w, s)), iv.expr.clone()),
+                ok,
+            );
+        }
+        guards.push((GuardKind::ArrayBounds, ok));
+        Ok((name, is_local, arr, iv.expr, guards))
     }
 
     // ---- calls -------------------------------------------------------------
@@ -574,6 +651,13 @@ impl<'a> FnTranslator<'a> {
                         expr: Expr::field(iv.expr, field.clone()),
                     })
                 }
+            }
+            TExprKind::Index(base, idx) => {
+                let (_, _, arr, iv, guards) = self.index_parts(base, idx, pre)?;
+                Ok(TrExpr {
+                    guards,
+                    expr: Expr::index(arr, iv),
+                })
             }
             TExprKind::Binary(op, l, r) => self.binary(*op, l, r, &e.ty, pre),
             TExprKind::Cast(to, inner) => self.cast(to, inner, pre),

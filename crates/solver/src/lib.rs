@@ -153,9 +153,9 @@ pub fn complete_model(model: &mut HashMap<String, Value>, vars: &HashMap<String,
             Ty::Bool => Value::Bool(false),
             Ty::Ptr(p) => Value::Ptr(ir::value::Ptr::null((**p).clone())),
             Ty::Unit => Value::Unit,
-            // Struct/tuple-typed VC variables do not occur in generated
-            // VCs; skip rather than guess a layout.
-            Ty::Struct(_) | Ty::Tuple(_) => continue,
+            // Struct/tuple/array-typed VC variables do not occur in
+            // generated VCs; skip rather than guess a layout.
+            Ty::Struct(_) | Ty::Tuple(_) | Ty::Arr(..) => continue,
         };
         model.insert(name.clone(), v);
     }

@@ -64,6 +64,14 @@ if ./target/release/autocorres --quiet --lint=deny tests/golden/lint_demo.c > /d
     echo "tier1: --lint=deny did not fail on the lint demo" >&2; exit 1
 fi
 
+# Corpus smoke: the checked-in real-world-shaped corpus (arrays, switch
+# with fallthrough, compound assignment, qualifiers) must sweep end to
+# end — every file translated, every theorem replayed, zero failures.
+./target/release/autocorres --corpus tests/corpus/c > "$tmp_out" \
+    || { echo "tier1: corpus sweep failed" >&2; cat "$tmp_out" >&2; exit 1; }
+grep -q ' 0 failed' "$tmp_out" \
+    || { echo "tier1: corpus sweep reported failures" >&2; cat "$tmp_out" >&2; exit 1; }
+
 # Soundness audit (crates/audit): fault-injection against the kernel
 # checker plus the cross-layer differential oracle. The smoke runs by
 # default (small mutation budget, a few fuzz seeds, two worker counts);

@@ -20,6 +20,9 @@
 //!                            overflow); `=deny` exits nonzero on any lint
 //!   --no-absint              disable the abstract-interpretation phase
 //!   --playback SEED          replay a counterexample seed file and exit
+//!   --corpus DIR             sweep every .c file in DIR, print a
+//!                            per-function proof-status table, and exit
+//!                            nonzero on any failure
 //!   --quiet                  suppress the banner
 //! ```
 //!
@@ -50,6 +53,7 @@ struct Cli {
     lint_deny: bool,
     no_absint: bool,
     playback: Option<String>,
+    corpus: Option<String>,
     quiet: bool,
 }
 
@@ -58,7 +62,8 @@ fn usage() -> &'static str {
      \x20                 [--no-word-abs] [--word-abs NAME]... [--trials N] [--seed N]\n\
      \x20                 [--workers N] [--metrics] [--check] [--lint[=deny]]\n\
      \x20                 [--no-absint] [--quiet] FILE.c\n\
-     \x20      autocorres --playback SEED"
+     \x20      autocorres --playback SEED\n\
+     \x20      autocorres --corpus DIR [--trials N] [--seed N] [--workers N]"
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -77,6 +82,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         lint_deny: false,
         no_absint: false,
         playback: None,
+        corpus: None,
         quiet: false,
     };
     let mut it = args.iter();
@@ -132,6 +138,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 }
             }
             "--playback" => cli.playback = Some(value("--playback")?),
+            "--corpus" => cli.corpus = Some(value("--corpus")?),
             "--quiet" => cli.quiet = true,
             "--help" | "-h" => return Err(usage().to_owned()),
             f if f.starts_with('-') => return Err(format!("unknown flag `{f}`")),
@@ -146,6 +153,10 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     if cli.playback.is_some() {
         if !cli.file.is_empty() {
             return Err("--playback takes no C file (the seed embeds the source)".into());
+        }
+    } else if cli.corpus.is_some() {
+        if !cli.file.is_empty() {
+            return Err("--corpus takes a directory, not a C file argument".into());
         }
     } else if cli.file.is_empty() {
         return Err(usage().to_owned());
@@ -250,13 +261,23 @@ fn print_lints(out: &autocorres::Output) -> Result<usize, String> {
     Ok(diags.len())
 }
 
+/// Sweeps a corpus directory and prints the per-function table. Exits
+/// with an error when any file is rejected or any theorem fails to
+/// replay, so CI can gate on a known-good corpus.
+fn run_corpus(dir: &str, opts: &Options) -> Result<(), String> {
+    let report = autocorres::corpus::sweep(std::path::Path::new(dir), opts)?;
+    println!("{report}");
+    if report.failures() > 0 {
+        return Err(format!("--corpus: {} failure(s)", report.failures()));
+    }
+    Ok(())
+}
+
 fn run(cli: &Cli) -> Result<(), String> {
     if let Some(path) = &cli.playback {
         return run_playback(path, cli.quiet);
     }
-    let src = std::fs::read_to_string(&cli.file)
-        .map_err(|e| format!("{}: {e}", cli.file))?;
-    let opts = Options {
+    let opts_of = |cli: &Cli| Options {
         concrete_fns: cli.concrete.clone(),
         word_abstract_fns: cli.word_abs.clone(),
         l2_trials: cli.trials,
@@ -265,6 +286,12 @@ fn run(cli: &Cli) -> Result<(), String> {
         no_absint: cli.no_absint,
         ..Options::default()
     };
+    if let Some(dir) = &cli.corpus {
+        return run_corpus(dir, &opts_of(cli));
+    }
+    let src = std::fs::read_to_string(&cli.file)
+        .map_err(|e| format!("{}: {e}", cli.file))?;
+    let opts = opts_of(cli);
     let out = translate(&src, &opts).map_err(|e| e.to_string())?;
     if cli.metrics {
         let pm = out.parser_metrics();

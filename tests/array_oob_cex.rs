@@ -1,0 +1,107 @@
+//! An out-of-bounds array index must surface exactly like any other
+//! refuted obligation: a validated concrete counterexample anchored at
+//! the offending *statement*, packaged into a replayable seed.
+//!
+//! The checked-in regression seed `tests/corpus/cex-009.seed` is the
+//! rendered form of this extraction; `corpus_cex_009` in
+//! `tests/pipeline_fuzz.rs` (and the tier-1 `--playback` loop) replay it.
+
+use autocorres::{translate, Options};
+use counterexample::{analyze, FnSpec, Observed, Seed};
+use ir::expr::Expr;
+use ir::value::Value;
+
+/// `a[i]` is only guarded by the conditional for `i ≤ 2`; any `i ≥ 4`
+/// reaches the read with the bounds guard `0 ≤ i ∧ i < 4` false.
+const OOB_SRC: &str = "int oob(int i) {\n\
+    \x20   int a[4];\n\
+    \x20   a[0] = i;\n\
+    \x20   a[1] = 2;\n\
+    \x20   a[2] = 3;\n\
+    \x20   a[3] = 4;\n\
+    \x20   if (i > 2) {\n\
+    \x20       return a[i];\n\
+    \x20   }\n\
+    \x20   return a[0];\n\
+    }\n";
+
+fn trivial_spec() -> FnSpec {
+    FnSpec {
+        pre: Expr::tt(),
+        post: Expr::tt(),
+        anns: vec![],
+    }
+}
+
+fn extract() -> (autocorres::Output, counterexample::Cex) {
+    let out = translate(OOB_SRC, &Options::default()).expect("oob translates");
+    out.check_all().expect("theorems replay");
+    let analysis = analyze(&out, "oob", &trivial_spec()).expect("analysis runs");
+    let cex = analysis
+        .first_cex()
+        .expect("the out-of-bounds read is refutable")
+        .clone();
+    (out, cex)
+}
+
+#[test]
+fn oob_read_yields_validated_counterexample_with_statement_span() {
+    let (_, cex) = extract();
+    assert!(
+        cex.info.validated,
+        "counterexample must be re-validated by concrete execution: {}",
+        cex.info
+    );
+    // The observation is a guard fault (the bounds guard), not a normal
+    // return that merely violates a postcondition.
+    assert_eq!(cex.observed, Observed::Fault, "{}", cex.info);
+    // Anchored at a statement inside the body, not the function header.
+    let span = cex.info.span.expect("counterexample carries a span");
+    assert!(span.line > 1, "statement span expected, got {span}");
+    // The model names the one input, and it is genuinely out of bounds.
+    let (name, v) = cex
+        .info
+        .model
+        .iter()
+        .find(|(n, _)| n == "i")
+        .expect("model binds `i`");
+    assert_eq!(name, "i");
+    match v {
+        Value::Word(w) => {
+            let i = w.signed_value();
+            assert!(!(0..4).contains(&i), "model i = {i} is in bounds");
+        }
+        other => panic!("unexpected model value {other:?}"),
+    }
+}
+
+#[test]
+fn oob_counterexample_seed_replays() {
+    let (_, cex) = extract();
+    let seed = Seed::from_cex(&cex, &trivial_spec(), OOB_SRC);
+    let pb = counterexample::playback(&seed.render()).expect("seed plays back");
+    assert!(pb.verdict_matches, "input no longer falsifies the guard");
+    assert!(pb.observed_matches, "observed outcome drifted");
+}
+
+#[test]
+fn checked_in_seed_matches_regeneration() {
+    // Extraction is deterministic, so the checked-in regression seed must
+    // be byte-identical to a fresh extraction. Regenerate it with
+    // `cargo test --test array_oob_cex -- --ignored` after an intentional
+    // format or extraction change.
+    let (_, cex) = extract();
+    let seed = Seed::from_cex(&cex, &trivial_spec(), OOB_SRC);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus/cex-009.seed");
+    let on_disk = std::fs::read_to_string(path).expect("cex-009.seed is checked in");
+    assert_eq!(on_disk, seed.render(), "regenerate tests/corpus/cex-009.seed");
+}
+
+#[test]
+#[ignore = "writes tests/corpus/cex-009.seed; run after an intentional extraction change"]
+fn regenerate_checked_in_seed() {
+    let (_, cex) = extract();
+    let seed = Seed::from_cex(&cex, &trivial_spec(), OOB_SRC);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus/cex-009.seed");
+    std::fs::write(path, seed.render()).expect("seed written");
+}

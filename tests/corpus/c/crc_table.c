@@ -1,0 +1,54 @@
+/* Nibble-wide table-driven CRC, the classic table-initialise-then-fold
+ * idiom.  Exercises array writes in loops, shifts, and compound
+ * assignment on both locals and array elements. */
+
+unsigned crc_tab[16];
+
+void crc_init(void) {
+    const unsigned poly = 60501u; /* 0xEDB5, truncated CRC-16 polynomial */
+    unsigned n = 0u;
+    while (n < 16u) {
+        unsigned r = n << 12;
+        unsigned k = 0u;
+        while (k < 4u) {
+            if ((r & 32768u) != 0u) {
+                r = ((r << 1) & 65535u) ^ poly;
+            } else {
+                r = (r << 1) & 65535u;
+            }
+            k += 1u;
+        }
+        crc_tab[n] = r;
+        n += 1u;
+    }
+}
+
+unsigned crc_nibble(unsigned crc, unsigned nib) {
+    unsigned idx = ((crc >> 12) ^ nib) & 15u;
+    return ((crc << 4) & 65535u) ^ crc_tab[idx];
+}
+
+unsigned crc_byte(unsigned crc, unsigned byte) {
+    crc = crc_nibble(crc, (byte >> 4) & 15u);
+    crc = crc_nibble(crc, byte & 15u);
+    return crc;
+}
+
+unsigned crc_tab_sum(void) {
+    unsigned acc = 0u;
+    unsigned i = 0u;
+    while (i < 16u) {
+        acc ^= crc_tab[i];
+        i += 1u;
+    }
+    return acc;
+}
+
+void crc_tab_scale(unsigned m) {
+    unsigned i = 0u;
+    while (i < 16u) {
+        crc_tab[i] &= 65535u;
+        crc_tab[i] ^= m;
+        i += 1u;
+    }
+}

@@ -1,0 +1,54 @@
+/* Fixed-capacity ring buffer over a global array, the shape found in
+ * driver and protocol code.  Exercises arrays, compound assignment and
+ * masked index arithmetic. */
+
+int rb_data[8];
+unsigned rb_head;
+unsigned rb_tail;
+
+void rb_reset(void) {
+    unsigned i = 0u;
+    while (i < 8u) {
+        rb_data[i] = 0;
+        i += 1u;
+    }
+    rb_head = 0u;
+    rb_tail = 0u;
+}
+
+unsigned rb_size(void) {
+    return (rb_tail - rb_head) & 15u;
+}
+
+unsigned rb_is_empty(void) {
+    if (rb_head == rb_tail) {
+        return 1u;
+    }
+    return 0u;
+}
+
+unsigned rb_is_full(void) {
+    if (rb_size() >= 8u) {
+        return 1u;
+    }
+    return 0u;
+}
+
+unsigned rb_put(int v) {
+    if (rb_is_full() != 0u) {
+        return 0u;
+    }
+    rb_data[rb_tail & 7u] = v;
+    rb_tail = (rb_tail + 1u) & 15u;
+    return 1u;
+}
+
+int rb_get(void) {
+    int v;
+    if (rb_is_empty() != 0u) {
+        return 0;
+    }
+    v = rb_data[rb_head & 7u];
+    rb_head = (rb_head + 1u) & 15u;
+    return v;
+}

@@ -1,0 +1,97 @@
+/* A protocol state machine in the switch-per-state style of parsers and
+ * drivers.  Exercises switch with fallthrough and default, nested
+ * switch-in-loop, and increment operators. */
+
+int sm_state;
+unsigned sm_errors;
+
+void sm_reset(void) {
+    sm_state = 0;
+    sm_errors = 0u;
+}
+
+int sm_is_terminal(int s) {
+    switch (s) {
+        case 3:
+        case 4:
+            return 1;
+        default:
+            return 0;
+    }
+}
+
+int sm_step(int ev) {
+    switch (sm_state) {
+        case 0:
+            if (ev == 1) {
+                sm_state = 1;
+            }
+            break;
+        case 1:
+            switch (ev) {
+                case 1:
+                    sm_state = 2;
+                    break;
+                case 2: /* fallthrough: both events abort */
+                case 3:
+                    sm_state = 4;
+                    break;
+                default:
+                    sm_errors += 1u;
+                    break;
+            }
+            break;
+        case 2:
+            if (ev == 0) {
+                sm_state = 3;
+            } else {
+                sm_state = 4;
+            }
+            break;
+        default:
+            break;
+    }
+    return sm_state;
+}
+
+unsigned sm_class(int s) {
+    unsigned tag = 0u;
+    switch (s) {
+        case 0:
+            tag = 1u;
+            break;
+        case 1: /* fallthrough chain: running states share a tag */
+        case 2:
+            tag = 2u;
+            break;
+        case 3:
+            tag = 3u;
+            break;
+        default:
+            tag = 4u;
+            break;
+    }
+    return tag;
+}
+
+unsigned sm_run(int a, int b, int c) {
+    int evs[3];
+    unsigned i = 0u;
+    unsigned terminal = 0u;
+    evs[0] = a;
+    evs[1] = b;
+    evs[2] = c;
+    sm_reset();
+    while (i < 3u) {
+        sm_step(evs[i]);
+        if (sm_is_terminal(sm_state) != 0) {
+            terminal += 1u;
+        }
+        i++;
+    }
+    return terminal;
+}
+
+int sm_error_count(void) {
+    return (int) sm_errors;
+}

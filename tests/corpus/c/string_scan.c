@@ -1,0 +1,72 @@
+/* NUL-terminated scanning over a fixed global byte buffer — the pattern
+ * of embedded string handling without pointer arithmetic.  Exercises
+ * char arrays, qualifiers and early exit from scan loops. */
+
+char sbuf[16];
+
+void sbuf_clear(void) {
+    unsigned i = 0u;
+    while (i < 16u) {
+        sbuf[i] = 0;
+        i += 1u;
+    }
+}
+
+unsigned sbuf_len(void) {
+    unsigned i = 0u;
+    while (i < 16u) {
+        if (sbuf[i] == 0) {
+            return i;
+        }
+        i += 1u;
+    }
+    return 16u;
+}
+
+unsigned sbuf_count(int c) {
+    const unsigned cap = 16u;
+    unsigned n = 0u;
+    unsigned i = 0u;
+    while (i < cap) {
+        if (sbuf[i] == 0) {
+            return n;
+        }
+        if (sbuf[i] == c) {
+            n += 1u;
+        }
+        i += 1u;
+    }
+    return n;
+}
+
+int sbuf_find(int c) {
+    unsigned i = 0u;
+    while (i < 16u) {
+        if (sbuf[i] == c) {
+            return (int) i;
+        }
+        if (sbuf[i] == 0) {
+            return -1;
+        }
+        i += 1u;
+    }
+    return -1;
+}
+
+unsigned sbuf_digits(void) {
+    volatile unsigned probe = 0u;
+    unsigned n = 0u;
+    unsigned i = 0u;
+    while (i < 16u) {
+        if (sbuf[i] == 0) {
+            return n + probe;
+        }
+        if (sbuf[i] >= 48) {
+            if (sbuf[i] <= 57) {
+                n += 1u;
+            }
+        }
+        i += 1u;
+    }
+    return n + probe;
+}

@@ -28,3 +28,37 @@ int boom(int x) {
     }
     return x;
 }
+
+unsigned widened(int s) {
+    /* The widened subset (ISSUE 9): arrays, switch with fallthrough,
+     * compound assignment, qualifiers — each still subject to the same
+     * lints as the older syntax. */
+    const unsigned one = 1u;
+    unsigned acc = 0u;
+    unsigned a[4];
+    a[0] = one;
+    a[1] = 2u;
+    a[2] = 3u;
+    a[3] = 4u;
+    switch (s) {
+        case 0:
+            acc += a[0];
+        case 1: /* fallthrough */
+            acc += a[1];
+            break;
+        default:
+            acc += a[2];
+            break;
+    }
+    acc += one; /* dead store: acc is never read again */
+    return a[3];
+}
+
+int peeked(int s) {
+    int b[2];
+    if (s > 0) {
+        b[0] = s;
+    }
+    /* use-before-init: `b` is only initialised on one path */
+    return b[0];
+}

@@ -1,0 +1,54 @@
+//! Golden snapshot of a `switch` with fallthrough: the desugared WA spec
+//! (single scrutinee evaluation, match-index selection, fallthrough
+//! windows) must be byte-identical to the committed artifact at every
+//! worker count — the same discipline `golden_quickstart.rs` applies to
+//! the paper's Fig 2.
+//!
+//! To update after an intentional output change, replace
+//! `tests/golden/switch_wa.txt` with the new pretty-printing and explain
+//! the diff in the PR.
+
+use autocorres::{translate, Options};
+
+/// `case 2` falls through into `case 3`, so `classify(2) = 21`; `case 0`
+/// shares an arm with `case 1`.
+const SWITCH_SRC: &str = "unsigned classify(int x) {\n\
+    \x20   unsigned r = 0u;\n\
+    \x20   switch (x) {\n\
+    \x20       case 0:\n\
+    \x20       case 1:\n\
+    \x20           r = 10u;\n\
+    \x20           break;\n\
+    \x20       case 2:\n\
+    \x20           r = 20u;\n\
+    \x20       case 3:\n\
+    \x20           r += 1u;\n\
+    \x20           break;\n\
+    \x20       default:\n\
+    \x20           r = 99u;\n\
+    \x20   }\n\
+    \x20   return r;\n\
+    }\n";
+
+const GOLDEN: &str = include_str!("golden/switch_wa.txt");
+
+fn wa_pretty(workers: usize) -> String {
+    let opts = Options {
+        workers,
+        ..Options::default()
+    };
+    let out = translate(SWITCH_SRC, &opts).expect("switch translates");
+    out.check_all().expect("theorems replay");
+    format!("{}", out.wa.function("classify").expect("classify is translated"))
+}
+
+#[test]
+fn switch_wa_spec_matches_committed_golden() {
+    for workers in [1, 2, 4] {
+        assert_eq!(
+            wa_pretty(workers),
+            GOLDEN,
+            "WA pretty-printing differs from tests/golden/switch_wa.txt at {workers} worker(s)"
+        );
+    }
+}

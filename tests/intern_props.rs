@@ -129,10 +129,12 @@ fn ref_size_expr(e: &Expr) -> usize {
         | Expr::UnOp(_, e)
         | Expr::Cast(_, e)
         | Expr::Proj(_, e) => 1 + ref_size_expr(e),
-        Expr::UpdateField(a, _, b) | Expr::BinOp(_, a, b) => {
+        Expr::UpdateField(a, _, b) | Expr::BinOp(_, a, b) | Expr::Index(a, b) => {
             1 + ref_size_expr(a) + ref_size_expr(b)
         }
-        Expr::Ite(a, b, c) => 1 + ref_size_expr(a) + ref_size_expr(b) + ref_size_expr(c),
+        Expr::Ite(a, b, c) | Expr::ArrUpd(a, b, c) => {
+            1 + ref_size_expr(a) + ref_size_expr(b) + ref_size_expr(c)
+        }
         Expr::Tuple(es) => 1 + es.iter().map(ref_size_expr).sum::<usize>(),
     }
 }
@@ -195,6 +197,10 @@ fn rebuild_expr(e: &Expr) -> Expr {
         Expr::Ite(c, t, e) => Expr::ite(rebuild_expr(c), rebuild_expr(t), rebuild_expr(e)),
         Expr::Tuple(es) => Expr::Tuple(es.iter().map(rebuild_expr).collect()),
         Expr::Proj(i, e) => Expr::Proj(*i, IExpr::new(rebuild_expr(e))),
+        Expr::Index(a, i) => Expr::index(rebuild_expr(a), rebuild_expr(i)),
+        Expr::ArrUpd(a, i, v) => {
+            Expr::arr_upd(rebuild_expr(a), rebuild_expr(i), rebuild_expr(v))
+        }
     }
 }
 
@@ -414,11 +420,11 @@ fn collect_exprs<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
         | Expr::UnOp(_, e)
         | Expr::Cast(_, e)
         | Expr::Proj(_, e) => collect_exprs(e, out),
-        Expr::UpdateField(a, _, b) | Expr::BinOp(_, a, b) => {
+        Expr::UpdateField(a, _, b) | Expr::BinOp(_, a, b) | Expr::Index(a, b) => {
             collect_exprs(a, out);
             collect_exprs(b, out);
         }
-        Expr::Ite(a, b, c) => {
+        Expr::Ite(a, b, c) | Expr::ArrUpd(a, b, c) => {
             collect_exprs(a, out);
             collect_exprs(b, out);
             collect_exprs(c, out);

@@ -23,7 +23,7 @@ use autocorres::{translate, Options};
 /// verification failure checked in as a regression test.
 const CORPUS: &[&str] = &[
     "cex-001", "cex-002", "cex-003", "cex-004", "cex-005", "cex-006", "cex-007", "cex-008",
-    "seed-001", "seed-002", "seed-003", "seed-004", "seed-005",
+    "cex-009", "seed-001", "seed-002", "seed-003", "seed-004", "seed-005",
 ];
 
 fn corpus_dir() -> PathBuf {
@@ -189,6 +189,13 @@ fn corpus_cex_007() {
 #[test]
 fn corpus_cex_008() {
     replay_cex("cex-008");
+}
+
+#[test]
+fn corpus_cex_009() {
+    // Array out-of-bounds read (ISSUE 9); regenerated by
+    // tests/array_oob_cex.rs.
+    replay_cex("cex-009");
 }
 
 #[test]
