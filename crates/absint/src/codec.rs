@@ -1,0 +1,131 @@
+//! Binary codec impls for abstract-interpretation results (see
+//! `ir::codec`), so `absint` phase artifacts can live in the disk store.
+
+use ir::codec::{Codec, DecodeError, Decoder, Encoder};
+use ir::diag::Span;
+use ir::expr::Expr;
+use ir::guard::GuardKind;
+
+use crate::lint::{Lint, LintKind};
+use crate::{FnAbsint, GuardInfo, Verdict};
+
+impl Codec for Verdict {
+    fn encode(&self, e: &mut Encoder) {
+        match self {
+            Verdict::ProvedTrue { hyp } => {
+                e.u8(0);
+                hyp.encode(e);
+            }
+            Verdict::ProvedFalse => e.u8(1),
+            Verdict::Unknown => e.u8(2),
+        }
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(match d.u8()? {
+            0 => Verdict::ProvedTrue {
+                hyp: Expr::decode(d)?,
+            },
+            1 => Verdict::ProvedFalse,
+            2 => Verdict::Unknown,
+            b => return Err(DecodeError(format!("invalid Verdict tag {b}"))),
+        })
+    }
+}
+
+impl Codec for GuardInfo {
+    fn encode(&self, e: &mut Encoder) {
+        self.index.encode(e);
+        self.kind.encode(e);
+        self.guard.encode(e);
+        self.verdict.encode(e);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(GuardInfo {
+            index: usize::decode(d)?,
+            kind: GuardKind::decode(d)?,
+            guard: Expr::decode(d)?,
+            verdict: Verdict::decode(d)?,
+        })
+    }
+}
+
+impl Codec for LintKind {
+    fn encode(&self, e: &mut Encoder) {
+        e.u8(match self {
+            LintKind::DeadStore => 0,
+            LintKind::UnreachableCode => 1,
+            LintKind::UseBeforeInit => 2,
+            LintKind::DefiniteOverflow => 3,
+        });
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(match d.u8()? {
+            0 => LintKind::DeadStore,
+            1 => LintKind::UnreachableCode,
+            2 => LintKind::UseBeforeInit,
+            3 => LintKind::DefiniteOverflow,
+            b => return Err(DecodeError(format!("invalid LintKind tag {b}"))),
+        })
+    }
+}
+
+impl Codec for Lint {
+    fn encode(&self, e: &mut Encoder) {
+        self.kind.encode(e);
+        e.str(&self.message);
+        self.span.encode(e);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(Lint {
+            kind: LintKind::decode(d)?,
+            message: d.str()?,
+            span: Span::decode(d)?,
+        })
+    }
+}
+
+impl Codec for FnAbsint {
+    fn encode(&self, e: &mut Encoder) {
+        self.guards.encode(e);
+        self.lints.encode(e);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(FnAbsint {
+            guards: Vec::decode(d)?,
+            lints: Vec::decode(d)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir::codec::{decode_from_slice, encode_to_vec};
+
+    #[test]
+    fn fn_absint_round_trips() {
+        let a = FnAbsint {
+            guards: vec![GuardInfo {
+                index: 3,
+                kind: GuardKind::SignedOverflow,
+                guard: Expr::binop(ir::expr::BinOp::Lt, Expr::var("x"), Expr::u32(10)),
+                verdict: Verdict::ProvedTrue {
+                    hyp: Expr::binop(ir::expr::BinOp::Lt, Expr::var("x"), Expr::u32(5)),
+                },
+            }],
+            lints: vec![Lint {
+                kind: LintKind::DeadStore,
+                message: "store to `x` is never read".into(),
+                span: Span::default(),
+            }],
+        };
+        let bytes = encode_to_vec(&a);
+        assert_eq!(decode_from_slice::<FnAbsint>(&bytes).unwrap(), a);
+        for i in 0..bytes.len() {
+            let mut m = bytes.clone();
+            m[i] ^= 0x22;
+            let _ = decode_from_slice::<FnAbsint>(&m);
+            let _ = decode_from_slice::<FnAbsint>(&bytes[..i]);
+        }
+    }
+}

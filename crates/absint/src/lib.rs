@@ -27,6 +27,7 @@
 //! stores, unreachable code, use before initialisation) over the *typed C
 //! AST*, where byte-offset spans are still available.
 
+pub mod codec;
 pub mod lint;
 
 use ir::expr::{BinOp, Expr};

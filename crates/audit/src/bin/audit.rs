@@ -9,8 +9,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use audit::{
-    attack_artifact_store, attack_replay_cache, attack_theorems, DiffConfig, KillMatrix,
-    SIGNED_MIX_SRC,
+    attack_artifact_store, attack_disk_store, attack_replay_cache, attack_theorems, DiffConfig,
+    KillMatrix, SIGNED_MIX_SRC,
 };
 use autocorres::{translate, Options};
 use codegen::{generate_mix, Mix, Profile};
@@ -22,7 +22,7 @@ fn main() -> ExitCode {
 
     let mut ok = true;
     ok &= mutation_kill(full);
-    ok &= cache_attacks();
+    ok &= cache_attacks(full);
     ok &= differential(full);
     ok &= discharge_differential(full);
 
@@ -81,7 +81,7 @@ fn mutation_kill(full: bool) -> bool {
     matrix.all_killed()
 }
 
-fn cache_attacks() -> bool {
+fn cache_attacks(full: bool) -> bool {
     println!("\n-- cache/store corruption --");
     let cache = attack_replay_cache(SIGNED_MIX_SRC, &Options::default(), 16, 0xCAFE);
     println!(
@@ -97,6 +97,15 @@ fn cache_attacks() -> bool {
         );
         ok &= r.cache_hit && r.rejected;
     }
+    // The disk path of the same property (DESIGN.md §6g): randomized
+    // corruption of persisted entries may only cost recomputation.
+    let rounds = if full { 48 } else { 12 };
+    let disk = attack_disk_store(SIGNED_MIX_SRC, &Options::default(), rounds, 0xD15C);
+    println!(
+        "disk store: {} mutations ({} degraded loads); output stable: {}; verdicts stable: {}",
+        disk.mutations, disk.loads_degraded, disk.output_stable, disk.verdicts_stable
+    );
+    ok &= disk.sound();
     ok
 }
 

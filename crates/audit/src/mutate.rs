@@ -752,3 +752,127 @@ fn corrupt_artifact(a: &Artifact) -> Option<Artifact> {
         _ => return None,
     })
 }
+
+// ---------------------------------------------------------------------------
+// Disk-store corruption (DESIGN.md §6g)
+// ---------------------------------------------------------------------------
+
+/// Result of the on-disk store corruption campaign.
+#[derive(Clone, Debug)]
+pub struct DiskAttackReport {
+    /// On-disk mutations performed (bit flips, truncations, garbage
+    /// rewrites, deletions — including of `meta` and `replay.bin`).
+    pub mutations: usize,
+    /// Rounds in which the loader visibly degraded (rejected entries or
+    /// declared version skew). Deletions load cleanly as misses, so this
+    /// may be less than `mutations`.
+    pub loads_degraded: usize,
+    /// The WA output stayed byte-identical through every attack.
+    pub output_stable: bool,
+    /// `check_all_report` accepted the (recomputed) theorems after every
+    /// attack.
+    pub verdicts_stable: bool,
+}
+
+impl DiskAttackReport {
+    /// Did the disk store uphold the persistence trust property?
+    #[must_use]
+    pub fn sound(&self) -> bool {
+        self.output_stable && self.verdicts_stable
+    }
+}
+
+/// Translates `src` through a disk-backed session, then runs `rounds` of
+/// randomized on-disk corruption — each round mutates one stored file
+/// (bit flip, truncation, garbage overwrite, or deletion), warm-starts a
+/// fresh session from the damaged directory, and requires byte-identical
+/// WA output plus a passing checker replay. The disk path must uphold the
+/// same property as the in-memory caches: corruption may cost cache
+/// misses, never a changed verdict or changed output bytes.
+///
+/// # Panics
+///
+/// Panics if `src` does not translate or the scratch directory is not
+/// writable (audit environments control their tempdir).
+#[must_use]
+pub fn attack_disk_store(src: &str, opts: &Options, rounds: usize, seed: u64) -> DiskAttackReport {
+    let dir = std::env::temp_dir().join(format!(
+        "acr-audit-disk-{}-{seed:x}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = Options {
+        cache_dir: Some(dir.clone()),
+        ..opts.clone()
+    };
+    let render = |out: &Output| {
+        let mut s = out.stats.deterministic_summary();
+        for f in out.wa.fns.values() {
+            s.push_str(&f.to_string());
+            s.push('\n');
+        }
+        s
+    };
+    let baseline = {
+        let sess = Session::new(opts.clone());
+        let out = sess.translate(src).expect("audit source translates");
+        sess.check_all_report(&out, 1).expect("baseline checks");
+        render(&out)
+    };
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut report = DiskAttackReport {
+        mutations: 0,
+        loads_degraded: 0,
+        output_stable: true,
+        verdicts_stable: true,
+    };
+    for _ in 0..rounds {
+        let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(dir.join("artifacts"))
+            .expect("store populated")
+            .map(|e| e.expect("readable dir").path())
+            .collect();
+        files.push(dir.join("replay.bin"));
+        files.push(dir.join("meta"));
+        files.sort();
+        let target = &files[rng.gen_range(0..files.len())];
+        let orig = std::fs::read(target).expect("entry readable");
+        match rng.gen_range(0..4u8) {
+            0 => {
+                let mut bad = orig.clone();
+                let pos = rng.gen_range(0..bad.len());
+                bad[pos] ^= 1 << rng.gen_range(0..8u8);
+                std::fs::write(target, &bad).expect("writable");
+            }
+            1 => {
+                let keep = rng.gen_range(0..orig.len());
+                std::fs::write(target, &orig[..keep]).expect("writable");
+            }
+            2 => {
+                let garbage: Vec<u8> = (0..rng.gen_range(1..128u8)).map(|_| rng.gen()).collect();
+                std::fs::write(target, &garbage).expect("writable");
+            }
+            _ => std::fs::remove_file(target).expect("removable"),
+        }
+        report.mutations += 1;
+
+        let sess = Session::new(opts.clone());
+        let load = sess.load_report().clone();
+        if load.rejected > 0 || load.version_skew {
+            report.loads_degraded += 1;
+        }
+        let out = sess.translate(src).expect("translation survives corruption");
+        if render(&out) != baseline {
+            report.output_stable = false;
+        }
+        if sess.check_all_report(&out, 1).is_err() {
+            report.verdicts_stable = false;
+        }
+        // Restore for the next round (the session's own save may already
+        // have healed parts of the store; the explicit restore makes the
+        // rounds independent).
+        std::fs::write(target, &orig).expect("writable");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    report
+}

@@ -102,3 +102,30 @@ fn differential_oracle_smoke_has_zero_disagreements() {
     );
     assert!(stats.decided_pairs > 0, "oracle decided nothing");
 }
+
+#[test]
+fn disk_store_corruption_never_changes_output_or_verdicts() {
+    let report = audit::attack_disk_store(SIGNED_MIX_SRC, &Options::default(), 8, 0xD15C);
+    assert_eq!(report.mutations, 8, "attack rounds did not all fire");
+    assert!(report.loads_degraded > 0, "no corruption was ever visible");
+    assert!(report.output_stable, "on-disk corruption changed output bytes");
+    assert!(report.verdicts_stable, "on-disk corruption flipped a verdict");
+}
+
+proptest::proptest! {
+    /// Randomized persistence fuzz: under any seed, bit-flipping,
+    /// truncating, overwriting, or deleting on-disk store entries (meta
+    /// and replay file included) must only ever cost recomputation —
+    /// never different output bytes, never a flipped verdict.
+    #[test]
+    fn disk_store_fuzz_is_sound_under_any_seed(seed in 0u64..1u64 << 32) {
+        let opts = Options {
+            l2_trials: 2,
+            workers: 1,
+            ..Options::default()
+        };
+        let report = audit::attack_disk_store(SIGNED_MIX_SRC, &opts, 2, seed);
+        proptest::prop_assert!(report.output_stable, "seed={seed}: output changed");
+        proptest::prop_assert!(report.verdicts_stable, "seed={seed}: verdict flipped");
+    }
+}

@@ -43,6 +43,7 @@ pub mod pipeline;
 pub mod schedule;
 pub mod session;
 pub mod stats;
+pub mod store;
 pub mod testing;
 
 pub use ir::diag::Diag;
@@ -50,3 +51,4 @@ pub use phase::{options_digest, ArtifactStore, Dep, DepScope, Phase, PHASES};
 pub use pipeline::{derive_seed, translate, translate_program, Options, Output, PhaseTheorems};
 pub use session::Session;
 pub use stats::{PhaseStat, PipelineStats};
+pub use store::{DiskStore, LoadReport};

@@ -236,8 +236,11 @@ fn digest128(write: impl Fn(&mut DefaultHasher)) -> u128 {
 /// Digest of the normalized [`Options`]: the per-function selections (both
 /// `BTreeSet`s iterate sorted, so insertion order cannot leak), the custom
 /// word rules by identity, the *effective* L2 trial budget (`0` and the
-/// default `80` hash equal), and the seed. `workers` is deliberately
-/// excluded — the worker count never affects output bytes.
+/// default `80` hash equal), and the seed. `workers` and `cache_dir` are
+/// deliberately excluded — neither the worker count nor where artifacts
+/// are persisted ever affects output bytes. Custom word rules hash by
+/// *pointer* identity, so they also (soundly) defeat cross-process
+/// warm starts: a fresh process's rule `Arc`s never digest equal.
 #[must_use]
 pub fn options_digest(opts: &Options) -> u128 {
     digest128(|h| {
@@ -982,6 +985,28 @@ impl ArtifactStore {
             .lock()
             .expect("artifact store poisoned")
             .insert((phase, name.to_owned(), artifact.digest), artifact);
+    }
+
+    /// Every stored entry, sorted by key — the disk write-back snapshot
+    /// (`crate::store`).
+    pub(crate) fn entries(&self) -> Vec<(ArtifactKey, Arc<PhaseArtifact>)> {
+        let mut v: Vec<(ArtifactKey, Arc<PhaseArtifact>)> = self
+            .map
+            .lock()
+            .expect("artifact store poisoned")
+            .iter()
+            .map(|(k, a)| (k.clone(), Arc::clone(a)))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// Inserts an artifact loaded from disk. Identical to the pipeline's
+    /// own `put`: the entry only ever *answers* a lookup whose freshly
+    /// computed input digest matches, so a stale or mismatched preload is
+    /// a miss, never a wrong answer.
+    pub(crate) fn preload(&self, phase: &'static str, name: &str, artifact: Arc<PhaseArtifact>) {
+        self.put(phase, name, artifact);
     }
 
     /// Audit-only (`audit` feature): every stored key, sorted.

@@ -66,6 +66,12 @@ pub struct Options {
     /// oversubscription; never needed in normal use. Like `workers`,
     /// never affects output bytes.
     pub force_pool: bool,
+    /// Disk-backed warm start: a directory (created on demand) where a
+    /// [`crate::Session`] persists its artifact store and replay cache so
+    /// a *fresh process* can reuse them (DESIGN.md §6g). `None` disables
+    /// persistence. Not part of [`crate::options_digest`]: where the cache
+    /// lives cannot affect what is computed.
+    pub cache_dir: Option<std::path::PathBuf>,
     /// Disables the abstract-interpretation phase (guard discharge and
     /// lints). The phase never changes specs or refinement theorems, so
     /// this is purely an escape hatch: translation output is byte-identical
@@ -83,6 +89,7 @@ impl fmt::Debug for Options {
             .field("seed", &self.seed)
             .field("workers", &self.workers)
             .field("force_pool", &self.force_pool)
+            .field("cache_dir", &self.cache_dir)
             .field("no_absint", &self.no_absint)
             .finish()
     }

@@ -23,6 +23,14 @@
 //! [`Session::check_all_report`] replays only theorems whose derivations
 //! contain proof nodes not yet seen by this session's replay cache.
 //!
+//! With [`Options::cache_dir`] set, both caches additionally persist to
+//! disk through a [`DiskStore`] (DESIGN.md §6g): `Session::new` preloads
+//! every valid on-disk entry — so a *fresh process* warm-starts exactly
+//! like a long-lived session — and each successful `translate` (and each
+//! `check_all_report`) writes the caches back, best-effort. Disk problems
+//! never fail a translation; they surface as [`LoadReport`] warnings and
+//! degrade to recomputation.
+//!
 //! ```
 //! use autocorres::{Options, Session};
 //! let sess = Session::new(Options::default());
@@ -36,24 +44,55 @@
 use ir::diag::Diag;
 use kernel::{KernelError, ReplayCache, ReplayReport};
 
-use crate::phase::{run_pipeline, ArtifactStore};
+use crate::phase::{run_pipeline, ArtifactStore, PHASES};
 use crate::pipeline::{Options, Output};
+use crate::store::{DiskStore, LoadReport};
 
 /// A translation session: pipeline options plus the cross-run caches.
 pub struct Session {
     opts: Options,
     store: ArtifactStore,
     replay: ReplayCache,
+    /// The disk mirror, when `opts.cache_dir` was set and usable.
+    disk: Option<DiskStore>,
+    /// What `Session::new` found on disk (empty default without a disk).
+    load: LoadReport,
 }
 
 impl Session {
-    /// Creates a session with empty caches.
+    /// Creates a session with empty caches — or, when
+    /// [`Options::cache_dir`] is set, caches preloaded from that
+    /// directory's [`DiskStore`]. An unusable directory (not creatable)
+    /// or invalid contents degrade to empty caches with
+    /// [`Session::load_report`] warnings, never an error.
     #[must_use]
     pub fn new(opts: Options) -> Session {
+        let store = ArtifactStore::new();
+        let replay = ReplayCache::new();
+        let mut load = LoadReport::default();
+        let disk = match &opts.cache_dir {
+            None => None,
+            Some(dir) => match DiskStore::open(dir) {
+                Ok(d) => {
+                    load = d.load_into(&store, &replay);
+                    Some(d)
+                }
+                Err(e) => {
+                    load.warnings.push(Diag::new(
+                        ir::diag::Phase::Kernel,
+                        ir::diag::DiagKind::Lint,
+                        format!("cache {}: unusable ({e}); persistence disabled", dir.display()),
+                    ));
+                    None
+                }
+            },
+        };
         Session {
             opts,
-            store: ArtifactStore::new(),
-            replay: ReplayCache::new(),
+            store,
+            replay,
+            disk,
+            load,
         }
     }
 
@@ -67,6 +106,27 @@ impl Session {
     #[must_use]
     pub fn artifacts(&self) -> usize {
         self.store.len()
+    }
+
+    /// What `Session::new` loaded (or failed to load) from the disk
+    /// store. Default-empty when no `cache_dir` was configured.
+    #[must_use]
+    pub fn load_report(&self) -> &LoadReport {
+        &self.load
+    }
+
+    /// Writes the session caches back to the disk store now. Called
+    /// automatically (best-effort, errors swallowed) after successful
+    /// translations; call explicitly when a write failure must surface.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors, or a no-op `Ok` without a `cache_dir`.
+    pub fn persist(&self) -> std::io::Result<()> {
+        match &self.disk {
+            Some(d) => d.save(&self.store, &self.replay),
+            None => Ok(()),
+        }
     }
 
     /// Audit-only (`audit` feature): direct access to the session's
@@ -86,7 +146,8 @@ impl Session {
     }
 
     /// Translates C source, reusing unchanged per-function artifacts from
-    /// earlier runs of this session.
+    /// earlier runs of this session (and, with a cache dir, earlier
+    /// processes).
     ///
     /// # Errors
     ///
@@ -103,12 +164,33 @@ impl Session {
     ///
     /// As for [`Session::translate`].
     pub fn translate_program(&self, typed: &cparser::TProgram) -> Result<Output, Diag> {
-        run_pipeline(typed, &self.opts, &self.store)
+        let mut out = run_pipeline(typed, &self.opts, &self.store)?;
+        if self.disk.is_some() {
+            self.stamp_store_stats(&mut out);
+            let _ = self.persist();
+        }
+        Ok(out)
+    }
+
+    /// Fills the persistence fields of `out.stats` for a disk-backed run.
+    fn stamp_store_stats(&self, out: &mut Output) {
+        let stats = &mut out.stats;
+        stats.store_rejected = self.load.rejected;
+        let total_jobs = out.wa.fns.len() * PHASES.len();
+        stats.store_hits = stats.cached_nodes.min(total_jobs);
+        stats.store_misses = total_jobs.saturating_sub(stats.store_hits);
+        let ms = stats.total_wall.as_millis().min(u128::from(u64::MAX)) as u64;
+        if self.load.artifacts > 0 {
+            stats.warm_start_ms = Some(ms);
+        } else {
+            stats.cold_start_ms = Some(ms);
+        }
     }
 
     /// Replays `out`'s theorems through the independent checker, skipping
     /// proof nodes this session already validated (the reported
-    /// `cache_hits`/`cache_misses` cover this call only).
+    /// `cache_hits`/`cache_misses` cover this call only). With a cache
+    /// dir, newly validated digests persist for future processes.
     ///
     /// # Errors
     ///
@@ -118,11 +200,15 @@ impl Session {
         out: &Output,
         workers: usize,
     ) -> Result<ReplayReport, (String, KernelError)> {
-        kernel::check_all_with(
+        let rep = kernel::check_all_with(
             out.thms.iter().map(|(_, n, t)| (n, t)),
             &out.check_ctx,
             workers,
             &self.replay,
-        )
+        )?;
+        if self.disk.is_some() {
+            let _ = self.persist();
+        }
+        Ok(rep)
     }
 }

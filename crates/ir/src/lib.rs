@@ -32,6 +32,7 @@
 //! assert_eq!(v, Value::Nat(Nat::from(5u64)));
 //! ```
 
+pub mod codec;
 pub mod diag;
 pub mod eval;
 pub mod guard;

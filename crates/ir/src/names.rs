@@ -8,8 +8,13 @@
 //!
 //! Determinism: ids are assigned in first-intern order, which can differ
 //! across runs and worker counts — so nothing observable depends on them.
-//! `Ord` and `Display` go through the string; only `Hash`/`Eq` (pure
-//! in-process identity) use the id.
+//! `Ord` and `Display` go through the string; `Eq` (pure in-process
+//! identity) uses the id. `Hash` writes a *content-based* 64-bit hash
+//! precomputed at intern time: equal ids imply equal text implies equal
+//! hash, so `Eq`/`Hash` stay consistent, and every digest built over
+//! symbols (phase input digests, replay-cache digests, interned structural
+//! hashes) is stable across processes — the property the disk-backed
+//! artifact store depends on.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -19,12 +24,25 @@ use std::sync::Mutex;
 /// every symbol can hand out a `&'static str` without further locking.
 static SYMBOLS: Mutex<Option<HashMap<&'static str, Symbol>>> = Mutex::new(None);
 
-/// An interned name. `Copy`, integer `Eq`/`Hash`, string `Ord`/`Display`
-/// (so ordering and printing round-trip exactly like the `String` it
-/// replaced).
+/// FNV-1a over the name's bytes: the content hash `Symbol::hash` writes.
+/// Fixed offset basis and prime, so the value depends only on the text —
+/// never on intern order, worker count, or process.
+fn content_hash(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in name.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// An interned name. `Copy`, integer `Eq`, content-based `Hash`, string
+/// `Ord`/`Display` (so ordering and printing round-trip exactly like the
+/// `String` it replaced).
 #[derive(Clone, Copy)]
 pub struct Symbol {
     id: u32,
+    stable: u64,
     text: &'static str,
 }
 
@@ -39,7 +57,7 @@ impl Symbol {
         }
         let text: &'static str = Box::leak(name.to_owned().into_boxed_str());
         let id = u32::try_from(table.len()).expect("symbol table overflow");
-        let sym = Symbol { id, text };
+        let sym = Symbol { id, stable: content_hash(text), text };
         table.insert(text, sym);
         sym
     }
@@ -54,6 +72,13 @@ impl Symbol {
     #[must_use]
     pub fn id(&self) -> u32 {
         self.id
+    }
+
+    /// The content-based 64-bit hash (stable across processes; safe to
+    /// fold into persisted digests).
+    #[must_use]
+    pub fn stable_hash(&self) -> u64 {
+        self.stable
     }
 }
 
@@ -82,7 +107,10 @@ impl PartialEq<String> for Symbol {
 
 impl std::hash::Hash for Symbol {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        state.write_u32(self.id);
+        // Content hash, not the id: equal symbols have equal text, so this
+        // is Eq-consistent, and digests over symbols survive a process
+        // restart (required by the disk-backed artifact store).
+        state.write_u64(self.stable);
     }
 }
 
@@ -240,6 +268,22 @@ mod symbol_tests {
         let a = Symbol::intern("aaa_sym_a");
         assert!(a < b, "Ord must follow strings, not first-intern ids");
         assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn stable_hash_is_content_based() {
+        use std::hash::{Hash, Hasher};
+        let a = Symbol::intern("stable_hash_probe");
+        let b = Symbol::intern("stable_hash_probe");
+        assert_eq!(a.stable_hash(), b.stable_hash());
+        // The exact FNV-1a value: a change here is a store format break
+        // (persisted digests would stop matching across versions).
+        assert_eq!(a.stable_hash(), content_hash("stable_hash_probe"));
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        a.hash(&mut h);
+        let mut h2 = std::collections::hash_map::DefaultHasher::new();
+        h2.write_u64(a.stable_hash());
+        assert_eq!(h.finish(), h2.finish(), "Hash must write the content hash");
     }
 
     #[test]

@@ -298,6 +298,12 @@ impl TypeEnv {
         self.structs.get(name)
     }
 
+    /// Inserts a fully laid-out structure definition verbatim (codec
+    /// reconstruction; `define_struct` is the layout-computing entry).
+    pub(crate) fn insert_struct_def(&mut self, def: StructDef) {
+        self.structs.insert(def.name.clone(), def);
+    }
+
     /// Iterates over all registered structures.
     pub fn structs(&self) -> impl Iterator<Item = &StructDef> {
         self.structs.values()

@@ -25,6 +25,8 @@
 //! `ExecTested` admits a refinement after randomized differential testing
 //! with a recorded seed/trial count.
 
+pub mod cert;
+pub mod codec;
 pub mod judgment;
 pub mod rules;
 pub mod semantics;

@@ -282,6 +282,34 @@ impl Thm {
         }
     }
 
+    /// Store-only constructor (`persist` feature) that rebuilds a theorem
+    /// from its serialized parts **without re-validating**.
+    ///
+    /// Only the disk-artifact codec (`kernel::codec`) may call this: disk
+    /// entries sit behind a whole-payload integrity digest and the cache
+    /// directory is part of the local trusted base, so re-running every
+    /// rule on load would forfeit the warm start the store exists for.
+    /// `check`/`check_all` still replay reconstructed theorems like any
+    /// other. Certificates never take this path — `kernel::cert` rebuilds
+    /// through the validating [`Thm::admit`].
+    #[cfg(feature = "persist")]
+    #[must_use]
+    pub(crate) fn from_persisted(
+        rule: Rule,
+        premises: Vec<Thm>,
+        judgment: Judgment,
+        side: Side,
+    ) -> Thm {
+        let proof_size = 1 + premises.iter().map(Thm::proof_size).sum::<usize>();
+        Thm {
+            judgment,
+            rule,
+            premises: premises.into(),
+            side,
+            proof_size,
+        }
+    }
+
     /// Kernel-internal constructor (`pub(crate)`) — validates before
     /// admitting.
     pub(crate) fn admit(
@@ -471,6 +499,40 @@ impl ReplayCache {
     pub fn forge_insert(&self, d: u128) {
         let shard = &self.shards[(d as usize) % self.shards.len()];
         shard.lock().expect("replay cache poisoned").insert(d);
+    }
+
+    /// Persistence (`persist` feature): snapshot of every stored digest,
+    /// for writing the warm-start file. Digests are opaque: the store
+    /// records them verbatim and feeds them back via [`Self::preload`].
+    #[cfg(feature = "persist")]
+    #[must_use]
+    pub fn export_digests(&self) -> Vec<u128> {
+        self.shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .expect("replay cache poisoned")
+                    .iter()
+                    .copied()
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+
+    /// Persistence (`persist` feature): seeds the cache with digests of
+    /// validations that succeeded in an earlier process.
+    ///
+    /// Soundness is unchanged from the in-process case — a preloaded
+    /// digest only ever *skips a re-run* of the deterministic `validate`;
+    /// it can never flip a verdict. A wrong digest (corruption the store's
+    /// integrity check somehow missed) simply never matches a real lookup,
+    /// costing nothing but a stale entry.
+    #[cfg(feature = "persist")]
+    pub fn preload(&self, digests: &[u128]) {
+        for &d in digests {
+            let shard = &self.shards[(d as usize) % self.shards.len()];
+            shard.lock().expect("replay cache poisoned").insert(d);
+        }
     }
 
     /// (hits, misses) lookup counters.

@@ -31,6 +31,7 @@
 //! assert_eq!(r, MonadResult::Normal(ir::Value::nat(5u64)));
 //! ```
 
+pub mod codec;
 pub mod interp;
 pub mod prog;
 

@@ -1,0 +1,131 @@
+//! Binary codec impls for the Simpl statement language (see `ir::codec`).
+//!
+//! Needed because `kernel::Judgment::L1` embeds the Simpl statement a
+//! monadic program was translated from, so persisted theorems carry
+//! Simpl terms.
+
+use ir::codec::{Codec, DecodeError, Decoder, Encoder};
+use ir::expr::Expr;
+use ir::update::Update;
+
+use crate::stmt::{GuardKind, SimplStmt};
+
+impl Codec for SimplStmt {
+    fn encode(&self, e: &mut Encoder) {
+        match self {
+            SimplStmt::Skip => e.u8(0),
+            SimplStmt::Basic(u) => {
+                e.u8(1);
+                u.encode(e);
+            }
+            SimplStmt::Seq(a, b) => {
+                e.u8(2);
+                a.encode(e);
+                b.encode(e);
+            }
+            SimplStmt::Cond(c, a, b) => {
+                e.u8(3);
+                c.encode(e);
+                a.encode(e);
+                b.encode(e);
+            }
+            SimplStmt::While(c, b) => {
+                e.u8(4);
+                c.encode(e);
+                b.encode(e);
+            }
+            SimplStmt::Guard(k, g, c) => {
+                e.u8(5);
+                k.encode(e);
+                g.encode(e);
+                c.encode(e);
+            }
+            SimplStmt::Throw => e.u8(6),
+            SimplStmt::TryCatch(a, b) => {
+                e.u8(7);
+                a.encode(e);
+                b.encode(e);
+            }
+            SimplStmt::Call {
+                fname,
+                args,
+                ret_local,
+            } => {
+                e.u8(8);
+                e.str(fname);
+                args.encode(e);
+                ret_local.encode(e);
+            }
+        }
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        d.enter()?;
+        let out = match d.u8()? {
+            0 => Ok(SimplStmt::Skip),
+            1 => Update::decode(d).map(SimplStmt::Basic),
+            2 => Ok(SimplStmt::Seq(Box::decode(d)?, Box::decode(d)?)),
+            3 => Ok(SimplStmt::Cond(
+                Expr::decode(d)?,
+                Box::decode(d)?,
+                Box::decode(d)?,
+            )),
+            4 => Ok(SimplStmt::While(Expr::decode(d)?, Box::decode(d)?)),
+            5 => Ok(SimplStmt::Guard(
+                GuardKind::decode(d)?,
+                Expr::decode(d)?,
+                Box::decode(d)?,
+            )),
+            6 => Ok(SimplStmt::Throw),
+            7 => Ok(SimplStmt::TryCatch(Box::decode(d)?, Box::decode(d)?)),
+            8 => Ok(SimplStmt::Call {
+                fname: d.str()?,
+                args: Vec::decode(d)?,
+                ret_local: Option::decode(d)?,
+            }),
+            b => Err(DecodeError(format!("invalid SimplStmt tag {b}"))),
+        };
+        d.exit();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir::codec::{decode_from_slice, encode_to_vec};
+
+    #[test]
+    fn simpl_round_trips() {
+        let s = SimplStmt::Guard(
+            GuardKind::DivByZero,
+            Expr::var("b"),
+            Box::new(SimplStmt::seq(
+                SimplStmt::Basic(Update::Local("x".into(), Expr::u32(1))),
+                SimplStmt::Cond(
+                    Expr::var("c"),
+                    Box::new(SimplStmt::Throw),
+                    Box::new(SimplStmt::Call {
+                        fname: "f".into(),
+                        args: vec![Expr::var("x")],
+                        ret_local: Some("r".into()),
+                    }),
+                ),
+            )),
+        );
+        let bytes = encode_to_vec(&s);
+        let back: SimplStmt = decode_from_slice(&bytes).expect("decode");
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn corrupt_simpl_never_panics() {
+        let s = SimplStmt::While(Expr::var("c"), Box::new(SimplStmt::Skip));
+        let bytes = encode_to_vec(&s);
+        for i in 0..bytes.len() {
+            let mut m = bytes.clone();
+            m[i] = m[i].wrapping_add(1);
+            let _ = decode_from_slice::<SimplStmt>(&m);
+        }
+    }
+}

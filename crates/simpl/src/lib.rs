@@ -28,6 +28,7 @@
 //! assert!(rendered.contains("GUARD DontReach"));
 //! ```
 
+pub mod codec;
 pub mod interp;
 pub mod stmt;
 pub mod translate;

@@ -64,6 +64,35 @@ if ./target/release/autocorres --quiet --lint=deny tests/golden/lint_demo.c > /d
     echo "tier1: --lint=deny did not fail on the lint demo" >&2; exit 1
 fi
 
+# Warm-start smoke (DESIGN.md §6g): translate the quickstart with a cache
+# directory, then re-run from a *fresh process* reusing the directory —
+# the warm output must be byte-identical and recompute nothing.
+cache_dir=$(mktemp -d)
+trap 'rm -f "$tmp_c" "$tmp_out" "$golden"; rm -rf "$cache_dir"' EXIT
+./target/release/autocorres --quiet --level wa --fn max --cache-dir "$cache_dir" "$tmp_c" > "$tmp_out"
+diff -u "$golden" "$tmp_out" \
+    || { echo "tier1: cold cache-dir run diverged" >&2; exit 1; }
+./target/release/autocorres --quiet --level wa --fn max --cache-dir "$cache_dir" "$tmp_c" > "$tmp_out"
+diff -u "$golden" "$tmp_out" \
+    || { echo "tier1: warm-start run diverged" >&2; exit 1; }
+./target/release/autocorres --quiet --metrics --cache-dir "$cache_dir" "$tmp_c" \
+    | grep -q 'misses=0 rejected=0 dirty_fns=0' \
+    || { echo "tier1: warm start recomputed work" >&2; exit 1; }
+
+# Certificate smoke: the exported proof certificate must replay through
+# the independent certcheck binary, match the golden cert-v1 snapshot,
+# and any mutation must be rejected.
+cert="$cache_dir/quickstart.cert"
+./target/release/autocorres --quiet --emit-cert "$cert" "$tmp_c" > /dev/null
+cmp tests/golden/quickstart.cert "$cert" \
+    || { echo "tier1: certificate drifted from tests/golden/quickstart.cert" >&2; exit 1; }
+./target/release/certcheck --quiet "$cert" \
+    || { echo "tier1: certcheck rejected a valid certificate" >&2; exit 1; }
+head -c -1 "$cert" > "$cert.bad"; printf '\xff' >> "$cert.bad"
+if ./target/release/certcheck --quiet "$cert.bad" 2> /dev/null; then
+    echo "tier1: certcheck accepted a mutated certificate" >&2; exit 1
+fi
+
 # Corpus smoke: the checked-in real-world-shaped corpus (arrays, switch
 # with fallthrough, compound assignment, qualifiers) must sweep end to
 # end — every file translated, every theorem replayed, zero failures.

@@ -19,6 +19,13 @@
 //!                            unreachable code, use-before-init, definite
 //!                            overflow); `=deny` exits nonzero on any lint
 //!   --no-absint              disable the abstract-interpretation phase
+//!   --cache-dir DIR          persist the artifact store and replay cache in
+//!                            DIR so a later run (any process) warm-starts;
+//!                            corrupt or version-skewed entries degrade to
+//!                            recomputation, never to different output
+//!   --emit-cert FILE         export every checked theorem as a
+//!                            self-contained proof certificate, replayable
+//!                            offline with the `certcheck` binary
 //!   --playback SEED          replay a counterexample seed file and exit
 //!   --corpus DIR             sweep every .c file in DIR, print a
 //!                            per-function proof-status table, and exit
@@ -35,7 +42,7 @@
 use std::collections::BTreeSet;
 use std::process::ExitCode;
 
-use autocorres::{translate, Options};
+use autocorres::{Options, Session};
 use monadic::ProgramCtx;
 
 struct Cli {
@@ -52,6 +59,8 @@ struct Cli {
     lint: bool,
     lint_deny: bool,
     no_absint: bool,
+    cache_dir: Option<String>,
+    emit_cert: Option<String>,
     playback: Option<String>,
     corpus: Option<String>,
     quiet: bool,
@@ -61,7 +70,8 @@ fn usage() -> &'static str {
     "usage: autocorres [--level l1|l2|hl|wa] [--fn NAME]... [--concrete NAME]...\n\
      \x20                 [--no-word-abs] [--word-abs NAME]... [--trials N] [--seed N]\n\
      \x20                 [--workers N] [--metrics] [--check] [--lint[=deny]]\n\
-     \x20                 [--no-absint] [--quiet] FILE.c\n\
+     \x20                 [--no-absint] [--cache-dir DIR] [--emit-cert FILE]\n\
+     \x20                 [--quiet] FILE.c\n\
      \x20      autocorres --playback SEED\n\
      \x20      autocorres --corpus DIR [--trials N] [--seed N] [--workers N]"
 }
@@ -81,6 +91,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         lint: false,
         lint_deny: false,
         no_absint: false,
+        cache_dir: None,
+        emit_cert: None,
         playback: None,
         corpus: None,
         quiet: false,
@@ -137,6 +149,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     v => return Err(format!("--lint: unknown mode `{v}` (warn|deny)")),
                 }
             }
+            "--cache-dir" => cli.cache_dir = Some(value("--cache-dir")?),
+            "--emit-cert" => cli.emit_cert = Some(value("--emit-cert")?),
             "--playback" => cli.playback = Some(value("--playback")?),
             "--corpus" => cli.corpus = Some(value("--corpus")?),
             "--quiet" => cli.quiet = true,
@@ -273,6 +287,27 @@ fn run_corpus(dir: &str, opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Exports every theorem of `out` (refinement phases + absint discharge)
+/// as a `cert-v1` proof certificate, independently replayable with the
+/// `certcheck` binary.
+fn emit_cert(path: &str, out: &autocorres::Output) -> Result<(), String> {
+    let mut labels: Vec<(String, &kernel::Thm)> = out
+        .thms
+        .iter()
+        .map(|(phase, name, thm)| (format!("{phase}:{name}"), thm))
+        .collect();
+    for (name, a) in &out.absint {
+        for (idx, thm) in &a.thms {
+            labels.push((format!("absint:{name}:{idx}"), thm));
+        }
+    }
+    let roots: Vec<(&str, &kernel::Thm)> =
+        labels.iter().map(|(l, t)| (l.as_str(), *t)).collect();
+    let bytes = kernel::cert::encode_cert(&out.check_ctx, &roots);
+    std::fs::write(path, &bytes).map_err(|e| format!("--emit-cert {path}: {e}"))?;
+    Ok(())
+}
+
 fn run(cli: &Cli) -> Result<(), String> {
     if let Some(path) = &cli.playback {
         return run_playback(path, cli.quiet);
@@ -284,6 +319,7 @@ fn run(cli: &Cli) -> Result<(), String> {
         seed: cli.seed,
         workers: cli.workers,
         no_absint: cli.no_absint,
+        cache_dir: cli.cache_dir.clone().map(std::path::PathBuf::from),
         ..Options::default()
     };
     if let Some(dir) = &cli.corpus {
@@ -291,14 +327,35 @@ fn run(cli: &Cli) -> Result<(), String> {
     }
     let src = std::fs::read_to_string(&cli.file)
         .map_err(|e| format!("{}: {e}", cli.file))?;
-    let opts = opts_of(cli);
-    let out = translate(&src, &opts).map_err(|e| e.to_string())?;
+    let sess = Session::new(opts_of(cli));
+    if !cli.quiet {
+        for w in &sess.load_report().warnings {
+            eprintln!("warning: {}", w.message);
+        }
+    }
+    let out = sess.translate(&src).map_err(|e| e.to_string())?;
+    if let Some(path) = &cli.emit_cert {
+        emit_cert(path, &out)?;
+        if !cli.quiet {
+            eprintln!(
+                "wrote certificate: {} theorem(s) to {path}",
+                out.thms.len() + out.absint.values().map(|a| a.thms.len()).sum::<usize>()
+            );
+        }
+    }
     if cli.metrics {
         let pm = out.parser_metrics();
         let am = out.output_metrics();
         println!("{:<18} {:>8} {:>12}", "", "lines", "term size");
         println!("{:<18} {:>8} {:>12}", "parser output", pm.lines, pm.term_size);
         println!("{:<18} {:>8} {:>12}", "autocorres output", am.lines, am.term_size);
+        if cli.cache_dir.is_some() {
+            let s = &out.stats;
+            println!(
+                "store: hits={} misses={} rejected={} dirty_fns={}",
+                s.store_hits, s.store_misses, s.store_rejected, s.dirty_fns
+            );
+        }
         return Ok(());
     }
     if !cli.quiet {
@@ -320,7 +377,10 @@ fn run(cli: &Cli) -> Result<(), String> {
         }
     }
     if cli.check {
-        out.check_all().map_err(|e| format!("proof check failed: {e}"))?;
+        // Through the session (not `out.check_all()`) so a `--cache-dir`
+        // run persists the newly validated replay digests too.
+        sess.check_all_report(&out, out.stats.workers)
+            .map_err(|(f, e)| format!("proof check failed: {f}: {e}"))?;
         if !cli.quiet {
             eprintln!("all theorems replayed through the checker: OK");
         }
